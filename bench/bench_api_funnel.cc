@@ -1,0 +1,94 @@
+// §V-B reproduction: the Windows API funnel.
+//
+//   20,672 documented APIs
+//     -> 11,521 with at least one pointer argument (55.7%)
+//     -> 400 crash-resistant under invalid-pointer fuzzing
+//     -> 25 observed on the browsing execution path
+//     -> 12 triggerable from a JavaScript context
+//     -> 0 with an attacker-controllable pointer argument
+//        (exclusions: stack-allocated / dereferenced-outside / volatile heap)
+//
+// The population is synthesized with the paper's composition ratios; every
+// narrowing step below is *measured*: black-box fuzzing, dynamic tracing of
+// a browsing workload, call-stack attribution, pointer classification.
+
+#include <cstdio>
+
+#include "analysis/api_analysis.h"
+#include "analysis/report.h"
+#include "targets/browser.h"
+#include "trace/tracer.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace crp;
+
+  printf("bench_api_funnel — §V-B: Windows API crash-resistance funnel\n");
+  printf("=============================================================\n\n");
+
+  constexpr u32 kPopulation = 20672;
+  constexpr double kPtrFraction = 0.5573;    // 11,521 / 20,672
+  constexpr double kResistFraction = 0.0347; // 400 / 11,521
+
+  os::Kernel kernel;
+  kernel.winapi().generate_population(0xA91, kPopulation, kPtrFraction,
+                                      kResistFraction);
+
+  // Stage 1: fuzz the whole surface.
+  printf("[1] fuzzing %u APIs with invalid pointers (3 probes per pointer arg)...\n",
+         kPopulation);
+  analysis::ApiFuzzer fuzzer;
+  analysis::ApiFuzzResult fuzz = fuzzer.fuzz_all(kernel);
+  printf("    %u with pointer args, %zu crash-resistant, %u probes\n\n",
+         fuzz.with_pointer_args, fuzz.crash_resistant.size(), fuzz.probes_executed);
+
+  // Stage 2: which of those appear on a browsing execution path? The
+  // browser calls a uniform sample of the population through generated call
+  // stubs (≈6%, the rate that puts ~25 crash-resistant APIs on path).
+  Rng rng(0xFA77);
+  std::vector<u32> stub_ids;
+  for (const auto& [id, spec] : kernel.winapi().all()) {
+    if (id < os::kApiPopulationBase || !spec.has_pointer_arg()) continue;
+    if (rng.chance(0.0625)) stub_ids.push_back(id);
+  }
+  printf("[2] browsing: %zu population APIs reachable from browser code...\n",
+         stub_ids.size());
+  targets::BrowserSim::Options opts;
+  opts.kind = targets::BrowserSim::Kind::kIE;
+  opts.seed = 0xF0;
+  opts.api_stub_ids = stub_ids;
+  targets::BrowserSim browser(kernel, opts);
+  trace::Tracer tracer(kernel, browser.proc());
+  tracer.set_record_mem_accesses(true);
+  browser.crawl();
+  for (u64 site = 0; site < 120; ++site) browser.visit_page(site);
+  browser.pump(2'000'000'000);
+  printf("    workload done (%zu API invocations traced)\n\n", tracer.api_calls().size());
+
+  // Stage 3+4: call-site analysis.
+  auto sites = analysis::ApiCallSiteTracer::analyze(tracer, fuzz.crash_resistant, kernel,
+                                                    browser.proc(), "jscript9");
+  std::set<u32> on_path, scripted, controllable;
+  analysis::ApiFunnel funnel;
+  for (const auto& s : sites) {
+    if (s.api_id < os::kApiPopulationBase) continue;  // count the population only
+    on_path.insert(s.api_id);
+    if (s.script_triggerable) scripted.insert(s.api_id);
+    if (s.exclusion == analysis::ExclusionReason::kNone) controllable.insert(s.api_id);
+    ++funnel.exclusion_histogram[analysis::exclusion_reason_name(s.exclusion)];
+  }
+
+  funnel.total = fuzz.total_apis;
+  funnel.with_pointer = fuzz.with_pointer_args;
+  funnel.crash_resistant = static_cast<u32>(fuzz.crash_resistant.size());
+  funnel.on_execution_path = static_cast<u32>(on_path.size());
+  funnel.script_triggerable = static_cast<u32>(scripted.size());
+  funnel.controllable = static_cast<u32>(controllable.size());
+
+  printf("Measured funnel:\n%s\n", analysis::render_api_funnel(funnel).c_str());
+  printf("Paper funnel:    20672 -> 11521 (55.7%%) -> 400 -> 25 -> 12 -> 0\n");
+  printf("(controllable = 0 is the paper's negative result: every surviving\n");
+  printf(" pointer argument is stack-allocated, dereferenced outside the\n");
+  printf(" resistant function, or a reference-less volatile heap pointer.)\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// §VII reproduction: the access-violation-rate baseline behind the
+// rate-based detection countermeasure.
+//
+// Paper measurements:
+//   * top-40k website crawl: zero access violations during browsing;
+//   * asm.js stress (fault-based bounds checks): bursts of up to ~20 AVs
+//     with gaps — peak rate far below an attack;
+//   * probing attack (Gawlik et al. style): multiple thousands of AVs per
+//     second — "several orders of magnitude more frequent".
+//
+// We run all three workloads on the IE simulacrum with a RateDetector
+// attached and report total AVs, peak per-second rate, and whether the
+// detector (threshold 50/s) alarms.
+
+#include <cstdio>
+
+#include "defense/rate_detector.h"
+#include "isa/assembler.h"
+#include "oracle/oracle.h"
+#include "targets/browser.h"
+#include "targets/common.h"
+
+namespace {
+
+using namespace crp;
+using isa::Assembler;
+using isa::Cond;
+using isa::Reg;
+
+struct RateRow {
+  const char* name;
+  u64 total = 0;
+  u64 peak_window = 0;
+  double rate = 0;
+  bool alarmed = false;
+};
+
+RateRow benign_browsing() {
+  os::Kernel k;
+  targets::BrowserSim b(k, {targets::BrowserSim::Kind::kIE, 0xB1, 0});
+  defense::RateDetector det(k, b.proc());
+  b.crawl();
+  for (u64 s = 0; s < 300; ++s) b.visit_page(s);
+  b.pump(1'500'000'000);
+  return {"normal browsing (300 pages)", det.total_avs(), det.peak_window_count(),
+          det.peak_rate_per_sec(), det.alarmed()};
+}
+
+RateRow asmjs_stress() {
+  // Fault-based bounds checking: bursts of guarded AVs with gaps.
+  Assembler a("asmjs_bench");
+  a.label("e");
+  a.lea_pc(Reg::R8, "rounds");
+  a.label("round");
+  a.movi(Reg::R9, 18);  // burst of 18 (paper: groups of up to 20)
+  a.label("burst");
+  a.movi(Reg::R2, 0x400000);
+  a.label("tb");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.label("te");
+  a.nop();
+  a.label("h");
+  a.subi(Reg::R9, 1);
+  a.cmpi(Reg::R9, 0);
+  a.jcc(Cond::kNe, "burst");
+  a.movi(Reg::R1, 2500);  // 2.5 s gap between bursts
+  a.apicall(os::kApiSleep);
+  a.load(Reg::R4, Reg::R8, 8);
+  a.subi(Reg::R4, 1);
+  a.store(Reg::R8, 0, Reg::R4, 8);
+  a.cmpi(Reg::R4, 0);
+  a.jcc(Cond::kNe, "round");
+  a.halt();
+  a.set_entry("e");
+  a.scope("tb", "te", "", "h");
+  a.data_u64("rounds", 20);
+
+  os::Kernel k;
+  int pid = k.create_process("asmjs_bench", vm::Personality::kWindows, 0xA5);
+  k.proc(pid).load(std::make_shared<isa::Image>(a.build()));
+  k.start_process(pid);
+  defense::RateDetector det(k, k.proc(pid));
+  k.run(300'000'000);
+  return {"asm.js stress (20 bursts x 18)", det.total_avs(), det.peak_window_count(),
+          det.peak_rate_per_sec(), det.alarmed()};
+}
+
+RateRow scanning_attack() {
+  os::Kernel k;
+  targets::BrowserSim b(k, {targets::BrowserSim::Kind::kIE, 0xA72, 0});
+  defense::RateDetector det(k, b.proc());
+  oracle::SehProbeOracle probe(b);
+  for (int i = 0; i < 2000; ++i)
+    probe.probe(0x6000bad0000ull + static_cast<u64>(i) * 4096);
+  return {"probing attack (2000 probes)", det.total_avs(), det.peak_window_count(),
+          det.peak_rate_per_sec(), det.alarmed()};
+}
+
+}  // namespace
+
+int main() {
+  printf("bench_av_rate — §VII: access-violation rates per workload\n");
+  printf("==========================================================\n\n");
+  printf("%-32s %-10s %-14s %-14s %s\n", "workload", "AVs", "peak/window", "peak rate/s",
+         "alarmed");
+
+  for (const RateRow& r : {benign_browsing(), asmjs_stress(), scanning_attack()}) {
+    printf("%-32s %-10llu %-14llu %-14.1f %s\n", r.name,
+           static_cast<unsigned long long>(r.total),
+           static_cast<unsigned long long>(r.peak_window), r.rate,
+           r.alarmed ? "YES" : "no");
+  }
+
+  printf("\nPaper: browsing ~0 AVs; asm.js bursts <= 20 with gaps; attacks\n");
+  printf("thousands/second — orders of magnitude apart, so a simple windowed\n");
+  printf("threshold cleanly separates attack from benign fault-based tricks.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// §VI-D reproduction: the Cherokee timing side channel.
+//
+// Corrupting a worker thread's fdpoll->events pointer makes its epoll_wait
+// fail with -EFAULT forever: the thread spins, burning scheduler capacity
+// and dropping the pool from N workers to N-k. The attacker measures the
+// time to serve a fixed batch of requests; "there is significant time
+// difference compared to the baseline when even a single thread is
+// non-functional" — which turns epoll_wait into a *timing* memory oracle.
+//
+// This bench serves a fixed request batch with k = 0..N-1 stalled threads
+// and reports virtual service time per batch (our virtual clock advances
+// with executed instructions, so the spinning thread's cost is visible
+// exactly as CPU-time would be).
+
+#include <cstdio>
+
+#include "targets/cherokee.h"
+#include "targets/common.h"
+
+namespace {
+
+using namespace crp;
+
+/// Serve `n` version requests; returns virtual ns consumed (retrying on
+/// stalled-thread routing like a real client).
+u64 serve_batch(os::Kernel& k, int n) {
+  u64 t0 = k.now_ns();
+  for (int i = 0; i < n; ++i) {
+    for (int attempt = 0; attempt < targets::kCherokeeThreads + 1; ++attempt) {
+      auto c = k.connect(targets::kCherokeePort);
+      if (!c.has_value()) break;
+      c->send(targets::wire_command(targets::kOpVersion));
+      std::string got;
+      bool ok = k.run_until(
+          [&] {
+            got += c->recv_all();
+            return got.size() >= 4;
+          },
+          20'000'000);
+      c->close();
+      if (ok) break;
+    }
+  }
+  return k.now_ns() - t0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace crp;
+
+  printf("bench_cherokee_timing — §VI-D: epoll_wait timing side channel\n");
+  printf("==============================================================\n\n");
+
+  constexpr int kBatch = 60;
+  printf("serving %d requests per configuration (%d worker threads)\n\n", kBatch,
+         targets::kCherokeeThreads);
+  printf("%-18s %-18s %-12s\n", "stalled threads", "batch time (ms)", "slowdown");
+
+  u64 baseline = 0;
+  for (int stalled = 0; stalled < targets::kCherokeeThreads; ++stalled) {
+    os::Kernel k;
+    auto t = targets::make_cherokee();
+    int pid = t.instantiate(k, 0x77 + static_cast<u64>(stalled));
+    k.run(4'000'000);  // workers parked
+
+    // Attack step: corrupt the first `stalled` workers' fdpoll->events
+    // pointers (leak the object via the global table, then arbitrary write).
+    for (int i = 0; i < stalled; ++i) {
+      gva_t fdpoll = targets::cherokee_fdpoll_addr(k.proc(pid), i);
+      CRP_CHECK(fdpoll != 0);
+      k.proc(pid).machine().mem().poke_u64(fdpoll, 0x6bad00000000ull);
+    }
+    k.run(2'000'000);  // let the corrupted threads hit the failing loop
+
+    u64 elapsed = serve_batch(k, kBatch);
+    if (stalled == 0) baseline = elapsed;
+    printf("%-18d %-18.3f %.2fx%s\n", stalled, elapsed / 1e6,
+           baseline != 0 ? static_cast<double>(elapsed) / baseline : 1.0,
+           k.proc(pid).alive() ? "" : "  (SERVER DIED!)");
+  }
+
+  printf("\nThe gap between 0 and 1 stalled threads is the §VI-D memory oracle:\n");
+  printf("probe a candidate address into one thread's fdpoll->events, time a\n");
+  printf("request batch, and the delta says mapped (no slowdown) vs unmapped\n");
+  printf("(worker stalls, batch slows). The server never crashes.\n");
+  return 0;
+}

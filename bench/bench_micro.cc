@@ -1,0 +1,170 @@
+// Microbenchmarks (google-benchmark) for the CRProbe substrates: interpreter
+// throughput, taint-tracking overhead, SEH dispatch cost, SAT solving,
+// symbolic filter classification, image (de)serialization, and end-to-end
+// oracle probe latency.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "analysis/seh_analysis.h"
+#include "isa/assembler.h"
+#include "oracle/oracle.h"
+#include "os/kernel.h"
+#include "symex/solver.h"
+#include "taint/taint.h"
+#include "targets/browser.h"
+#include "targets/common.h"
+#include "targets/dll_corpus.h"
+#include "vm/machine.h"
+
+namespace {
+
+using namespace crp;
+using isa::Assembler;
+using isa::Cond;
+using isa::Reg;
+
+isa::Image spin_image(int unroll) {
+  Assembler a("spin");
+  a.label("e");
+  a.movi(Reg::R1, 0);
+  a.label("loop");
+  for (int i = 0; i < unroll; ++i) {
+    a.addi(Reg::R1, 1);
+    a.xori(Reg::R2, 3);
+    a.mov(Reg::R3, Reg::R1);
+  }
+  a.jmp("loop");
+  a.set_entry("e");
+  return a.build();
+}
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  vm::Machine m(vm::Personality::kLinux, 1);
+  size_t idx = m.load_image(std::make_shared<isa::Image>(spin_image(16)));
+  gva_t stack = m.layout().place(mem::RegionKind::kStack, 65536, "s");
+  CRP_CHECK(m.mem().map(stack, 65536, mem::kPermR | mem::kPermW));
+  vm::Cpu cpu;
+  cpu.pc = m.modules()[idx].code_addr(0);
+  cpu.sp() = stack + 65000;
+  for (auto _ : state) {
+    m.run(cpu, 10000);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void BM_InterpreterWithTaint(benchmark::State& state) {
+  os::Kernel k;
+  int pid = k.create_process("spin", vm::Personality::kLinux, 1);
+  k.proc(pid).load(std::make_shared<isa::Image>(spin_image(16)));
+  k.start_process(pid);
+  taint::TaintEngine taint(k, k.proc(pid));
+  for (auto _ : state) {
+    k.run(10000);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_InterpreterWithTaint);
+
+void BM_SehDispatchHandledAv(benchmark::State& state) {
+  // One guarded faulting load, handled by a catch-all scope, in a loop.
+  Assembler a("faulty");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);
+  a.label("loop");
+  a.label("tb");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.label("te");
+  a.nop();
+  a.label("h");
+  a.jmp("loop");
+  a.set_entry("e");
+  a.scope("tb", "te", "", "h");
+  vm::Machine m(vm::Personality::kWindows, 1);
+  size_t idx = m.load_image(std::make_shared<isa::Image>(a.build()));
+  gva_t stack = m.layout().place(mem::RegionKind::kStack, 65536, "s");
+  CRP_CHECK(m.mem().map(stack, 65536, mem::kPermR | mem::kPermW));
+  vm::Cpu cpu;
+  cpu.pc = m.modules()[idx].code_addr(0);
+  cpu.sp() = stack + 65000;
+  for (auto _ : state) {
+    m.run(cpu, 1000);
+  }
+  state.SetItemsProcessed(
+      static_cast<i64>(m.exception_stats().handled_seh));
+}
+BENCHMARK(BM_SehDispatchHandledAv);
+
+void BM_SatSmallBitvector(benchmark::State& state) {
+  for (auto _ : state) {
+    symex::Ctx c;
+    symex::ExprRef x = c.var("x");
+    symex::Solver s(c);
+    s.add(c.eq(c.band(c.add(x, c.constant(17)), c.constant(0xffff)), c.constant(0x1234)));
+    benchmark::DoNotOptimize(s.check());
+  }
+}
+BENCHMARK(BM_SatSmallBitvector);
+
+void BM_FilterClassification(benchmark::State& state) {
+  targets::DllSpec spec{"bench", isa::Machine::kX64, 30, 12, 0, 20, 10};
+  auto dll = targets::generate_dll(spec, 42);
+  for (auto _ : state) {
+    analysis::SehExtractor ex;
+    ex.add_image(dll.image);
+    analysis::FilterClassifier fc;
+    benchmark::DoNotOptimize(fc.classify_all(ex));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 20);
+}
+BENCHMARK(BM_FilterClassification);
+
+void BM_ImageRoundTrip(benchmark::State& state) {
+  targets::DllSpec spec{"bench", isa::Machine::kX64, 60, 20, 0, 40, 15};
+  auto dll = targets::generate_dll(spec, 42);
+  auto bytes = isa::write_image(*dll.image);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::read_image(bytes));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(bytes.size()));
+}
+BENCHMARK(BM_ImageRoundTrip);
+
+void BM_OracleProbeIe(benchmark::State& state) {
+  os::Kernel k;
+  targets::BrowserSim b(k, {targets::BrowserSim::Kind::kIE, 0xBE, 0});
+  oracle::SehProbeOracle probe(b);
+  u64 addr = 0x7100000000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probe.probe(addr));
+    addr += 4096;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_OracleProbeIe);
+
+void BM_KernelSyscallPath(benchmark::State& state) {
+  Assembler a("sys");
+  a.label("e");
+  a.label("loop");
+  a.movi(Reg::R0, static_cast<i64>(os::Sys::kGetpid));
+  a.syscall();
+  a.jmp("loop");
+  a.set_entry("e");
+  os::Kernel k;
+  int pid = k.create_process("sys", vm::Personality::kLinux, 1);
+  k.proc(pid).load(std::make_shared<isa::Image>(a.build()));
+  k.start_process(pid);
+  for (auto _ : state) {
+    k.run(3000);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_KernelSyscallPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

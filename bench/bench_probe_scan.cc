@@ -1,0 +1,109 @@
+// Fig. 1 / §III reproduction: the end-to-end crash-resistant probing loop
+// (overwrite a value -> trigger -> infer state) against every PoC oracle,
+// plus the §II information-hiding entropy math.
+//
+// Each oracle hunts a hidden region (SafeStack / CPI safe-region analog)
+// planted at a random address. Reported per oracle: probes issued, probe
+// cost (virtual time), crashes (must be zero), and whether the region was
+// found. The entropy table shows expected probe counts for full-entropy
+// sweeps — the reason crash resistance, not crash tolerance, is what breaks
+// information hiding.
+
+#include <cmath>
+#include <cstdio>
+
+#include "oracle/oracle.h"
+#include "targets/browser.h"
+#include "targets/common.h"
+#include "targets/nginx.h"
+
+namespace {
+
+using namespace crp;
+
+struct Row {
+  std::string name;
+  u64 probes = 0;
+  double ms_per_probe = 0;
+  u64 crashes = 0;
+  bool found = false;
+};
+
+Row hunt_with(oracle::MemoryOracle& oracle, os::Kernel& k, os::Process& proc,
+              gva_t hidden, u64 region_pages) {
+  oracle::Scanner scanner(oracle);
+  u64 t0 = k.now_ns();
+  auto hit = scanner.hunt(hidden - 384 * 4096, hidden + 384 * 4096, 4000, 0x5ca7);
+  Row row;
+  row.name = oracle.name();
+  row.probes = scanner.stats().probes;
+  row.ms_per_probe =
+      row.probes != 0 ? (k.now_ns() - t0) / 1e6 / static_cast<double>(row.probes) : 0;
+  row.crashes = proc.machine().exception_stats().unhandled + (proc.alive() ? 0 : 1);
+  row.found =
+      hit.has_value() && *hit >= hidden && *hit < hidden + region_pages * 4096;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  printf("bench_probe_scan — Fig.1/§III: crash-resistant address-space probing\n");
+  printf("=====================================================================\n\n");
+
+  constexpr u64 kRegionPages = 8;
+  std::vector<Row> rows;
+
+  {
+    os::Kernel k;
+    auto t = targets::make_nginx();
+    int pid = t.instantiate(k, 0x90A);
+    k.run(3'000'000);
+    gva_t hidden = targets::plant_hidden_region(k.proc(pid), kRegionPages * 4096, 1);
+    oracle::NginxRecvOracle oracle(k, pid, targets::kNginxPort);
+    rows.push_back(hunt_with(oracle, k, k.proc(pid), hidden, kRegionPages));
+  }
+  {
+    os::Kernel k;
+    targets::BrowserSim b(k, {targets::BrowserSim::Kind::kIE, 0x90B, 0});
+    gva_t hidden = targets::plant_hidden_region(b.proc(), kRegionPages * 4096, 2);
+    oracle::SehProbeOracle oracle(b);
+    rows.push_back(hunt_with(oracle, k, b.proc(), hidden, kRegionPages));
+  }
+  {
+    os::Kernel k;
+    targets::BrowserSim b(k, {targets::BrowserSim::Kind::kFirefox, 0x90C, 0});
+    gva_t hidden = targets::plant_hidden_region(b.proc(), kRegionPages * 4096, 3);
+    oracle::FirefoxPollOracle oracle(b);
+    rows.push_back(hunt_with(oracle, k, b.proc(), hidden, kRegionPages));
+  }
+
+  printf("%-16s %-10s %-16s %-10s %s\n", "oracle", "probes", "ms/probe (virt)",
+         "crashes", "region found");
+  for (const Row& r : rows) {
+    printf("%-16s %-10llu %-16.3f %-10llu %s\n", r.name.c_str(),
+           static_cast<unsigned long long>(r.probes), r.ms_per_probe,
+           static_cast<unsigned long long>(r.crashes), r.found ? "YES" : "no");
+  }
+
+  printf("\nEntropy math (uniform probing, expected probes to first hit):\n");
+  printf("%-34s %-16s %s\n", "defense configuration", "space (pages)", "expected probes");
+  struct Ent {
+    const char* name;
+    u64 space_pages;
+    u64 region_pages;
+  };
+  for (const Ent& e : std::initializer_list<Ent>{
+           {"ASLR 28-bit slide, 8-page region", 1ull << 28, 8},
+           {"CPI safe region (2^30 pages)", 1ull << 35, 1ull << 30},
+           {"SafeStack, 2-page stack", 1ull << 28, 2},
+           {"ASLR-Guard region, 16 pages", 1ull << 28, 16},
+       }) {
+    printf("%-34s 2^%-14.0f %.0f\n", e.name, std::log2(static_cast<double>(e.space_pages)),
+           oracle::expected_probes(e.space_pages, e.region_pages));
+  }
+
+  printf("\nAt ~1 virtual ms per probe, even the 2^25-probe SafeStack sweep is\n");
+  printf("hours of quiet probing — with zero crashes for a defender to notice.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// §V-C reproduction: the system-wide exception-handler funnel over 187 DLLs.
+//
+// Paper numbers: 6,745 C-specific handlers in 187 DLLs, using 5,751 unique
+// filter functions; after symbolic execution 808 filters remain AV-capable,
+// used by 1,797 handlers; cross-referencing against the browsing trace
+// leaves 385 guarded code parts actually executed (736,512 trigger events).
+//
+// The corpus (the 10 named DLLs + 177 filler DLLs) is generated with
+// matching composition; all funnel numbers below are measured by the
+// pipeline.
+
+#include <cstdio>
+
+#include "analysis/guard_audit.h"
+#include "analysis/report.h"
+#include "analysis/seh_analysis.h"
+#include "targets/browser.h"
+#include "trace/tracer.h"
+
+int main() {
+  using namespace crp;
+
+  printf("bench_seh_funnel — §V-C: system-wide SEH funnel (187 DLLs)\n");
+  printf("===========================================================\n\n");
+
+  constexpr int kFillerDlls = 177;
+
+  os::Kernel kernel;
+  targets::BrowserSim::Options opts;
+  opts.kind = targets::BrowserSim::Kind::kIE;
+  opts.seed = 0x5EF;
+  opts.filler_dlls = kFillerDlls;
+  targets::BrowserSim browser(kernel, opts);
+  trace::Tracer tracer(kernel, browser.proc());
+
+  printf("[1] static extraction over %zu DLL images...\n", browser.dlls().size());
+  analysis::SehExtractor ex;
+  for (const auto& d : browser.dlls()) CRP_CHECK(ex.add_image_bytes(isa::write_image(*d.image)));
+  printf("    %zu C-specific handlers, %zu unique filter functions\n\n",
+         ex.handlers().size(), ex.unique_filters().size());
+
+  printf("[2] symbolic execution of every filter...\n");
+  analysis::FilterClassifier fc;
+  auto filters = fc.classify_all(ex);
+  size_t av_filters = 0, av_handlers = 0, manual = 0;
+  for (const auto& f : filters) {
+    if (f.offset == isa::kFilterCatchAll) continue;
+    if (f.verdict == analysis::FilterVerdict::kAcceptsAv) {
+      ++av_filters;
+      av_handlers += f.handlers_using;
+    }
+    if (f.verdict == analysis::FilterVerdict::kNeedsManual) ++manual;
+  }
+  // Catch-all handlers are AV-capable by construction.
+  size_t catch_all_handlers = 0;
+  for (const auto& h : ex.handlers()) catch_all_handlers += h.catch_all ? 1 : 0;
+  printf("    %zu AV-capable filters (+%zu needing manual review),\n", av_filters, manual);
+  printf("    used by %zu handlers (+%zu catch-all handlers)\n\n", av_handlers,
+         catch_all_handlers);
+
+  printf("[3] browsing workload + coverage cross-reference...\n");
+  browser.crawl();
+  for (u64 site = 0; site < 500; ++site) browser.visit_page(site);
+  browser.pump(2'500'000'000);
+  auto stats = analysis::CoverageXref::compute(ex, filters, &tracer, &browser.proc());
+  size_t on_path = 0;
+  u64 events = 0;
+  size_t handlers_total = 0, av_capable_sites = 0;
+  for (const auto& s : stats) {
+    on_path += s.guarded_on_path;
+    events += s.trigger_events;
+    handlers_total += s.guarded_total;
+    av_capable_sites += s.guarded_av_capable;
+  }
+
+  printf("\nFunnel (measured vs paper):\n");
+  printf("  DLLs analyzed:                 %4zu   (paper: 187)\n", browser.dlls().size());
+  printf("  C-specific handlers:           %4zu   (paper: 6745)\n", handlers_total);
+  printf("  unique filter functions:       %4zu   (paper: 5751)\n",
+         ex.unique_filters().size());
+  printf("  AV-capable filters after SB:   %4zu   (paper: 808)\n", av_filters);
+  printf("  handlers using them:           %4zu   (paper: 1797, incl. catch-all)\n",
+         av_handlers + catch_all_handlers);
+  printf("  AV-capable guarded locations:  %4zu\n", av_capable_sites);
+  printf("  executed guarded code parts:   %4zu   (paper: 385)\n", on_path);
+  printf("  trigger events on path:     %7llu   (paper: 736512)\n",
+         static_cast<unsigned long long>(events));
+
+  // §VII-B static refinement: which AV-capable guards protect an actual
+  // dereference (attack candidates) vs. gratuitously broad filters
+  // (defender's narrowing worklist).
+  analysis::GuardAuditSummary audit = analysis::audit_guards(ex, filters);
+  printf("\nGuard audit (CFG-based, §VII-B):\n");
+  printf("  deref-guard candidates:        %4zu\n", audit.deref_guards);
+  printf("  gratuitously broad filters:    %4zu\n", audit.gratuitous);
+  printf("  properly narrow guards:        %4zu\n", audit.narrow);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table I reproduction: the syscall candidate matrix over the five server
+// simulacra (Nginx, Cherokee, Lighttpd, Memcached, PostgreSQL).
+//
+// For each server: run its test suite under byte-granular taint tracking,
+// collect EFAULT-capable syscalls with pointer arguments, then verify each
+// candidate by corrupting the pointer (register + live memory home) in a
+// fresh instance and observing process + service health.
+//
+// Paper ground truth (§V-A):
+//   usable (+): recv@nginx, epoll_wait@cherokee, read@lighttpd,
+//               read@memcached, epoll_wait@postgresql
+//   false positive: epoll_wait@memcached (connection thread dies silently)
+//   everything else observed: invalid (crash or not attacker-steerable).
+
+#include <cstdio>
+#include <map>
+
+#include "analysis/report.h"
+#include "analysis/syscall_scanner.h"
+#include "targets/servers.h"
+
+int main() {
+  using namespace crp;
+
+  printf("bench_table1 — Table I: syscall-based crash-resistant primitives\n");
+  printf("=================================================================\n\n");
+
+  std::map<std::string, analysis::SyscallScanResult> results;
+  std::vector<std::string> names;
+  int usable = 0, fps = 0;
+
+  for (analysis::TargetProgram& target : targets::all_servers()) {
+    printf("scanning %-14s ...", target.name.c_str());
+    fflush(stdout);
+    analysis::SyscallScanner scanner(target);
+    analysis::SyscallScanResult res = scanner.run_full();
+    int u = 0, f = 0;
+    for (const auto& c : res.candidates) {
+      u += c.verdict == analysis::Verdict::kUsable ? 1 : 0;
+      f += c.verdict == analysis::Verdict::kFalsePositive ? 1 : 0;
+    }
+    printf(" %zu observed, %zu candidates, %d usable, %d false-positive\n",
+           res.observed.size(), res.candidates.size(), u, f);
+    usable += u;
+    fps += f;
+    names.push_back(target.name);
+    results[target.name] = std::move(res);
+  }
+
+  printf("\nTable I (measured)\n");
+  printf("  (+) usable   FP false positive   +- observed/invalid   . not on path\n\n");
+  printf("%s\n", analysis::render_table1(names, results).c_str());
+
+  printf("Paper Table I (expected pattern): one usable primitive per server —\n");
+  printf("nginx:recv, cherokee:epoll_wait, lighttpd:read, memcached:read,\n");
+  printf("postgresql:epoll_wait — plus memcached:epoll_wait as a false positive.\n");
+  printf("Measured: %d usable, %d false positive.\n", usable, fps);
+  return 0;
+}

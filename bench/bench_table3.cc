@@ -1,0 +1,54 @@
+// Table III reproduction: unique exception filter functions per DLL before
+// and after symbolic execution, for both the 64-bit and 32-bit populations.
+//
+// Both corpora are analyzed purely statically (parse scope tables out of the
+// serialized images, symbolically execute every unique filter, ask the SAT
+// backend whether any path accepts an access violation).
+//
+// Paper Table III highlights: "only 4 of 126 filter functions remain in
+// sechost.dll, while 9 of 129 are left in msvcrt.dll"; system-wide, symbolic
+// execution drops the majority of filters.
+
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "analysis/seh_analysis.h"
+#include "targets/dll_corpus.h"
+
+namespace {
+
+std::vector<crp::analysis::ModuleSehStats> analyze(
+    const std::vector<crp::targets::DllSpec>& specs, crp::u64 seed) {
+  using namespace crp;
+  analysis::SehExtractor ex;
+  for (const auto& spec : specs) {
+    auto dll = targets::generate_dll(spec, seed);
+    CRP_CHECK(ex.add_image_bytes(isa::write_image(*dll.image)));
+  }
+  analysis::FilterClassifier fc;
+  auto filters = fc.classify_all(ex);
+  printf("  machine population: %zu handlers, %zu filters, %llu SAT queries\n",
+         ex.handlers().size(), ex.unique_filters().size(),
+         static_cast<unsigned long long>(fc.sat_queries()));
+  return analysis::CoverageXref::compute(ex, filters, nullptr, nullptr);
+}
+
+}  // namespace
+
+int main() {
+  using namespace crp;
+
+  printf("bench_table3 — Table III: exception filters before/after symbolic execution\n");
+  printf("============================================================================\n\n");
+
+  printf("x64 population:\n");
+  auto x64 = analyze(targets::paper_dll_specs(), 0x7AB1E3);
+  printf("x32 population:\n");
+  auto x32 = analyze(targets::paper_dll_specs_x32(), 0x7AB1E3 ^ 32);
+  printf("\n%s\n", analysis::render_table3(x64, x32).c_str());
+
+  printf("Paper anchors: sechost 126 -> 4, msvcrt 129 -> 9; symbolic execution\n");
+  printf("\"significantly reduces the set of exception filters\" — the after/before\n");
+  printf("ratio should sit well under 30%% for most system DLLs.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// inspect_image: objdump-style viewer for MVX binaries — the static side of
+// CRProbe as a standalone tool.
+//
+//   ./build/examples/inspect_image                # generate + inspect a demo DLL
+//   ./build/examples/inspect_image file.mvx       # inspect an MVX binary
+//   ./build/examples/inspect_image file.s         # assemble + inspect sources
+//   ./build/examples/inspect_image --emit file.mvx  # write the demo DLL to disk
+//
+// Shows: sections, symbols, exports, the exception directory (scope table),
+// a recursive-traversal disassembly, the per-filter symbolic-execution
+// verdicts, and the §VII-B guard audit.
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "analysis/guard_audit.h"
+#include "analysis/seh_analysis.h"
+#include "cfg/cfg.h"
+#include "isa/asm_text.h"
+#include "isa/image.h"
+#include "targets/dll_corpus.h"
+#include "util/hexdump.h"
+
+namespace {
+
+using namespace crp;
+
+isa::Image demo_image() {
+  targets::DllSpec spec{"demo_dll", isa::Machine::kX64, 8, 3, 0, 5, 2};
+  return *targets::generate_dll(spec, 0xD3370).image;
+}
+
+void inspect(const isa::Image& img) {
+  printf("image: %s  (%s, %s)\n", img.name.c_str(), img.is_dll ? "dll" : "exe",
+         img.machine == isa::Machine::kX64 ? "x64" : "x32");
+  printf("entry: 0x%llx   mapped size: %s\n\n",
+         static_cast<unsigned long long>(img.entry),
+         human_size(img.mapped_size()).c_str());
+
+  printf("sections:\n");
+  for (const auto& s : img.sections)
+    printf("  %-8s %6zu bytes  %s%s\n", s.name.c_str(), s.bytes.size(),
+           s.writable ? "W" : "-", s.executable ? "X" : "-");
+
+  printf("\nexports (%zu):\n", img.exports.size());
+  for (const auto& e : img.exports)
+    printf("  0x%06llx  %s\n", static_cast<unsigned long long>(e.offset), e.name.c_str());
+
+  printf("\nexception directory (%zu scope entries):\n", img.scopes.size());
+  for (const auto& sc : img.scopes) {
+    printf("  [0x%06llx, 0x%06llx)  filter=%-10s handler=0x%06llx\n",
+           static_cast<unsigned long long>(sc.begin),
+           static_cast<unsigned long long>(sc.end),
+           sc.filter == isa::kFilterCatchAll
+               ? "CATCH-ALL"
+               : strf("0x%06llx", static_cast<unsigned long long>(sc.filter)).c_str(),
+           static_cast<unsigned long long>(sc.handler));
+  }
+
+  // Symbolic classification of the filters.
+  analysis::SehExtractor ex;
+  ex.add_image(std::make_shared<isa::Image>(img));
+  analysis::FilterClassifier fc;
+  auto filters = fc.classify_all(ex);
+  printf("\nfilter verdicts (symbolic execution + SAT):\n");
+  for (const auto& f : filters) {
+    printf("  %-10s %s  (%zu paths, used by %zu handlers)\n",
+           f.offset == isa::kFilterCatchAll
+               ? "CATCH-ALL"
+               : strf("0x%06llx", static_cast<unsigned long long>(f.offset)).c_str(),
+           analysis::filter_verdict_name(f.verdict), f.paths_explored, f.handlers_using);
+  }
+
+  // §VII-B guard audit.
+  auto audit = analysis::audit_guards(ex, filters);
+  printf("\nguard audit: %zu deref-guard candidates, %zu gratuitous, %zu narrow\n",
+         audit.deref_guards, audit.gratuitous, audit.narrow);
+
+  // Disassembly of the first couple of basic blocks per function.
+  cfg::Cfg g = cfg::Cfg::build_all(img);
+  printf("\ncfg: %zu basic blocks, %zu instructions, %zu function entries\n",
+         g.blocks().size(), g.instruction_count(), g.function_entries().size());
+  printf("\ndisassembly (first 24 reachable instructions):\n");
+  int shown = 0;
+  for (const auto& [off, bb] : g.blocks()) {
+    for (const auto& [ioff, ins] : g.instructions_in(bb.begin, bb.end)) {
+      printf("  %06llx:  %s\n", static_cast<unsigned long long>(ioff),
+             isa::disasm(ins, ioff).c_str());
+      if (++shown >= 24) return;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crp;
+  if (argc >= 3 && std::string(argv[1]) == "--emit") {
+    auto bytes = isa::write_image(demo_image());
+    std::ofstream out(argv[2], std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    printf("wrote %zu bytes to %s\n", bytes.size(), argv[2]);
+    return 0;
+  }
+  if (argc >= 2) {
+    std::string path = argv[1];
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::vector<u8> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    if (path.size() >= 2 && path.substr(path.size() - 2) == ".s") {
+      std::string err;
+      auto img = isa::assemble_text(
+          std::string_view(reinterpret_cast<const char*>(bytes.data()), bytes.size()),
+          &err);
+      if (!img.has_value()) {
+        fprintf(stderr, "assembly failed: %s\n", err.c_str());
+        return 1;
+      }
+      inspect(*img);
+      return 0;
+    }
+    auto img = isa::read_image(bytes);
+    if (!img.has_value()) {
+      fprintf(stderr, "%s is not a valid MVX image\n", path.c_str());
+      return 1;
+    }
+    inspect(*img);
+    return 0;
+  }
+  inspect(demo_image());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: discover crash-resistant primitives in one target.
+//
+// Pipeline shown end-to-end on nginx_sim:
+//   1. instantiate the target in a simulated kernel,
+//   2. run its test-suite workload under byte-granular taint tracking,
+//   3. verify every candidate by corrupting the pointer and watching both
+//      the process and the *service*,
+//   4. print the verdicts.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "analysis/syscall_scanner.h"
+#include "targets/nginx.h"
+
+int main() {
+  using namespace crp;
+
+  printf("CRProbe quickstart — crash-resistant primitive discovery\n");
+  printf("=========================================================\n\n");
+
+  analysis::TargetProgram target = targets::make_nginx();
+  printf("Target: %s (Linux personality, port %u)\n\n", target.name.c_str(),
+         targets::kNginxPort);
+
+  analysis::SyscallScanner scanner(target);
+
+  printf("[1/2] discovery: running the test suite under taint tracking...\n");
+  analysis::SyscallScanResult result = scanner.discover();
+  printf("      %llu syscalls traced, %zu EFAULT-capable syscalls observed,\n",
+         static_cast<unsigned long long>(result.syscalls_traced), result.observed.size());
+  printf("      %zu pointer-argument candidates recorded\n\n", result.candidates.size());
+
+  printf("[2/2] verification: corrupting each candidate pointer and checking\n");
+  printf("      process + service health (fresh instance per candidate)...\n\n");
+  for (analysis::Candidate& c : result.candidates) scanner.verify(c);
+
+  printf("%s\n", analysis::render_candidates(result.candidates).c_str());
+
+  int usable = 0;
+  for (const auto& c : result.candidates)
+    usable += c.verdict == analysis::Verdict::kUsable ? 1 : 0;
+  printf("==> %d usable crash-resistant primitive(s) found.\n", usable);
+  printf("    An attacker can probe this server's address space with ZERO crashes.\n");
+  return usable > 0 ? 0 : 1;
+}

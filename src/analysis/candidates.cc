@@ -1,0 +1,60 @@
+#include "analysis/candidates.h"
+
+namespace crp::analysis {
+
+const char* primitive_class_name(PrimitiveClass c) {
+  switch (c) {
+    case PrimitiveClass::kSyscall: return "syscall";
+    case PrimitiveClass::kWinApi: return "winapi";
+    case PrimitiveClass::kExceptionHandler: return "exception-handler";
+    case PrimitiveClass::kSwallowedException: return "swallowed-exception";
+  }
+  return "?";
+}
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kUntested: return "untested";
+    case Verdict::kCrashes: return "crashes";
+    case Verdict::kNotControllable: return "not-controllable";
+    case Verdict::kUsable: return "usable";
+    case Verdict::kFalsePositive: return "false-positive";
+  }
+  return "?";
+}
+
+const char* exclusion_reason_name(ExclusionReason r) {
+  switch (r) {
+    case ExclusionReason::kNone: return "none";
+    case ExclusionReason::kStackPointer: return "stack-pointer";
+    case ExclusionReason::kDerefedOutside: return "derefed-outside";
+    case ExclusionReason::kVolatileHeap: return "volatile-heap";
+  }
+  return "?";
+}
+
+std::string Candidate::describe() const {
+  switch (cls) {
+    case PrimitiveClass::kSyscall:
+      return strf("[syscall] %s: %s(arg%d) taint=0x%llx verdict=%s%s%s", target.c_str(),
+                  os::sys_name(syscall), pointer_arg,
+                  static_cast<unsigned long long>(taint_mask), verdict_name(verdict),
+                  note.empty() ? "" : " — ", note.c_str());
+    case PrimitiveClass::kWinApi:
+      return strf("[winapi] %s: %s @0x%llx js=%d excl=%s verdict=%s", target.c_str(),
+                  api_name.c_str(), static_cast<unsigned long long>(call_site),
+                  script_triggerable ? 1 : 0, exclusion_reason_name(exclusion),
+                  verdict_name(verdict));
+    case PrimitiveClass::kExceptionHandler:
+      return strf("[seh] %s!%s scope=[0x%llx,0x%llx) filter=%s verdict=%s", target.c_str(),
+                  module.c_str(), static_cast<unsigned long long>(scope_begin),
+                  static_cast<unsigned long long>(scope_end),
+                  catch_all ? "catch-all" : strf("0x%llx", static_cast<unsigned long long>(filter_off)).c_str(),
+                  verdict_name(verdict));
+    case PrimitiveClass::kSwallowedException:
+      return strf("[swallowed] %s", target.c_str());
+  }
+  return "?";
+}
+
+}  // namespace crp::analysis

@@ -1,0 +1,66 @@
+#include "analysis/guard_audit.h"
+
+namespace crp::analysis {
+
+const char* guard_kind_name(GuardKind k) {
+  switch (k) {
+    case GuardKind::kDerefGuard: return "deref-guard";
+    case GuardKind::kGratuitous: return "gratuitous";
+    case GuardKind::kNarrow: return "narrow";
+  }
+  return "?";
+}
+
+std::map<std::string, std::pair<size_t, size_t>> GuardAuditSummary::per_module() const {
+  std::map<std::string, std::pair<size_t, size_t>> out;
+  for (const auto& e : entries) {
+    auto& [derefs, grat] = out[e.site.module];
+    if (e.kind == GuardKind::kDerefGuard) ++derefs;
+    if (e.kind == GuardKind::kGratuitous) ++grat;
+  }
+  return out;
+}
+
+GuardAuditSummary audit_guards(const SehExtractor& ex,
+                               const std::vector<FilterInfo>& filters) {
+  GuardAuditSummary out;
+
+  auto accepts = [&](const HandlerSite& h) {
+    if (h.catch_all) return true;
+    for (const auto& f : filters)
+      if (f.module == h.module && f.offset == h.scope.filter)
+        return f.verdict == FilterVerdict::kAcceptsAv;
+    return false;
+  };
+
+  std::map<std::string, cfg::Cfg> cfgs;
+  for (const auto& img : ex.images()) cfgs.emplace(img->name, cfg::Cfg::build_all(*img));
+
+  for (const auto& h : ex.handlers()) {
+    GuardAuditEntry entry;
+    entry.site = h;
+    auto it = cfgs.find(h.module);
+    if (it != cfgs.end()) {
+      auto instrs = it->second.instructions_in(h.scope.begin, h.scope.end);
+      entry.region_instrs = instrs.size();
+      for (const auto& [off, ins] : instrs) {
+        if (ins.op == isa::Op::kLoad) ++entry.region_loads;
+        if (ins.op == isa::Op::kStore) ++entry.region_stores;
+      }
+    }
+    if (!accepts(h)) {
+      entry.kind = GuardKind::kNarrow;
+      ++out.narrow;
+    } else if (entry.region_loads + entry.region_stores > 0) {
+      entry.kind = GuardKind::kDerefGuard;
+      ++out.deref_guards;
+    } else {
+      entry.kind = GuardKind::kGratuitous;
+      ++out.gratuitous;
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace crp::analysis

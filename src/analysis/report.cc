@@ -1,0 +1,107 @@
+#include "analysis/report.h"
+
+#include "util/table.h"
+
+namespace crp::analysis {
+
+std::string render_table1(const std::vector<std::string>& servers,
+                          const std::map<std::string, SyscallScanResult>& results) {
+  TextTable t;
+  std::vector<std::string> hdr = {"Syscall"};
+  for (const auto& s : servers) hdr.push_back(s);
+  t.header(hdr);
+
+  for (os::Sys nr : os::efault_capable_syscalls()) {
+    std::vector<std::string> row = {os::sys_name(nr)};
+    bool any = false;
+    for (const auto& server : servers) {
+      auto it = results.find(server);
+      std::string cell = ".";
+      if (it != results.end()) {
+        const SyscallScanResult& r = it->second;
+        if (r.observed.contains(nr)) {
+          cell = "+-";
+          for (const auto& c : r.candidates) {
+            if (c.syscall != nr) continue;
+            if (c.verdict == Verdict::kUsable) cell = "(+)";
+            if (c.verdict == Verdict::kFalsePositive && cell != "(+)") cell = "FP";
+          }
+          any = true;
+        }
+      }
+      row.push_back(cell);
+    }
+    if (any) t.row(row);
+  }
+  return t.render();
+}
+
+std::string render_table2(const std::vector<ModuleSehStats>& stats) {
+  TextTable t;
+  t.header({"DLL", "# guarded before SB", "# guarded after SB", "# on execution path",
+            "trigger events"});
+  size_t tot_b = 0, tot_a = 0, tot_p = 0;
+  u64 tot_e = 0;
+  for (const auto& s : stats) {
+    if (s.guarded_total == 0) continue;
+    t.row({s.module, strf("%zu", s.guarded_total), strf("%zu", s.guarded_av_capable),
+           strf("%zu", s.guarded_on_path), strf("%llu", static_cast<unsigned long long>(s.trigger_events))});
+    tot_b += s.guarded_total;
+    tot_a += s.guarded_av_capable;
+    tot_p += s.guarded_on_path;
+    tot_e += s.trigger_events;
+  }
+  t.row({"TOTAL", strf("%zu", tot_b), strf("%zu", tot_a), strf("%zu", tot_p),
+         strf("%llu", static_cast<unsigned long long>(tot_e))});
+  return t.render();
+}
+
+std::string render_table3(const std::vector<ModuleSehStats>& x64,
+                          const std::vector<ModuleSehStats>& x32) {
+  TextTable t;
+  t.header({"DLL", "x64 before SB", "x64 after SB", "x32 before SB", "x32 after SB"});
+  std::map<std::string, std::pair<const ModuleSehStats*, const ModuleSehStats*>> merged;
+  for (const auto& s : x64) merged[s.module].first = &s;
+  for (const auto& s : x32) merged[s.module].second = &s;
+  size_t t64b = 0, t64a = 0, t32b = 0, t32a = 0;
+  for (const auto& [name, pair] : merged) {
+    auto [a, b] = pair;
+    size_t f64b = a != nullptr ? a->filters_total : 0;
+    size_t f64a = a != nullptr ? a->filters_av_capable : 0;
+    size_t f32b = b != nullptr ? b->filters_total : 0;
+    size_t f32a = b != nullptr ? b->filters_av_capable : 0;
+    if (f64b + f32b == 0) continue;
+    t.row({name, strf("%zu", f64b), strf("%zu", f64a), strf("%zu", f32b), strf("%zu", f32a)});
+    t64b += f64b;
+    t64a += f64a;
+    t32b += f32b;
+    t32a += f32a;
+  }
+  t.row({"TOTAL", strf("%zu", t64b), strf("%zu", t64a), strf("%zu", t32b), strf("%zu", t32a)});
+  return t.render();
+}
+
+std::string render_api_funnel(const ApiFunnel& f) {
+  std::string out;
+  out += strf("API population:            %u\n", f.total);
+  out += strf("  with pointer argument:   %u (%.1f%%)\n", f.with_pointer,
+              f.total != 0 ? 100.0 * f.with_pointer / f.total : 0.0);
+  out += strf("  crash-resistant (fuzz):  %u\n", f.crash_resistant);
+  out += strf("  on execution path:       %u\n", f.on_execution_path);
+  out += strf("  script-triggerable:      %u\n", f.script_triggerable);
+  out += strf("  pointer controllable:    %u\n", f.controllable);
+  if (!f.exclusion_histogram.empty()) {
+    out += "  exclusion reasons:\n";
+    for (const auto& [name, n] : f.exclusion_histogram)
+      out += strf("    %-18s %u\n", name.c_str(), n);
+  }
+  return out;
+}
+
+std::string render_candidates(const std::vector<Candidate>& cands) {
+  std::string out;
+  for (const auto& c : cands) out += c.describe() + "\n";
+  return out;
+}
+
+}  // namespace crp::analysis

@@ -1,0 +1,210 @@
+#include "analysis/seh_analysis.h"
+
+#include <algorithm>
+
+#include "symex/filter_exec.h"
+#include "symex/solver.h"
+#include "util/log.h"
+
+namespace crp::analysis {
+
+const char* filter_verdict_name(FilterVerdict v) {
+  switch (v) {
+    case FilterVerdict::kAcceptsAv: return "accepts-av";
+    case FilterVerdict::kRejectsAv: return "rejects-av";
+    case FilterVerdict::kNeedsManual: return "needs-manual";
+  }
+  return "?";
+}
+
+bool SehExtractor::add_image_bytes(std::span<const u8> bytes) {
+  std::optional<isa::Image> img = isa::read_image(bytes);
+  if (!img.has_value()) return false;
+  add_image(std::make_shared<isa::Image>(std::move(*img)));
+  return true;
+}
+
+void SehExtractor::add_image(std::shared_ptr<const isa::Image> image) {
+  for (const auto& sc : image->scopes) {
+    HandlerSite site;
+    site.module = image->name;
+    site.machine = image->machine;
+    site.scope = sc;
+    site.catch_all = sc.filter == isa::kFilterCatchAll;
+    handlers_.push_back(site);
+  }
+  images_.push_back(std::move(image));
+}
+
+std::vector<std::pair<std::string, u64>> SehExtractor::unique_filters() const {
+  std::set<std::pair<std::string, u64>> set;
+  for (const auto& h : handlers_)
+    if (!h.catch_all) set.emplace(h.module, h.scope.filter);
+  return {set.begin(), set.end()};
+}
+
+std::vector<const HandlerSite*> SehExtractor::handlers_in(const std::string& module) const {
+  std::vector<const HandlerSite*> out;
+  for (const auto& h : handlers_)
+    if (h.module == module) out.push_back(&h);
+  return out;
+}
+
+FilterVerdict FilterClassifier::classify(const isa::Image& image, u64 filter_off,
+                                         size_t* paths_out) {
+  symex::Ctx ctx;
+  symex::FilterExecutor fx(ctx, image);
+  symex::FilterAnalysis fa = fx.explore(filter_off, opts_.max_paths, opts_.max_steps);
+  ++executed_;
+  if (paths_out != nullptr) *paths_out = fa.paths.size();
+
+  bool any_unknown = fa.truncated;
+  for (const auto& path : fa.paths) {
+    // Query: path ∧ exc_code = AV ∧ disposition handles it.
+    symex::Solver s(ctx);
+    s.add(path.cond);
+    s.add(ctx.eq(fx.exc_code(),
+                 ctx.constant(static_cast<u64>(vm::ExcCode::kAccessViolation))));
+    symex::ExprRef handles =
+        ctx.eq(path.ret, ctx.constant(symex::kDispExecuteHandler));
+    if (opts_.continue_execution_counts)
+      handles = ctx.lor(handles,
+                        ctx.eq(path.ret, ctx.constant(symex::kDispContinueExecution)));
+    s.add(handles);
+    ++queries_;
+    symex::SatResult r = s.check(opts_.solver_conflicts);
+    if (r == symex::SatResult::kSat) {
+      // A path that only accepts because of an unconstrained external call
+      // is not a clean verdict (the paper's manual-verification bucket).
+      if (path.external_call) {
+        any_unknown = true;
+        continue;
+      }
+      return FilterVerdict::kAcceptsAv;
+    }
+    if (r == symex::SatResult::kUnknown) any_unknown = true;
+  }
+  return any_unknown ? FilterVerdict::kNeedsManual : FilterVerdict::kRejectsAv;
+}
+
+std::vector<FilterInfo> FilterClassifier::classify_all(const SehExtractor& ex) {
+  std::vector<FilterInfo> out;
+  for (const auto& [module, off] : ex.unique_filters()) {
+    const isa::Image* img = nullptr;
+    for (const auto& im : ex.images())
+      if (im->name == module) img = im.get();
+    if (img == nullptr) continue;
+    FilterInfo info;
+    info.module = module;
+    info.offset = off;
+    info.machine = img->machine;
+    info.verdict = classify(*img, off, &info.paths_explored);
+    for (const auto& h : ex.handlers())
+      if (h.module == module && !h.catch_all && h.scope.filter == off) ++info.handlers_using;
+    out.push_back(info);
+  }
+  // Catch-all "filters" are structurally accepting; represent them with one
+  // synthetic row per module that uses them (offset = kFilterCatchAll).
+  std::map<std::string, size_t> catch_all_users;
+  for (const auto& h : ex.handlers())
+    if (h.catch_all) ++catch_all_users[h.module];
+  for (const auto& [module, n] : catch_all_users) {
+    const isa::Image* img = nullptr;
+    for (const auto& im : ex.images())
+      if (im->name == module) img = im.get();
+    FilterInfo info;
+    info.module = module;
+    info.offset = isa::kFilterCatchAll;
+    info.machine = img != nullptr ? img->machine : isa::Machine::kX64;
+    info.verdict = FilterVerdict::kAcceptsAv;
+    info.handlers_using = n;
+    out.push_back(info);
+  }
+  return out;
+}
+
+namespace {
+
+bool filter_accepts(const std::vector<FilterInfo>& filters, const std::string& module,
+                    u64 filter_off, bool catch_all) {
+  if (catch_all) return true;
+  for (const auto& f : filters)
+    if (f.module == module && f.offset == filter_off)
+      return f.verdict == FilterVerdict::kAcceptsAv;
+  return false;
+}
+
+}  // namespace
+
+std::vector<ModuleSehStats> CoverageXref::compute(const SehExtractor& ex,
+                                                  const std::vector<FilterInfo>& filters,
+                                                  const trace::Tracer* tracer,
+                                                  const os::Process* proc) {
+  std::map<std::string, ModuleSehStats> stats;
+  for (const auto& img : ex.images()) {
+    ModuleSehStats& s = stats[img->name];
+    s.module = img->name;
+    s.machine = img->machine;
+  }
+
+  for (const auto& h : ex.handlers()) {
+    ModuleSehStats& s = stats[h.module];
+    ++s.guarded_total;
+    bool av = filter_accepts(filters, h.module, h.scope.filter, h.catch_all);
+    if (!av) continue;
+    ++s.guarded_av_capable;
+    if (tracer != nullptr && proc != nullptr) {
+      const vm::LoadedModule* mod = proc->machine().module_named(h.module);
+      if (mod != nullptr) {
+        gva_t begin = mod->code_addr(h.scope.begin);
+        gva_t end = mod->code_addr(h.scope.end);
+        if (tracer->executed_in_range(begin, end)) {
+          ++s.guarded_on_path;
+          s.trigger_events += tracer->hits_in_range(begin, end);
+        }
+      }
+    }
+  }
+
+  for (const auto& f : filters) {
+    if (f.offset == isa::kFilterCatchAll) continue;  // Table III counts functions
+    ModuleSehStats& s = stats[f.module];
+    ++s.filters_total;
+    if (f.verdict == FilterVerdict::kAcceptsAv) ++s.filters_av_capable;
+  }
+
+  std::vector<ModuleSehStats> out;
+  for (auto& [_, s] : stats) out.push_back(std::move(s));
+  return out;
+}
+
+std::vector<Candidate> CoverageXref::candidates(const SehExtractor& ex,
+                                                const std::vector<FilterInfo>& filters,
+                                                const trace::Tracer* tracer,
+                                                const os::Process* proc,
+                                                const std::string& target_name) {
+  std::vector<Candidate> out;
+  for (const auto& h : ex.handlers()) {
+    if (!filter_accepts(filters, h.module, h.scope.filter, h.catch_all)) continue;
+    bool on_path = false;
+    if (tracer != nullptr && proc != nullptr) {
+      const vm::LoadedModule* mod = proc->machine().module_named(h.module);
+      if (mod != nullptr)
+        on_path = tracer->executed_in_range(mod->code_addr(h.scope.begin),
+                                            mod->code_addr(h.scope.end));
+    }
+    if (!on_path) continue;
+    Candidate c;
+    c.cls = PrimitiveClass::kExceptionHandler;
+    c.target = target_name;
+    c.module = h.module;
+    c.scope_begin = h.scope.begin;
+    c.scope_end = h.scope.end;
+    c.filter_off = h.scope.filter;
+    c.catch_all = h.catch_all;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace crp::analysis

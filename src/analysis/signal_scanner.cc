@@ -1,0 +1,70 @@
+#include "analysis/signal_scanner.h"
+
+#include "symex/filter_exec.h"
+#include "symex/solver.h"
+
+namespace crp::analysis {
+
+std::vector<SignalHandlerInfo> SignalScanner::scan(const os::Process& proc,
+                                                   ClassifyOptions opts) {
+  std::vector<SignalHandlerInfo> out;
+  for (int signo : {os::kSigbus, os::kSigfpe, os::kSigsegv}) {
+    gva_t handler = proc.machine().signal_handler(signo);
+    if (handler == 0) continue;
+
+    SignalHandlerInfo info;
+    info.signo = signo;
+    info.handler = handler;
+    const vm::LoadedModule* mod = proc.machine().module_at(handler);
+    if (mod == nullptr) {
+      info.module = "?";
+      out.push_back(info);
+      continue;
+    }
+    info.module = mod->image->name;
+    info.offset = handler - mod->code_base();
+
+    symex::Ctx ctx;
+    symex::FilterExecutor fx(ctx, *mod->image);
+    symex::FilterAnalysis fa = fx.explore(info.offset, opts.max_paths, opts.max_steps,
+                                          symex::FilterExecutor::Proto::kSignal);
+    info.paths_explored = fa.paths.size();
+    bool unknown = fa.truncated;
+    info.verdict = FilterVerdict::kRejectsAv;
+    for (const auto& path : fa.paths) {
+      if (!path.wrote_saved_pc) continue;  // returning unchanged = death loop
+      // Is this recovery path reachable for SIGSEGV?
+      symex::Solver s(ctx);
+      s.add(path.cond);
+      s.add(ctx.eq(fx.exc_code(), ctx.constant(static_cast<u64>(os::kSigsegv))));
+      symex::SatResult r = s.check(opts.solver_conflicts);
+      if (r == symex::SatResult::kSat && !path.external_call) {
+        info.verdict = FilterVerdict::kAcceptsAv;
+        break;
+      }
+      if (r == symex::SatResult::kUnknown || path.external_call) unknown = true;
+    }
+    if (info.verdict != FilterVerdict::kAcceptsAv && unknown)
+      info.verdict = FilterVerdict::kNeedsManual;
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<Candidate> SignalScanner::candidates(
+    const std::vector<SignalHandlerInfo>& handlers, const std::string& target_name) {
+  std::vector<Candidate> out;
+  for (const auto& h : handlers) {
+    if (h.verdict != FilterVerdict::kAcceptsAv) continue;
+    Candidate c;
+    c.cls = PrimitiveClass::kExceptionHandler;
+    c.target = target_name;
+    c.module = h.module;
+    c.filter_off = h.offset;
+    c.note = strf("signal handler (signo %d, recovers via ucontext)", h.signo);
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace crp::analysis

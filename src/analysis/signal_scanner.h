@@ -1,0 +1,40 @@
+// SignalScanner: the Linux face of the §III-B exception-handler class.
+//
+// On Linux, crash-resistant exception handling means a sigaction-installed
+// SIGSEGV/SIGBUS handler that *recovers* — edits the saved pc in the
+// ucontext so execution resumes somewhere useful (the idiom managed
+// runtimes use for implicit null checks). The scanner reads the runtime
+// signal table (the dynamic analog of AddVectoredExceptionHandler
+// harvesting), maps each handler back to its module, and symbolically
+// executes it under the signal prototype; a handler is a primitive
+// candidate if some SIGSEGV path writes the saved pc.
+#pragma once
+
+#include <vector>
+
+#include "analysis/candidates.h"
+#include "analysis/seh_analysis.h"
+#include "os/kernel.h"
+
+namespace crp::analysis {
+
+struct SignalHandlerInfo {
+  int signo = 0;
+  gva_t handler = 0;
+  std::string module;
+  u64 offset = 0;
+  FilterVerdict verdict = FilterVerdict::kNeedsManual;  // kAcceptsAv = recovers
+  size_t paths_explored = 0;
+};
+
+class SignalScanner {
+ public:
+  /// Inspect `proc`'s installed handlers for SIGBUS(7), SIGFPE(8), SIGSEGV(11).
+  static std::vector<SignalHandlerInfo> scan(const os::Process& proc,
+                                             ClassifyOptions opts = {});
+
+  static std::vector<Candidate> candidates(const std::vector<SignalHandlerInfo>& handlers,
+                                           const std::string& target_name);
+};
+
+}  // namespace crp::analysis

@@ -1,0 +1,46 @@
+// TargetProgram: everything the discovery pipeline needs to know about one
+// application under analysis — its images, how to drive its test suite (the
+// paper reuses each server's standard test suite, §IV-A), and how to check
+// that the *service* is still alive (the strategy that catches the
+// Memcached false positive, §V-A).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "os/kernel.h"
+
+namespace crp::analysis {
+
+struct TargetProgram {
+  std::string name;
+  vm::Personality personality = vm::Personality::kLinux;
+  std::vector<std::shared_ptr<const isa::Image>> images;  // DLLs first, main last
+  u16 port = 0;
+
+  /// Prepare the environment (VFS fixtures, upstream listeners) before the
+  /// process starts.
+  std::function<void(os::Kernel&)> setup;
+
+  /// Drive the application's workload (test suite / page visits) against a
+  /// freshly started instance; returns when the workload is complete or the
+  /// process died.
+  std::function<void(os::Kernel&, int pid)> workload;
+
+  /// True if the service still serves a brand-new client end-to-end.
+  std::function<bool(os::Kernel&, int pid)> service_alive;
+
+  /// Instantiate into a fresh kernel: setup + create + load + start. Returns pid.
+  int instantiate(os::Kernel& k, u64 aslr_seed) const {
+    if (setup) setup(k);
+    int pid = k.create_process(name, personality, aslr_seed);
+    for (const auto& img : images) k.proc(pid).load(img);
+    k.start_process(pid);
+    return pid;
+  }
+};
+
+}  // namespace crp::analysis

@@ -1,0 +1,73 @@
+#include "analysis/veh_scanner.h"
+
+#include "symex/filter_exec.h"
+#include "symex/solver.h"
+
+namespace crp::analysis {
+
+std::vector<VehHandlerInfo> VehScanner::scan(const trace::Tracer& tracer,
+                                             const os::Process& proc, ClassifyOptions opts) {
+  std::vector<VehHandlerInfo> out;
+  std::set<gva_t> seen;
+  for (const auto& rec : tracer.api_calls()) {
+    if (rec.api_id != os::kApiAddVeh) continue;
+    gva_t handler = rec.args[1];
+    if (handler == 0 || seen.contains(handler)) continue;
+    seen.insert(handler);
+
+    VehHandlerInfo info;
+    info.handler = handler;
+    const vm::LoadedModule* mod = proc.machine().module_at(handler);
+    if (mod == nullptr) {
+      info.module = "?";
+      out.push_back(info);
+      continue;
+    }
+    info.module = mod->image->name;
+    info.offset = handler - mod->code_base();
+
+    symex::Ctx ctx;
+    symex::FilterExecutor fx(ctx, *mod->image);
+    symex::FilterAnalysis fa = fx.explore(info.offset, opts.max_paths, opts.max_steps,
+                                          symex::FilterExecutor::Proto::kVeh);
+    info.paths_explored = fa.paths.size();
+    bool unknown = fa.truncated;
+    info.verdict = FilterVerdict::kRejectsAv;
+    for (const auto& path : fa.paths) {
+      symex::Solver s(ctx);
+      s.add(path.cond);
+      s.add(ctx.eq(fx.exc_code(),
+                   ctx.constant(static_cast<u64>(vm::ExcCode::kAccessViolation))));
+      // A VEH resolves the exception only via CONTINUE_EXECUTION (-1).
+      s.add(ctx.eq(path.ret, ctx.constant(symex::kDispContinueExecution)));
+      symex::SatResult r = s.check(opts.solver_conflicts);
+      if (r == symex::SatResult::kSat && !path.external_call) {
+        info.verdict = FilterVerdict::kAcceptsAv;
+        break;
+      }
+      if (r == symex::SatResult::kUnknown || path.external_call) unknown = true;
+    }
+    if (info.verdict != FilterVerdict::kAcceptsAv && unknown)
+      info.verdict = FilterVerdict::kNeedsManual;
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<Candidate> VehScanner::candidates(const std::vector<VehHandlerInfo>& handlers,
+                                              const std::string& target_name) {
+  std::vector<Candidate> out;
+  for (const auto& h : handlers) {
+    if (h.verdict != FilterVerdict::kAcceptsAv) continue;
+    Candidate c;
+    c.cls = PrimitiveClass::kExceptionHandler;
+    c.target = target_name;
+    c.module = h.module;
+    c.filter_off = h.offset;
+    c.note = "vectored handler (runtime-registered)";
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace crp::analysis

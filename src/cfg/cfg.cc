@@ -1,0 +1,203 @@
+#include "cfg/cfg.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace crp::cfg {
+
+const char* terminator_name(Terminator t) {
+  switch (t) {
+    case Terminator::kFallthrough: return "fallthrough";
+    case Terminator::kJump: return "jump";
+    case Terminator::kBranch: return "branch";
+    case Terminator::kIndirect: return "indirect";
+    case Terminator::kCall: return "call";
+    case Terminator::kReturn: return "return";
+    case Terminator::kHalt: return "halt";
+    case Terminator::kTrap: return "trap";
+    case Terminator::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+Cfg Cfg::build(const isa::Image& image, const std::vector<u64>& roots) {
+  Cfg out;
+  int cs = image.code_section();
+  if (cs < 0) return out;
+  const auto& code = image.sections[static_cast<size_t>(cs)].bytes;
+  u64 code_size = code.size();
+
+  auto decode_at = [&](u64 off) -> std::optional<isa::Instr> {
+    if (off + isa::kInstrBytes > code_size || off % isa::kInstrBytes != 0)
+      return std::nullopt;
+    return isa::decode(std::span<const u8>(code.data() + off, isa::kInstrBytes));
+  };
+
+  // Pass 1: recursive traversal; record instructions + leaders.
+  std::set<u64> leaders;
+  std::deque<u64> work;
+  for (u64 r : roots) {
+    if (r < code_size && r % isa::kInstrBytes == 0) {
+      work.push_back(r);
+      leaders.insert(r);
+      out.entries_.insert(r);
+    }
+  }
+
+  std::set<u64> visited;
+  while (!work.empty()) {
+    u64 off = work.front();
+    work.pop_front();
+    while (off < code_size && !visited.contains(off)) {
+      visited.insert(off);
+      std::optional<isa::Instr> ins = decode_at(off);
+      if (!ins.has_value()) break;
+      out.instrs_[off] = *ins;
+      u64 next = off + isa::kInstrBytes;
+      i64 imm = ins->imm;
+      auto enqueue = [&](u64 target) {
+        if (target < code_size && target % isa::kInstrBytes == 0 &&
+            !visited.contains(target)) {
+          work.push_back(target);
+        }
+        leaders.insert(target);
+      };
+      switch (ins->op) {
+        case isa::Op::kJmp:
+          enqueue(next + static_cast<u64>(imm));
+          off = code_size;  // end this walk
+          break;
+        case isa::Op::kJcc:
+          enqueue(next + static_cast<u64>(imm));
+          leaders.insert(next);
+          off = next;
+          break;
+        case isa::Op::kCall: {
+          u64 target = next + static_cast<u64>(imm);
+          enqueue(target);
+          out.entries_.insert(target);
+          leaders.insert(next);
+          off = next;
+          break;
+        }
+        case isa::Op::kRet:
+        case isa::Op::kHalt:
+        case isa::Op::kJmpR:
+          off = code_size;  // end of walk (indirect targets unknown)
+          break;
+        default:
+          off = next;
+          break;
+      }
+    }
+  }
+
+  // Pass 2: slice visited instruction runs into basic blocks at leaders.
+  std::vector<u64> offs;
+  offs.reserve(out.instrs_.size());
+  for (const auto& [o, _] : out.instrs_) offs.push_back(o);
+  std::sort(offs.begin(), offs.end());
+
+  size_t i = 0;
+  while (i < offs.size()) {
+    BasicBlock bb;
+    bb.begin = offs[i];
+    for (;;) {
+      u64 off = offs[i];
+      const isa::Instr& ins = out.instrs_.at(off);
+      ++bb.instr_count;
+      if (isa::reads_memory(ins.op)) ++bb.loads;
+      if (isa::writes_memory(ins.op)) ++bb.stores;
+      u64 next = off + isa::kInstrBytes;
+      i64 imm = ins.imm;
+
+      bool block_ends = true;
+      switch (ins.op) {
+        case isa::Op::kJmp:
+          bb.term = Terminator::kJump;
+          bb.succs.push_back(next + static_cast<u64>(imm));
+          break;
+        case isa::Op::kJcc:
+          bb.term = Terminator::kBranch;
+          bb.succs.push_back(next + static_cast<u64>(imm));
+          bb.succs.push_back(next);
+          break;
+        case isa::Op::kJmpR:
+          bb.term = Terminator::kIndirect;
+          break;
+        case isa::Op::kCall:
+          bb.term = Terminator::kCall;
+          bb.call_targets.push_back(next + static_cast<u64>(imm));
+          bb.succs.push_back(next);
+          break;
+        case isa::Op::kCallR:
+        case isa::Op::kCallImp:
+          bb.term = Terminator::kCall;
+          bb.succs.push_back(next);
+          break;
+        case isa::Op::kRet:
+          bb.term = Terminator::kReturn;
+          break;
+        case isa::Op::kHalt:
+          bb.term = Terminator::kHalt;
+          break;
+        case isa::Op::kSyscall:
+        case isa::Op::kApiCall:
+          bb.term = Terminator::kTrap;
+          bb.succs.push_back(next);
+          break;
+        default:
+          block_ends = false;
+          break;
+      }
+
+      ++i;
+      bool next_is_leader =
+          i < offs.size() && (offs[i] != next || leaders.contains(offs[i]));
+      if (block_ends || i >= offs.size() || next_is_leader) {
+        bb.end = next;
+        if (!block_ends) {
+          bb.term = Terminator::kFallthrough;
+          if (i < offs.size() && offs[i] == next) bb.succs.push_back(next);
+        }
+        break;
+      }
+    }
+    out.blocks_[bb.begin] = std::move(bb);
+  }
+  return out;
+}
+
+Cfg Cfg::build_all(const isa::Image& image) {
+  std::vector<u64> roots;
+  if (!image.is_dll) roots.push_back(image.entry);
+  for (const auto& e : image.exports) roots.push_back(e.offset);
+  for (const auto& sc : image.scopes) {
+    roots.push_back(sc.begin);
+    roots.push_back(sc.handler);
+    if (sc.filter != isa::kFilterCatchAll) roots.push_back(sc.filter);
+  }
+  return build(image, roots);
+}
+
+const BasicBlock* Cfg::block_at(u64 off) const {
+  auto it = blocks_.upper_bound(off);
+  if (it == blocks_.begin()) return nullptr;
+  --it;
+  return it->second.contains(off) ? &it->second : nullptr;
+}
+
+std::vector<std::pair<u64, isa::Instr>> Cfg::instructions_in(u64 begin, u64 end) const {
+  std::vector<std::pair<u64, isa::Instr>> out;
+  for (auto it = instrs_.lower_bound(begin); it != instrs_.end() && it->first < end; ++it)
+    out.emplace_back(it->first, it->second);
+  return out;
+}
+
+bool Cfg::derefs_in(u64 begin, u64 end) const {
+  for (const auto& [off, ins] : instructions_in(begin, end))
+    if (ins.op == isa::Op::kLoad || ins.op == isa::Op::kStore) return true;
+  return false;
+}
+
+}  // namespace crp::cfg

@@ -1,0 +1,88 @@
+// Static control-flow analysis over MVX images: recursive-traversal
+// disassembly into basic blocks, function discovery from exports / scope
+// tables / call targets, and per-region instruction queries.
+//
+// This is the static-analysis substrate (the IDA/Dyninst analog) that the
+// guard audit builds on: the paper observes that catch-all handlers over
+// code with "memory dereferences outside of the protected code area ...
+// usually indicate a handler which should not cover access violations"
+// (§VII-B) — deciding that requires exactly the queries this module
+// provides.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "isa/isa.h"
+
+namespace crp::cfg {
+
+/// How a basic block ends.
+enum class Terminator : u8 {
+  kFallthrough = 0,  // split by an incoming edge
+  kJump,
+  kBranch,      // conditional: two successors
+  kIndirect,    // jmpr: unknown successors
+  kCall,        // falls through after the call
+  kReturn,
+  kHalt,
+  kTrap,        // syscall/apicall (falls through)
+  kInvalid,     // undecodable instruction
+};
+
+const char* terminator_name(Terminator t);
+
+struct BasicBlock {
+  u64 begin = 0;  // code-section offset
+  u64 end = 0;    // exclusive
+  Terminator term = Terminator::kFallthrough;
+  std::vector<u64> succs;       // static successors (code offsets)
+  std::vector<u64> call_targets;  // direct call targets seen in the block
+  int loads = 0;    // memory-reading instructions (incl. pop/ret)
+  int stores = 0;   // memory-writing instructions (incl. push/call)
+  size_t instr_count = 0;
+
+  bool contains(u64 off) const { return off >= begin && off < end; }
+};
+
+/// CFG for one image's code section.
+class Cfg {
+ public:
+  /// Disassemble reachable code from `roots` (code offsets). Invalid or
+  /// out-of-range roots are ignored.
+  static Cfg build(const isa::Image& image, const std::vector<u64>& roots);
+
+  /// Convenience: roots = entry point + exports + scope filters/handlers +
+  /// guarded-region begins.
+  static Cfg build_all(const isa::Image& image);
+
+  const std::map<u64, BasicBlock>& blocks() const { return blocks_; }
+
+  /// Block containing code offset `off`, or nullptr.
+  const BasicBlock* block_at(u64 off) const;
+
+  /// All decoded instructions in [begin, end), in address order. Offsets
+  /// that never decoded (unreachable) are skipped.
+  std::vector<std::pair<u64, isa::Instr>> instructions_in(u64 begin, u64 end) const;
+
+  /// Does [begin, end) contain at least one explicit memory dereference
+  /// (load/store — stack push/pop and call/ret do not count: they cannot
+  /// fault on attacker-chosen addresses)?
+  bool derefs_in(u64 begin, u64 end) const;
+
+  /// Function entries discovered (roots + direct call targets).
+  const std::set<u64>& function_entries() const { return entries_; }
+
+  size_t instruction_count() const { return instrs_.size(); }
+
+ private:
+  std::map<u64, BasicBlock> blocks_;
+  std::map<u64, isa::Instr> instrs_;  // offset -> decoded instruction
+  std::set<u64> entries_;
+};
+
+}  // namespace crp::cfg

@@ -1,0 +1,52 @@
+#include "defense/rate_detector.h"
+
+namespace crp::defense {
+
+RateDetector::RateDetector(os::Kernel& kernel, os::Process& proc, Config cfg)
+    : k_(kernel), proc_(proc), cfg_(cfg) {
+  proc_.machine().add_observer(this);
+}
+
+RateDetector::~RateDetector() { proc_.machine().remove_observer(this); }
+
+void RateDetector::on_exception(const vm::ExceptionRecord& rec, vm::DispatchOutcome outcome) {
+  if (rec.code != vm::ExcCode::kAccessViolation) return;
+  ++total_;
+  if (outcome == vm::DispatchOutcome::kUnhandled) return;  // the process dies anyway
+  ++handled_;
+  u64 now = k_.now_ns();
+  window_.push_back(now);
+  while (!window_.empty() && window_.front() + cfg_.window_ns < now) window_.pop_front();
+  peak_ = std::max<u64>(peak_, window_.size());
+  if (window_.size() >= cfg_.threshold) alarmed_ = true;
+}
+
+double RateDetector::peak_rate_per_sec() const {
+  return static_cast<double>(peak_) * 1e9 / static_cast<double>(cfg_.window_ns);
+}
+
+void RateDetector::reset() {
+  window_.clear();
+  total_ = handled_ = peak_ = 0;
+  alarmed_ = false;
+}
+
+std::vector<analysis::HandlerSite> audit_broad_filters(
+    const analysis::SehExtractor& ex, const std::vector<analysis::FilterInfo>& filters,
+    u64 max_benign_bytes) {
+  std::vector<analysis::HandlerSite> out;
+  for (const auto& h : ex.handlers()) {
+    bool broad = h.catch_all;
+    if (!broad) {
+      for (const auto& f : filters) {
+        if (f.module == h.module && f.offset == h.scope.filter &&
+            f.verdict == analysis::FilterVerdict::kAcceptsAv)
+          broad = true;
+      }
+    }
+    if (broad && h.scope.end - h.scope.begin > max_benign_bytes) out.push_back(h);
+  }
+  return out;
+}
+
+}  // namespace crp::defense

@@ -1,0 +1,71 @@
+// §VII countermeasures.
+//
+//   RateDetector     — anomaly detection on the rate of *handled* access
+//                      violations. The paper's baseline: top-40k browsing
+//                      shows ~0 AVs, asm.js stress shows short bursts
+//                      (groups of up to ~20), probing attacks show
+//                      thousands per second — orders of magnitude apart, so
+//                      a windowed threshold separates them cleanly.
+//   Mapped-only AVs  — implemented inside vm::Machine
+//                      (set_mapped_only_av_policy): an AV whose fault
+//                      address is unmapped bypasses every handler.
+//   Filter narrowing — audit_broad_filters() lists handlers whose filters
+//                      accept AVs but whose guarded code contains no
+//                      dereference that legitimately needs it (heuristic:
+//                      catch-all filters guarding non-trivial regions).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "analysis/seh_analysis.h"
+#include "os/kernel.h"
+#include "vm/hooks.h"
+
+namespace crp::defense {
+
+struct RateDetectorConfig {
+  u64 window_ns = 1'000'000'000;  // 1 virtual second
+  u64 threshold = 50;             // handled AVs per window before alarm
+};
+
+class RateDetector : public vm::ExecObserver {
+ public:
+  using Config = RateDetectorConfig;
+
+  RateDetector(os::Kernel& kernel, os::Process& proc, Config cfg = {});
+  ~RateDetector() override;
+
+  RateDetector(const RateDetector&) = delete;
+  RateDetector& operator=(const RateDetector&) = delete;
+
+  void on_exception(const vm::ExceptionRecord& rec, vm::DispatchOutcome outcome) override;
+
+  u64 total_avs() const { return total_; }
+  u64 handled_avs() const { return handled_; }
+  /// Highest number of handled AVs observed inside one window.
+  u64 peak_window_count() const { return peak_; }
+  double peak_rate_per_sec() const;
+  bool alarmed() const { return alarmed_; }
+  void reset();
+
+ private:
+  os::Kernel& k_;
+  os::Process& proc_;
+  Config cfg_;
+  std::deque<u64> window_;  // timestamps (ns) of handled AVs
+  u64 total_ = 0;
+  u64 handled_ = 0;
+  u64 peak_ = 0;
+  bool alarmed_ = false;
+};
+
+/// Handlers whose filters are broader than their guarded code plausibly
+/// needs: catch-all (or always-accepting) filters over regions larger than
+/// `max_benign_bytes` of code. The §VII "Improving exception filtering"
+/// audit an engineering team would run over its own binaries.
+std::vector<analysis::HandlerSite> audit_broad_filters(
+    const analysis::SehExtractor& ex, const std::vector<analysis::FilterInfo>& filters,
+    u64 max_benign_bytes = 4 * isa::kInstrBytes);
+
+}  // namespace crp::defense

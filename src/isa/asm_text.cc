@@ -1,0 +1,385 @@
+#include "isa/asm_text.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "isa/assembler.h"
+
+namespace crp::isa {
+
+namespace {
+
+struct Parser {
+  Assembler a;
+  std::string err;
+  int line_no = 0;
+  bool in_data = false;
+
+  explicit Parser() : a("a.out") {}
+
+  bool fail(const std::string& msg) {
+    if (err.empty()) err = strf("line %d: %s", line_no, msg.c_str());
+    return false;
+  }
+
+  // --- token helpers ---------------------------------------------------------
+
+  static std::string strip(std::string s) {
+    auto c = s.find(';');
+    if (c != std::string::npos) s.resize(c);
+    c = s.find('#');
+    if (c != std::string::npos) s.resize(c);
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+  }
+
+  /// Split "op rest" then rest by commas, trimming.
+  static std::vector<std::string> operands(const std::string& rest) {
+    std::vector<std::string> out;
+    std::string cur;
+    bool in_str = false;
+    for (char ch : rest) {
+      if (ch == '"') in_str = !in_str;
+      if (ch == ',' && !in_str) {
+        out.push_back(strip(cur));
+        cur.clear();
+      } else {
+        cur += ch;
+      }
+    }
+    if (!strip(cur).empty() || !out.empty()) out.push_back(strip(cur));
+    return out;
+  }
+
+  bool parse_reg(const std::string& t, Reg* out) {
+    static const std::map<std::string, Reg> names = {
+        {"r0", Reg::R0}, {"r1", Reg::R1}, {"r2", Reg::R2},   {"r3", Reg::R3},
+        {"r4", Reg::R4}, {"r5", Reg::R5}, {"r6", Reg::R6},   {"r7", Reg::R7},
+        {"r8", Reg::R8}, {"r9", Reg::R9}, {"r10", Reg::R10}, {"r11", Reg::R11},
+        {"tr", Reg::TR}, {"fp", Reg::FP}, {"sp", Reg::SP},   {"r12", Reg::TR},
+        {"r13", Reg::FP}, {"r14", Reg::SP}, {"r15", Reg::R15}};
+    auto it = names.find(t);
+    if (it == names.end()) return fail("bad register '" + t + "'");
+    *out = it->second;
+    return true;
+  }
+
+  bool parse_imm(const std::string& t, i64* out) {
+    if (t.empty()) return fail("missing immediate");
+    try {
+      size_t pos = 0;
+      *out = static_cast<i64>(std::stoll(t, &pos, 0));
+      if (pos != t.size()) return fail("bad immediate '" + t + "'");
+    } catch (...) {
+      return fail("bad immediate '" + t + "'");
+    }
+    return true;
+  }
+
+  /// "[reg+off]" / "[reg-off]" / "[reg]".
+  bool parse_mem(const std::string& t, Reg* reg, i64* off) {
+    if (t.size() < 3 || t.front() != '[' || t.back() != ']')
+      return fail("bad memory operand '" + t + "'");
+    std::string body = t.substr(1, t.size() - 2);
+    size_t sep = body.find_first_of("+-", 1);
+    std::string rpart = strip(sep == std::string::npos ? body : body.substr(0, sep));
+    *off = 0;
+    if (sep != std::string::npos) {
+      std::string opart = strip(body.substr(sep));  // includes the sign
+      if (!parse_imm(opart, off)) return false;
+    }
+    return parse_reg(rpart, reg);
+  }
+
+  bool is_ident(const std::string& t) {
+    if (t.empty() || (!std::isalpha(static_cast<u8>(t[0])) && t[0] != '_')) return false;
+    for (char ch : t)
+      if (!std::isalnum(static_cast<u8>(ch)) && ch != '_') return false;
+    return true;
+  }
+
+  // --- directives --------------------------------------------------------------
+
+  bool directive(const std::string& op, const std::string& rest) {
+    auto ops = operands(rest);
+    if (op == ".image") {
+      if (ops.size() != 1) return fail(".image NAME");
+      a = Assembler(ops[0]);  // restart with the right name (must be first)
+      return true;
+    }
+    if (op == ".dll") {
+      a.set_dll(true);
+      return true;
+    }
+    if (op == ".machine") {
+      if (ops.size() != 1 || (ops[0] != "x64" && ops[0] != "x32"))
+        return fail(".machine x64|x32");
+      a.set_machine(ops[0] == "x64" ? Machine::kX64 : Machine::kX32);
+      return true;
+    }
+    if (op == ".entry") {
+      if (ops.size() != 1) return fail(".entry LABEL");
+      a.set_entry(ops[0]);
+      return true;
+    }
+    if (op == ".export") {
+      if (ops.size() != 2) return fail(".export PUBLIC, LABEL");
+      a.export_fn(ops[0], ops[1]);
+      return true;
+    }
+    if (op == ".scope") {
+      if (ops.size() != 4) return fail(".scope BEGIN, END, FILTER, HANDLER");
+      a.scope(ops[0], ops[1], ops[2] == "@catchall" ? "" : ops[2], ops[3]);
+      return true;
+    }
+    if (op == ".data") {
+      in_data = true;
+      return true;
+    }
+    return fail("unknown directive '" + op + "'");
+  }
+
+  bool data_directive(const std::string& name, const std::string& op,
+                      const std::string& rest) {
+    if (op == ".u64") {
+      i64 v = 0;
+      if (!parse_imm(strip(rest), &v)) return false;
+      a.data_u64(name, static_cast<u64>(v));
+      return true;
+    }
+    if (op == ".zero") {
+      i64 v = 0;
+      if (!parse_imm(strip(rest), &v) ) return false;
+      if (v <= 0) return fail(".zero needs a positive size");
+      a.data_zero(name, static_cast<u64>(v));
+      return true;
+    }
+    if (op == ".asciz") {
+      std::string t = strip(rest);
+      if (t.size() < 2 || t.front() != '"' || t.back() != '"')
+        return fail(".asciz needs a quoted string");
+      std::string out;
+      for (size_t i = 1; i + 1 < t.size(); ++i) {
+        char ch = t[i];
+        if (ch == '\\' && i + 2 < t.size()) {
+          char e = t[++i];
+          switch (e) {
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case '0': out += '\0'; break;
+            case '\\': out += '\\'; break;
+            case '"': out += '"'; break;
+            default: return fail(strf("bad escape \\%c", e));
+          }
+        } else {
+          out += ch;
+        }
+      }
+      a.data_cstr(name, out);
+      return true;
+    }
+    if (op == ".bytes") {
+      std::vector<u8> bytes;
+      std::istringstream iss{rest};
+      std::string tok;
+      while (iss >> tok) {
+        i64 v = 0;
+        if (!parse_imm("0x" + tok, &v) || v < 0 || v > 0xff)
+          return fail("bad byte '" + tok + "'");
+        bytes.push_back(static_cast<u8>(v));
+      }
+      if (bytes.empty()) return fail(".bytes needs at least one byte");
+      a.data_bytes(name, bytes);
+      return true;
+    }
+    return fail("unknown data directive '" + op + "'");
+  }
+
+  // --- instructions --------------------------------------------------------------
+
+  bool instr(const std::string& op, const std::string& rest) {
+    auto ops = operands(rest);
+    auto need = [&](size_t n) {
+      if (ops.size() != n) return fail(strf("'%s' expects %zu operand(s)", op.c_str(), n));
+      return true;
+    };
+    Reg ra{}, rb{};
+    i64 imm = 0;
+
+    if (op == "nop") { a.nop(); return true; }
+    if (op == "halt") { a.halt(); return true; }
+    if (op == "ret") { a.ret(); return true; }
+    if (op == "syscall") { a.syscall(); return true; }
+    if (op == "apicall") {
+      if (!need(1) || !parse_imm(ops[0], &imm)) return false;
+      a.apicall(imm);
+      return true;
+    }
+    if (op == "mov") {
+      if (!need(2) || !parse_reg(ops[0], &ra) || !parse_reg(ops[1], &rb)) return false;
+      a.mov(ra, rb);
+      return true;
+    }
+    if (op == "movi") {
+      if (!need(2) || !parse_reg(ops[0], &ra) || !parse_imm(ops[1], &imm)) return false;
+      a.movi(ra, imm);
+      return true;
+    }
+    if (op == "lea") {
+      if (!need(2) || !parse_reg(ops[0], &ra) || !parse_mem(ops[1], &rb, &imm)) return false;
+      a.lea(ra, rb, imm);
+      return true;
+    }
+    if (op == "leapc") {
+      if (!need(2) || !parse_reg(ops[0], &ra)) return false;
+      if (!is_ident(ops[1])) return fail("leapc needs a symbol");
+      a.lea_pc(ra, ops[1]);
+      return true;
+    }
+    if (op.rfind("load", 0) == 0 && op.size() == 5) {
+      u8 w = static_cast<u8>(op[4] - '0');
+      if (!valid_width(w)) return fail("bad load width");
+      if (!need(2) || !parse_reg(ops[0], &ra) || !parse_mem(ops[1], &rb, &imm)) return false;
+      a.load(ra, rb, w, imm);
+      return true;
+    }
+    if (op.rfind("store", 0) == 0 && op.size() == 6) {
+      u8 w = static_cast<u8>(op[5] - '0');
+      if (!valid_width(w)) return fail("bad store width");
+      if (!need(2) || !parse_mem(ops[0], &ra, &imm) || !parse_reg(ops[1], &rb)) return false;
+      a.store(ra, imm, rb, w);
+      return true;
+    }
+    if (op == "push" || op == "pop" || op == "not" || op == "neg") {
+      if (!need(1) || !parse_reg(ops[0], &ra)) return false;
+      if (op == "push") a.push(ra);
+      if (op == "pop") a.pop(ra);
+      if (op == "not") a.not_(ra);
+      if (op == "neg") a.neg(ra);
+      return true;
+    }
+
+    static const std::map<std::string, void (Assembler::*)(Reg, Reg)> rr = {
+        {"add", &Assembler::add}, {"sub", &Assembler::sub}, {"mul", &Assembler::mul},
+        {"udiv", &Assembler::udiv}, {"umod", &Assembler::umod}, {"and", &Assembler::and_},
+        {"or", &Assembler::or_}, {"xor", &Assembler::xor_}, {"cmp", &Assembler::cmp},
+        {"test", &Assembler::test}};
+    if (auto it = rr.find(op); it != rr.end()) {
+      if (!need(2) || !parse_reg(ops[0], &ra) || !parse_reg(ops[1], &rb)) return false;
+      (a.*(it->second))(ra, rb);
+      return true;
+    }
+
+    static const std::map<std::string, void (Assembler::*)(Reg, i64)> ri = {
+        {"addi", &Assembler::addi}, {"subi", &Assembler::subi}, {"muli", &Assembler::muli},
+        {"andi", &Assembler::andi}, {"ori", &Assembler::ori}, {"xori", &Assembler::xori},
+        {"cmpi", &Assembler::cmpi}, {"testi", &Assembler::testi}};
+    if (auto it = ri.find(op); it != ri.end()) {
+      if (!need(2) || !parse_reg(ops[0], &ra) || !parse_imm(ops[1], &imm)) return false;
+      (a.*(it->second))(ra, imm);
+      return true;
+    }
+
+    if (op == "shli" || op == "shri" || op == "sari") {
+      if (!need(2) || !parse_reg(ops[0], &ra) || !parse_imm(ops[1], &imm)) return false;
+      if (imm < 0 || imm > 63) return fail("shift amount out of range");
+      if (op == "shli") a.shli(ra, static_cast<u8>(imm));
+      if (op == "shri") a.shri(ra, static_cast<u8>(imm));
+      if (op == "sari") a.sari(ra, static_cast<u8>(imm));
+      return true;
+    }
+
+    if (op == "jmp" || op == "call") {
+      if (!need(1) || !is_ident(ops[0])) return fail("'" + op + "' needs a label");
+      if (op == "jmp") a.jmp(ops[0]);
+      if (op == "call") a.call(ops[0]);
+      return true;
+    }
+    if (op == "jmpr" || op == "callr") {
+      if (!need(1) || !parse_reg(ops[0], &ra)) return false;
+      if (op == "jmpr") a.jmp_reg(ra);
+      if (op == "callr") a.call_reg(ra);
+      return true;
+    }
+    if (op == "callimp") {
+      if (!need(1)) return false;
+      auto bang = ops[0].find('!');
+      if (bang == std::string::npos) return fail("callimp MODULE!SYMBOL");
+      a.call_import(ops[0].substr(0, bang), ops[0].substr(bang + 1));
+      return true;
+    }
+
+    static const std::map<std::string, Cond> jcc = {
+        {"jeq", Cond::kEq},   {"jne", Cond::kNe},   {"jlt", Cond::kLt},
+        {"jge", Cond::kGe},   {"jle", Cond::kLe},   {"jgt", Cond::kGt},
+        {"jult", Cond::kUlt}, {"juge", Cond::kUge}, {"jule", Cond::kUle},
+        {"jugt", Cond::kUgt}};
+    if (auto it = jcc.find(op); it != jcc.end()) {
+      if (!need(1) || !is_ident(ops[0])) return fail("'" + op + "' needs a label");
+      a.jcc(it->second, ops[0]);
+      return true;
+    }
+
+    return fail("unknown mnemonic '" + op + "'");
+  }
+
+  bool handle(std::string raw) {
+    std::string line = strip(std::move(raw));
+    if (line.empty()) return true;
+
+    // Leading "label:" (may be the whole line, or prefix an instruction or a
+    // data directive).
+    std::string label;
+    auto colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string head = strip(line.substr(0, colon));
+      if (is_ident(head)) {
+        label = head;
+        line = strip(line.substr(colon + 1));
+      }
+    }
+
+    if (in_data) {
+      if (line.empty()) return true;
+      if (line[0] == '.') {
+        auto sp = line.find_first_of(" \t");
+        std::string op = sp == std::string::npos ? line : line.substr(0, sp);
+        std::string rest = sp == std::string::npos ? "" : line.substr(sp + 1);
+        if (label.empty()) return fail("data directive needs a name label");
+        return data_directive(label, op, rest);
+      }
+      return fail("expected a data directive after .data");
+    }
+
+    if (!label.empty()) a.label(label);
+    if (line.empty()) return true;
+
+    auto sp = line.find_first_of(" \t");
+    std::string op = sp == std::string::npos ? line : line.substr(0, sp);
+    std::string rest = sp == std::string::npos ? "" : line.substr(sp + 1);
+    if (op[0] == '.') return directive(op, rest);
+    return instr(op, rest);
+  }
+};
+
+}  // namespace
+
+std::optional<Image> assemble_text(std::string_view source, std::string* error) {
+  Parser p;
+  std::string line;
+  std::istringstream in{std::string(source)};
+  while (std::getline(in, line)) {
+    ++p.line_no;
+    if (!p.handle(line)) {
+      if (error != nullptr) *error = p.err;
+      return std::nullopt;
+    }
+  }
+  return p.a.build();
+}
+
+}  // namespace crp::isa

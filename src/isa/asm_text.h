@@ -1,0 +1,50 @@
+// Textual assembler: parse a MiniVM assembly file into an MVX Image.
+//
+// Grammar (line oriented; ';' or '#' start comments):
+//
+//   .image NAME            image name (default "a.out")
+//   .dll                   mark as DLL
+//   .machine x64|x32
+//   .entry LABEL
+//   .export PUBLIC, LABEL
+//   .scope BEGIN, END, FILTER, HANDLER     FILTER may be @catchall
+//
+//   LABEL:                 code label (also allowed inline before an instr)
+//   mnemonics              one instruction per line:
+//     nop | halt | ret | syscall
+//     apicall IMM
+//     mov RD, RS         | movi RD, IMM
+//     lea RD, [RS+OFF]   | leapc RD, NAME
+//     loadW RD, [RS+OFF] | storeW [RD+OFF], RS        (W in 1 2 4 8)
+//     push R | pop R
+//     add/sub/mul/and/or/xor RD, RS
+//     addi/subi/muli/andi/ori/xori RD, IMM
+//     shli/shri/sari RD, IMM | shl/shr RD, RS
+//     udiv/umod RD, RS | not R | neg R
+//     cmp RD, RS | cmpi RD, IMM | test RD, RS | testi RD, IMM
+//     jmp LABEL | jmpr R | call LABEL | callr R
+//     callimp MODULE!SYMBOL
+//     jeq/jne/jlt/jge/jle/jgt/jult/juge/jule/jugt LABEL
+//
+//   .data                  switch to data directives:
+//     NAME: .u64 IMM
+//     NAME: .asciz "text"          (supports \n \t \0 \\ \")
+//     NAME: .zero SIZE
+//     NAME: .bytes HH HH ...
+//
+// Numbers: decimal or 0x hex, optional leading '-'.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "isa/image.h"
+
+namespace crp::isa {
+
+/// Assemble `source`; on failure returns nullopt and, if `error` is given,
+/// a "line N: message" diagnostic.
+std::optional<Image> assemble_text(std::string_view source, std::string* error = nullptr);
+
+}  // namespace crp::isa

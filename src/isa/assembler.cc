@@ -1,0 +1,218 @@
+#include "isa/assembler.h"
+
+namespace crp::isa {
+
+namespace {
+constexpr u64 kPage = 4096;
+}
+
+Assembler::Assembler(std::string image_name) : name_(std::move(image_name)) {}
+
+void Assembler::emit(const Instr& ins) {
+  auto bytes = encode(ins);
+  code_.insert(code_.end(), bytes.begin(), bytes.end());
+}
+
+void Assembler::label(const std::string& name) {
+  CRP_CHECK(!defs_.contains(name));
+  defs_[name] = Loc{0, here()};
+}
+
+void Assembler::nop() { emit({Op::kNop}); }
+void Assembler::halt() { emit({Op::kHalt}); }
+void Assembler::mov(Reg a, Reg b) { emit({Op::kMovRR, a, b}); }
+void Assembler::movi(Reg a, i64 imm) { emit({Op::kMovRI, a, Reg::R0, 0, imm}); }
+void Assembler::lea(Reg a, Reg b, i64 off) { emit({Op::kLea, a, b, 0, off}); }
+
+void Assembler::lea_pc(Reg a, const std::string& name) {
+  fixups_.push_back({here(), name, /*pc_rel_data=*/true});
+  emit({Op::kLeaPc, a, Reg::R0, 0, 0});
+}
+
+void Assembler::load(Reg a, Reg b, u8 w, i64 off) {
+  CRP_CHECK(valid_width(w));
+  emit({Op::kLoad, a, b, w, off});
+}
+void Assembler::store(Reg a, i64 off, Reg b, u8 w) {
+  CRP_CHECK(valid_width(w));
+  emit({Op::kStore, a, b, w, off});
+}
+void Assembler::push(Reg a) { emit({Op::kPush, a}); }
+void Assembler::pop(Reg a) { emit({Op::kPop, a}); }
+void Assembler::add(Reg a, Reg b) { emit({Op::kAddRR, a, b}); }
+void Assembler::addi(Reg a, i64 imm) { emit({Op::kAddRI, a, Reg::R0, 0, imm}); }
+void Assembler::sub(Reg a, Reg b) { emit({Op::kSubRR, a, b}); }
+void Assembler::subi(Reg a, i64 imm) { emit({Op::kSubRI, a, Reg::R0, 0, imm}); }
+void Assembler::mul(Reg a, Reg b) { emit({Op::kMulRR, a, b}); }
+void Assembler::muli(Reg a, i64 imm) { emit({Op::kMulRI, a, Reg::R0, 0, imm}); }
+void Assembler::udiv(Reg a, Reg b) { emit({Op::kDivRR, a, b}); }
+void Assembler::umod(Reg a, Reg b) { emit({Op::kModRR, a, b}); }
+void Assembler::and_(Reg a, Reg b) { emit({Op::kAndRR, a, b}); }
+void Assembler::andi(Reg a, i64 imm) { emit({Op::kAndRI, a, Reg::R0, 0, imm}); }
+void Assembler::or_(Reg a, Reg b) { emit({Op::kOrRR, a, b}); }
+void Assembler::ori(Reg a, i64 imm) { emit({Op::kOrRI, a, Reg::R0, 0, imm}); }
+void Assembler::xor_(Reg a, Reg b) { emit({Op::kXorRR, a, b}); }
+void Assembler::xori(Reg a, i64 imm) { emit({Op::kXorRI, a, Reg::R0, 0, imm}); }
+void Assembler::shli(Reg a, u8 amount) { emit({Op::kShlRI, a, Reg::R0, 0, amount}); }
+void Assembler::shri(Reg a, u8 amount) { emit({Op::kShrRI, a, Reg::R0, 0, amount}); }
+void Assembler::sari(Reg a, u8 amount) { emit({Op::kSarRI, a, Reg::R0, 0, amount}); }
+void Assembler::not_(Reg a) { emit({Op::kNot, a}); }
+void Assembler::neg(Reg a) { emit({Op::kNeg, a}); }
+void Assembler::cmp(Reg a, Reg b) { emit({Op::kCmpRR, a, b}); }
+void Assembler::cmpi(Reg a, i64 imm) { emit({Op::kCmpRI, a, Reg::R0, 0, imm}); }
+void Assembler::test(Reg a, Reg b) { emit({Op::kTestRR, a, b}); }
+void Assembler::testi(Reg a, i64 imm) { emit({Op::kTestRI, a, Reg::R0, 0, imm}); }
+
+void Assembler::jmp(const std::string& target) {
+  fixups_.push_back({here(), target, false});
+  emit({Op::kJmp});
+}
+void Assembler::jmp_reg(Reg a) { emit({Op::kJmpR, a}); }
+void Assembler::jcc(Cond c, const std::string& target) {
+  fixups_.push_back({here(), target, false});
+  emit({Op::kJcc, Reg::R0, Reg::R0, static_cast<u8>(c), 0});
+}
+void Assembler::call(const std::string& target) {
+  fixups_.push_back({here(), target, false});
+  emit({Op::kCall});
+}
+void Assembler::call_reg(Reg a) { emit({Op::kCallR, a}); }
+
+void Assembler::call_import(const std::string& module, const std::string& symbol) {
+  u32 idx = import_index(module, symbol);
+  emit({Op::kCallImp, Reg::R0, Reg::R0, 0, static_cast<i64>(idx)});
+}
+
+void Assembler::ret() { emit({Op::kRet}); }
+void Assembler::syscall() { emit({Op::kSyscall}); }
+void Assembler::apicall(i64 api_id) { emit({Op::kApiCall, Reg::R0, Reg::R0, 0, api_id}); }
+
+void Assembler::raw(const Instr& ins) { emit(ins); }
+
+u32 Assembler::import_index(const std::string& module, const std::string& symbol) {
+  for (size_t i = 0; i < imports_.size(); ++i)
+    if (imports_[i].module == module && imports_[i].symbol == symbol)
+      return static_cast<u32>(i);
+  imports_.push_back({module, symbol});
+  return static_cast<u32>(imports_.size() - 1);
+}
+
+u64 Assembler::define_data(const std::string& name, std::span<const u8> bytes) {
+  CRP_CHECK(!defs_.contains(name));
+  // 8-byte align every datum so u64 loads on symbols are natural.
+  while (data_.size() % 8 != 0) data_.push_back(0);
+  u64 off = data_.size();
+  defs_[name] = Loc{1, off};
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  return off;
+}
+
+u64 Assembler::data_u64(const std::string& name, u64 value) {
+  u8 raw[8];
+  for (int i = 0; i < 8; ++i) raw[i] = static_cast<u8>(value >> (8 * i));
+  return define_data(name, raw);
+}
+
+u64 Assembler::data_bytes(const std::string& name, std::span<const u8> bytes) {
+  return define_data(name, bytes);
+}
+
+u64 Assembler::data_zero(const std::string& name, u64 size) {
+  std::vector<u8> z(size, 0);
+  return define_data(name, z);
+}
+
+u64 Assembler::data_cstr(const std::string& name, const std::string& text) {
+  std::vector<u8> b(text.begin(), text.end());
+  b.push_back(0);
+  return define_data(name, b);
+}
+
+void Assembler::set_entry(const std::string& label) { entry_label_ = label; }
+
+void Assembler::export_fn(const std::string& name, const std::string& label) {
+  // Resolved at build time; store the label in the offset via a scope-style
+  // deferred reference. Reuse exports_ with a sentinel and patch in build().
+  exports_.push_back({name + "\x01" + label, 0});
+}
+
+void Assembler::scope(const std::string& begin_label, const std::string& end_label,
+                      const std::string& filter_label, const std::string& handler_label) {
+  scope_refs_.push_back({begin_label, end_label, filter_label, handler_label});
+}
+
+Image Assembler::build() {
+  auto resolve = [&](const std::string& name) -> Loc {
+    auto it = defs_.find(name);
+    if (it == defs_.end()) CRP_PANIC("undefined label/symbol: " + name);
+    return it->second;
+  };
+
+  // Runtime layout: .text at relative 0, .data page-aligned after it.
+  u64 data_base = align_up(std::max<u64>(code_.size(), 1), kPage);
+  auto runtime_off = [&](const Loc& l) { return l.section == 0 ? l.offset : data_base + l.offset; };
+
+  for (const auto& f : fixups_) {
+    Loc loc = resolve(f.name);
+    if (!f.pc_rel_data) CRP_CHECK(loc.section == 0);
+    i64 rel = static_cast<i64>(runtime_off(loc)) -
+              static_cast<i64>(f.code_off + kInstrBytes);
+    u64 imm = static_cast<u64>(rel);
+    for (int i = 0; i < 8; ++i)
+      code_[f.code_off + 4 + static_cast<u64>(i)] = static_cast<u8>(imm >> (8 * i));
+  }
+
+  Image img;
+  img.name = name_;
+  img.is_dll = is_dll_;
+  img.machine = machine_;
+
+  Section text;
+  text.name = ".text";
+  text.kind = SectionKind::kCode;
+  text.bytes = code_;
+  text.vsize = code_.size();
+  text.executable = true;
+  img.sections.push_back(std::move(text));
+
+  Section data;
+  data.name = ".data";
+  data.kind = SectionKind::kData;
+  data.bytes = data_;
+  data.vsize = data_.size();
+  data.writable = true;
+  img.sections.push_back(std::move(data));
+
+  for (const auto& [name, loc] : defs_)
+    img.symbols.push_back({name, loc.section, loc.offset, 0});
+
+  img.imports = imports_;
+
+  for (const auto& e : exports_) {
+    auto sep = e.name.find('\x01');
+    CRP_CHECK(sep != std::string::npos);
+    std::string pub = e.name.substr(0, sep);
+    Loc loc = resolve(e.name.substr(sep + 1));
+    CRP_CHECK(loc.section == 0);
+    img.exports.push_back({pub, loc.offset});
+  }
+
+  for (const auto& s : scope_refs_) {
+    ScopeEntry sc;
+    sc.begin = resolve(s.begin).offset;
+    sc.end = resolve(s.end).offset;
+    sc.filter = s.filter.empty() ? kFilterCatchAll : resolve(s.filter).offset;
+    sc.handler = resolve(s.handler).offset;
+    CRP_CHECK(sc.begin < sc.end);
+    img.scopes.push_back(sc);
+  }
+
+  if (!entry_label_.empty()) {
+    Loc loc = resolve(entry_label_);
+    CRP_CHECK(loc.section == 0);
+    img.entry = loc.offset;
+  }
+  return img;
+}
+
+}  // namespace crp::isa

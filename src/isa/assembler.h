@@ -1,0 +1,144 @@
+// Label-based program builder producing MVX images.
+//
+// The Assembler is how CRProbe's target corpus (server simulacra, browser
+// simulacra, DLL populations) is authored: emit instructions against string
+// labels, define named data, declare exports / imports / SEH scopes, then
+// build() resolves everything into a position-independent Image.
+//
+// Section layout contract (shared with the loader): sections are mapped
+// contiguously in declaration order, each page-aligned. The assembler always
+// emits section 0 = ".text" (code) and section 1 = ".data" (read-write), so
+// PC-relative data references (lea_pc) can be resolved at build time.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "isa/isa.h"
+
+namespace crp::isa {
+
+class Assembler {
+ public:
+  explicit Assembler(std::string image_name);
+
+  // --- labels & layout ----------------------------------------------------
+
+  /// Define `name` at the current code position. Labels double as symbols in
+  /// the built image's symbol table.
+  void label(const std::string& name);
+
+  /// Current code offset (bytes from start of .text).
+  u64 here() const { return code_.size(); }
+
+  // --- instructions ---------------------------------------------------------
+
+  void nop();
+  void halt();
+  void mov(Reg a, Reg b);
+  void movi(Reg a, i64 imm);
+  void lea(Reg a, Reg b, i64 off);
+  /// Materialize the runtime address of a code label or data symbol.
+  void lea_pc(Reg a, const std::string& name);
+  void load(Reg a, Reg b, u8 w, i64 off = 0);
+  void store(Reg a, i64 off, Reg b, u8 w);
+  void push(Reg a);
+  void pop(Reg a);
+  void add(Reg a, Reg b);
+  void addi(Reg a, i64 imm);
+  void sub(Reg a, Reg b);
+  void subi(Reg a, i64 imm);
+  void mul(Reg a, Reg b);
+  void muli(Reg a, i64 imm);
+  void udiv(Reg a, Reg b);
+  void umod(Reg a, Reg b);
+  void and_(Reg a, Reg b);
+  void andi(Reg a, i64 imm);
+  void or_(Reg a, Reg b);
+  void ori(Reg a, i64 imm);
+  void xor_(Reg a, Reg b);
+  void xori(Reg a, i64 imm);
+  void shli(Reg a, u8 amount);
+  void shri(Reg a, u8 amount);
+  void sari(Reg a, u8 amount);
+  void not_(Reg a);
+  void neg(Reg a);
+  void cmp(Reg a, Reg b);
+  void cmpi(Reg a, i64 imm);
+  void test(Reg a, Reg b);
+  void testi(Reg a, i64 imm);
+  void jmp(const std::string& target);
+  void jmp_reg(Reg a);
+  void jcc(Cond c, const std::string& target);
+  void call(const std::string& target);
+  void call_reg(Reg a);
+  /// Call an imported symbol; adds the import on first use.
+  void call_import(const std::string& module, const std::string& symbol);
+  void ret();
+  void syscall();
+  void apicall(i64 api_id);
+
+  /// Emit a raw (possibly intentionally malformed) instruction word.
+  void raw(const Instr& ins);
+
+  // --- data -----------------------------------------------------------------
+
+  /// Define a named u64 in .data; returns the data-section offset.
+  u64 data_u64(const std::string& name, u64 value);
+  /// Define named bytes in .data.
+  u64 data_bytes(const std::string& name, std::span<const u8> bytes);
+  /// Define a named zero-filled buffer in .data.
+  u64 data_zero(const std::string& name, u64 size);
+  /// Define a NUL-terminated string in .data.
+  u64 data_cstr(const std::string& name, const std::string& text);
+
+  // --- metadata ---------------------------------------------------------------
+
+  void set_entry(const std::string& label);
+  void set_dll(bool is_dll) { is_dll_ = is_dll; }
+  void set_machine(Machine m) { machine_ = m; }
+  void export_fn(const std::string& name, const std::string& label);
+  /// Declare a guarded region [begin_label, end_label) with `filter_label`
+  /// ("" = catch-all constant filter) and resume point `handler_label`.
+  void scope(const std::string& begin_label, const std::string& end_label,
+             const std::string& filter_label, const std::string& handler_label);
+
+  /// Resolve all references and produce the image. Panics on undefined
+  /// labels (authoring bug, not a guest-input condition).
+  Image build();
+
+ private:
+  struct Fixup {
+    u64 code_off;       // offset of the instruction word to patch
+    std::string name;   // referenced label / data symbol
+    bool pc_rel_data;   // true for lea_pc (may target .data), false for branch/call
+  };
+  struct Loc {
+    u32 section;  // 0 = code, 1 = data
+    u64 offset;
+  };
+
+  void emit(const Instr& ins);
+  u64 define_data(const std::string& name, std::span<const u8> bytes);
+  u32 import_index(const std::string& module, const std::string& symbol);
+
+  std::string name_;
+  bool is_dll_ = false;
+  Machine machine_ = Machine::kX64;
+  std::vector<u8> code_;
+  std::vector<u8> data_;
+  std::map<std::string, Loc> defs_;
+  std::vector<Fixup> fixups_;
+  std::vector<Import> imports_;
+  std::vector<Export> exports_;
+  struct ScopeRef {
+    std::string begin, end, filter, handler;
+  };
+  std::vector<ScopeRef> scope_refs_;
+  std::string entry_label_;
+};
+
+}  // namespace crp::isa

@@ -1,0 +1,232 @@
+#include "isa/image.h"
+
+#include <cstring>
+
+namespace crp::isa {
+
+namespace {
+
+constexpr u32 kMagic = 0x3158564d;  // "MVX1"
+constexpr u64 kPage = 4096;
+
+// --- serialization primitives -------------------------------------------
+
+void put_u8(std::vector<u8>& out, u8 v) { out.push_back(v); }
+void put_u32(std::vector<u8>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+void put_u64(std::vector<u8>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+void put_str(std::vector<u8>& out, const std::string& s) {
+  put_u32(out, static_cast<u32>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+void put_bytes(std::vector<u8>& out, const std::vector<u8>& b) {
+  put_u64(out, b.size());
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+struct Reader {
+  std::span<const u8> in;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool need(size_t n) {
+    if (!ok || in.size() - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  u8 get_u8() {
+    if (!need(1)) return 0;
+    return in[pos++];
+  }
+  u32 get_u32() {
+    if (!need(4)) return 0;
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(in[pos++]) << (8 * i);
+    return v;
+  }
+  u64 get_u64() {
+    if (!need(8)) return 0;
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(in[pos++]) << (8 * i);
+    return v;
+  }
+  std::string get_str() {
+    u32 n = get_u32();
+    if (!need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(in.data() + pos), n);
+    pos += n;
+    return s;
+  }
+  std::vector<u8> get_bytes() {
+    u64 n = get_u64();
+    if (!need(n)) return {};
+    std::vector<u8> b(in.begin() + static_cast<ptrdiff_t>(pos),
+                      in.begin() + static_cast<ptrdiff_t>(pos + n));
+    pos += n;
+    return b;
+  }
+};
+
+}  // namespace
+
+int Image::code_section() const {
+  for (size_t i = 0; i < sections.size(); ++i)
+    if (sections[i].kind == SectionKind::kCode) return static_cast<int>(i);
+  return -1;
+}
+
+const Symbol* Image::find_symbol(const std::string& name) const {
+  for (const auto& s : symbols)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const Export* Image::find_export(const std::string& name) const {
+  for (const auto& e : exports)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+u64 Image::mapped_size() const {
+  u64 total = 0;
+  for (const auto& s : sections) {
+    u64 vs = std::max<u64>(s.vsize, s.bytes.size());
+    total += align_up(std::max<u64>(vs, 1), kPage);
+  }
+  return total;
+}
+
+std::vector<u8> write_image(const Image& img) {
+  std::vector<u8> out;
+  put_u32(out, kMagic);
+  put_str(out, img.name);
+  put_u8(out, img.is_dll ? 1 : 0);
+  put_u8(out, static_cast<u8>(img.machine));
+  put_u64(out, img.entry);
+
+  put_u32(out, static_cast<u32>(img.sections.size()));
+  for (const auto& s : img.sections) {
+    put_str(out, s.name);
+    put_u8(out, static_cast<u8>(s.kind));
+    put_u8(out, s.writable ? 1 : 0);
+    put_u8(out, s.executable ? 1 : 0);
+    put_u64(out, s.vsize);
+    put_bytes(out, s.bytes);
+  }
+
+  put_u32(out, static_cast<u32>(img.symbols.size()));
+  for (const auto& s : img.symbols) {
+    put_str(out, s.name);
+    put_u32(out, s.section);
+    put_u64(out, s.offset);
+    put_u64(out, s.size);
+  }
+
+  put_u32(out, static_cast<u32>(img.imports.size()));
+  for (const auto& i : img.imports) {
+    put_str(out, i.module);
+    put_str(out, i.symbol);
+  }
+
+  put_u32(out, static_cast<u32>(img.exports.size()));
+  for (const auto& e : img.exports) {
+    put_str(out, e.name);
+    put_u64(out, e.offset);
+  }
+
+  put_u32(out, static_cast<u32>(img.scopes.size()));
+  for (const auto& sc : img.scopes) {
+    put_u64(out, sc.begin);
+    put_u64(out, sc.end);
+    put_u64(out, sc.filter);
+    put_u64(out, sc.handler);
+  }
+  return out;
+}
+
+std::optional<Image> read_image(std::span<const u8> bytes) {
+  Reader r{bytes};
+  if (r.get_u32() != kMagic) return std::nullopt;
+  Image img;
+  img.name = r.get_str();
+  img.is_dll = r.get_u8() != 0;
+  u8 machine = r.get_u8();
+  if (machine > static_cast<u8>(Machine::kX32)) return std::nullopt;
+  img.machine = static_cast<Machine>(machine);
+  img.entry = r.get_u64();
+
+  u32 nsec = r.get_u32();
+  if (nsec > 64) return std::nullopt;
+  for (u32 i = 0; i < nsec && r.ok; ++i) {
+    Section s;
+    s.name = r.get_str();
+    u8 kind = r.get_u8();
+    if (kind > static_cast<u8>(SectionKind::kBss)) return std::nullopt;
+    s.kind = static_cast<SectionKind>(kind);
+    s.writable = r.get_u8() != 0;
+    s.executable = r.get_u8() != 0;
+    s.vsize = r.get_u64();
+    s.bytes = r.get_bytes();
+    img.sections.push_back(std::move(s));
+  }
+
+  u32 nsym = r.get_u32();
+  if (nsym > 1u << 20) return std::nullopt;
+  for (u32 i = 0; i < nsym && r.ok; ++i) {
+    Symbol s;
+    s.name = r.get_str();
+    s.section = r.get_u32();
+    s.offset = r.get_u64();
+    s.size = r.get_u64();
+    if (r.ok && s.section >= img.sections.size()) return std::nullopt;
+    img.symbols.push_back(std::move(s));
+  }
+
+  u32 nimp = r.get_u32();
+  if (nimp > 1u << 16) return std::nullopt;
+  for (u32 i = 0; i < nimp && r.ok; ++i) {
+    Import im;
+    im.module = r.get_str();
+    im.symbol = r.get_str();
+    img.imports.push_back(std::move(im));
+  }
+
+  u32 nexp = r.get_u32();
+  if (nexp > 1u << 20) return std::nullopt;
+  for (u32 i = 0; i < nexp && r.ok; ++i) {
+    Export e;
+    e.name = r.get_str();
+    e.offset = r.get_u64();
+    img.exports.push_back(std::move(e));
+  }
+
+  u32 nscope = r.get_u32();
+  if (nscope > 1u << 20) return std::nullopt;
+  for (u32 i = 0; i < nscope && r.ok; ++i) {
+    ScopeEntry sc;
+    sc.begin = r.get_u64();
+    sc.end = r.get_u64();
+    sc.filter = r.get_u64();
+    sc.handler = r.get_u64();
+    if (r.ok && sc.begin >= sc.end) return std::nullopt;
+    img.scopes.push_back(sc);
+  }
+
+  if (!r.ok) return std::nullopt;
+  // Validate code-relative references.
+  int cs = img.code_section();
+  u64 code_size = cs >= 0 ? std::max<u64>(img.sections[cs].vsize, img.sections[cs].bytes.size()) : 0;
+  if (!img.is_dll && img.entry >= std::max<u64>(code_size, 1)) return std::nullopt;
+  for (const auto& sc : img.scopes) {
+    if (sc.end > code_size || sc.handler >= code_size) return std::nullopt;
+    if (sc.filter != kFilterCatchAll && sc.filter >= code_size) return std::nullopt;
+  }
+  return img;
+}
+
+}  // namespace crp::isa

@@ -1,0 +1,101 @@
+// MVX image format — CRProbe's executable/DLL container.
+//
+// An Image is the on-disk artifact the *static* analyses operate on: it
+// carries code/data sections, a symbol table, import/export tables, and —
+// centrally for this paper — the exception directory: a scope table mapping
+// guarded code ranges to filter and handler functions. This is the analog of
+// the PE `.pdata`/`.xdata` unwind information the paper parses from Windows
+// DLLs (64-bit Windows requires every frame to be described there, which is
+// what makes static handler harvesting possible; see §IV-C of the paper).
+//
+// All intra-image references are section-relative offsets; the loader
+// assigns a random base (ASLR) and the code itself is position-independent
+// (PC-relative control flow + leapc for data addressing), so no relocations
+// are needed.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "util/common.h"
+
+namespace crp::isa {
+
+/// Filter "address" value meaning "catch everything, always run the handler".
+/// Mirrors the constant-1 filter the paper found in jscript9's MUTX::Enter
+/// scope table entry.
+inline constexpr u64 kFilterCatchAll = 1;
+
+enum class SectionKind : u8 { kCode = 0, kData, kRodata, kBss };
+
+enum class Machine : u8 { kX64 = 0, kX32 = 1 };  // population tag for Table III
+
+struct Section {
+  std::string name;        // ".text", ".data", ...
+  SectionKind kind = SectionKind::kCode;
+  std::vector<u8> bytes;   // file contents (empty for kBss)
+  u64 vsize = 0;           // virtual size (>= bytes.size(); extra is zeroed)
+  bool writable = false;
+  bool executable = false;
+};
+
+struct Symbol {
+  std::string name;
+  u32 section = 0;  // index into sections
+  u64 offset = 0;   // section-relative
+  u64 size = 0;
+};
+
+/// One guarded region in the exception directory. Offsets are relative to
+/// the code section. `filter` is either a code offset of the filter function
+/// or kFilterCatchAll. Entries may nest; dispatch is innermost-first.
+struct ScopeEntry {
+  u64 begin = 0;
+  u64 end = 0;      // exclusive
+  u64 filter = 0;   // code offset or kFilterCatchAll
+  u64 handler = 0;  // code offset where execution resumes when the filter says so
+};
+
+struct Import {
+  std::string module;  // e.g. "ntdll"
+  std::string symbol;  // e.g. "memcpy_guarded"
+};
+
+struct Export {
+  std::string name;
+  u64 offset = 0;  // code-section-relative
+};
+
+/// A complete MVX image.
+struct Image {
+  std::string name;
+  bool is_dll = false;
+  Machine machine = Machine::kX64;
+  u64 entry = 0;  // code-section-relative entry point (executables)
+  std::vector<Section> sections;
+  std::vector<Symbol> symbols;
+  std::vector<Import> imports;
+  std::vector<Export> exports;
+  std::vector<ScopeEntry> scopes;
+
+  /// Index of the first code section, or -1.
+  int code_section() const;
+  /// Find a symbol by name (nullptr if absent).
+  const Symbol* find_symbol(const std::string& name) const;
+  const Export* find_export(const std::string& name) const;
+  /// Total virtual size when mapped contiguously section-by-section (page aligned).
+  u64 mapped_size() const;
+};
+
+/// Serialize to the MVX binary container (magic "MVX1"). The container is
+/// what SehExtractor and other static passes parse, modeling "given a binary
+/// executable" from the paper title.
+std::vector<u8> write_image(const Image& img);
+
+/// Parse an MVX container; nullopt on malformed input (bad magic, truncated
+/// tables, out-of-range offsets).
+std::optional<Image> read_image(std::span<const u8> bytes);
+
+}  // namespace crp::isa

@@ -1,0 +1,233 @@
+#include "isa/isa.h"
+
+#include <cstring>
+
+namespace crp::isa {
+
+namespace {
+
+// Instruction word layout (little-endian):
+//   [0]      opcode
+//   [1]      ra
+//   [2]      rb
+//   [3]      w / cond
+//   [4..11]  imm (i64)
+//   [12..15] reserved, must encode as zero (ignored on decode)
+constexpr size_t kOpOff = 0, kRaOff = 1, kRbOff = 2, kWOff = 3, kImmOff = 4;
+
+bool op_uses_width(Op op) { return op == Op::kLoad || op == Op::kStore; }
+
+}  // namespace
+
+void encode(const Instr& ins, std::span<u8> out) {
+  CRP_CHECK(out.size() >= kInstrBytes);
+  std::memset(out.data(), 0, kInstrBytes);
+  out[kOpOff] = static_cast<u8>(ins.op);
+  out[kRaOff] = static_cast<u8>(ins.ra);
+  out[kRbOff] = static_cast<u8>(ins.rb);
+  out[kWOff] = ins.w;
+  u64 imm = static_cast<u64>(ins.imm);
+  for (int i = 0; i < 8; ++i) out[kImmOff + i] = static_cast<u8>(imm >> (8 * i));
+}
+
+std::array<u8, kInstrBytes> encode(const Instr& ins) {
+  std::array<u8, kInstrBytes> out{};
+  encode(ins, out);
+  return out;
+}
+
+std::optional<Instr> decode(std::span<const u8> bytes) {
+  if (bytes.size() < kInstrBytes) return std::nullopt;
+  Instr ins;
+  u8 op = bytes[kOpOff];
+  if (op >= static_cast<u8>(Op::kCount)) return std::nullopt;
+  ins.op = static_cast<Op>(op);
+  u8 ra = bytes[kRaOff], rb = bytes[kRbOff];
+  if (ra >= kNumRegs || rb >= kNumRegs) return std::nullopt;
+  ins.ra = static_cast<Reg>(ra);
+  ins.rb = static_cast<Reg>(rb);
+  ins.w = bytes[kWOff];
+  if (op_uses_width(ins.op) && !valid_width(ins.w)) return std::nullopt;
+  if (ins.op == Op::kJcc && ins.w >= static_cast<u8>(Cond::kCount)) return std::nullopt;
+  u64 imm = 0;
+  for (int i = 0; i < 8; ++i) imm |= static_cast<u64>(bytes[kImmOff + i]) << (8 * i);
+  ins.imm = static_cast<i64>(imm);
+  return ins;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kHalt: return "halt";
+    case Op::kMovRR: return "mov";
+    case Op::kMovRI: return "movi";
+    case Op::kLea: return "lea";
+    case Op::kLeaPc: return "leapc";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kPush: return "push";
+    case Op::kPop: return "pop";
+    case Op::kAddRR: return "add";
+    case Op::kAddRI: return "addi";
+    case Op::kSubRR: return "sub";
+    case Op::kSubRI: return "subi";
+    case Op::kMulRR: return "mul";
+    case Op::kMulRI: return "muli";
+    case Op::kDivRR: return "udiv";
+    case Op::kModRR: return "umod";
+    case Op::kAndRR: return "and";
+    case Op::kAndRI: return "andi";
+    case Op::kOrRR: return "or";
+    case Op::kOrRI: return "ori";
+    case Op::kXorRR: return "xor";
+    case Op::kXorRI: return "xori";
+    case Op::kShlRI: return "shli";
+    case Op::kShrRI: return "shri";
+    case Op::kSarRI: return "sari";
+    case Op::kShlRR: return "shl";
+    case Op::kShrRR: return "shr";
+    case Op::kNot: return "not";
+    case Op::kNeg: return "neg";
+    case Op::kCmpRR: return "cmp";
+    case Op::kCmpRI: return "cmpi";
+    case Op::kTestRR: return "test";
+    case Op::kTestRI: return "testi";
+    case Op::kJmp: return "jmp";
+    case Op::kJmpR: return "jmpr";
+    case Op::kJcc: return "jcc";
+    case Op::kCall: return "call";
+    case Op::kCallR: return "callr";
+    case Op::kCallImp: return "callimp";
+    case Op::kRet: return "ret";
+    case Op::kSyscall: return "syscall";
+    case Op::kApiCall: return "apicall";
+    case Op::kCount: break;
+  }
+  return "?";
+}
+
+const char* reg_name(Reg r) {
+  static const char* names[kNumRegs] = {"r0", "r1", "r2",  "r3",  "r4", "r5", "r6", "r7",
+                                        "r8", "r9", "r10", "r11", "tr", "fp", "sp", "r15"};
+  u8 i = static_cast<u8>(r);
+  return i < kNumRegs ? names[i] : "?";
+}
+
+const char* cond_name(Cond c) {
+  switch (c) {
+    case Cond::kEq: return "eq";
+    case Cond::kNe: return "ne";
+    case Cond::kLt: return "lt";
+    case Cond::kGe: return "ge";
+    case Cond::kLe: return "le";
+    case Cond::kGt: return "gt";
+    case Cond::kUlt: return "ult";
+    case Cond::kUge: return "uge";
+    case Cond::kUle: return "ule";
+    case Cond::kUgt: return "ugt";
+    case Cond::kCount: break;
+  }
+  return "?";
+}
+
+std::string disasm(const Instr& ins, u64 pc) {
+  u64 next = pc + kInstrBytes;
+  auto rel = [&](i64 off) {
+    return strf("0x%llx", static_cast<unsigned long long>(next + static_cast<u64>(off)));
+  };
+  const char* a = reg_name(ins.ra);
+  const char* b = reg_name(ins.rb);
+  long long imm = static_cast<long long>(ins.imm);
+  switch (ins.op) {
+    case Op::kNop:
+    case Op::kHalt:
+    case Op::kRet:
+    case Op::kSyscall:
+      return op_name(ins.op);
+    case Op::kApiCall:
+      return strf("apicall #%lld", imm);
+    case Op::kMovRR:
+    case Op::kAddRR:
+    case Op::kSubRR:
+    case Op::kMulRR:
+    case Op::kDivRR:
+    case Op::kModRR:
+    case Op::kAndRR:
+    case Op::kOrRR:
+    case Op::kXorRR:
+    case Op::kShlRR:
+    case Op::kShrRR:
+    case Op::kCmpRR:
+    case Op::kTestRR:
+      return strf("%s %s, %s", op_name(ins.op), a, b);
+    case Op::kMovRI:
+    case Op::kAddRI:
+    case Op::kSubRI:
+    case Op::kMulRI:
+    case Op::kAndRI:
+    case Op::kOrRI:
+    case Op::kXorRI:
+    case Op::kShlRI:
+    case Op::kShrRI:
+    case Op::kSarRI:
+    case Op::kCmpRI:
+    case Op::kTestRI:
+      return strf("%s %s, %lld", op_name(ins.op), a, imm);
+    case Op::kLea:
+      return strf("lea %s, [%s%+lld]", a, b, imm);
+    case Op::kLeaPc:
+      return strf("leapc %s, %s", a, rel(ins.imm).c_str());
+    case Op::kLoad:
+      return strf("load%u %s, [%s%+lld]", ins.w, a, b, imm);
+    case Op::kStore:
+      return strf("store%u [%s%+lld], %s", ins.w, a, imm, b);
+    case Op::kPush:
+      return strf("push %s", a);
+    case Op::kPop:
+      return strf("pop %s", a);
+    case Op::kNot:
+    case Op::kNeg:
+      return strf("%s %s", op_name(ins.op), a);
+    case Op::kJmp:
+      return strf("jmp %s", rel(ins.imm).c_str());
+    case Op::kJmpR:
+      return strf("jmpr %s", a);
+    case Op::kJcc:
+      return strf("j%s %s", cond_name(static_cast<Cond>(ins.w)), rel(ins.imm).c_str());
+    case Op::kCall:
+      return strf("call %s", rel(ins.imm).c_str());
+    case Op::kCallR:
+      return strf("callr %s", a);
+    case Op::kCallImp:
+      return strf("callimp #%lld", imm);
+    case Op::kCount:
+      break;
+  }
+  return "?";
+}
+
+bool reads_memory(Op op) {
+  return op == Op::kLoad || op == Op::kPop || op == Op::kRet;
+}
+
+bool writes_memory(Op op) {
+  return op == Op::kStore || op == Op::kPush || op == Op::kCall || op == Op::kCallR ||
+         op == Op::kCallImp;
+}
+
+bool is_control_flow(Op op) {
+  switch (op) {
+    case Op::kJmp:
+    case Op::kJmpR:
+    case Op::kJcc:
+    case Op::kCall:
+    case Op::kCallR:
+    case Op::kCallImp:
+    case Op::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace crp::isa

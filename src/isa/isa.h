@@ -1,0 +1,134 @@
+// MiniVM instruction set architecture.
+//
+// CRProbe analyzes binaries for the MiniVM, a 64-bit load/store machine with
+// a fixed 16-byte instruction word. The fixed width keeps the decoder,
+// disassembler and symbolic executor exact (no disassembly ambiguity), while
+// the ISA is rich enough to express real program idioms: PC-relative
+// addressing (position-independent images under ASLR), an import table
+// (PLT/IAT analog), SYSCALL (Linux personality) and APICALL (Windows
+// personality) traps, and SEH scope tables in the image format.
+//
+// Register convention:
+//   R0        return value / syscall number
+//   R1..R6    arguments
+//   R7..R11   caller-saved temporaries
+//   TR (R12)  thread register (TEB/TLS analog)
+//   FP (R13)  frame pointer
+//   SP (R14)  stack pointer (full-descending)
+//   R15       scratch
+//
+// Flags (ZF, SF, CF, OF) are set ONLY by CMP and TEST; ALU ops leave them
+// untouched. This deliberate simplification keeps taint and symbolic
+// semantics compact without losing expressiveness.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "util/common.h"
+
+namespace crp::isa {
+
+inline constexpr size_t kInstrBytes = 16;
+inline constexpr int kNumRegs = 16;
+
+enum class Reg : u8 {
+  R0 = 0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11,
+  TR = 12,  // thread register
+  FP = 13,  // frame pointer
+  SP = 14,  // stack pointer
+  R15 = 15,
+};
+
+enum class Cond : u8 {
+  kEq = 0,   // ZF
+  kNe,       // !ZF
+  kLt,       // SF != OF      (signed <)
+  kGe,       // SF == OF      (signed >=)
+  kLe,       // ZF || SF!=OF  (signed <=)
+  kGt,       // !ZF && SF==OF (signed >)
+  kUlt,      // CF            (unsigned <)
+  kUge,      // !CF
+  kUle,      // CF || ZF
+  kUgt,      // !CF && !ZF
+  kCount,
+};
+
+enum class Op : u8 {
+  kNop = 0,
+  kHalt,       // stop the thread (normal exit path uses SYSCALL exit instead)
+  kMovRR,      // ra = rb
+  kMovRI,      // ra = imm
+  kLea,        // ra = rb + imm
+  kLeaPc,      // ra = pc_next + imm  (PC-relative address materialization)
+  kLoad,       // ra = zext(mem[rb + imm], w)   w in {1,2,4,8}
+  kStore,      // mem[ra + imm] = low w bytes of rb
+  kPush,       // sp -= 8; mem[sp] = ra
+  kPop,        // ra = mem[sp]; sp += 8
+  kAddRR, kAddRI,
+  kSubRR, kSubRI,
+  kMulRR, kMulRI,
+  kDivRR,      // unsigned divide; rb == 0 -> DivideByZero fault
+  kModRR,
+  kAndRR, kAndRI,
+  kOrRR, kOrRI,
+  kXorRR, kXorRI,
+  kShlRI, kShrRI, kSarRI,
+  kShlRR, kShrRR,
+  kNot,        // ra = ~ra
+  kNeg,        // ra = -ra
+  kCmpRR, kCmpRI,    // flags = ra - operand
+  kTestRR, kTestRI,  // flags = ra & operand (ZF, SF only; CF=OF=0)
+  kJmp,        // pc = pc_next + imm
+  kJmpR,       // pc = ra
+  kJcc,        // if cond(w) pc = pc_next + imm
+  kCall,       // push pc_next; pc = pc_next + imm
+  kCallR,      // push pc_next; pc = ra
+  kCallImp,    // push pc_next; pc = resolve(import[imm])
+  kRet,        // pc = pop()
+  kSyscall,    // Linux personality trap: nr in R0, args R1..R6, ret in R0
+  kApiCall,    // Windows personality trap: API id = imm, args R1..R6, ret R0
+  kCount,
+};
+
+/// One decoded instruction.
+struct Instr {
+  Op op = Op::kNop;
+  Reg ra = Reg::R0;
+  Reg rb = Reg::R0;
+  u8 w = 0;      // memory width (1/2/4/8) for kLoad/kStore, Cond for kJcc, else 0
+  i64 imm = 0;
+
+  bool operator==(const Instr&) const = default;
+};
+
+/// True for widths the ISA accepts on loads/stores.
+constexpr bool valid_width(u8 w) { return w == 1 || w == 2 || w == 4 || w == 8; }
+
+/// Encode `ins` into exactly kInstrBytes at `out` (out.size() must be >= 16).
+void encode(const Instr& ins, std::span<u8> out);
+
+/// Encode into a fresh 16-byte array.
+std::array<u8, kInstrBytes> encode(const Instr& ins);
+
+/// Decode 16 bytes. Returns nullopt for malformed words (bad opcode, bad
+/// register index, bad width) — the VM raises InvalidOpcode in that case.
+std::optional<Instr> decode(std::span<const u8> bytes);
+
+const char* op_name(Op op);
+const char* reg_name(Reg r);
+const char* cond_name(Cond c);
+
+/// One-line human-readable disassembly; `pc` is used to resolve PC-relative
+/// targets into absolute addresses in the text.
+std::string disasm(const Instr& ins, u64 pc = 0);
+
+/// True for ops that read memory / write memory (used by taint & tracing).
+bool reads_memory(Op op);
+bool writes_memory(Op op);
+/// True for control-flow ops (jumps, calls, ret).
+bool is_control_flow(Op op);
+
+}  // namespace crp::isa

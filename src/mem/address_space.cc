@@ -1,0 +1,193 @@
+#include "mem/address_space.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace crp::mem {
+
+const char* access_name(Access a) {
+  switch (a) {
+    case Access::kRead: return "read";
+    case Access::kWrite: return "write";
+    case Access::kExec: return "exec";
+  }
+  return "?";
+}
+
+const AddressSpace::Page* AddressSpace::page_at(gva_t addr) const {
+  auto it = pages_.find(addr / kPageSize);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+AddressSpace::Page* AddressSpace::page_at(gva_t addr) {
+  auto it = pages_.find(addr / kPageSize);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+bool AddressSpace::map(gva_t addr, u64 size, u8 perms) {
+  if (size == 0) return false;
+  gva_t begin = align_down(addr, kPageSize);
+  gva_t end = align_up(addr + size, kPageSize);
+  if (end <= begin) return false;  // overflow
+  for (gva_t p = begin; p != end; p += kPageSize)
+    if (pages_.contains(p / kPageSize)) return false;
+  for (gva_t p = begin; p != end; p += kPageSize) {
+    Page pg;
+    pg.perms = perms;
+    pg.data = std::make_unique<u8[]>(kPageSize);
+    std::memset(pg.data.get(), 0, kPageSize);
+    pages_.emplace(p / kPageSize, std::move(pg));
+  }
+  return true;
+}
+
+bool AddressSpace::unmap(gva_t addr, u64 size) {
+  if (size == 0) return false;
+  gva_t begin = align_down(addr, kPageSize);
+  gva_t end = align_up(addr + size, kPageSize);
+  bool any = false;
+  for (gva_t p = begin; p != end; p += kPageSize) any |= pages_.erase(p / kPageSize) > 0;
+  return any;
+}
+
+bool AddressSpace::protect(gva_t addr, u64 size, u8 perms) {
+  if (size == 0) return false;
+  gva_t begin = align_down(addr, kPageSize);
+  gva_t end = align_up(addr + size, kPageSize);
+  for (gva_t p = begin; p != end; p += kPageSize)
+    if (!pages_.contains(p / kPageSize)) return false;
+  for (gva_t p = begin; p != end; p += kPageSize) pages_.at(p / kPageSize).perms = perms;
+  return true;
+}
+
+bool AddressSpace::is_mapped(gva_t addr) const { return page_at(addr) != nullptr; }
+
+u8 AddressSpace::perms_of(gva_t addr) const {
+  const Page* p = page_at(addr);
+  return p != nullptr ? p->perms : static_cast<u8>(kPermNone);
+}
+
+bool AddressSpace::check_range(gva_t addr, u64 size, u8 perms) const {
+  if (size == 0) return true;
+  gva_t end = addr + size;
+  if (end < addr) return false;
+  for (gva_t p = align_down(addr, kPageSize); p < end; p += kPageSize) {
+    const Page* pg = page_at(p);
+    if (pg == nullptr || (pg->perms & perms) != perms) return false;
+  }
+  return true;
+}
+
+std::vector<Region> AddressSpace::regions() const {
+  std::vector<u64> nums;
+  nums.reserve(pages_.size());
+  for (const auto& [num, _] : pages_) nums.push_back(num);
+  std::sort(nums.begin(), nums.end());
+  std::vector<Region> out;
+  for (u64 num : nums) {
+    u8 perms = pages_.at(num).perms;
+    gva_t begin = num * kPageSize;
+    if (!out.empty() && out.back().end == begin && out.back().perms == perms) {
+      out.back().end = begin + kPageSize;
+    } else {
+      out.push_back({begin, begin + kPageSize, perms});
+    }
+  }
+  return out;
+}
+
+AccessResult AddressSpace::validate(gva_t addr, u64 size, u8 perms, Access kind) const {
+  if (size == 0) return AccessResult::success();
+  gva_t end = addr + size;
+  if (end < addr) return AccessResult::fault(addr, kind);
+  for (gva_t p = align_down(addr, kPageSize); p < end; p += kPageSize) {
+    const Page* pg = page_at(p);
+    if (pg == nullptr || (pg->perms & perms) != perms)
+      return AccessResult::fault(std::max(p, addr), kind);
+  }
+  return AccessResult::success();
+}
+
+AccessResult AddressSpace::read(gva_t addr, std::span<u8> out) const {
+  AccessResult r = validate(addr, out.size(), kPermR, Access::kRead);
+  if (!r.ok) return r;
+  CRP_CHECK(peek(addr, out));
+  return AccessResult::success();
+}
+
+AccessResult AddressSpace::write(gva_t addr, std::span<const u8> in) {
+  AccessResult r = validate(addr, in.size(), kPermW, Access::kWrite);
+  if (!r.ok) return r;
+  CRP_CHECK(poke(addr, in));
+  return AccessResult::success();
+}
+
+AccessResult AddressSpace::fetch(gva_t addr, std::span<u8> out) const {
+  AccessResult r = validate(addr, out.size(), kPermX, Access::kExec);
+  if (!r.ok) return r;
+  CRP_CHECK(peek(addr, out));
+  return AccessResult::success();
+}
+
+AccessResult AddressSpace::read_uint(gva_t addr, u8 width, u64* out) const {
+  CRP_CHECK(width == 1 || width == 2 || width == 4 || width == 8);
+  u8 buf[8] = {};
+  AccessResult r = read(addr, std::span<u8>(buf, width));
+  if (!r.ok) return r;
+  u64 v = 0;
+  for (u8 i = 0; i < width; ++i) v |= static_cast<u64>(buf[i]) << (8 * i);
+  *out = v;
+  return AccessResult::success();
+}
+
+AccessResult AddressSpace::write_uint(gva_t addr, u8 width, u64 value) {
+  CRP_CHECK(width == 1 || width == 2 || width == 4 || width == 8);
+  u8 buf[8];
+  for (u8 i = 0; i < width; ++i) buf[i] = static_cast<u8>(value >> (8 * i));
+  return write(addr, std::span<const u8>(buf, width));
+}
+
+bool AddressSpace::peek(gva_t addr, std::span<u8> out) const {
+  size_t done = 0;
+  while (done < out.size()) {
+    const Page* pg = page_at(addr + done);
+    if (pg == nullptr) return false;
+    u64 off = (addr + done) & kPageMask;
+    size_t n = std::min<size_t>(out.size() - done, kPageSize - off);
+    std::memcpy(out.data() + done, pg->data.get() + off, n);
+    done += n;
+  }
+  return true;
+}
+
+bool AddressSpace::poke(gva_t addr, std::span<const u8> in) {
+  // Validate first so a failing poke has no partial effect.
+  for (gva_t p = align_down(addr, kPageSize); p < addr + in.size(); p += kPageSize)
+    if (page_at(p) == nullptr) return false;
+  size_t done = 0;
+  while (done < in.size()) {
+    Page* pg = page_at(addr + done);
+    u64 off = (addr + done) & kPageMask;
+    size_t n = std::min<size_t>(in.size() - done, kPageSize - off);
+    std::memcpy(pg->data.get() + off, in.data() + done, n);
+    done += n;
+  }
+  return true;
+}
+
+bool AddressSpace::peek_u64(gva_t addr, u64* out) const {
+  u8 buf[8];
+  if (!peek(addr, buf)) return false;
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(buf[i]) << (8 * i);
+  *out = v;
+  return true;
+}
+
+bool AddressSpace::poke_u64(gva_t addr, u64 value) {
+  u8 buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<u8>(value >> (8 * i));
+  return poke(addr, buf);
+}
+
+}  // namespace crp::mem

@@ -1,0 +1,128 @@
+// Sparse paged guest address space with RWX permissions.
+//
+// This is the substrate that makes crash resistance a meaningful property:
+// every guest access is checked against the page table, and a failed check
+// yields a precise fault report (address + access kind) that the VM turns
+// into an access violation, the kernel turns into -EFAULT, or the SEH
+// machinery turns into a filtered exception.
+//
+// Access semantics: an access is validated over its whole byte range before
+// any byte moves, so a faulting access has no partial side effects. This
+// matches copy_from_user/copy_to_user semantics, which is the contract the
+// paper's class-(a) primitives rely on.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.h"
+
+namespace crp::mem {
+
+inline constexpr u64 kPageSize = 4096;
+inline constexpr u64 kPageMask = kPageSize - 1;
+
+/// Permission bits (combinable).
+enum Perm : u8 {
+  kPermNone = 0,
+  kPermR = 1,
+  kPermW = 2,
+  kPermX = 4,
+};
+
+/// What kind of access faulted — reported to exception filters, mirroring
+/// the EXCEPTION_RECORD information Windows provides.
+enum class Access : u8 { kRead = 0, kWrite = 1, kExec = 2 };
+
+const char* access_name(Access a);
+
+/// Result of a checked guest access.
+struct AccessResult {
+  bool ok = true;
+  gva_t fault_addr = 0;  // first failing address when !ok
+  Access kind = Access::kRead;
+
+  static AccessResult success() { return {}; }
+  static AccessResult fault(gva_t addr, Access kind) { return {false, addr, kind}; }
+};
+
+/// One mapped region as reported by region enumeration (test ground truth,
+/// VirtualQuery-style APIs).
+struct Region {
+  gva_t begin = 0;
+  gva_t end = 0;  // exclusive
+  u8 perms = kPermNone;
+};
+
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  // --- mapping ------------------------------------------------------------
+
+  /// Map [addr, addr+size) with `perms`. Both must be page aligned
+  /// (size rounded up). Fails if any page is already mapped.
+  bool map(gva_t addr, u64 size, u8 perms);
+
+  /// Unmap every mapped page in [addr, addr+size). Returns true if at least
+  /// one page was unmapped.
+  bool unmap(gva_t addr, u64 size);
+
+  /// Change permissions on all pages of [addr, addr+size); fails (with no
+  /// change) if any page in the range is unmapped.
+  bool protect(gva_t addr, u64 size, u8 perms);
+
+  bool is_mapped(gva_t addr) const;
+  /// Perms of the page containing addr (kPermNone if unmapped).
+  u8 perms_of(gva_t addr) const;
+
+  /// True if every byte of [addr, addr+size) is mapped with all `perms` bits.
+  bool check_range(gva_t addr, u64 size, u8 perms) const;
+
+  /// Enumerate mapped regions, coalescing adjacent same-perm pages.
+  std::vector<Region> regions() const;
+
+  /// Number of mapped pages.
+  size_t page_count() const { return pages_.size(); }
+
+  // --- checked accesses (guest semantics) ----------------------------------
+
+  AccessResult read(gva_t addr, std::span<u8> out) const;
+  AccessResult write(gva_t addr, std::span<const u8> in);
+  /// Instruction fetch (requires X).
+  AccessResult fetch(gva_t addr, std::span<u8> out) const;
+
+  /// Typed checked helpers (zero-extended little-endian).
+  AccessResult read_uint(gva_t addr, u8 width, u64* out) const;
+  AccessResult write_uint(gva_t addr, u8 width, u64 value);
+
+  // --- raw accesses (host / debugger / attacker-primitive semantics) -------
+  // These bypass permission checks (but not mapping): they model the
+  // arbitrary read/write primitive of the threat model, which the paper
+  // grants the attacker, as well as host-side loaders.
+
+  bool peek(gva_t addr, std::span<u8> out) const;
+  bool poke(gva_t addr, std::span<const u8> in);
+  bool peek_u64(gva_t addr, u64* out) const;
+  bool poke_u64(gva_t addr, u64 value);
+
+ private:
+  struct Page {
+    u8 perms = kPermNone;
+    std::unique_ptr<u8[]> data;  // kPageSize bytes, zero-initialized
+  };
+
+  const Page* page_at(gva_t addr) const;
+  Page* page_at(gva_t addr);
+
+  /// Validate a whole range; returns first failing address.
+  AccessResult validate(gva_t addr, u64 size, u8 perms, Access kind) const;
+
+  std::unordered_map<u64, Page> pages_;  // keyed by page number
+};
+
+}  // namespace crp::mem

@@ -1,0 +1,54 @@
+#include "mem/layout.h"
+
+namespace crp::mem {
+
+const char* region_kind_name(RegionKind k) {
+  switch (k) {
+    case RegionKind::kImage: return "image";
+    case RegionKind::kHeap: return "heap";
+    case RegionKind::kStack: return "stack";
+    case RegionKind::kHidden: return "hidden";
+    case RegionKind::kOther: return "other";
+  }
+  return "?";
+}
+
+gva_t AslrLayout::random_base(u32 bits, u64 size) {
+  CRP_CHECK(bits >= 1 && bits <= 40);
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    u64 slot = rng_.next() & ((1ull << bits) - 1);
+    gva_t base = cfg_.user_lo + (slot << 12);  // page-granular slide
+    if (base + size > cfg_.user_hi || base + size < base) continue;
+    if (!reserved_.overlaps(base, base + size)) return base;
+  }
+  CRP_PANIC("AslrLayout: could not place region (address space exhausted?)");
+}
+
+gva_t AslrLayout::place(RegionKind kind, u64 size, const std::string& name) {
+  size = align_up(std::max<u64>(size, 1), kPageSize);
+  u32 bits = cfg_.image_bits;
+  switch (kind) {
+    case RegionKind::kImage: bits = cfg_.image_bits; break;
+    case RegionKind::kHeap: bits = cfg_.heap_bits; break;
+    case RegionKind::kStack: bits = cfg_.stack_bits; break;
+    case RegionKind::kHidden: bits = cfg_.hidden_bits; break;
+    case RegionKind::kOther: bits = cfg_.heap_bits; break;
+  }
+  gva_t base = random_base(bits, size);
+  Placement p{base, size, kind, name};
+  CRP_CHECK(reserved_.insert(base, base + size, p));
+  return base;
+}
+
+std::vector<AslrLayout::Placement> AslrLayout::placements() const {
+  std::vector<Placement> out;
+  for (const auto& [_, e] : reserved_) out.push_back(e.value);
+  return out;
+}
+
+const AslrLayout::Placement* AslrLayout::find(gva_t addr) const {
+  const auto* e = reserved_.find(addr);
+  return e != nullptr ? &e->value : nullptr;
+}
+
+}  // namespace crp::mem

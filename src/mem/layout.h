@@ -1,0 +1,66 @@
+// ASLR layout: randomized placement of images, heap, stacks and hidden
+// regions in a 47-bit user address space.
+//
+// Hidden regions model the information-hiding defenses the paper attacks
+// (SafeStack, CPI safe region, shadow stacks): they are mapped at a random
+// address, no pointer to them is ever stored in attacker-visible memory, and
+// the attacker's goal is to locate them by crash-resistant probing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "util/interval_map.h"
+#include "util/rng.h"
+
+namespace crp::mem {
+
+/// Entropy configuration, expressed as the number of random bits applied to
+/// each kind of base address (aligned to page granularity).
+struct AslrConfig {
+  u32 image_bits = 28;
+  u32 heap_bits = 28;
+  u32 stack_bits = 28;
+  u32 hidden_bits = 28;  // entropy of information-hiding regions
+  u64 user_lo = 0x0000'0000'0001'0000ull;
+  u64 user_hi = 0x0000'7fff'ffff'ffffull;
+};
+
+enum class RegionKind : u8 { kImage, kHeap, kStack, kHidden, kOther };
+
+const char* region_kind_name(RegionKind k);
+
+/// Picks non-overlapping randomized bases and remembers what lives where
+/// (the ground truth that tests and the Scanner benchmarks compare against).
+class AslrLayout {
+ public:
+  AslrLayout(AslrConfig cfg, u64 seed) : cfg_(cfg), rng_(seed) {}
+
+  /// Reserve a region of `size` bytes of the given kind at a randomized,
+  /// page-aligned base; returns the base. Never fails (retries draws).
+  gva_t place(RegionKind kind, u64 size, const std::string& name);
+
+  /// All reservations in address order.
+  struct Placement {
+    gva_t base = 0;
+    u64 size = 0;
+    RegionKind kind = RegionKind::kOther;
+    std::string name;
+  };
+  std::vector<Placement> placements() const;
+
+  /// Ground truth lookup: what (if anything) is reserved at `addr`.
+  const Placement* find(gva_t addr) const;
+
+  const AslrConfig& config() const { return cfg_; }
+
+ private:
+  gva_t random_base(u32 bits, u64 size);
+
+  AslrConfig cfg_;
+  Rng rng_;
+  IntervalMap<Placement> reserved_;
+};
+
+}  // namespace crp::mem

@@ -1,0 +1,80 @@
+#include "oracle/crash_tolerant.h"
+
+#include "targets/common.h"
+#include "targets/nginx.h"
+
+namespace crp::oracle {
+
+CrashTolerantProbe::CrashTolerantProbe(analysis::TargetProgram target, u64 aslr_seed)
+    : target_(std::move(target)), seed_(aslr_seed) {
+  respawn();
+  --restarts_;  // the initial spawn is not a restart
+}
+
+CrashTolerantProbe::~CrashTolerantProbe() = default;
+
+void CrashTolerantProbe::respawn() {
+  k_ = std::make_unique<os::Kernel>();
+  pid_ = target_.instantiate(*k_, seed_);
+  k_->run(3'000'000);
+  ++restarts_;
+  if (hidden_size_ != 0) {
+    // Pre-fork layout persistence: the hidden region reappears at the same
+    // randomized address because the layout RNG is seeded identically.
+    gva_t base = targets::plant_hidden_region(k_->proc(pid_), hidden_size_, hidden_pattern_);
+    CRP_CHECK(hidden_base_ == 0 || base == hidden_base_);
+    hidden_base_ = base;
+  }
+}
+
+gva_t CrashTolerantProbe::plant_hidden(u64 size, u64 pattern) {
+  hidden_size_ = size;
+  hidden_pattern_ = pattern;
+  hidden_base_ = targets::plant_hidden_region(k_->proc(pid_), size, pattern);
+  return hidden_base_;
+}
+
+ProbeResult CrashTolerantProbe::probe(gva_t addr) {
+  ++probes_;
+  if (!k_->proc(pid_).alive()) respawn();
+  os::Process& p = k_->proc(pid_);
+
+  // Park a recognizable buffer, then corrupt the connection-object pointer
+  // ITSELF — the server dereferences it unguarded in handle_readable, so an
+  // unmapped address is a hard crash (the crash-tolerant idiom).
+  auto conn = k_->connect(target_.port);
+  if (!conn.has_value()) return ProbeResult::kUnknown;
+  conn->send(targets::wire_command(targets::kOpGet).substr(0, 8));
+  k_->run(400'000);
+
+  gva_t table = p.machine().resolve("nginx_sim", "conn_table");
+  if (table == 0) return ProbeResult::kUnknown;
+  std::optional<gva_t> slot;
+  for (int fd = 0; fd < 64; ++fd) {
+    u64 buf = 0;
+    if (!p.machine().mem().peek_u64(table + static_cast<u64>(fd) * 8, &buf) || buf == 0)
+      continue;
+    u64 total = 0;
+    if (p.machine().mem().peek_u64(buf + 40, &total) && total == 8)
+      slot = table + static_cast<u64>(fd) * 8;
+  }
+  if (!slot.has_value()) {
+    conn->close();
+    return ProbeResult::kUnknown;
+  }
+  p.machine().mem().poke_u64(*slot, addr);
+
+  conn->send(targets::wire_command(targets::kOpGet).substr(8));
+  k_->run_until([&] { return !k_->proc(pid_).alive() || conn->server_closed(); },
+                4'000'000);
+  bool died = !k_->proc(pid_).alive();
+  conn->close();
+  if (died) {
+    ++crashes_;
+    return ProbeResult::kUnmapped;  // the crash IS the signal — and the noise
+  }
+  k_->run(200'000);
+  return ProbeResult::kMapped;
+}
+
+}  // namespace crp::oracle

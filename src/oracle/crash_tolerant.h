@@ -1,0 +1,60 @@
+// Crash-TOLERANT probing — the §I/§II baseline the paper contrasts crash
+// resistance against.
+//
+// BROP-style attacks exploit servers that restart after a crash: each wrong
+// guess kills a worker, a supervisor respawns it (classically with the SAME
+// memory layout — pre-fork servers re-fork rather than re-exec, which §VII
+// explicitly calls out: "the memory layout of restarting processes must not
+// persist between restarts"). The attack works, but every unmapped probe is
+// a loud crash a defender can count.
+//
+// CrashTolerantProbe drives exactly that protocol against nginx_sim: it
+// corrupts the per-connection object pointer itself (which the server
+// dereferences directly, with no guard), completes the request, and watches
+// whether the process died. A supervisor respawns the server with the same
+// ASLR seed. The companion bench pits this against the crash-resistant recv
+// oracle: same answers, zero vs. hundreds of crashes.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "analysis/target.h"
+#include "oracle/oracle.h"
+
+namespace crp::oracle {
+
+class CrashTolerantProbe : public MemoryOracle {
+ public:
+  /// Spawns the first server instance (its own kernel). `aslr_seed` is
+  /// reused on every respawn — the layout-persistence assumption.
+  CrashTolerantProbe(analysis::TargetProgram target, u64 aslr_seed);
+  ~CrashTolerantProbe() override;
+
+  ProbeResult probe(gva_t addr) override;
+  std::string name() const override { return "crash-tolerant"; }
+
+  u64 crashes() const { return crashes_; }
+  u64 restarts() const { return restarts_; }
+  os::Kernel& kernel() { return *k_; }
+  os::Process& proc() { return k_->proc(pid_); }
+
+  /// Plant the hidden region (same address every respawn thanks to the
+  /// fixed seed); returns its base.
+  gva_t plant_hidden(u64 size, u64 pattern);
+
+ private:
+  void respawn();
+
+  analysis::TargetProgram target_;
+  u64 seed_;
+  std::unique_ptr<os::Kernel> k_;
+  int pid_ = 0;
+  u64 crashes_ = 0;
+  u64 restarts_ = 0;
+  u64 hidden_size_ = 0;
+  u64 hidden_pattern_ = 0;
+  gva_t hidden_base_ = 0;
+};
+
+}  // namespace crp::oracle

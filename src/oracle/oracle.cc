@@ -1,0 +1,179 @@
+#include "oracle/oracle.h"
+
+#include "targets/common.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace crp::oracle {
+
+const char* probe_result_name(ProbeResult r) {
+  switch (r) {
+    case ProbeResult::kMapped: return "mapped";
+    case ProbeResult::kUnmapped: return "unmapped";
+    case ProbeResult::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+// --- NginxRecvOracle -------------------------------------------------------------
+
+NginxRecvOracle::NginxRecvOracle(os::Kernel& kernel, int pid, u16 port)
+    : k_(kernel), pid_(pid), port_(port) {}
+
+std::optional<gva_t> NginxRecvOracle::leak_parked_buf() {
+  // Threat model: the module base is known (information leak), so the
+  // connection-table global is readable with the arbitrary-read primitive.
+  os::Process& p = k_.proc(pid_);
+  gva_t table = p.machine().resolve("nginx_sim", "conn_table");
+  if (table == 0) return std::nullopt;
+  for (int fd = 0; fd < 64; ++fd) {
+    u64 buf = 0;
+    if (!p.machine().mem().peek_u64(table + static_cast<u64>(fd) * 8, &buf) || buf == 0)
+      continue;
+    u64 total = 0, start = 0, first8 = 0;
+    if (!p.machine().mem().peek_u64(buf + 40, &total)) continue;
+    if (total != 8) continue;  // our half-sent request
+    if (!p.machine().mem().peek_u64(buf + 0, &start)) continue;
+    if (!p.machine().mem().peek_u64(start, &first8)) continue;
+    if (first8 == targets::kOpGet) return buf;
+  }
+  return std::nullopt;
+}
+
+ProbeResult NginxRecvOracle::probe(gva_t addr) {
+  ++probes_;
+  os::Process& p = k_.proc(pid_);
+
+  // 1. Partial request parks a recognizable ngx_buf_t.
+  auto conn = k_.connect(port_);
+  if (!conn.has_value()) return ProbeResult::kUnknown;
+  conn->send(targets::wire_command(targets::kOpGet).substr(0, 8));
+  k_.run(400'000);
+
+  // 2. Leak it.
+  std::optional<gva_t> buf = leak_parked_buf();
+  if (!buf.has_value()) {
+    conn->close();
+    return ProbeResult::kUnknown;
+  }
+
+  // 3. Arbitrary write: point pos at the probed address (end = pos + 8 so
+  //    the server asks for exactly 8 bytes).
+  p.machine().mem().poke_u64(*buf + 8, addr);       // pos
+  p.machine().mem().poke_u64(*buf + 24, addr + 8);  // end
+
+  // 4. Complete the request; the server recv()s straight into `addr`.
+  conn->send(targets::wire_command(targets::kOpGet).substr(8));
+  std::string got;
+  k_.run_until(
+      [&] {
+        got += conn->recv_all();
+        return !got.empty() || conn->server_closed();
+      },
+      4'000'000);
+  bool closed = conn->server_closed();
+  conn->close();
+  k_.run(200'000);
+
+  // 5. Response => recv succeeded => address mapped (writable); silent
+  //    close => -EFAULT path => unmapped. Zero crashes either way.
+  if (!got.empty()) return ProbeResult::kMapped;
+  if (closed) return ProbeResult::kUnmapped;
+  return ProbeResult::kUnknown;
+}
+
+// --- SehProbeOracle ----------------------------------------------------------------
+
+SehProbeOracle::SehProbeOracle(targets::BrowserSim& browser) : browser_(browser) {
+  engine_ = browser_.script_engine_addr();
+  auto& mem = browser_.proc().machine().mem();
+  mem.peek_u64(engine_ + 32, &saved_debug_info_);
+  // Force EnterCriticalSection onto the contended (dereferencing) path by
+  // setting the three control fields (§VI-A).
+  mem.poke_u64(engine_ + 8, 0xC5C5);
+  mem.poke_u64(engine_ + 16, 1);
+  mem.poke_u64(engine_ + 24, 0);
+}
+
+ProbeResult SehProbeOracle::probe(gva_t addr) {
+  ++probes_;
+  if (engine_ == 0) return ProbeResult::kUnknown;
+  auto& mem = browser_.proc().machine().mem();
+  // debug_info + 0x10 is dereferenced: bias the pointer so the read lands
+  // exactly on `addr`.
+  mem.poke_u64(engine_ + 32, addr - 0x10);
+  // Trigger: processing any new script enters MUTX::Enter. Wait on the
+  // engine's scripts-processed counter so each probe costs only the script
+  // round trip (thousands of probes per virtual second, as in the paper).
+  u64 done_before = browser_.script_done_count();
+  browser_.run_script(0);
+  browser_.kernel().run_until(
+      [&] { return browser_.script_done_count() > done_before; }, 4'000'000);
+  u64 status = browser_.mutx_status();
+  mem.poke_u64(engine_ + 32, saved_debug_info_);
+  if (status == 0) return ProbeResult::kMapped;
+  if (status == 1) return ProbeResult::kUnmapped;
+  return ProbeResult::kUnknown;
+}
+
+// --- FirefoxPollOracle ---------------------------------------------------------------
+
+FirefoxPollOracle::FirefoxPollOracle(targets::BrowserSim& browser) : browser_(browser) {
+  slot_ = browser_.probe_slot_addr();
+}
+
+ProbeResult FirefoxPollOracle::probe(gva_t addr) {
+  ++probes_;
+  if (slot_ == 0 || addr == 0) return ProbeResult::kUnknown;
+  auto& mem = browser_.proc().machine().mem();
+  mem.poke_u64(slot_ + 16, 0);   // clear status
+  mem.poke_u64(slot_ + 0, addr); // request — the background thread does the rest
+  u64 status = 0;
+  browser_.kernel().run_until(
+      [&] {
+        mem.peek_u64(slot_ + 16, &status);
+        return status != 0;
+      },
+      6'000'000);
+  if (status == 2) return ProbeResult::kMapped;
+  if (status == 1) return ProbeResult::kUnmapped;
+  return ProbeResult::kUnknown;
+}
+
+// --- Scanner -----------------------------------------------------------------------------
+
+std::vector<gva_t> Scanner::sweep(gva_t base, u64 len, u64 stride) {
+  CRP_CHECK(stride != 0);
+  std::vector<gva_t> mapped;
+  for (gva_t a = base; a < base + len; a += stride) {
+    ++stats_.probes;
+    if (oracle_.probe(a) == ProbeResult::kMapped) {
+      ++stats_.mapped_hits;
+      mapped.push_back(a);
+    }
+  }
+  return mapped;
+}
+
+std::optional<gva_t> Scanner::hunt(gva_t lo, gva_t hi, u64 max_probes, u64 seed,
+                                   const std::function<bool(gva_t)>& accept) {
+  CRP_CHECK(hi > lo);
+  Rng rng(seed);
+  u64 slots = (hi - lo) / mem::kPageSize;
+  for (u64 i = 0; i < max_probes; ++i) {
+    gva_t addr = lo + rng.below(slots) * mem::kPageSize;
+    ++stats_.probes;
+    if (oracle_.probe(addr) == ProbeResult::kMapped) {
+      ++stats_.mapped_hits;
+      if (!accept || accept(addr)) return addr;
+    }
+  }
+  return std::nullopt;
+}
+
+double expected_probes(u64 space_pages, u64 region_pages) {
+  if (region_pages == 0) return 0.0;
+  return static_cast<double>(space_pages) / static_cast<double>(region_pages);
+}
+
+}  // namespace crp::oracle

@@ -1,0 +1,132 @@
+// Attacker-side memory oracles (§III, §VI).
+//
+// A MemoryOracle answers "is guest address X readable?" WITHOUT crashing the
+// target — each implementation drives one discovered crash-resistant
+// primitive through its legitimate interface:
+//
+//   NginxRecvOracle    — §VI-C: two connections; corrupt the parked
+//                        ngx_buf_t's pos/end through the arbitrary-write
+//                        primitive, complete the request, observe whether
+//                        the server answers or silently closes.
+//   SehProbeOracle     — §VI-A: poke the probed address into the jscript9
+//                        ScriptEngine's debug_info pointer, trigger
+//                        MUTX::Enter by running a script, read the status
+//                        field back.
+//   FirefoxPollOracle  — §VI-B: write the address into the background poll
+//                        thread's probe slot and read the status back; no
+//                        manual trigger needed.
+//   CherokeeTimingOracle — §VI-D: corrupt one worker's fdpoll events
+//                        pointer and measure service time; a timing (not
+//                        value) channel, exposed via probe cost.
+//
+// All oracles use only the threat-model capabilities: an arbitrary
+// read/write primitive (AddressSpace::peek/poke) plus legitimate protocol
+// interactions. They never receive layout ground truth.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "os/kernel.h"
+#include "targets/browser.h"
+
+namespace crp::oracle {
+
+enum class ProbeResult : u8 { kMapped = 0, kUnmapped, kUnknown };
+
+const char* probe_result_name(ProbeResult r);
+
+class MemoryOracle {
+ public:
+  virtual ~MemoryOracle() = default;
+  /// Probe one address for readability, crash-resistantly.
+  virtual ProbeResult probe(gva_t addr) = 0;
+  virtual std::string name() const = 0;
+  u64 probes_issued() const { return probes_; }
+
+ protected:
+  u64 probes_ = 0;
+};
+
+/// §VI-C oracle against a running nginx_sim.
+class NginxRecvOracle : public MemoryOracle {
+ public:
+  /// `kernel`/`pid` identify the running server; the oracle opens its own
+  /// connections on `port`.
+  NginxRecvOracle(os::Kernel& kernel, int pid, u16 port);
+  ProbeResult probe(gva_t addr) override;
+  std::string name() const override { return "nginx-recv"; }
+
+ private:
+  /// Locate the parked ngx_buf_t for our paused connection by scanning the
+  /// connection table global (the "leak the buffer object containing our
+  /// signature" step, done with the read primitive).
+  std::optional<gva_t> leak_parked_buf();
+
+  os::Kernel& k_;
+  int pid_;
+  u16 port_;
+};
+
+/// §VI-A oracle against a BrowserSim (IE kind).
+class SehProbeOracle : public MemoryOracle {
+ public:
+  explicit SehProbeOracle(targets::BrowserSim& browser);
+  ProbeResult probe(gva_t addr) override;
+  std::string name() const override { return "ie-mutx-seh"; }
+
+ private:
+  targets::BrowserSim& browser_;
+  gva_t engine_ = 0;
+  gva_t saved_debug_info_ = 0;
+};
+
+/// §VI-B oracle against a BrowserSim (Firefox kind).
+class FirefoxPollOracle : public MemoryOracle {
+ public:
+  explicit FirefoxPollOracle(targets::BrowserSim& browser);
+  ProbeResult probe(gva_t addr) override;
+  std::string name() const override { return "firefox-poll"; }
+
+ private:
+  targets::BrowserSim& browser_;
+  gva_t slot_ = 0;
+};
+
+// --- scanning --------------------------------------------------------------------
+
+struct ScanStats {
+  u64 probes = 0;
+  u64 mapped_hits = 0;
+  u64 crashes = 0;  // must stay 0 — that is the whole point
+};
+
+/// Address-space scanner built on any oracle: sweeps a region with a given
+/// stride, returning addresses that probed mapped.
+class Scanner {
+ public:
+  explicit Scanner(MemoryOracle& oracle) : oracle_(oracle) {}
+
+  /// Probe [base, base+len) at `stride`; returns mapped probe addresses.
+  std::vector<gva_t> sweep(gva_t base, u64 len, u64 stride);
+
+  /// Hunt a hidden region: probe `max_probes` addresses of the form
+  /// lo + slot*page for uniformly drawn slots (the brute-force §III loop);
+  /// returns the first mapped hit.
+  std::optional<gva_t> hunt(gva_t lo, gva_t hi, u64 max_probes, u64 seed,
+                            const std::function<bool(gva_t)>& accept = {});
+
+  const ScanStats& stats() const { return stats_; }
+
+ private:
+  MemoryOracle& oracle_;
+  ScanStats stats_;
+};
+
+/// Expected number of uniform probes to hit a region of `region_pages`
+/// pages hidden in `space_pages` candidate slots (geometric mean).
+double expected_probes(u64 space_pages, u64 region_pages);
+
+}  // namespace crp::oracle

@@ -1,0 +1,96 @@
+#include "os/abi.h"
+
+namespace crp::os {
+
+const char* errno_name(i64 e) {
+  switch (e) {
+    case kENOENT: return "ENOENT";
+    case kEINTR: return "EINTR";
+    case kEBADF: return "EBADF";
+    case kEAGAIN: return "EAGAIN";
+    case kENOMEM: return "ENOMEM";
+    case kEFAULT: return "EFAULT";
+    case kEEXIST: return "EEXIST";
+    case kENOTDIR: return "ENOTDIR";
+    case kEISDIR: return "EISDIR";
+    case kEINVAL: return "EINVAL";
+    case kEMFILE: return "EMFILE";
+    case kENOSYS: return "ENOSYS";
+    case kENOTSOCK: return "ENOTSOCK";
+    case kECONNREFUSED: return "ECONNREFUSED";
+    default: return "E?";
+  }
+}
+
+const char* sys_name(Sys s) {
+  switch (s) {
+    case Sys::kRead: return "read";
+    case Sys::kWrite: return "write";
+    case Sys::kOpen: return "open";
+    case Sys::kClose: return "close";
+    case Sys::kChmod: return "chmod";
+    case Sys::kMkdir: return "mkdir";
+    case Sys::kUnlink: return "unlink";
+    case Sys::kSymlink: return "symlink";
+    case Sys::kSocket: return "socket";
+    case Sys::kBind: return "bind";
+    case Sys::kListen: return "listen";
+    case Sys::kAccept: return "accept";
+    case Sys::kConnect: return "connect";
+    case Sys::kSend: return "send";
+    case Sys::kRecv: return "recv";
+    case Sys::kRecvfrom: return "recvfrom";
+    case Sys::kSendmsg: return "sendmsg";
+    case Sys::kEpollCreate: return "epoll_create";
+    case Sys::kEpollCtl: return "epoll_ctl";
+    case Sys::kEpollWait: return "epoll_wait";
+    case Sys::kMmap: return "mmap";
+    case Sys::kMunmap: return "munmap";
+    case Sys::kMprotect: return "mprotect";
+    case Sys::kExit: return "exit";
+    case Sys::kExitGroup: return "exit_group";
+    case Sys::kSigaction: return "sigaction";
+    case Sys::kThreadCreate: return "thread_create";
+    case Sys::kNanosleep: return "nanosleep";
+    case Sys::kGetpid: return "getpid";
+    case Sys::kYield: return "yield";
+    case Sys::kSpawnWorker: return "spawn_worker";
+    case Sys::kGettime: return "gettime";
+    case Sys::kCount: break;
+  }
+  return "sys?";
+}
+
+const std::vector<Sys>& efault_capable_syscalls() {
+  static const std::vector<Sys> list = {
+      Sys::kChmod,   Sys::kConnect, Sys::kEpollWait, Sys::kMkdir,   Sys::kOpen,
+      Sys::kRead,    Sys::kRecv,    Sys::kRecvfrom,  Sys::kSend,    Sys::kSendmsg,
+      Sys::kSymlink, Sys::kUnlink,  Sys::kWrite,     Sys::kAccept,  Sys::kSigaction,
+      Sys::kNanosleep,
+  };
+  return list;
+}
+
+std::vector<int> pointer_args(Sys s) {
+  switch (s) {
+    case Sys::kRead: return {2};       // read(fd, buf, n)
+    case Sys::kWrite: return {2};      // write(fd, buf, n)
+    case Sys::kOpen: return {1};       // open(path, flags)
+    case Sys::kChmod: return {1};      // chmod(path, mode)
+    case Sys::kMkdir: return {1};      // mkdir(path, mode)
+    case Sys::kUnlink: return {1};     // unlink(path)
+    case Sys::kSymlink: return {1, 2}; // symlink(target, linkpath)
+    case Sys::kAccept: return {2};     // accept(fd, addr_out) — addr may be 0
+    case Sys::kConnect: return {2};    // connect(fd, addr)
+    case Sys::kSend: return {2};       // send(fd, buf, n)
+    case Sys::kRecv: return {2};       // recv(fd, buf, n)
+    case Sys::kRecvfrom: return {2, 4};// recvfrom(fd, buf, n, addr_out)
+    case Sys::kSendmsg: return {2};    // sendmsg(fd, msghdr) — msghdr holds iov
+    case Sys::kEpollWait: return {2};  // epoll_wait(epfd, events, maxevents, timeout_ms)
+    case Sys::kSigaction: return {2};  // sigaction(signo, handler_desc)
+    case Sys::kNanosleep: return {1};  // nanosleep(timespec)
+    default: return {};
+  }
+}
+
+}  // namespace crp::os

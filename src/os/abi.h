@@ -1,0 +1,108 @@
+// Guest-visible OS ABI: syscall numbers, errno values, flags.
+//
+// The syscall set mirrors the subset of Linux the paper's Table I covers
+// (all EFAULT-capable calls it lists) plus the process/thread/memory calls
+// the target corpus needs. Syscall convention: number in R0, args in
+// R1..R6, return in R0 (negative errno on failure, Linux-style).
+#pragma once
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace crp::os {
+
+// --- errno (values as on Linux x86-64) ---------------------------------------
+inline constexpr i64 kENOENT = 2;
+inline constexpr i64 kEINTR = 4;
+inline constexpr i64 kEBADF = 9;
+inline constexpr i64 kEAGAIN = 11;
+inline constexpr i64 kENOMEM = 12;
+inline constexpr i64 kEFAULT = 14;
+inline constexpr i64 kEEXIST = 17;
+inline constexpr i64 kENOTDIR = 20;
+inline constexpr i64 kEISDIR = 21;
+inline constexpr i64 kEINVAL = 22;
+inline constexpr i64 kEMFILE = 24;
+inline constexpr i64 kENOSYS = 38;
+inline constexpr i64 kENOTSOCK = 88;
+inline constexpr i64 kECONNREFUSED = 111;
+
+const char* errno_name(i64 e);
+
+// --- syscall numbers ----------------------------------------------------------
+enum class Sys : u64 {
+  kRead = 0,
+  kWrite = 1,
+  kOpen = 2,
+  kClose = 3,
+  kChmod = 4,
+  kMkdir = 5,
+  kUnlink = 6,
+  kSymlink = 7,
+  kSocket = 8,
+  kBind = 9,
+  kListen = 10,
+  kAccept = 11,
+  kConnect = 12,
+  kSend = 13,
+  kRecv = 14,
+  kRecvfrom = 15,
+  kSendmsg = 16,
+  kEpollCreate = 17,
+  kEpollCtl = 18,
+  kEpollWait = 19,
+  kMmap = 20,
+  kMunmap = 21,
+  kMprotect = 22,
+  kExit = 23,        // thread exit
+  kExitGroup = 24,   // process exit
+  kSigaction = 25,
+  kThreadCreate = 26,
+  kNanosleep = 27,
+  kGetpid = 28,
+  kYield = 29,
+  kSpawnWorker = 30,  // fork+exec-lite: worker process per connection
+  kGettime = 31,
+  kCount,
+};
+
+const char* sys_name(Sys s);
+
+/// Syscalls that take at least one user-space pointer and can therefore
+/// return -EFAULT — the candidate set the Linux analysis monitors (§III-A1).
+/// Matches the rows of Table I plus the extra pointer-taking calls the
+/// corpus uses.
+const std::vector<Sys>& efault_capable_syscalls();
+
+/// Which argument slots (1-based, R1..R6) of `s` are user pointers.
+/// Empty for syscalls with no pointer arguments.
+std::vector<int> pointer_args(Sys s);
+
+// --- open flags ----------------------------------------------------------------
+inline constexpr u64 kORdonly = 0;
+inline constexpr u64 kOWronly = 1;
+inline constexpr u64 kORdwr = 2;
+inline constexpr u64 kOCreat = 0x40;
+inline constexpr u64 kOTrunc = 0x200;
+
+// --- epoll ----------------------------------------------------------------------
+inline constexpr u64 kEpollCtlAdd = 1;
+inline constexpr u64 kEpollCtlDel = 2;
+inline constexpr u64 kEpollCtlMod = 3;
+inline constexpr u64 kEpollIn = 0x1;
+inline constexpr u64 kEpollOut = 0x4;
+/// Guest epoll_event layout: { u64 events; u64 data; } = 16 bytes.
+inline constexpr u64 kEpollEventSize = 16;
+
+// --- mmap ----------------------------------------------------------------------
+inline constexpr u64 kProtRead = 1;
+inline constexpr u64 kProtWrite = 2;
+inline constexpr u64 kProtExec = 4;
+
+// --- signals ----------------------------------------------------------------
+inline constexpr int kSigsegv = 11;
+inline constexpr int kSigbus = 7;
+inline constexpr int kSigfpe = 8;
+
+}  // namespace crp::os

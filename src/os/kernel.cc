@@ -1,0 +1,940 @@
+#include "os/kernel.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace crp::os {
+
+namespace {
+constexpr u64 kNsPerInstr = 2;
+constexpr u64 kSliceInstr = 200;
+constexpr u64 kInvalidDeadline = ~0ull;
+}  // namespace
+
+// --- ClientConn -----------------------------------------------------------------
+
+u32 ClientConn::color() const {
+  const Connection* c = net_->conn(id_);
+  return c != nullptr ? c->color : 0;
+}
+
+void ClientConn::send(std::string_view data) {
+  Connection* c = net_->conn(id_);
+  if (c == nullptr || !c->side_open[0]) return;
+  c->to_server.push(std::span<const u8>(reinterpret_cast<const u8*>(data.data()), data.size()),
+                    c->color);
+}
+
+std::string ClientConn::recv_all() {
+  Connection* c = net_->conn(id_);
+  if (c == nullptr) return {};
+  std::vector<u8> buf;
+  c->to_client.pop(c->to_client.size(), &buf, nullptr);
+  return std::string(buf.begin(), buf.end());
+}
+
+bool ClientConn::server_closed() const {
+  const Connection* c = net_->conn(id_);
+  return c == nullptr || !c->side_open[1];
+}
+
+void ClientConn::close() {
+  if (net_ != nullptr) net_->close_side(id_, 0);
+}
+
+// --- Kernel ----------------------------------------------------------------------
+
+Kernel::Kernel() { winapi_.install_base_apis(); }
+
+int Kernel::create_process(const std::string& name, vm::Personality pers, u64 aslr_seed) {
+  int pid = next_pid_++;
+  procs_.push_back(std::make_unique<Process>(pid, name, pers, aslr_seed));
+  // Snapshot: observers may register further observers from this callback
+  // (the taint farm attaches an engine per new process).
+  std::vector<KernelObserver*> snapshot = observers_;
+  for (auto* o : snapshot) o->on_process_created(*procs_.back());
+  return pid;
+}
+
+Process& Kernel::proc(int pid) {
+  for (auto& p : procs_)
+    if (p->pid() == pid) return *p;
+  CRP_PANIC(strf("no such pid %d", pid));
+}
+
+const Process* Kernel::find_proc(int pid) const {
+  for (const auto& p : procs_)
+    if (p->pid() == pid) return p.get();
+  return nullptr;
+}
+
+std::vector<int> Kernel::pids() const {
+  std::vector<int> out;
+  for (const auto& p : procs_) out.push_back(p->pid());
+  return out;
+}
+
+void Kernel::start_process(int pid) {
+  Process& p = proc(pid);
+  CRP_CHECK(!p.machine().modules().empty());
+  // Entry of the last loaded non-DLL module.
+  const vm::LoadedModule* main_mod = nullptr;
+  for (const auto& m : p.machine().modules())
+    if (!m.image->is_dll) main_mod = &m;
+  CRP_CHECK(main_mod != nullptr);
+  p.spawn_thread(main_mod->code_addr(main_mod->image->entry));
+}
+
+void Kernel::destroy_process(int pid) {
+  CRP_CHECK(cur_proc_ == nullptr || cur_proc_->pid() != pid);
+  for (auto it = procs_.begin(); it != procs_.end(); ++it) {
+    if ((*it)->pid() == pid) {
+      procs_.erase(it);
+      return;
+    }
+  }
+}
+
+void Kernel::add_observer(KernelObserver* obs) { observers_.push_back(obs); }
+
+void Kernel::remove_observer(KernelObserver* obs) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), obs), observers_.end());
+}
+
+std::optional<ClientConn> Kernel::connect(u16 port) {
+  std::optional<u64> id = net_.connect(port, net_.fresh_color());
+  if (!id.has_value()) return std::nullopt;
+  return ClientConn(&net_, *id);
+}
+
+// --- user memory (EFAULT contract) -------------------------------------------------
+
+bool Kernel::copy_from_user(Process& p, gva_t src, std::span<u8> dst) {
+  // Kernel-side copies honor page mapping but not the W^X user permission
+  // split: reads require R.
+  if (!p.machine().mem().check_range(src, dst.size(), mem::kPermR)) return false;
+  return p.machine().mem().peek(src, dst);
+}
+
+bool Kernel::copy_to_user(Process& p, gva_t dst, std::span<const u8> src,
+                          std::span<const u32> colors) {
+  if (!p.machine().mem().check_range(dst, src.size(), mem::kPermW)) return false;
+  if (!p.machine().mem().poke(dst, src)) return false;
+  for (auto* o : observers_) o->on_user_copy_out(p, dst, src, colors);
+  return true;
+}
+
+bool Kernel::strncpy_from_user(Process& p, gva_t src, std::string* out, size_t max) {
+  out->clear();
+  for (size_t i = 0; i < max; ++i) {
+    u8 c = 0;
+    if (!p.machine().mem().check_range(src + i, 1, mem::kPermR)) return false;
+    CRP_CHECK(p.machine().mem().peek(src + i, std::span<u8>(&c, 1)));
+    if (c == 0) return true;
+    out->push_back(static_cast<char>(c));
+  }
+  return false;  // unterminated
+}
+
+// --- scheduler ----------------------------------------------------------------------
+
+bool Kernel::has_work() const {
+  for (const auto& p : procs_) {
+    if (!p->alive()) continue;
+    for (const auto& t : const_cast<Process&>(*p).threads()) {
+      if (t.state == Thread::State::kRunnable) return true;
+      if (t.state == Thread::State::kBlocked && t.wait.deadline_ns != kInvalidDeadline)
+        return true;
+      if (t.state == Thread::State::kBlocked) {
+        // Unbounded waits may still be satisfied by host activity (client
+        // sends); report as work so run_until keeps polling while the host
+        // drives I/O. run() itself detects quiescence via progress.
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+u64 Kernel::run(u64 max_instr) { return run_bounded(max_instr, ~0ull); }
+
+u64 Kernel::run_bounded(u64 max_instr, u64 max_jumps) {
+  u64 start = instret_;
+  u64 jumps = 0;
+  while (instret_ - start < max_instr) {
+    bool ran_any = false;
+    u64 min_deadline = kInvalidDeadline;
+
+    // Index-based: spawn_worker may append to procs_ mid-iteration.
+    for (size_t pi = 0; pi < procs_.size(); ++pi) {
+      Process& p = *procs_[pi];
+      if (!p.alive()) continue;
+      for (auto& t : p.threads()) {
+        if (!p.alive()) break;
+        if (t.state == Thread::State::kBlocked) {
+          try_wake(p, t);
+          if (t.state == Thread::State::kBlocked) {
+            min_deadline = std::min(min_deadline, t.wait.deadline_ns);
+            continue;
+          }
+        }
+        if (t.state != Thread::State::kRunnable) continue;
+        ran_any = true;
+        step_thread(p, t, kSliceInstr);
+      }
+    }
+
+    if (!ran_any) {
+      if (min_deadline == kInvalidDeadline) return instret_ - start;  // fully quiescent
+      if (jumps++ >= max_jumps) return instret_ - start;
+      // Jump the clock to the earliest deadline and retry wakes.
+      now_ns_ = std::max(now_ns_, min_deadline);
+      bool woke = false;
+      for (size_t pi = 0; pi < procs_.size(); ++pi) {
+        Process& p = *procs_[pi];
+        if (!p.alive()) continue;
+        for (auto& t : p.threads())
+          if (t.state == Thread::State::kBlocked) {
+            try_wake(p, t);
+            woke |= t.state == Thread::State::kRunnable;
+          }
+      }
+      if (!woke) return instret_ - start;  // deadlines produced no progress
+    }
+  }
+  return instret_ - start;
+}
+
+bool Kernel::run_until(const std::function<bool()>& pred, u64 max_instr) {
+  u64 start = instret_;
+  while (instret_ - start < max_instr) {
+    if (pred()) return true;
+    u64 before = instret_;
+    u64 t_before = now_ns_;
+    u64 chunk = std::min<u64>(kSliceInstr * 8, max_instr - (instret_ - start));
+    // Phase 1: drain runnable work without advancing idle time, so the
+    // predicate is seen the moment the work produces it — an idle jump can
+    // skip the clock arbitrarily far (to the next sleep deadline) and would
+    // corrupt every timing measurement built on run_until.
+    run_bounded(chunk, 0);
+    if (instret_ != before) continue;  // made progress: re-check pred first
+    if (pred()) return true;
+    // Phase 2: nothing runnable — allow exactly one idle clock jump.
+    run_bounded(chunk, 1);
+    if (instret_ == before && now_ns_ == t_before) return pred();  // quiescent
+  }
+  return pred();
+}
+
+void Kernel::step_thread(Process& p, Thread& t, u64 slice) {
+  cur_proc_ = &p;
+  cur_thread_ = &t;
+  struct Reset {
+    Kernel* k;
+    ~Reset() {
+      k->cur_proc_ = nullptr;
+      k->cur_thread_ = nullptr;
+    }
+  } reset{this};
+  for (u64 i = 0; i < slice; ++i) {
+    if (t.state != Thread::State::kRunnable || !p.alive()) return;
+    vm::StepResult r = p.machine().step(t.cpu);
+    ++instret_;
+    ++t.steps;
+    now_ns_ += kNsPerInstr;
+    switch (r.kind) {
+      case vm::StepKind::kOk:
+        break;
+      case vm::StepKind::kHalt:
+        t.state = Thread::State::kExited;
+        for (auto* o : observers_) o->on_thread_exit(p, t);
+        if (p.live_threads() == 0) {
+          // Last thread halted: the process ends gracefully.
+          p.terminate(0, false);
+          finish_process(p);
+        }
+        return;
+      case vm::StepKind::kSyscallTrap:
+        dispatch_syscall(p, t);
+        if (t.state != Thread::State::kRunnable) return;
+        break;
+      case vm::StepKind::kApiTrap:
+        dispatch_api(p, t, r.api_id);
+        if (t.state != Thread::State::kRunnable) return;
+        break;
+      case vm::StepKind::kCrash: {
+        CRP_DEBUG("os", "pid %d (%s) crashed: %s at pc=0x%llx addr=0x%llx", p.pid(),
+                  p.name().c_str(), vm::exc_name(r.exc.code),
+                  static_cast<unsigned long long>(r.exc.fault_pc),
+                  static_cast<unsigned long long>(r.exc.fault_addr));
+        p.terminate(128 + 11, /*crashed=*/true, &r.exc);
+        finish_process(p);
+        return;
+      }
+    }
+  }
+}
+
+// --- syscall dispatch -----------------------------------------------------------------
+
+void Kernel::finish_process(Process& p) {
+  // A dying process's sockets are closed by the OS: peers must observe the
+  // connection drop (this is how a remote client "sees" a server crash).
+  for (const auto& [fd, fe] : p.fds().all()) {
+    if (const auto* conn = std::get_if<FdConn>(&fe)) net_.close_side(conn->conn_id, conn->side);
+  }
+  for (auto* o : observers_) o->on_process_exit(p);
+}
+
+void Kernel::dispatch_syscall(Process& p, Thread& t) {
+  u64 nr_raw = t.cpu.reg(isa::Reg::R0);
+  u64 args[6];
+  for (int i = 0; i < 6; ++i) args[i] = t.cpu.regs[static_cast<size_t>(1 + i)];
+
+  if (nr_raw >= static_cast<u64>(Sys::kCount)) {
+    t.cpu.reg(isa::Reg::R0) = static_cast<u64>(-kENOSYS);
+    return;
+  }
+  Sys nr = static_cast<Sys>(nr_raw);
+  for (auto* o : observers_) o->on_syscall_enter(p, t, nr, args);
+
+  SyscallOutcome oc = do_syscall(p, t, nr, args);
+  if (!oc.completed) {
+    // Thread blocked; wait descriptor installed by the handler. Result is
+    // delivered by try_wake via finish_syscall.
+    t.state = Thread::State::kBlocked;
+    t.wait.nr = nr;
+    return;
+  }
+  finish_syscall(p, t, nr, args, oc.ret);
+}
+
+void Kernel::finish_syscall(Process& p, Thread& t, Sys nr, const u64* args, i64 ret) {
+  t.cpu.reg(isa::Reg::R0) = static_cast<u64>(ret);
+  for (auto* o : observers_) o->on_syscall_exit(p, t, nr, args, ret);
+}
+
+std::vector<std::pair<u64, u64>> Kernel::epoll_ready(Process& p, FdEpoll& ep) {
+  std::vector<std::pair<u64, u64>> out;
+  for (auto& [wfd, cfg] : ep.watched) {
+    auto [mask, data] = cfg;
+    FdEntry* fe = p.fds().get(wfd);
+    if (fe == nullptr) continue;
+    u64 ready = 0;
+    if (auto* conn = std::get_if<FdConn>(fe)) {
+      Connection* c = net_.conn(conn->conn_id);
+      if (c == nullptr) {
+        ready |= kEpollIn;  // closed & reaped: readable (EOF)
+      } else {
+        ByteStream& in = c->stream_from(conn->side);
+        if (in.size() > 0 || !in.open) ready |= kEpollIn;
+        if (c->side_open[conn->side == 0 ? 1 : 0]) ready |= kEpollOut;
+      }
+    } else if (auto* lst = std::get_if<FdListener>(fe)) {
+      if (net_.backlog(lst->port) > 0) ready |= kEpollIn;
+    } else if (std::holds_alternative<FdFile>(*fe)) {
+      ready |= kEpollIn | kEpollOut;
+    }
+    ready &= mask;
+    if (ready != 0) out.emplace_back(ready, data);
+  }
+  return out;
+}
+
+Kernel::SyscallOutcome Kernel::do_syscall(Process& p, Thread& t, Sys nr, u64* a) {
+  SyscallOutcome oc;
+  auto ret = [&](i64 v) {
+    oc.ret = v;
+    return oc;
+  };
+
+  switch (nr) {
+    case Sys::kOpen:
+      return ret(sys_open(p, a));
+
+    case Sys::kClose: {
+      i64 fd = static_cast<i64>(a[0]);
+      FdEntry* fe = p.fds().get(fd);
+      if (fe == nullptr) return ret(-kEBADF);
+      if (auto* conn = std::get_if<FdConn>(fe)) net_.close_side(conn->conn_id, conn->side);
+      p.fds().close(fd);
+      return ret(0);
+    }
+
+    case Sys::kChmod: {
+      std::string path;
+      if (!strncpy_from_user(p, a[0], &path)) return ret(-kEFAULT);
+      return ret(vfs_.chmod(path, static_cast<u32>(a[1])));
+    }
+    case Sys::kMkdir: {
+      std::string path;
+      if (!strncpy_from_user(p, a[0], &path)) return ret(-kEFAULT);
+      return ret(vfs_.mkdir(path, static_cast<u32>(a[1])));
+    }
+    case Sys::kUnlink: {
+      std::string path;
+      if (!strncpy_from_user(p, a[0], &path)) return ret(-kEFAULT);
+      return ret(vfs_.unlink(path));
+    }
+    case Sys::kSymlink: {
+      std::string target, linkpath;
+      if (!strncpy_from_user(p, a[0], &target)) return ret(-kEFAULT);
+      if (!strncpy_from_user(p, a[1], &linkpath)) return ret(-kEFAULT);
+      return ret(vfs_.symlink(target, linkpath));
+    }
+
+    case Sys::kSocket:
+      return ret(p.fds().alloc(FdConn{0, 0}));  // unbound socket placeholder
+
+    case Sys::kBind: {
+      FdEntry* fe = p.fds().get(static_cast<i64>(a[0]));
+      if (fe == nullptr) return ret(-kEBADF);
+      *fe = FdListener{static_cast<u16>(a[1])};
+      return ret(0);
+    }
+    case Sys::kListen: {
+      FdEntry* fe = p.fds().get(static_cast<i64>(a[0]));
+      if (fe == nullptr) return ret(-kEBADF);
+      auto* lst = std::get_if<FdListener>(fe);
+      if (lst == nullptr) return ret(-kENOTSOCK);
+      net_.listen(lst->port);
+      return ret(0);
+    }
+
+    case Sys::kAccept: {
+      // accept(fd, addr_out, flags): flags != 0 => non-blocking (returns
+      // -EAGAIN instead of parking the thread) — the accept4(SOCK_NONBLOCK)
+      // analog thread pools use to share one listener.
+      i64 fd = static_cast<i64>(a[0]);
+      FdEntry* fe = p.fds().get(fd);
+      if (fe == nullptr) return ret(-kEBADF);
+      auto* lst = std::get_if<FdListener>(fe);
+      if (lst == nullptr) return ret(-kENOTSOCK);
+      std::optional<u64> cid = net_.accept(lst->port);
+      if (!cid.has_value()) {
+        if (a[2] != 0) return ret(-kEAGAIN);
+        // Block until a connection arrives.
+        t.wait = {};
+        t.wait.kind = Wait::Kind::kAccept;
+        t.wait.fd = fd;
+        t.wait.buf = a[1];
+        oc.completed = false;
+        return oc;
+      }
+      if (a[1] != 0) {
+        u8 addr[8] = {};
+        u64 port = lst->port;
+        for (int i = 0; i < 8; ++i) addr[i] = static_cast<u8>(port >> (8 * i));
+        if (!copy_to_user(p, a[1], addr)) return ret(-kEFAULT);
+      }
+      return ret(p.fds().alloc(FdConn{*cid, 1}));
+    }
+
+    case Sys::kConnect: {
+      i64 fd = static_cast<i64>(a[0]);
+      FdEntry* fe = p.fds().get(fd);
+      if (fe == nullptr) return ret(-kEBADF);
+      u8 addr[8];
+      if (!copy_from_user(p, a[1], addr)) return ret(-kEFAULT);
+      u16 port = static_cast<u16>(addr[0] | (addr[1] << 8));
+      std::optional<u64> cid = net_.connect(port, 0);
+      if (!cid.has_value()) return ret(-kECONNREFUSED);
+      *fe = FdConn{*cid, 0};
+      return ret(0);
+    }
+
+    case Sys::kRead:
+    case Sys::kRecv:
+    case Sys::kRecvfrom:
+      oc.ret = sys_read_common(p, t, nr, a, &oc);
+      return oc;
+
+    case Sys::kWrite:
+    case Sys::kSend:
+      return ret(sys_write_common(p, t, nr, a));
+
+    case Sys::kSendmsg: {
+      // msghdr: { u64 iov_ptr; u64 iovlen; } ; iovec: { u64 base; u64 len; }
+      i64 fd = static_cast<i64>(a[0]);
+      u8 hdr[16];
+      if (!copy_from_user(p, a[1], hdr)) return ret(-kEFAULT);
+      auto rd64 = [&](const u8* b) {
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i) v |= static_cast<u64>(b[i]) << (8 * i);
+        return v;
+      };
+      u64 iov = rd64(hdr), iovlen = rd64(hdr + 8);
+      if (iovlen > 64) return ret(-kEINVAL);
+      i64 total = 0;
+      for (u64 i = 0; i < iovlen; ++i) {
+        u8 ent[16];
+        if (!copy_from_user(p, iov + i * 16, ent)) return ret(-kEFAULT);
+        u64 base = rd64(ent), len = rd64(ent + 8);
+        u64 wargs[6] = {static_cast<u64>(fd), base, len, 0, 0, 0};
+        i64 r = sys_write_common(p, t, Sys::kSend, wargs);
+        if (r < 0) return ret(total > 0 ? total : r);
+        total += r;
+      }
+      return ret(total);
+    }
+
+    case Sys::kEpollCreate:
+      return ret(p.fds().alloc(FdEpoll{}));
+
+    case Sys::kEpollCtl: {
+      FdEntry* fe = p.fds().get(static_cast<i64>(a[0]));
+      if (fe == nullptr) return ret(-kEBADF);
+      auto* ep = std::get_if<FdEpoll>(fe);
+      if (ep == nullptr) return ret(-kEINVAL);
+      i64 target = static_cast<i64>(a[2]);
+      u64 op = a[1];
+      if (op == kEpollCtlAdd || op == kEpollCtlMod) {
+        // event struct: { u64 events; u64 data; }
+        u8 ev[16];
+        if (!copy_from_user(p, a[3], ev)) return ret(-kEFAULT);
+        u64 mask = 0, data = 0;
+        for (int i = 0; i < 8; ++i) mask |= static_cast<u64>(ev[i]) << (8 * i);
+        for (int i = 0; i < 8; ++i) data |= static_cast<u64>(ev[8 + i]) << (8 * i);
+        ep->watched[target] = {mask, data};
+        return ret(0);
+      }
+      if (op == kEpollCtlDel) {
+        ep->watched.erase(target);
+        return ret(0);
+      }
+      return ret(-kEINVAL);
+    }
+
+    case Sys::kEpollWait:
+      oc.ret = sys_epoll_wait(p, t, a, &oc);
+      return oc;
+
+    case Sys::kMmap: {
+      u64 size = a[1];
+      if (size == 0 || size > (1ull << 30)) return ret(-kEINVAL);
+      u64 prot = a[2];
+      u8 perms = 0;
+      if ((prot & kProtRead) != 0) perms |= mem::kPermR;
+      if ((prot & kProtWrite) != 0) perms |= mem::kPermW;
+      if ((prot & kProtExec) != 0) perms |= mem::kPermX;
+      // W^X enforcement per the threat model.
+      if ((perms & mem::kPermW) != 0 && (perms & mem::kPermX) != 0) return ret(-kEINVAL);
+      if (a[0] != 0) {
+        // Fixed mapping at caller-chosen address.
+        if (!p.machine().mem().map(a[0], size, perms)) return ret(-kEEXIST);
+        return ret(static_cast<i64>(a[0]));
+      }
+      return ret(static_cast<i64>(p.heap_alloc(size, perms)));
+    }
+    case Sys::kMunmap:
+      return ret(p.machine().mem().unmap(a[0], a[1]) ? 0 : -kEINVAL);
+    case Sys::kMprotect: {
+      u64 prot = a[2];
+      u8 perms = 0;
+      if ((prot & kProtRead) != 0) perms |= mem::kPermR;
+      if ((prot & kProtWrite) != 0) perms |= mem::kPermW;
+      if ((prot & kProtExec) != 0) perms |= mem::kPermX;
+      if ((perms & mem::kPermW) != 0 && (perms & mem::kPermX) != 0) return ret(-kEINVAL);
+      return ret(p.machine().mem().protect(a[0], a[1], perms) ? 0 : -kEINVAL);
+    }
+
+    case Sys::kExit:
+      t.state = Thread::State::kExited;
+      for (auto* o : observers_) o->on_thread_exit(p, t);
+      if (p.live_threads() == 0) {
+        p.terminate(static_cast<i64>(a[0]), false);
+        finish_process(p);
+      }
+      return ret(0);
+
+    case Sys::kExitGroup:
+      p.terminate(static_cast<i64>(a[0]), false);
+      finish_process(p);
+      return ret(0);
+
+    case Sys::kSigaction: {
+      int signo = static_cast<int>(a[0]);
+      if (signo < 0 || signo >= 32) return ret(-kEINVAL);
+      // a[1]: pointer to a u64 handler address (0 = SIG_DFL); EFAULT-capable.
+      u8 buf[8];
+      if (!copy_from_user(p, a[1], buf)) return ret(-kEFAULT);
+      u64 h = 0;
+      for (int i = 0; i < 8; ++i) h |= static_cast<u64>(buf[i]) << (8 * i);
+      p.machine().set_signal_handler(signo, h);
+      return ret(0);
+    }
+
+    case Sys::kThreadCreate: {
+      gva_t entry = a[0];
+      int tid = p.spawn_thread(entry, a[1]);
+      return ret(tid);
+    }
+
+    case Sys::kNanosleep: {
+      u8 buf[8];
+      if (!copy_from_user(p, a[0], buf)) return ret(-kEFAULT);
+      u64 ns = 0;
+      for (int i = 0; i < 8; ++i) ns |= static_cast<u64>(buf[i]) << (8 * i);
+      t.wait = {};
+      t.wait.kind = Wait::Kind::kSleep;
+      t.wait.deadline_ns = now_ns_ + ns;
+      oc.completed = false;
+      return oc;
+    }
+
+    case Sys::kGetpid:
+      return ret(p.pid());
+    case Sys::kYield:
+      return ret(0);
+    case Sys::kGettime:
+      return ret(static_cast<i64>(now_ns_));
+
+    case Sys::kSpawnWorker: {
+      // spawn_worker(entry_addr, conn_fd): clone this process's images into a
+      // fresh worker process, hand over the connection fd (installed as fd 3
+      // in the child), start the worker at the translated entry.
+      gva_t entry = a[0];
+      i64 fd = static_cast<i64>(a[1]);
+      const vm::LoadedModule* mod = p.machine().module_at(entry);
+      if (mod == nullptr) return ret(-kEINVAL);
+      u64 entry_off = entry - mod->code_base();
+      std::string entry_image = mod->image->name;
+
+      FdEntry* fe = p.fds().get(fd);
+      FdConn conn_copy{};
+      bool has_conn = false;
+      if (fe != nullptr) {
+        if (auto* c = std::get_if<FdConn>(fe)) {
+          conn_copy = *c;
+          has_conn = true;
+        }
+      }
+
+      int child_pid = create_process(p.name() + "-worker", vm::Personality::kLinux,
+                                     now_ns_ ^ (static_cast<u64>(next_pid_) << 17));
+      Process& child = proc(child_pid);
+      gva_t child_entry = 0;
+      for (const auto& m : p.machine().modules()) {
+        size_t idx = child.load(m.image);
+        if (m.image->name == entry_image)
+          child_entry = child.machine().modules()[idx].code_addr(entry_off);
+      }
+      CRP_CHECK(child_entry != 0);
+      if (has_conn) {
+        child.fds().install(3, conn_copy);
+        p.fds().close(fd);  // descriptor moves to the worker
+      }
+      child.spawn_thread(child_entry, has_conn ? 3u : 0u);
+      return ret(child_pid);
+    }
+
+    case Sys::kCount:
+      break;
+  }
+  return ret(-kENOSYS);
+}
+
+i64 Kernel::sys_open(Process& p, u64* a) {
+  std::string path;
+  if (!strncpy_from_user(p, a[0], &path)) return -kEFAULT;
+  VfsNode* node = nullptr;
+  i64 r = vfs_.open(path, a[1], &node);
+  if (r < 0) return r;
+  FdFile f;
+  f.path = Vfs::normalize(path);
+  f.flags = a[1];
+  return p.fds().alloc(std::move(f));
+}
+
+i64 Kernel::sys_read_common(Process& p, Thread& t, Sys nr, u64* a, SyscallOutcome* oc) {
+  i64 fd = static_cast<i64>(a[0]);
+  gva_t buf = a[1];
+  u64 len = a[2];
+  FdEntry* fe = p.fds().get(fd);
+  if (fe == nullptr) return -kEBADF;
+
+  if (auto* file = std::get_if<FdFile>(fe)) {
+    const VfsNode* node = vfs_.resolve(file->path);
+    if (node == nullptr) return -kENOENT;
+    u64 avail = node->data.size() > file->offset ? node->data.size() - file->offset : 0;
+    u64 n = std::min(len, avail);
+    if (n > 0) {
+      std::span<const u8> src(node->data.data() + file->offset, n);
+      std::vector<u32> colors(n, 0);
+      if (!copy_to_user(p, buf, src, colors)) return -kEFAULT;
+      file->offset += n;
+    } else if (len > 0 && !p.machine().mem().check_range(buf, 1, mem::kPermW)) {
+      // Zero-byte reads at EOF still validate the buffer (access_ok).
+      return -kEFAULT;
+    }
+    return static_cast<i64>(n);
+  }
+
+  if (auto* conn = std::get_if<FdConn>(fe)) {
+    Connection* c = net_.conn(conn->conn_id);
+    if (c == nullptr) return 0;  // fully closed: EOF
+    ByteStream& in = c->stream_from(conn->side);
+    if (in.size() == 0) {
+      if (!in.open) return 0;  // peer closed: EOF
+      // Block until data or close.
+      t.wait = {};
+      t.wait.kind = Wait::Kind::kReadFd;
+      t.wait.fd = fd;
+      t.wait.buf = buf;
+      t.wait.len = len;
+      oc->completed = false;
+      return 0;
+    }
+    std::vector<u8> data;
+    std::vector<u32> colors;
+    size_t n = in.pop(len, &data, &colors);
+    if (!copy_to_user(p, buf, data, colors)) {
+      // EFAULT: Linux discards nothing here in our model — the bytes were
+      // consumed from the stream. Matches the graceful-error contract the
+      // probing attacker relies on.
+      return -kEFAULT;
+    }
+    (void)nr;
+    return static_cast<i64>(n);
+  }
+
+  if (std::holds_alternative<FdConsole>(*fe)) return 0;
+  return -kEINVAL;
+}
+
+i64 Kernel::sys_write_common(Process& p, Thread& t, Sys nr, u64* a) {
+  (void)t;
+  (void)nr;
+  i64 fd = static_cast<i64>(a[0]);
+  gva_t buf = a[1];
+  u64 len = std::min<u64>(a[2], 1 << 20);
+  FdEntry* fe = p.fds().get(fd);
+  if (fe == nullptr) return -kEBADF;
+
+  std::vector<u8> data(len);
+  if (!copy_from_user(p, buf, data)) return -kEFAULT;
+
+  if (std::holds_alternative<FdConsole>(*fe)) {
+    p.console().append(data.begin(), data.end());
+    return static_cast<i64>(len);
+  }
+  if (auto* file = std::get_if<FdFile>(fe)) {
+    VfsNode* node = vfs_.resolve(file->path);
+    if (node == nullptr) return -kENOENT;
+    if (node->data.size() < file->offset + len) node->data.resize(file->offset + len);
+    std::copy(data.begin(), data.end(),
+              node->data.begin() + static_cast<ptrdiff_t>(file->offset));
+    file->offset += len;
+    return static_cast<i64>(len);
+  }
+  if (auto* conn = std::get_if<FdConn>(fe)) {
+    Connection* c = net_.conn(conn->conn_id);
+    if (c == nullptr || !c->side_open[conn->side]) return -kEBADF;
+    c->stream_into(conn->side).push(data, 0);
+    return static_cast<i64>(len);
+  }
+  return -kEINVAL;
+}
+
+i64 Kernel::sys_epoll_wait(Process& p, Thread& t, u64* a, SyscallOutcome* oc) {
+  i64 epfd = static_cast<i64>(a[0]);
+  gva_t events = a[1];
+  u64 maxevents = a[2];
+  i64 timeout_ms = static_cast<i64>(a[3]);
+
+  FdEntry* fe = p.fds().get(epfd);
+  if (fe == nullptr) return -kEBADF;
+  auto* ep = std::get_if<FdEpoll>(fe);
+  if (ep == nullptr) return -kEINVAL;
+  if (maxevents == 0 || maxevents > 4096) return -kEINVAL;
+
+  // access_ok-style upfront validation of the event buffer: this is what
+  // turns epoll_wait into a clean memory oracle (Cherokee/PostgreSQL, §V-A).
+  if (!p.machine().mem().check_range(events, maxevents * kEpollEventSize, mem::kPermW))
+    return -kEFAULT;
+
+  std::vector<std::pair<u64, u64>> ready = epoll_ready(p, *ep);
+  if (!ready.empty()) {
+    u64 n = std::min<u64>(ready.size(), maxevents);
+    std::vector<u8> buf(n * kEpollEventSize);
+    for (u64 i = 0; i < n; ++i) {
+      auto [mask, data] = ready[i];
+      for (int b = 0; b < 8; ++b) buf[i * 16 + static_cast<u64>(b)] = static_cast<u8>(mask >> (8 * b));
+      for (int b = 0; b < 8; ++b)
+        buf[i * 16 + 8 + static_cast<u64>(b)] = static_cast<u8>(data >> (8 * b));
+    }
+    if (!copy_to_user(p, events, buf)) return -kEFAULT;
+    return static_cast<i64>(n);
+  }
+
+  if (timeout_ms == 0) return 0;
+  t.wait = {};
+  t.wait.kind = Wait::Kind::kEpoll;
+  t.wait.fd = epfd;
+  t.wait.buf = events;
+  t.wait.len = maxevents;
+  t.wait.deadline_ns =
+      timeout_ms < 0 ? ~0ull : now_ns_ + static_cast<u64>(timeout_ms) * 1000000ull;
+  oc->completed = false;
+  return 0;
+}
+
+void Kernel::try_wake(Process& p, Thread& t) {
+  if (t.state != Thread::State::kBlocked) return;
+  Wait& w = t.wait;
+  u64 args[6] = {static_cast<u64>(w.fd), w.buf, w.len, 0, 0, 0};
+
+  switch (w.kind) {
+    case Wait::Kind::kNone:
+      t.state = Thread::State::kRunnable;
+      return;
+
+    case Wait::Kind::kSleep:
+      if (now_ns_ >= w.deadline_ns) {
+        t.state = Thread::State::kRunnable;
+        finish_syscall(p, t, Sys::kNanosleep, args, 0);
+      }
+      return;
+
+    case Wait::Kind::kReadFd: {
+      FdEntry* fe = p.fds().get(w.fd);
+      if (fe == nullptr) {
+        t.state = Thread::State::kRunnable;
+        finish_syscall(p, t, w.nr, args, -kEBADF);
+        return;
+      }
+      auto* conn = std::get_if<FdConn>(fe);
+      if (conn == nullptr) {
+        t.state = Thread::State::kRunnable;
+        finish_syscall(p, t, w.nr, args, -kEINVAL);
+        return;
+      }
+      Connection* c = net_.conn(conn->conn_id);
+      if (c == nullptr) {
+        t.state = Thread::State::kRunnable;
+        finish_syscall(p, t, w.nr, args, 0);
+        return;
+      }
+      ByteStream& in = c->stream_from(conn->side);
+      if (in.size() == 0) {
+        if (!in.open) {
+          t.state = Thread::State::kRunnable;
+          finish_syscall(p, t, w.nr, args, 0);
+        }
+        return;
+      }
+      std::vector<u8> data;
+      std::vector<u32> colors;
+      size_t n = in.pop(w.len, &data, &colors);
+      t.state = Thread::State::kRunnable;
+      if (!copy_to_user(p, w.buf, data, colors)) {
+        finish_syscall(p, t, w.nr, args, -kEFAULT);
+      } else {
+        finish_syscall(p, t, w.nr, args, static_cast<i64>(n));
+      }
+      return;
+    }
+
+    case Wait::Kind::kAccept: {
+      FdEntry* fe = p.fds().get(w.fd);
+      auto* lst = fe != nullptr ? std::get_if<FdListener>(fe) : nullptr;
+      if (lst == nullptr) {
+        t.state = Thread::State::kRunnable;
+        finish_syscall(p, t, Sys::kAccept, args, -kEBADF);
+        return;
+      }
+      std::optional<u64> cid = net_.accept(lst->port);
+      if (!cid.has_value()) return;
+      t.state = Thread::State::kRunnable;
+      if (w.buf != 0) {
+        u8 addr[8] = {};
+        u64 port = lst->port;
+        for (int i = 0; i < 8; ++i) addr[i] = static_cast<u8>(port >> (8 * i));
+        if (!copy_to_user(p, w.buf, addr)) {
+          finish_syscall(p, t, Sys::kAccept, args, -kEFAULT);
+          return;
+        }
+      }
+      finish_syscall(p, t, Sys::kAccept, args, p.fds().alloc(FdConn{*cid, 1}));
+      return;
+    }
+
+    case Wait::Kind::kEpoll: {
+      FdEntry* fe = p.fds().get(w.fd);
+      auto* ep = fe != nullptr ? std::get_if<FdEpoll>(fe) : nullptr;
+      if (ep == nullptr) {
+        t.state = Thread::State::kRunnable;
+        finish_syscall(p, t, Sys::kEpollWait, args, -kEBADF);
+        return;
+      }
+      std::vector<std::pair<u64, u64>> ready = epoll_ready(p, *ep);
+      if (ready.empty()) {
+        if (now_ns_ >= w.deadline_ns) {
+          t.state = Thread::State::kRunnable;
+          finish_syscall(p, t, Sys::kEpollWait, args, 0);  // timeout
+        }
+        return;
+      }
+      u64 n = std::min<u64>(ready.size(), w.len);
+      std::vector<u8> buf(n * kEpollEventSize);
+      for (u64 i = 0; i < n; ++i) {
+        auto [mask, data] = ready[i];
+        for (int b = 0; b < 8; ++b)
+          buf[i * 16 + static_cast<u64>(b)] = static_cast<u8>(mask >> (8 * b));
+        for (int b = 0; b < 8; ++b)
+          buf[i * 16 + 8 + static_cast<u64>(b)] = static_cast<u8>(data >> (8 * b));
+      }
+      t.state = Thread::State::kRunnable;
+      if (!copy_to_user(p, w.buf, buf)) {
+        finish_syscall(p, t, Sys::kEpollWait, args, -kEFAULT);
+      } else {
+        finish_syscall(p, t, Sys::kEpollWait, args, static_cast<i64>(n));
+      }
+      return;
+    }
+  }
+}
+
+// --- Windows API dispatch ---------------------------------------------------------
+
+void Kernel::dispatch_api(Process& p, Thread& t, i64 api_id) {
+  u64 args[6];
+  for (int i = 0; i < 6; ++i) args[i] = t.cpu.regs[static_cast<size_t>(1 + i)];
+  for (auto* o : observers_) o->on_api_enter(p, t, static_cast<u32>(api_id), args);
+
+  // Sleep needs the scheduler, so it is special-cased here.
+  if (api_id == kApiSleep) {
+    t.wait = {};
+    t.wait.kind = Wait::Kind::kSleep;
+    t.wait.deadline_ns = now_ns_ + args[0] * 1000000ull;
+    t.state = Thread::State::kBlocked;
+    t.cpu.reg(isa::Reg::R0) = 0;
+    for (auto* o : observers_) o->on_api_exit(p, t, static_cast<u32>(api_id), args, 0, false);
+    return;
+  }
+
+  ApiResult r = winapi_.invoke(*this, p, t, static_cast<u32>(api_id), args);
+  for (auto* o : observers_)
+    o->on_api_exit(p, t, static_cast<u32>(api_id), args, r.ret, r.fault.has_value());
+  if (r.fault.has_value()) {
+    // The API's user-mode portion faulted: dispatch as a guest exception at
+    // the call site. Rewind pc so a CONTINUE_EXECUTION retries the call.
+    t.cpu.pc -= isa::kInstrBytes;
+    if (!p.machine().dispatch_exception(t.cpu, *r.fault)) {
+      p.terminate(128 + 11, true, &*r.fault);
+      finish_process(p);
+      return;
+    }
+    // A handler resolved it: either control moved to an __except block, or
+    // CONTINUE_EXECUTION left pc at the APICALL for a retry.
+    return;
+  }
+  t.cpu.reg(isa::Reg::R0) = r.ret;
+}
+
+ApiResult Kernel::invoke_api(Process& p, Thread& t, u32 id, u64* args) {
+  return winapi_.invoke(*this, p, t, id, args);
+}
+
+}  // namespace crp::os

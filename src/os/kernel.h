@@ -1,0 +1,204 @@
+// The Kernel: owns processes, the loopback network, the VFS, the Windows
+// API registry, a virtual clock, and the cooperative scheduler.
+//
+// Virtual time advances with retired instructions (2 ns each); when every
+// thread is blocked, the clock jumps to the earliest wake deadline. This
+// makes the Cherokee-style timing side channel (§VI-D) measurable: a thread
+// stalled in a failing epoll_wait loop burns scheduler slices, so the
+// instruction count — and hence virtual time — to serve a fixed number of
+// requests grows.
+//
+// The EFAULT contract (the heart of class-(a) crash resistance): every
+// syscall accesses user memory exclusively through copy_from_user /
+// copy_to_user / strncpy_from_user below, which validate against the page
+// table and return false instead of faulting. A syscall that receives an
+// invalid user pointer returns -EFAULT to the guest; the guest never sees
+// an exception.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "os/abi.h"
+#include "os/net.h"
+#include "os/process.h"
+#include "os/vfs.h"
+#include "os/winapi.h"
+
+namespace crp::os {
+
+/// Kernel-level observation hooks (taint sources/sinks, the monitor of the
+/// paper's §IV-A, the API tracer of §IV-B).
+class KernelObserver {
+ public:
+  virtual ~KernelObserver() = default;
+
+  /// Before a syscall executes. `args` points at the 6 argument slots and MAY
+  /// be modified (the CandidateVerifier's pointer-invalidation hook).
+  virtual void on_syscall_enter(Process& p, Thread& t, Sys nr, u64* args) {
+    (void)p; (void)t; (void)nr; (void)args;
+  }
+  /// After a syscall produced `ret` (negative errno on failure). Blocked
+  /// syscalls report on completion.
+  virtual void on_syscall_exit(Process& p, Thread& t, Sys nr, const u64* args, i64 ret) {
+    (void)p; (void)t; (void)nr; (void)args; (void)ret;
+  }
+  /// The kernel copied `data` into guest memory at `addr`; colors[i] is the
+  /// taint color of data[i] (taint source for the analysis).
+  virtual void on_user_copy_out(Process& p, gva_t addr, std::span<const u8> data,
+                                std::span<const u32> colors) {
+    (void)p; (void)addr; (void)data; (void)colors;
+  }
+  /// A Windows API is about to run / has run.
+  virtual void on_api_enter(Process& p, Thread& t, u32 id, u64* args) {
+    (void)p; (void)t; (void)id; (void)args;
+  }
+  virtual void on_api_exit(Process& p, Thread& t, u32 id, const u64* args, u64 ret,
+                           bool faulted) {
+    (void)p; (void)t; (void)id; (void)args; (void)ret; (void)faulted;
+  }
+  virtual void on_process_exit(Process& p) { (void)p; }
+  virtual void on_thread_exit(Process& p, Thread& t) { (void)p; (void)t; }
+  /// A process was created (images not yet loaded) — lets analyses attach
+  /// per-process engines to workers spawned at runtime.
+  virtual void on_process_created(Process& p) { (void)p; }
+};
+
+/// Host-side handle to one client connection (the workload driver / the
+/// attacker's socket).
+class ClientConn {
+ public:
+  ClientConn() = default;
+  ClientConn(Network* net, u64 conn_id) : net_(net), id_(conn_id) {}
+
+  bool valid() const { return net_ != nullptr && net_->conn(id_) != nullptr; }
+  u64 id() const { return id_; }
+  u32 color() const;
+
+  /// Queue bytes toward the server.
+  void send(std::string_view data);
+  /// Drain whatever the server sent so far.
+  std::string recv_all();
+  /// True once the server closed its side.
+  bool server_closed() const;
+  void close();
+
+ private:
+  Network* net_ = nullptr;
+  u64 id_ = 0;
+};
+
+class Kernel {
+ public:
+  Kernel();
+
+  // --- world construction ---------------------------------------------------
+
+  /// Create a process; returns pid. Load images via proc(pid).load(...),
+  /// then start it with start_process(pid, "entry_symbol"|offset).
+  int create_process(const std::string& name, vm::Personality pers, u64 aslr_seed);
+  Process& proc(int pid);
+  const Process* find_proc(int pid) const;
+  std::vector<int> pids() const;
+
+  /// Spawn the main thread at the main module's entry point.
+  void start_process(int pid);
+
+  /// Remove a process entirely (address space, threads, fds). Used by the
+  /// ApiFuzzer, which creates one scratch process per probe — tens of
+  /// thousands across a funnel run.
+  void destroy_process(int pid);
+
+  Vfs& vfs() { return vfs_; }
+  Network& net() { return net_; }
+  WinApi& winapi() { return winapi_; }
+  const WinApi& winapi() const { return winapi_; }
+
+  void add_observer(KernelObserver* obs);
+  void remove_observer(KernelObserver* obs);
+
+  // --- host-side client API ----------------------------------------------------
+
+  /// Connect to a guest listener; each client gets a fresh taint color.
+  std::optional<ClientConn> connect(u16 port);
+
+  // --- execution ----------------------------------------------------------------
+
+  /// Run the scheduler for at most `max_instr` retired instructions. Stops
+  /// early when no thread can ever run again. Returns instructions retired.
+  u64 run(u64 max_instr);
+
+  /// Run until `pred()` is true; false on budget exhaustion. The predicate
+  /// is re-checked after every idle clock jump, so virtual-time-sensitive
+  /// callers (rate/timing measurements) see at most one sleep-wake of
+  /// overshoot.
+  bool run_until(const std::function<bool()>& pred, u64 max_instr);
+
+  /// True if any thread of any live process is runnable or has a finite wake
+  /// deadline.
+  bool has_work() const;
+
+  u64 now_ns() const { return now_ns_; }
+  u64 total_instret() const { return instret_; }
+
+  /// The process/thread currently being stepped (nullptr outside step_thread).
+  /// Lets vm-level observers attribute instruction events to a thread.
+  Process* current_process() const { return cur_proc_; }
+  Thread* current_thread() const { return cur_thread_; }
+
+  // --- direct invocation (used by the ApiFuzzer: call one API in a throwaway
+  //     context without authoring guest code) ------------------------------------
+
+  ApiResult invoke_api(Process& p, Thread& t, u32 id, u64* args);
+
+ private:
+  struct SyscallOutcome {
+    bool completed = true;  // false => thread blocked, Wait installed
+    i64 ret = 0;
+  };
+
+  /// run() core with an additional bound on idle clock jumps (~0 = none).
+  u64 run_bounded(u64 max_instr, u64 max_jumps);
+  void step_thread(Process& p, Thread& t, u64 slice);
+  void dispatch_syscall(Process& p, Thread& t);
+  void dispatch_api(Process& p, Thread& t, i64 api_id);
+  SyscallOutcome do_syscall(Process& p, Thread& t, Sys nr, u64* args);
+  /// Re-check a blocked thread's wait condition; completes the syscall when
+  /// ready.
+  void try_wake(Process& p, Thread& t);
+
+  /// Process teardown: close its connection fds (peers observe EOF/RST, as
+  /// a real kernel would deliver) and notify observers.
+  void finish_process(Process& p);
+  void finish_syscall(Process& p, Thread& t, Sys nr, const u64* args, i64 ret);
+
+  // user-memory accessors (the EFAULT contract)
+  bool copy_from_user(Process& p, gva_t src, std::span<u8> dst);
+  bool copy_to_user(Process& p, gva_t dst, std::span<const u8> src,
+                    std::span<const u32> colors = {});
+  bool strncpy_from_user(Process& p, gva_t src, std::string* out, size_t max = 4096);
+
+  // syscall helpers
+  i64 sys_open(Process& p, u64* a);
+  i64 sys_read_common(Process& p, Thread& t, Sys nr, u64* a, SyscallOutcome* oc);
+  i64 sys_write_common(Process& p, Thread& t, Sys nr, u64* a);
+  i64 sys_epoll_wait(Process& p, Thread& t, u64* a, SyscallOutcome* oc);
+  /// Collect ready (events,data) pairs for an epoll fd.
+  std::vector<std::pair<u64, u64>> epoll_ready(Process& p, FdEpoll& ep);
+
+  Vfs vfs_;
+  Network net_;
+  WinApi winapi_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<KernelObserver*> observers_;
+  int next_pid_ = 1;
+  u64 now_ns_ = 0;
+  u64 instret_ = 0;
+  Process* cur_proc_ = nullptr;
+  Thread* cur_thread_ = nullptr;
+};
+
+}  // namespace crp::os

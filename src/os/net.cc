@@ -1,0 +1,76 @@
+#include "os/net.h"
+
+#include <algorithm>
+
+namespace crp::os {
+
+void ByteStream::push(std::span<const u8> data, u32 color) {
+  bytes.insert(bytes.end(), data.begin(), data.end());
+  colors.insert(colors.end(), data.size(), color);
+}
+
+size_t ByteStream::pop(size_t max, std::vector<u8>* out, std::vector<u32>* colors_out) {
+  size_t n = std::min(max, bytes.size());
+  out->assign(bytes.begin(), bytes.begin() + static_cast<ptrdiff_t>(n));
+  if (colors_out != nullptr)
+    colors_out->assign(colors.begin(), colors.begin() + static_cast<ptrdiff_t>(n));
+  bytes.erase(bytes.begin(), bytes.begin() + static_cast<ptrdiff_t>(n));
+  colors.erase(colors.begin(), colors.begin() + static_cast<ptrdiff_t>(n));
+  return n;
+}
+
+void Network::listen(u16 port) { listeners_.try_emplace(port); }
+
+bool Network::listening(u16 port) const { return listeners_.contains(port); }
+
+std::optional<u64> Network::connect(u16 port, u32 color) {
+  auto it = listeners_.find(port);
+  if (it == listeners_.end()) return std::nullopt;
+  u64 id = next_id_++;
+  Connection c;
+  c.id = id;
+  c.port = port;
+  c.color = color;
+  conns_.emplace(id, std::move(c));
+  it->second.push_back(id);
+  return id;
+}
+
+std::optional<u64> Network::accept(u16 port) {
+  auto it = listeners_.find(port);
+  if (it == listeners_.end() || it->second.empty()) return std::nullopt;
+  u64 id = it->second.front();
+  it->second.pop_front();
+  conns_.at(id).accepted = true;
+  return id;
+}
+
+Connection* Network::conn(u64 id) {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+const Connection* Network::conn(u64 id) const {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+void Network::close_side(u64 id, int side) {
+  Connection* c = conn(id);
+  if (c == nullptr) return;
+  c->side_open[side] = false;
+  c->stream_into(side).open = false;
+  if (!c->side_open[0] && !c->side_open[1]) {
+    // Remove from any backlog before reaping.
+    for (auto& [_, bl] : listeners_)
+      bl.erase(std::remove(bl.begin(), bl.end(), id), bl.end());
+    conns_.erase(id);
+  }
+}
+
+size_t Network::backlog(u16 port) const {
+  auto it = listeners_.find(port);
+  return it == listeners_.end() ? 0 : it->second.size();
+}
+
+}  // namespace crp::os

@@ -1,0 +1,85 @@
+// Loopback network: listeners, byte-stream connections with per-byte taint
+// colors, and host-side client handles used by workload drivers and the
+// attacker in the PoC exploits.
+//
+// Per-byte colors are what make the libdft-style analysis possible: bytes a
+// client sends carry that client's taint color end-to-end into guest memory
+// (the kernel reports the colors at copy_to_user time and the taint engine
+// paints shadow memory).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <span>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace crp::os {
+
+/// One direction of a connection: a byte queue with parallel colors.
+struct ByteStream {
+  std::deque<u8> bytes;
+  std::deque<u32> colors;  // taint color per byte (0 = clean)
+  bool open = true;        // writer side still open
+
+  void push(std::span<const u8> data, u32 color);
+  /// Pop up to `max` bytes into out/colors_out; returns count.
+  size_t pop(size_t max, std::vector<u8>* out, std::vector<u32>* colors_out);
+  size_t size() const { return bytes.size(); }
+};
+
+/// A full-duplex connection. Side 0 = the end that called connect (client),
+/// side 1 = the accepting end (server).
+struct Connection {
+  u64 id = 0;
+  u16 port = 0;
+  ByteStream to_server;  // written by side 0, read by side 1
+  ByteStream to_client;  // written by side 1, read by side 0
+  bool side_open[2] = {true, true};
+  u32 color = 0;  // taint color for client->server bytes
+  bool accepted = false;
+
+  /// Stream this side writes into (client sends toward the server).
+  ByteStream& stream_into(int side) { return side == 0 ? to_server : to_client; }
+  /// Stream this side reads from.
+  ByteStream& stream_from(int side) { return side == 0 ? to_client : to_server; }
+};
+
+/// The loopback fabric shared by all processes of one Kernel.
+class Network {
+ public:
+  /// Guest-side listen(port); idempotent per port.
+  void listen(u16 port);
+  bool listening(u16 port) const;
+
+  /// Establish a connection to `port`; nullopt if nobody listens. The new
+  /// connection sits in the listener's backlog until accepted.
+  std::optional<u64> connect(u16 port, u32 color);
+
+  /// Accepting end: pop one pending connection on `port` (nullopt if none).
+  std::optional<u64> accept(u16 port);
+
+  Connection* conn(u64 id);
+  const Connection* conn(u64 id) const;
+
+  /// Close one side; when both sides are closed the connection is reaped.
+  void close_side(u64 id, int side);
+
+  /// Pending (un-accepted) connection count for a port.
+  size_t backlog(u16 port) const;
+
+  /// Next unused taint color (1-based).
+  u32 fresh_color() { return next_color_++; }
+
+ private:
+  std::map<u16, std::deque<u64>> listeners_;  // port -> backlog of conn ids
+  std::map<u64, Connection> conns_;
+  u64 next_id_ = 1;
+  u32 next_color_ = 1;
+};
+
+}  // namespace crp::os

@@ -1,0 +1,70 @@
+#include "os/process.h"
+
+namespace crp::os {
+
+FdTable::FdTable() {
+  fds_[0] = FdConsole{};
+  fds_[1] = FdConsole{};
+  fds_[2] = FdConsole{};
+}
+
+i64 FdTable::alloc(FdEntry entry) {
+  i64 fd = 3;
+  while (fds_.contains(fd)) ++fd;
+  fds_[fd] = std::move(entry);
+  return fd;
+}
+
+void FdTable::install(i64 fd, FdEntry entry) { fds_[fd] = std::move(entry); }
+
+FdEntry* FdTable::get(i64 fd) {
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? nullptr : &it->second;
+}
+
+bool FdTable::close(i64 fd) { return fds_.erase(fd) > 0; }
+
+Process::Process(int pid, std::string name, vm::Personality pers, u64 aslr_seed)
+    : pid_(pid), name_(std::move(name)), machine_(pers, aslr_seed) {}
+
+int Process::spawn_thread(gva_t entry, u64 arg, u64 stack_size) {
+  gva_t stack_base = machine_.layout().place(mem::RegionKind::kStack, stack_size,
+                                             strf("stack-t%d", next_tid_));
+  CRP_CHECK(machine_.mem().map(stack_base, stack_size, mem::kPermR | mem::kPermW));
+  Thread t;
+  t.tid = next_tid_++;
+  t.cpu.pc = entry;
+  t.cpu.reg(isa::Reg::R1) = arg;
+  t.cpu.sp() = stack_base + stack_size - 64;  // small top-of-stack red zone
+  threads_.push_back(std::move(t));
+  return threads_.back().tid;
+}
+
+Thread* Process::thread(int tid) {
+  for (auto& t : threads_)
+    if (t.tid == tid) return &t;
+  return nullptr;
+}
+
+size_t Process::live_threads() const {
+  size_t n = 0;
+  for (const auto& t : threads_)
+    if (t.state != Thread::State::kExited) ++n;
+  return n;
+}
+
+void Process::terminate(i64 code, bool crashed, const vm::ExceptionRecord* exc) {
+  exit_.exited = true;
+  exit_.code = code;
+  exit_.crashed = crashed;
+  if (exc != nullptr) exit_.exc = *exc;
+  for (auto& t : threads_) t.state = Thread::State::kExited;
+}
+
+gva_t Process::heap_alloc(u64 size, u8 perms) {
+  gva_t base = machine_.layout().place(mem::RegionKind::kHeap, size, "heap");
+  CRP_CHECK(machine_.mem().map(base, align_up(std::max<u64>(size, 1), mem::kPageSize), perms));
+  return base;
+}
+
+}  // namespace crp::os

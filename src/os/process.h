@@ -1,0 +1,145 @@
+// Processes, threads and file-descriptor tables.
+//
+// Threads are cooperatively scheduled by the Kernel; each carries its own
+// Cpu context and an optional pending wait (blocked syscall continuation).
+// Processes own a vm::Machine (address space + modules + exception state)
+// and die atomically: an unhandled exception in any thread kills the whole
+// process and records the crash — the signal the paper's verifier uses to
+// tell crash-resistant candidates from crashing ones.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "os/abi.h"
+#include "vm/machine.h"
+
+namespace crp::os {
+
+struct VfsNode;
+
+// --- file descriptors -----------------------------------------------------------
+
+struct FdFile {
+  std::string path;
+  u64 offset = 0;
+  u64 flags = 0;
+};
+
+struct FdListener {
+  u16 port = 0;
+};
+
+struct FdConn {
+  u64 conn_id = 0;
+  int side = 0;  // 0 = connecting side, 1 = accepting side
+};
+
+struct FdEpoll {
+  // watched fd -> (events mask, user data)
+  std::map<i64, std::pair<u64, u64>> watched;
+};
+
+struct FdConsole {};  // stdin/stdout/stderr
+
+using FdEntry = std::variant<FdConsole, FdFile, FdListener, FdConn, FdEpoll>;
+
+class FdTable {
+ public:
+  FdTable();
+
+  /// Allocate the lowest free descriptor >= 3.
+  i64 alloc(FdEntry entry);
+  /// Install at a specific number (worker fd passing).
+  void install(i64 fd, FdEntry entry);
+  FdEntry* get(i64 fd);
+  bool close(i64 fd);
+  const std::map<i64, FdEntry>& all() const { return fds_; }
+
+ private:
+  std::map<i64, FdEntry> fds_;
+};
+
+// --- threads -------------------------------------------------------------------
+
+/// A blocked syscall waiting for its wake condition.
+struct Wait {
+  enum class Kind : u8 { kNone, kReadFd, kAccept, kEpoll, kSleep } kind = Kind::kNone;
+  i64 fd = -1;          // kReadFd/kAccept/kEpoll: descriptor waited on
+  gva_t buf = 0;        // destination buffer (read/recv/epoll events)
+  u64 len = 0;          // buffer length / maxevents
+  u64 deadline_ns = ~0ull;  // absolute virtual deadline (kEpoll/kSleep)
+  Sys nr = Sys::kCount;     // the blocked syscall (for observer reporting)
+};
+
+struct Thread {
+  enum class State : u8 { kRunnable, kBlocked, kExited } state = State::kRunnable;
+  int tid = 0;
+  vm::Cpu cpu;
+  Wait wait;
+  u64 steps = 0;  // instructions retired by this thread
+};
+
+// --- process -------------------------------------------------------------------
+
+struct ExitInfo {
+  bool exited = false;
+  i64 code = 0;
+  bool crashed = false;
+  vm::ExceptionRecord exc{};  // valid when crashed
+};
+
+class Process {
+ public:
+  Process(int pid, std::string name, vm::Personality pers, u64 aslr_seed);
+
+  int pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  vm::Machine& machine() { return machine_; }
+  const vm::Machine& machine() const { return machine_; }
+  FdTable& fds() { return fds_; }
+
+  /// Load an image into this process (DLLs first, then the main module).
+  size_t load(std::shared_ptr<const isa::Image> image) { return machine_.load_image(image); }
+
+  /// Create a thread with its own freshly mapped stack; entry gets `arg` in
+  /// R1. Returns the tid.
+  int spawn_thread(gva_t entry, u64 arg = 0, u64 stack_size = 64 * 1024);
+
+  std::deque<Thread>& threads() { return threads_; }
+  Thread* thread(int tid);
+
+  /// Number of threads currently not exited.
+  size_t live_threads() const;
+
+  bool alive() const { return !exit_.exited; }
+  const ExitInfo& exit_info() const { return exit_; }
+
+  /// Terminate the whole process (exit_group or crash).
+  void terminate(i64 code, bool crashed, const vm::ExceptionRecord* exc = nullptr);
+
+  /// Bump allocator for guest heap requests (mmap with addr==0).
+  gva_t heap_alloc(u64 size, u8 perms);
+
+  /// Console output captured from fds 1/2.
+  std::string& console() { return console_; }
+
+ private:
+  int pid_;
+  std::string name_;
+  vm::Machine machine_;
+  FdTable fds_;
+  // deque: stable references while the scheduler iterates even when a
+  // guest thread_create appends (vector reallocation would dangle Thread&).
+  std::deque<Thread> threads_;
+  int next_tid_ = 1;
+  ExitInfo exit_;
+  std::string console_;
+};
+
+}  // namespace crp::os

@@ -1,0 +1,142 @@
+#include "os/vfs.h"
+
+#include "os/abi.h"
+
+namespace crp::os {
+
+Vfs::Vfs() {
+  VfsNode root;
+  root.kind = VfsNode::Kind::kDir;
+  root.mode = 0755;
+  nodes_["/"] = root;
+}
+
+std::string Vfs::normalize(const std::string& path) {
+  std::string out = "/";
+  std::string comp;
+  auto flush = [&] {
+    if (comp.empty() || comp == ".") {
+      comp.clear();
+      return;
+    }
+    if (out.back() != '/') out += '/';
+    out += comp;
+    comp.clear();
+  };
+  for (char c : path) {
+    if (c == '/') {
+      flush();
+    } else {
+      comp += c;
+    }
+  }
+  flush();
+  return out;
+}
+
+std::string Vfs::parent_of(const std::string& normalized) {
+  auto pos = normalized.find_last_of('/');
+  if (pos == 0 || pos == std::string::npos) return "/";
+  return normalized.substr(0, pos);
+}
+
+void Vfs::put_file(const std::string& path, std::string_view contents, u32 mode) {
+  std::string p = normalize(path);
+  // Ensure parents.
+  std::string parent = parent_of(p);
+  if (parent != p && !nodes_.contains(parent)) put_dir(parent);
+  VfsNode n;
+  n.kind = VfsNode::Kind::kFile;
+  n.data.assign(contents.begin(), contents.end());
+  n.mode = mode;
+  nodes_[p] = std::move(n);
+}
+
+void Vfs::put_dir(const std::string& path, u32 mode) {
+  std::string p = normalize(path);
+  std::string parent = parent_of(p);
+  if (parent != p && !nodes_.contains(parent)) put_dir(parent);
+  VfsNode n;
+  n.kind = VfsNode::Kind::kDir;
+  n.mode = mode;
+  nodes_[p] = std::move(n);
+}
+
+i64 Vfs::mkdir(const std::string& path, u32 mode) {
+  std::string p = normalize(path);
+  if (nodes_.contains(p)) return -kEEXIST;
+  const VfsNode* parent = resolve(parent_of(p));
+  if (parent == nullptr) return -kENOENT;
+  if (parent->kind != VfsNode::Kind::kDir) return -kENOTDIR;
+  VfsNode n;
+  n.kind = VfsNode::Kind::kDir;
+  n.mode = mode & 07777;
+  nodes_[p] = std::move(n);
+  return 0;
+}
+
+i64 Vfs::unlink(const std::string& path) {
+  std::string p = normalize(path);
+  auto it = nodes_.find(p);
+  if (it == nodes_.end()) return -kENOENT;
+  if (it->second.kind == VfsNode::Kind::kDir) return -kEISDIR;
+  nodes_.erase(it);
+  return 0;
+}
+
+i64 Vfs::symlink(const std::string& target, const std::string& linkpath) {
+  std::string p = normalize(linkpath);
+  if (nodes_.contains(p)) return -kEEXIST;
+  const VfsNode* parent = resolve(parent_of(p));
+  if (parent == nullptr) return -kENOENT;
+  if (parent->kind != VfsNode::Kind::kDir) return -kENOTDIR;
+  VfsNode n;
+  n.kind = VfsNode::Kind::kSymlink;
+  n.link_target = target;
+  nodes_[p] = std::move(n);
+  return 0;
+}
+
+i64 Vfs::chmod(const std::string& path, u32 mode) {
+  VfsNode* n = resolve(path);
+  if (n == nullptr) return -kENOENT;
+  n->mode = mode & 07777;
+  return 0;
+}
+
+const VfsNode* Vfs::resolve(const std::string& path) const {
+  std::string p = normalize(path);
+  for (int depth = 0; depth < 8; ++depth) {
+    auto it = nodes_.find(p);
+    if (it == nodes_.end()) return nullptr;
+    if (it->second.kind != VfsNode::Kind::kSymlink) return &it->second;
+    p = normalize(it->second.link_target);
+  }
+  return nullptr;  // symlink loop
+}
+
+VfsNode* Vfs::resolve(const std::string& path) {
+  return const_cast<VfsNode*>(static_cast<const Vfs*>(this)->resolve(path));
+}
+
+i64 Vfs::open(const std::string& path, u64 flags, VfsNode** node_out) {
+  std::string p = normalize(path);
+  VfsNode* n = resolve(p);
+  if (n == nullptr) {
+    if ((flags & kOCreat) == 0) return -kENOENT;
+    const VfsNode* parent = resolve(parent_of(p));
+    if (parent == nullptr) return -kENOENT;
+    if (parent->kind != VfsNode::Kind::kDir) return -kENOTDIR;
+    VfsNode nf;
+    nf.kind = VfsNode::Kind::kFile;
+    nodes_[p] = std::move(nf);
+    n = &nodes_[p];
+  } else if (n->kind == VfsNode::Kind::kDir && (flags & (kOWronly | kORdwr)) != 0) {
+    return -kEISDIR;
+  }
+  if ((flags & kOTrunc) != 0 && n->kind == VfsNode::Kind::kFile) n->data.clear();
+  *node_out = n;
+  return 0;
+}
+
+}  // namespace crp::os

@@ -1,0 +1,58 @@
+// In-memory virtual filesystem: just enough POSIX surface for the server
+// simulacra (document roots, config files, unix paths for chmod/mkdir/
+// unlink/symlink probes).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace crp::os {
+
+struct VfsNode {
+  enum class Kind : u8 { kFile, kDir, kSymlink } kind = Kind::kFile;
+  std::vector<u8> data;       // file contents
+  std::string link_target;    // symlink target
+  u32 mode = 0644;
+};
+
+/// Tree-less path-keyed filesystem: every node is addressed by its
+/// normalized absolute path. Parent directories must exist for creation.
+class Vfs {
+ public:
+  Vfs();
+
+  /// Create/replace a regular file (host-side convenience for fixtures).
+  void put_file(const std::string& path, std::string_view contents, u32 mode = 0644);
+  void put_dir(const std::string& path, u32 mode = 0755);
+
+  /// POSIX-ish operations; return 0 or negative errno.
+  i64 mkdir(const std::string& path, u32 mode);
+  i64 unlink(const std::string& path);
+  i64 symlink(const std::string& target, const std::string& linkpath);
+  i64 chmod(const std::string& path, u32 mode);
+
+  /// Lookup following symlinks (bounded); nullptr if absent.
+  const VfsNode* resolve(const std::string& path) const;
+  VfsNode* resolve(const std::string& path);
+
+  /// Open existing (or create with kOCreat); returns 0/errno. On success,
+  /// `*node_out` is the file node.
+  i64 open(const std::string& path, u64 flags, VfsNode** node_out);
+
+  bool exists(const std::string& path) const { return nodes_.contains(normalize(path)); }
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Collapse "//", trailing "/", "." components; ensure leading "/".
+  static std::string normalize(const std::string& path);
+  static std::string parent_of(const std::string& normalized);
+
+ private:
+  std::map<std::string, VfsNode> nodes_;
+};
+
+}  // namespace crp::os

@@ -1,0 +1,323 @@
+#include "os/winapi.h"
+
+#include "os/kernel.h"
+#include "os/process.h"
+#include "util/log.h"
+
+namespace crp::os {
+
+namespace {
+
+/// MEMORY_BASIC_INFORMATION analog written by VirtualQuery:
+///   +0 base address, +8 region size, +16 state (1 mapped / 0 free),
+///   +24 protect bits (RWX mask)
+constexpr u64 kMbiSize = 32;
+
+vm::ExceptionRecord av_at(Thread& t, gva_t addr, mem::Access kind) {
+  vm::ExceptionRecord rec;
+  rec.code = vm::ExcCode::kAccessViolation;
+  // The APICALL instruction already retired; attribute the fault to the
+  // call site (pc of the next instruction minus one word).
+  rec.fault_pc = t.cpu.pc - isa::kInstrBytes;
+  rec.fault_addr = addr;
+  rec.access = kind;
+  return rec;
+}
+
+}  // namespace
+
+const char* api_behavior_name(ApiBehavior b) {
+  switch (b) {
+    case ApiBehavior::kNoPointer: return "no-pointer";
+    case ApiBehavior::kValidating: return "validating";
+    case ApiBehavior::kUncheckedDeref: return "unchecked-deref";
+    case ApiBehavior::kGuardedDeref: return "guarded-deref";
+    case ApiBehavior::kQuery: return "query";
+  }
+  return "?";
+}
+
+void WinApi::add(ApiSpec spec) {
+  CRP_CHECK(!specs_.contains(spec.id));
+  u32 id = spec.id;
+  specs_.emplace(id, std::move(spec));
+}
+
+const ApiSpec* WinApi::find(u32 id) const {
+  auto it = specs_.find(id);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+const ApiSpec* WinApi::find(const std::string& name) const {
+  for (const auto& [_, s] : specs_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+ApiResult WinApi::invoke(Kernel& k, Process& p, Thread& t, u32 id, const u64* args) {
+  const ApiSpec* spec = find(id);
+  if (spec == nullptr) {
+    ApiResult r;
+    r.fault = vm::ExceptionRecord{vm::ExcCode::kIllegalInstruction, t.cpu.pc - isa::kInstrBytes,
+                                  0, mem::Access::kExec};
+    return r;
+  }
+  if (spec->impl) return spec->impl(k, p, t, args);
+  return generic_impl(k, p, t, *spec, args);
+}
+
+ApiResult WinApi::generic_impl(Kernel& k, Process& p, Thread& t, const ApiSpec& spec,
+                               const u64* args) {
+  (void)k;
+  auto& as = p.machine().mem();
+  // Touch each pointer argument according to the behavior class. The
+  // synthesized body reads kPtrIn/kPtrInOut args and writes kPtrOut/kPtrInOut
+  // args over ptr_sizes[i] bytes.
+  for (size_t i = 0; i < spec.args.size() && i < 6; ++i) {
+    ArgKind kind = spec.args[i];
+    if (kind == ArgKind::kValue) continue;
+    gva_t ptr = args[i];
+    u32 size = i < spec.ptr_sizes.size() && spec.ptr_sizes[i] != 0 ? spec.ptr_sizes[i] : 8;
+    bool needs_read = kind == ArgKind::kPtrIn || kind == ArgKind::kPtrInOut;
+    bool needs_write = kind == ArgKind::kPtrOut || kind == ArgKind::kPtrInOut;
+
+    switch (spec.behavior) {
+      case ApiBehavior::kNoPointer:
+        break;
+      case ApiBehavior::kValidating:
+      case ApiBehavior::kGuardedDeref: {
+        // Both classes survive bad pointers; they differ only in mechanism
+        // (upfront probe vs. internal try/except), which is invisible at the
+        // interface. Graceful error return on the first bad argument.
+        u8 want = needs_write ? mem::kPermW : mem::kPermR;
+        if (needs_read) want |= mem::kPermR;
+        if (!as.check_range(ptr, size, want)) return {spec.error_ret, std::nullopt};
+        break;
+      }
+      case ApiBehavior::kUncheckedDeref: {
+        // User-mode stub dereferences before the kernel transition: fault.
+        if (needs_read) {
+          std::vector<u8> buf(size);
+          mem::AccessResult r = as.read(ptr, buf);
+          if (!r.ok) return {0, av_at(t, r.fault_addr, r.kind)};
+        }
+        if (needs_write) {
+          std::vector<u8> zeros(size, 0);
+          mem::AccessResult r = as.write(ptr, zeros);
+          if (!r.ok) return {0, av_at(t, r.fault_addr, r.kind)};
+        }
+        break;
+      }
+      case ApiBehavior::kQuery:
+        break;  // probed address is by-value; handled below
+    }
+  }
+
+  // Post-validation effects: write deterministic junk into out-pointers so
+  // callers observe side effects.
+  for (size_t i = 0; i < spec.args.size() && i < 6; ++i) {
+    ArgKind kind = spec.args[i];
+    if (kind != ArgKind::kPtrOut && kind != ArgKind::kPtrInOut) continue;
+    gva_t ptr = args[i];
+    u32 size = i < spec.ptr_sizes.size() && spec.ptr_sizes[i] != 0 ? spec.ptr_sizes[i] : 8;
+    std::vector<u8> fill(size, static_cast<u8>(0xA0 + i));
+    if (as.check_range(ptr, size, mem::kPermW)) (void)as.write(ptr, fill);
+  }
+  return {0, std::nullopt};
+}
+
+void WinApi::install_base_apis() {
+  {
+    ApiSpec s;
+    s.id = kApiVirtualQuery;
+    s.name = "VirtualQuery";
+    s.args = {ArgKind::kValue, ArgKind::kPtrOut, ArgKind::kValue};
+    s.ptr_sizes = {0, kMbiSize, 0};
+    s.behavior = ApiBehavior::kQuery;
+    s.impl = [](Kernel&, Process& p, Thread& t, const u64* args) -> ApiResult {
+      auto& as = p.machine().mem();
+      gva_t probe = args[0], out = args[1];
+      u64 len = args[2];
+      if (len < kMbiSize) return {0, std::nullopt};
+      // The *output* struct is dereferenced unchecked (stack/heap supplied
+      // by the caller) — exactly the Listing-2 idiom.
+      u64 page = align_down(probe, mem::kPageSize);
+      u8 perms = as.perms_of(probe);
+      u64 state = as.is_mapped(probe) ? 1 : 0;
+      u8 buf[kMbiSize] = {};
+      auto put = [&](u64 off, u64 v) {
+        for (int i = 0; i < 8; ++i) buf[off + static_cast<u64>(i)] = static_cast<u8>(v >> (8 * i));
+      };
+      put(0, page);
+      put(8, mem::kPageSize);
+      put(16, state);
+      put(24, perms);
+      mem::AccessResult r = as.write(out, buf);
+      if (!r.ok) return {0, av_at(t, r.fault_addr, r.kind)};
+      return {kMbiSize, std::nullopt};
+    };
+    add(std::move(s));
+  }
+  {
+    ApiSpec s;
+    s.id = kApiAddVeh;
+    s.name = "AddVectoredExceptionHandler";
+    s.args = {ArgKind::kValue, ArgKind::kValue};  // (first, handler_pc)
+    s.behavior = ApiBehavior::kNoPointer;
+    s.impl = [](Kernel&, Process& p, Thread&, const u64* args) -> ApiResult {
+      p.machine().add_veh(args[1]);
+      return {args[1], std::nullopt};
+    };
+    add(std::move(s));
+  }
+  {
+    ApiSpec s;
+    s.id = kApiRemoveVeh;
+    s.name = "RemoveVectoredExceptionHandler";
+    s.args = {ArgKind::kValue};
+    s.behavior = ApiBehavior::kNoPointer;
+    s.impl = [](Kernel&, Process& p, Thread&, const u64* args) -> ApiResult {
+      p.machine().remove_veh(args[0]);
+      return {1, std::nullopt};
+    };
+    add(std::move(s));
+  }
+  {
+    ApiSpec s;
+    s.id = kApiGetTickCount;
+    s.name = "GetTickCount";
+    s.behavior = ApiBehavior::kNoPointer;
+    s.impl = [](Kernel& k, Process&, Thread&, const u64*) -> ApiResult {
+      return {k.now_ns() / 1000000, std::nullopt};
+    };
+    add(std::move(s));
+  }
+  {
+    ApiSpec s;
+    s.id = kApiWriteConsole;
+    s.name = "WriteConsole";
+    s.args = {ArgKind::kPtrIn, ArgKind::kValue};
+    s.ptr_sizes = {1, 0};
+    s.behavior = ApiBehavior::kValidating;
+    s.impl = [](Kernel&, Process& p, Thread&, const u64* args) -> ApiResult {
+      gva_t ptr = args[0];
+      u64 len = std::min<u64>(args[1], 65536);
+      std::vector<u8> buf(len);
+      if (!p.machine().mem().read(ptr, buf).ok) return {~0ull, std::nullopt};
+      p.console().append(buf.begin(), buf.end());
+      return {len, std::nullopt};
+    };
+    add(std::move(s));
+  }
+  {
+    ApiSpec s;
+    s.id = kApiHeapAlloc;
+    s.name = "HeapAlloc";
+    s.args = {ArgKind::kValue};
+    s.behavior = ApiBehavior::kNoPointer;
+    s.impl = [](Kernel&, Process& p, Thread&, const u64* args) -> ApiResult {
+      u64 size = std::min<u64>(std::max<u64>(args[0], 1), 1ull << 24);
+      return {p.heap_alloc(size, mem::kPermR | mem::kPermW), std::nullopt};
+    };
+    add(std::move(s));
+  }
+  {
+    ApiSpec s;
+    s.id = kApiRaiseException;
+    s.name = "RaiseException";
+    s.args = {ArgKind::kValue};
+    s.behavior = ApiBehavior::kNoPointer;
+    s.impl = [](Kernel&, Process&, Thread& t, const u64* args) -> ApiResult {
+      vm::ExceptionRecord rec;
+      rec.code = static_cast<vm::ExcCode>(args[0] != 0 ? args[0]
+                                                       : static_cast<u64>(vm::ExcCode::kSoftware));
+      rec.fault_pc = t.cpu.pc - isa::kInstrBytes;
+      return {0, rec};
+    };
+    add(std::move(s));
+  }
+  {
+    ApiSpec s;
+    s.id = kApiSleep;
+    s.name = "Sleep";
+    s.args = {ArgKind::kValue};
+    s.behavior = ApiBehavior::kNoPointer;
+    // Implemented by the kernel dispatcher (needs scheduler access); the
+    // spec exists so tracing sees a normal API.
+    add(std::move(s));
+  }
+  {
+    ApiSpec s;
+    s.id = kApiIsBadReadPtr;
+    s.name = "IsBadReadPtr";
+    s.args = {ArgKind::kValue, ArgKind::kValue};
+    s.behavior = ApiBehavior::kQuery;
+    s.impl = [](Kernel&, Process& p, Thread&, const u64* args) -> ApiResult {
+      bool bad = !p.machine().mem().check_range(args[0], std::max<u64>(args[1], 1), mem::kPermR);
+      return {bad ? 1ull : 0ull, std::nullopt};
+    };
+    add(std::move(s));
+  }
+  {
+    ApiSpec s;
+    s.id = kApiCreateThread;
+    s.name = "CreateThread";
+    s.args = {ArgKind::kValue, ArgKind::kValue};  // (entry, arg)
+    s.behavior = ApiBehavior::kNoPointer;
+    s.impl = [](Kernel&, Process& p, Thread&, const u64* args) -> ApiResult {
+      return {static_cast<u64>(p.spawn_thread(args[0], args[1])), std::nullopt};
+    };
+    add(std::move(s));
+  }
+  {
+    ApiSpec s;
+    s.id = kApiReadSelfMemory;
+    s.name = "ReadProcessMemorySelf";
+    s.args = {ArgKind::kValue, ArgKind::kPtrOut, ArgKind::kValue};
+    s.ptr_sizes = {0, 8, 0};
+    s.behavior = ApiBehavior::kValidating;
+    s.impl = [](Kernel&, Process& p, Thread&, const u64* args) -> ApiResult {
+      auto& as = p.machine().mem();
+      u64 len = std::min<u64>(args[2], 4096);
+      std::vector<u8> buf(len);
+      if (!as.read(args[0], buf).ok) return {~0ull, std::nullopt};
+      if (!as.write(args[1], buf).ok) return {~0ull, std::nullopt};
+      return {len, std::nullopt};
+    };
+    add(std::move(s));
+  }
+}
+
+void WinApi::generate_population(u64 seed, u32 total, double ptr_fraction,
+                                 double resistant_fraction) {
+  Rng rng(seed);
+  for (u32 i = 0; i < total; ++i) {
+    ApiSpec s;
+    s.id = kApiPopulationBase + i;
+    s.name = strf("SynthApi%05u", i);
+    bool with_ptr = rng.chance(ptr_fraction);
+    u32 nargs = static_cast<u32>(rng.range(1, 4));
+    for (u32 a = 0; a < nargs; ++a) {
+      s.args.push_back(ArgKind::kValue);
+      s.ptr_sizes.push_back(0);
+    }
+    if (with_ptr) {
+      u32 which = static_cast<u32>(rng.below(nargs));
+      u64 kind_draw = rng.below(3);
+      s.args[which] = kind_draw == 0   ? ArgKind::kPtrIn
+                      : kind_draw == 1 ? ArgKind::kPtrOut
+                                       : ArgKind::kPtrInOut;
+      s.ptr_sizes[which] = static_cast<u32>(rng.range(1, 64));
+      if (rng.chance(resistant_fraction)) {
+        s.behavior = rng.chance(0.5) ? ApiBehavior::kValidating : ApiBehavior::kGuardedDeref;
+      } else {
+        s.behavior = ApiBehavior::kUncheckedDeref;
+      }
+    } else {
+      s.behavior = ApiBehavior::kNoPointer;
+    }
+    add(std::move(s));
+  }
+}
+
+}  // namespace crp::os

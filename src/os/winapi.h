@@ -1,0 +1,138 @@
+// Windows API layer: a registry of host-implemented API functions reached
+// via the APICALL trap.
+//
+// Each API carries metadata (argument kinds) plus a *behavior class* that
+// determines what happens when a pointer argument is invalid:
+//
+//   kValidating     — the API probes the pointer first and returns an error
+//                     code gracefully (crash-resistant; the class the
+//                     ApiFuzzer is hunting).
+//   kUncheckedDeref — the user-mode portion dereferences the pointer before
+//                     any validation; a bad pointer raises an access
+//                     violation at the APICALL site (dispatched through
+//                     SEH/VEH like any guest fault).
+//   kGuardedDeref   — the API body dereferences inside its own internal
+//                     try/except and converts the fault into an error code
+//                     (crash-resistant, e.g. IsBadReadPtr).
+//   kQuery          — memory-introspection APIs (VirtualQuery): take an
+//                     arbitrary address *by value* plus an output struct;
+//                     trivially crash-resistant for the probed address. The
+//                     paper excludes these from discovery (§III) since they
+//                     are intended for querying the layout, but they exist
+//                     in the corpus for completeness.
+//   kNoPointer      — no pointer arguments at all.
+//
+// The synthetic population generator emits a large corpus with the paper's
+// §V-B proportions so the fuzzing funnel can be re-derived by black-box
+// probing (the fuzzer never reads the behavior field — it classifies by
+// observing returns vs. crashes, like the paper's fuzzer did on MSDN-
+// harvested prototypes).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+#include "vm/exception.h"
+
+namespace crp::os {
+
+class Process;
+struct Thread;
+class Kernel;
+
+enum class ArgKind : u8 {
+  kValue = 0,   // plain integer
+  kPtrIn,       // pointer read by the API
+  kPtrOut,      // pointer written by the API
+  kPtrInOut,
+};
+
+enum class ApiBehavior : u8 {
+  kNoPointer = 0,
+  kValidating,
+  kUncheckedDeref,
+  kGuardedDeref,
+  kQuery,
+};
+
+const char* api_behavior_name(ApiBehavior b);
+
+/// Result of one API invocation.
+struct ApiResult {
+  u64 ret = 0;
+  /// Set when the API's user-mode part faulted: the kernel dispatches this
+  /// as a guest exception at the APICALL site.
+  std::optional<vm::ExceptionRecord> fault;
+};
+
+struct ApiSpec {
+  u32 id = 0;
+  std::string name;
+  std::vector<ArgKind> args;        // up to 6
+  std::vector<u32> ptr_sizes;       // bytes accessed per arg (0 for kValue)
+  ApiBehavior behavior = ApiBehavior::kNoPointer;
+  u64 error_ret = ~0ull;            // value returned on graceful failure
+  /// Optional bespoke implementation (VirtualQuery, VEH registration, ...).
+  /// When absent, a generic implementation synthesized from the metadata runs.
+  std::function<ApiResult(Kernel&, Process&, Thread&, const u64*)> impl;
+
+  bool has_pointer_arg() const {
+    for (ArgKind k : args)
+      if (k != ArgKind::kValue) return true;
+    return false;
+  }
+};
+
+/// API id -> spec registry for one Kernel.
+class WinApi {
+ public:
+  /// Register a spec; id must be unused.
+  void add(ApiSpec spec);
+  const ApiSpec* find(u32 id) const;
+  const ApiSpec* find(const std::string& name) const;
+  const std::map<u32, ApiSpec>& all() const { return specs_; }
+
+  /// Invoke API `id` with `args` (6 slots). Unknown id -> illegal instruction fault.
+  ApiResult invoke(Kernel& k, Process& p, Thread& t, u32 id, const u64* args);
+
+  /// Install the handful of well-known APIs (ids 1..63 reserved):
+  /// VirtualQuery, AddVectoredExceptionHandler, RemoveVectoredExceptionHandler,
+  /// GetTickCount, WriteConsole, HeapAlloc, RaiseException, Sleep,
+  /// IsBadReadPtr, ReadProcessMemorySelf.
+  void install_base_apis();
+
+  /// §V-B population: generate `total` synthetic APIs (ids from 1000) whose
+  /// composition matches the paper's measured ratios:
+  /// `ptr_fraction` have >=1 pointer argument and, of those,
+  /// `resistant_fraction` behave crash-resistantly (validating or guarded).
+  /// Deterministic for a given seed.
+  void generate_population(u64 seed, u32 total, double ptr_fraction,
+                           double resistant_fraction);
+
+ private:
+  ApiResult generic_impl(Kernel& k, Process& p, Thread& t, const ApiSpec& spec,
+                         const u64* args);
+
+  std::map<u32, ApiSpec> specs_;
+};
+
+// Well-known API ids used by authored guest code.
+inline constexpr u32 kApiVirtualQuery = 1;
+inline constexpr u32 kApiAddVeh = 2;
+inline constexpr u32 kApiRemoveVeh = 3;
+inline constexpr u32 kApiGetTickCount = 4;
+inline constexpr u32 kApiWriteConsole = 5;
+inline constexpr u32 kApiHeapAlloc = 6;
+inline constexpr u32 kApiRaiseException = 7;
+inline constexpr u32 kApiSleep = 8;
+inline constexpr u32 kApiIsBadReadPtr = 9;
+inline constexpr u32 kApiReadSelfMemory = 10;
+inline constexpr u32 kApiCreateThread = 11;
+inline constexpr u32 kApiPopulationBase = 1000;
+
+}  // namespace crp::os

@@ -1,0 +1,301 @@
+#include "symex/bitblast.h"
+
+namespace crp::symex {
+
+BitBlaster::BitBlaster(Ctx& ctx, SatSolver& sat) : ctx_(ctx), sat_(sat) {
+  true_lit_ = sat_.new_var();
+  sat_.add_clause({true_lit_});
+}
+
+int BitBlaster::mk_and(int a, int b) {
+  if (a == lit_false() || b == lit_false()) return lit_false();
+  if (a == lit_true()) return b;
+  if (b == lit_true()) return a;
+  if (a == b) return a;
+  if (a == -b) return lit_false();
+  int o = fresh();
+  sat_.add_clause({-o, a});
+  sat_.add_clause({-o, b});
+  sat_.add_clause({o, -a, -b});
+  return o;
+}
+
+int BitBlaster::mk_or(int a, int b) { return -mk_and(-a, -b); }
+
+int BitBlaster::mk_xor(int a, int b) {
+  if (a == lit_false()) return b;
+  if (b == lit_false()) return a;
+  if (a == lit_true()) return -b;
+  if (b == lit_true()) return -a;
+  if (a == b) return lit_false();
+  if (a == -b) return lit_true();
+  int o = fresh();
+  sat_.add_clause({-o, a, b});
+  sat_.add_clause({-o, -a, -b});
+  sat_.add_clause({o, -a, b});
+  sat_.add_clause({o, a, -b});
+  return o;
+}
+
+int BitBlaster::mk_ite(int c, int t, int f) {
+  if (c == lit_true()) return t;
+  if (c == lit_false()) return f;
+  if (t == f) return t;
+  return mk_or(mk_and(c, t), mk_and(-c, f));
+}
+
+int BitBlaster::mk_eq_vec(const std::vector<int>& a, const std::vector<int>& b) {
+  CRP_CHECK(a.size() == b.size());
+  int acc = lit_true();
+  for (size_t i = 0; i < a.size(); ++i) acc = mk_and(acc, -mk_xor(a[i], b[i]));
+  return acc;
+}
+
+int BitBlaster::mk_ult_vec(const std::vector<int>& a, const std::vector<int>& b) {
+  // MSB-first lexicographic comparison.
+  int lt = lit_false();
+  int eq_so_far = lit_true();
+  for (size_t i = a.size(); i > 0; --i) {
+    int ai = a[i - 1], bi = b[i - 1];
+    int this_lt = mk_and(-ai, bi);
+    lt = mk_or(lt, mk_and(eq_so_far, this_lt));
+    eq_so_far = mk_and(eq_so_far, -mk_xor(ai, bi));
+  }
+  return lt;
+}
+
+std::vector<int> BitBlaster::mk_add_vec(const std::vector<int>& a, const std::vector<int>& b,
+                                        int carry_in) {
+  CRP_CHECK(a.size() == b.size());
+  std::vector<int> out(a.size());
+  int carry = carry_in;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int s = mk_xor(mk_xor(a[i], b[i]), carry);
+    int c = mk_or(mk_and(a[i], b[i]), mk_and(carry, mk_xor(a[i], b[i])));
+    out[i] = s;
+    carry = c;
+  }
+  return out;
+}
+
+std::vector<int> BitBlaster::mk_shift(const std::vector<int>& a, const std::vector<int>& amt,
+                                      bool left, bool arith) {
+  // Barrel shifter over the log2(width) low bits of amt, with an
+  // out-of-range guard over the remaining bits.
+  size_t w = a.size();
+  size_t stages = 0;
+  while ((1ull << stages) < w) ++stages;
+  int fill = arith ? a[w - 1] : lit_false();
+
+  std::vector<int> cur = a;
+  for (size_t s = 0; s < stages; ++s) {
+    int sel = s < amt.size() ? amt[s] : lit_false();
+    size_t dist = 1ull << s;
+    std::vector<int> nxt(w);
+    for (size_t i = 0; i < w; ++i) {
+      int shifted;
+      if (left) {
+        shifted = i >= dist ? cur[i - dist] : lit_false();
+      } else {
+        shifted = i + dist < w ? cur[i + dist] : fill;
+      }
+      nxt[i] = mk_ite(sel, shifted, cur[i]);
+    }
+    cur = std::move(nxt);
+  }
+  // If any amt bit >= stages is set, the result is all-fill.
+  int overflow = lit_false();
+  for (size_t i = stages; i < amt.size(); ++i) overflow = mk_or(overflow, amt[i]);
+  if (overflow != lit_false()) {
+    for (size_t i = 0; i < w; ++i) cur[i] = mk_ite(overflow, left ? lit_false() : fill, cur[i]);
+  }
+  return cur;
+}
+
+const std::vector<int>& BitBlaster::blast(ExprRef r) {
+  auto it = cache_.find(r);
+  if (it != cache_.end()) return it->second;
+
+  const Expr& e = ctx_.get(r);
+  std::vector<int> out;
+
+  switch (e.kind) {
+    case ExprKind::kConst: {
+      out.resize(e.width);
+      for (u8 i = 0; i < e.width; ++i)
+        out[i] = ((e.value >> i) & 1) != 0 ? lit_true() : lit_false();
+      break;
+    }
+    case ExprKind::kVar: {
+      auto vit = var_lits_.find(e.aux);
+      if (vit == var_lits_.end()) {
+        std::vector<int> lits(e.width);
+        for (auto& l : lits) l = fresh();
+        vit = var_lits_.emplace(e.aux, std::move(lits)).first;
+      }
+      out = vit->second;
+      break;
+    }
+    case ExprKind::kAdd:
+      out = mk_add_vec(blast(e.a), blast(e.b), lit_false());
+      break;
+    case ExprKind::kSub: {
+      std::vector<int> nb = blast(e.b);
+      for (auto& l : nb) l = -l;
+      out = mk_add_vec(blast(e.a), nb, lit_true());
+      break;
+    }
+    case ExprKind::kMul: {
+      std::vector<int> a = blast(e.a), b = blast(e.b);
+      size_t w = a.size();
+      std::vector<int> acc(w, lit_false());
+      for (size_t i = 0; i < w; ++i) {
+        std::vector<int> part(w, lit_false());
+        for (size_t j = 0; i + j < w; ++j) part[i + j] = mk_and(a[j], b[i]);
+        acc = mk_add_vec(acc, part, lit_false());
+      }
+      out = std::move(acc);
+      break;
+    }
+    case ExprKind::kUdiv:
+    case ExprKind::kUrem: {
+      // q*b + r = a with r < b and NO overflow (the product and the sum are
+      // constrained in 2w bits with a zero high half), pinning q and r to
+      // the true quotient/remainder. b == 0 follows SMT-LIB semantics.
+      std::vector<int> a = blast(e.a), b = blast(e.b);
+      size_t w = a.size();
+      std::vector<int> q(w), rm(w);
+      for (auto& l : q) l = fresh();
+      for (auto& l : rm) l = fresh();
+      // 2w-bit product of q and b.
+      std::vector<int> q2 = q, b2 = b, r2 = rm, a2 = a;
+      q2.resize(2 * w, lit_false());
+      b2.resize(2 * w, lit_false());
+      r2.resize(2 * w, lit_false());
+      a2.resize(2 * w, lit_false());
+      std::vector<int> prod(2 * w, lit_false());
+      for (size_t i = 0; i < w; ++i) {  // b's high half is zero
+        std::vector<int> part(2 * w, lit_false());
+        for (size_t j = 0; i + j < 2 * w && j < w; ++j) part[i + j] = mk_and(q2[j], b2[i]);
+        prod = mk_add_vec(prod, part, lit_false());
+      }
+      std::vector<int> sum = mk_add_vec(prod, r2, lit_false());
+      int b_zero = lit_true();
+      for (int l : b) b_zero = mk_and(b_zero, -l);
+      int eq = mk_eq_vec(sum, a2);  // high half of sum must equal zero too
+      int rlt = mk_ult_vec(rm, b);
+      // b != 0 -> (q*b + r == a in 2w bits && r < b)
+      sat_.add_clause({b_zero, mk_and(eq, rlt)});
+      // b == 0 -> q = all-ones, r = a  (SMT-LIB)
+      int q_ones = lit_true();
+      for (int l : q) q_ones = mk_and(q_ones, l);
+      int r_eq_a = mk_eq_vec(rm, a);
+      sat_.add_clause({-b_zero, mk_and(q_ones, r_eq_a)});
+      out = e.kind == ExprKind::kUdiv ? q : rm;
+      break;
+    }
+    case ExprKind::kAnd: {
+      std::vector<int> a = blast(e.a), b = blast(e.b);
+      out.resize(a.size());
+      for (size_t i = 0; i < a.size(); ++i) out[i] = mk_and(a[i], b[i]);
+      break;
+    }
+    case ExprKind::kOr: {
+      std::vector<int> a = blast(e.a), b = blast(e.b);
+      out.resize(a.size());
+      for (size_t i = 0; i < a.size(); ++i) out[i] = mk_or(a[i], b[i]);
+      break;
+    }
+    case ExprKind::kXor: {
+      std::vector<int> a = blast(e.a), b = blast(e.b);
+      out.resize(a.size());
+      for (size_t i = 0; i < a.size(); ++i) out[i] = mk_xor(a[i], b[i]);
+      break;
+    }
+    case ExprKind::kNot: {
+      out = blast(e.a);
+      for (auto& l : out) l = -l;
+      break;
+    }
+    case ExprKind::kNeg: {
+      std::vector<int> a = blast(e.a);
+      for (auto& l : a) l = -l;
+      std::vector<int> one(a.size(), lit_false());
+      out = mk_add_vec(a, one, lit_true());
+      break;
+    }
+    case ExprKind::kShl:
+      out = mk_shift(blast(e.a), blast(e.b), true, false);
+      break;
+    case ExprKind::kLshr:
+      out = mk_shift(blast(e.a), blast(e.b), false, false);
+      break;
+    case ExprKind::kAshr:
+      out = mk_shift(blast(e.a), blast(e.b), false, true);
+      break;
+    case ExprKind::kEq:
+      out = {mk_eq_vec(blast(e.a), blast(e.b))};
+      break;
+    case ExprKind::kUlt:
+      out = {mk_ult_vec(blast(e.a), blast(e.b))};
+      break;
+    case ExprKind::kSlt: {
+      // a <s b  <=>  (a_msb ^ b_msb) ? a_msb : (a <u b)
+      std::vector<int> a = blast(e.a), b = blast(e.b);
+      int amsb = a.back(), bmsb = b.back();
+      int ult = mk_ult_vec(a, b);
+      out = {mk_ite(mk_xor(amsb, bmsb), amsb, ult)};
+      break;
+    }
+    case ExprKind::kIte: {
+      int c = blast(e.a)[0];
+      std::vector<int> t = blast(e.b), f = blast(e.c);
+      out.resize(t.size());
+      for (size_t i = 0; i < t.size(); ++i) out[i] = mk_ite(c, t[i], f[i]);
+      break;
+    }
+    case ExprKind::kZext: {
+      out = blast(e.a);
+      out.resize(e.width, lit_false());
+      break;
+    }
+    case ExprKind::kSext: {
+      out = blast(e.a);
+      int msb = out.back();
+      out.resize(e.width, msb);
+      break;
+    }
+    case ExprKind::kExtract: {
+      const std::vector<int>& a = blast(e.a);
+      out.assign(a.begin() + e.aux, a.begin() + e.aux + e.width);
+      break;
+    }
+    case ExprKind::kConcat: {
+      std::vector<int> hi = blast(e.a), lo = blast(e.b);
+      out = lo;
+      out.insert(out.end(), hi.begin(), hi.end());
+      break;
+    }
+  }
+  CRP_CHECK(out.size() == e.width);
+  return cache_.emplace(r, std::move(out)).first->second;
+}
+
+void BitBlaster::assert_true(ExprRef e) {
+  CRP_CHECK(ctx_.width(e) == 1);
+  sat_.add_clause({blast(e)[0]});
+}
+
+u64 BitBlaster::model_of_var(u32 var_id) const {
+  auto it = var_lits_.find(var_id);
+  if (it == var_lits_.end()) return 0;  // unconstrained
+  u64 v = 0;
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    int l = it->second[i];
+    bool bit = l > 0 ? sat_.model_value(l) : !sat_.model_value(-l);
+    if (bit) v |= 1ull << i;
+  }
+  return v;
+}
+
+}  // namespace crp::symex

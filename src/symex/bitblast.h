@@ -1,0 +1,50 @@
+// Tseitin bit-blaster: lowers Ctx bitvector expressions to CNF over a
+// SatSolver. Per-node literal-vector caching keeps shared subexpressions
+// shared in the CNF.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "symex/expr.h"
+#include "symex/sat.h"
+
+namespace crp::symex {
+
+class BitBlaster {
+ public:
+  BitBlaster(Ctx& ctx, SatSolver& sat);
+
+  /// Assert a width-1 expression true.
+  void assert_true(ExprRef e);
+
+  /// After SAT: read back the model value of a Ctx variable.
+  u64 model_of_var(u32 var_id) const;
+
+ private:
+  /// Lits for each bit of `e` (LSB first). Signed DIMACS literals; the
+  /// special pseudo-literals `true_lit_`/`-true_lit_` encode constants.
+  const std::vector<int>& blast(ExprRef e);
+
+  int fresh() { return sat_.new_var(); }
+  int lit_true() const { return true_lit_; }
+  int lit_false() const { return -true_lit_; }
+  int mk_and(int a, int b);
+  int mk_or(int a, int b);
+  int mk_xor(int a, int b);
+  int mk_ite(int c, int t, int f);
+  int mk_eq_vec(const std::vector<int>& a, const std::vector<int>& b);
+  int mk_ult_vec(const std::vector<int>& a, const std::vector<int>& b);
+  std::vector<int> mk_add_vec(const std::vector<int>& a, const std::vector<int>& b,
+                              int carry_in);
+  std::vector<int> mk_shift(const std::vector<int>& a, const std::vector<int>& amt,
+                            bool left, bool arith);
+
+  Ctx& ctx_;
+  SatSolver& sat_;
+  int true_lit_;
+  std::unordered_map<ExprRef, std::vector<int>> cache_;
+  std::unordered_map<u32, std::vector<int>> var_lits_;  // Ctx var id -> lits
+};
+
+}  // namespace crp::symex

@@ -1,0 +1,341 @@
+#include "symex/expr.h"
+
+#include <functional>
+
+namespace crp::symex {
+
+namespace {
+u64 hash_expr(const Expr& e) {
+  u64 h = 0xcbf29ce484222325ull;
+  auto mix = [&](u64 v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<u64>(e.kind));
+  mix(e.width);
+  mix(e.aux);
+  mix(e.value);
+  mix(e.a);
+  mix(e.b);
+  mix(e.c);
+  return h;
+}
+
+i64 to_signed(u64 v, u8 width) {
+  if (width >= 64) return static_cast<i64>(v);
+  u64 sign = 1ull << (width - 1);
+  return (v & sign) != 0 ? static_cast<i64>(v | ~((1ull << width) - 1)) : static_cast<i64>(v);
+}
+}  // namespace
+
+Ctx::Ctx() { nodes_.reserve(1024); }
+
+ExprRef Ctx::intern(Expr e) {
+  u64 h = hash_expr(e);
+  auto& bucket = dedup_[h];
+  for (ExprRef r : bucket)
+    if (nodes_[r] == e) return r;
+  ExprRef r = static_cast<ExprRef>(nodes_.size());
+  nodes_.push_back(e);
+  bucket.push_back(r);
+  return r;
+}
+
+ExprRef Ctx::constant(u64 value, u8 width) {
+  CRP_CHECK(width >= 1 && width <= 64);
+  Expr e;
+  e.kind = ExprKind::kConst;
+  e.width = width;
+  e.value = value & mask_of(width);
+  return intern(e);
+}
+
+ExprRef Ctx::var(const std::string& name, u8 width) {
+  CRP_CHECK(width >= 1 && width <= 64);
+  Expr e;
+  e.kind = ExprKind::kVar;
+  e.width = width;
+  e.aux = static_cast<u32>(var_names_.size());
+  var_names_.push_back(name);
+  return intern(e);
+}
+
+#define BINOP_FOLD(op_expr)                                                   \
+  const Expr &ea = get(a), &eb = get(b);                                      \
+  CRP_CHECK(ea.width == eb.width);                                            \
+  u8 w = ea.width;                                                            \
+  if (ea.kind == ExprKind::kConst && eb.kind == ExprKind::kConst) {           \
+    u64 x = ea.value, y = eb.value;                                           \
+    (void)x; (void)y;                                                         \
+    return constant((op_expr), w);                                            \
+  }
+
+ExprRef Ctx::add(ExprRef a, ExprRef b) {
+  BINOP_FOLD(x + y)
+  if (const_value(a) == 0) return b;
+  if (const_value(b) == 0) return a;
+  Expr e{ExprKind::kAdd, w, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::sub(ExprRef a, ExprRef b) {
+  BINOP_FOLD(x - y)
+  if (const_value(b) == 0) return a;
+  if (a == b) return constant(0, w);
+  Expr e{ExprKind::kSub, w, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::mul(ExprRef a, ExprRef b) {
+  BINOP_FOLD(x * y)
+  if (const_value(a) == 1) return b;
+  if (const_value(b) == 1) return a;
+  if (const_value(a) == 0 || const_value(b) == 0) return constant(0, w);
+  Expr e{ExprKind::kMul, w, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::udiv(ExprRef a, ExprRef b) {
+  BINOP_FOLD(y == 0 ? mask_of(w) : x / y)  // div-by-zero: all-ones (SMT-LIB)
+  if (const_value(b) == 1) return a;
+  Expr e{ExprKind::kUdiv, w, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::urem(ExprRef a, ExprRef b) {
+  BINOP_FOLD(y == 0 ? x : x % y)
+  Expr e{ExprKind::kUrem, w, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::band(ExprRef a, ExprRef b) {
+  BINOP_FOLD(x & y)
+  if (const_value(a) == 0 || const_value(b) == 0) return constant(0, w);
+  if (const_value(a) == mask_of(w)) return b;
+  if (const_value(b) == mask_of(w)) return a;
+  if (a == b) return a;
+  Expr e{ExprKind::kAnd, w, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::bor(ExprRef a, ExprRef b) {
+  BINOP_FOLD(x | y)
+  if (const_value(a) == 0) return b;
+  if (const_value(b) == 0) return a;
+  if (const_value(a) == mask_of(w) || const_value(b) == mask_of(w))
+    return constant(mask_of(w), w);
+  if (a == b) return a;
+  Expr e{ExprKind::kOr, w, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::bxor(ExprRef a, ExprRef b) {
+  BINOP_FOLD(x ^ y)
+  if (const_value(a) == 0) return b;
+  if (const_value(b) == 0) return a;
+  if (a == b) return constant(0, w);
+  Expr e{ExprKind::kXor, w, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::bnot(ExprRef a) {
+  const Expr& ea = get(a);
+  if (ea.kind == ExprKind::kConst) return constant(~ea.value, ea.width);
+  Expr e{ExprKind::kNot, ea.width, 0, 0, a, kNullExpr};
+  return intern(e);
+}
+
+ExprRef Ctx::neg(ExprRef a) {
+  const Expr& ea = get(a);
+  if (ea.kind == ExprKind::kConst) return constant(0 - ea.value, ea.width);
+  Expr e{ExprKind::kNeg, ea.width, 0, 0, a, kNullExpr};
+  return intern(e);
+}
+
+ExprRef Ctx::shl(ExprRef a, ExprRef amount) {
+  ExprRef b = amount;
+  BINOP_FOLD(y >= w ? 0 : x << y)
+  if (const_value(b) == 0) return a;
+  Expr e{ExprKind::kShl, w, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::lshr(ExprRef a, ExprRef amount) {
+  ExprRef b = amount;
+  BINOP_FOLD(y >= w ? 0 : x >> y)
+  if (const_value(b) == 0) return a;
+  Expr e{ExprKind::kLshr, w, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::ashr(ExprRef a, ExprRef amount) {
+  ExprRef b = amount;
+  BINOP_FOLD(static_cast<u64>(y >= w ? (to_signed(x, w) < 0 ? -1 : 0)
+                                     : (to_signed(x, w) >> y)))
+  if (const_value(b) == 0) return a;
+  Expr e{ExprKind::kAshr, w, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::eq(ExprRef a, ExprRef b) {
+  const Expr &ea = get(a), &eb = get(b);
+  CRP_CHECK(ea.width == eb.width);
+  if (ea.kind == ExprKind::kConst && eb.kind == ExprKind::kConst)
+    return bool_const(ea.value == eb.value);
+  if (a == b) return bool_const(true);
+  Expr e{ExprKind::kEq, 1, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::ult(ExprRef a, ExprRef b) {
+  const Expr &ea = get(a), &eb = get(b);
+  CRP_CHECK(ea.width == eb.width);
+  if (ea.kind == ExprKind::kConst && eb.kind == ExprKind::kConst)
+    return bool_const(ea.value < eb.value);
+  if (a == b) return bool_const(false);
+  if (const_value(b) == 0) return bool_const(false);
+  Expr e{ExprKind::kUlt, 1, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::slt(ExprRef a, ExprRef b) {
+  const Expr &ea = get(a), &eb = get(b);
+  CRP_CHECK(ea.width == eb.width);
+  if (ea.kind == ExprKind::kConst && eb.kind == ExprKind::kConst)
+    return bool_const(to_signed(ea.value, ea.width) < to_signed(eb.value, eb.width));
+  if (a == b) return bool_const(false);
+  Expr e{ExprKind::kSlt, 1, 0, 0, a, b};
+  return intern(e);
+}
+
+ExprRef Ctx::ite(ExprRef cond, ExprRef t, ExprRef f) {
+  const Expr& ec = get(cond);
+  CRP_CHECK(ec.width == 1);
+  CRP_CHECK(get(t).width == get(f).width);
+  if (ec.kind == ExprKind::kConst) return ec.value != 0 ? t : f;
+  if (t == f) return t;
+  Expr e{ExprKind::kIte, get(t).width, 0, 0, cond, t, f};
+  return intern(e);
+}
+
+ExprRef Ctx::zext(ExprRef a, u8 width) {
+  const Expr& ea = get(a);
+  CRP_CHECK(width >= ea.width);
+  if (width == ea.width) return a;
+  if (ea.kind == ExprKind::kConst) return constant(ea.value, width);
+  Expr e{ExprKind::kZext, width, 0, 0, a, kNullExpr};
+  return intern(e);
+}
+
+ExprRef Ctx::sext(ExprRef a, u8 width) {
+  const Expr& ea = get(a);
+  CRP_CHECK(width >= ea.width);
+  if (width == ea.width) return a;
+  if (ea.kind == ExprKind::kConst)
+    return constant(static_cast<u64>(to_signed(ea.value, ea.width)), width);
+  Expr e{ExprKind::kSext, width, 0, 0, a, kNullExpr};
+  return intern(e);
+}
+
+ExprRef Ctx::extract(ExprRef a, u32 lo, u8 width) {
+  const Expr& ea = get(a);
+  CRP_CHECK(lo + width <= ea.width);
+  if (lo == 0 && width == ea.width) return a;
+  if (ea.kind == ExprKind::kConst) return constant(ea.value >> lo, width);
+  Expr e{ExprKind::kExtract, width, lo, 0, a, kNullExpr};
+  return intern(e);
+}
+
+ExprRef Ctx::concat(ExprRef hi, ExprRef lo) {
+  const Expr &eh = get(hi), &el = get(lo);
+  CRP_CHECK(eh.width + el.width <= 64);
+  u8 w = static_cast<u8>(eh.width + el.width);
+  if (eh.kind == ExprKind::kConst && el.kind == ExprKind::kConst)
+    return constant((eh.value << el.width) | el.value, w);
+  Expr e{ExprKind::kConcat, w, 0, 0, hi, lo};
+  return intern(e);
+}
+
+u64 Ctx::eval(ExprRef r, const std::unordered_map<u32, u64>& model) const {
+  const Expr& e = get(r);
+  u64 m = mask_of(e.width);
+  switch (e.kind) {
+    case ExprKind::kConst: return e.value;
+    case ExprKind::kVar: {
+      auto it = model.find(e.aux);
+      return (it == model.end() ? 0 : it->second) & m;
+    }
+    default: break;
+  }
+  u64 a = e.a != kNullExpr ? eval(e.a, model) : 0;
+  u64 b = e.b != kNullExpr ? eval(e.b, model) : 0;
+  u64 c = e.c != kNullExpr ? eval(e.c, model) : 0;
+  u8 aw = e.a != kNullExpr ? get(e.a).width : 64;
+  switch (e.kind) {
+    case ExprKind::kAdd: return (a + b) & m;
+    case ExprKind::kSub: return (a - b) & m;
+    case ExprKind::kMul: return (a * b) & m;
+    case ExprKind::kUdiv: return (b == 0 ? m : a / b) & m;
+    case ExprKind::kUrem: return (b == 0 ? a : a % b) & m;
+    case ExprKind::kAnd: return a & b;
+    case ExprKind::kOr: return a | b;
+    case ExprKind::kXor: return a ^ b;
+    case ExprKind::kNot: return ~a & m;
+    case ExprKind::kNeg: return (0 - a) & m;
+    case ExprKind::kShl: return b >= e.width ? 0 : (a << b) & m;
+    case ExprKind::kLshr: return b >= e.width ? 0 : a >> b;
+    case ExprKind::kAshr:
+      return b >= e.width ? (to_signed(a, aw) < 0 ? m : 0)
+                          : static_cast<u64>(to_signed(a, aw) >> b) & m;
+    case ExprKind::kEq: return a == b ? 1 : 0;
+    case ExprKind::kUlt: return a < b ? 1 : 0;
+    case ExprKind::kSlt: return to_signed(a, aw) < to_signed(b, aw) ? 1 : 0;
+    case ExprKind::kIte: return a != 0 ? b : c;
+    case ExprKind::kZext: return a;
+    case ExprKind::kSext: return static_cast<u64>(to_signed(a, aw)) & m;
+    case ExprKind::kExtract: return (a >> e.aux) & m;
+    case ExprKind::kConcat: return ((a << get(e.b).width) | b) & m;
+    case ExprKind::kConst:
+    case ExprKind::kVar:
+      break;
+  }
+  return 0;
+}
+
+std::string Ctx::to_string(ExprRef r) const {
+  const Expr& e = get(r);
+  auto bin = [&](const char* op) {
+    return strf("(%s %s %s)", op, to_string(e.a).c_str(), to_string(e.b).c_str());
+  };
+  switch (e.kind) {
+    case ExprKind::kConst: return strf("0x%llx:%u", static_cast<unsigned long long>(e.value), e.width);
+    case ExprKind::kVar: return var_names_[e.aux] + strf(":%u", e.width);
+    case ExprKind::kAdd: return bin("add");
+    case ExprKind::kSub: return bin("sub");
+    case ExprKind::kMul: return bin("mul");
+    case ExprKind::kUdiv: return bin("udiv");
+    case ExprKind::kUrem: return bin("urem");
+    case ExprKind::kAnd: return bin("and");
+    case ExprKind::kOr: return bin("or");
+    case ExprKind::kXor: return bin("xor");
+    case ExprKind::kNot: return strf("(not %s)", to_string(e.a).c_str());
+    case ExprKind::kNeg: return strf("(neg %s)", to_string(e.a).c_str());
+    case ExprKind::kShl: return bin("shl");
+    case ExprKind::kLshr: return bin("lshr");
+    case ExprKind::kAshr: return bin("ashr");
+    case ExprKind::kEq: return bin("=");
+    case ExprKind::kUlt: return bin("u<");
+    case ExprKind::kSlt: return bin("s<");
+    case ExprKind::kIte:
+      return strf("(ite %s %s %s)", to_string(e.a).c_str(), to_string(e.b).c_str(),
+                  to_string(e.c).c_str());
+    case ExprKind::kZext: return strf("(zext%u %s)", e.width, to_string(e.a).c_str());
+    case ExprKind::kSext: return strf("(sext%u %s)", e.width, to_string(e.a).c_str());
+    case ExprKind::kExtract:
+      return strf("(extract[%u+%u] %s)", e.aux, e.width, to_string(e.a).c_str());
+    case ExprKind::kConcat: return bin("++");
+  }
+  return "?";
+}
+
+}  // namespace crp::symex

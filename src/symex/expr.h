@@ -1,0 +1,119 @@
+// Bitvector expression IR (QF_BV fragment) with hash-consing and eager
+// constant folding / local simplification.
+//
+// Widths are 1..64 bits; width-1 expressions serve as booleans. All
+// expressions live in an arena owned by a Ctx; ExprRef is an index into it.
+// Structural sharing + dedup keep symbolic execution of filter functions
+// compact, and the bit-blaster caches per-node.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.h"
+
+namespace crp::symex {
+
+using ExprRef = u32;
+inline constexpr ExprRef kNullExpr = 0xFFFFFFFF;
+
+enum class ExprKind : u8 {
+  kConst = 0,
+  kVar,
+  kAdd, kSub, kMul,
+  kUdiv, kUrem,
+  kAnd, kOr, kXor,
+  kNot,   // bitwise
+  kNeg,
+  kShl, kLshr, kAshr,  // shift amount = operand b
+  kEq, kUlt, kSlt,     // width-1 results
+  kIte,                // a(width1) ? b : c
+  kZext, kSext,        // widen a to `width`
+  kExtract,            // bits [lo, lo+width) of a ; lo stored in `aux`
+  kConcat,             // a:b, a = high part
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kConst;
+  u8 width = 64;           // result width in bits
+  u32 aux = 0;             // kVar: var id; kExtract: lo bit
+  u64 value = 0;           // kConst
+  ExprRef a = kNullExpr, b = kNullExpr, c = kNullExpr;
+
+  bool operator==(const Expr&) const = default;
+};
+
+/// Expression context: arena + hash-consing + variable registry.
+class Ctx {
+ public:
+  Ctx();
+
+  // --- leaves ------------------------------------------------------------
+
+  ExprRef constant(u64 value, u8 width = 64);
+  ExprRef bool_const(bool v) { return constant(v ? 1 : 0, 1); }
+  /// Fresh named variable; name is for diagnostics/model printing.
+  ExprRef var(const std::string& name, u8 width = 64);
+
+  // --- operators (all fold constants and apply local identities) -------------
+
+  ExprRef add(ExprRef a, ExprRef b);
+  ExprRef sub(ExprRef a, ExprRef b);
+  ExprRef mul(ExprRef a, ExprRef b);
+  ExprRef udiv(ExprRef a, ExprRef b);
+  ExprRef urem(ExprRef a, ExprRef b);
+  ExprRef band(ExprRef a, ExprRef b);
+  ExprRef bor(ExprRef a, ExprRef b);
+  ExprRef bxor(ExprRef a, ExprRef b);
+  ExprRef bnot(ExprRef a);
+  ExprRef neg(ExprRef a);
+  ExprRef shl(ExprRef a, ExprRef amount);
+  ExprRef lshr(ExprRef a, ExprRef amount);
+  ExprRef ashr(ExprRef a, ExprRef amount);
+  ExprRef eq(ExprRef a, ExprRef b);
+  ExprRef ne(ExprRef a, ExprRef b) { return lnot(eq(a, b)); }
+  ExprRef ult(ExprRef a, ExprRef b);
+  ExprRef ule(ExprRef a, ExprRef b) { return lnot(ult(b, a)); }
+  ExprRef slt(ExprRef a, ExprRef b);
+  ExprRef sle(ExprRef a, ExprRef b) { return lnot(slt(b, a)); }
+  ExprRef ite(ExprRef cond, ExprRef t, ExprRef f);
+  ExprRef zext(ExprRef a, u8 width);
+  ExprRef sext(ExprRef a, u8 width);
+  ExprRef extract(ExprRef a, u32 lo, u8 width);
+  ExprRef concat(ExprRef hi, ExprRef lo);
+
+  // boolean (width-1) helpers
+  ExprRef land(ExprRef a, ExprRef b) { return band(a, b); }
+  ExprRef lor(ExprRef a, ExprRef b) { return bor(a, b); }
+  ExprRef lnot(ExprRef a) { return bxor(a, bool_const(true)); }
+
+  // --- inspection ------------------------------------------------------------
+
+  const Expr& get(ExprRef r) const { return nodes_[r]; }
+  bool is_const(ExprRef r) const { return get(r).kind == ExprKind::kConst; }
+  std::optional<u64> const_value(ExprRef r) const {
+    return is_const(r) ? std::optional<u64>(get(r).value) : std::nullopt;
+  }
+  u8 width(ExprRef r) const { return get(r).width; }
+  const std::string& var_name(u32 var_id) const { return var_names_[var_id]; }
+  u32 num_vars() const { return static_cast<u32>(var_names_.size()); }
+  size_t size() const { return nodes_.size(); }
+
+  /// Evaluate under an assignment var_id -> value (missing vars read 0).
+  u64 eval(ExprRef r, const std::unordered_map<u32, u64>& model) const;
+
+  /// S-expression rendering for diagnostics.
+  std::string to_string(ExprRef r) const;
+
+ private:
+  ExprRef intern(Expr e);
+  static u64 mask_of(u8 width) { return width >= 64 ? ~0ull : ((1ull << width) - 1); }
+
+  std::vector<Expr> nodes_;
+  std::unordered_map<u64, std::vector<ExprRef>> dedup_;  // hash -> candidates
+  std::vector<std::string> var_names_;
+};
+
+}  // namespace crp::symex

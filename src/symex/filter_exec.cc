@@ -1,0 +1,354 @@
+#include "symex/filter_exec.h"
+
+#include <deque>
+
+#include "vm/exception.h"
+
+namespace crp::symex {
+
+using isa::Op;
+using isa::Reg;
+
+FilterExecutor::FilterExecutor(Ctx& ctx, const isa::Image& image) : ctx_(ctx), image_(image) {
+  int cs = image_.code_section();
+  CRP_CHECK(cs >= 0);
+  const auto& sec = image_.sections[static_cast<size_t>(cs)];
+  code_size_ = std::max<u64>(sec.vsize, sec.bytes.size());
+  code_base_ = kCodeBase;
+  data_base_ = kCodeBase + align_up(std::max<u64>(code_size_, 1), 4096);
+  exc_code_ = ctx_.var("exc_code", 64);
+  fault_addr_ = ctx_.var("fault_addr", 64);
+  access_kind_ = ctx_.var("access_kind", 64);
+}
+
+std::optional<u8> FilterExecutor::static_byte(u64 addr) const {
+  int cs = image_.code_section();
+  const auto& code = image_.sections[static_cast<size_t>(cs)];
+  if (addr >= code_base_ && addr < code_base_ + code.bytes.size())
+    return code.bytes[addr - code_base_];
+  // Data sections follow page-aligned in declaration order (assembler layout:
+  // section 0 = .text, section 1 = .data).
+  u64 cursor = data_base_;
+  for (size_t i = 0; i < image_.sections.size(); ++i) {
+    if (static_cast<int>(i) == cs) continue;
+    const auto& sec = image_.sections[i];
+    u64 vsize = std::max<u64>(sec.vsize, sec.bytes.size());
+    if (addr >= cursor && addr < cursor + vsize) {
+      u64 off = addr - cursor;
+      return off < sec.bytes.size() ? sec.bytes[off] : u8{0};
+    }
+    cursor += align_up(std::max<u64>(vsize, 1), 4096);
+  }
+  return std::nullopt;
+}
+
+ExprRef FilterExecutor::load_byte(State& st, u64 addr) {
+  auto it = st.mem.find(addr);
+  if (it != st.mem.end()) return it->second;
+
+  ExprRef v;
+  if (addr >= kRecBase && addr < kRecBase + vm::kExcRecSize) {
+    u64 off = addr - kRecBase;
+    auto field_byte = [&](ExprRef field, u64 field_off) {
+      return ctx_.extract(field, static_cast<u32>((off - field_off) * 8), 8);
+    };
+    if (off < 8) {
+      v = field_byte(exc_code_, vm::kExcRecCode);
+    } else if (off >= vm::kExcRecAddr && off < vm::kExcRecAddr + 8) {
+      v = field_byte(fault_addr_, vm::kExcRecAddr);
+    } else if (off >= vm::kExcRecAccess && off < vm::kExcRecAccess + 8) {
+      v = field_byte(access_kind_, vm::kExcRecAccess);
+    } else {
+      v = ctx_.var(strf("rec_byte_%llu", static_cast<unsigned long long>(off)), 8);
+    }
+  } else if (auto sb = static_byte(addr)) {
+    v = ctx_.constant(*sb, 8);
+  } else {
+    v = ctx_.var(strf("mem_%llx_%u", static_cast<unsigned long long>(addr), fresh_counter_++), 8);
+  }
+  st.mem.emplace(addr, v);
+  return v;
+}
+
+ExprRef FilterExecutor::load(State& st, u64 addr, u8 width) {
+  ExprRef v = load_byte(st, addr);
+  for (u8 i = 1; i < width; ++i) v = ctx_.concat(load_byte(st, addr + i), v);
+  return ctx_.zext(v, 64);
+}
+
+void FilterExecutor::store(State& st, u64 addr, ExprRef value, u8 width) {
+  if (addr < kRecBase + vm::kExcRecCtxPc + 8 && addr + width > kRecBase + vm::kExcRecCtxPc)
+    st.wrote_saved_pc = true;
+  for (u8 i = 0; i < width; ++i)
+    st.mem[addr + i] = ctx_.extract(value, 8 * static_cast<u32>(i), 8);
+}
+
+ExprRef FilterExecutor::cond_expr(const State& st, isa::Cond c) {
+  using isa::Cond;
+  if (st.flag_src == State::FlagSrc::kNone) return ctx_.bool_const(false);
+  ExprRef a = st.flag_a, b = st.flag_b;
+  if (st.flag_src == State::FlagSrc::kCmp) {
+    switch (c) {
+      case Cond::kEq: return ctx_.eq(a, b);
+      case Cond::kNe: return ctx_.ne(a, b);
+      case Cond::kLt: return ctx_.slt(a, b);
+      case Cond::kGe: return ctx_.lnot(ctx_.slt(a, b));
+      case Cond::kLe: return ctx_.sle(a, b);
+      case Cond::kGt: return ctx_.lnot(ctx_.sle(a, b));
+      case Cond::kUlt: return ctx_.ult(a, b);
+      case Cond::kUge: return ctx_.lnot(ctx_.ult(a, b));
+      case Cond::kUle: return ctx_.ule(a, b);
+      case Cond::kUgt: return ctx_.lnot(ctx_.ule(a, b));
+      case Cond::kCount: break;
+    }
+    return ctx_.bool_const(false);
+  }
+  // TEST semantics: v = a & b; ZF = v==0, SF = v<s0, CF = OF = 0.
+  ExprRef v = ctx_.band(a, b);
+  ExprRef zero = ctx_.constant(0, 64);
+  switch (c) {
+    case Cond::kEq: return ctx_.eq(v, zero);
+    case Cond::kNe: return ctx_.ne(v, zero);
+    case Cond::kLt: return ctx_.slt(v, zero);           // SF != OF, OF = 0
+    case Cond::kGe: return ctx_.lnot(ctx_.slt(v, zero));
+    case Cond::kLe: return ctx_.lor(ctx_.eq(v, zero), ctx_.slt(v, zero));
+    case Cond::kGt: return ctx_.lnot(ctx_.lor(ctx_.eq(v, zero), ctx_.slt(v, zero)));
+    case Cond::kUlt: return ctx_.bool_const(false);     // CF = 0
+    case Cond::kUge: return ctx_.bool_const(true);
+    case Cond::kUle: return ctx_.eq(v, zero);
+    case Cond::kUgt: return ctx_.ne(v, zero);
+    case Cond::kCount: break;
+  }
+  return ctx_.bool_const(false);
+}
+
+FilterAnalysis FilterExecutor::explore(u64 filter_off, size_t max_paths, u64 max_steps,
+                                       Proto proto) {
+  FilterAnalysis out;
+  int cs = image_.code_section();
+  const auto& code = image_.sections[static_cast<size_t>(cs)];
+
+  State init;
+  init.regs.assign(isa::kNumRegs, ctx_.constant(0, 64));
+  init.pc = code_base_ + filter_off;
+  init.cond = ctx_.bool_const(true);
+  if (proto == Proto::kSehFilter) {
+    init.regs[static_cast<size_t>(Reg::R1)] = exc_code_;
+    init.regs[static_cast<size_t>(Reg::R2)] = ctx_.constant(kRecBase, 64);
+  } else if (proto == Proto::kVeh) {
+    init.regs[static_cast<size_t>(Reg::R1)] = ctx_.constant(kRecBase, 64);
+  } else {  // kSignal: handler(signo, &siginfo, &ucontext)
+    init.regs[static_cast<size_t>(Reg::R1)] = exc_code_;  // signo
+    init.regs[static_cast<size_t>(Reg::R2)] = ctx_.constant(kRecBase, 64);
+    init.regs[static_cast<size_t>(Reg::R3)] =
+        ctx_.constant(kRecBase + vm::kExcRecRegs, 64);
+  }
+  init.regs[static_cast<size_t>(Reg::SP)] = ctx_.constant(kStackTop - 8, 64);
+  store(init, kStackTop - 8, ctx_.constant(kRetSentinel, 64), 8);
+
+  std::deque<State> work;
+  work.push_back(std::move(init));
+
+  while (!work.empty() && out.paths.size() < max_paths) {
+    State st = std::move(work.back());
+    work.pop_back();
+
+    bool done = false;
+    while (!done) {
+      if (st.steps++ > max_steps) {
+        out.truncated = true;
+        break;
+      }
+      ++out.steps;
+      if (st.pc == kRetSentinel) {
+        out.paths.push_back({st.cond, st.regs[0], st.external_call, st.wrote_saved_pc});
+        done = true;
+        break;
+      }
+      if (st.pc < code_base_ || st.pc + isa::kInstrBytes > code_base_ + code.bytes.size()) {
+        out.truncated = true;  // wandered outside the image
+        break;
+      }
+      auto ins_opt = isa::decode(
+          std::span<const u8>(code.bytes.data() + (st.pc - code_base_), isa::kInstrBytes));
+      if (!ins_opt.has_value()) {
+        out.truncated = true;
+        break;
+      }
+      const isa::Instr& in = *ins_opt;
+      u64 next = st.pc + isa::kInstrBytes;
+      st.pc = next;
+
+      auto& regs = st.regs;
+      auto ra = [&]() -> ExprRef& { return regs[static_cast<size_t>(in.ra)]; };
+      auto rb = [&]() -> ExprRef { return regs[static_cast<size_t>(in.rb)]; };
+      ExprRef imm64 = ctx_.constant(static_cast<u64>(in.imm), 64);
+
+      auto concrete = [&](ExprRef e) -> std::optional<u64> { return ctx_.const_value(e); };
+      auto abort_path = [&] {
+        out.truncated = true;
+        done = true;
+      };
+
+      switch (in.op) {
+        case Op::kNop: break;
+        case Op::kMovRR: ra() = rb(); break;
+        case Op::kMovRI: ra() = imm64; break;
+        case Op::kLea: ra() = ctx_.add(rb(), imm64); break;
+        case Op::kLeaPc: ra() = ctx_.constant(next + static_cast<u64>(in.imm), 64); break;
+        case Op::kLoad: {
+          auto addr = concrete(ctx_.add(rb(), imm64));
+          if (!addr.has_value()) {
+            // Load from a symbolic address: havoc the destination. This is
+            // a sound over-approximation for satisfiability queries.
+            ra() = ctx_.var(strf("symload_%u", fresh_counter_++), 64);
+            break;
+          }
+          ra() = load(st, *addr, in.w);
+          break;
+        }
+        case Op::kStore: {
+          auto addr = concrete(ctx_.add(ra(), imm64));
+          if (!addr.has_value()) {
+            abort_path();  // symbolic store could clobber anything
+            break;
+          }
+          store(st, *addr, rb(), in.w);
+          break;
+        }
+        case Op::kPush: {
+          auto sp = concrete(regs[static_cast<size_t>(Reg::SP)]);
+          if (!sp.has_value()) {
+            abort_path();
+            break;
+          }
+          store(st, *sp - 8, ra(), 8);
+          regs[static_cast<size_t>(Reg::SP)] = ctx_.constant(*sp - 8, 64);
+          break;
+        }
+        case Op::kPop: {
+          auto sp = concrete(regs[static_cast<size_t>(Reg::SP)]);
+          if (!sp.has_value()) {
+            abort_path();
+            break;
+          }
+          ra() = load(st, *sp, 8);
+          regs[static_cast<size_t>(Reg::SP)] = ctx_.constant(*sp + 8, 64);
+          break;
+        }
+        case Op::kAddRR: ra() = ctx_.add(ra(), rb()); break;
+        case Op::kAddRI: ra() = ctx_.add(ra(), imm64); break;
+        case Op::kSubRR: ra() = ctx_.sub(ra(), rb()); break;
+        case Op::kSubRI: ra() = ctx_.sub(ra(), imm64); break;
+        case Op::kMulRR: ra() = ctx_.mul(ra(), rb()); break;
+        case Op::kMulRI: ra() = ctx_.mul(ra(), imm64); break;
+        case Op::kDivRR: ra() = ctx_.udiv(ra(), rb()); break;
+        case Op::kModRR: ra() = ctx_.urem(ra(), rb()); break;
+        case Op::kAndRR: ra() = ctx_.band(ra(), rb()); break;
+        case Op::kAndRI: ra() = ctx_.band(ra(), imm64); break;
+        case Op::kOrRR: ra() = ctx_.bor(ra(), rb()); break;
+        case Op::kOrRI: ra() = ctx_.bor(ra(), imm64); break;
+        case Op::kXorRR: ra() = ctx_.bxor(ra(), rb()); break;
+        case Op::kXorRI: ra() = ctx_.bxor(ra(), imm64); break;
+        case Op::kShlRI: ra() = ctx_.shl(ra(), ctx_.constant(static_cast<u64>(in.imm) & 63, 64)); break;
+        case Op::kShrRI: ra() = ctx_.lshr(ra(), ctx_.constant(static_cast<u64>(in.imm) & 63, 64)); break;
+        case Op::kSarRI: ra() = ctx_.ashr(ra(), ctx_.constant(static_cast<u64>(in.imm) & 63, 64)); break;
+        case Op::kShlRR: ra() = ctx_.shl(ra(), ctx_.band(rb(), ctx_.constant(63, 64))); break;
+        case Op::kShrRR: ra() = ctx_.lshr(ra(), ctx_.band(rb(), ctx_.constant(63, 64))); break;
+        case Op::kNot: ra() = ctx_.bnot(ra()); break;
+        case Op::kNeg: ra() = ctx_.neg(ra()); break;
+        case Op::kCmpRR:
+          st.flag_src = State::FlagSrc::kCmp;
+          st.flag_a = ra();
+          st.flag_b = rb();
+          break;
+        case Op::kCmpRI:
+          st.flag_src = State::FlagSrc::kCmp;
+          st.flag_a = ra();
+          st.flag_b = imm64;
+          break;
+        case Op::kTestRR:
+          st.flag_src = State::FlagSrc::kTest;
+          st.flag_a = ra();
+          st.flag_b = rb();
+          break;
+        case Op::kTestRI:
+          st.flag_src = State::FlagSrc::kTest;
+          st.flag_a = ra();
+          st.flag_b = imm64;
+          break;
+        case Op::kJmp:
+          st.pc = next + static_cast<u64>(in.imm);
+          break;
+        case Op::kJmpR: {
+          auto t = concrete(ra());
+          if (!t.has_value()) {
+            abort_path();
+            break;
+          }
+          st.pc = *t;
+          break;
+        }
+        case Op::kJcc: {
+          ExprRef c = cond_expr(st, static_cast<isa::Cond>(in.w));
+          if (auto cv = concrete(c)) {
+            if (*cv != 0) st.pc = next + static_cast<u64>(in.imm);
+            break;
+          }
+          // Fork: fall-through state goes to the worklist, taken continues.
+          State fall = st;
+          fall.cond = ctx_.land(fall.cond, ctx_.lnot(c));
+          work.push_back(std::move(fall));
+          st.cond = ctx_.land(st.cond, c);
+          st.pc = next + static_cast<u64>(in.imm);
+          break;
+        }
+        case Op::kCall: {
+          auto sp = concrete(regs[static_cast<size_t>(Reg::SP)]);
+          if (!sp.has_value()) {
+            abort_path();
+            break;
+          }
+          store(st, *sp - 8, ctx_.constant(next, 64), 8);
+          regs[static_cast<size_t>(Reg::SP)] = ctx_.constant(*sp - 8, 64);
+          st.pc = next + static_cast<u64>(in.imm);
+          break;
+        }
+        case Op::kCallR:
+          abort_path();
+          break;
+        case Op::kCallImp:
+          // External call: result unconstrained, remember the impurity.
+          regs[0] = ctx_.var(strf("extcall_%u", fresh_counter_++), 64);
+          st.external_call = true;
+          break;
+        case Op::kRet: {
+          auto sp = concrete(regs[static_cast<size_t>(Reg::SP)]);
+          if (!sp.has_value()) {
+            abort_path();
+            break;
+          }
+          ExprRef tgt = load(st, *sp, 8);
+          auto t = concrete(tgt);
+          if (!t.has_value()) {
+            abort_path();
+            break;
+          }
+          regs[static_cast<size_t>(Reg::SP)] = ctx_.constant(*sp + 8, 64);
+          st.pc = *t;
+          break;
+        }
+        case Op::kHalt:
+        case Op::kSyscall:
+        case Op::kApiCall:
+        case Op::kCount:
+          abort_path();  // impure or invalid in a filter
+          break;
+      }
+    }
+  }
+  if (!work.empty()) out.truncated = true;
+  return out;
+}
+
+}  // namespace crp::symex

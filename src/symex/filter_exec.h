@@ -1,0 +1,112 @@
+// Symbolic execution of exception-filter functions (§IV-C).
+//
+// A filter is MiniVM code inside an image, invoked with
+//   R1 = exception code, R2 = &EXCEPTION_RECORD,
+// returning a disposition in R0. The executor runs the filter on symbolic
+// inputs directly against the *static* image (no process, no loader): code
+// and initialized data are read at their build-time relative layout, the
+// exception record's fields are free bitvector variables, and everything
+// else reads as fresh unconstrained bytes.
+//
+// Exploration forks at symbolic branches (DFS, bounded by paths/steps) and
+// yields one (path-condition, return-value) pair per completed path. The
+// FilterClassifier then asks the solver: is
+//     path ∧ exc_code = ACCESS_VIOLATION ∧ (ret = EXECUTE_HANDLER ∨
+//                                            ret = CONTINUE_EXECUTION)
+// satisfiable for any path?
+//
+// Deliberate approximations (documented behavior, exercised in tests):
+//  * writable .data reads use the image's initial bytes — a filter gated on
+//    a runtime-configured global is classified from its static value (this
+//    reproduces the paper's miss of the post-update IE filter, §VII-A);
+//  * calls to imported functions havoc R0 and taint the path as
+//    `external_call`, which the classifier surfaces as "needs manual
+//    review" instead of a clean verdict;
+//  * symbolic addresses / symbolic call+ret targets abort the path.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "isa/image.h"
+#include "symex/expr.h"
+
+namespace crp::symex {
+
+struct FilterPath {
+  ExprRef cond = kNullExpr;   // width-1 path condition
+  ExprRef ret = kNullExpr;    // width-64 R0 at return
+  bool external_call = false; // path consumed an unconstrained external result
+  /// The path stored to the saved-pc slot of the exception record/ucontext —
+  /// the recovery signature of signal handlers and CONTINUE_EXECUTION VEHs.
+  bool wrote_saved_pc = false;
+};
+
+struct FilterAnalysis {
+  std::vector<FilterPath> paths;
+  bool truncated = false;   // budget exhausted or paths aborted
+  u64 steps = 0;
+};
+
+class FilterExecutor {
+ public:
+  /// `image` must stay alive for the executor's lifetime.
+  FilterExecutor(Ctx& ctx, const isa::Image& image);
+
+  /// Symbolic inputs shared by all explorations from this executor.
+  ExprRef exc_code() const { return exc_code_; }
+  ExprRef fault_addr() const { return fault_addr_; }
+  ExprRef access_kind() const { return access_kind_; }
+
+  /// Calling convention of the analyzed function.
+  ///   kSehFilter — R1 = exception code, R2 = &record (scope-table filters);
+  ///   kVeh       — R1 = &record (vectored handlers registered at runtime;
+  ///                the §VII-A extension that finds the Firefox oracle);
+  ///   kSignal    — R1 = signo, R2 = &siginfo, R3 = &ucontext (Linux
+  ///                sigaction handlers, §III-B; "handles" an AV by editing
+  ///                the saved pc, i.e. wrote_saved_pc on some SIGSEGV path).
+  enum class Proto : u8 { kSehFilter = 0, kVeh, kSignal };
+
+  /// Explore the filter whose entry is code offset `filter_off`.
+  FilterAnalysis explore(u64 filter_off, size_t max_paths = 64, u64 max_steps = 4096,
+                         Proto proto = Proto::kSehFilter);
+
+ private:
+  struct State {
+    u64 pc = 0;
+    std::vector<ExprRef> regs;  // 16
+    // flags source: last cmp/test operands
+    enum class FlagSrc : u8 { kNone, kCmp, kTest } flag_src = FlagSrc::kNone;
+    ExprRef flag_a = kNullExpr, flag_b = kNullExpr;
+    std::unordered_map<u64, ExprRef> mem;  // byte address -> 8-bit expr
+    ExprRef cond;                          // accumulated path condition
+    bool external_call = false;
+    bool wrote_saved_pc = false;
+    u64 steps = 0;
+  };
+
+  ExprRef load_byte(State& st, u64 addr);
+  ExprRef load(State& st, u64 addr, u8 width);
+  void store(State& st, u64 addr, ExprRef value, u8 width);
+  ExprRef cond_expr(const State& st, isa::Cond c);
+  /// Static byte of the image at its build-time layout, if any.
+  std::optional<u8> static_byte(u64 addr) const;
+
+  Ctx& ctx_;
+  const isa::Image& image_;
+  u64 code_base_, data_base_, code_size_;
+  ExprRef exc_code_, fault_addr_, access_kind_;
+  u32 fresh_counter_ = 0;
+
+  static constexpr u64 kCodeBase = 0x0000'0000'0010'0000ull;
+  static constexpr u64 kRecBase = 0x0000'0000'7f00'0000ull;
+  static constexpr u64 kStackTop = 0x0000'0000'7e00'0000ull;
+  static constexpr u64 kRetSentinel = 0xFFFF'FFFF'FFFF'F000ull;
+};
+
+/// Disposition constants, re-exported for classifier queries.
+inline constexpr u64 kDispExecuteHandler = 1;
+inline constexpr u64 kDispContinueSearch = 0;
+inline constexpr u64 kDispContinueExecution = ~0ull;  // -1 as u64
+
+}  // namespace crp::symex

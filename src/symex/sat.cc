@@ -1,0 +1,275 @@
+#include "symex/sat.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crp::symex {
+
+SatSolver::SatSolver() {
+  // Var 0 unused; index arrays from 1.
+  assign_.push_back(kUndef);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.resize(2);
+}
+
+int SatSolver::new_var() {
+  ++nvars_;
+  assign_.push_back(kUndef);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.resize(2 * static_cast<size_t>(nvars_) + 2);
+  return nvars_;
+}
+
+void SatSolver::attach(int ci) {
+  const Clause& c = clauses_[static_cast<size_t>(ci)];
+  CRP_CHECK(c.lits.size() >= 2);
+  watches_[static_cast<size_t>(c.lits[0])].push_back(ci);
+  watches_[static_cast<size_t>(c.lits[1])].push_back(ci);
+}
+
+void SatSolver::add_clause(std::vector<int> lits) {
+  if (unsat_) return;
+  // Normalize: dedup, detect tautology.
+  std::vector<int> enc_lits;
+  for (int l : lits) {
+    CRP_CHECK(l != 0 && std::abs(l) <= nvars_);
+    enc_lits.push_back(enc(l));
+  }
+  std::sort(enc_lits.begin(), enc_lits.end());
+  enc_lits.erase(std::unique(enc_lits.begin(), enc_lits.end()), enc_lits.end());
+  for (size_t i = 0; i + 1 < enc_lits.size(); ++i)
+    if (enc_lits[i] == neg(enc_lits[i + 1])) return;  // tautology
+
+  // Remove already-false root-level literals; detect satisfied clauses.
+  std::vector<int> out;
+  for (int l : enc_lits) {
+    if (trail_lim_.empty()) {
+      if (value_true(l)) return;
+      if (value_false(l)) continue;
+    }
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (out.size() == 1) {
+    if (!enqueue(out[0], -1)) unsat_ = true;
+    if (!unsat_ && propagate() != -1) unsat_ = true;
+    return;
+  }
+  clauses_.push_back({std::move(out), false});
+  attach(static_cast<int>(clauses_.size() - 1));
+}
+
+bool SatSolver::enqueue(int lit, int reason) {
+  if (value_false(lit)) return false;
+  if (value_true(lit)) return true;
+  int v = var_of(lit);
+  assign_[static_cast<size_t>(v)] = (lit & 1) == 0 ? 1 : 0;
+  level_[static_cast<size_t>(v)] = static_cast<int>(trail_lim_.size());
+  reason_[static_cast<size_t>(v)] = reason;
+  trail_.push_back(lit);
+  return true;
+}
+
+int SatSolver::propagate() {
+  while (qhead_ < trail_.size()) {
+    int lit = trail_[qhead_++];
+    ++propagations_;
+    int flit = neg(lit);  // literal that just became false
+    std::vector<int>& ws = watches_[static_cast<size_t>(flit)];
+    size_t keep = 0;
+    for (size_t i = 0; i < ws.size(); ++i) {
+      int ci = ws[i];
+      Clause& c = clauses_[static_cast<size_t>(ci)];
+      // Ensure the false literal is at position 1.
+      if (c.lits[0] == flit) std::swap(c.lits[0], c.lits[1]);
+      if (value_true(c.lits[0])) {
+        ws[keep++] = ci;
+        continue;
+      }
+      // Find a new watch.
+      bool moved = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (!value_false(c.lits[k])) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<size_t>(c.lits[1])].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      ws[keep++] = ci;
+      if (!enqueue(c.lits[0], ci)) {
+        // Conflict: keep remaining watchers, return.
+        for (size_t k = i + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return ci;
+      }
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void SatSolver::bump(int v) {
+  activity_[static_cast<size_t>(v)] += act_inc_;
+  if (activity_[static_cast<size_t>(v)] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    act_inc_ *= 1e-100;
+  }
+}
+
+void SatSolver::decay() { act_inc_ /= 0.95; }
+
+void SatSolver::analyze(int confl, std::vector<int>* learnt, int* out_level) {
+  learnt->clear();
+  learnt->push_back(0);  // slot for the asserting literal
+  int counter = 0;
+  int lit = -1;
+  size_t idx = trail_.size();
+  int cur_level = static_cast<int>(trail_lim_.size());
+
+  int ci = confl;
+  for (;;) {
+    const Clause& c = clauses_[static_cast<size_t>(ci)];
+    for (size_t j = (lit == -1 ? 0 : 1); j < c.lits.size(); ++j) {
+      int q = c.lits[j];
+      int v = var_of(q);
+      if (seen_[static_cast<size_t>(v)] != 0 || level_[static_cast<size_t>(v)] == 0) continue;
+      seen_[static_cast<size_t>(v)] = 1;
+      bump(v);
+      if (level_[static_cast<size_t>(v)] >= cur_level) {
+        ++counter;
+      } else {
+        learnt->push_back(q);
+      }
+    }
+    // Find next literal on the trail to resolve.
+    do {
+      --idx;
+      lit = trail_[idx];
+    } while (seen_[static_cast<size_t>(var_of(lit))] == 0);
+    seen_[static_cast<size_t>(var_of(lit))] = 0;
+    --counter;
+    if (counter == 0) break;
+    ci = reason_[static_cast<size_t>(var_of(lit))];
+    CRP_CHECK(ci >= 0);
+    // Re-sort the reason clause so lits[0] is the implied literal.
+    Clause& rc = clauses_[static_cast<size_t>(ci)];
+    if (rc.lits[0] != lit) {
+      for (size_t j = 1; j < rc.lits.size(); ++j)
+        if (rc.lits[j] == lit) {
+          std::swap(rc.lits[0], rc.lits[j]);
+          break;
+        }
+    }
+  }
+  (*learnt)[0] = neg(lit);
+
+  // Backtrack level = max level among the other literals.
+  int bl = 0;
+  for (size_t j = 1; j < learnt->size(); ++j)
+    bl = std::max(bl, level_[static_cast<size_t>(var_of((*learnt)[j]))]);
+  *out_level = bl;
+  for (size_t j = 1; j < learnt->size(); ++j)
+    seen_[static_cast<size_t>(var_of((*learnt)[j]))] = 0;
+}
+
+void SatSolver::backtrack(int bt_level) {
+  while (static_cast<int>(trail_lim_.size()) > bt_level) {
+    size_t lim = static_cast<size_t>(trail_lim_.back());
+    for (size_t i = trail_.size(); i > lim; --i) {
+      int v = var_of(trail_[i - 1]);
+      assign_[static_cast<size_t>(v)] = kUndef;
+      reason_[static_cast<size_t>(v)] = -1;
+    }
+    trail_.resize(lim);
+    trail_lim_.pop_back();
+  }
+  qhead_ = trail_.size();
+}
+
+int SatSolver::pick_branch() {
+  int best = 0;
+  double best_act = -1.0;
+  for (int v = 1; v <= nvars_; ++v) {
+    if (assign_[static_cast<size_t>(v)] == kUndef && activity_[static_cast<size_t>(v)] > best_act) {
+      best_act = activity_[static_cast<size_t>(v)];
+      best = v;
+    }
+  }
+  return best;
+}
+
+SatResult SatSolver::solve(u64 max_conflicts) {
+  if (unsat_) return SatResult::kUnsat;
+  if (propagate() != -1) {
+    unsat_ = true;
+    return SatResult::kUnsat;
+  }
+  u64 restart_limit = 100;
+  u64 since_restart = 0;
+
+  for (;;) {
+    int confl = propagate();
+    if (confl != -1) {
+      ++conflicts_;
+      ++since_restart;
+      if (trail_lim_.empty()) {
+        unsat_ = true;
+        return SatResult::kUnsat;
+      }
+      if (conflicts_ > max_conflicts) return SatResult::kUnknown;
+      std::vector<int> learnt;
+      int bt = 0;
+      analyze(confl, &learnt, &bt);
+      backtrack(bt);
+      if (learnt.size() == 1) {
+        CRP_CHECK(enqueue(learnt[0], -1));
+      } else {
+        clauses_.push_back({learnt, true});
+        int ci = static_cast<int>(clauses_.size() - 1);
+        // Watch the asserting literal and a highest-level other literal.
+        Clause& c = clauses_.back();
+        size_t hi = 1;
+        for (size_t j = 2; j < c.lits.size(); ++j)
+          if (level_[static_cast<size_t>(var_of(c.lits[j]))] >
+              level_[static_cast<size_t>(var_of(c.lits[hi]))])
+            hi = j;
+        std::swap(c.lits[1], c.lits[hi]);
+        attach(ci);
+        CRP_CHECK(enqueue(c.lits[0], ci));
+      }
+      decay();
+      if (since_restart >= restart_limit) {
+        since_restart = 0;
+        restart_limit = restart_limit + restart_limit / 2;
+        backtrack(0);
+      }
+      continue;
+    }
+    // No conflict: decide.
+    int v = pick_branch();
+    if (v == 0) return SatResult::kSat;
+    ++decisions_;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    CRP_CHECK(enqueue(2 * v + 1, -1));  // branch negative-first
+  }
+}
+
+bool SatSolver::model_value(int v) const {
+  CRP_CHECK(v >= 1 && v <= nvars_);
+  return assign_[static_cast<size_t>(v)] == 1;
+}
+
+}  // namespace crp::symex

@@ -1,0 +1,84 @@
+// CDCL SAT solver: two-watched literals, 1UIP conflict learning, VSIDS-style
+// activity, geometric restarts. Small but complete — the backend our
+// bit-blaster targets (the from-scratch stand-in for Z3 in §IV-C).
+#pragma once
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace crp::symex {
+
+enum class SatResult : u8 { kSat = 0, kUnsat, kUnknown };
+
+class SatSolver {
+ public:
+  SatSolver();
+
+  /// New variable; returns its 1-based index.
+  int new_var();
+  int num_vars() const { return nvars_; }
+
+  /// Add a clause of signed DIMACS-style literals (+v / -v). Duplicate and
+  /// opposite literals are normalized; the empty clause makes the instance
+  /// trivially unsat.
+  void add_clause(std::vector<int> lits);
+
+  /// Solve; conflict-bounded for safety (kUnknown on budget exhaustion).
+  SatResult solve(u64 max_conflicts = 1u << 22);
+
+  /// After kSat: value of variable v in the model.
+  bool model_value(int v) const;
+
+  u64 conflicts() const { return conflicts_; }
+  u64 decisions() const { return decisions_; }
+  u64 propagations() const { return propagations_; }
+
+ private:
+  // Internal literal encoding: var v (1-based), positive -> 2v, negative -> 2v+1.
+  static int enc(int lit) { return lit > 0 ? 2 * lit : -2 * lit + 1; }
+  static int neg(int l) { return l ^ 1; }
+  static int var_of(int l) { return l >> 1; }
+
+  enum : u8 { kUndef = 2 };
+
+  struct Clause {
+    std::vector<int> lits;  // internal encoding
+    bool learnt = false;
+  };
+
+  bool enqueue(int lit, int reason);
+  int propagate();  // returns conflicting clause index or -1
+  void analyze(int confl, std::vector<int>* learnt, int* out_level);
+  void backtrack(int level);
+  int pick_branch();
+  void bump(int v);
+  void decay();
+  bool value_true(int l) const {
+    u8 a = assign_[var_of(l)];
+    return a != kUndef && (a == 1) == ((l & 1) == 0);
+  }
+  bool value_false(int l) const {
+    u8 a = assign_[var_of(l)];
+    return a != kUndef && (a == 1) != ((l & 1) == 0);
+  }
+  bool is_undef(int l) const { return assign_[var_of(l)] == kUndef; }
+  void attach(int ci);
+
+  int nvars_ = 0;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<int>> watches_;  // per internal literal: clause indices
+  std::vector<u8> assign_;                 // per var: 0/1/kUndef
+  std::vector<int> level_;                 // per var
+  std::vector<int> reason_;                // per var: clause index or -1
+  std::vector<int> trail_;
+  std::vector<int> trail_lim_;
+  size_t qhead_ = 0;
+  std::vector<double> activity_;
+  double act_inc_ = 1.0;
+  std::vector<u8> seen_;
+  bool unsat_ = false;
+  u64 conflicts_ = 0, decisions_ = 0, propagations_ = 0;
+};
+
+}  // namespace crp::symex

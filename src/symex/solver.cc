@@ -1,0 +1,33 @@
+#include "symex/solver.h"
+
+namespace crp::symex {
+
+SatResult Solver::check(u64 max_conflicts) {
+  if (!blasted_) {
+    for (ExprRef c : constraints_) {
+      // Constant constraints short-circuit without touching the SAT solver.
+      if (auto v = ctx_.const_value(c)) {
+        if (*v == 0) trivially_false_ = true;
+        continue;
+      }
+      blaster_.assert_true(c);
+    }
+    blasted_ = true;
+  }
+  if (trivially_false_) return SatResult::kUnsat;
+  return sat_.solve(max_conflicts);
+}
+
+u64 Solver::model(ExprRef var_expr) const {
+  const Expr& e = ctx_.get(var_expr);
+  CRP_CHECK(e.kind == ExprKind::kVar);
+  return blaster_.model_of_var(e.aux);
+}
+
+std::unordered_map<u32, u64> Solver::full_model() const {
+  std::unordered_map<u32, u64> m;
+  for (u32 v = 0; v < ctx_.num_vars(); ++v) m[v] = blaster_.model_of_var(v);
+  return m;
+}
+
+}  // namespace crp::symex

@@ -1,0 +1,42 @@
+// Solver facade: collect constraints, decide satisfiability, extract models.
+// One-shot (build a Solver per query), mirroring how the analysis uses Z3 in
+// the paper: one small QF_BV query per exception filter.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "symex/bitblast.h"
+#include "symex/expr.h"
+#include "symex/sat.h"
+
+namespace crp::symex {
+
+class Solver {
+ public:
+  explicit Solver(Ctx& ctx) : ctx_(ctx), blaster_(ctx, sat_) {}
+
+  /// Add a width-1 constraint.
+  void add(ExprRef e) { constraints_.push_back(e); }
+
+  /// Decide the conjunction of added constraints.
+  SatResult check(u64 max_conflicts = 1u << 22);
+
+  /// After kSat: model for a Ctx variable (0 when unconstrained).
+  u64 model(ExprRef var_expr) const;
+
+  /// After kSat: the full assignment keyed by Ctx var id.
+  std::unordered_map<u32, u64> full_model() const;
+
+  const SatSolver& sat() const { return sat_; }
+
+ private:
+  Ctx& ctx_;
+  SatSolver sat_;
+  BitBlaster blaster_;
+  std::vector<ExprRef> constraints_;
+  bool blasted_ = false;
+  bool trivially_false_ = false;
+};
+
+}  // namespace crp::symex

@@ -1,0 +1,101 @@
+// Byte-granular dynamic taint tracking (the libdft analog of §IV-A).
+//
+// The engine attaches to one process: it observes every retired instruction
+// of that process's Machine (vm::ExecObserver) for propagation, and the
+// Kernel (os::KernelObserver) for sources — bytes the kernel copies into
+// user memory carry per-byte colors assigned per client connection.
+//
+// Shadow state:
+//   * memory  — one 64-bit color mask per guest byte (sparse, per page);
+//   * registers — one mask per register (bytewise masks are OR-folded on
+//     load; the pointer-argument question the analysis asks is per-value);
+//   * provenance — per register, the guest address an 8-byte value was last
+//     loaded from. This is what lets the CandidateVerifier corrupt the
+//     *memory home* of a pointer argument (the paper's monitor invalidates
+//     pointers in attacker-reachable memory, not registers), so re-reads of
+//     the same location elsewhere in the program are faithfully affected.
+//
+// Colors are small integers (1..) handed out per connection; masks fold
+// color c onto bit (c-1) mod 64. Up to 64 simultaneous colors stay exact.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "os/kernel.h"
+#include "vm/hooks.h"
+#include "vm/machine.h"
+
+namespace crp::taint {
+
+using Mask = u64;
+
+/// Mask bit for a connection color (0 = clean).
+constexpr Mask mask_for_color(u32 color) {
+  return color == 0 ? 0 : (1ull << ((color - 1) % 64));
+}
+
+class TaintEngine : public vm::ExecObserver, public os::KernelObserver {
+ public:
+  /// Attach to `proc`: registers with its machine and with `kernel`.
+  TaintEngine(os::Kernel& kernel, os::Process& proc);
+  ~TaintEngine() override;
+
+  TaintEngine(const TaintEngine&) = delete;
+  TaintEngine& operator=(const TaintEngine&) = delete;
+
+  // --- queries ---------------------------------------------------------------
+
+  Mask reg_taint(isa::Reg r) const { return reg_mask_[static_cast<u8>(r)]; }
+  std::optional<gva_t> reg_provenance(isa::Reg r) const {
+    gva_t a = reg_prov_[static_cast<u8>(r)];
+    return a == kNoProv ? std::nullopt : std::optional<gva_t>(a);
+  }
+  /// OR of byte masks over [addr, addr+len).
+  Mask mem_taint(gva_t addr, u64 len) const;
+
+  // --- manual control (the monitor's "control the taint state" commands) ------
+
+  void taint_mem(gva_t addr, u64 len, Mask mask);
+  void clear_mem(gva_t addr, u64 len);
+  void clear_all();
+
+  /// Toggle source tracking (workload warm-up phases run untracked).
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  u64 propagated_instrs() const { return propagated_; }
+
+  // --- vm::ExecObserver ---------------------------------------------------------
+
+  void on_exec(const vm::ExecEvent& ev, const vm::Cpu& cpu) override;
+
+  // --- os::KernelObserver ---------------------------------------------------------
+
+  void on_user_copy_out(os::Process& p, gva_t addr, std::span<const u8> data,
+                        std::span<const u32> colors) override;
+  void on_syscall_exit(os::Process& p, os::Thread& t, os::Sys nr, const u64* args,
+                       i64 ret) override;
+
+ private:
+  static constexpr gva_t kNoProv = ~0ull;
+  static constexpr u64 kShadowPage = 4096;
+
+  struct ShadowPage {
+    Mask bytes[kShadowPage] = {};
+  };
+
+  Mask* shadow_at(gva_t addr, bool create);
+  const Mask* shadow_at(gva_t addr) const;
+  void set_reg(isa::Reg r, Mask m, gva_t prov = kNoProv);
+
+  os::Kernel& kernel_;
+  os::Process& proc_;
+  bool enabled_ = true;
+  Mask reg_mask_[isa::kNumRegs] = {};
+  gva_t reg_prov_[isa::kNumRegs];
+  std::unordered_map<u64, ShadowPage> pages_;
+  u64 propagated_ = 0;
+};
+
+}  // namespace crp::taint

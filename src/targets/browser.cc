@@ -1,0 +1,400 @@
+#include "targets/browser.h"
+
+#include "targets/common.h"
+
+namespace crp::targets {
+
+namespace {
+
+/// jscript9_sim hand-authored portion: ScriptEngine object, MUTX::Enter with
+/// its catch-all scope, and the RunScript entry the browser routes script
+/// commands through. ScriptEngine heap layout:
+///   +0  status (0 = last EnterCriticalSection fine, 1 = handler ran)
+///   +8  CRITICAL_SECTION { +0,+8,+16 control fields, +24 debug_info ptr }
+///      (engine offsets +8, +16, +24, +32)
+void emit_jscript9_extra(Assembler& a) {
+  a.label("JsInit");
+  a.movi(Reg::R1, 256);
+  a.apicall(os::kApiHeapAlloc);
+  a.mov(Reg::R7, Reg::R0);
+  a.lea_pc(Reg::R2, "script_engine");
+  a.store(Reg::R2, 0, Reg::R7, 8);
+  a.movi(Reg::R1, 64);
+  a.apicall(os::kApiHeapAlloc);
+  a.store(Reg::R7, 32, Reg::R0, 8);  // debug_info (valid block)
+  a.movi(Reg::R3, 0);
+  a.store(Reg::R7, 0, Reg::R3, 8);   // status
+  a.store(Reg::R7, 8, Reg::R3, 8);   // CS control fields: uncontended
+  a.store(Reg::R7, 16, Reg::R3, 8);
+  a.store(Reg::R7, 24, Reg::R3, 8);
+  a.ret();
+  a.export_fn("JsInit", "JsInit");
+
+  a.label("MUTX_Enter");
+  a.lea_pc(Reg::R7, "script_engine");
+  a.load(Reg::R7, Reg::R7, 8);
+  a.cmpi(Reg::R7, 0);
+  a.jcc(Cond::kEq, "mutx_ret");
+  a.movi(Reg::R3, 0);
+  a.store(Reg::R7, 0, Reg::R3, 8);  // clear status before the call
+  a.label("mutx_b");
+  a.mov(Reg::R1, Reg::R7);
+  a.addi(Reg::R1, 8);  // &CRITICAL_SECTION
+  a.call_import("ntcrit_sim", "EnterCriticalSection");
+  a.label("mutx_e");
+  a.jmp("mutx_ret");
+  a.label("mutx_h");  // catch-all handler: record the failure in status
+  a.lea_pc(Reg::R7, "script_engine");
+  a.load(Reg::R7, Reg::R7, 8);
+  a.movi(Reg::R3, 1);
+  a.store(Reg::R7, 0, Reg::R3, 8);
+  a.label("mutx_ret");
+  a.ret();
+  a.export_fn("MUTX_Enter", "MUTX_Enter");
+  a.scope("mutx_b", "mutx_e", "", "mutx_h");  // filter field = 0x1 (§VI-A)
+
+  a.label("RunScript");  // R1 = script payload target (0 = none)
+  a.push(Reg::R1);
+  a.call("MUTX_Enter");  // processing new script code enters the engine lock
+  a.pop(Reg::R11);
+  a.cmpi(Reg::R11, 0);
+  a.jcc(Cond::kEq, "rs_done");
+  a.call_reg(Reg::R11);
+  a.label("rs_done");
+  // Engine bookkeeping: scripts-processed counter (lets callers — and the
+  // PoC attacker — detect completion of one script round trip).
+  a.lea_pc(Reg::R11, "script_done");
+  a.load(Reg::R3, Reg::R11, 8);
+  a.addi(Reg::R3, 1);
+  a.store(Reg::R11, 0, Reg::R3, 8);
+  a.ret();
+  a.export_fn("RunScript", "RunScript");
+
+  a.data_u64("script_engine", 0);
+  a.data_u64("script_done", 0);
+}
+
+}  // namespace
+
+BrowserSim::BrowserSim(os::Kernel& k, Options opts) : k_(k), opts_(opts) {
+  build_and_load();
+}
+
+isa::Image BrowserSim::build_ntcrit() const {
+  Assembler a("ntcrit_sim");
+  a.set_dll(true);
+
+  // EnterCriticalSection(R1 = &CS). The contended path (selected by the
+  // three control fields) touches debug_info+0x10 — the §VI-A dereference.
+  a.label("EnterCriticalSection");
+  a.load(Reg::R3, Reg::R1, 8, 0);
+  a.cmpi(Reg::R3, 0xC5C5);
+  a.jcc(Cond::kNe, "ecs_fast");
+  a.load(Reg::R3, Reg::R1, 8, 8);
+  a.cmpi(Reg::R3, 1);
+  a.jcc(Cond::kNe, "ecs_fast");
+  a.load(Reg::R3, Reg::R1, 8, 16);
+  a.cmpi(Reg::R3, 0);
+  a.jcc(Cond::kNe, "ecs_fast");
+  a.load(Reg::R4, Reg::R1, 8, 24);    // debug_info
+  a.load(Reg::R5, Reg::R4, 8, 0x10);  // the probing dereference
+  a.label("ecs_fast");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.export_fn("EnterCriticalSection", "EnterCriticalSection");
+
+  // GuardedCopy(R1 = src) -> R0 = value, R2 = 0 ok / 1 faulted. Guarded by
+  // an exclusion-list filter (AV-capable but NOT catch-all — §VI-B).
+  a.label("GuardedCopy");
+  a.label("gc_b");
+  a.load(Reg::R0, Reg::R1, 8);
+  a.label("gc_e");
+  a.movi(Reg::R2, 0);
+  a.ret();
+  a.label("gc_h");
+  a.movi(Reg::R0, -1);
+  a.movi(Reg::R2, 1);
+  a.ret();
+  a.label("gc_filter");  // excludes breakpoint/illegal-op, accepts the rest
+  a.cmpi(Reg::R1, static_cast<i64>(0x80000003));
+  a.jcc(Cond::kEq, "gc_f_no");
+  a.cmpi(Reg::R1, static_cast<i64>(0xC000001D));
+  a.jcc(Cond::kEq, "gc_f_no");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  a.label("gc_f_no");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.scope("gc_b", "gc_e", "gc_filter", "gc_h");
+  a.export_fn("GuardedCopy", "GuardedCopy");
+
+  return a.build();
+}
+
+isa::Image BrowserSim::build_main() const {
+  bool firefox = opts_.kind == Kind::kFirefox;
+  Assembler a(firefox ? "firefox_sim" : "iexplore_sim");
+
+  a.label("entry");
+  a.call_import("jscript9_sim", "JsInit");
+  if (firefox) {
+    // Runtime-registered VEH (invisible to static scope-table extraction).
+    a.movi(Reg::R1, 1);
+    a.lea_pc(Reg::R2, "veh_h");
+    a.apicall(os::kApiAddVeh);
+    // Background poll thread: services probe requests with no manual trigger.
+    a.lea_pc(Reg::R1, "poll_worker");
+    a.movi(Reg::R2, 0);
+    a.apicall(os::kApiCreateThread);
+  }
+
+  a.label("loop");
+  a.lea_pc(Reg::R1, "cmdbuf");
+  a.apicall(kApiGetCommand);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kEq, "idle");
+  a.lea_pc(Reg::R7, "cmdbuf");
+  a.load(Reg::R5, Reg::R7, 8, 0);
+  a.load(Reg::R6, Reg::R7, 8, 8);
+  a.cmpi(Reg::R5, static_cast<i64>(kCmdCall));
+  a.jcc(Cond::kEq, "c_call");
+  a.cmpi(Reg::R5, static_cast<i64>(kCmdScript));
+  a.jcc(Cond::kEq, "c_script");
+  a.cmpi(Reg::R5, static_cast<i64>(kCmdQuit));
+  a.jcc(Cond::kEq, "c_quit");
+  a.jmp("loop");
+  a.label("c_call");
+  a.mov(Reg::R11, Reg::R6);
+  a.call_reg(Reg::R11);
+  a.jmp("loop");
+  a.label("c_script");
+  a.mov(Reg::R1, Reg::R6);
+  a.call_import("jscript9_sim", "RunScript");
+  a.jmp("loop");
+  a.label("c_quit");
+  a.halt();
+  a.label("idle");
+  a.movi(Reg::R1, 1);
+  a.apicall(os::kApiSleep);
+  a.jmp("loop");
+
+  // API call stubs for the §V-B funnel: each calls one API with a pointer
+  // argument prepared in one of the paper's three non-controllable shapes.
+  for (size_t i = 0; i < opts_.api_stub_ids.size(); ++i) {
+    u32 id = opts_.api_stub_ids[i];
+    std::string stub = strf("api_stub_%zu", i);
+    a.label(stub);
+    switch (i % 3) {
+      case 0:  // short-lived stack structure
+        a.mov(Reg::R1, Reg::SP);
+        a.subi(Reg::R1, 256);
+        break;
+      case 1:  // volatile heap pointer, no stored reference
+        a.movi(Reg::R1, 128);
+        a.apicall(os::kApiHeapAlloc);
+        a.mov(Reg::R1, Reg::R0);
+        break;
+      case 2:  // heap pointer the caller itself dereferences afterwards
+        a.movi(Reg::R1, 128);
+        a.apicall(os::kApiHeapAlloc);
+        a.mov(Reg::R10, Reg::R0);
+        a.mov(Reg::R1, Reg::R10);
+        break;
+    }
+    a.mov(Reg::R2, Reg::R1);
+    a.mov(Reg::R3, Reg::R1);
+    a.mov(Reg::R4, Reg::R1);
+    a.apicall(id);
+    if (i % 3 == 2) a.load(Reg::R5, Reg::R10, 8);  // the out-of-API dereference
+    a.ret();
+    a.export_fn(stub, stub);
+  }
+
+  if (firefox) {
+    // Poll thread: probe_slot = { +0 request addr, +8 value, +16 status }.
+    a.label("poll_worker");
+    a.label("pw_loop");
+    a.lea_pc(Reg::R7, "probe_slot");
+    a.load(Reg::R1, Reg::R7, 8, 0);
+    a.cmpi(Reg::R1, 0);
+    a.jcc(Cond::kEq, "pw_sleep");
+    a.call_import("ntcrit_sim", "GuardedCopy");
+    a.store(Reg::R7, 8, Reg::R0, 8);
+    a.movi(Reg::R3, 2);  // mapped
+    a.cmpi(Reg::R2, 0);
+    a.jcc(Cond::kEq, "pw_ok");
+    a.movi(Reg::R3, 1);  // unmapped (handler path)
+    a.label("pw_ok");
+    a.store(Reg::R7, 16, Reg::R3, 8);
+    a.movi(Reg::R3, 0);
+    a.store(Reg::R7, 0, Reg::R3, 8);
+    a.label("pw_sleep");
+    a.movi(Reg::R1, 1);
+    a.apicall(os::kApiSleep);
+    a.jmp("pw_loop");
+
+    // VEH: resolve AVs by skipping the faulting instruction and counting.
+    a.label("veh_h");  // R1 = &record
+    a.load(Reg::R3, Reg::R1, 8, 0);
+    a.cmpi(Reg::R3, static_cast<i64>(0xC0000005));
+    a.jcc(Cond::kNe, "veh_pass");
+    a.load(Reg::R3, Reg::R1, 8, 160);
+    a.addi(Reg::R3, 16);
+    a.store(Reg::R1, 160, Reg::R3, 8);
+    a.lea_pc(Reg::R4, "veh_hits");
+    a.load(Reg::R5, Reg::R4, 8);
+    a.addi(Reg::R5, 1);
+    a.store(Reg::R4, 0, Reg::R5, 8);
+    a.movi(Reg::R0, -1);  // EXCEPTION_CONTINUE_EXECUTION
+    a.ret();
+    a.label("veh_pass");
+    a.movi(Reg::R0, 0);  // EXCEPTION_CONTINUE_SEARCH
+    a.ret();
+
+    a.data_zero("probe_slot", 24);
+    a.data_u64("veh_hits", 0);
+  }
+
+  a.data_zero("cmdbuf", 24);
+  a.set_entry("entry");
+  return a.build();
+}
+
+void BrowserSim::build_and_load() {
+  // DLL corpus: jscript9 gets the hand-authored MUTX construct.
+  for (const DllSpec& spec : paper_dll_specs()) {
+    if (spec.name == "jscript9_sim") {
+      dlls_.push_back(generate_dll(spec, opts_.seed, emit_jscript9_extra));
+    } else {
+      dlls_.push_back(generate_dll(spec, opts_.seed));
+    }
+  }
+  for (const DllSpec& spec : filler_dll_specs(opts_.filler_dlls, opts_.seed ^ 0xF111))
+    dlls_.push_back(generate_dll(spec, opts_.seed));
+
+  // Command-injection API (one BrowserSim per kernel).
+  os::ApiSpec cmd;
+  cmd.id = kApiGetCommand;
+  cmd.name = "GetCommand";
+  cmd.args = {os::ArgKind::kPtrOut};
+  cmd.ptr_sizes = {24};
+  cmd.behavior = os::ApiBehavior::kValidating;
+  cmd.impl = [this](os::Kernel&, os::Process& p, os::Thread&, const u64* args) -> os::ApiResult {
+    if (cmds_.empty()) return {0, std::nullopt};
+    Cmd c = cmds_.front();
+    u8 buf[24];
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<u8>(c.op >> (8 * i));
+    for (int i = 0; i < 8; ++i) buf[8 + i] = static_cast<u8>(c.a >> (8 * i));
+    for (int i = 0; i < 8; ++i) buf[16 + i] = static_cast<u8>(c.b >> (8 * i));
+    if (!p.machine().mem().write(args[0], buf).ok) return {~0ull, std::nullopt};
+    cmds_.pop_front();
+    return {1, std::nullopt};
+  };
+  k_.winapi().add(std::move(cmd));
+
+  pid_ = k_.create_process(opts_.kind == Kind::kFirefox ? "firefox_sim" : "iexplore_sim",
+                           vm::Personality::kWindows, opts_.seed * 7919 + 13);
+  os::Process& p = k_.proc(pid_);
+  p.load(std::make_shared<isa::Image>(build_ntcrit()));
+  for (const auto& d : dlls_) p.load(d.image);
+  p.load(std::make_shared<isa::Image>(build_main()));
+  if (!opts_.defer_start) start();
+}
+
+void BrowserSim::start() {
+  if (started_) return;
+  started_ = true;
+  k_.start_process(pid_);
+  // Let startup (JsInit, VEH registration, poll thread) complete.
+  k_.run(300'000);
+}
+
+void BrowserSim::call_fn(gva_t fn_addr) { cmds_.push_back({kCmdCall, fn_addr, 0}); }
+
+void BrowserSim::run_script(gva_t fn_addr) { cmds_.push_back({kCmdScript, fn_addr, 0}); }
+
+void BrowserSim::quit() { cmds_.push_back({kCmdQuit, 0, 0}); }
+
+std::vector<gva_t> BrowserSim::hot_targets() {
+  os::Process& p = proc();
+  std::vector<gva_t> hot;
+  for (const auto& d : dlls_) {
+    const vm::LoadedModule* mod = p.machine().module_named(d.image->name);
+    if (mod == nullptr) continue;
+    for (const auto& name : d.hot_exports) {
+      gva_t addr = mod->export_addr(name);
+      if (addr != 0) hot.push_back(addr);
+    }
+  }
+  const vm::LoadedModule* main_mod = p.machine().module_named(
+      opts_.kind == Kind::kFirefox ? "firefox_sim" : "iexplore_sim");
+  if (main_mod != nullptr) {
+    for (size_t i = 0; i < opts_.api_stub_ids.size(); ++i) {
+      gva_t addr = main_mod->export_addr(strf("api_stub_%zu", i));
+      if (addr != 0) hot.push_back(addr);
+    }
+  }
+  return hot;
+}
+
+void BrowserSim::visit_page(u64 site_id) {
+  Rng rng(opts_.seed * 1000003 + site_id);
+  std::vector<gva_t> hot = hot_targets();
+  if (hot.empty()) return;
+  u64 calls = rng.range(8, 15);
+  for (u64 i = 0; i < calls; ++i) {
+    gva_t fn = hot[rng.below(hot.size())];
+    if (rng.chance(0.25)) {
+      run_script(fn);
+    } else {
+      call_fn(fn);
+    }
+  }
+}
+
+void BrowserSim::crawl() {
+  bool via_script = false;
+  for (gva_t addr : hot_targets()) {
+    if (via_script) {
+      run_script(addr);
+    } else {
+      call_fn(addr);
+    }
+    via_script = !via_script;
+  }
+}
+
+void BrowserSim::pump(u64 budget) {
+  k_.run_until([this] { return cmds_.empty(); }, budget);
+  k_.run(50'000);  // let the last command finish executing
+}
+
+gva_t BrowserSim::script_engine_addr() const {
+  const vm::LoadedModule* mod =
+      k_.proc(pid_).machine().module_named("jscript9_sim");
+  if (mod == nullptr) return 0;
+  u64 v = 0;
+  k_.proc(pid_).machine().mem().peek_u64(mod->symbol_addr("script_engine"), &v);
+  return v;
+}
+
+gva_t BrowserSim::probe_slot_addr() const {
+  const vm::LoadedModule* mod = k_.proc(pid_).machine().module_named("firefox_sim");
+  return mod != nullptr ? mod->symbol_addr("probe_slot") : 0;
+}
+
+u64 BrowserSim::mutx_status() const {
+  gva_t eng = script_engine_addr();
+  u64 v = ~0ull;
+  if (eng != 0) k_.proc(pid_).machine().mem().peek_u64(eng, &v);
+  return v;
+}
+
+u64 BrowserSim::script_done_count() const {
+  const vm::LoadedModule* mod = k_.proc(pid_).machine().module_named("jscript9_sim");
+  u64 v = 0;
+  if (mod != nullptr) k_.proc(pid_).machine().mem().peek_u64(mod->symbol_addr("script_done"), &v);
+  return v;
+}
+
+}  // namespace crp::targets

@@ -1,0 +1,324 @@
+#include "targets/cherokee.h"
+
+#include <memory>
+
+#include "targets/common.h"
+
+namespace crp::targets {
+
+namespace {
+
+// fdpoll object layout (heap, one per worker thread)
+constexpr i64 kFpEvents = 0;  // pointer to the epoll_event array — the primitive
+constexpr i64 kFpEpfd = 8;
+constexpr i64 kFpIdx = 16;
+
+// Iterations of per-request "content generation" work. This is what makes
+// service time CPU-bound, so a stalled (spinning) sibling visibly inflates
+// it — the §VI-D side channel.
+constexpr i64 kWorkIters = 1500;
+
+isa::Image build_image() {
+  Assembler a("cherokee_sim");
+
+  // ---- main thread: setup, then spawn the pool and idle --------------------------
+  a.label("entry");
+  a.lea_pc(Reg::R1, "path_cache");
+  a.movi(Reg::R2, 0755);
+  sys(a, os::Sys::kMkdir);
+  a.lea_pc(Reg::R1, "path_log");
+  a.movi(Reg::R2, static_cast<i64>(os::kOCreat | os::kOWronly));
+  sys(a, os::Sys::kOpen);
+  a.lea_pc(Reg::R2, "log_fd");
+  a.store(Reg::R2, 0, Reg::R0, 8);
+
+  emit_listen(a, kCherokeePort, Reg::R7);
+  a.lea_pc(Reg::R2, "listener");
+  a.store(Reg::R2, 0, Reg::R7, 8);
+  a.movi(Reg::R9, 0);
+  a.label("spawn_loop");
+  a.cmpi(Reg::R9, kCherokeeThreads);
+  a.jcc(Cond::kGe, "main_idle");
+  a.lea_pc(Reg::R1, "worker");
+  a.mov(Reg::R2, Reg::R9);
+  sys(a, os::Sys::kThreadCreate);
+  a.addi(Reg::R9, 1);
+  a.jmp("spawn_loop");
+  // Main idles on a long nanosleep loop (log flushing cadence).
+  a.label("main_idle");
+  a.lea_pc(Reg::R1, "idle_ns");
+  sys(a, os::Sys::kNanosleep);
+  a.jmp("main_idle");
+
+  // ---- worker thread (R1 = index) --------------------------------------------------
+  // Cherokee model: every worker owns an epoll set that watches the SHARED
+  // listener plus its own accepted connections; idle workers sit in
+  // epoll_wait with a timeout and race to accept (non-blocking) when the
+  // listener fires.
+  a.label("worker");
+  a.mov(Reg::R9, Reg::R1);  // idx
+  emit_heap_alloc(a, 4096, Reg::R8);  // fdpoll object; events array at +256
+  a.mov(Reg::R1, Reg::R8);
+  a.addi(Reg::R1, 256);
+  a.store(Reg::R8, kFpEvents, Reg::R1, 8);
+  sys(a, os::Sys::kEpollCreate);
+  a.store(Reg::R8, kFpEpfd, Reg::R0, 8);
+  a.store(Reg::R8, kFpIdx, Reg::R9, 8);
+  // Publish in the global table (the PoC's leakable anchor).
+  a.lea_pc(Reg::R2, "fdpoll_table");
+  a.mov(Reg::R3, Reg::R9);
+  a.shli(Reg::R3, 3);
+  a.add(Reg::R2, Reg::R3);
+  a.store(Reg::R2, 0, Reg::R8, 8);
+  // Watch the shared listener.
+  a.load(Reg::R1, Reg::R8, 8, kFpEpfd);
+  a.lea_pc(Reg::R2, "listener");
+  a.load(Reg::R2, Reg::R2, 8);
+  a.push(Reg::R8);
+  a.push(Reg::R9);
+  emit_epoll_add(a, Reg::R1, Reg::R2, "ev_scratch");
+  a.pop(Reg::R9);
+  a.pop(Reg::R8);
+
+  a.label("w_loop");
+  // epoll_wait(epfd, fdpoll->events, 8, 1000) — the §VI-D primitive. The
+  // wake is event-driven; the timeout only paces truly idle workers.
+  a.load(Reg::R1, Reg::R8, 8, kFpEpfd);
+  a.load(Reg::R2, Reg::R8, 8, kFpEvents);
+  a.movi(Reg::R3, 8);
+  a.movi(Reg::R4, 1000);
+  sys(a, os::Sys::kEpollWait);
+  // Iterate using the pointer value actually passed to the kernel (R2 ->
+  // R7): like real code, the loop must not re-read fdpoll->events, which
+  // the attacker may have swapped mid-call.
+  a.mov(Reg::R7, Reg::R2);
+  a.cmpi(Reg::R0, 0);
+  // Failing (EFAULT) epoll_wait: tight retry loop — the stalled-thread
+  // behavior whose CPU theft the timing attack measures.
+  a.jcc(Cond::kLt, "w_loop");
+  a.jcc(Cond::kEq, "w_loop");
+  a.mov(Reg::R10, Reg::R0);
+  a.movi(Reg::R11, 0);
+  a.label("w_ev");
+  a.cmp(Reg::R11, Reg::R10);
+  a.jcc(Cond::kGe, "w_loop");
+  a.mov(Reg::R2, Reg::R7);
+  a.mov(Reg::R3, Reg::R11);
+  a.shli(Reg::R3, 4);
+  a.add(Reg::R2, Reg::R3);
+  a.load(Reg::R1, Reg::R2, 8, 8);  // fd from event data
+  a.addi(Reg::R11, 1);
+  // Listener ready? Race to accept (non-blocking).
+  a.lea_pc(Reg::R2, "listener");
+  a.load(Reg::R2, Reg::R2, 8);
+  a.cmp(Reg::R1, Reg::R2);
+  a.jcc(Cond::kNe, "w_serve");
+  a.movi(Reg::R2, 0);
+  a.movi(Reg::R3, 1);  // non-blocking
+  sys(a, os::Sys::kAccept);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "w_ev");  // a sibling won the race
+  a.load(Reg::R1, Reg::R8, 8, kFpEpfd);
+  a.mov(Reg::R2, Reg::R0);
+  a.push(Reg::R7);
+  a.push(Reg::R8);
+  a.push(Reg::R9);
+  a.push(Reg::R10);
+  a.push(Reg::R11);
+  emit_epoll_add(a, Reg::R1, Reg::R2, "ev_scratch");
+  a.pop(Reg::R11);
+  a.pop(Reg::R10);
+  a.pop(Reg::R9);
+  a.pop(Reg::R8);
+  a.pop(Reg::R7);
+  a.jmp("w_ev");
+  a.label("w_serve");
+  a.push(Reg::R7);
+  a.push(Reg::R8);
+  a.push(Reg::R9);
+  a.push(Reg::R10);
+  a.push(Reg::R11);
+  a.call("serve_fd");
+  a.pop(Reg::R11);
+  a.pop(Reg::R10);
+  a.pop(Reg::R9);
+  a.pop(Reg::R8);
+  a.pop(Reg::R7);
+  a.jmp("w_ev");
+
+  // ---- serve_fd (R1 = conn fd; R8 = fdpoll, R9 = idx live in caller) ----------------
+  // One-shot protocol: read the 16-byte command, do the content-generation
+  // work, respond, close, drop the epoll watch.
+  a.label("serve_fd");
+  a.mov(Reg::R10, Reg::R1);
+  a.push(Reg::R8);  // fdpoll (needed for the DEL at the end)
+  // Per-thread receive buffer: rbuf + idx*256.
+  a.lea_pc(Reg::R2, "rbuf");
+  a.mov(Reg::R3, Reg::R9);
+  a.shli(Reg::R3, 8);
+  a.add(Reg::R2, Reg::R3);
+  a.mov(Reg::R1, Reg::R10);
+  a.movi(Reg::R3, 256);
+  sys(a, os::Sys::kRecv);
+  a.cmpi(Reg::R0, 16);
+  a.jcc(Cond::kLt, "s_close");  // short/EOF/error: drop the connection
+  // Content generation: checksum loop over the request buffer (CPU-bound).
+  a.lea_pc(Reg::R2, "rbuf");
+  a.mov(Reg::R3, Reg::R9);
+  a.shli(Reg::R3, 8);
+  a.add(Reg::R2, Reg::R3);
+  a.movi(Reg::R4, kWorkIters);
+  a.movi(Reg::R5, 0);
+  a.label("s_work");
+  a.load(Reg::R6, Reg::R2, 8, 0);
+  a.add(Reg::R5, Reg::R6);
+  a.muli(Reg::R5, 31);
+  a.xori(Reg::R5, 0x5a5a);
+  a.subi(Reg::R4, 1);
+  a.cmpi(Reg::R4, 0);
+  a.jcc(Cond::kNe, "s_work");
+  // Dispatch on the op.
+  a.load(Reg::R5, Reg::R2, 8, 0);
+  a.cmpi(Reg::R5, static_cast<i64>(kOpVersion));
+  a.jcc(Cond::kEq, "s_version");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpGet));
+  a.jcc(Cond::kEq, "s_get");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpLog));
+  a.jcc(Cond::kEq, "s_log");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_err");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.jmp("s_close");
+  a.label("s_version");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_ver");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.jmp("s_close");
+  a.label("s_get");
+  a.lea_pc(Reg::R1, "path_www");
+  a.movi(Reg::R2, 0);
+  sys(a, os::Sys::kOpen);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "s_err2");
+  a.mov(Reg::R11, Reg::R0);
+  a.mov(Reg::R1, Reg::R11);
+  a.lea_pc(Reg::R2, "file_buf");
+  a.movi(Reg::R3, 128);
+  sys(a, os::Sys::kRead);
+  a.mov(Reg::R5, Reg::R0);
+  a.mov(Reg::R1, Reg::R11);
+  sys(a, os::Sys::kClose);
+  a.cmpi(Reg::R5, 0);
+  a.jcc(Cond::kLt, "s_err2");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "file_buf");
+  a.mov(Reg::R3, Reg::R5);
+  sys(a, os::Sys::kSend);
+  a.jmp("s_close");
+  a.label("s_err2");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_err");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.jmp("s_close");
+  a.label("s_log");
+  a.lea_pc(Reg::R1, "log_fd");
+  a.load(Reg::R1, Reg::R1, 8);
+  a.lea_pc(Reg::R2, "logline");
+  a.movi(Reg::R3, 12);
+  sys(a, os::Sys::kWrite);
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_ok");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.jmp("s_close");
+  a.label("s_close");
+  // epoll_ctl(epfd, DEL, fd, 0) then close: no stale watches.
+  a.pop(Reg::R8);
+  a.load(Reg::R1, Reg::R8, 8, kFpEpfd);
+  a.movi(Reg::R2, static_cast<i64>(os::kEpollCtlDel));
+  a.mov(Reg::R3, Reg::R10);
+  a.movi(Reg::R4, 0);
+  sys(a, os::Sys::kEpollCtl);
+  a.mov(Reg::R1, Reg::R10);
+  sys(a, os::Sys::kClose);
+  a.ret();
+
+  a.data_zero("fdpoll_table", kCherokeeThreads * 8);
+  a.data_zero("rbuf", kCherokeeThreads * 256);
+  a.data_zero("ev_scratch", 16);
+  a.data_zero("file_buf", 128);
+  a.data_u64("listener", 0);
+  a.data_u64("log_fd", 0);
+  a.data_u64("idle_ns", 50'000'000);  // 50 ms main-thread idle cadence
+  a.data_bytes("resp_ver", std::vector<u8>{'V', 'E', 'R', '1'});
+  a.data_bytes("resp_ok", std::vector<u8>{'O', 'K', '!', '!'});
+  a.data_bytes("resp_err", std::vector<u8>{'E', 'R', 'R', '!'});
+  a.data_cstr("path_cache", "/var/cherokee");
+  a.data_cstr("path_log", "/var/cherokee/access.log");
+  a.data_cstr("path_www", "/www/cherokee.html");
+  a.data_cstr("logline", "GET / 200 -\n");
+
+  a.set_entry("entry");
+  return a.build();
+}
+
+void workload(os::Kernel& k, int pid) {
+  (void)pid;
+  k.run(3'000'000);  // startup: workers parked in epoll_wait
+  auto await = [&](os::ClientConn& c, size_t want) {
+    std::string got;
+    k.run_until(
+        [&] {
+          got += c.recv_all();
+          return got.size() >= want || c.server_closed();
+        },
+        8'000'000);
+    return got;
+  };
+  for (int round = 0; round < 3; ++round) {
+    auto c = k.connect(kCherokeePort);
+    if (!c.has_value()) return;
+    c->send(wire_command(round == 0 ? kOpVersion : round == 1 ? kOpGet : kOpLog));
+    await(*c, 4);
+    c->close();
+    k.run(200'000);
+  }
+}
+
+}  // namespace
+
+analysis::TargetProgram make_cherokee() {
+  analysis::TargetProgram t;
+  t.name = "cherokee_sim";
+  t.personality = vm::Personality::kLinux;
+  t.images.push_back(std::make_shared<isa::Image>(build_image()));
+  t.port = kCherokeePort;
+  t.setup = [](os::Kernel& k) {
+    k.vfs().put_dir("/var");
+    k.vfs().put_file("/www/cherokee.html", "<html>cherokee_sim</html>");
+  };
+  t.workload = workload;
+  t.service_alive = [](os::Kernel& k, int pid) {
+    (void)pid;
+    // Any live worker picks the connection off the shared listener; retry a
+    // couple of times anyway, like a real HTTP client.
+    for (int attempt = 0; attempt < 3; ++attempt)
+      if (default_service_alive(k, kCherokeePort, 10'000'000)) return true;
+    return false;
+  };
+  return t;
+}
+
+gva_t cherokee_fdpoll_addr(const os::Process& proc, int idx) {
+  const vm::LoadedModule* mod = proc.machine().module_named("cherokee_sim");
+  if (mod == nullptr) return 0;
+  gva_t table = mod->symbol_addr("fdpoll_table");
+  u64 v = 0;
+  if (!proc.machine().mem().peek_u64(table + static_cast<u64>(idx) * 8, &v)) return 0;
+  return v;
+}
+
+}  // namespace crp::targets

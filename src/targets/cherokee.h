@@ -1,0 +1,32 @@
+// cherokee_sim: model of the Cherokee 1.2 thread pool used in the paper's
+// §VI-D proof of concept (the timing side channel).
+//
+//   * main thread accepts and round-robins connections into per-thread
+//     mailboxes (skipping mailboxes that are still full — a stalled thread
+//     simply stops taking work, the server stays up);
+//   * each worker thread owns a heap `cherokee_fdpoll_epoll_t`-style object
+//     whose +0 field is the pointer to its `struct epoll_event` array; the
+//     worker calls epoll_wait(epfd, fdpoll->events, n, 1000ms) in a loop;
+//   * corrupting fdpoll->events makes every epoll_wait return -EFAULT
+//     immediately: the thread spins in a tight failing loop (never touching
+//     its mailbox again), burning scheduler slices — the capacity drop and
+//     timing side channel measured by bench_cherokee_timing;
+//   * a .data `fdpoll_table` keeps a global reference to each thread's
+//     fdpoll object, the leakable anchor the PoC uses (mirrors Cherokee's
+//     global thread list).
+#pragma once
+
+#include "analysis/target.h"
+
+namespace crp::targets {
+
+inline constexpr u16 kCherokeePort = 8082;
+inline constexpr int kCherokeeThreads = 4;
+
+analysis::TargetProgram make_cherokee();
+
+/// Attacker-side helper mirroring the PoC's leak step: the runtime address
+/// of worker `idx`'s fdpoll object (read through the global table).
+gva_t cherokee_fdpoll_addr(const os::Process& proc, int idx);
+
+}  // namespace crp::targets

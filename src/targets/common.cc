@@ -1,0 +1,28 @@
+#include "targets/common.h"
+
+namespace crp::targets {
+
+gva_t plant_hidden_region(os::Process& proc, u64 size, u64 pattern) {
+  gva_t base = proc.machine().layout().place(mem::RegionKind::kHidden, size, "hidden");
+  CRP_CHECK(proc.machine().mem().map(base, size, mem::kPermR | mem::kPermW));
+  for (u64 off = 0; off + 8 <= size; off += 8)
+    CRP_CHECK(proc.machine().mem().poke_u64(base + off, pattern ^ off));
+  return base;
+}
+
+bool default_service_alive(os::Kernel& k, u16 port, u64 budget) {
+  auto client = k.connect(port);
+  if (!client.has_value()) return false;
+  client->send(wire_command(kOpVersion));
+  std::string got;
+  bool ok = k.run_until(
+      [&] {
+        got += client->recv_all();
+        return got.size() >= 4;
+      },
+      budget);
+  client->close();
+  return ok && got.substr(0, 4) == "VER1";
+}
+
+}  // namespace crp::targets

@@ -1,0 +1,100 @@
+// Shared helpers for authoring target programs in MiniVM assembly and for
+// planting the information-hiding regions the PoC exploits hunt.
+//
+// Register conventions used by all server simulacra:
+//   R0      syscall number / return value
+//   R1..R6  syscall arguments
+//   R7..R11 locals (documented per routine)
+//   Syscall wrappers clobber R0 only beyond their stated outputs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "isa/assembler.h"
+#include "os/abi.h"
+#include "os/kernel.h"
+
+namespace crp::targets {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Reg;
+
+/// movi R0, nr ; syscall  — args must already sit in R1..R6.
+inline void sys(Assembler& a, os::Sys nr) {
+  a.movi(Reg::R0, static_cast<i64>(nr));
+  a.syscall();
+}
+
+/// Emit: create+bind+listen on `port`; leaves the listener fd in `fd_out`.
+/// Clobbers R0, R1, R2.
+inline void emit_listen(Assembler& a, u16 port, Reg fd_out) {
+  sys(a, os::Sys::kSocket);
+  a.mov(fd_out, Reg::R0);
+  a.mov(Reg::R1, fd_out);
+  a.movi(Reg::R2, port);
+  sys(a, os::Sys::kBind);
+  a.mov(Reg::R1, fd_out);
+  sys(a, os::Sys::kListen);
+}
+
+/// Emit: epoll_ctl(epfd, ADD, fd, &scratch_event{events=IN, data=fd}).
+/// Uses the named 16-byte .data cell `ev_sym` as the event struct.
+/// Clobbers R0..R4, R11, R15. `epfd` and `fd` may be any of R1..R10
+/// (they are snapshotted before any clobber); they must NOT be R11/R15.
+inline void emit_epoll_add(Assembler& a, Reg epfd, Reg fd, const std::string& ev_sym) {
+  CRP_CHECK(epfd != Reg::R11 && epfd != Reg::R15 && fd != Reg::R11 && fd != Reg::R15);
+  a.mov(Reg::R15, fd);    // snapshot fd
+  a.mov(Reg::R11, epfd);  // snapshot epfd
+  a.push(Reg::R11);
+  a.lea_pc(Reg::R11, ev_sym);
+  a.movi(Reg::R4, static_cast<i64>(os::kEpollIn));
+  a.store(Reg::R11, 0, Reg::R4, 8);
+  a.store(Reg::R11, 8, Reg::R15, 8);
+  a.pop(Reg::R1);  // epfd
+  a.movi(Reg::R2, static_cast<i64>(os::kEpollCtlAdd));
+  a.mov(Reg::R3, Reg::R15);
+  a.mov(Reg::R4, Reg::R11);
+  sys(a, os::Sys::kEpollCtl);
+}
+
+/// Emit: mmap(0, size, RW) -> `out`. Clobbers R0..R3.
+inline void emit_heap_alloc(Assembler& a, u64 size, Reg out) {
+  a.movi(Reg::R1, 0);
+  a.movi(Reg::R2, static_cast<i64>(size));
+  a.movi(Reg::R3, static_cast<i64>(os::kProtRead | os::kProtWrite));
+  sys(a, os::Sys::kMmap);
+  a.mov(out, Reg::R0);
+}
+
+/// 16-byte wire command used by all server protocols: 8-byte op tag +
+/// 8-byte argument. Hosts build them with this helper.
+inline std::string wire_command(u64 op, u64 arg = 0) {
+  std::string s(16, '\0');
+  for (int i = 0; i < 8; ++i) s[static_cast<size_t>(i)] = static_cast<char>(op >> (8 * i));
+  for (int i = 0; i < 8; ++i) s[static_cast<size_t>(8 + i)] = static_cast<char>(arg >> (8 * i));
+  return s;
+}
+
+// Common protocol ops (per-server subsets).
+inline constexpr u64 kOpGet = 1;     // serve a static file
+inline constexpr u64 kOpUpload = 2;  // open+write+chmod a temp file
+inline constexpr u64 kOpDelete = 3;  // unlink
+inline constexpr u64 kOpAdmin = 4;   // mkdir + symlink
+inline constexpr u64 kOpProxy = 5;   // connect to an upstream and relay
+inline constexpr u64 kOpLog = 6;     // sendmsg a log record
+inline constexpr u64 kOpStat = 7;    // recvfrom-based stats path
+inline constexpr u64 kOpQuery = 8;   // DB-style query (postgres)
+inline constexpr u64 kOpVersion = 9; // liveness ping: responds "VER1"
+
+/// Plant an information-hiding region (SafeStack / CPI safe-region analog)
+/// in `proc`: mapped RW at a randomized address, filled with a recognizable
+/// pattern, with NO references from any other mapped memory. Returns its
+/// base (the experiment ground truth; the attacker must not be told).
+gva_t plant_hidden_region(os::Process& proc, u64 size, u64 pattern);
+
+/// Standard liveness probe: connect, send kOpVersion, expect 4+ bytes back.
+bool default_service_alive(os::Kernel& k, u16 port, u64 budget = 3'000'000);
+
+}  // namespace crp::targets

@@ -1,0 +1,291 @@
+#include "targets/dll_corpus.h"
+
+#include "isa/assembler.h"
+#include "targets/common.h"
+
+namespace crp::targets {
+
+namespace {
+
+constexpr i64 kAv = static_cast<i64>(0xC0000005);
+
+/// Emit one filter function under `label`. `accepts` selects an AV-accepting
+/// shape; otherwise a rejecting one. `shape` varies the idiom. Returns
+/// whether the emitted filter is a "delegating" one (needs-manual).
+bool emit_filter(Assembler& a, const std::string& label, bool accepts, u64 shape, Rng& rng) {
+  a.label(label);
+  if (accepts) {
+    switch (shape % 5) {
+      case 0:  // equality on the exception code argument
+        a.cmpi(Reg::R1, kAv);
+        a.jcc(Cond::kEq, label + "_y");
+        a.movi(Reg::R0, 0);
+        a.ret();
+        a.label(label + "_y");
+        a.movi(Reg::R0, 1);
+        a.ret();
+        break;
+      case 1:  // unconditional accept (functionally catch-all)
+        a.movi(Reg::R0, 1);
+        a.ret();
+        break;
+      case 2: {  // exclusion list: everything except two specific codes
+        a.cmpi(Reg::R1, static_cast<i64>(0x80000003));
+        a.jcc(Cond::kEq, label + "_n");
+        a.cmpi(Reg::R1, static_cast<i64>(0xC000001D));
+        a.jcc(Cond::kEq, label + "_n");
+        a.movi(Reg::R0, 1);
+        a.ret();
+        a.label(label + "_n");
+        a.movi(Reg::R0, 0);
+        a.ret();
+        break;
+      }
+      case 3:  // reads the code from the exception record instead of R1
+        a.load(Reg::R3, Reg::R2, 8, 0);
+        a.cmpi(Reg::R3, kAv);
+        a.jcc(Cond::kEq, label + "_y");
+        a.movi(Reg::R0, 0);
+        a.ret();
+        a.label(label + "_y");
+        a.movi(Reg::R0, 1);
+        a.ret();
+        break;
+      case 4:  // accepts only read AVs (code == AV && access == read)
+        a.cmpi(Reg::R1, kAv);
+        a.jcc(Cond::kNe, label + "_n");
+        a.load(Reg::R3, Reg::R2, 8, 24);
+        a.cmpi(Reg::R3, 0);
+        a.jcc(Cond::kNe, label + "_n");
+        a.movi(Reg::R0, 1);
+        a.ret();
+        a.label(label + "_n");
+        a.movi(Reg::R0, 0);
+        a.ret();
+        break;
+    }
+    return false;
+  }
+  // Delegating filters (shape 15) are rare in real DLL populations; keep
+  // them ~6% so the "needs manual review" bucket stays a tail, not a mode.
+  u64 rej_shape = shape % 16;
+  u64 sel = rej_shape == 15 ? 3 : rej_shape % 3;
+  switch (sel) {
+    case 0: {  // accepts exactly one non-AV code
+      static const i64 kOther[] = {static_cast<i64>(0xC0000094),
+                                   static_cast<i64>(0xE0000001),
+                                   static_cast<i64>(0x80000001),
+                                   static_cast<i64>(0xC000001D)};
+      a.cmpi(Reg::R1, kOther[rng.below(4)]);
+      a.jcc(Cond::kEq, label + "_y");
+      a.movi(Reg::R0, 0);
+      a.ret();
+      a.label(label + "_y");
+      a.movi(Reg::R0, 1);
+      a.ret();
+      break;
+    }
+    case 1:  // always CONTINUE_SEARCH
+      a.movi(Reg::R0, 0);
+      a.ret();
+      break;
+    case 2:  // config-gated, statically disabled (§VII-A miss shape)
+      a.lea_pc(Reg::R3, label + "_cfg");
+      a.load(Reg::R4, Reg::R3, 8);
+      a.cmpi(Reg::R4, 0);
+      a.jcc(Cond::kNe, label + "_y");
+      a.movi(Reg::R0, 0);
+      a.ret();
+      a.label(label + "_y");
+      a.movi(Reg::R0, 1);
+      a.ret();
+      a.data_u64(label + "_cfg", 0);
+      break;
+    case 3:  // delegates to an imported policy hook: needs manual review
+      a.call_import("policy", "get_disposition");
+      a.ret();
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+GeneratedDll generate_dll(const DllSpec& spec, u64 seed,
+                          const std::function<void(isa::Assembler&)>& extra) {
+  CRP_CHECK(spec.guarded >= spec.guarded_av);
+  CRP_CHECK(spec.filters_total >= spec.filters_av);
+  CRP_CHECK(spec.guarded_av >= spec.filters_av);
+  CRP_CHECK(spec.guarded - spec.guarded_av >= spec.filters_total - spec.filters_av);
+  CRP_CHECK(spec.on_path <= spec.guarded_av);
+
+  u64 name_hash = 1469598103934665603ull;
+  for (char c : spec.name) name_hash = (name_hash ^ static_cast<u8>(c)) * 1099511628211ull;
+  Rng rng(seed ^ name_hash);
+
+  Assembler a(spec.name);
+  a.set_dll(true);
+  a.set_machine(spec.machine);
+
+  // Region plan: (filter_label or "" for catch-all, av?, hot?).
+  struct RegionPlan {
+    std::string filter;  // empty = catch-all
+    bool hot = false;
+  };
+  std::vector<RegionPlan> av_regions, rej_regions;
+
+  int n_av_filters = spec.filters_av;
+  int n_rej_filters = spec.filters_total - spec.filters_av;
+
+  // Every accepting filter is referenced by at least one AV region; the
+  // remaining AV regions use either a random accepting filter or catch-all.
+  for (int i = 0; i < spec.guarded_av; ++i) {
+    RegionPlan r;
+    if (i < n_av_filters) {
+      r.filter = strf("f_av_%d", i);
+    } else if (n_av_filters > 0 && !rng.chance(0.25)) {
+      r.filter = strf("f_av_%d", static_cast<int>(rng.below(static_cast<u64>(n_av_filters))));
+    }  // else catch-all
+    av_regions.push_back(r);
+  }
+  for (int i = 0; i < spec.guarded - spec.guarded_av; ++i) {
+    RegionPlan r;
+    if (i < n_rej_filters) {
+      r.filter = strf("f_rej_%d", i);
+    } else {
+      CRP_CHECK(n_rej_filters > 0);
+      r.filter = strf("f_rej_%d", static_cast<int>(rng.below(static_cast<u64>(n_rej_filters))));
+    }
+    rej_regions.push_back(r);
+  }
+  // Exactly `on_path` AV regions are hot; rejecting regions are split so hot
+  // functions look like normal code (roughly half hot).
+  rng.shuffle(av_regions);
+  for (int i = 0; i < spec.on_path; ++i) av_regions[static_cast<size_t>(i)].hot = true;
+  for (auto& r : rej_regions) r.hot = rng.chance(0.5);
+
+  // Interleave into function bodies of 1..5 regions each.
+  std::vector<RegionPlan> hot_plan, cold_plan;
+  for (const auto& r : av_regions) (r.hot ? hot_plan : cold_plan).push_back(r);
+  for (const auto& r : rej_regions) (r.hot ? hot_plan : cold_plan).push_back(r);
+  rng.shuffle(hot_plan);
+  rng.shuffle(cold_plan);
+
+  GeneratedDll out;
+  out.spec = spec;
+
+  int region_id = 0;
+  auto emit_functions = [&](std::vector<RegionPlan>& plan, const char* prefix,
+                            std::vector<std::string>& exports) {
+    size_t idx = 0;
+    int fn_id = 0;
+    while (idx < plan.size()) {
+      size_t take = std::min<size_t>(1 + rng.below(5), plan.size() - idx);
+      std::string fn = strf("%s_%d", prefix, fn_id++);
+      a.label(fn);
+      a.lea_pc(Reg::R4, "scratch");  // valid dereference target
+      for (size_t j = 0; j < take; ++j) {
+        const RegionPlan& r = plan[idx + j];
+        std::string rb = strf("g%d_b", region_id);
+        std::string re = strf("g%d_e", region_id);
+        std::string rh = strf("g%d_h", region_id);
+        std::string rc = strf("g%d_c", region_id);
+        ++region_id;
+        a.label(rb);
+        a.load(Reg::R3, Reg::R4, 8);  // guarded dereference (valid at runtime)
+        if (rng.chance(0.5)) a.addi(Reg::R3, 1);
+        a.store(Reg::R4, 8, Reg::R3, 8);
+        a.label(re);
+        a.jmp(rc);
+        a.label(rh);
+        a.movi(Reg::R3, -1);  // handler: error sentinel, fall through
+        a.label(rc);
+        a.scope(rb, re, r.filter, rh);
+      }
+      a.movi(Reg::R0, 0);
+      a.ret();
+      a.export_fn(fn, fn);
+      exports.push_back(fn);
+      idx += take;
+    }
+  };
+  emit_functions(hot_plan, (spec.name + "_work").c_str(), out.hot_exports);
+  emit_functions(cold_plan, (spec.name + "_cold").c_str(), out.cold_exports);
+
+  // Filter functions (unique per label).
+  for (int i = 0; i < n_av_filters; ++i)
+    emit_filter(a, strf("f_av_%d", i), true, rng.next(), rng);
+  for (int i = 0; i < n_rej_filters; ++i)
+    emit_filter(a, strf("f_rej_%d", i), false, rng.next(), rng);
+
+  if (extra) extra(a);
+  a.data_zero("scratch", 64);
+  out.image = std::make_shared<isa::Image>(a.build());
+  return out;
+}
+
+std::vector<DllSpec> paper_dll_specs() {
+  // Counts follow Tables II and III, with minimal consistency adjustments
+  // (a guarded-region count must be able to reference every unique filter;
+  // deviations are at most +1..+8 and recorded in EXPERIMENTS.md).
+  return {
+      {"user32_sim", isa::Machine::kX64, 71, 63, 40, 17, 9},
+      {"kernel32_sim", isa::Machine::kX64, 76, 66, 14, 60, 50},
+      {"msvcrt_sim", isa::Machine::kX64, 130, 10, 3, 129, 9},
+      // jscript9's planted counts leave room for the hand-authored
+      // MUTX::Enter catch-all scope (+1 guarded, +1 AV-capable, +1 on-path).
+      {"jscript9_sim", isa::Machine::kX64, 29, 5, 3, 29, 5},
+      {"rpcrt4_sim", isa::Machine::kX64, 62, 20, 6, 33, 12},
+      {"sechost_sim", isa::Machine::kX64, 133, 11, 0, 126, 4},
+      {"ws2_32_sim", isa::Machine::kX64, 82, 29, 10, 55, 25},
+      {"xmlite_sim", isa::Machine::kX64, 12, 2, 1, 10, 0},
+      {"ntdll_sim", isa::Machine::kX64, 80, 30, 12, 71, 25},
+      {"kernelbase_sim", isa::Machine::kX64, 60, 25, 8, 54, 21},
+  };
+}
+
+std::vector<DllSpec> paper_dll_specs_x32() {
+  std::vector<DllSpec> out;
+  for (DllSpec s : paper_dll_specs()) {
+    s.machine = isa::Machine::kX32;
+    // Scale the populations; keep the generator invariants intact.
+    s.filters_av = std::max(0, (s.filters_av * 3) / 4);
+    s.filters_total = std::max(s.filters_av, (s.filters_total * 3) / 4);
+    s.guarded_av = std::max(s.filters_av, (s.guarded_av * 3) / 4);
+    s.guarded = std::max(s.guarded_av + (s.filters_total - s.filters_av),
+                         (s.guarded * 3) / 4);
+    s.on_path = 0;  // the 32-bit population is analyzed statically
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<DllSpec> filler_dll_specs(int n, u64 seed) {
+  Rng rng(seed);
+  std::vector<DllSpec> out;
+  for (int i = 0; i < n; ++i) {
+    DllSpec s;
+    s.name = strf("sysdll%03d_sim", i);
+    s.machine = rng.chance(0.5) ? isa::Machine::kX64 : isa::Machine::kX32;
+    // Tuned so ~177 filler DLLs plus the named set land near the paper's
+    // system-wide §V-C totals: 6,745 handlers / 5,751 filters / 808
+    // AV-capable filters used by 1,797 handlers / 385 executed guards.
+    int filters = 15 + static_cast<int>(rng.below(29));  // avg ~29
+    int av = rng.chance(0.73) ? static_cast<int>(rng.below(11)) : 0;  // avg ~3.65
+    if (av > filters) av = filters;
+    int guarded_av = av * 2 + static_cast<int>(rng.below(3));
+    int guarded = guarded_av + (filters - av) + static_cast<int>(rng.below(2));
+    int on_path = rng.chance(0.4) && guarded_av > 0
+                      ? static_cast<int>(rng.below(static_cast<u64>(guarded_av) + 1))
+                      : 0;
+    s.filters_total = filters;
+    s.filters_av = av;
+    s.guarded = guarded;
+    s.guarded_av = guarded_av;
+    s.on_path = on_path;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace crp::targets

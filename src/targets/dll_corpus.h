@@ -1,0 +1,71 @@
+// DLL corpus generator: synthesizes MVX DLLs with planted populations of
+// SEH scope tables and filter functions, so Tables II and III can be
+// re-derived by the static + symbolic + dynamic pipeline.
+//
+// Each DLL gets:
+//   * `filters_total` unique filter functions, of which `filters_av` can
+//     accept access violations — drawn from realistic shapes (catch-all is
+//     a scope-table constant, AV-equality filters, exclusion lists, filters
+//     reading the exception record, rejecting filters for specific codes,
+//     statically-disabled config-gated filters, and delegating filters that
+//     call an import — the "needs manual review" shape of §VII-A);
+//   * `guarded` guarded code regions spread over exported work functions, of
+//     which `guarded_av` reference AV-capable filters (or are catch-all);
+//   * `on_path` of the AV-capable guarded regions live in work functions a
+//     browsing workload actually calls (exports named "work_*"; off-path
+//     regions live in "cold_*" exports).
+//
+// The generator only PLANTS structure. Whether a filter accepts AVs is
+// re-decided by FilterClassifier via symbolic execution + SAT, and the
+// on-path counts by real traced execution — that is the reproduction.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "isa/image.h"
+#include "util/rng.h"
+
+namespace crp::targets {
+
+struct DllSpec {
+  std::string name;
+  isa::Machine machine = isa::Machine::kX64;
+  int guarded = 0;       // guarded code locations (Table II "before SB")
+  int guarded_av = 0;    // with AV-capable filters (Table II "after SB")
+  int on_path = 0;       // executed by the browsing workload (Table II col 3)
+  int filters_total = 0; // unique filter functions (Table III "before SB")
+  int filters_av = 0;    // AV-capable filter functions (Table III "after SB")
+};
+
+struct GeneratedDll {
+  std::shared_ptr<const isa::Image> image;
+  std::vector<std::string> hot_exports;   // called during page visits
+  std::vector<std::string> cold_exports;  // never called by the workload
+  DllSpec spec;
+};
+
+/// Generate one DLL. Deterministic in (spec, seed). `extra` may emit
+/// additional hand-authored code/data/scopes into the same image (used to
+/// plant jscript9_sim's MUTX::Enter construct).
+GeneratedDll generate_dll(const DllSpec& spec, u64 seed,
+                          const std::function<void(isa::Assembler&)>& extra = {});
+
+/// The paper's Table II/III population for the browser experiment
+/// (names follow the paper's DLL list; counts follow Tables II and III).
+std::vector<DllSpec> paper_dll_specs();
+
+/// The 32-bit sibling population for Table III's x32 columns (same DLL
+/// names, machine = kX32, scaled filter counts — 32-bit system DLLs carry
+/// somewhat smaller SEH populations).
+std::vector<DllSpec> paper_dll_specs_x32();
+
+/// A large filler population for the §V-C system-wide funnel: `n` additional
+/// small DLLs whose totals bring the corpus to the paper's system-wide
+/// numbers (6,745 handlers / 5,751 filters / 808 AV-capable).
+std::vector<DllSpec> filler_dll_specs(int n, u64 seed);
+
+}  // namespace crp::targets

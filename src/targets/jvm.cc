@@ -1,0 +1,175 @@
+#include "targets/jvm.h"
+
+#include <memory>
+
+#include "targets/common.h"
+
+namespace crp::targets {
+
+namespace {
+
+isa::Image build_image() {
+  Assembler a("jvm_sim");
+
+  a.label("entry");
+  // Heap "object" arena: the ref cell at +0 points at a valid object (+256).
+  emit_heap_alloc(a, 4096, Reg::R8);
+  a.mov(Reg::R1, Reg::R8);
+  a.addi(Reg::R1, 256);
+  a.store(Reg::R8, 0, Reg::R1, 8);
+  a.movi(Reg::R2, 0x0B7EC7);  // object header the query reads back
+  a.store(Reg::R1, 0, Reg::R2, 8);
+  a.lea_pc(Reg::R2, "object_ref_ptr");
+  a.store(Reg::R2, 0, Reg::R8, 8);
+  // Install the null-check SIGSEGV handler: sigaction(11, &desc).
+  a.lea_pc(Reg::R3, "nullcheck_handler");
+  a.lea_pc(Reg::R2, "sigdesc");
+  a.store(Reg::R2, 0, Reg::R3, 8);
+  a.movi(Reg::R1, 11);
+  sys(a, os::Sys::kSigaction);
+
+  emit_listen(a, kJvmPort, Reg::R7);
+  a.label("accept_loop");
+  a.mov(Reg::R1, Reg::R7);
+  a.movi(Reg::R2, 0);
+  sys(a, os::Sys::kAccept);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "accept_loop");
+  a.mov(Reg::R10, Reg::R0);
+
+  a.label("conn_loop");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "reqbuf");
+  a.movi(Reg::R3, 64);
+  sys(a, os::Sys::kRead);
+  a.cmpi(Reg::R0, 16);
+  a.jcc(Cond::kLt, "conn_close");
+  a.lea_pc(Reg::R2, "reqbuf");
+  a.load(Reg::R5, Reg::R2, 8, 0);
+  a.cmpi(Reg::R5, static_cast<i64>(kOpVersion));
+  a.jcc(Cond::kEq, "c_version");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpQuery));
+  a.jcc(Cond::kEq, "c_query");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_err");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.jmp("conn_loop");
+
+  a.label("c_version");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_ver");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.jmp("conn_loop");
+
+  // "Bytecode" with an implicit null check: dereference the object pointer;
+  // the SIGSEGV handler converts a fault into the NPE flag + recovery stub.
+  a.label("c_query");
+  a.lea_pc(Reg::R4, "npe_flag");
+  a.movi(Reg::R5, 0);
+  a.store(Reg::R4, 0, Reg::R5, 8);
+  a.lea_pc(Reg::R4, "object_ref_ptr");
+  a.load(Reg::R4, Reg::R4, 8);   // ref cell (heap)
+  a.load(Reg::R5, Reg::R4, 8);   // object pointer (attacker-corruptible)
+  a.label("do_deref");
+  a.load(Reg::R6, Reg::R5, 8);   // implicit null check: may SIGSEGV
+  a.jmp("deref_done");
+  a.label("deref_recover");      // handler redirects the saved pc here
+  a.movi(Reg::R6, 0);
+  a.label("deref_done");
+  a.lea_pc(Reg::R4, "npe_flag");
+  a.load(Reg::R5, Reg::R4, 8);
+  a.cmpi(Reg::R5, 1);
+  a.jcc(Cond::kEq, "c_npe");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_val");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.jmp("conn_loop");
+  a.label("c_npe");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_npe");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.jmp("conn_loop");
+
+  a.label("conn_close");
+  a.mov(Reg::R1, Reg::R10);
+  sys(a, os::Sys::kClose);
+  a.jmp("accept_loop");
+
+  // Null-check recovery handler: handler(signo, &siginfo, &ucontext).
+  a.label("nullcheck_handler");
+  a.cmpi(Reg::R1, 11);
+  a.jcc(Cond::kNe, "nh_pass");
+  a.lea_pc(Reg::R4, "npe_flag");
+  a.movi(Reg::R5, 1);
+  a.store(Reg::R4, 0, Reg::R5, 8);
+  a.lea_pc(Reg::R5, "deref_recover");
+  a.store(Reg::R2, 160, Reg::R5, 8);  // saved pc in the record/ucontext
+  a.ret();
+  a.label("nh_pass");
+  a.ret();  // unchanged context: the kernel treats the signal as fatal
+
+  a.data_u64("object_ref_ptr", 0);
+  a.data_u64("npe_flag", 0);
+  a.data_u64("sigdesc", 0);
+  a.data_zero("reqbuf", 64);
+  a.data_bytes("resp_ver", std::vector<u8>{'V', 'E', 'R', '1'});
+  a.data_bytes("resp_val", std::vector<u8>{'V', 'A', 'L', ':'});
+  a.data_bytes("resp_npe", std::vector<u8>{'N', 'P', 'E', '!'});
+  a.data_bytes("resp_err", std::vector<u8>{'E', 'R', 'R', '!'});
+
+  a.set_entry("entry");
+  return a.build();
+}
+
+void workload(os::Kernel& k, int pid) {
+  (void)pid;
+  k.run(1'500'000);
+  auto await = [&](os::ClientConn& c, size_t want) {
+    std::string got;
+    k.run_until(
+        [&] {
+          got += c.recv_all();
+          return got.size() >= want || c.server_closed();
+        },
+        4'000'000);
+    return got;
+  };
+  auto c = k.connect(kJvmPort);
+  if (!c.has_value()) return;
+  c->send(wire_command(kOpVersion));
+  await(*c, 4);
+  c->send(wire_command(kOpQuery));
+  await(*c, 4);
+  c->close();
+  k.run(300'000);
+}
+
+}  // namespace
+
+analysis::TargetProgram make_jvm() {
+  analysis::TargetProgram t;
+  t.name = "jvm_sim";
+  t.personality = vm::Personality::kLinux;
+  t.images.push_back(std::make_shared<isa::Image>(build_image()));
+  t.port = kJvmPort;
+  t.workload = workload;
+  t.service_alive = [](os::Kernel& k, int pid) {
+    (void)pid;
+    return default_service_alive(k, kJvmPort);
+  };
+  return t;
+}
+
+gva_t jvm_object_ref_addr(const os::Process& proc) {
+  const vm::LoadedModule* mod = proc.machine().module_named("jvm_sim");
+  if (mod == nullptr) return 0;
+  u64 cell = 0;
+  proc.machine().mem().peek_u64(mod->symbol_addr("object_ref_ptr"), &cell);
+  return cell;
+}
+
+}  // namespace crp::targets

@@ -1,0 +1,29 @@
+// jvm_sim: a managed-runtime model exercising the Linux face of §III-B.
+//
+// Managed runtimes elide explicit null checks by letting the dereference
+// fault: a SIGSEGV handler recognizes the faulting site, rewrites the saved
+// pc in the ucontext to a recovery stub, and execution continues with a
+// "NullPointerException" flag raised instead of a crash. That exact idiom
+// is a crash-resistant primitive: an attacker who can steer the dereferenced
+// pointer gets a read probe with the exception flag as the oracle output.
+//
+// jvm_sim's "interpreter loop" pulls commands from a socket:
+//   kOpQuery  — dereference the object pointer stored in the heap-resident
+//               `object_ref` cell and respond "VAL:" (mapped) or "NPE!"
+//               (handler ran: unmapped);
+//   kOpVersion — liveness.
+#pragma once
+
+#include "analysis/target.h"
+
+namespace crp::targets {
+
+inline constexpr u16 kJvmPort = 9100;
+
+analysis::TargetProgram make_jvm();
+
+/// Runtime address of the heap cell holding the dereferenced object pointer
+/// (the attacker's corruption target).
+gva_t jvm_object_ref_addr(const os::Process& proc);
+
+}  // namespace crp::targets

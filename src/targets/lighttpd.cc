@@ -1,0 +1,299 @@
+#include "targets/lighttpd.h"
+
+#include <memory>
+
+#include "targets/common.h"
+
+namespace crp::targets {
+
+namespace {
+
+// chunk object layout (heap, one per connection)
+constexpr i64 kChkData = 0;   // base of data area (base+64)
+constexpr i64 kChkPos = 8;    // current read destination — the primitive
+constexpr i64 kChkFd = 16;
+constexpr i64 kChkTotal = 24;
+constexpr i64 kChkLast = 32;  // where the latest request actually landed
+constexpr i64 kChkDataOff = 64;
+
+isa::Image build_image() {
+  Assembler a("lighttpd_sim");
+
+  a.label("entry");
+  // Startup: read config (first `read` call site; buffer is a PC-relative
+  // global, i.e. not attacker-steerable — the verifier must skip it).
+  a.lea_pc(Reg::R1, "path_conf");
+  a.movi(Reg::R2, 0);
+  sys(a, os::Sys::kOpen);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "net_setup");
+  a.mov(Reg::R7, Reg::R0);
+  a.mov(Reg::R1, Reg::R7);
+  a.lea_pc(Reg::R2, "conf_buf");
+  a.movi(Reg::R3, 64);
+  sys(a, os::Sys::kRead);
+  a.mov(Reg::R1, Reg::R7);
+  sys(a, os::Sys::kClose);
+
+  a.label("net_setup");
+  emit_listen(a, kLighttpdPort, Reg::R7);
+  a.lea_pc(Reg::R2, "listener");
+  a.store(Reg::R2, 0, Reg::R7, 8);
+  sys(a, os::Sys::kEpollCreate);
+  a.mov(Reg::R8, Reg::R0);
+  a.lea_pc(Reg::R2, "epfd");
+  a.store(Reg::R2, 0, Reg::R8, 8);
+  emit_epoll_add(a, Reg::R8, Reg::R7, "ev_scratch");
+
+  a.label("loop");
+  a.lea_pc(Reg::R1, "epfd");
+  a.load(Reg::R1, Reg::R1, 8);
+  a.lea_pc(Reg::R2, "events");
+  a.movi(Reg::R3, 8);
+  a.movi(Reg::R4, -1);
+  sys(a, os::Sys::kEpollWait);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLe, "loop");
+  a.mov(Reg::R7, Reg::R0);
+  a.movi(Reg::R9, 0);
+  a.label("ev_loop");
+  a.cmp(Reg::R9, Reg::R7);
+  a.jcc(Cond::kGe, "loop");
+  a.lea_pc(Reg::R2, "events");
+  a.mov(Reg::R10, Reg::R9);
+  a.shli(Reg::R10, 4);
+  a.add(Reg::R2, Reg::R10);
+  a.load(Reg::R10, Reg::R2, 8, 8);
+  a.addi(Reg::R9, 1);
+  a.lea_pc(Reg::R2, "listener");
+  a.load(Reg::R2, Reg::R2, 8);
+  a.cmp(Reg::R10, Reg::R2);
+  a.jcc(Cond::kNe, "ev_conn");
+  a.push(Reg::R7);
+  a.push(Reg::R9);
+  a.call("do_accept");
+  a.pop(Reg::R9);
+  a.pop(Reg::R7);
+  a.jmp("ev_loop");
+  a.label("ev_conn");
+  a.push(Reg::R7);
+  a.push(Reg::R9);
+  a.call("do_read");
+  a.pop(Reg::R9);
+  a.pop(Reg::R7);
+  a.jmp("ev_loop");
+
+  // ---- do_accept (R10 = listener) -----------------------------------------
+  a.label("do_accept");
+  a.mov(Reg::R1, Reg::R10);
+  a.movi(Reg::R2, 0);
+  sys(a, os::Sys::kAccept);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "accept_out");
+  a.mov(Reg::R8, Reg::R0);
+  emit_heap_alloc(a, 4096, Reg::R11);
+  a.mov(Reg::R1, Reg::R11);
+  a.addi(Reg::R1, kChkDataOff);
+  a.store(Reg::R11, kChkData, Reg::R1, 8);
+  a.store(Reg::R11, kChkPos, Reg::R1, 8);
+  a.store(Reg::R11, kChkFd, Reg::R8, 8);
+  a.movi(Reg::R1, 0);
+  a.store(Reg::R11, kChkTotal, Reg::R1, 8);
+  a.lea_pc(Reg::R2, "conn_table");
+  a.mov(Reg::R3, Reg::R8);
+  a.shli(Reg::R3, 3);
+  a.add(Reg::R2, Reg::R3);
+  a.store(Reg::R2, 0, Reg::R11, 8);
+  a.lea_pc(Reg::R1, "epfd");
+  a.load(Reg::R1, Reg::R1, 8);
+  emit_epoll_add(a, Reg::R1, Reg::R8, "ev_scratch");
+  a.label("accept_out");
+  a.ret();
+
+  // ---- do_read (R10 = conn fd) ----------------------------------------------
+  a.label("do_read");
+  a.lea_pc(Reg::R2, "conn_table");
+  a.mov(Reg::R3, Reg::R10);
+  a.shli(Reg::R3, 3);
+  a.add(Reg::R2, Reg::R3);
+  a.load(Reg::R8, Reg::R2, 8);
+  a.cmpi(Reg::R8, 0);
+  a.jcc(Cond::kEq, "drop_conn");
+  // read(fd, chunk->pos, 64) — THE primitive (chunk->pos may be tainted).
+  a.load(Reg::R2, Reg::R8, 8, kChkPos);
+  a.mov(Reg::R1, Reg::R10);
+  a.movi(Reg::R3, 64);
+  sys(a, os::Sys::kRead);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLe, "drop_conn");  // error (EFAULT) or EOF: graceful close
+  a.store(Reg::R8, kChkLast, Reg::R2, 8);  // remember where the bytes landed
+  a.load(Reg::R4, Reg::R8, 8, kChkTotal);
+  a.add(Reg::R4, Reg::R0);
+  a.store(Reg::R8, kChkTotal, Reg::R4, 8);
+  a.cmpi(Reg::R4, 16);
+  a.jcc(Cond::kLt, "read_out");
+  a.call("process");
+  // Reset for keep-alive.
+  a.movi(Reg::R4, 0);
+  a.store(Reg::R8, kChkTotal, Reg::R4, 8);
+  a.label("read_out");
+  a.ret();
+  a.label("drop_conn");
+  a.mov(Reg::R1, Reg::R10);
+  sys(a, os::Sys::kClose);
+  a.lea_pc(Reg::R2, "conn_table");
+  a.mov(Reg::R3, Reg::R10);
+  a.shli(Reg::R3, 3);
+  a.add(Reg::R2, Reg::R3);
+  a.movi(Reg::R4, 0);
+  a.store(Reg::R2, 0, Reg::R4, 8);
+  a.ret();
+
+  // ---- process (R8 = chunk, R10 = fd) ------------------------------------------
+  a.label("process");
+  a.load(Reg::R11, Reg::R8, 8, kChkLast);
+  a.load(Reg::R5, Reg::R11, 8, 0);  // op
+  a.load(Reg::R6, Reg::R11, 8, 8);  // arg
+  // Range handling: next request body lands at data + (arg & 0x3f) * 8 —
+  // chunk->pos becomes a function of client bytes (tainted pointer!).
+  a.andi(Reg::R6, 0x3f);
+  a.shli(Reg::R6, 3);
+  a.load(Reg::R4, Reg::R8, 8, kChkData);
+  a.add(Reg::R4, Reg::R6);
+  a.store(Reg::R8, kChkPos, Reg::R4, 8);
+
+  a.cmpi(Reg::R5, static_cast<i64>(kOpVersion));
+  a.jcc(Cond::kEq, "p_version");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpGet));
+  a.jcc(Cond::kEq, "p_get");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpDelete));
+  a.jcc(Cond::kEq, "p_del");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpAdmin));
+  a.jcc(Cond::kEq, "p_lnk");
+  a.label("p_err");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_err");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kWrite);
+  a.ret();
+
+  a.label("p_version");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_ver");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kWrite);
+  a.ret();
+
+  a.label("p_get");
+  a.lea_pc(Reg::R1, "path_www");
+  a.movi(Reg::R2, 0);
+  sys(a, os::Sys::kOpen);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "p_err");
+  a.mov(Reg::R9, Reg::R0);
+  a.mov(Reg::R1, Reg::R9);
+  a.lea_pc(Reg::R2, "file_buf");
+  a.movi(Reg::R3, 256);
+  sys(a, os::Sys::kRead);
+  a.mov(Reg::R6, Reg::R0);
+  a.mov(Reg::R1, Reg::R9);
+  sys(a, os::Sys::kClose);
+  a.cmpi(Reg::R6, 0);
+  a.jcc(Cond::kLt, "p_err");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "file_buf");
+  a.mov(Reg::R3, Reg::R6);
+  sys(a, os::Sys::kWrite);
+  a.ret();
+
+  a.label("p_del");
+  a.lea_pc(Reg::R1, "path_tmp");
+  sys(a, os::Sys::kUnlink);
+  a.jmp("p_ok");
+
+  a.label("p_lnk");
+  a.lea_pc(Reg::R1, "path_www");
+  a.lea_pc(Reg::R2, "path_link");
+  sys(a, os::Sys::kSymlink);
+  a.jmp("p_ok");
+
+  a.label("p_ok");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_ok");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kWrite);
+  a.ret();
+
+  a.data_u64("listener", 0);
+  a.data_u64("epfd", 0);
+  a.data_zero("conn_table", 64 * 8);
+  a.data_zero("events", 8 * 16);
+  a.data_zero("ev_scratch", 16);
+  a.data_zero("conf_buf", 64);
+  a.data_zero("file_buf", 256);
+  a.data_bytes("resp_ver", std::vector<u8>{'V', 'E', 'R', '1'});
+  a.data_bytes("resp_ok", std::vector<u8>{'O', 'K', '!', '!'});
+  a.data_bytes("resp_err", std::vector<u8>{'E', 'R', 'R', '!'});
+  a.data_cstr("path_conf", "/etc/lighttpd.conf");
+  a.data_cstr("path_www", "/www/page.html");
+  a.data_cstr("path_tmp", "/tmp/lighttpd.tmp");
+  a.data_cstr("path_link", "/tmp/page.link");
+
+  a.set_entry("entry");
+  return a.build();
+}
+
+void workload(os::Kernel& k, int pid) {
+  (void)pid;
+  k.run(1'500'000);
+  auto await = [&](os::ClientConn& c, size_t want) {
+    std::string got;
+    k.run_until(
+        [&] {
+          got += c.recv_all();
+          return got.size() >= want || c.server_closed();
+        },
+        4'000'000);
+    return got;
+  };
+  auto c1 = k.connect(kLighttpdPort);
+  auto c2 = k.connect(kLighttpdPort);
+  if (!c1.has_value() || !c2.has_value()) return;
+  c1->send(wire_command(kOpVersion, 5));  // arg taints chunk->pos
+  await(*c1, 4);
+  // Second request on c1 arrives at the tainted position.
+  c1->send(wire_command(kOpGet, 0));
+  await(*c1, 4);
+  c2->send(wire_command(kOpGet, 2));
+  await(*c2, 4);
+  c2->send(wire_command(kOpDelete, 0));
+  await(*c2, 4);
+  c1->send(wire_command(kOpAdmin, 0));
+  await(*c1, 4);
+  c1->close();
+  c2->close();
+  k.run(500'000);
+}
+
+}  // namespace
+
+analysis::TargetProgram make_lighttpd() {
+  analysis::TargetProgram t;
+  t.name = "lighttpd_sim";
+  t.personality = vm::Personality::kLinux;
+  t.images.push_back(std::make_shared<isa::Image>(build_image()));
+  t.port = kLighttpdPort;
+  t.setup = [](os::Kernel& k) {
+    k.vfs().put_file("/etc/lighttpd.conf", "server.port = 8081\n");
+    k.vfs().put_file("/www/page.html", "<html>lighttpd_sim</html>");
+    k.vfs().put_file("/tmp/lighttpd.tmp", "tmp");
+  };
+  t.workload = workload;
+  t.service_alive = [](os::Kernel& k, int pid) {
+    (void)pid;
+    return default_service_alive(k, kLighttpdPort);
+  };
+  return t;
+}
+
+}  // namespace crp::targets

@@ -1,0 +1,22 @@
+// lighttpd_sim: model of the Lighttpd 1.4 fdevent worker.
+//
+//   * single process, single thread, epoll loop (like nginx_sim, but uses
+//     read()/write() rather than recv()/send() — the paper's usable
+//     primitive for Lighttpd is `read`);
+//   * per-connection heap chunk object; the request's argument field sets a
+//     range offset that becomes part of the next read destination pointer —
+//     so the read pointer is *network-tainted*, exercising the classic
+//     libdft-style detection path (nginx_sim's pointer is heap-resident but
+//     untainted);
+//   * graceful connection teardown on read errors (including -EFAULT).
+#pragma once
+
+#include "analysis/target.h"
+
+namespace crp::targets {
+
+inline constexpr u16 kLighttpdPort = 8081;
+
+analysis::TargetProgram make_lighttpd();
+
+}  // namespace crp::targets

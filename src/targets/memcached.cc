@@ -1,0 +1,266 @@
+#include "targets/memcached.h"
+
+#include <memory>
+
+#include "targets/common.h"
+
+namespace crp::targets {
+
+namespace {
+
+// Worker heap object: { +0 events_ptr, +8 epfd }.
+// Per-connection item object: { +0 buf_ptr, +8 fd }, data at +64.
+constexpr i64 kWEvents = 0;
+constexpr i64 kWEpfd = 8;
+constexpr i64 kItBuf = 0;
+constexpr i64 kItDataOff = 64;
+
+isa::Image build_image() {
+  Assembler a("memcached_sim");
+
+  // ---- main thread: accept + enqueue ------------------------------------------
+  a.label("entry");
+  emit_listen(a, kMemcachedPort, Reg::R7);
+  a.lea_pc(Reg::R1, "conn_worker");
+  a.movi(Reg::R2, 0);
+  sys(a, os::Sys::kThreadCreate);
+  a.label("accept_loop");
+  a.mov(Reg::R1, Reg::R7);
+  a.movi(Reg::R2, 0);
+  sys(a, os::Sys::kAccept);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "accept_loop");
+  a.mov(Reg::R8, Reg::R0);
+  // Enqueue into the single-slot handoff cell; spin (with yield) while full.
+  a.label("enq");
+  a.lea_pc(Reg::R2, "handoff");
+  a.load(Reg::R3, Reg::R2, 8);
+  a.cmpi(Reg::R3, 0);
+  a.jcc(Cond::kEq, "enq_store");
+  sys(a, os::Sys::kYield);
+  a.jmp("enq");
+  a.label("enq_store");
+  a.store(Reg::R2, 0, Reg::R8, 8);
+  a.jmp("accept_loop");
+
+  // ---- connection worker thread --------------------------------------------------
+  a.label("conn_worker");
+  emit_heap_alloc(a, 4096, Reg::R8);  // worker object; events at +256
+  a.mov(Reg::R1, Reg::R8);
+  a.addi(Reg::R1, 256);
+  a.store(Reg::R8, kWEvents, Reg::R1, 8);
+  sys(a, os::Sys::kEpollCreate);
+  a.store(Reg::R8, kWEpfd, Reg::R0, 8);
+
+  a.label("w_loop");
+  // Pull a pending fd, if any: allocate its item object + watch it.
+  a.lea_pc(Reg::R2, "handoff");
+  a.load(Reg::R4, Reg::R2, 8);
+  a.cmpi(Reg::R4, 0);
+  a.jcc(Cond::kEq, "w_poll");
+  a.movi(Reg::R5, 0);
+  a.store(Reg::R2, 0, Reg::R5, 8);
+  a.push(Reg::R4);
+  emit_heap_alloc(a, 4096, Reg::R11);  // item object
+  a.pop(Reg::R4);
+  a.mov(Reg::R1, Reg::R11);
+  a.addi(Reg::R1, kItDataOff);
+  a.store(Reg::R11, kItBuf, Reg::R1, 8);
+  a.lea_pc(Reg::R2, "item_table");
+  a.mov(Reg::R3, Reg::R4);
+  a.shli(Reg::R3, 3);
+  a.add(Reg::R2, Reg::R3);
+  a.store(Reg::R2, 0, Reg::R11, 8);
+  a.load(Reg::R1, Reg::R8, 8, kWEpfd);
+  a.push(Reg::R8);
+  emit_epoll_add(a, Reg::R1, Reg::R4, "ev_scratch");
+  a.pop(Reg::R8);
+
+  a.label("w_poll");
+  a.load(Reg::R1, Reg::R8, 8, kWEpfd);
+  a.load(Reg::R2, Reg::R8, 8, kWEvents);
+  a.movi(Reg::R3, 8);
+  a.movi(Reg::R4, 200);
+  sys(a, os::Sys::kEpollWait);
+  // Keep the pointer actually handed to the kernel (attacker may swap the
+  // heap field mid-call; real code iterates its local copy).
+  a.mov(Reg::R7, Reg::R2);
+  a.cmpi(Reg::R0, 0);
+  // ANY epoll error kills the connection worker while main lives on — the
+  // paper's false positive (§V-A).
+  a.jcc(Cond::kLt, "w_die");
+  a.jcc(Cond::kEq, "w_loop");
+  a.mov(Reg::R10, Reg::R0);
+  a.movi(Reg::R9, 0);
+  a.label("w_ev");
+  a.cmp(Reg::R9, Reg::R10);
+  a.jcc(Cond::kGe, "w_loop");
+  a.mov(Reg::R2, Reg::R7);
+  a.mov(Reg::R3, Reg::R9);
+  a.shli(Reg::R3, 4);
+  a.add(Reg::R2, Reg::R3);
+  a.load(Reg::R1, Reg::R2, 8, 8);  // fd
+  a.addi(Reg::R9, 1);
+  a.push(Reg::R7);
+  a.push(Reg::R8);
+  a.push(Reg::R9);
+  a.push(Reg::R10);
+  a.call("handle_conn");
+  a.pop(Reg::R10);
+  a.pop(Reg::R9);
+  a.pop(Reg::R8);
+  a.pop(Reg::R7);
+  a.jmp("w_ev");
+  a.label("w_die");
+  a.movi(Reg::R1, 1);
+  sys(a, os::Sys::kExit);  // thread exit; process stays "alive"
+
+  // ---- handle_conn (R1 = fd) --------------------------------------------------------
+  a.label("handle_conn");
+  a.mov(Reg::R10, Reg::R1);
+  a.lea_pc(Reg::R2, "item_table");
+  a.mov(Reg::R3, Reg::R10);
+  a.shli(Reg::R3, 3);
+  a.add(Reg::R2, Reg::R3);
+  a.load(Reg::R8, Reg::R2, 8);  // item object
+  a.cmpi(Reg::R8, 0);
+  a.jcc(Cond::kEq, "hc_close");
+  // read(fd, item->buf, 64) — the usable primitive.
+  a.load(Reg::R2, Reg::R8, 8, kItBuf);
+  a.mov(Reg::R1, Reg::R10);
+  a.movi(Reg::R3, 64);
+  sys(a, os::Sys::kRead);
+  a.cmpi(Reg::R0, 16);
+  a.jcc(Cond::kLt, "hc_close");  // EOF / error (EFAULT): drop the connection
+  a.load(Reg::R4, Reg::R8, 8, kItBuf);
+  a.load(Reg::R5, Reg::R4, 8, 0);  // op
+  a.load(Reg::R6, Reg::R4, 8, 8);  // arg
+  a.cmpi(Reg::R5, static_cast<i64>(kOpVersion));
+  a.jcc(Cond::kEq, "hc_version");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpStat));
+  a.jcc(Cond::kEq, "hc_stat");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpLog));
+  a.jcc(Cond::kEq, "hc_log");
+  // Default: treat as set/get into the slab (arg indexes a cache cell).
+  a.andi(Reg::R6, 0x3f);
+  a.shli(Reg::R6, 3);
+  a.lea_pc(Reg::R2, "slab");
+  a.add(Reg::R2, Reg::R6);
+  a.load(Reg::R3, Reg::R4, 8, 8);
+  a.store(Reg::R2, 0, Reg::R3, 8);
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_stored");
+  a.movi(Reg::R3, 8);
+  sys(a, os::Sys::kSend);
+  a.ret();
+  a.label("hc_version");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_ver");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.ret();
+  a.label("hc_stat");
+  // UDP-ish stats path: recvfrom with a second heap destination + addr out.
+  a.load(Reg::R2, Reg::R8, 8, kItBuf);
+  a.addi(Reg::R2, 512);
+  a.mov(Reg::R1, Reg::R10);
+  a.movi(Reg::R3, 32);
+  a.lea_pc(Reg::R4, "peer_addr");
+  sys(a, os::Sys::kRecvfrom);
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_stats");
+  a.movi(Reg::R3, 8);
+  sys(a, os::Sys::kSend);
+  a.ret();
+  a.label("hc_log");
+  // sendmsg-based trace output over the same connection.
+  a.lea_pc(Reg::R2, "iovec");
+  a.lea_pc(Reg::R3, "logline");
+  a.store(Reg::R2, 0, Reg::R3, 8);
+  a.movi(Reg::R3, 8);
+  a.store(Reg::R2, 8, Reg::R3, 8);
+  a.lea_pc(Reg::R3, "msghdr");
+  a.store(Reg::R3, 0, Reg::R2, 8);
+  a.movi(Reg::R4, 1);
+  a.store(Reg::R3, 8, Reg::R4, 8);
+  a.mov(Reg::R1, Reg::R10);
+  a.mov(Reg::R2, Reg::R3);
+  sys(a, os::Sys::kSendmsg);
+  a.ret();
+  a.label("hc_close");
+  a.mov(Reg::R1, Reg::R10);
+  sys(a, os::Sys::kClose);
+  a.lea_pc(Reg::R2, "item_table");
+  a.mov(Reg::R3, Reg::R10);
+  a.shli(Reg::R3, 3);
+  a.add(Reg::R2, Reg::R3);
+  a.movi(Reg::R4, 0);
+  a.store(Reg::R2, 0, Reg::R4, 8);
+  a.ret();
+
+  a.data_u64("handoff", 0);
+  a.data_zero("item_table", 64 * 8);
+  a.data_zero("ev_scratch", 16);
+  a.data_zero("slab", 64 * 8);
+  a.data_zero("peer_addr", 8);
+  a.data_zero("iovec", 16);
+  a.data_zero("msghdr", 16);
+  a.data_bytes("resp_ver", std::vector<u8>{'V', 'E', 'R', '1'});
+  a.data_cstr("resp_stored", "STORED\r\n");
+  a.data_cstr("resp_stats", "STAT 0\r\n");
+  a.data_cstr("logline", "slablog\n");
+
+  a.set_entry("entry");
+  return a.build();
+}
+
+void workload(os::Kernel& k, int pid) {
+  (void)pid;
+  k.run(2'000'000);
+  auto await = [&](os::ClientConn& c, size_t want) {
+    std::string got;
+    k.run_until(
+        [&] {
+          got += c.recv_all();
+          return got.size() >= want || c.server_closed();
+        },
+        6'000'000);
+    return got;
+  };
+  auto c1 = k.connect(kMemcachedPort);
+  if (!c1.has_value()) return;
+  c1->send(wire_command(kOpVersion));
+  await(*c1, 4);
+  c1->send(wire_command(100, 0x42));  // "set"
+  await(*c1, 8);
+  auto c2 = k.connect(kMemcachedPort);
+  if (c2.has_value()) {
+    c2->send(wire_command(kOpStat));
+    k.run(500'000);
+    c2->send("statspayload....");  // feeds the recvfrom
+    await(*c2, 8);
+    c2->send(wire_command(kOpLog));
+    await(*c2, 8);
+    c2->close();
+  }
+  c1->close();
+  k.run(500'000);
+}
+
+}  // namespace
+
+analysis::TargetProgram make_memcached() {
+  analysis::TargetProgram t;
+  t.name = "memcached_sim";
+  t.personality = vm::Personality::kLinux;
+  t.images.push_back(std::make_shared<isa::Image>(build_image()));
+  t.port = kMemcachedPort;
+  t.workload = workload;
+  t.service_alive = [](os::Kernel& k, int pid) {
+    (void)pid;
+    return default_service_alive(k, kMemcachedPort, 8'000'000);
+  };
+  return t;
+}
+
+}  // namespace crp::targets

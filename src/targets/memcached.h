@@ -1,0 +1,26 @@
+// memcached_sim: model of the Memcached 1.4 event worker, including the
+// paper's §V-A false positive.
+//
+//   * main thread only accepts and enqueues connection fds into a shared
+//     ring for the single connection-handling thread (memcached's
+//     libevent worker);
+//   * the worker's epoll_wait takes its event-array pointer from a heap
+//     object; on ANY epoll_wait error the worker thread exits while the
+//     main thread keeps accepting — the process looks healthy, but no
+//     connection is ever served again. A naive verifier calls that a valid
+//     primitive; the service-liveness probe exposes it as a FALSE POSITIVE;
+//   * read(fd, item->buf, n) with the buffer pointer in a per-connection
+//     heap item object is the genuinely usable primitive (graceful
+//     connection teardown on error);
+//   * kOpStat exercises recvfrom (the UDP-ish stats path).
+#pragma once
+
+#include "analysis/target.h"
+
+namespace crp::targets {
+
+inline constexpr u16 kMemcachedPort = 11211;
+
+analysis::TargetProgram make_memcached();
+
+}  // namespace crp::targets

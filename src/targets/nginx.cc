@@ -1,0 +1,409 @@
+#include "targets/nginx.h"
+
+#include <memory>
+
+#include "targets/common.h"
+
+namespace crp::targets {
+
+namespace {
+
+// ngx_buf_t field offsets.
+constexpr i64 kBufStart = 0;
+constexpr i64 kBufPos = 8;
+constexpr i64 kBufLast = 16;
+constexpr i64 kBufEnd = 24;
+constexpr i64 kBufFd = 32;
+constexpr i64 kBufTotal = 40;
+constexpr i64 kBufDataOff = 64;     // request bytes land here
+constexpr i64 kBufFileOff = 2048;   // file contents staged here
+constexpr i64 kBufDataEnd = 2048;   // end = base + kBufDataEnd
+
+isa::Image build_image() {
+  Assembler a("nginx_sim");
+
+  // ---- startup rituals: config read, pidfile, stale-lock unlink ------------
+  a.label("entry");
+  a.lea_pc(Reg::R1, "path_conf");
+  a.movi(Reg::R2, 0);
+  sys(a, os::Sys::kOpen);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "startup_net");
+  a.mov(Reg::R7, Reg::R0);
+  a.mov(Reg::R1, Reg::R7);
+  a.lea_pc(Reg::R2, "conf_buf");
+  a.movi(Reg::R3, 128);
+  sys(a, os::Sys::kRead);
+  a.mov(Reg::R1, Reg::R7);
+  sys(a, os::Sys::kClose);
+  // pidfile: open O_CREAT|O_WRONLY, write marker, chmod 0644.
+  a.lea_pc(Reg::R1, "path_pid");
+  a.movi(Reg::R2, static_cast<i64>(os::kOCreat | os::kOWronly));
+  sys(a, os::Sys::kOpen);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "startup_net");
+  a.mov(Reg::R7, Reg::R0);
+  a.mov(Reg::R1, Reg::R7);
+  a.lea_pc(Reg::R2, "pid_text");
+  a.movi(Reg::R3, 5);
+  sys(a, os::Sys::kWrite);
+  a.mov(Reg::R1, Reg::R7);
+  sys(a, os::Sys::kClose);
+  a.lea_pc(Reg::R1, "path_pid");
+  a.movi(Reg::R2, 0644);
+  sys(a, os::Sys::kChmod);
+  a.lea_pc(Reg::R1, "path_lock");
+  sys(a, os::Sys::kUnlink);  // stale lock; error ignored
+
+  // ---- listener + epoll ------------------------------------------------------
+  a.label("startup_net");
+  emit_listen(a, kNginxPort, Reg::R7);
+  a.lea_pc(Reg::R2, "listener");
+  a.store(Reg::R2, 0, Reg::R7, 8);
+  sys(a, os::Sys::kEpollCreate);
+  a.mov(Reg::R8, Reg::R0);
+  a.lea_pc(Reg::R2, "epfd");
+  a.store(Reg::R2, 0, Reg::R8, 8);
+  emit_epoll_add(a, Reg::R8, Reg::R7, "ev_scratch");
+
+  // ---- event loop -------------------------------------------------------------
+  a.label("loop");
+  a.lea_pc(Reg::R1, "epfd");
+  a.load(Reg::R1, Reg::R1, 8);
+  a.lea_pc(Reg::R2, "events");
+  a.movi(Reg::R3, 16);
+  a.movi(Reg::R4, -1);
+  sys(a, os::Sys::kEpollWait);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLe, "loop");
+  a.mov(Reg::R7, Reg::R0);  // n events
+  a.movi(Reg::R9, 0);       // i
+  a.label("ev_loop");
+  a.cmp(Reg::R9, Reg::R7);
+  a.jcc(Cond::kGe, "loop");
+  a.lea_pc(Reg::R2, "events");
+  a.mov(Reg::R10, Reg::R9);
+  a.shli(Reg::R10, 4);
+  a.add(Reg::R2, Reg::R10);
+  a.load(Reg::R10, Reg::R2, 8, 8);  // event data = fd
+  a.addi(Reg::R9, 1);
+  // listener or connection?
+  a.lea_pc(Reg::R2, "listener");
+  a.load(Reg::R2, Reg::R2, 8);
+  a.cmp(Reg::R10, Reg::R2);
+  a.jcc(Cond::kNe, "ev_conn");
+  a.push(Reg::R7);
+  a.push(Reg::R9);
+  a.call("handle_accept");
+  a.pop(Reg::R9);
+  a.pop(Reg::R7);
+  a.jmp("ev_loop");
+  a.label("ev_conn");
+  a.push(Reg::R7);
+  a.push(Reg::R9);
+  a.call("handle_readable");
+  a.pop(Reg::R9);
+  a.pop(Reg::R7);
+  a.jmp("ev_loop");
+
+  // ---- handle_accept (R10 = listener fd) ---------------------------------------
+  a.label("handle_accept");
+  a.mov(Reg::R1, Reg::R10);
+  a.movi(Reg::R2, 0);
+  sys(a, os::Sys::kAccept);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "accept_done");
+  a.mov(Reg::R8, Reg::R0);  // connection fd
+  // Allocate the ngx_buf_t object (heap).
+  emit_heap_alloc(a, 4096, Reg::R11);
+  a.mov(Reg::R1, Reg::R11);
+  a.addi(Reg::R1, kBufDataOff);
+  a.store(Reg::R11, kBufStart, Reg::R1, 8);
+  a.store(Reg::R11, kBufPos, Reg::R1, 8);
+  a.store(Reg::R11, kBufLast, Reg::R1, 8);
+  a.mov(Reg::R2, Reg::R11);
+  a.addi(Reg::R2, kBufDataEnd);
+  a.store(Reg::R11, kBufEnd, Reg::R2, 8);
+  a.store(Reg::R11, kBufFd, Reg::R8, 8);
+  a.movi(Reg::R2, 0);
+  a.store(Reg::R11, kBufTotal, Reg::R2, 8);
+  // conn_table[fd] = buf
+  a.lea_pc(Reg::R2, "conn_table");
+  a.mov(Reg::R3, Reg::R8);
+  a.shli(Reg::R3, 3);
+  a.add(Reg::R2, Reg::R3);
+  a.store(Reg::R2, 0, Reg::R11, 8);
+  // watch the connection
+  a.lea_pc(Reg::R1, "epfd");
+  a.load(Reg::R1, Reg::R1, 8);
+  emit_epoll_add(a, Reg::R1, Reg::R8, "ev_scratch");
+  a.label("accept_done");
+  a.ret();
+
+  // ---- handle_readable (R10 = conn fd) ------------------------------------------
+  a.label("handle_readable");
+  a.lea_pc(Reg::R2, "conn_table");
+  a.mov(Reg::R3, Reg::R10);
+  a.shli(Reg::R3, 3);
+  a.add(Reg::R2, Reg::R3);
+  a.load(Reg::R8, Reg::R2, 8);  // buf object (home = table slot)
+  a.cmpi(Reg::R8, 0);
+  a.jcc(Cond::kEq, "close_conn");
+  // recv(fd, buf->pos, buf->end - buf->pos): the §VI-C primitive.
+  a.load(Reg::R2, Reg::R8, 8, kBufPos);  // provenance: heap field buf+8
+  a.load(Reg::R3, Reg::R8, 8, kBufEnd);
+  a.sub(Reg::R3, Reg::R2);
+  a.cmpi(Reg::R3, 0);
+  a.jcc(Cond::kLe, "reset_buf");
+  a.mov(Reg::R1, Reg::R10);
+  sys(a, os::Sys::kRecv);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLe, "close_conn");  // EOF or error (EFAULT!): graceful close
+  // advance pos/total
+  a.load(Reg::R4, Reg::R8, 8, kBufTotal);
+  a.add(Reg::R4, Reg::R0);
+  a.store(Reg::R8, kBufTotal, Reg::R4, 8);
+  a.add(Reg::R2, Reg::R0);
+  a.store(Reg::R8, kBufPos, Reg::R2, 8);
+  a.store(Reg::R8, kBufLast, Reg::R2, 8);
+  // complete request (>= 16 bytes)?
+  a.cmpi(Reg::R4, 16);
+  a.jcc(Cond::kLt, "readable_done");
+  a.call("process_request");
+  a.label("reset_buf");
+  a.load(Reg::R2, Reg::R8, 8, kBufStart);
+  a.store(Reg::R8, kBufPos, Reg::R2, 8);
+  a.movi(Reg::R2, 0);
+  a.store(Reg::R8, kBufTotal, Reg::R2, 8);
+  a.label("readable_done");
+  a.ret();
+  a.label("close_conn");
+  a.mov(Reg::R1, Reg::R10);
+  sys(a, os::Sys::kClose);
+  a.lea_pc(Reg::R2, "conn_table");
+  a.mov(Reg::R3, Reg::R10);
+  a.shli(Reg::R3, 3);
+  a.add(Reg::R2, Reg::R3);
+  a.movi(Reg::R4, 0);
+  a.store(Reg::R2, 0, Reg::R4, 8);
+  a.ret();
+
+  // ---- process_request (R8 = buf, R10 = fd; may clobber R1..R6,R9,R11) ------------
+  a.label("process_request");
+  a.load(Reg::R11, Reg::R8, 8, kBufStart);
+  a.load(Reg::R5, Reg::R11, 8, 0);  // op
+  a.cmpi(Reg::R5, static_cast<i64>(kOpVersion));
+  a.jcc(Cond::kEq, "pr_version");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpGet));
+  a.jcc(Cond::kEq, "pr_get");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpUpload));
+  a.jcc(Cond::kEq, "pr_upload");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpDelete));
+  a.jcc(Cond::kEq, "pr_delete");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpAdmin));
+  a.jcc(Cond::kEq, "pr_admin");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpProxy));
+  a.jcc(Cond::kEq, "pr_proxy");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpLog));
+  a.jcc(Cond::kEq, "pr_log");
+  a.label("pr_err");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_err");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.ret();
+
+  a.label("pr_version");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_ver");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.ret();
+
+  a.label("pr_get");
+  a.lea_pc(Reg::R1, "path_www");
+  a.movi(Reg::R2, 0);
+  sys(a, os::Sys::kOpen);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "pr_err");
+  a.mov(Reg::R9, Reg::R0);  // file fd
+  // Stage file contents in the buf object's file area (heap pointer in R2,
+  // reused for read, send, AND a post-send scrub — the scrub is the
+  // out-of-fragment dereference that makes `send` crash under corruption).
+  a.mov(Reg::R2, Reg::R11);
+  a.addi(Reg::R2, kBufFileOff);
+  a.mov(Reg::R1, Reg::R9);
+  a.movi(Reg::R3, 1024);
+  sys(a, os::Sys::kRead);
+  a.mov(Reg::R6, Reg::R0);
+  a.mov(Reg::R1, Reg::R9);
+  sys(a, os::Sys::kClose);
+  a.cmpi(Reg::R6, 0);
+  a.jcc(Cond::kLt, "pr_err");
+  a.mov(Reg::R1, Reg::R10);
+  a.mov(Reg::R3, Reg::R6);
+  sys(a, os::Sys::kSend);
+  // Scrub the staging area through the same pointer.
+  a.movi(Reg::R3, 0);
+  a.store(Reg::R2, 0, Reg::R3, 8);
+  a.ret();
+
+  a.label("pr_upload");
+  a.lea_pc(Reg::R1, "path_upload");
+  a.movi(Reg::R2, static_cast<i64>(os::kOCreat | os::kOWronly | os::kOTrunc));
+  sys(a, os::Sys::kOpen);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "pr_err");
+  a.mov(Reg::R9, Reg::R0);
+  a.mov(Reg::R1, Reg::R9);
+  a.lea_pc(Reg::R2, "upload_data");
+  a.movi(Reg::R3, 8);
+  sys(a, os::Sys::kWrite);
+  a.mov(Reg::R1, Reg::R9);
+  sys(a, os::Sys::kClose);
+  a.lea_pc(Reg::R1, "path_upload");
+  a.movi(Reg::R2, 0644);
+  sys(a, os::Sys::kChmod);
+  a.jmp("pr_ok");
+
+  a.label("pr_delete");
+  a.lea_pc(Reg::R1, "path_upload");
+  sys(a, os::Sys::kUnlink);
+  a.jmp("pr_ok");
+
+  a.label("pr_admin");
+  a.lea_pc(Reg::R1, "path_cache");
+  a.movi(Reg::R2, 0755);
+  sys(a, os::Sys::kMkdir);
+  a.lea_pc(Reg::R1, "path_www");
+  a.lea_pc(Reg::R2, "path_latest");
+  sys(a, os::Sys::kSymlink);
+  a.jmp("pr_ok");
+
+  a.label("pr_proxy");
+  sys(a, os::Sys::kSocket);
+  a.mov(Reg::R9, Reg::R0);
+  a.mov(Reg::R1, Reg::R9);
+  a.lea_pc(Reg::R2, "upstream_addr");
+  sys(a, os::Sys::kConnect);
+  a.mov(Reg::R1, Reg::R9);
+  sys(a, os::Sys::kClose);
+  a.jmp("pr_ok");
+
+  a.label("pr_log");
+  // msghdr { iov_ptr, iovlen=1 }; iovec { &logline, 10 }
+  a.lea_pc(Reg::R2, "iovec");
+  a.lea_pc(Reg::R3, "logline");
+  a.store(Reg::R2, 0, Reg::R3, 8);
+  a.movi(Reg::R3, 10);
+  a.store(Reg::R2, 8, Reg::R3, 8);
+  a.lea_pc(Reg::R3, "msghdr");
+  a.store(Reg::R3, 0, Reg::R2, 8);
+  a.movi(Reg::R4, 1);
+  a.store(Reg::R3, 8, Reg::R4, 8);
+  a.mov(Reg::R1, Reg::R10);
+  a.mov(Reg::R2, Reg::R3);
+  sys(a, os::Sys::kSendmsg);
+  a.jmp("pr_ok");
+
+  a.label("pr_ok");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_ok");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.ret();
+
+  // ---- data -------------------------------------------------------------------
+  a.data_u64("listener", 0);
+  a.data_u64("epfd", 0);
+  a.data_zero("conn_table", 64 * 8);
+  a.data_zero("events", 16 * 16);
+  a.data_zero("ev_scratch", 16);
+  a.data_bytes("resp_ver", std::vector<u8>{'V', 'E', 'R', '1'});
+  a.data_bytes("resp_ok", std::vector<u8>{'O', 'K', '!', '!'});
+  a.data_bytes("resp_err", std::vector<u8>{'E', 'R', 'R', '!'});
+  a.data_cstr("path_conf", "/etc/nginx.conf");
+  a.data_cstr("path_pid", "/run/nginx.pid");
+  a.data_cstr("path_lock", "/run/nginx.lock");
+  a.data_cstr("path_www", "/www/index.html");
+  a.data_cstr("path_upload", "/tmp/upload.bin");
+  a.data_cstr("path_cache", "/tmp/ngx_cache");
+  a.data_cstr("path_latest", "/tmp/latest");
+  a.data_cstr("pid_text", "4242");
+  a.data_cstr("upload_data", "UPLOAD!");
+  a.data_cstr("logline", "GET / 200\n");
+  a.data_u64("upstream_addr", 9999);
+  a.data_zero("conf_buf", 128);
+  a.data_zero("iovec", 16);
+  a.data_zero("msghdr", 16);
+
+  a.set_entry("entry");
+  return a.build();
+}
+
+void workload(os::Kernel& k, int pid) {
+  (void)pid;
+  k.run(2'000'000);  // startup + park in epoll_wait
+
+  auto await_reply = [&](os::ClientConn& c, size_t want) {
+    std::string got;
+    k.run_until(
+        [&] {
+          got += c.recv_all();
+          return got.size() >= want || c.server_closed();
+        },
+        4'000'000);
+    return got;
+  };
+
+  // Two parallel connections (the multi-connection capability of §V-A).
+  auto c1 = k.connect(kNginxPort);
+  auto c2 = k.connect(kNginxPort);
+  if (!c1.has_value() || !c2.has_value()) return;
+
+  c1->send(wire_command(kOpVersion));
+  await_reply(*c1, 4);
+  c2->send(wire_command(kOpGet));
+  await_reply(*c2, 4);
+  // Partial request on c1 (allocates + parks the buffer), completed later.
+  c1->send(wire_command(kOpUpload).substr(0, 8));
+  k.run(1'000'000);
+  c1->send(wire_command(kOpUpload).substr(8));
+  await_reply(*c1, 4);
+  c1->send(wire_command(kOpDelete));
+  await_reply(*c1, 4);
+  c2->send(wire_command(kOpAdmin));
+  await_reply(*c2, 4);
+  c2->send(wire_command(kOpProxy));
+  await_reply(*c2, 4);
+  c1->send(wire_command(kOpLog));
+  await_reply(*c1, 4);
+  c1->close();
+  c2->close();
+  k.run(1'000'000);
+}
+
+}  // namespace
+
+analysis::TargetProgram make_nginx() {
+  analysis::TargetProgram t;
+  t.name = "nginx_sim";
+  t.personality = vm::Personality::kLinux;
+  t.images.push_back(std::make_shared<isa::Image>(build_image()));
+  t.port = kNginxPort;
+  t.setup = [](os::Kernel& k) {
+    k.vfs().put_file("/etc/nginx.conf", "worker_processes 1;\nlisten 8080;\n");
+    k.vfs().put_file("/www/index.html", "<html><body>It works!</body></html>");
+    k.vfs().put_dir("/run");
+    k.vfs().put_dir("/tmp");
+    k.vfs().put_file("/run/nginx.lock", "");
+  };
+  t.workload = workload;
+  t.service_alive = [](os::Kernel& k, int pid) {
+    (void)pid;
+    return default_service_alive(k, kNginxPort);
+  };
+  return t;
+}
+
+}  // namespace crp::targets

@@ -1,0 +1,28 @@
+// nginx_sim: architecturally faithful model of the Nginx 1.9 event worker
+// used in the paper's §VI-C proof of concept.
+//
+//   * single process, single thread, epoll event loop;
+//   * per-connection heap `ngx_buf_t`-style buffer object
+//       { +0 start, +8 pos, +16 last, +24 end, +32 fd, +40 received_total },
+//     allocated when the first (possibly partial) request data arrives and
+//     reachable through a writable connection table in .data (the attacker's
+//     arbitrary R/W can leak and corrupt it — exactly the PoC protocol);
+//   * recv(fd, buf->pos, avail) is the crash-resistant primitive: on any
+//     error — including -EFAULT — the connection is terminated gracefully
+//     and the server keeps serving other connections;
+//   * auxiliary request ops exercise open/read/write/chmod/unlink/mkdir/
+//     symlink/connect/send/sendmsg so Table I has realistic non-usable rows
+//     (the response `send` re-dereferences its buffer pointer afterwards, so
+//     corrupting it crashes — a "±" entry).
+#pragma once
+
+#include "analysis/target.h"
+
+namespace crp::targets {
+
+inline constexpr u16 kNginxPort = 8080;
+
+/// Build the nginx_sim image + workload + liveness probe.
+analysis::TargetProgram make_nginx();
+
+}  // namespace crp::targets

@@ -1,0 +1,194 @@
+#include "targets/postgres.h"
+
+#include <memory>
+
+#include "targets/common.h"
+
+namespace crp::targets {
+
+namespace {
+
+constexpr i64 kWesEvents = 0;  // epoll_event array pointer — the primitive
+constexpr i64 kWesEpfd = 8;
+
+isa::Image build_image() {
+  Assembler a("postgres_sim");
+
+  // ---- master -------------------------------------------------------------------
+  a.label("entry");
+  a.lea_pc(Reg::R1, "path_sock");
+  sys(a, os::Sys::kUnlink);  // stale unix socket
+  a.lea_pc(Reg::R1, "path_pid");
+  a.movi(Reg::R2, static_cast<i64>(os::kOCreat | os::kOWronly));
+  sys(a, os::Sys::kOpen);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "net");
+  a.mov(Reg::R7, Reg::R0);
+  a.mov(Reg::R1, Reg::R7);
+  a.lea_pc(Reg::R2, "pid_text");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kWrite);
+  a.mov(Reg::R1, Reg::R7);
+  sys(a, os::Sys::kClose);
+  a.lea_pc(Reg::R1, "path_pid");
+  a.movi(Reg::R2, 0600);
+  sys(a, os::Sys::kChmod);
+
+  a.label("net");
+  emit_listen(a, kPostgresPort, Reg::R7);
+  a.label("accept_loop");
+  a.mov(Reg::R1, Reg::R7);
+  a.movi(Reg::R2, 0);
+  sys(a, os::Sys::kAccept);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "accept_loop");
+  a.mov(Reg::R8, Reg::R0);
+  a.lea_pc(Reg::R1, "backend_main");
+  a.mov(Reg::R2, Reg::R8);
+  sys(a, os::Sys::kSpawnWorker);
+  a.jmp("accept_loop");
+
+  // ---- worker (backend) — R1 = connection fd ----------------------------------------
+  a.label("backend_main");
+  a.mov(Reg::R10, Reg::R1);
+  emit_heap_alloc(a, 4096, Reg::R8);  // WaitEventSet; events at +256
+  a.mov(Reg::R1, Reg::R8);
+  a.addi(Reg::R1, 256);
+  a.store(Reg::R8, kWesEvents, Reg::R1, 8);
+  sys(a, os::Sys::kEpollCreate);
+  a.store(Reg::R8, kWesEpfd, Reg::R0, 8);
+  a.load(Reg::R1, Reg::R8, 8, kWesEpfd);
+  a.push(Reg::R8);
+  a.push(Reg::R10);
+  emit_epoll_add(a, Reg::R1, Reg::R10, "ev_scratch");
+  a.pop(Reg::R10);
+  a.pop(Reg::R8);
+
+  a.label("b_loop");
+  // epoll_wait(epfd, wes->events, 4, 5000) — the §V-A primitive.
+  a.load(Reg::R1, Reg::R8, 8, kWesEpfd);
+  a.load(Reg::R2, Reg::R8, 8, kWesEvents);
+  a.movi(Reg::R3, 4);
+  a.movi(Reg::R4, 5000);
+  sys(a, os::Sys::kEpollWait);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "b_exit_err");   // EFAULT: graceful worker termination
+  a.jcc(Cond::kEq, "b_exit_idle");  // client idle timeout
+  // Ready: read the query (PC-materialized buffer: not attacker-steerable).
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "query_buf");
+  a.movi(Reg::R3, 64);
+  sys(a, os::Sys::kRead);
+  a.cmpi(Reg::R0, 16);
+  a.jcc(Cond::kLt, "b_exit_idle");  // EOF / short: done serving
+  a.lea_pc(Reg::R2, "query_buf");
+  a.load(Reg::R5, Reg::R2, 8, 0);
+  a.cmpi(Reg::R5, static_cast<i64>(kOpVersion));
+  a.jcc(Cond::kEq, "b_version");
+  a.cmpi(Reg::R5, static_cast<i64>(kOpQuery));
+  a.jcc(Cond::kEq, "b_query");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_err");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.jmp("b_loop");
+  a.label("b_version");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_ver");
+  a.movi(Reg::R3, 4);
+  sys(a, os::Sys::kSend);
+  a.jmp("b_loop");
+  a.label("b_query");
+  // "Execute" the query: touch the catalog file, send one row back.
+  a.lea_pc(Reg::R1, "path_catalog");
+  a.movi(Reg::R2, 0);
+  sys(a, os::Sys::kOpen);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLt, "b_row");
+  a.mov(Reg::R9, Reg::R0);
+  a.mov(Reg::R1, Reg::R9);
+  a.lea_pc(Reg::R2, "catalog_buf");
+  a.movi(Reg::R3, 32);
+  sys(a, os::Sys::kRead);
+  a.mov(Reg::R1, Reg::R9);
+  sys(a, os::Sys::kClose);
+  a.label("b_row");
+  a.mov(Reg::R1, Reg::R10);
+  a.lea_pc(Reg::R2, "resp_row");
+  a.movi(Reg::R3, 8);
+  sys(a, os::Sys::kSend);
+  a.jmp("b_loop");
+
+  a.label("b_exit_err");
+  a.movi(Reg::R1, 1);
+  sys(a, os::Sys::kExitGroup);
+  a.label("b_exit_idle");
+  a.movi(Reg::R1, 0);
+  sys(a, os::Sys::kExitGroup);
+
+  a.data_zero("ev_scratch", 16);
+  a.data_zero("query_buf", 64);
+  a.data_zero("catalog_buf", 32);
+  a.data_bytes("resp_ver", std::vector<u8>{'V', 'E', 'R', '1'});
+  a.data_bytes("resp_err", std::vector<u8>{'E', 'R', 'R', '!'});
+  a.data_cstr("resp_row", "ROW:42\r\n");
+  a.data_cstr("path_sock", "/run/pg.sock");
+  a.data_cstr("path_pid", "/run/pg.pid");
+  a.data_cstr("path_catalog", "/db/catalog.dat");
+  a.data_cstr("pid_text", "777");
+
+  a.set_entry("entry");
+  return a.build();
+}
+
+void workload(os::Kernel& k, int pid) {
+  (void)pid;
+  k.run(2'000'000);
+  auto await = [&](os::ClientConn& c, size_t want) {
+    std::string got;
+    k.run_until(
+        [&] {
+          got += c.recv_all();
+          return got.size() >= want || c.server_closed();
+        },
+        8'000'000);
+    return got;
+  };
+  auto c1 = k.connect(kPostgresPort);
+  if (!c1.has_value()) return;
+  c1->send(wire_command(kOpVersion));
+  await(*c1, 4);
+  c1->send(wire_command(kOpQuery, 1));
+  await(*c1, 8);
+  c1->close();
+  auto c2 = k.connect(kPostgresPort);
+  if (c2.has_value()) {
+    c2->send(wire_command(kOpQuery, 2));
+    await(*c2, 8);
+    c2->close();
+  }
+  k.run(1'000'000);
+}
+
+}  // namespace
+
+analysis::TargetProgram make_postgres() {
+  analysis::TargetProgram t;
+  t.name = "postgres_sim";
+  t.personality = vm::Personality::kLinux;
+  t.images.push_back(std::make_shared<isa::Image>(build_image()));
+  t.port = kPostgresPort;
+  t.setup = [](os::Kernel& k) {
+    k.vfs().put_dir("/run");
+    k.vfs().put_file("/run/pg.sock", "");
+    k.vfs().put_file("/db/catalog.dat", "pg_catalog v9.0                 ");
+  };
+  t.workload = workload;
+  t.service_alive = [](os::Kernel& k, int pid) {
+    (void)pid;
+    return default_service_alive(k, kPostgresPort, 8'000'000);
+  };
+  return t;
+}
+
+}  // namespace crp::targets

@@ -1,0 +1,25 @@
+// postgres_sim: model of the PostgreSQL 9.0 process-per-connection
+// architecture (§V-A "server programs that handle every new connection in
+// an independent worker process").
+//
+//   * master: startup rituals (stale socket unlink, pidfile chmod), then an
+//     accept loop that spawn_worker()s a fresh process per connection,
+//     passing the accepted fd;
+//   * worker: heap `WaitEventSet`-style object holds the epoll_event array
+//     pointer; epoll_wait(epfd, wes->events, n, timeout) is the paper's
+//     usable primitive — an error gracefully terminates the worker, which is
+//     exactly what a worker is expected to do after serving, so the master
+//     and the service stay healthy;
+//   * the worker's query read buffer is PC-materialized, so `read` stays a
+//     "±" row for PostgreSQL.
+#pragma once
+
+#include "analysis/target.h"
+
+namespace crp::targets {
+
+inline constexpr u16 kPostgresPort = 5432;
+
+analysis::TargetProgram make_postgres();
+
+}  // namespace crp::targets

@@ -1,0 +1,25 @@
+// Aggregate accessor for the five Linux server simulacra of Table I.
+#pragma once
+
+#include <vector>
+
+#include "targets/cherokee.h"
+#include "targets/lighttpd.h"
+#include "targets/memcached.h"
+#include "targets/nginx.h"
+#include "targets/postgres.h"
+
+namespace crp::targets {
+
+/// All five servers in the paper's Table I column order.
+inline std::vector<analysis::TargetProgram> all_servers() {
+  std::vector<analysis::TargetProgram> out;
+  out.push_back(make_nginx());
+  out.push_back(make_cherokee());
+  out.push_back(make_lighttpd());
+  out.push_back(make_memcached());
+  out.push_back(make_postgres());
+  return out;
+}
+
+}  // namespace crp::targets

@@ -1,0 +1,118 @@
+#include "trace/tracer.h"
+
+namespace crp::trace {
+
+Tracer::Tracer(os::Kernel& kernel, os::Process& proc) : kernel_(kernel), proc_(proc) {
+  proc_.machine().add_observer(this);
+  kernel_.add_observer(this);
+}
+
+Tracer::~Tracer() {
+  proc_.machine().remove_observer(this);
+  kernel_.remove_observer(this);
+}
+
+u64 Tracer::hit_count(gva_t pc) const {
+  auto it = counts_.find(pc);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+u64 Tracer::hits_in_range(gva_t begin, gva_t end) const {
+  u64 total = 0;
+  for (auto it = counts_.lower_bound(begin); it != counts_.end() && it->first < end; ++it)
+    total += it->second;
+  return total;
+}
+
+bool Tracer::executed_in_range(gva_t begin, gva_t end) const {
+  auto it = counts_.lower_bound(begin);
+  return it != counts_.end() && it->first < end;
+}
+
+std::vector<gva_t> Tracer::call_stack(int tid) const {
+  std::vector<gva_t> out;
+  auto it = stacks_.find(tid);
+  if (it == stacks_.end()) return out;
+  for (const Frame& f : it->second) out.push_back(f.target);
+  return out;
+}
+
+void Tracer::clear_logs() {
+  api_calls_.clear();
+  syscalls_.clear();
+}
+
+bool Tracer::stack_touches_module(const ApiCallRecord& rec, const std::string& needle) {
+  for (const auto& m : rec.stack_modules)
+    if (m.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+void Tracer::on_exec(const vm::ExecEvent& ev, const vm::Cpu& cpu) {
+  (void)cpu;
+  if (kernel_.current_process() != &proc_) return;
+  if (!ev.faulted) ++counts_[ev.pc];
+  if (record_mem_ && ev.mem_size > 0 && !ev.faulted) {
+    for (gva_t g = ev.mem_addr & ~7ull; g < ev.mem_addr + ev.mem_size; g += 8)
+      mem_touched_.insert(g);
+  }
+
+  os::Thread* t = kernel_.current_thread();
+  if (t == nullptr) return;
+  auto& stack = stacks_[t->tid];
+  if (ev.is_call && !ev.faulted) {
+    stack.push_back({ev.pc + isa::kInstrBytes, ev.branch_target});
+    if (stack.size() > 512) stack.erase(stack.begin());  // runaway recursion guard
+  } else if (ev.is_ret && !ev.faulted) {
+    // Pop to the matching frame (tolerates handler-driven unwinding).
+    for (size_t i = stack.size(); i > 0; --i) {
+      if (stack[i - 1].ret_addr == ev.branch_target) {
+        stack.resize(i - 1);
+        return;
+      }
+    }
+    if (!stack.empty()) stack.pop_back();
+  }
+}
+
+void Tracer::on_api_enter(os::Process& p, os::Thread& t, u32 id, u64* args) {
+  if (p.pid() != proc_.pid()) return;
+  ApiCallRecord rec;
+  rec.api_id = id;
+  rec.call_site = t.cpu.pc - isa::kInstrBytes;
+  for (int i = 0; i < 6; ++i) rec.args[i] = args[i];
+  for (gva_t target : call_stack(t.tid)) {
+    rec.call_stack.push_back(target);
+    const vm::LoadedModule* m = p.machine().module_at(target);
+    rec.stack_modules.push_back(m != nullptr ? m->image->name : "?");
+  }
+  // The call site itself counts as a frame for module attribution.
+  const vm::LoadedModule* site_mod = p.machine().module_at(rec.call_site);
+  rec.stack_modules.push_back(site_mod != nullptr ? site_mod->image->name : "?");
+  api_calls_.push_back(std::move(rec));
+}
+
+void Tracer::on_api_exit(os::Process& p, os::Thread& t, u32 id, const u64* args, u64 ret,
+                         bool faulted) {
+  (void)t;
+  (void)args;
+  if (p.pid() != proc_.pid() || api_calls_.empty()) return;
+  ApiCallRecord& rec = api_calls_.back();
+  if (rec.api_id == id) {
+    rec.ret = ret;
+    rec.faulted = faulted;
+  }
+}
+
+void Tracer::on_syscall_exit(os::Process& p, os::Thread& t, os::Sys nr, const u64* args,
+                             i64 ret) {
+  if (p.pid() != proc_.pid()) return;
+  SyscallRecord rec;
+  rec.nr = nr;
+  for (int i = 0; i < 6; ++i) rec.args[i] = args[i];
+  rec.ret = ret;
+  rec.tid = t.tid;
+  syscalls_.push_back(rec);
+}
+
+}  // namespace crp::trace

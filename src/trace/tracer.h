@@ -1,0 +1,105 @@
+// Dynamic tracing (the DynamoRIO analog of §IV-B/C): execution coverage
+// with per-address hit counts, per-thread call stacks, and structured logs
+// of API calls and syscalls including the call-stack context they fired in.
+//
+// The browser analyses consume this to answer: which crash-resistant API
+// functions / guarded code regions appear on real execution paths, and
+// which of those are reachable from a scripting context (a call-stack frame
+// inside the script-engine module)?
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "os/kernel.h"
+#include "vm/hooks.h"
+
+namespace crp::trace {
+
+struct ApiCallRecord {
+  u32 api_id = 0;
+  gva_t call_site = 0;  // pc of the APICALL instruction
+  u64 args[6] = {};
+  u64 ret = 0;
+  bool faulted = false;
+  std::vector<gva_t> call_stack;       // frame target addresses, innermost last
+  std::vector<std::string> stack_modules;  // module name per frame
+};
+
+struct SyscallRecord {
+  os::Sys nr = os::Sys::kCount;
+  u64 args[6] = {};
+  i64 ret = 0;
+  int tid = 0;
+};
+
+class Tracer : public vm::ExecObserver, public os::KernelObserver {
+ public:
+  /// Attach to `proc`'s machine and to `kernel`.
+  Tracer(os::Kernel& kernel, os::Process& proc);
+  ~Tracer() override;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // --- coverage --------------------------------------------------------------
+
+  /// Times the instruction at `pc` retired.
+  u64 hit_count(gva_t pc) const;
+  /// Total hits over [begin, end) and whether any instruction there ran.
+  u64 hits_in_range(gva_t begin, gva_t end) const;
+  bool executed_in_range(gva_t begin, gva_t end) const;
+  size_t unique_pcs() const { return counts_.size(); }
+
+  // --- call stacks -------------------------------------------------------------
+
+  /// Current call stack (frame entry addresses) of thread `tid`.
+  std::vector<gva_t> call_stack(int tid) const;
+
+  // --- logs ------------------------------------------------------------------
+
+  const std::vector<ApiCallRecord>& api_calls() const { return api_calls_; }
+  const std::vector<SyscallRecord>& syscalls() const { return syscalls_; }
+  void clear_logs();
+
+  /// Optional recording of every guest memory address touched by regular
+  /// instructions (8-byte granules). The API call-site analysis uses it to
+  /// detect pointers that are also dereferenced *outside* the resistant
+  /// function (§V-B exclusion reason 2). Off by default (memory cost).
+  void set_record_mem_accesses(bool on) { record_mem_ = on; }
+  bool guest_touched(gva_t addr) const {
+    return mem_touched_.contains(addr & ~7ull);
+  }
+
+  /// True if any frame of `rec` lies in a module whose name contains `needle`.
+  static bool stack_touches_module(const ApiCallRecord& rec, const std::string& needle);
+
+  // --- observers -------------------------------------------------------------
+
+  void on_exec(const vm::ExecEvent& ev, const vm::Cpu& cpu) override;
+  void on_api_enter(os::Process& p, os::Thread& t, u32 id, u64* args) override;
+  void on_api_exit(os::Process& p, os::Thread& t, u32 id, const u64* args, u64 ret,
+                   bool faulted) override;
+  void on_syscall_exit(os::Process& p, os::Thread& t, os::Sys nr, const u64* args,
+                       i64 ret) override;
+
+ private:
+  struct Frame {
+    gva_t ret_addr = 0;
+    gva_t target = 0;
+  };
+
+  os::Kernel& kernel_;
+  os::Process& proc_;
+  std::map<gva_t, u64> counts_;  // ordered for range queries
+  std::unordered_map<int, std::vector<Frame>> stacks_;
+  bool record_mem_ = false;
+  std::set<gva_t> mem_touched_;  // 8-byte granules
+  std::vector<ApiCallRecord> api_calls_;
+  std::vector<SyscallRecord> syscalls_;
+};
+
+}  // namespace crp::trace

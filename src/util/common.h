@@ -1,0 +1,46 @@
+// Common small utilities shared across all CRProbe modules.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace crp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Guest virtual address.
+using gva_t = u64;
+
+/// Fatal invariant violation: print and abort. Used for programmer errors,
+/// never for guest-induced conditions (those surface as faults/status codes).
+[[noreturn]] void panic(const char* file, int line, const std::string& msg);
+
+#define CRP_PANIC(msg) ::crp::panic(__FILE__, __LINE__, (msg))
+
+#define CRP_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) ::crp::panic(__FILE__, __LINE__, "check failed: " #cond); \
+  } while (0)
+
+/// printf-style std::string formatter.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Align `v` down/up to a power-of-two boundary `a`.
+constexpr u64 align_down(u64 v, u64 a) { return v & ~(a - 1); }
+constexpr u64 align_up(u64 v, u64 a) { return (v + a - 1) & ~(a - 1); }
+
+/// Human-readable size, e.g. "4.0KiB".
+std::string human_size(u64 bytes);
+
+}  // namespace crp

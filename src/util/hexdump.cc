@@ -1,0 +1,34 @@
+#include "util/hexdump.h"
+
+namespace crp {
+
+std::string hexdump(std::span<const u8> bytes, u64 base) {
+  std::string out;
+  for (size_t off = 0; off < bytes.size(); off += 16) {
+    out += strf("%012llx  ", static_cast<unsigned long long>(base + off));
+    std::string ascii;
+    for (size_t i = 0; i < 16; ++i) {
+      if (off + i < bytes.size()) {
+        u8 b = bytes[off + i];
+        out += strf("%02x ", b);
+        ascii += (b >= 0x20 && b < 0x7f) ? static_cast<char>(b) : '.';
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out += ' ';
+    }
+    out += " |" + ascii + "|\n";
+  }
+  return out;
+}
+
+std::string hex_bytes(std::span<const u8> bytes) {
+  std::string out;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += strf("%02x", bytes[i]);
+  }
+  return out;
+}
+
+}  // namespace crp

@@ -1,0 +1,18 @@
+// Hexdump / byte formatting helpers for diagnostics and the disassembler.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "util/common.h"
+
+namespace crp {
+
+/// Classic 16-bytes-per-line hexdump with ASCII gutter; `base` is the
+/// address printed for the first byte.
+std::string hexdump(std::span<const u8> bytes, u64 base = 0);
+
+/// "de ad be ef" style byte string.
+std::string hex_bytes(std::span<const u8> bytes);
+
+}  // namespace crp

@@ -1,0 +1,90 @@
+// Interval map keyed by [begin, end) half-open u64 ranges with non-overlap
+// invariant. Used for module layout lookup, guarded-region lookup, and the
+// ground-truth page map in tests.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/common.h"
+
+namespace crp {
+
+template <typename V>
+class IntervalMap {
+ public:
+  struct Entry {
+    u64 begin = 0;
+    u64 end = 0;  // exclusive
+    V value{};
+  };
+
+  /// Insert [begin, end). Returns false (and does nothing) on overlap with an
+  /// existing interval or on an empty/inverted range.
+  bool insert(u64 begin, u64 end, V value) {
+    if (begin >= end) return false;
+    if (overlaps(begin, end)) return false;
+    map_.emplace(begin, Entry{begin, end, std::move(value)});
+    return true;
+  }
+
+  /// Remove the interval that starts exactly at `begin`; returns whether one existed.
+  bool erase_at(u64 begin) { return map_.erase(begin) > 0; }
+
+  /// Remove the interval containing `addr`; returns whether one existed.
+  bool erase_containing(u64 addr) {
+    auto* e = find(addr);
+    if (e == nullptr) return false;
+    return map_.erase(e->begin) > 0;
+  }
+
+  /// Find the entry containing `addr`, or nullptr.
+  const Entry* find(u64 addr) const {
+    auto it = map_.upper_bound(addr);
+    if (it == map_.begin()) return nullptr;
+    --it;
+    if (addr >= it->second.begin && addr < it->second.end) return &it->second;
+    return nullptr;
+  }
+
+  Entry* find(u64 addr) {
+    return const_cast<Entry*>(static_cast<const IntervalMap*>(this)->find(addr));
+  }
+
+  /// True if [begin, end) intersects any stored interval.
+  bool overlaps(u64 begin, u64 end) const {
+    if (begin >= end) return false;
+    auto it = map_.lower_bound(begin);
+    if (it != map_.end() && it->second.begin < end) return true;
+    if (it != map_.begin()) {
+      --it;
+      if (it->second.end > begin) return true;
+    }
+    return false;
+  }
+
+  /// All entries intersecting [begin, end), in address order.
+  std::vector<const Entry*> intersecting(u64 begin, u64 end) const {
+    std::vector<const Entry*> out;
+    if (begin >= end) return out;
+    auto it = map_.upper_bound(begin);
+    if (it != map_.begin()) --it;
+    for (; it != map_.end() && it->second.begin < end; ++it) {
+      if (it->second.end > begin) out.push_back(&it->second);
+    }
+    return out;
+  }
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+
+  auto begin() const { return map_.begin(); }
+  auto end() const { return map_.end(); }
+
+ private:
+  std::map<u64, Entry> map_;  // keyed by interval begin
+};
+
+}  // namespace crp

@@ -1,0 +1,30 @@
+#include "util/log.h"
+
+#include <atomic>
+
+namespace crp {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_line(LogLevel lvl, const char* tag, const std::string& msg) {
+  std::fprintf(stderr, "[%s %s] %s\n", level_name(lvl), tag, msg.c_str());
+}
+
+}  // namespace crp

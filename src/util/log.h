@@ -1,0 +1,32 @@
+// Minimal leveled logger. Global level, stderr sink, zero allocation when
+// the level is filtered out (callers guard with the macros below).
+#pragma once
+
+#include <string>
+
+#include "util/common.h"
+
+namespace crp {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide log level; defaults to kWarn so tests/benches stay quiet.
+void set_log_level(LogLevel lvl);
+LogLevel log_level();
+
+/// Emit one line (already formatted) at `lvl` with a module tag.
+void log_line(LogLevel lvl, const char* tag, const std::string& msg);
+
+#define CRP_LOG(lvl, tag, ...)                                      \
+  do {                                                              \
+    if (static_cast<int>(lvl) >= static_cast<int>(::crp::log_level())) \
+      ::crp::log_line((lvl), (tag), ::crp::strf(__VA_ARGS__));      \
+  } while (0)
+
+#define CRP_TRACE(tag, ...) CRP_LOG(::crp::LogLevel::kTrace, tag, __VA_ARGS__)
+#define CRP_DEBUG(tag, ...) CRP_LOG(::crp::LogLevel::kDebug, tag, __VA_ARGS__)
+#define CRP_INFO(tag, ...) CRP_LOG(::crp::LogLevel::kInfo, tag, __VA_ARGS__)
+#define CRP_WARN(tag, ...) CRP_LOG(::crp::LogLevel::kWarn, tag, __VA_ARGS__)
+#define CRP_ERROR(tag, ...) CRP_LOG(::crp::LogLevel::kError, tag, __VA_ARGS__)
+
+}  // namespace crp

@@ -1,0 +1,56 @@
+#include "util/rng.h"
+
+namespace crp {
+
+namespace {
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::reseed(u64 seed) {
+  u64 x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::below(u64 bound) {
+  CRP_CHECK(bound != 0);
+  // Rejection sampling to avoid modulo bias.
+  u64 threshold = (0 - bound) % bound;
+  for (;;) {
+    u64 r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+u64 Rng::range(u64 lo, u64 hi) {
+  CRP_CHECK(lo <= hi);
+  return lo + below(hi - lo + 1);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::uniform() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+}  // namespace crp

@@ -1,0 +1,53 @@
+// Deterministic PRNG (xoshiro256**) used everywhere randomness is needed,
+// so that corpus generation, fuzzing and workloads are reproducible.
+#pragma once
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace crp {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initialize the state from a single seed via splitmix64.
+  void reseed(u64 seed);
+
+  /// Uniform 64-bit value.
+  u64 next();
+
+  /// Uniform value in [0, bound) — bound must be nonzero.
+  u64 below(u64 bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi);
+
+  /// Bernoulli draw with probability `p` (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Pick a random element index of a container-sized range.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    CRP_CHECK(!v.empty());
+    return v[below(v.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = below(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  u64 s_[4];
+};
+
+}  // namespace crp

@@ -1,0 +1,48 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace crp {
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) {
+  cells.resize(header_.empty() ? cells.size() : header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<size_t> w(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) w[i] = std::max(w[i], r[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto sep = [&] {
+    std::string s = "+";
+    for (size_t i = 0; i < ncols; ++i) s += std::string(w[i] + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& r) {
+    std::string s = "|";
+    for (size_t i = 0; i < ncols; ++i) {
+      std::string c = i < r.size() ? r[i] : "";
+      s += " " + c + std::string(w[i] - c.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = sep();
+  if (!header_.empty()) {
+    out += line(header_);
+    out += sep();
+  }
+  for (const auto& r : rows_) out += line(r);
+  out += sep();
+  return out;
+}
+
+}  // namespace crp

@@ -1,0 +1,26 @@
+// ASCII table renderer used by the report module and every bench binary to
+// print paper-style tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace crp {
+
+class TextTable {
+ public:
+  /// Set the header row; defines the column count.
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row; must match the header width (shorter rows are padded).
+  void row(std::vector<std::string> cells);
+
+  /// Render with box-drawing separators.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crp

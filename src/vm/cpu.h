@@ -1,0 +1,53 @@
+// CPU register file and flags for one MiniVM hardware thread.
+#pragma once
+
+#include <array>
+
+#include "isa/isa.h"
+#include "util/common.h"
+
+namespace crp::vm {
+
+struct Cpu {
+  std::array<u64, isa::kNumRegs> regs{};
+  u64 pc = 0;
+  bool zf = false, sf = false, cf = false, of = false;
+
+  u64& reg(isa::Reg r) { return regs[static_cast<u8>(r)]; }
+  u64 reg(isa::Reg r) const { return regs[static_cast<u8>(r)]; }
+
+  u64& sp() { return reg(isa::Reg::SP); }
+  u64 sp() const { return reg(isa::Reg::SP); }
+
+  /// Pack flags into the low nibble (used by context save/restore).
+  u64 flags_word() const {
+    return (zf ? 1u : 0u) | (sf ? 2u : 0u) | (cf ? 4u : 0u) | (of ? 8u : 0u);
+  }
+  void set_flags_word(u64 w) {
+    zf = (w & 1) != 0;
+    sf = (w & 2) != 0;
+    cf = (w & 4) != 0;
+    of = (w & 8) != 0;
+  }
+
+  /// Evaluate a condition code against the current flags (x86-style).
+  bool eval(isa::Cond c) const {
+    using isa::Cond;
+    switch (c) {
+      case Cond::kEq: return zf;
+      case Cond::kNe: return !zf;
+      case Cond::kLt: return sf != of;
+      case Cond::kGe: return sf == of;
+      case Cond::kLe: return zf || sf != of;
+      case Cond::kGt: return !zf && sf == of;
+      case Cond::kUlt: return cf;
+      case Cond::kUge: return !cf;
+      case Cond::kUle: return cf || zf;
+      case Cond::kUgt: return !cf && !zf;
+      case Cond::kCount: break;
+    }
+    return false;
+  }
+};
+
+}  // namespace crp::vm

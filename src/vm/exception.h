@@ -1,0 +1,68 @@
+// Exception model: codes, records, dispatch outcomes, and the in-guest
+// EXCEPTION_RECORD/context layout shared between the VM, exception filters,
+// VEH handlers and signal handlers.
+#pragma once
+
+#include "mem/address_space.h"
+#include "util/common.h"
+
+namespace crp::vm {
+
+/// Exception codes; values mirror NT status codes so authored filters can
+/// compare against familiar constants.
+enum class ExcCode : u32 {
+  kAccessViolation = 0xC0000005,
+  kIllegalInstruction = 0xC000001D,
+  kIntDivideByZero = 0xC0000094,
+  kStackOverflow = 0xC00000FD,
+  kGuardPage = 0x80000001,
+  kSoftware = 0xE0000001,  // program-raised (RaiseException / C++ throw analog)
+};
+
+const char* exc_name(ExcCode c);
+
+/// Everything known about one exception at dispatch time.
+struct ExceptionRecord {
+  ExcCode code = ExcCode::kAccessViolation;
+  gva_t fault_pc = 0;
+  gva_t fault_addr = 0;          // faulting data address (AV only)
+  mem::Access access = mem::Access::kRead;
+};
+
+/// SEH filter dispositions (values as on Windows).
+inline constexpr i64 kExceptionExecuteHandler = 1;
+inline constexpr i64 kExceptionContinueSearch = 0;
+inline constexpr i64 kExceptionContinueExecution = -1;
+
+/// How a dispatched exception was resolved (reported to observers; the
+/// RateDetector defense and the coverage tracer both subscribe to this).
+enum class DispatchOutcome : u8 {
+  kUnhandled = 0,       // no handler accepted it -> crash
+  kSehHandler,          // a scope filter returned EXECUTE_HANDLER
+  kSehContinue,         // a scope filter returned CONTINUE_EXECUTION
+  kVehContinue,         // a vectored handler resolved it
+  kSignalHandler,       // a Linux signal handler resolved it
+  kSwallowed,           // suppressed with no notification to the program (§III-C)
+};
+
+const char* dispatch_outcome_name(DispatchOutcome o);
+
+// In-guest exception record + context layout (all fields u64, little-endian):
+//   +0   exception code
+//   +8   fault pc
+//   +16  fault address
+//   +24  access kind (0=read 1=write 2=exec)
+//   +32  saved regs r0..r15 (16 * 8 bytes)
+//   +160 saved pc
+//   +168 saved flags word
+// Handlers may edit the saved context; CONTINUE_EXECUTION reloads it.
+inline constexpr u64 kExcRecCode = 0;
+inline constexpr u64 kExcRecPc = 8;
+inline constexpr u64 kExcRecAddr = 16;
+inline constexpr u64 kExcRecAccess = 24;
+inline constexpr u64 kExcRecRegs = 32;
+inline constexpr u64 kExcRecCtxPc = 160;
+inline constexpr u64 kExcRecCtxFlags = 168;
+inline constexpr u64 kExcRecSize = 176;
+
+}  // namespace crp::vm

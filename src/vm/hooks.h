@@ -1,0 +1,60 @@
+// Instrumentation hook interface — the DynamoRIO analog.
+//
+// Observers attach to a Machine and receive one event per retired
+// instruction plus exception-dispatch events. The taint engine, the
+// coverage/call tracer and the rate-based defense are all observers.
+#pragma once
+
+#include "isa/isa.h"
+#include "vm/cpu.h"
+#include "vm/exception.h"
+
+namespace crp::vm {
+
+/// One retired (or faulted) instruction.
+struct ExecEvent {
+  gva_t pc = 0;
+  isa::Instr ins{};
+  // Memory effect of the instruction (mem_size == 0 when none). For push/
+  // call this is the store of the return value/register; for pop/ret the
+  // stack load.
+  gva_t mem_addr = 0;
+  u8 mem_size = 0;
+  bool mem_write = false;
+  // Control flow: resolved target for taken branches/calls/ret.
+  bool is_call = false;
+  bool is_ret = false;
+  bool branch_taken = false;
+  gva_t branch_target = 0;
+  // The instruction faulted (event delivered before exception dispatch).
+  bool faulted = false;
+};
+
+class ExecObserver {
+ public:
+  virtual ~ExecObserver() = default;
+
+  /// After each instruction executes (or faults). `cpu` is post-state for
+  /// retired instructions, pre-dispatch state for faulted ones.
+  virtual void on_exec(const ExecEvent& ev, const Cpu& cpu) {
+    (void)ev;
+    (void)cpu;
+  }
+
+  /// After exception dispatch concluded.
+  virtual void on_exception(const ExceptionRecord& rec, DispatchOutcome outcome) {
+    (void)rec;
+    (void)outcome;
+  }
+
+  /// A scope filter / VEH handler / signal handler ran and returned
+  /// `disposition` (filter semantics) for the exception at `rec`.
+  /// `handler_pc` is the guest entry of the filter.
+  virtual void on_filter(gva_t handler_pc, const ExceptionRecord& rec, i64 disposition) {
+    (void)handler_pc;
+    (void)rec;
+    (void)disposition;
+  }
+};
+
+}  // namespace crp::vm

@@ -1,0 +1,167 @@
+// The Machine: one guest process image — address space, loaded modules,
+// exception machinery, personality — plus the interpreter that advances a
+// Cpu context one instruction at a time.
+//
+// Threads and scheduling live in crp::os; the Machine is deliberately
+// thread-agnostic: step(cpu) advances whichever context the scheduler hands
+// it, and exception dispatch (including nested filter execution) happens
+// synchronously inside step.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "mem/address_space.h"
+#include "mem/layout.h"
+#include "vm/cpu.h"
+#include "vm/exception.h"
+#include "vm/hooks.h"
+#include "vm/module.h"
+
+namespace crp::vm {
+
+/// OS personality of the process: selects trap instruction availability and
+/// exception dispatch strategy (SEH/VEH vs signals).
+enum class Personality : u8 { kLinux = 0, kWindows = 1 };
+
+/// Why step() returned.
+enum class StepKind : u8 {
+  kOk = 0,       // one instruction retired (possibly via a handled exception)
+  kHalt,         // kHalt executed
+  kSyscallTrap,  // Linux syscall: OS layer must service and resume
+  kApiTrap,      // Windows API call: OS layer must service and resume
+  kCrash,        // unhandled exception -> process death
+};
+
+struct StepResult {
+  StepKind kind = StepKind::kOk;
+  ExceptionRecord exc{};  // valid for kCrash
+  i64 api_id = 0;         // valid for kApiTrap
+};
+
+/// Counters the defense experiments read.
+struct ExceptionStats {
+  u64 total = 0;
+  u64 handled_seh = 0;
+  u64 handled_veh = 0;
+  u64 handled_signal = 0;
+  u64 continued = 0;
+  u64 unhandled = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(Personality personality, u64 aslr_seed = 1,
+                   mem::AslrConfig aslr = {});
+
+  Personality personality() const { return personality_; }
+  mem::AddressSpace& mem() { return mem_; }
+  const mem::AddressSpace& mem() const { return mem_; }
+  mem::AslrLayout& layout() { return layout_; }
+  const mem::AslrLayout& layout() const { return layout_; }
+
+  // --- loading --------------------------------------------------------------
+
+  /// Map an image at a randomized base, resolving imports against already
+  /// loaded modules (two-pass loading: load DLLs first, then executables).
+  /// Returns the module index.
+  size_t load_image(std::shared_ptr<const isa::Image> image);
+
+  const std::vector<LoadedModule>& modules() const { return modules_; }
+  const LoadedModule* module_named(const std::string& name) const;
+  /// Module whose code section contains `pc`, or nullptr.
+  const LoadedModule* module_at(gva_t pc) const;
+  /// Resolve "module!symbol" to a runtime address (0 if not found).
+  gva_t resolve(const std::string& module, const std::string& symbol) const;
+
+  // --- execution ------------------------------------------------------------
+
+  /// Execute one instruction of `cpu`. Exceptions raised by the instruction
+  /// are dispatched internally; only unhandled ones surface as kCrash.
+  StepResult step(Cpu& cpu);
+
+  /// Run until halt/crash/trap or `max_steps` spent. Returns the last step
+  /// result (kOk means the budget ran out).
+  StepResult run(Cpu& cpu, u64 max_steps);
+
+  /// Call a guest subroutine to completion on a temporary context derived
+  /// from `cpu` (shares memory, own register file). Used by exception
+  /// dispatch for filters and by the OS layer for callbacks. Returns R0, or
+  /// nullopt if the subroutine crashed or exceeded `max_steps`.
+  std::optional<u64> call_subroutine(const Cpu& base, gva_t entry,
+                                     std::initializer_list<u64> args, u64 max_steps = 200000);
+
+  /// Dispatch an externally raised exception (e.g. a fault inside a Windows
+  /// API body attributed to the calling instruction). On success, `cpu` is
+  /// updated to the resume point and true is returned; false means the
+  /// exception is unhandled (process should die).
+  bool dispatch_exception(Cpu& cpu, const ExceptionRecord& rec);
+
+  // --- exception machinery configuration -------------------------------------
+
+  /// Register a vectored exception handler (AddVectoredExceptionHandler).
+  void add_veh(gva_t handler);
+  void remove_veh(gva_t handler);
+  const std::vector<gva_t>& veh_chain() const { return veh_; }
+
+  /// Install a Linux signal handler (0 = SIG_DFL). Only SIGSEGV (11),
+  /// SIGBUS (7) and SIGFPE (8) participate in exception dispatch.
+  void set_signal_handler(int signo, gva_t handler);
+  gva_t signal_handler(int signo) const;
+
+  /// §VII "Restricting access violations": when enabled, an AV whose fault
+  /// address is *unmapped* bypasses all handlers and kills the process;
+  /// only permission faults on mapped memory remain handleable.
+  void set_mapped_only_av_policy(bool on) { mapped_only_av_ = on; }
+  bool mapped_only_av_policy() const { return mapped_only_av_; }
+
+  const ExceptionStats& exception_stats() const { return exc_stats_; }
+
+  // --- observers ------------------------------------------------------------
+
+  void add_observer(ExecObserver* obs);
+  void remove_observer(ExecObserver* obs);
+
+  /// Total instructions retired across all contexts.
+  u64 instret() const { return instret_; }
+
+ private:
+  struct ExecOutcome {
+    bool ok = true;
+    ExceptionRecord exc{};
+    StepResult trap{};  // kind != kOk when the instruction trapped/halted
+  };
+
+  ExecOutcome execute(Cpu& cpu, const isa::Instr& ins, gva_t pc, ExecEvent& ev);
+  bool dispatch(Cpu& cpu, const ExceptionRecord& rec, int depth);
+  /// Write the exception record + context below the context's stack;
+  /// returns the guest address, or 0 if the stack is unusable.
+  gva_t write_exc_record(const Cpu& cpu, const ExceptionRecord& rec);
+  void reload_context(Cpu& cpu, gva_t rec_addr);
+  std::optional<i64> run_filter(const Cpu& at_fault, gva_t entry, const ExceptionRecord& rec,
+                                gva_t rec_addr, int depth);
+  void notify_exec(const ExecEvent& ev, const Cpu& cpu);
+  void notify_exception(const ExceptionRecord& rec, DispatchOutcome outcome);
+  void notify_filter(gva_t handler, const ExceptionRecord& rec, i64 disp);
+
+  Personality personality_;
+  mem::AddressSpace mem_;
+  mem::AslrLayout layout_;
+  std::vector<LoadedModule> modules_;
+  std::vector<gva_t> veh_;
+  gva_t sig_handlers_[32] = {};
+  bool mapped_only_av_ = false;
+  ExceptionStats exc_stats_;
+  std::vector<ExecObserver*> observers_;
+  u64 instret_ = 0;
+  int nest_depth_ = 0;
+};
+
+/// Sentinel return address used by call_subroutine / filter execution.
+inline constexpr gva_t kSentinelRet = 0xFFFF'FFFF'FFFF'F000ull;
+
+}  // namespace crp::vm

@@ -1,0 +1,48 @@
+#include "vm/module.h"
+
+#include <algorithm>
+
+namespace crp::vm {
+
+gva_t LoadedModule::code_base() const {
+  int cs = image->code_section();
+  CRP_CHECK(cs >= 0);
+  return section_base[static_cast<size_t>(cs)];
+}
+
+gva_t LoadedModule::code_end() const {
+  int cs = image->code_section();
+  CRP_CHECK(cs >= 0);
+  const auto& sec = image->sections[static_cast<size_t>(cs)];
+  return code_base() + std::max<u64>(sec.vsize, sec.bytes.size());
+}
+
+bool LoadedModule::contains_code(gva_t addr) const {
+  if (image->code_section() < 0) return false;
+  return addr >= code_base() && addr < code_end();
+}
+
+gva_t LoadedModule::export_addr(const std::string& name) const {
+  const auto* e = image->find_export(name);
+  return e != nullptr ? code_addr(e->offset) : 0;
+}
+
+gva_t LoadedModule::symbol_addr(const std::string& name) const {
+  const auto* s = image->find_symbol(name);
+  if (s == nullptr) return 0;
+  return section_base[s->section] + s->offset;
+}
+
+std::vector<const isa::ScopeEntry*> LoadedModule::scopes_at(gva_t pc) const {
+  std::vector<const isa::ScopeEntry*> out;
+  if (!contains_code(pc)) return out;
+  u64 off = pc - code_base();
+  for (const auto& sc : image->scopes)
+    if (off >= sc.begin && off < sc.end) out.push_back(&sc);
+  std::sort(out.begin(), out.end(), [](const isa::ScopeEntry* a, const isa::ScopeEntry* b) {
+    return (a->end - a->begin) < (b->end - b->begin);
+  });
+  return out;
+}
+
+}  // namespace crp::vm

@@ -1,0 +1,38 @@
+// Loaded-module bookkeeping: where each image landed under ASLR, resolved
+// import slots, and scope-table lookup against runtime addresses.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "util/common.h"
+
+namespace crp::vm {
+
+struct LoadedModule {
+  std::shared_ptr<const isa::Image> image;
+  gva_t base = 0;                    // base of first section
+  std::vector<gva_t> section_base;   // runtime base per section
+  std::vector<gva_t> import_addr;    // resolved address per import (0 = unresolved)
+
+  gva_t code_base() const;
+  gva_t code_end() const;
+  bool contains_code(gva_t addr) const;
+
+  /// Runtime address of a code-section offset.
+  gva_t code_addr(u64 offset) const { return code_base() + offset; }
+
+  /// Runtime address of an exported function, or 0.
+  gva_t export_addr(const std::string& name) const;
+
+  /// Runtime address of a named symbol (code or data), or 0.
+  gva_t symbol_addr(const std::string& name) const;
+
+  /// Scope entries whose guarded range contains `pc`, innermost (smallest)
+  /// first — the dispatch order for nested __try blocks.
+  std::vector<const isa::ScopeEntry*> scopes_at(gva_t pc) const;
+};
+
+}  // namespace crp::vm

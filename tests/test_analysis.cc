@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/api_analysis.h"
+#include "analysis/report.h"
+#include "analysis/seh_analysis.h"
+#include "analysis/veh_scanner.h"
+#include "isa/assembler.h"
+#include "os/kernel.h"
+#include "trace/tracer.h"
+
+namespace crp::analysis {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Reg;
+
+constexpr i64 kAv = static_cast<i64>(0xC0000005);
+
+isa::Image mixed_handlers_image() {
+  Assembler a("libmixed");
+  a.set_dll(true);
+  a.label("fn");
+  a.label("g1_b");
+  a.nop();
+  a.label("g1_e");
+  a.label("g2_b");
+  a.nop();
+  a.label("g2_e");
+  a.label("g3_b");
+  a.nop();
+  a.label("g3_e");
+  a.ret();
+  a.export_fn("fn", "fn");
+  a.label("h");
+  a.ret();
+  // Filter 1: AV-only (accepts).
+  a.label("f_av");
+  a.cmpi(Reg::R1, kAv);
+  a.jcc(Cond::kEq, "f_av_y");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.label("f_av_y");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  // Filter 2: divide-by-zero only (rejects AV).
+  a.label("f_div");
+  a.cmpi(Reg::R1, static_cast<i64>(0xC0000094));
+  a.jcc(Cond::kEq, "f_div_y");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.label("f_div_y");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  a.scope("g1_b", "g1_e", "f_av", "h");
+  a.scope("g2_b", "g2_e", "f_div", "h");
+  a.scope("g3_b", "g3_e", "", "h");  // catch-all
+  return a.build();
+}
+
+TEST(SehExtractor, ParsesScopeTablesFromBytes) {
+  SehExtractor ex;
+  auto bytes = isa::write_image(mixed_handlers_image());
+  ASSERT_TRUE(ex.add_image_bytes(bytes));
+  EXPECT_EQ(ex.handlers().size(), 3u);
+  EXPECT_EQ(ex.unique_filters().size(), 2u);  // catch-all is not a function
+  EXPECT_EQ(ex.handlers_in("libmixed").size(), 3u);
+  EXPECT_TRUE(ex.handlers_in("nosuch").empty());
+  int catch_all = 0;
+  for (const auto& h : ex.handlers()) catch_all += h.catch_all ? 1 : 0;
+  EXPECT_EQ(catch_all, 1);
+}
+
+TEST(SehExtractor, RejectsGarbageBytes) {
+  SehExtractor ex;
+  std::vector<u8> junk(100, 0x5a);
+  EXPECT_FALSE(ex.add_image_bytes(junk));
+  EXPECT_TRUE(ex.handlers().empty());
+}
+
+TEST(FilterClassifier, ClassifiesMixedPopulation) {
+  SehExtractor ex;
+  ex.add_image(std::make_shared<isa::Image>(mixed_handlers_image()));
+  FilterClassifier fc;
+  auto filters = fc.classify_all(ex);
+  // 2 real filters + 1 synthetic catch-all row.
+  ASSERT_EQ(filters.size(), 3u);
+  int accepts = 0, rejects = 0;
+  for (const auto& f : filters) {
+    if (f.offset == isa::kFilterCatchAll) {
+      EXPECT_EQ(f.verdict, FilterVerdict::kAcceptsAv);
+      continue;
+    }
+    if (f.verdict == FilterVerdict::kAcceptsAv) ++accepts;
+    if (f.verdict == FilterVerdict::kRejectsAv) ++rejects;
+  }
+  EXPECT_EQ(accepts, 1);
+  EXPECT_EQ(rejects, 1);
+  EXPECT_GE(fc.filters_executed(), 2u);
+}
+
+TEST(CoverageXref, StaticOnlyCounts) {
+  SehExtractor ex;
+  ex.add_image(std::make_shared<isa::Image>(mixed_handlers_image()));
+  FilterClassifier fc;
+  auto filters = fc.classify_all(ex);
+  auto stats = CoverageXref::compute(ex, filters, nullptr, nullptr);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].module, "libmixed");
+  EXPECT_EQ(stats[0].guarded_total, 3u);
+  EXPECT_EQ(stats[0].guarded_av_capable, 2u);  // AV filter + catch-all
+  EXPECT_EQ(stats[0].guarded_on_path, 0u);     // no tracer
+  EXPECT_EQ(stats[0].filters_total, 2u);
+  EXPECT_EQ(stats[0].filters_av_capable, 1u);
+}
+
+TEST(CoverageXref, DynamicOnPath) {
+  // Execute only the fn containing the guards; all three guarded regions run.
+  auto img = std::make_shared<isa::Image>(mixed_handlers_image());
+  os::Kernel k;
+  int pid = k.create_process("host", vm::Personality::kWindows, 9);
+  k.proc(pid).load(img);
+  // Host app calling libmixed!fn... build a tiny app.
+  Assembler app("app");
+  app.label("e");
+  app.call_import("libmixed", "fn");
+  app.halt();
+  app.set_entry("e");
+  k.proc(pid).load(std::make_shared<isa::Image>(app.build()));
+  k.start_process(pid);
+  trace::Tracer tracer(k, k.proc(pid));
+  k.run(10000);
+
+  SehExtractor ex;
+  ex.add_image(img);
+  FilterClassifier fc;
+  auto filters = fc.classify_all(ex);
+  auto stats = CoverageXref::compute(ex, filters, &tracer, &k.proc(pid));
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].guarded_on_path, 2u);  // both AV-capable guards executed
+  EXPECT_GT(stats[0].trigger_events, 0u);
+
+  auto cands = CoverageXref::candidates(ex, filters, &tracer, &k.proc(pid), "app");
+  EXPECT_EQ(cands.size(), 2u);
+  for (const auto& c : cands) EXPECT_EQ(c.cls, PrimitiveClass::kExceptionHandler);
+}
+
+TEST(ApiFuzzer, SeparatesResistantFromFaulting) {
+  os::Kernel k;
+  // 200 synthetic APIs: 100% pointer-taking, 40% resistant.
+  k.winapi().generate_population(31337, 200, 1.0, 0.4);
+  ApiFuzzer fuzzer;
+  ApiFuzzResult res = fuzzer.fuzz_all(k);
+  // Base APIs + population.
+  EXPECT_GT(res.total_apis, 200u);
+  EXPECT_GE(res.with_pointer_args, 190u);
+  // Fuzz verdicts must match the generator's ground-truth behaviors exactly.
+  for (const auto& [id, spec] : k.winapi().all()) {
+    if (id < os::kApiPopulationBase || !spec.has_pointer_arg()) continue;
+    bool expected = spec.behavior == os::ApiBehavior::kValidating ||
+                    spec.behavior == os::ApiBehavior::kGuardedDeref ||
+                    spec.behavior == os::ApiBehavior::kQuery;
+    EXPECT_EQ(res.crash_resistant.contains(id), expected) << spec.name;
+  }
+}
+
+TEST(ApiFuzzer, PopulationRatiosMatchRequest) {
+  os::Kernel k;
+  k.winapi().generate_population(7, 2000, 0.557, 0.035);
+  u32 with_ptr = 0, resistant = 0;
+  for (const auto& [id, spec] : k.winapi().all()) {
+    if (id < os::kApiPopulationBase) continue;
+    if (!spec.has_pointer_arg()) continue;
+    ++with_ptr;
+    if (spec.behavior != os::ApiBehavior::kUncheckedDeref) ++resistant;
+  }
+  EXPECT_NEAR(with_ptr / 2000.0, 0.557, 0.05);
+  EXPECT_NEAR(static_cast<double>(resistant) / with_ptr, 0.035, 0.02);
+}
+
+TEST(ApiCallSiteTracer, ClassifiesExclusionReasons) {
+  os::Kernel k;
+  // One validating (crash-resistant) API taking a pointer.
+  os::ApiSpec api;
+  api.id = 500;
+  api.name = "NiceApi";
+  api.args = {os::ArgKind::kPtrIn};
+  api.ptr_sizes = {8};
+  api.behavior = os::ApiBehavior::kValidating;
+  k.winapi().add(api);
+
+  // App: calls NiceApi 3 ways — with a stack pointer, with a heap pointer
+  // that guest code also dereferences, and with a referenced heap pointer.
+  Assembler a("app");
+  a.label("e");
+  // (1) stack pointer
+  a.mov(Reg::R1, Reg::SP);
+  a.subi(Reg::R1, 64);
+  a.label("site1");
+  a.apicall(500);
+  // (2) heap pointer, also dereferenced by guest code
+  a.movi(Reg::R1, 4096);
+  a.apicall(os::kApiHeapAlloc);
+  a.mov(Reg::R7, Reg::R0);
+  a.load(Reg::R3, Reg::R7, 8);  // guest deref
+  a.mov(Reg::R1, Reg::R7);
+  a.label("site2");
+  a.apicall(500);
+  // (3) heap pointer stored in a global (referenced), never guest-derefed
+  a.movi(Reg::R1, 4096);
+  a.apicall(os::kApiHeapAlloc);
+  a.lea_pc(Reg::R2, "gref");
+  a.store(Reg::R2, 0, Reg::R0, 8);
+  a.mov(Reg::R1, Reg::R0);
+  a.label("site3");
+  a.apicall(500);
+  a.halt();
+  a.set_entry("e");
+  a.data_u64("gref", 0);
+
+  int pid = k.create_process("app", vm::Personality::kWindows, 11);
+  k.proc(pid).load(std::make_shared<isa::Image>(a.build()));
+  k.start_process(pid);
+  trace::Tracer tracer(k, k.proc(pid));
+  tracer.set_record_mem_accesses(true);
+  k.run(50000);
+  ASSERT_FALSE(k.proc(pid).exit_info().crashed);
+
+  std::set<u32> resistant = {500};
+  auto sites = ApiCallSiteTracer::analyze(tracer, resistant, k, k.proc(pid), "jscript");
+  ASSERT_EQ(sites.size(), 3u);
+  const auto& mod = k.proc(pid).machine().modules()[0];
+  auto find_site = [&](const char* label) -> const ApiSiteInfo* {
+    gva_t want = mod.symbol_addr(label);
+    for (const auto& s : sites)
+      if (s.call_site == want) return &s;
+    return nullptr;
+  };
+  ASSERT_NE(find_site("site1"), nullptr);
+  EXPECT_EQ(find_site("site1")->exclusion, ExclusionReason::kStackPointer);
+  ASSERT_NE(find_site("site2"), nullptr);
+  EXPECT_EQ(find_site("site2")->exclusion, ExclusionReason::kDerefedOutside);
+  ASSERT_NE(find_site("site3"), nullptr);
+  EXPECT_EQ(find_site("site3")->exclusion, ExclusionReason::kNone);  // controllable
+  for (const auto& s : sites) EXPECT_FALSE(s.script_triggerable);
+}
+
+TEST(VehScanner, FindsRuntimeRegisteredAvHandler) {
+  // App registers two VEHs: one that resolves AVs (skip + continue), one
+  // that never does. Only the first must be reported AV-capable.
+  Assembler a("app");
+  a.label("e");
+  a.movi(Reg::R1, 1);
+  a.lea_pc(Reg::R2, "veh_good");
+  a.apicall(os::kApiAddVeh);
+  a.movi(Reg::R1, 1);
+  a.lea_pc(Reg::R2, "veh_pass");
+  a.apicall(os::kApiAddVeh);
+  a.halt();
+  a.label("veh_good");  // R1 = &record
+  a.load(Reg::R3, Reg::R1, 8, 0);
+  a.cmpi(Reg::R3, kAv);
+  a.jcc(Cond::kNe, "vg_no");
+  a.load(Reg::R3, Reg::R1, 8, 160);
+  a.addi(Reg::R3, 16);
+  a.store(Reg::R1, 160, Reg::R3, 8);
+  a.movi(Reg::R0, -1);
+  a.ret();
+  a.label("vg_no");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.label("veh_pass");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.set_entry("e");
+
+  os::Kernel k;
+  int pid = k.create_process("app", vm::Personality::kWindows, 13);
+  k.proc(pid).load(std::make_shared<isa::Image>(a.build()));
+  k.start_process(pid);
+  trace::Tracer tracer(k, k.proc(pid));
+  k.run(10000);
+
+  auto handlers = VehScanner::scan(tracer, k.proc(pid));
+  ASSERT_EQ(handlers.size(), 2u);
+  int accepts = 0;
+  for (const auto& h : handlers) {
+    EXPECT_EQ(h.module, "app");
+    if (h.verdict == FilterVerdict::kAcceptsAv) ++accepts;
+  }
+  EXPECT_EQ(accepts, 1);
+  auto cands = VehScanner::candidates(handlers, "app");
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].cls, PrimitiveClass::kExceptionHandler);
+}
+
+TEST(Report, Table1Rendering) {
+  std::map<std::string, SyscallScanResult> results;
+  SyscallScanResult r;
+  r.observed = {os::Sys::kRecv, os::Sys::kOpen};
+  Candidate c;
+  c.syscall = os::Sys::kRecv;
+  c.pointer_arg = 2;
+  c.verdict = Verdict::kUsable;
+  r.candidates.push_back(c);
+  results["srv"] = r;
+  std::string out = render_table1({"srv"}, results);
+  EXPECT_NE(out.find("recv"), std::string::npos);
+  EXPECT_NE(out.find("(+)"), std::string::npos);
+  EXPECT_NE(out.find("open"), std::string::npos);
+  // Unobserved syscalls are not rendered as rows with data.
+  EXPECT_EQ(out.find("sendmsg"), std::string::npos);
+}
+
+TEST(Report, FunnelRendering) {
+  ApiFunnel f;
+  f.total = 20672;
+  f.with_pointer = 11521;
+  f.crash_resistant = 400;
+  f.on_execution_path = 25;
+  f.script_triggerable = 12;
+  f.controllable = 0;
+  f.exclusion_histogram["stack-pointer"] = 5;
+  std::string out = render_api_funnel(f);
+  EXPECT_NE(out.find("20672"), std::string::npos);
+  EXPECT_NE(out.find("55.7%"), std::string::npos);
+  EXPECT_NE(out.find("stack-pointer"), std::string::npos);
+}
+
+TEST(Candidates, DescribeIsHumanReadable) {
+  Candidate c;
+  c.cls = PrimitiveClass::kSyscall;
+  c.target = "nginx_sim";
+  c.syscall = os::Sys::kRecv;
+  c.pointer_arg = 2;
+  c.verdict = Verdict::kUsable;
+  std::string s = c.describe();
+  EXPECT_NE(s.find("nginx_sim"), std::string::npos);
+  EXPECT_NE(s.find("recv"), std::string::npos);
+  EXPECT_NE(s.find("usable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crp::analysis

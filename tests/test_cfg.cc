@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "analysis/guard_audit.h"
+#include "cfg/cfg.h"
+#include "isa/assembler.h"
+#include "targets/dll_corpus.h"
+
+namespace crp::cfg {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Reg;
+
+isa::Image diamond_image() {
+  // entry: cmp; jcc -> then | else; join: ret
+  Assembler a("d");
+  a.label("entry");
+  a.cmpi(Reg::R1, 5);          // 0
+  a.jcc(Cond::kEq, "then");    // 16
+  a.movi(Reg::R2, 1);          // 32  (else)
+  a.jmp("join");               // 48
+  a.label("then");
+  a.movi(Reg::R2, 2);          // 64
+  a.label("join");
+  a.ret();                     // 80
+  a.set_entry("entry");
+  return a.build();
+}
+
+TEST(Cfg, DiamondBlocks) {
+  isa::Image img = diamond_image();
+  Cfg cfg = Cfg::build(img, {0});
+  // Blocks: [0,32) branch, [32,64) jump, [64,80) fallthrough, [80,96) ret.
+  ASSERT_EQ(cfg.blocks().size(), 4u);
+  const BasicBlock* head = cfg.block_at(0);
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->term, Terminator::kBranch);
+  ASSERT_EQ(head->succs.size(), 2u);
+  EXPECT_EQ(head->succs[0], 64u);  // taken
+  EXPECT_EQ(head->succs[1], 32u);  // fallthrough
+  const BasicBlock* els = cfg.block_at(32);
+  ASSERT_NE(els, nullptr);
+  EXPECT_EQ(els->term, Terminator::kJump);
+  ASSERT_EQ(els->succs.size(), 1u);
+  EXPECT_EQ(els->succs[0], 80u);
+  const BasicBlock* then_b = cfg.block_at(64);
+  ASSERT_NE(then_b, nullptr);
+  EXPECT_EQ(then_b->term, Terminator::kFallthrough);
+  const BasicBlock* join = cfg.block_at(80);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->term, Terminator::kReturn);
+  EXPECT_TRUE(join->succs.empty());
+}
+
+TEST(Cfg, BlockAtMidInstruction) {
+  isa::Image img = diamond_image();
+  Cfg cfg = Cfg::build(img, {0});
+  EXPECT_EQ(cfg.block_at(16), cfg.block_at(0));   // same block
+  EXPECT_EQ(cfg.block_at(4096), nullptr);
+}
+
+TEST(Cfg, CallDiscoversFunctions) {
+  Assembler a("c");
+  a.label("entry");
+  a.call("helper");
+  a.halt();
+  a.label("helper");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.ret();
+  a.set_entry("entry");
+  isa::Image img = a.build();
+  Cfg cfg = Cfg::build(img, {0});
+  EXPECT_TRUE(cfg.function_entries().contains(0));
+  EXPECT_TRUE(cfg.function_entries().contains(img.find_symbol("helper")->offset));
+  const BasicBlock* entry = cfg.block_at(0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->term, Terminator::kCall);
+  ASSERT_EQ(entry->call_targets.size(), 1u);
+}
+
+TEST(Cfg, LoadsAndStoresCounted) {
+  Assembler a("m");
+  a.label("e");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.store(Reg::R3, 0, Reg::R1, 8);
+  a.push(Reg::R1);
+  a.pop(Reg::R1);
+  a.ret();
+  a.set_entry("e");
+  Cfg cfg = Cfg::build(a.build(), {0});
+  const BasicBlock* bb = cfg.block_at(0);
+  ASSERT_NE(bb, nullptr);
+  EXPECT_EQ(bb->loads, 3);   // load, pop, ret
+  EXPECT_EQ(bb->stores, 2);  // store, push
+  EXPECT_TRUE(cfg.derefs_in(0, bb->end));
+}
+
+TEST(Cfg, DerefsInDistinguishesExplicitAccess) {
+  Assembler a("m");
+  a.label("e");
+  a.label("region1");
+  a.push(Reg::R1);  // stack only — not an attacker-steerable dereference
+  a.pop(Reg::R1);
+  a.label("region1_end");
+  a.load(Reg::R2, Reg::R3, 8);
+  a.label("region2_end");
+  a.ret();
+  a.set_entry("e");
+  isa::Image img = a.build();
+  Cfg cfg = Cfg::build(img, {0});
+  u64 r1 = img.find_symbol("region1")->offset;
+  u64 r1e = img.find_symbol("region1_end")->offset;
+  u64 r2e = img.find_symbol("region2_end")->offset;
+  EXPECT_FALSE(cfg.derefs_in(r1, r1e));
+  EXPECT_TRUE(cfg.derefs_in(r1e, r2e));
+}
+
+TEST(Cfg, UnreachableCodeNotDecoded) {
+  Assembler a("u");
+  a.label("e");
+  a.ret();
+  a.label("dead");
+  a.movi(Reg::R1, 1);
+  a.ret();
+  a.set_entry("e");
+  Cfg cfg = Cfg::build(a.build(), {0});
+  EXPECT_EQ(cfg.blocks().size(), 1u);
+  EXPECT_EQ(cfg.block_at(16), nullptr);
+}
+
+TEST(Cfg, BuildAllUsesScopeRoots) {
+  Assembler a("s");
+  a.set_dll(true);
+  a.label("fn");  // not exported, only reachable via scope table
+  a.label("g_b");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.label("g_e");
+  a.ret();
+  a.label("h");
+  a.ret();
+  a.label("flt");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  a.scope("g_b", "g_e", "flt", "h");
+  Cfg cfg = Cfg::build_all(a.build());
+  EXPECT_NE(cfg.block_at(0), nullptr);  // guarded region decoded
+  EXPECT_GE(cfg.blocks().size(), 3u);   // region, handler, filter
+}
+
+TEST(Cfg, InvalidRootsIgnored) {
+  Cfg cfg = Cfg::build(diamond_image(), {999999, 7});
+  EXPECT_TRUE(cfg.blocks().empty());
+}
+
+}  // namespace
+}  // namespace crp::cfg
+
+namespace crp::analysis {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Reg;
+
+TEST(GuardAudit, ClassifiesThreeKinds) {
+  Assembler a("lib");
+  a.set_dll(true);
+  a.label("fn");
+  // Region 1: catch-all over a dereference -> deref-guard (candidate).
+  a.label("r1_b");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.label("r1_e");
+  // Region 2: catch-all over pure arithmetic -> gratuitous.
+  a.label("r2_b");
+  a.addi(Reg::R1, 1);
+  a.muli(Reg::R1, 3);
+  a.label("r2_e");
+  // Region 3: AV-rejecting filter over a dereference -> narrow.
+  a.label("r3_b");
+  a.load(Reg::R3, Reg::R4, 8);
+  a.label("r3_e");
+  a.ret();
+  a.export_fn("fn", "fn");
+  a.label("h");
+  a.ret();
+  a.label("f_div");
+  a.cmpi(Reg::R1, static_cast<i64>(0xC0000094));
+  a.jcc(Cond::kEq, "f_div_y");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.label("f_div_y");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  a.scope("r1_b", "r1_e", "", "h");
+  a.scope("r2_b", "r2_e", "", "h");
+  a.scope("r3_b", "r3_e", "f_div", "h");
+
+  SehExtractor ex;
+  ex.add_image(std::make_shared<isa::Image>(a.build()));
+  FilterClassifier fc;
+  auto filters = fc.classify_all(ex);
+  GuardAuditSummary audit = audit_guards(ex, filters);
+  EXPECT_EQ(audit.deref_guards, 1u);
+  EXPECT_EQ(audit.gratuitous, 1u);
+  EXPECT_EQ(audit.narrow, 1u);
+  auto pm = audit.per_module();
+  ASSERT_TRUE(pm.contains("lib"));
+  EXPECT_EQ(pm["lib"].first, 1u);
+  EXPECT_EQ(pm["lib"].second, 1u);
+}
+
+TEST(GuardAudit, CorpusGuardsAreMostlyDerefGuards) {
+  // The generated corpus guards real dereferences, so the audit should rank
+  // nearly all AV-capable guards as deref-guards.
+  targets::DllSpec spec{"aud", isa::Machine::kX64, 20, 8, 0, 12, 6};
+  auto dll = targets::generate_dll(spec, 3);
+  SehExtractor ex;
+  ex.add_image(dll.image);
+  FilterClassifier fc;
+  auto filters = fc.classify_all(ex);
+  GuardAuditSummary audit = audit_guards(ex, filters);
+  EXPECT_EQ(audit.deref_guards, 8u);
+  EXPECT_EQ(audit.gratuitous, 0u);
+  EXPECT_EQ(audit.narrow, 12u);
+}
+
+}  // namespace
+}  // namespace crp::analysis

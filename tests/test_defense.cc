@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "analysis/seh_analysis.h"
+#include "defense/rate_detector.h"
+#include "oracle/oracle.h"
+#include "targets/browser.h"
+#include "targets/common.h"
+
+namespace crp::defense {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Reg;
+
+TEST(RateDetector, SilentOnBenignBrowsing) {
+  os::Kernel k;
+  targets::BrowserSim b(k, {targets::BrowserSim::Kind::kIE, 3, 0});
+  RateDetector det(k, b.proc());
+  for (u64 s = 0; s < 25; ++s) b.visit_page(s);
+  b.pump(120'000'000);
+  // §VII baseline: normal browsing exhibits (near) zero access violations.
+  EXPECT_EQ(det.total_avs(), 0u);
+  EXPECT_FALSE(det.alarmed());
+}
+
+TEST(RateDetector, AlarmsUnderScanningAttack) {
+  os::Kernel k;
+  targets::BrowserSim b(k, {targets::BrowserSim::Kind::kIE, 4, 0});
+  RateDetector::Config cfg;
+  cfg.threshold = 50;
+  RateDetector det(k, b.proc(), cfg);
+  oracle::SehProbeOracle probe(b);
+  // Scanning attack: most probes hit unmapped memory -> handled AVs pile up
+  // at ~1 probe per virtual millisecond.
+  for (int i = 0; i < 150; ++i)
+    probe.probe(0x7000bad0000 + static_cast<u64>(i) * 4096);
+  EXPECT_GE(det.handled_avs(), 150u);
+  EXPECT_TRUE(det.alarmed());
+  EXPECT_GT(det.peak_rate_per_sec(), 100.0);  // orders of magnitude over benign
+}
+
+TEST(RateDetector, AsmJsStyleBurstsStayUnderThreshold) {
+  // asm.js-like workload: intentional AV bursts (bounds checks via faults),
+  // groups of <= 20 with gaps — must NOT alarm at the paper's threshold.
+  Assembler a("asmjs");
+  a.label("e");
+  a.movi(Reg::R9, 12);  // burst size
+  a.label("burst");
+  a.movi(Reg::R2, 0x400000);
+  a.label("tb");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.label("te");
+  a.nop();
+  a.label("h");
+  a.subi(Reg::R9, 1);
+  a.cmpi(Reg::R9, 0);
+  a.jcc(Cond::kNe, "burst");
+  // Gap: sleep well past the detector window, then one more burst.
+  a.movi(Reg::R1, 3000);  // 3 virtual seconds
+  a.apicall(os::kApiSleep);
+  a.lea_pc(Reg::R3, "rounds");
+  a.load(Reg::R4, Reg::R3, 8);
+  a.subi(Reg::R4, 1);
+  a.store(Reg::R3, 0, Reg::R4, 8);
+  a.cmpi(Reg::R4, 0);
+  a.jcc(Cond::kEq, "done");
+  a.movi(Reg::R9, 12);
+  a.jmp("burst");
+  a.label("done");
+  a.halt();
+  a.set_entry("e");
+  a.scope("tb", "te", "", "h");
+  a.data_u64("rounds", 3);
+
+  os::Kernel k;
+  int pid = k.create_process("asmjs", vm::Personality::kWindows, 5);
+  k.proc(pid).load(std::make_shared<isa::Image>(a.build()));
+  k.start_process(pid);
+  RateDetector::Config cfg;
+  cfg.threshold = 50;
+  RateDetector det(k, k.proc(pid), cfg);
+  k.run(50'000'000);
+  EXPECT_FALSE(k.proc(pid).alive());  // ran to completion
+  EXPECT_FALSE(k.proc(pid).exit_info().crashed);
+  EXPECT_EQ(det.handled_avs(), 36u);  // 3 bursts x 12
+  EXPECT_LE(det.peak_window_count(), 20u);
+  EXPECT_FALSE(det.alarmed());
+}
+
+TEST(MappedOnlyPolicy, KillsTheIeOracleOnUnmappedProbes) {
+  os::Kernel k;
+  targets::BrowserSim b(k, {targets::BrowserSim::Kind::kIE, 6, 0});
+  b.proc().machine().set_mapped_only_av_policy(true);
+  oracle::SehProbeOracle probe(b);
+  probe.probe(0x7777bad0000);  // unmapped probe under the §VII policy
+  EXPECT_FALSE(k.proc(b.pid()).alive());
+  EXPECT_TRUE(k.proc(b.pid()).exit_info().crashed);
+}
+
+TEST(MappedOnlyPolicy, StillAllowsLegitimateGuardPageTricks) {
+  os::Kernel k;
+  targets::BrowserSim b(k, {targets::BrowserSim::Kind::kIE, 6, 0});
+  b.proc().machine().set_mapped_only_av_policy(true);
+  // A Firefox-style optimization faults on a *mapped* no-access page: the
+  // policy must still let the handler run (§VII "Restricting access
+  // violations").
+  gva_t trap = b.proc().heap_alloc(4096, mem::kPermNone);
+  oracle::SehProbeOracle probe(b);
+  EXPECT_EQ(probe.probe(trap + 8), oracle::ProbeResult::kUnmapped);  // handler ran
+  EXPECT_TRUE(k.proc(b.pid()).alive());
+}
+
+TEST(AuditBroadFilters, FlagsCatchAllOverLargeRegions) {
+  Assembler a("lib");
+  a.set_dll(true);
+  a.label("fn");
+  a.label("big_b");
+  for (int i = 0; i < 10; ++i) a.nop();
+  a.label("big_e");
+  a.label("small_b");
+  a.nop();
+  a.label("small_e");
+  a.ret();
+  a.label("h");
+  a.ret();
+  a.scope("big_b", "big_e", "", "h");      // catch-all over 10 instructions
+  a.scope("small_b", "small_e", "", "h");  // catch-all over 1 instruction
+  analysis::SehExtractor ex;
+  ex.add_image(std::make_shared<isa::Image>(a.build()));
+  analysis::FilterClassifier fc;
+  auto filters = fc.classify_all(ex);
+  auto flagged = audit_broad_filters(ex, filters);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0].scope.end - flagged[0].scope.begin, 10 * isa::kInstrBytes);
+}
+
+TEST(RateDetector, ResetClearsState) {
+  os::Kernel k;
+  targets::BrowserSim b(k, {targets::BrowserSim::Kind::kIE, 8, 0});
+  RateDetector::Config cfg;
+  cfg.threshold = 2;
+  RateDetector det(k, b.proc(), cfg);
+  oracle::SehProbeOracle probe(b);
+  probe.probe(0x7000bad0000);
+  probe.probe(0x7000bad1000);
+  EXPECT_TRUE(det.alarmed());
+  det.reset();
+  EXPECT_FALSE(det.alarmed());
+  EXPECT_EQ(det.total_avs(), 0u);
+}
+
+}  // namespace
+}  // namespace crp::defense

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/image.h"
+#include "isa/isa.h"
+#include "util/rng.h"
+
+namespace crp::isa {
+namespace {
+
+TEST(Encode, RoundTripSimple) {
+  Instr in{Op::kAddRI, Reg::R3, Reg::R0, 0, -42};
+  auto bytes = encode(in);
+  auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, in);
+}
+
+TEST(Decode, RejectsBadOpcode) {
+  std::array<u8, kInstrBytes> bytes{};
+  bytes[0] = static_cast<u8>(Op::kCount);
+  EXPECT_FALSE(decode(bytes).has_value());
+  bytes[0] = 0xff;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Decode, RejectsBadRegister) {
+  Instr in{Op::kMovRR, Reg::R1, Reg::R2, 0, 0};
+  auto bytes = encode(in);
+  bytes[1] = 16;
+  EXPECT_FALSE(decode(bytes).has_value());
+  bytes[1] = 1;
+  bytes[2] = 200;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Decode, RejectsBadWidth) {
+  Instr in{Op::kLoad, Reg::R1, Reg::R2, 8, 0};
+  auto bytes = encode(in);
+  bytes[3] = 3;
+  EXPECT_FALSE(decode(bytes).has_value());
+  bytes[3] = 0;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Decode, RejectsBadCond) {
+  Instr in{Op::kJcc, Reg::R0, Reg::R0, static_cast<u8>(Cond::kEq), 16};
+  auto bytes = encode(in);
+  bytes[3] = static_cast<u8>(Cond::kCount);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Decode, RejectsShortBuffer) {
+  std::vector<u8> bytes(8, 0);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+// Property: every op round-trips through encode/decode for a sweep of
+// operand values.
+class RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTrip, EncodeDecodeIdentity) {
+  Op op = static_cast<Op>(GetParam());
+  Rng rng(static_cast<u64>(GetParam()) * 77 + 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Instr in;
+    in.op = op;
+    in.ra = static_cast<Reg>(rng.below(16));
+    in.rb = static_cast<Reg>(rng.below(16));
+    if (op == Op::kLoad || op == Op::kStore) {
+      static const u8 widths[] = {1, 2, 4, 8};
+      in.w = widths[rng.below(4)];
+    } else if (op == Op::kJcc) {
+      in.w = static_cast<u8>(rng.below(static_cast<u64>(Cond::kCount)));
+    } else {
+      in.w = 0;
+    }
+    in.imm = static_cast<i64>(rng.next());
+    auto back = decode(encode(in));
+    ASSERT_TRUE(back.has_value()) << op_name(op);
+    EXPECT_EQ(*back, in) << op_name(op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, RoundTrip,
+                         ::testing::Range(0, static_cast<int>(Op::kCount)));
+
+TEST(Disasm, ReadableOutput) {
+  EXPECT_EQ(disasm({Op::kMovRI, Reg::R1, Reg::R0, 0, 5}), "movi r1, 5");
+  EXPECT_EQ(disasm({Op::kLoad, Reg::R2, Reg::SP, 8, 16}), "load8 r2, [sp+16]");
+  EXPECT_EQ(disasm({Op::kStore, Reg::FP, Reg::R3, 4, -8}), "store4 [fp-8], r3");
+  // PC-relative: target = pc + 16 + imm.
+  EXPECT_EQ(disasm({Op::kJmp, Reg::R0, Reg::R0, 0, 16}, 0x100), "jmp 0x120");
+  EXPECT_EQ(disasm({Op::kJcc, Reg::R0, Reg::R0, static_cast<u8>(Cond::kNe), 0}, 0),
+            "jne 0x10");
+}
+
+TEST(OpClassification, MemoryAndControlFlow) {
+  EXPECT_TRUE(reads_memory(Op::kLoad));
+  EXPECT_TRUE(reads_memory(Op::kPop));
+  EXPECT_TRUE(writes_memory(Op::kStore));
+  EXPECT_TRUE(writes_memory(Op::kPush));
+  EXPECT_TRUE(writes_memory(Op::kCall));
+  EXPECT_FALSE(writes_memory(Op::kAddRR));
+  EXPECT_TRUE(is_control_flow(Op::kRet));
+  EXPECT_TRUE(is_control_flow(Op::kJcc));
+  EXPECT_FALSE(is_control_flow(Op::kCmpRR));
+}
+
+TEST(Image, WriteReadRoundTrip) {
+  Assembler a("demo");
+  a.label("start");
+  a.movi(Reg::R0, 7);
+  a.label("guard_begin");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.label("guard_end");
+  a.ret();
+  a.label("handler");
+  a.movi(Reg::R0, static_cast<i64>(0xdead));
+  a.ret();
+  a.label("filter");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  a.data_u64("config", 0x1234);
+  a.data_cstr("msg", "hello");
+  a.set_entry("start");
+  a.export_fn("demo_start", "start");
+  a.scope("guard_begin", "guard_end", "filter", "handler");
+  a.scope("guard_begin", "guard_end", "", "handler");  // catch-all variant
+  Image img = a.build();
+
+  auto bytes = write_image(img);
+  auto back = read_image(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, "demo");
+  EXPECT_EQ(back->entry, img.entry);
+  ASSERT_EQ(back->sections.size(), 2u);
+  EXPECT_EQ(back->sections[0].bytes, img.sections[0].bytes);
+  ASSERT_EQ(back->scopes.size(), 2u);
+  EXPECT_EQ(back->scopes[1].filter, kFilterCatchAll);
+  EXPECT_NE(back->find_symbol("config"), nullptr);
+  ASSERT_NE(back->find_export("demo_start"), nullptr);
+  EXPECT_EQ(back->find_export("demo_start")->offset, 0u);
+}
+
+TEST(Image, ReadRejectsGarbage) {
+  std::vector<u8> junk = {1, 2, 3, 4, 5};
+  EXPECT_FALSE(read_image(junk).has_value());
+  junk.assign(64, 0);
+  EXPECT_FALSE(read_image(junk).has_value());
+}
+
+TEST(Image, ReadRejectsTruncated) {
+  Assembler a("t");
+  a.label("e");
+  a.ret();
+  a.set_entry("e");
+  auto bytes = write_image(a.build());
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{5}}) {
+    std::vector<u8> trunc(bytes.begin(), bytes.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(read_image(trunc).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Image, ReadRejectsOutOfRangeScope) {
+  Assembler a("t");
+  a.label("e");
+  a.ret();
+  a.set_entry("e");
+  Image img = a.build();
+  img.scopes.push_back({0, 99999, kFilterCatchAll, 0});
+  EXPECT_FALSE(read_image(write_image(img)).has_value());
+}
+
+TEST(Assembler, PcRelativeDataReference) {
+  Assembler a("t");
+  a.label("entry");
+  a.lea_pc(Reg::R1, "myvar");
+  a.ret();
+  a.data_u64("myvar", 42);
+  a.set_entry("entry");
+  Image img = a.build();
+  // leapc imm must equal (data_base + var_off) - (0 + 16).
+  auto ins = decode(std::span<const u8>(img.sections[0].bytes.data(), 16));
+  ASSERT_TRUE(ins.has_value());
+  EXPECT_EQ(ins->op, Op::kLeaPc);
+  u64 data_base = align_up(img.sections[0].bytes.size(), 4096);
+  EXPECT_EQ(ins->imm, static_cast<i64>(data_base) - 16);
+}
+
+TEST(Assembler, ForwardAndBackwardBranches) {
+  Assembler a("t");
+  a.label("top");
+  a.jmp("bottom");     // forward
+  a.label("mid");
+  a.jmp("top");        // backward
+  a.label("bottom");
+  a.ret();
+  a.set_entry("top");
+  Image img = a.build();
+  auto j0 = decode(std::span<const u8>(img.sections[0].bytes.data(), 16));
+  auto j1 = decode(std::span<const u8>(img.sections[0].bytes.data() + 16, 16));
+  ASSERT_TRUE(j0 && j1);
+  EXPECT_EQ(j0->imm, 16);   // 0+16+16 = 32 = "bottom"
+  EXPECT_EQ(j1->imm, -32);  // 16+16-32 = 0 = "top"
+}
+
+TEST(Assembler, ImportsDeduplicated) {
+  Assembler a("t");
+  a.label("e");
+  a.call_import("ntdll", "foo");
+  a.call_import("ntdll", "foo");
+  a.call_import("ntdll", "bar");
+  a.ret();
+  a.set_entry("e");
+  Image img = a.build();
+  EXPECT_EQ(img.imports.size(), 2u);
+}
+
+TEST(Image, MappedSizePageAligned) {
+  Assembler a("t");
+  a.label("e");
+  a.ret();
+  a.set_entry("e");
+  a.data_zero("buf", 5000);
+  Image img = a.build();
+  EXPECT_EQ(img.mapped_size() % 4096, 0u);
+  EXPECT_GE(img.mapped_size(), 4096u + 8192u);  // 1 code page + 2 data pages
+}
+
+}  // namespace
+}  // namespace crp::isa

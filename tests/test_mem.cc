@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "mem/address_space.h"
+#include "mem/layout.h"
+
+namespace crp::mem {
+namespace {
+
+TEST(AddressSpace, MapAndCheck) {
+  AddressSpace as;
+  EXPECT_TRUE(as.map(0x10000, 8192, kPermR | kPermW));
+  EXPECT_TRUE(as.is_mapped(0x10000));
+  EXPECT_TRUE(as.is_mapped(0x11fff));
+  EXPECT_FALSE(as.is_mapped(0x12000));
+  EXPECT_EQ(as.perms_of(0x10000), kPermR | kPermW);
+  EXPECT_EQ(as.perms_of(0x5000), kPermNone);
+  EXPECT_EQ(as.page_count(), 2u);
+}
+
+TEST(AddressSpace, MapRejectsOverlap) {
+  AddressSpace as;
+  EXPECT_TRUE(as.map(0x10000, 4096, kPermR));
+  EXPECT_FALSE(as.map(0x10000, 4096, kPermR));
+  EXPECT_FALSE(as.map(0xf000, 8192, kPermR));  // covers an existing page
+  EXPECT_TRUE(as.map(0x11000, 4096, kPermR));
+}
+
+TEST(AddressSpace, MapRejectsZeroAndOverflow) {
+  AddressSpace as;
+  EXPECT_FALSE(as.map(0x1000, 0, kPermR));
+  EXPECT_FALSE(as.map(~0ull - 100, 4096, kPermR));
+}
+
+TEST(AddressSpace, UnmapRange) {
+  AddressSpace as;
+  as.map(0x10000, 3 * 4096, kPermR);
+  EXPECT_TRUE(as.unmap(0x11000, 4096));
+  EXPECT_TRUE(as.is_mapped(0x10000));
+  EXPECT_FALSE(as.is_mapped(0x11000));
+  EXPECT_TRUE(as.is_mapped(0x12000));
+  EXPECT_FALSE(as.unmap(0x11000, 4096));  // nothing left there
+}
+
+TEST(AddressSpace, ProtectAllOrNothing) {
+  AddressSpace as;
+  as.map(0x10000, 4096, kPermR | kPermW);
+  // Range spilling into an unmapped page fails with no change.
+  EXPECT_FALSE(as.protect(0x10000, 8192, kPermR));
+  EXPECT_EQ(as.perms_of(0x10000), kPermR | kPermW);
+  EXPECT_TRUE(as.protect(0x10000, 4096, kPermR));
+  EXPECT_EQ(as.perms_of(0x10000), kPermR);
+}
+
+TEST(AddressSpace, ReadWriteRoundTrip) {
+  AddressSpace as;
+  as.map(0x10000, 4096, kPermR | kPermW);
+  std::vector<u8> data = {1, 2, 3, 4, 5};
+  EXPECT_TRUE(as.write(0x10000, data).ok);
+  std::vector<u8> back(5);
+  EXPECT_TRUE(as.read(0x10000, back).ok);
+  EXPECT_EQ(back, data);
+}
+
+TEST(AddressSpace, FaultReportsAddressAndKind) {
+  AddressSpace as;
+  as.map(0x10000, 4096, kPermR | kPermW);
+  std::vector<u8> buf(16);
+  // Read crossing into unmapped page: fault at the first unmapped byte.
+  AccessResult r = as.read(0x10ff8, buf);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault_addr, 0x11000u);
+  EXPECT_EQ(r.kind, Access::kRead);
+  // Entirely unmapped: fault at the access address itself.
+  r = as.write(0x50000, buf);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault_addr, 0x50000u);
+  EXPECT_EQ(r.kind, Access::kWrite);
+}
+
+TEST(AddressSpace, PermissionFaults) {
+  AddressSpace as;
+  as.map(0x10000, 4096, kPermR);
+  std::vector<u8> buf(4);
+  EXPECT_TRUE(as.read(0x10000, buf).ok);
+  EXPECT_FALSE(as.write(0x10000, buf).ok);
+  EXPECT_FALSE(as.fetch(0x10000, buf).ok);
+  as.protect(0x10000, 4096, kPermR | kPermX);
+  EXPECT_TRUE(as.fetch(0x10000, buf).ok);
+}
+
+TEST(AddressSpace, FailedAccessHasNoPartialEffect) {
+  AddressSpace as;
+  as.map(0x10000, 4096, kPermR | kPermW);
+  std::vector<u8> ones(16, 0xff);
+  // Write crossing into unmapped memory must not touch the mapped part.
+  EXPECT_FALSE(as.write(0x10ff8, ones).ok);
+  u64 v = 0xabc;
+  EXPECT_TRUE(as.read_uint(0x10ff8, 8, &v).ok);
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(AddressSpace, TypedAccessWidths) {
+  AddressSpace as;
+  as.map(0x10000, 4096, kPermR | kPermW);
+  EXPECT_TRUE(as.write_uint(0x10010, 8, 0x1122334455667788ull).ok);
+  u64 v = 0;
+  EXPECT_TRUE(as.read_uint(0x10010, 4, &v).ok);
+  EXPECT_EQ(v, 0x55667788u);
+  EXPECT_TRUE(as.read_uint(0x10014, 2, &v).ok);
+  EXPECT_EQ(v, 0x3344u);
+  EXPECT_TRUE(as.read_uint(0x10017, 1, &v).ok);
+  EXPECT_EQ(v, 0x11u);
+}
+
+TEST(AddressSpace, PeekPokeIgnorePerms) {
+  AddressSpace as;
+  as.map(0x10000, 4096, kPermNone);
+  EXPECT_TRUE(as.poke_u64(0x10000, 42));
+  u64 v = 0;
+  EXPECT_TRUE(as.peek_u64(0x10000, &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_FALSE(as.poke_u64(0x90000, 1));
+  EXPECT_FALSE(as.peek_u64(0x90000, &v));
+}
+
+TEST(AddressSpace, RegionsCoalesce) {
+  AddressSpace as;
+  as.map(0x10000, 8192, kPermR);
+  as.map(0x12000, 4096, kPermR | kPermW);
+  as.map(0x20000, 4096, kPermR);
+  auto regions = as.regions();
+  ASSERT_EQ(regions.size(), 3u);
+  EXPECT_EQ(regions[0].begin, 0x10000u);
+  EXPECT_EQ(regions[0].end, 0x12000u);
+  EXPECT_EQ(regions[1].begin, 0x12000u);
+  EXPECT_EQ(regions[2].begin, 0x20000u);
+}
+
+// Property sweep: an access of every width at every offset near a page
+// boundary faults iff it touches the unmapped page.
+class BoundaryAccess : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundaryAccess, FaultIffCrossing) {
+  int width = GetParam();
+  AddressSpace as;
+  as.map(0x10000, 4096, kPermR | kPermW);
+  for (int back = 0; back <= width + 2; ++back) {
+    gva_t addr = 0x11000 - static_cast<u64>(back);
+    u64 v;
+    bool expect_ok = back >= width;
+    EXPECT_EQ(as.read_uint(addr, static_cast<u8>(width), &v).ok, expect_ok)
+        << "width=" << width << " back=" << back;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BoundaryAccess, ::testing::Values(1, 2, 4, 8));
+
+TEST(AslrLayout, PlacementsDoNotOverlap) {
+  AslrLayout layout(AslrConfig{}, 42);
+  std::vector<std::pair<gva_t, u64>> placed;
+  for (int i = 0; i < 50; ++i) {
+    u64 size = 4096 * (1 + static_cast<u64>(i % 7));
+    gva_t base = layout.place(RegionKind::kHeap, size, strf("r%d", i));
+    for (auto [b, s] : placed) {
+      EXPECT_TRUE(base + size <= b || b + s <= base) << "overlap at " << i;
+    }
+    placed.emplace_back(base, size);
+  }
+}
+
+TEST(AslrLayout, DifferentSeedsDifferentBases) {
+  AslrLayout a(AslrConfig{}, 1), b(AslrConfig{}, 2);
+  EXPECT_NE(a.place(RegionKind::kImage, 4096, "x"), b.place(RegionKind::kImage, 4096, "x"));
+}
+
+TEST(AslrLayout, GroundTruthLookup) {
+  AslrLayout layout(AslrConfig{}, 7);
+  gva_t base = layout.place(RegionKind::kHidden, 8192, "safestack");
+  const auto* p = layout.find(base + 100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, RegionKind::kHidden);
+  EXPECT_EQ(p->name, "safestack");
+  EXPECT_EQ(layout.find(base - 1), nullptr);
+}
+
+TEST(AslrLayout, BasesArePageAligned) {
+  AslrLayout layout(AslrConfig{}, 9);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(layout.place(RegionKind::kStack, 4096, "s") % kPageSize, 0u);
+}
+
+}  // namespace
+}  // namespace crp::mem

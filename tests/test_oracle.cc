@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "oracle/oracle.h"
+#include "targets/common.h"
+#include "targets/nginx.h"
+
+namespace crp::oracle {
+namespace {
+
+TEST(ProbeResultNames, AllNamed) {
+  EXPECT_STREQ(probe_result_name(ProbeResult::kMapped), "mapped");
+  EXPECT_STREQ(probe_result_name(ProbeResult::kUnmapped), "unmapped");
+  EXPECT_STREQ(probe_result_name(ProbeResult::kUnknown), "unknown");
+}
+
+TEST(ExpectedProbes, Geometric) {
+  EXPECT_DOUBLE_EQ(expected_probes(1 << 20, 1), static_cast<double>(1 << 20));
+  EXPECT_DOUBLE_EQ(expected_probes(1 << 20, 1 << 10), 1024.0);
+  EXPECT_DOUBLE_EQ(expected_probes(100, 0), 0.0);
+}
+
+struct NginxWorld {
+  os::Kernel k;
+  int pid = 0;
+  gva_t hidden = 0;
+
+  NginxWorld() {
+    auto t = targets::make_nginx();
+    pid = t.instantiate(k, 555);
+    k.run(3'000'000);  // startup
+    hidden = targets::plant_hidden_region(k.proc(pid), 4 * 4096, 0x5AFE57AC);
+  }
+};
+
+TEST(NginxRecvOracle, DistinguishesMappedFromUnmapped) {
+  NginxWorld w;
+  NginxRecvOracle oracle(w.k, w.pid, targets::kNginxPort);
+  // Unmapped probe.
+  EXPECT_EQ(oracle.probe(0x13370000000), ProbeResult::kUnmapped);
+  EXPECT_TRUE(w.k.proc(w.pid).alive());
+  // Mapped probe: the hidden region itself (RW).
+  EXPECT_EQ(oracle.probe(w.hidden + 4096), ProbeResult::kMapped);
+  EXPECT_TRUE(w.k.proc(w.pid).alive());
+  EXPECT_EQ(w.k.proc(w.pid).machine().exception_stats().unhandled, 0u);
+  EXPECT_EQ(oracle.probes_issued(), 2u);
+}
+
+TEST(NginxRecvOracle, RepeatedProbingNeverCrashes) {
+  NginxWorld w;
+  NginxRecvOracle oracle(w.k, w.pid, targets::kNginxPort);
+  int mapped = 0;
+  for (int i = 0; i < 12; ++i) {
+    gva_t addr = (i % 2 == 0) ? 0x6000dead0000 + static_cast<u64>(i) * 4096
+                              : w.hidden + static_cast<u64>(i % 4) * 4096;
+    ProbeResult r = oracle.probe(addr);
+    if (i % 2 == 0) {
+      EXPECT_EQ(r, ProbeResult::kUnmapped) << i;
+    } else {
+      EXPECT_EQ(r, ProbeResult::kMapped) << i;
+      ++mapped;
+    }
+    ASSERT_TRUE(w.k.proc(w.pid).alive()) << "crashed at probe " << i;
+  }
+  EXPECT_EQ(mapped, 6);
+}
+
+TEST(Scanner, SweepFindsRegionBoundaries) {
+  NginxWorld w;
+  NginxRecvOracle oracle(w.k, w.pid, targets::kNginxPort);
+  Scanner scanner(oracle);
+  // Sweep a window straddling the hidden region start.
+  gva_t base = w.hidden - 2 * 4096;
+  auto mapped = scanner.sweep(base, 5 * 4096, 4096);
+  ASSERT_EQ(mapped.size(), 3u);  // the 3 in-region pages of the window
+  EXPECT_EQ(mapped[0], w.hidden);
+  EXPECT_EQ(scanner.stats().probes, 5u);
+  EXPECT_EQ(scanner.stats().mapped_hits, 3u);
+}
+
+TEST(Scanner, HuntLocatesHiddenRegionCrashlessly) {
+  NginxWorld w;
+  NginxRecvOracle oracle(w.k, w.pid, targets::kNginxPort);
+  Scanner scanner(oracle);
+  // Constrain the search window (a full 47-bit hunt would take geometric
+  // ~2^35/4 probes; the bench reports the math, the test proves mechanics).
+  gva_t lo = w.hidden - 128 * 4096;
+  gva_t hi = w.hidden + 128 * 4096;
+  auto hit = scanner.hunt(lo, hi, 2000, /*seed=*/9);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GE(*hit, w.hidden);
+  EXPECT_LT(*hit, w.hidden + 4 * 4096);
+  EXPECT_TRUE(w.k.proc(w.pid).alive());
+  EXPECT_EQ(w.k.proc(w.pid).machine().exception_stats().unhandled, 0u);
+}
+
+TEST(SehProbeOracleT, IeProbingMatchesGroundTruth) {
+  os::Kernel k;
+  targets::BrowserSim b(k, {targets::BrowserSim::Kind::kIE, 77, 0});
+  gva_t hidden = targets::plant_hidden_region(b.proc(), 2 * 4096, 0xCAFED00D);
+  SehProbeOracle oracle(b);
+  EXPECT_EQ(oracle.probe(hidden + 8), ProbeResult::kMapped);
+  EXPECT_EQ(oracle.probe(0x4141410000), ProbeResult::kUnmapped);
+  EXPECT_EQ(oracle.probe(hidden + 4096), ProbeResult::kMapped);
+  EXPECT_TRUE(k.proc(b.pid()).alive());
+  EXPECT_EQ(b.proc().machine().exception_stats().unhandled, 0u);
+}
+
+TEST(SehProbeOracleT, ProbingIsRepeatable) {
+  os::Kernel k;
+  targets::BrowserSim b(k, {targets::BrowserSim::Kind::kIE, 78, 0});
+  gva_t hidden = targets::plant_hidden_region(b.proc(), 4096, 1);
+  SehProbeOracle oracle(b);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(oracle.probe(hidden), ProbeResult::kMapped) << i;
+    EXPECT_EQ(oracle.probe(0x5151510000 + static_cast<u64>(i) * 4096),
+              ProbeResult::kUnmapped)
+        << i;
+  }
+  EXPECT_TRUE(k.proc(b.pid()).alive());
+}
+
+TEST(FirefoxPollOracleT, BackgroundThreadOracleWorks) {
+  os::Kernel k;
+  targets::BrowserSim b(k, {targets::BrowserSim::Kind::kFirefox, 79, 0});
+  gva_t hidden = targets::plant_hidden_region(b.proc(), 4096, 2);
+  FirefoxPollOracle oracle(b);
+  EXPECT_EQ(oracle.probe(hidden), ProbeResult::kMapped);
+  EXPECT_EQ(oracle.probe(0x6161610000), ProbeResult::kUnmapped);
+  EXPECT_TRUE(k.proc(b.pid()).alive());
+  EXPECT_EQ(b.proc().machine().exception_stats().unhandled, 0u);
+}
+
+TEST(FirefoxPollOracleT, ScannerOverFirefoxOracle) {
+  os::Kernel k;
+  targets::BrowserSim b(k, {targets::BrowserSim::Kind::kFirefox, 80, 0});
+  gva_t hidden = targets::plant_hidden_region(b.proc(), 2 * 4096, 3);
+  FirefoxPollOracle oracle(b);
+  Scanner scanner(oracle);
+  auto hit = scanner.hunt(hidden - 64 * 4096, hidden + 64 * 4096, 600, 4);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GE(*hit, hidden);
+  EXPECT_LT(*hit, hidden + 2 * 4096);
+}
+
+}  // namespace
+}  // namespace crp::oracle
+
+// Appended: the crash-tolerant (BROP-style) baseline the paper contrasts
+// crash resistance against.
+#include "oracle/crash_tolerant.h"
+
+namespace crp::oracle {
+namespace {
+
+TEST(CrashTolerant, ProbesCorrectlyButLoudly) {
+  CrashTolerantProbe probe(targets::make_nginx(), 0xBEEF01);
+  gva_t hidden = probe.plant_hidden(2 * 4096, 0xF00D);
+  // Mapped probe: no crash.
+  EXPECT_EQ(probe.probe(hidden), ProbeResult::kMapped);
+  EXPECT_EQ(probe.crashes(), 0u);
+  // Unmapped probe: crash + restart, still answers correctly.
+  EXPECT_EQ(probe.probe(0x414100000000ull), ProbeResult::kUnmapped);
+  EXPECT_EQ(probe.crashes(), 1u);
+  // Next probe works against the respawned instance (layout persisted).
+  EXPECT_EQ(probe.probe(hidden + 4096), ProbeResult::kMapped);
+  EXPECT_EQ(probe.restarts(), 1u);
+}
+
+TEST(CrashTolerant, LayoutPersistsAcrossRestarts) {
+  CrashTolerantProbe probe(targets::make_nginx(), 0xBEEF02);
+  gva_t hidden = probe.plant_hidden(4096, 0xCAFE);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(probe.probe(0x515100000000ull + static_cast<u64>(i) * 4096),
+              ProbeResult::kUnmapped);
+  EXPECT_EQ(probe.crashes(), 3u);
+  // The pre-fork layout assumption: the region is still where it was.
+  EXPECT_EQ(probe.probe(hidden), ProbeResult::kMapped);
+}
+
+TEST(CrashTolerant, NoiseScalesWithUnmappedProbes) {
+  CrashTolerantProbe noisy(targets::make_nginx(), 0xBEEF03);
+  noisy.plant_hidden(4096, 1);
+  Scanner scanner(noisy);
+  scanner.sweep(0x616100000000ull, 6 * 4096, 4096);  // all unmapped
+  EXPECT_EQ(noisy.crashes(), 6u);  // one crash per probe — the §I noise
+}
+
+}  // namespace
+}  // namespace crp::oracle

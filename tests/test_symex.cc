@@ -1,0 +1,645 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "symex/bitblast.h"
+#include "symex/expr.h"
+#include "symex/filter_exec.h"
+#include "symex/sat.h"
+#include "symex/solver.h"
+#include "util/rng.h"
+#include "vm/exception.h"
+
+namespace crp::symex {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Reg;
+
+TEST(Expr, ConstantFolding) {
+  Ctx c;
+  EXPECT_EQ(c.const_value(c.add(c.constant(2), c.constant(3))), 5u);
+  EXPECT_EQ(c.const_value(c.sub(c.constant(2), c.constant(3))), ~0ull);
+  EXPECT_EQ(c.const_value(c.mul(c.constant(7), c.constant(6))), 42u);
+  EXPECT_EQ(c.const_value(c.band(c.constant(0xF0), c.constant(0x3C))), 0x30u);
+  EXPECT_EQ(c.const_value(c.eq(c.constant(5), c.constant(5))), 1u);
+  EXPECT_EQ(c.const_value(c.ult(c.constant(1), c.constant(2))), 1u);
+  EXPECT_EQ(c.const_value(c.slt(c.constant(~0ull), c.constant(1))), 1u);  // -1 < 1
+  EXPECT_EQ(c.const_value(c.lshr(c.constant(0x80), c.constant(4))), 8u);
+  EXPECT_EQ(c.const_value(c.ashr(c.constant(0x8000000000000000ull), c.constant(63))), ~0ull);
+}
+
+TEST(Expr, WidthNarrowConstants) {
+  Ctx c;
+  EXPECT_EQ(c.const_value(c.constant(0x1ff, 8)), 0xffu);  // masked to width
+  ExprRef x = c.constant(0xab, 8);
+  EXPECT_EQ(c.const_value(c.zext(x, 16)), 0xabu);
+  EXPECT_EQ(c.const_value(c.sext(x, 16)), 0xffabu);
+  EXPECT_EQ(c.const_value(c.extract(c.constant(0x1234), 8, 8)), 0x12u);
+  EXPECT_EQ(c.const_value(c.concat(c.constant(0x12, 8), c.constant(0x34, 8))), 0x1234u);
+}
+
+TEST(Expr, IdentitySimplifications) {
+  Ctx c;
+  ExprRef x = c.var("x");
+  EXPECT_EQ(c.add(x, c.constant(0)), x);
+  EXPECT_EQ(c.mul(x, c.constant(1)), x);
+  EXPECT_EQ(c.const_value(c.mul(x, c.constant(0))), 0u);
+  EXPECT_EQ(c.band(x, c.constant(~0ull)), x);
+  EXPECT_EQ(c.const_value(c.bxor(x, x)), 0u);
+  EXPECT_EQ(c.const_value(c.eq(x, x)), 1u);
+  EXPECT_EQ(c.const_value(c.ult(x, x)), 0u);
+}
+
+TEST(Expr, HashConsing) {
+  Ctx c;
+  ExprRef x = c.var("x");
+  ExprRef a = c.add(x, c.constant(5));
+  ExprRef b = c.add(x, c.constant(5));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Expr, EvalMatchesSemantics) {
+  Ctx c;
+  ExprRef x = c.var("x");
+  ExprRef y = c.var("y");
+  ExprRef e = c.ite(c.ult(x, y), c.add(x, y), c.sub(x, y));
+  std::unordered_map<u32, u64> m{{0, 3}, {1, 10}};
+  EXPECT_EQ(c.eval(e, m), 13u);
+  m = {{0, 10}, {1, 3}};
+  EXPECT_EQ(c.eval(e, m), 7u);
+}
+
+TEST(Sat, TrivialSatAndUnsat) {
+  SatSolver s;
+  int a = s.new_var(), b = s.new_var();
+  s.add_clause({a, b});
+  s.add_clause({-a});
+  EXPECT_EQ(s.solve(), SatResult::kSat);
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+
+  SatSolver u;
+  int x = u.new_var();
+  u.add_clause({x});
+  u.add_clause({-x});
+  EXPECT_EQ(u.solve(), SatResult::kUnsat);
+}
+
+TEST(Sat, EmptyClauseIsUnsat) {
+  SatSolver s;
+  s.new_var();
+  s.add_clause({});
+  EXPECT_EQ(s.solve(), SatResult::kUnsat);
+}
+
+TEST(Sat, PigeonholeUnsat) {
+  // 4 pigeons, 3 holes: classic small UNSAT instance exercising learning.
+  SatSolver s;
+  int v[4][3];
+  for (auto& row : v)
+    for (auto& x : row) x = s.new_var();
+  for (int p = 0; p < 4; ++p) s.add_clause({v[p][0], v[p][1], v[p][2]});
+  for (int h = 0; h < 3; ++h)
+    for (int p1 = 0; p1 < 4; ++p1)
+      for (int p2 = p1 + 1; p2 < 4; ++p2) s.add_clause({-v[p1][h], -v[p2][h]});
+  EXPECT_EQ(s.solve(), SatResult::kUnsat);
+}
+
+// Property: CDCL agrees with brute force on random small 3-SAT instances.
+class SatRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatRandom, AgreesWithBruteForce) {
+  Rng rng(static_cast<u64>(GetParam()) * 1337 + 17);
+  for (int trial = 0; trial < 30; ++trial) {
+    int nvars = 3 + static_cast<int>(rng.below(8));       // 3..10 vars
+    int nclauses = 3 + static_cast<int>(rng.below(40));   // 3..42 clauses
+    std::vector<std::vector<int>> clauses;
+    for (int i = 0; i < nclauses; ++i) {
+      std::vector<int> cl;
+      int len = 1 + static_cast<int>(rng.below(3));
+      for (int j = 0; j < len; ++j) {
+        int var = 1 + static_cast<int>(rng.below(static_cast<u64>(nvars)));
+        cl.push_back(rng.chance(0.5) ? var : -var);
+      }
+      clauses.push_back(cl);
+    }
+    // Brute force.
+    bool bf_sat = false;
+    for (u64 m = 0; m < (1ull << nvars) && !bf_sat; ++m) {
+      bool all = true;
+      for (const auto& cl : clauses) {
+        bool any = false;
+        for (int l : cl) {
+          bool val = (m >> (std::abs(l) - 1)) & 1;
+          if ((l > 0) == val) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) {
+          all = false;
+          break;
+        }
+      }
+      bf_sat = all;
+    }
+    // CDCL.
+    SatSolver s;
+    for (int v = 0; v < nvars; ++v) s.new_var();
+    for (auto& cl : clauses) s.add_clause(cl);
+    SatResult r = s.solve();
+    ASSERT_NE(r, SatResult::kUnknown);
+    EXPECT_EQ(r == SatResult::kSat, bf_sat) << "trial " << trial;
+    if (r == SatResult::kSat) {
+      // Verify the model actually satisfies the clauses.
+      for (const auto& cl : clauses) {
+        bool any = false;
+        for (int l : cl) any |= (l > 0) == s.model_value(std::abs(l));
+        EXPECT_TRUE(any);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandom, ::testing::Range(0, 8));
+
+TEST(Solver, LinearEquation) {
+  // x + 3 == 10  =>  x == 7
+  Ctx c;
+  ExprRef x = c.var("x");
+  Solver s(c);
+  s.add(c.eq(c.add(x, c.constant(3)), c.constant(10)));
+  ASSERT_EQ(s.check(), SatResult::kSat);
+  EXPECT_EQ(s.model(x), 7u);
+}
+
+TEST(Solver, UnsatConjunction) {
+  Ctx c;
+  ExprRef x = c.var("x");
+  Solver s(c);
+  s.add(c.ult(x, c.constant(5)));
+  s.add(c.ult(c.constant(10), x));
+  EXPECT_EQ(s.check(), SatResult::kUnsat);
+}
+
+TEST(Solver, ConstantFalseShortCircuits) {
+  Ctx c;
+  Solver s(c);
+  s.add(c.bool_const(false));
+  EXPECT_EQ(s.check(), SatResult::kUnsat);
+}
+
+TEST(Solver, MaskedCompare) {
+  // (x & 0xff) == 0xC5 && x u> 0xFFFF is satisfiable.
+  Ctx c;
+  ExprRef x = c.var("x");
+  Solver s(c);
+  s.add(c.eq(c.band(x, c.constant(0xff)), c.constant(0xC5)));
+  s.add(c.ult(c.constant(0xFFFF), x));
+  ASSERT_EQ(s.check(), SatResult::kSat);
+  u64 m = s.model(x);
+  EXPECT_EQ(m & 0xff, 0xC5u);
+  EXPECT_GT(m, 0xFFFFu);
+}
+
+// Property: bit-blasted semantics match Ctx::eval on random expressions.
+class BlastRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlastRandom, ModelEvaluatesExpressionsConsistently) {
+  Rng rng(static_cast<u64>(GetParam()) * 999 + 5);
+  for (int trial = 0; trial < 12; ++trial) {
+    Ctx c;
+    ExprRef x = c.var("x");
+    ExprRef y = c.var("y");
+    // Build a random expression tree over x, y.
+    std::vector<ExprRef> pool = {x, y, c.constant(rng.next()), c.constant(rng.below(256))};
+    for (int i = 0; i < 12; ++i) {
+      ExprRef a = pool[rng.below(pool.size())];
+      ExprRef b = pool[rng.below(pool.size())];
+      switch (rng.below(9)) {
+        case 0: pool.push_back(c.add(a, b)); break;
+        case 1: pool.push_back(c.sub(a, b)); break;
+        case 2: pool.push_back(c.band(a, b)); break;
+        case 3: pool.push_back(c.bor(a, b)); break;
+        case 4: pool.push_back(c.bxor(a, b)); break;
+        case 5: pool.push_back(c.bnot(a)); break;
+        case 6: pool.push_back(c.shl(a, c.constant(rng.below(64)))); break;
+        case 7: pool.push_back(c.lshr(a, c.constant(rng.below(64)))); break;
+        case 8: pool.push_back(c.ite(c.ult(a, b), a, b)); break;
+      }
+    }
+    ExprRef e = pool.back();
+    ExprRef target = c.constant(rng.next());
+    // Ask the solver for x,y with e == target OR prove none exist; if SAT,
+    // the model must make eval(e) == target.
+    Solver s(c);
+    s.add(c.eq(e, target));
+    SatResult r = s.check(1u << 20);
+    if (r == SatResult::kSat) {
+      auto model = s.full_model();
+      EXPECT_EQ(c.eval(e, model), c.eval(target, model)) << "trial " << trial;
+    }
+    // UNSAT is fine too (target may be unreachable); kUnknown only on budget.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlastRandom, ::testing::Range(0, 6));
+
+TEST(Blast, MulDivRemConsistency) {
+  // q = a / b, r = a % b with b != 0 implies q*b + r == a (2w-bit exact) and
+  // r < b. 8-bit width keeps the UNSAT proof tractable for the CDCL backend.
+  Ctx c;
+  ExprRef a = c.var("a", 8);
+  ExprRef b = c.var("b", 8);
+  Solver s(c);
+  s.add(c.ne(b, c.constant(0, 8)));
+  ExprRef q = c.udiv(a, b);
+  ExprRef r = c.urem(a, b);
+  ExprRef prod16 = c.mul(c.zext(q, 16), c.zext(b, 16));
+  ExprRef sum16 = c.add(prod16, c.zext(r, 16));
+  // Violation query must be UNSAT.
+  s.add(c.lnot(c.land(c.eq(sum16, c.zext(a, 16)), c.ult(r, b))));
+  EXPECT_EQ(s.check(1u << 21), SatResult::kUnsat);
+}
+
+TEST(Blast, DivRemConcreteSpotChecks) {
+  // Concrete end-to-end: solver must find x with x / 7 == 5 && x % 7 == 3.
+  Ctx c;
+  ExprRef x = c.var("x", 16);
+  Solver s(c);
+  s.add(c.eq(c.udiv(x, c.constant(7, 16)), c.constant(5, 16)));
+  s.add(c.eq(c.urem(x, c.constant(7, 16)), c.constant(3, 16)));
+  ASSERT_EQ(s.check(), SatResult::kSat);
+  EXPECT_EQ(s.model(x), 38u);
+}
+
+// ---- filter symbolic execution -------------------------------------------------
+
+constexpr i64 kAv = static_cast<i64>(0xC0000005);
+
+isa::Image av_only_filter_image() {
+  Assembler a("dll");
+  a.set_dll(true);
+  a.label("filter");
+  a.cmpi(Reg::R1, kAv);
+  a.jcc(Cond::kEq, "yes");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.label("yes");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  return a.build();
+}
+
+/// Does any explored path return EXECUTE_HANDLER under exc_code == AV?
+bool accepts_av(Ctx& c, FilterExecutor& fx, const FilterAnalysis& fa) {
+  for (const auto& p : fa.paths) {
+    Solver s(c);
+    s.add(p.cond);
+    s.add(c.eq(fx.exc_code(), c.constant(0xC0000005)));
+    s.add(c.eq(p.ret, c.constant(kDispExecuteHandler)));
+    if (s.check() == SatResult::kSat) return true;
+  }
+  return false;
+}
+
+TEST(FilterExec, AvOnlyFilterAcceptsAv) {
+  Ctx c;
+  isa::Image img = av_only_filter_image();
+  FilterExecutor fx(c, img);
+  u64 off = img.find_symbol("filter")->offset;
+  FilterAnalysis fa = fx.explore(off);
+  EXPECT_GE(fa.paths.size(), 2u);
+  EXPECT_TRUE(accepts_av(c, fx, fa));
+}
+
+TEST(FilterExec, AvOnlyFilterRejectsAvOnlyWhenCodeDiffers) {
+  // Verify the complementary query: a path returning EXECUTE_HANDLER with
+  // exc_code != AV must be UNSAT for the AV-only filter.
+  Ctx c;
+  isa::Image img = av_only_filter_image();
+  FilterExecutor fx(c, img);
+  FilterAnalysis fa = fx.explore(img.find_symbol("filter")->offset);
+  for (const auto& p : fa.paths) {
+    Solver s(c);
+    s.add(p.cond);
+    s.add(c.ne(fx.exc_code(), c.constant(0xC0000005)));
+    s.add(c.eq(p.ret, c.constant(kDispExecuteHandler)));
+    EXPECT_EQ(s.check(), SatResult::kUnsat);
+  }
+}
+
+TEST(FilterExec, RejectingFilterNeverAcceptsAv) {
+  // Filter that only accepts divide-by-zero.
+  Assembler a("dll");
+  a.set_dll(true);
+  a.label("filter");
+  a.cmpi(Reg::R1, static_cast<i64>(0xC0000094));
+  a.jcc(Cond::kEq, "yes");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.label("yes");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  isa::Image img = a.build();
+  Ctx c;
+  FilterExecutor fx(c, img);
+  FilterAnalysis fa = fx.explore(img.find_symbol("filter")->offset);
+  EXPECT_FALSE(accepts_av(c, fx, fa));
+}
+
+TEST(FilterExec, ExclusionListFilterAcceptsAv) {
+  // Firefox-style (§VI-B): excludes breakpoints and illegal instruction,
+  // handles everything else including AV.
+  Assembler a("dll");
+  a.set_dll(true);
+  a.label("filter");
+  a.cmpi(Reg::R1, static_cast<i64>(0x80000003));
+  a.jcc(Cond::kEq, "no");
+  a.cmpi(Reg::R1, static_cast<i64>(0xC000001D));
+  a.jcc(Cond::kEq, "no");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  a.label("no");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  isa::Image img = a.build();
+  Ctx c;
+  FilterExecutor fx(c, img);
+  FilterAnalysis fa = fx.explore(img.find_symbol("filter")->offset);
+  EXPECT_TRUE(accepts_av(c, fx, fa));
+}
+
+TEST(FilterExec, FilterReadingRecordFields) {
+  // Filter reads the exception code from the record (not R1) and accepts AV
+  // only for read accesses (record+24 == 0).
+  Assembler a("dll");
+  a.set_dll(true);
+  a.label("filter");
+  a.load(Reg::R3, Reg::R2, 8, 0);   // code from record
+  a.cmpi(Reg::R3, kAv);
+  a.jcc(Cond::kNe, "no");
+  a.load(Reg::R4, Reg::R2, 8, 24);  // access kind
+  a.cmpi(Reg::R4, 0);
+  a.jcc(Cond::kNe, "no");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  a.label("no");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  isa::Image img = a.build();
+  Ctx c;
+  FilterExecutor fx(c, img);
+  FilterAnalysis fa = fx.explore(img.find_symbol("filter")->offset);
+  // Accepting AV requires the record's code field — but our record code var
+  // is independent from R1's exc_code var only if the executor models them
+  // as the same variable. It does: record bytes [0..8) are exc_code.
+  EXPECT_TRUE(accepts_av(c, fx, fa));
+  // And with access == write (1), the same filter must reject.
+  bool accepts_write = false;
+  for (const auto& p : fa.paths) {
+    Solver s(c);
+    s.add(p.cond);
+    s.add(c.eq(fx.exc_code(), c.constant(0xC0000005)));
+    s.add(c.eq(fx.access_kind(), c.constant(1)));
+    s.add(c.eq(p.ret, c.constant(kDispExecuteHandler)));
+    if (s.check() == SatResult::kSat) accepts_write = true;
+  }
+  EXPECT_FALSE(accepts_write);
+}
+
+TEST(FilterExec, ConfigGatedFilterUsesStaticData) {
+  // Filter consults a .data flag; statically 0 -> never accepts (the IE
+  // post-security-update shape from §VII-A: our tool misses it, as the
+  // paper's did).
+  Assembler a("dll");
+  a.set_dll(true);
+  a.label("filter");
+  a.lea_pc(Reg::R3, "cfg");
+  a.load(Reg::R4, Reg::R3, 8);
+  a.cmpi(Reg::R4, 0);
+  a.jcc(Cond::kNe, "enabled");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.label("enabled");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  a.data_u64("cfg", 0);
+  isa::Image img = a.build();
+  Ctx c;
+  FilterExecutor fx(c, img);
+  FilterAnalysis fa = fx.explore(img.find_symbol("filter")->offset);
+  EXPECT_FALSE(accepts_av(c, fx, fa));
+}
+
+TEST(FilterExec, ExternalCallMarksPath) {
+  Assembler a("dll");
+  a.set_dll(true);
+  a.label("filter");
+  a.call_import("config", "get_policy");
+  a.ret();  // returns whatever the external call produced
+  isa::Image img = a.build();
+  Ctx c;
+  FilterExecutor fx(c, img);
+  FilterAnalysis fa = fx.explore(img.find_symbol("filter")->offset);
+  ASSERT_EQ(fa.paths.size(), 1u);
+  EXPECT_TRUE(fa.paths[0].external_call);
+}
+
+TEST(FilterExec, CallsAndStackWork) {
+  // Filter delegating to an internal helper (call/ret round trip).
+  Assembler a("dll");
+  a.set_dll(true);
+  a.label("filter");
+  a.call("helper");
+  a.ret();
+  a.label("helper");
+  a.cmpi(Reg::R1, kAv);
+  a.jcc(Cond::kEq, "yes");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.label("yes");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  isa::Image img = a.build();
+  Ctx c;
+  FilterExecutor fx(c, img);
+  FilterAnalysis fa = fx.explore(img.find_symbol("filter")->offset);
+  EXPECT_TRUE(accepts_av(c, fx, fa));
+}
+
+TEST(FilterExec, LoopBudgetTruncates) {
+  Assembler a("dll");
+  a.set_dll(true);
+  a.label("filter");
+  a.label("spin");
+  a.jmp("spin");
+  isa::Image img = a.build();
+  Ctx c;
+  FilterExecutor fx(c, img);
+  FilterAnalysis fa = fx.explore(img.find_symbol("filter")->offset, 8, 200);
+  EXPECT_TRUE(fa.truncated);
+  EXPECT_TRUE(fa.paths.empty());
+}
+
+}  // namespace
+}  // namespace crp::symex
+
+// Appended property coverage for the expression layer and solver.
+namespace crp::symex {
+namespace {
+
+// Property: zext/sext/extract/concat round-trips agree with plain
+// arithmetic for random widths and values.
+class WidthOps : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidthOps, ExtractConcatRoundTrip) {
+  Rng rng(static_cast<u64>(GetParam()) * 31 + 7);
+  for (int trial = 0; trial < 40; ++trial) {
+    Ctx c;
+    u8 lo_w = static_cast<u8>(rng.range(1, 32));
+    u8 hi_w = static_cast<u8>(rng.range(1, 32));
+    u64 lo_v = rng.next() & ((lo_w >= 64 ? ~0ull : (1ull << lo_w) - 1));
+    u64 hi_v = rng.next() & ((hi_w >= 64 ? ~0ull : (1ull << hi_w) - 1));
+    ExprRef whole = c.concat(c.constant(hi_v, hi_w), c.constant(lo_v, lo_w));
+    EXPECT_EQ(c.const_value(c.extract(whole, 0, lo_w)), lo_v);
+    EXPECT_EQ(c.const_value(c.extract(whole, lo_w, hi_w)), hi_v);
+  }
+}
+
+TEST_P(WidthOps, SextAgreesWithArithmetic) {
+  Rng rng(static_cast<u64>(GetParam()) * 77 + 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    Ctx c;
+    u8 w = static_cast<u8>(rng.range(2, 32));
+    u64 v = rng.next() & ((1ull << w) - 1);
+    i64 as_signed = static_cast<i64>(v << (64 - w)) >> (64 - w);
+    EXPECT_EQ(c.const_value(c.sext(c.constant(v, w), 64)),
+              static_cast<u64>(as_signed));
+    EXPECT_EQ(c.const_value(c.zext(c.constant(v, w), 64)), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WidthOps, ::testing::Range(0, 4));
+
+// Property: for random concrete inputs, building an expression from
+// constants folds to exactly the interpreter-style evaluation of the same
+// expression built from variables.
+class FoldVsEval : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldVsEval, ConstantFoldingMatchesEval) {
+  Rng rng(static_cast<u64>(GetParam()) * 1337 + 21);
+  for (int trial = 0; trial < 60; ++trial) {
+    Ctx c;
+    u64 xv = rng.next(), yv = rng.next();
+    ExprRef x = c.var("x");
+    ExprRef y = c.var("y");
+    std::unordered_map<u32, u64> model{{0, xv}, {1, yv}};
+    // One random operator application.
+    ExprRef sym = kNullExpr, con = kNullExpr;
+    switch (rng.below(12)) {
+      case 0: sym = c.add(x, y); con = c.add(c.constant(xv), c.constant(yv)); break;
+      case 1: sym = c.sub(x, y); con = c.sub(c.constant(xv), c.constant(yv)); break;
+      case 2: sym = c.mul(x, y); con = c.mul(c.constant(xv), c.constant(yv)); break;
+      case 3: sym = c.udiv(x, y); con = c.udiv(c.constant(xv), c.constant(yv)); break;
+      case 4: sym = c.urem(x, y); con = c.urem(c.constant(xv), c.constant(yv)); break;
+      case 5: sym = c.band(x, y); con = c.band(c.constant(xv), c.constant(yv)); break;
+      case 6: sym = c.bor(x, y); con = c.bor(c.constant(xv), c.constant(yv)); break;
+      case 7: sym = c.bxor(x, y); con = c.bxor(c.constant(xv), c.constant(yv)); break;
+      case 8: sym = c.eq(x, y); con = c.eq(c.constant(xv), c.constant(yv)); break;
+      case 9: sym = c.ult(x, y); con = c.ult(c.constant(xv), c.constant(yv)); break;
+      case 10: sym = c.slt(x, y); con = c.slt(c.constant(xv), c.constant(yv)); break;
+      case 11: {
+        u64 amount = rng.below(64);
+        sym = c.shl(x, c.constant(amount));
+        con = c.shl(c.constant(xv), c.constant(amount));
+        break;
+      }
+    }
+    ASSERT_TRUE(c.is_const(con));
+    EXPECT_EQ(c.eval(sym, model), *c.const_value(con)) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldVsEval, ::testing::Range(0, 6));
+
+TEST(Solver, MultiVariableSystem) {
+  // x + y == 100, x - y == 40  =>  x == 70, y == 30 (8-bit).
+  Ctx c;
+  ExprRef x = c.var("x", 8);
+  ExprRef y = c.var("y", 8);
+  Solver s(c);
+  s.add(c.eq(c.add(x, y), c.constant(100, 8)));
+  s.add(c.eq(c.sub(x, y), c.constant(40, 8)));
+  ASSERT_EQ(s.check(), SatResult::kSat);
+  u64 xv = s.model(x), yv = s.model(y);
+  EXPECT_EQ((xv + yv) & 0xff, 100u);
+  EXPECT_EQ((xv - yv) & 0xff, 40u);
+}
+
+TEST(Solver, IteBranchSelection) {
+  Ctx c;
+  ExprRef x = c.var("x");
+  // ite(x < 10, x + 1, 0) == 5  =>  x == 4.
+  Solver s(c);
+  s.add(c.eq(c.ite(c.ult(x, c.constant(10)), c.add(x, c.constant(1)), c.constant(0)),
+             c.constant(5)));
+  ASSERT_EQ(s.check(), SatResult::kSat);
+  EXPECT_EQ(s.model(x), 4u);
+}
+
+TEST(Sat, UnitChainPropagation) {
+  SatSolver s;
+  int v[6];
+  for (auto& x : v) x = s.new_var();
+  // Implication chain v0 -> v1 -> ... -> v5, assert v0, forbid v5: UNSAT.
+  for (int i = 0; i < 5; ++i) s.add_clause({-v[i], v[i + 1]});
+  s.add_clause({v[0]});
+  s.add_clause({-v[5]});
+  EXPECT_EQ(s.solve(), SatResult::kUnsat);
+}
+
+TEST(Sat, DuplicateAndTautologyClausesHandled) {
+  SatSolver s;
+  int a = s.new_var(), b = s.new_var();
+  s.add_clause({a, a, a});       // collapses to unit
+  s.add_clause({b, -b});          // tautology: dropped
+  s.add_clause({-a, b});
+  ASSERT_EQ(s.solve(), SatResult::kSat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+}
+
+TEST(FilterExec, VehPrototypeUsesRecordPointerInR1) {
+  // VEH handler reading the code via R1 (= &record): only the kVeh
+  // prototype should find the AV-continue path.
+  isa::Assembler a("dll");
+  a.set_dll(true);
+  a.label("veh");
+  a.load(Reg::R3, Reg::R1, 8, 0);  // code from record via R1
+  a.cmpi(Reg::R3, static_cast<i64>(0xC0000005));
+  a.jcc(Cond::kEq, "veh_y");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.label("veh_y");
+  a.movi(Reg::R0, -1);  // CONTINUE_EXECUTION
+  a.ret();
+  isa::Image img = a.build();
+  Ctx c;
+  FilterExecutor fx(c, img);
+  FilterAnalysis veh = fx.explore(img.find_symbol("veh")->offset, 16, 512,
+                                  FilterExecutor::Proto::kVeh);
+  bool continues = false;
+  for (const auto& p : veh.paths) {
+    Solver s(c);
+    s.add(p.cond);
+    s.add(c.eq(fx.exc_code(), c.constant(0xC0000005)));
+    s.add(c.eq(p.ret, c.constant(kDispContinueExecution)));
+    if (s.check() == SatResult::kSat) continues = true;
+  }
+  EXPECT_TRUE(continues);
+}
+
+}  // namespace
+}  // namespace crp::symex

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "isa/assembler.h"
+#include "os/kernel.h"
+#include "taint/taint.h"
+
+namespace crp::taint {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Reg;
+using os::Sys;
+
+void emit_syscall(Assembler& a, Sys nr) {
+  a.movi(Reg::R0, static_cast<i64>(nr));
+  a.syscall();
+}
+
+struct World {
+  os::Kernel k;
+  int pid = 0;
+  std::unique_ptr<TaintEngine> taint;
+
+  explicit World(isa::Image img, u64 seed = 21) {
+    pid = k.create_process(img.name, vm::Personality::kLinux, seed);
+    k.proc(pid).load(std::make_shared<isa::Image>(std::move(img)));
+    k.start_process(pid);
+    taint = std::make_unique<TaintEngine>(k, k.proc(pid));
+  }
+  os::Process& p() { return k.proc(pid); }
+};
+
+TEST(MaskForColor, Mapping) {
+  EXPECT_EQ(mask_for_color(0), 0u);
+  EXPECT_EQ(mask_for_color(1), 1u);
+  EXPECT_EQ(mask_for_color(2), 2u);
+  EXPECT_EQ(mask_for_color(64), 1ull << 63);
+  EXPECT_EQ(mask_for_color(65), 1u);  // wraps
+}
+
+TEST(Propagation, LoadStoreMovArith) {
+  // Program: tainted cell -> load -> mov -> add imm -> store elsewhere.
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R2, "src");
+  a.load(Reg::R3, Reg::R2, 8);
+  a.mov(Reg::R4, Reg::R3);
+  a.addi(Reg::R4, 5);
+  a.lea_pc(Reg::R5, "dst");
+  a.store(Reg::R5, 0, Reg::R4, 8);
+  // Also: overwrite R3 with a constant -> taint cleared.
+  a.movi(Reg::R3, 0);
+  a.label("stop");
+  a.jmp("stop");
+  a.set_entry("e");
+  a.data_u64("src", 0xabcd);
+  a.data_u64("dst", 0);
+  World w(a.build());
+  gva_t src = w.p().machine().modules()[0].symbol_addr("src");
+  gva_t dst = w.p().machine().modules()[0].symbol_addr("dst");
+  w.taint->taint_mem(src, 8, mask_for_color(3));
+  w.k.run(2000);
+  EXPECT_EQ(w.taint->mem_taint(dst, 8), mask_for_color(3));
+  EXPECT_EQ(w.taint->reg_taint(Reg::R4), mask_for_color(3));
+  EXPECT_EQ(w.taint->reg_taint(Reg::R3), 0u);
+}
+
+TEST(Propagation, ByteGranularity) {
+  // Taint only byte 2 of an 8-byte cell; a 1-byte load of byte 0 is clean,
+  // of byte 2 is tainted.
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R2, "src");
+  a.load(Reg::R3, Reg::R2, 1, 0);
+  a.load(Reg::R4, Reg::R2, 1, 2);
+  a.label("stop");
+  a.jmp("stop");
+  a.set_entry("e");
+  a.data_u64("src", 0);
+  World w(a.build());
+  gva_t src = w.p().machine().modules()[0].symbol_addr("src");
+  w.taint->taint_mem(src + 2, 1, mask_for_color(1));
+  w.k.run(2000);
+  EXPECT_EQ(w.taint->reg_taint(Reg::R3), 0u);
+  EXPECT_EQ(w.taint->reg_taint(Reg::R4), mask_for_color(1));
+}
+
+TEST(Propagation, UnionOnRegReg) {
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R2, "x");
+  a.load(Reg::R3, Reg::R2, 8, 0);
+  a.load(Reg::R4, Reg::R2, 8, 8);
+  a.add(Reg::R3, Reg::R4);
+  a.label("stop");
+  a.jmp("stop");
+  a.set_entry("e");
+  a.data_u64("x", 1);
+  a.data_u64("y", 2);
+  World w(a.build());
+  gva_t x = w.p().machine().modules()[0].symbol_addr("x");
+  w.taint->taint_mem(x, 8, mask_for_color(1));
+  w.taint->taint_mem(x + 8, 8, mask_for_color(2));
+  w.k.run(2000);
+  EXPECT_EQ(w.taint->reg_taint(Reg::R3), mask_for_color(1) | mask_for_color(2));
+}
+
+TEST(Propagation, XorZeroingClears) {
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R2, "x");
+  a.load(Reg::R3, Reg::R2, 8);
+  a.xor_(Reg::R3, Reg::R3);
+  a.label("stop");
+  a.jmp("stop");
+  a.set_entry("e");
+  a.data_u64("x", 1);
+  World w(a.build());
+  w.taint->taint_mem(w.p().machine().modules()[0].symbol_addr("x"), 8, 1);
+  w.k.run(2000);
+  EXPECT_EQ(w.taint->reg_taint(Reg::R3), 0u);
+}
+
+TEST(Propagation, PushPopThroughStack) {
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R2, "x");
+  a.load(Reg::R3, Reg::R2, 8);
+  a.push(Reg::R3);
+  a.pop(Reg::R4);
+  a.label("stop");
+  a.jmp("stop");
+  a.set_entry("e");
+  a.data_u64("x", 1);
+  World w(a.build());
+  w.taint->taint_mem(w.p().machine().modules()[0].symbol_addr("x"), 8, 4);
+  w.k.run(2000);
+  EXPECT_EQ(w.taint->reg_taint(Reg::R4), 4u);
+}
+
+TEST(Provenance, TracksLoadHome) {
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R2, "ptr_cell");
+  a.load(Reg::R3, Reg::R2, 8);  // R3 loaded from ptr_cell
+  a.mov(Reg::R4, Reg::R3);      // provenance follows mov
+  a.addi(Reg::R3, 8);           // arithmetic clears provenance
+  a.label("stop");
+  a.jmp("stop");
+  a.set_entry("e");
+  a.data_u64("ptr_cell", 0x1234);
+  World w(a.build());
+  gva_t cell = w.p().machine().modules()[0].symbol_addr("ptr_cell");
+  w.k.run(2000);
+  auto prov4 = w.taint->reg_provenance(Reg::R4);
+  ASSERT_TRUE(prov4.has_value());
+  EXPECT_EQ(*prov4, cell);
+  EXPECT_FALSE(w.taint->reg_provenance(Reg::R3).has_value());
+}
+
+TEST(Sources, NetworkBytesCarryConnectionColor) {
+  // Server reads from a client; the buffer bytes must carry the client's
+  // color, and a pointer loaded from those bytes must taint the register.
+  Assembler a("srv");
+  a.label("e");
+  emit_syscall(a, Sys::kSocket);
+  a.mov(Reg::R5, Reg::R0);
+  a.mov(Reg::R1, Reg::R5);
+  a.movi(Reg::R2, 8080);
+  emit_syscall(a, Sys::kBind);
+  a.mov(Reg::R1, Reg::R5);
+  emit_syscall(a, Sys::kListen);
+  a.mov(Reg::R1, Reg::R5);
+  a.movi(Reg::R2, 0);
+  emit_syscall(a, Sys::kAccept);
+  a.mov(Reg::R6, Reg::R0);
+  a.mov(Reg::R1, Reg::R6);
+  a.lea_pc(Reg::R2, "buf");
+  a.movi(Reg::R3, 64);
+  emit_syscall(a, Sys::kRead);
+  // Load the first 8 client bytes as a "pointer".
+  a.lea_pc(Reg::R2, "buf");
+  a.load(Reg::R7, Reg::R2, 8);
+  a.label("stop");
+  a.jmp("stop");
+  a.set_entry("e");
+  a.data_zero("buf", 64);
+  World w(a.build());
+  w.k.run(50000);
+  auto client = w.k.connect(8080);
+  ASSERT_TRUE(client.has_value());
+  w.k.run(50000);
+  client->send("AAAAAAAA");
+  w.k.run(50000);
+  gva_t buf = w.p().machine().modules()[0].symbol_addr("buf");
+  Mask expected = mask_for_color(client->color());
+  EXPECT_NE(expected, 0u);
+  EXPECT_EQ(w.taint->mem_taint(buf, 8), expected);
+  EXPECT_EQ(w.taint->reg_taint(Reg::R7), expected);
+  auto prov = w.taint->reg_provenance(Reg::R7);
+  ASSERT_TRUE(prov.has_value());
+  EXPECT_EQ(*prov, buf);
+}
+
+TEST(Sources, FileBytesAreClean) {
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R1, "path");
+  a.movi(Reg::R2, 0);
+  emit_syscall(a, Sys::kOpen);
+  a.mov(Reg::R1, Reg::R0);
+  a.lea_pc(Reg::R2, "buf");
+  a.movi(Reg::R3, 16);
+  emit_syscall(a, Sys::kRead);
+  a.label("stop");
+  a.jmp("stop");
+  a.set_entry("e");
+  a.data_cstr("path", "/f");
+  a.data_zero("buf", 16);
+  World w(a.build());
+  w.k.vfs().put_file("/f", "0123456789abcdef");
+  w.k.run(100000);
+  gva_t buf = w.p().machine().modules()[0].symbol_addr("buf");
+  EXPECT_EQ(w.taint->mem_taint(buf, 16), 0u);
+}
+
+TEST(Control, DisableStopsTracking) {
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R2, "x");
+  a.load(Reg::R3, Reg::R2, 8);
+  a.label("stop");
+  a.jmp("stop");
+  a.set_entry("e");
+  a.data_u64("x", 1);
+  World w(a.build());
+  w.taint->taint_mem(w.p().machine().modules()[0].symbol_addr("x"), 8, 1);
+  w.taint->set_enabled(false);
+  w.k.run(2000);
+  EXPECT_EQ(w.taint->reg_taint(Reg::R3), 0u);
+}
+
+TEST(Control, ClearAllResets) {
+  Assembler a("t");
+  a.label("e");
+  a.label("stop");
+  a.jmp("stop");
+  a.set_entry("e");
+  World w(a.build());
+  w.taint->taint_mem(0x5000, 16, 3);
+  EXPECT_EQ(w.taint->mem_taint(0x5000, 16), 3u);
+  w.taint->clear_all();
+  EXPECT_EQ(w.taint->mem_taint(0x5000, 16), 0u);
+}
+
+}  // namespace
+}  // namespace crp::taint

@@ -1,0 +1,523 @@
+#include <gtest/gtest.h>
+
+#include "analysis/seh_analysis.h"
+#include "analysis/syscall_scanner.h"
+#include "analysis/veh_scanner.h"
+#include "targets/browser.h"
+#include "targets/common.h"
+#include "targets/dll_corpus.h"
+#include "targets/servers.h"
+#include "trace/tracer.h"
+
+namespace crp::targets {
+namespace {
+
+using analysis::SyscallScanner;
+using analysis::Verdict;
+
+/// Find the verified verdict for (syscall, arg 2) in a scan result.
+Verdict verdict_of(const analysis::SyscallScanResult& res, os::Sys nr) {
+  for (const auto& c : res.candidates)
+    if (c.syscall == nr) return c.verdict;
+  return Verdict::kUntested;
+}
+
+// --- servers: liveness -------------------------------------------------------------
+
+class ServerLiveness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServerLiveness, StartsAndServes) {
+  auto servers = all_servers();
+  const auto& t = servers[static_cast<size_t>(GetParam())];
+  os::Kernel k;
+  int pid = t.instantiate(k, 2024);
+  k.run(4'000'000);
+  EXPECT_TRUE(k.proc(pid).alive()) << t.name;
+  EXPECT_TRUE(t.service_alive(k, pid)) << t.name;
+  EXPECT_TRUE(k.proc(pid).alive()) << t.name;
+}
+
+std::string server_case_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* names[] = {"nginx", "cherokee", "lighttpd", "memcached", "postgres"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, ServerLiveness, ::testing::Range(0, 5), server_case_name);
+
+// --- servers: workload survives repeatedly ------------------------------------------
+
+TEST(Servers, WorkloadIsCrashFree) {
+  for (auto& t : all_servers()) {
+    os::Kernel k;
+    int pid = t.instantiate(k, 31);
+    t.workload(k, pid);
+    // Main process alive (postgres workers may have exited gracefully).
+    EXPECT_TRUE(k.proc(pid).alive()) << t.name;
+    for (int p : k.pids()) {
+      const os::Process* proc = k.find_proc(p);
+      EXPECT_FALSE(proc->exit_info().crashed) << t.name << " pid " << p;
+    }
+  }
+}
+
+// --- the paper's headline verdicts (Table I greens + the FP) -------------------------
+
+TEST(Discovery, NginxRecvIsUsable) {
+  auto t = make_nginx();
+  SyscallScanner scanner(t);
+  auto res = scanner.discover();
+  analysis::Candidate* recv = nullptr;
+  for (auto& c : res.candidates)
+    if (c.syscall == os::Sys::kRecv) recv = &c;
+  ASSERT_NE(recv, nullptr);
+  EXPECT_TRUE(recv->controllable_home);  // ngx_buf_t heap field
+  ASSERT_TRUE(recv->pointer_home.has_value());
+  scanner.verify(*recv);
+  EXPECT_EQ(recv->verdict, Verdict::kUsable);
+}
+
+TEST(Discovery, LighttpdReadIsUsableAndTainted) {
+  auto t = make_lighttpd();
+  SyscallScanner scanner(t);
+  auto res = scanner.discover();
+  analysis::Candidate* read = nullptr;
+  for (auto& c : res.candidates)
+    if (c.syscall == os::Sys::kRead && c.pointer_arg == 2) read = &c;
+  ASSERT_NE(read, nullptr);
+  EXPECT_NE(read->taint_mask, 0u);  // range offset taints the pointer
+  scanner.verify(*read);
+  EXPECT_EQ(read->verdict, Verdict::kUsable);
+}
+
+TEST(Discovery, CherokeeEpollIsUsable) {
+  auto t = make_cherokee();
+  SyscallScanner scanner(t);
+  auto res = scanner.discover();
+  analysis::Candidate* ep = nullptr;
+  for (auto& c : res.candidates)
+    if (c.syscall == os::Sys::kEpollWait) ep = &c;
+  ASSERT_NE(ep, nullptr);
+  EXPECT_TRUE(ep->controllable_home);  // fdpoll heap field
+  scanner.verify(*ep);
+  EXPECT_EQ(ep->verdict, Verdict::kUsable);
+}
+
+TEST(Discovery, MemcachedEpollIsTheFalsePositive) {
+  auto t = make_memcached();
+  SyscallScanner scanner(t);
+  auto res = scanner.discover();
+  analysis::Candidate* ep = nullptr;
+  analysis::Candidate* rd = nullptr;
+  for (auto& c : res.candidates) {
+    if (c.syscall == os::Sys::kEpollWait) ep = &c;
+    if (c.syscall == os::Sys::kRead) rd = &c;
+  }
+  ASSERT_NE(ep, nullptr);
+  ASSERT_NE(rd, nullptr);
+  scanner.verify(*ep);
+  scanner.verify(*rd);
+  EXPECT_EQ(ep->verdict, Verdict::kFalsePositive);  // §V-A: thread dies silently
+  EXPECT_EQ(rd->verdict, Verdict::kUsable);
+}
+
+TEST(Discovery, MemcachedFpInvisibleWithoutLivenessCheck) {
+  // The paper's initial framework lacked the service-liveness strategy and
+  // reported the candidate as valid; reproduce that mode.
+  auto t = make_memcached();
+  analysis::SyscallScanOptions opts;
+  opts.check_service_liveness = false;
+  SyscallScanner scanner(t, opts);
+  auto res = scanner.discover();
+  analysis::Candidate* ep = nullptr;
+  for (auto& c : res.candidates)
+    if (c.syscall == os::Sys::kEpollWait) ep = &c;
+  ASSERT_NE(ep, nullptr);
+  scanner.verify(*ep);
+  EXPECT_EQ(ep->verdict, Verdict::kUsable);  // the naive (wrong) verdict
+}
+
+TEST(Discovery, PostgresWorkerEpollIsUsable) {
+  auto t = make_postgres();
+  SyscallScanner scanner(t);
+  auto res = scanner.discover();
+  analysis::Candidate* ep = nullptr;
+  for (auto& c : res.candidates)
+    if (c.syscall == os::Sys::kEpollWait) ep = &c;
+  ASSERT_NE(ep, nullptr);  // discovered inside the worker process
+  scanner.verify(*ep);
+  EXPECT_EQ(ep->verdict, Verdict::kUsable);
+}
+
+TEST(Discovery, NonControllablePathPointersStayNegative) {
+  auto t = make_nginx();
+  SyscallScanner scanner(t);
+  auto res = scanner.run_full();
+  EXPECT_EQ(verdict_of(res, os::Sys::kOpen), Verdict::kNotControllable);
+  EXPECT_EQ(verdict_of(res, os::Sys::kChmod), Verdict::kNotControllable);
+  EXPECT_EQ(verdict_of(res, os::Sys::kMkdir), Verdict::kNotControllable);
+}
+
+// --- DLL corpus -----------------------------------------------------------------------
+
+TEST(DllCorpus, PlantedCountsAreRecoveredStatically) {
+  DllSpec spec{"testdll", isa::Machine::kX64, 20, 8, 5, 12, 6};
+  GeneratedDll dll = generate_dll(spec, 99);
+  analysis::SehExtractor ex;
+  ex.add_image(dll.image);
+  EXPECT_EQ(ex.handlers().size(), 20u);
+
+  analysis::FilterClassifier fc;
+  auto filters = fc.classify_all(ex);
+  auto stats = analysis::CoverageXref::compute(ex, filters, nullptr, nullptr);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].guarded_total, 20u);
+  EXPECT_EQ(stats[0].guarded_av_capable, 8u);
+  EXPECT_EQ(stats[0].filters_total, 12u);
+  EXPECT_EQ(stats[0].filters_av_capable, 6u);
+}
+
+TEST(DllCorpus, DeterministicForSeed) {
+  DllSpec spec{"d", isa::Machine::kX64, 10, 4, 2, 6, 3};
+  auto a = generate_dll(spec, 5);
+  auto b = generate_dll(spec, 5);
+  EXPECT_EQ(isa::write_image(*a.image), isa::write_image(*b.image));
+  auto c = generate_dll(spec, 6);
+  EXPECT_NE(isa::write_image(*a.image), isa::write_image(*c.image));
+}
+
+TEST(DllCorpus, HotExportsAreCallable) {
+  DllSpec spec{"d", isa::Machine::kX64, 10, 4, 4, 6, 3};
+  auto dll = generate_dll(spec, 5);
+  EXPECT_FALSE(dll.hot_exports.empty());
+  os::Kernel k;
+  int pid = k.create_process("host", vm::Personality::kWindows, 3);
+  k.proc(pid).load(dll.image);
+  // Call each hot export via call_subroutine; none may crash.
+  os::Process& p = k.proc(pid);
+  gva_t stack = p.machine().layout().place(mem::RegionKind::kStack, 65536, "s");
+  CRP_CHECK(p.machine().mem().map(stack, 65536, mem::kPermR | mem::kPermW));
+  vm::Cpu cpu;
+  cpu.sp() = stack + 65000;
+  const vm::LoadedModule* mod = p.machine().module_named("d");
+  for (const auto& name : dll.hot_exports) {
+    gva_t fn = mod->export_addr(name);
+    ASSERT_NE(fn, 0u);
+    EXPECT_TRUE(p.machine().call_subroutine(cpu, fn, {}).has_value()) << name;
+  }
+}
+
+TEST(DllCorpus, PaperSpecsSatisfyGeneratorInvariants) {
+  for (const auto& spec : paper_dll_specs()) {
+    EXPECT_GE(spec.guarded, spec.guarded_av) << spec.name;
+    EXPECT_GE(spec.guarded_av, spec.filters_av) << spec.name;
+    EXPECT_GE(spec.guarded - spec.guarded_av, spec.filters_total - spec.filters_av)
+        << spec.name;
+    // Must not panic:
+    generate_dll(spec, 1);
+  }
+}
+
+// --- browser --------------------------------------------------------------------------
+
+TEST(Browser, IeStartsAndRunsScripts) {
+  os::Kernel k;
+  BrowserSim b(k, {BrowserSim::Kind::kIE, 7, 0});
+  EXPECT_TRUE(k.proc(b.pid()).alive());
+  EXPECT_NE(b.script_engine_addr(), 0u);
+  EXPECT_EQ(b.mutx_status(), 0u);
+  b.visit_page(1);
+  b.pump();
+  EXPECT_TRUE(k.proc(b.pid()).alive());
+  EXPECT_EQ(b.pending_commands(), 0u);
+}
+
+TEST(Browser, MutxEnterSurvivesCorruptDebugInfo) {
+  // The §VI-A primitive end-to-end at the target level: corrupt debug_info,
+  // trigger a script, observe status flip, browser stays alive.
+  os::Kernel k;
+  BrowserSim b(k, {BrowserSim::Kind::kIE, 7, 0});
+  gva_t engine = b.script_engine_addr();
+  ASSERT_NE(engine, 0u);
+  auto& mem = b.proc().machine().mem();
+  // Force the contended path + poison debug_info.
+  mem.poke_u64(engine + 8, 0xC5C5);
+  mem.poke_u64(engine + 16, 1);
+  mem.poke_u64(engine + 24, 0);
+  mem.poke_u64(engine + 32, 0x41414141000);
+  b.run_script(0);
+  b.pump();
+  EXPECT_EQ(b.mutx_status(), 1u);  // handler ran
+  EXPECT_TRUE(k.proc(b.pid()).alive());
+  EXPECT_GE(b.proc().machine().exception_stats().handled_seh, 1u);
+  EXPECT_EQ(b.proc().machine().exception_stats().unhandled, 0u);
+}
+
+TEST(Browser, FirefoxPollThreadProbes) {
+  os::Kernel k;
+  BrowserSim b(k, {BrowserSim::Kind::kFirefox, 7, 0});
+  gva_t slot = b.probe_slot_addr();
+  ASSERT_NE(slot, 0u);
+  auto& mem = b.proc().machine().mem();
+  // Probe a mapped address (the slot itself).
+  mem.poke_u64(slot + 16, 0);
+  mem.poke_u64(slot + 0, slot);
+  u64 status = 0;
+  k.run_until(
+      [&] {
+        mem.peek_u64(slot + 16, &status);
+        return status != 0;
+      },
+      8'000'000);
+  EXPECT_EQ(status, 2u);
+  // Probe an unmapped address.
+  mem.poke_u64(slot + 16, 0);
+  mem.poke_u64(slot + 0, 0x13371337000);
+  status = 0;
+  k.run_until(
+      [&] {
+        mem.peek_u64(slot + 16, &status);
+        return status != 0;
+      },
+      8'000'000);
+  EXPECT_EQ(status, 1u);
+  EXPECT_TRUE(k.proc(b.pid()).alive());
+}
+
+TEST(Browser, FirefoxVehIsFoundByVehScannerNotStatics) {
+  os::Kernel k;
+  BrowserSim b(k, {BrowserSim::Kind::kFirefox, 7, 0});
+  trace::Tracer tracer(k, b.proc());
+  // Re-run startup registration? The AddVeh happened before the tracer
+  // attached; drive one more registration round via a fresh browser.
+  os::Kernel k2;
+  BrowserSim b2(k2, {BrowserSim::Kind::kFirefox, 8, 0});
+  // Attach tracer BEFORE start is not possible via BrowserSim; instead use
+  // the machine's VEH chain + static check here:
+  EXPECT_EQ(k2.proc(b2.pid()).machine().veh_chain().size(), 1u);
+  // Static extraction over firefox_sim's own image sees no scope entry for
+  // the VEH (it has none) — the §VII-A blind spot.
+  analysis::SehExtractor ex;
+  const vm::LoadedModule* main_mod = b2.proc().machine().module_named("firefox_sim");
+  ASSERT_NE(main_mod, nullptr);
+  ex.add_image(main_mod->image);
+  for (const auto& h : ex.handlers()) {
+    gva_t veh = k2.proc(b2.pid()).machine().veh_chain()[0];
+    u64 veh_off = veh - main_mod->code_base();
+    EXPECT_NE(h.scope.filter, veh_off);
+  }
+}
+
+TEST(Browser, CrawlTouchesEveryHotExport) {
+  os::Kernel k;
+  BrowserSim b(k, {BrowserSim::Kind::kIE, 21, 0});
+  trace::Tracer tracer(k, b.proc());
+  b.crawl();
+  b.pump(120'000'000);
+  ASSERT_EQ(b.pending_commands(), 0u);
+  os::Process& p = b.proc();
+  for (const auto& d : b.dlls()) {
+    const vm::LoadedModule* mod = p.machine().module_named(d.image->name);
+    ASSERT_NE(mod, nullptr);
+    for (const auto& name : d.hot_exports) {
+      gva_t fn = mod->export_addr(name);
+      EXPECT_GT(tracer.hit_count(fn), 0u) << d.image->name << "!" << name;
+    }
+  }
+}
+
+// --- misc helpers ------------------------------------------------------------------------
+
+TEST(Common, HiddenRegionHasNoReferences) {
+  os::Kernel k;
+  int pid = k.create_process("p", vm::Personality::kLinux, 3);
+  os::Process& p = k.proc(pid);
+  p.heap_alloc(8192, mem::kPermR | mem::kPermW);
+  gva_t hidden = plant_hidden_region(p, 8192, 0xFEEDFACE);
+  EXPECT_TRUE(p.machine().mem().is_mapped(hidden));
+  // No mapped word outside the region contains a pointer into it.
+  for (const auto& r : p.machine().mem().regions()) {
+    if (r.begin == hidden) continue;
+    for (gva_t a = r.begin; a + 8 <= r.end; a += 8) {
+      u64 v = 0;
+      p.machine().mem().peek_u64(a, &v);
+      EXPECT_FALSE(v >= hidden && v < hidden + 8192) << std::hex << a;
+    }
+  }
+}
+
+TEST(Common, WireCommandLayout) {
+  std::string c = wire_command(0x1122, 0x3344);
+  ASSERT_EQ(c.size(), 16u);
+  EXPECT_EQ(static_cast<u8>(c[0]), 0x22);
+  EXPECT_EQ(static_cast<u8>(c[1]), 0x11);
+  EXPECT_EQ(static_cast<u8>(c[8]), 0x44);
+  EXPECT_EQ(static_cast<u8>(c[9]), 0x33);
+}
+
+}  // namespace
+}  // namespace crp::targets
+
+// Appended: full §VII-A extension flow — the VehScanner discovering the
+// Firefox simulacrum's runtime-registered vectored handler from a real
+// traced startup.
+#include "analysis/veh_scanner.h"
+
+namespace crp::targets {
+namespace {
+
+TEST(Browser, VehScannerDiscoversFirefoxOracleEndToEnd) {
+  os::Kernel k;
+  BrowserSim::Options opts;
+  opts.kind = BrowserSim::Kind::kFirefox;
+  opts.seed = 99;
+  opts.defer_start = true;  // tracer must see the startup registration
+  BrowserSim b(k, opts);
+  trace::Tracer tracer(k, b.proc());
+  b.start();
+
+  auto handlers = analysis::VehScanner::scan(tracer, b.proc());
+  ASSERT_EQ(handlers.size(), 1u);
+  EXPECT_EQ(handlers[0].module, "firefox_sim");
+  EXPECT_EQ(handlers[0].verdict, analysis::FilterVerdict::kAcceptsAv);
+  auto cands = analysis::VehScanner::candidates(handlers, "firefox_sim");
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_NE(cands[0].note.find("vectored"), std::string::npos);
+}
+
+TEST(Browser, DeferStartIsInertUntilStarted) {
+  os::Kernel k;
+  BrowserSim::Options opts;
+  opts.kind = BrowserSim::Kind::kIE;
+  opts.seed = 100;
+  opts.defer_start = true;
+  BrowserSim b(k, opts);
+  EXPECT_EQ(b.script_engine_addr(), 0u);  // JsInit has not run
+  b.start();
+  EXPECT_NE(b.script_engine_addr(), 0u);
+  b.start();  // idempotent
+  EXPECT_TRUE(k.proc(b.pid()).alive());
+}
+
+}  // namespace
+}  // namespace crp::targets
+
+// Appended: the Linux §III-B class — managed-runtime SIGSEGV recovery as a
+// crash-resistant primitive, discovered by the SignalScanner.
+#include "analysis/signal_scanner.h"
+#include "targets/jvm.h"
+
+namespace crp::targets {
+namespace {
+
+TEST(Jvm, ServesAndSurvivesNullDeref) {
+  os::Kernel k;
+  auto t = make_jvm();
+  int pid = t.instantiate(k, 3003);
+  k.run(2'000'000);
+  ASSERT_TRUE(t.service_alive(k, pid));
+
+  auto await = [&](os::ClientConn& c, size_t want) {
+    std::string got;
+    k.run_until(
+        [&] {
+          got += c.recv_all();
+          return got.size() >= want;
+        },
+        5'000'000);
+    return got;
+  };
+  // Healthy query.
+  auto c = k.connect(kJvmPort);
+  ASSERT_TRUE(c.has_value());
+  c->send(wire_command(kOpQuery));
+  EXPECT_EQ(await(*c, 4), "VAL:");
+  // Corrupt the object pointer -> implicit null check fires, no crash.
+  gva_t cell = jvm_object_ref_addr(k.proc(pid));
+  ASSERT_NE(cell, 0u);
+  k.proc(pid).machine().mem().poke_u64(cell, 0x7007bad0000ull);
+  c->send(wire_command(kOpQuery));
+  EXPECT_EQ(await(*c, 4), "NPE!");
+  EXPECT_TRUE(k.proc(pid).alive());
+  EXPECT_GE(k.proc(pid).machine().exception_stats().handled_signal, 1u);
+  c->close();
+}
+
+TEST(Jvm, ObjectPointerIsAReadProbe) {
+  // The NPE flag is a clean mapped/unmapped oracle over repeated probes.
+  os::Kernel k;
+  auto t = make_jvm();
+  int pid = t.instantiate(k, 3004);
+  k.run(2'000'000);
+  gva_t cell = jvm_object_ref_addr(k.proc(pid));
+  gva_t hidden = plant_hidden_region(k.proc(pid), 2 * 4096, 0x11);
+  auto c = k.connect(kJvmPort);
+  ASSERT_TRUE(c.has_value());
+  auto probe = [&](gva_t addr) {
+    k.proc(pid).machine().mem().poke_u64(cell, addr);
+    c->send(wire_command(kOpQuery));
+    std::string got;
+    k.run_until(
+        [&] {
+          got += c->recv_all();
+          return got.size() >= 4;
+        },
+        5'000'000);
+    return got;
+  };
+  EXPECT_EQ(probe(hidden), "VAL:");
+  EXPECT_EQ(probe(0x606060000000ull), "NPE!");
+  EXPECT_EQ(probe(hidden + 4096), "VAL:");
+  EXPECT_TRUE(k.proc(pid).alive());
+  EXPECT_EQ(k.proc(pid).machine().exception_stats().unhandled, 0u);
+}
+
+TEST(Jvm, SignalScannerFindsTheRecoveringHandler) {
+  os::Kernel k;
+  auto t = make_jvm();
+  int pid = t.instantiate(k, 3005);
+  k.run(2'000'000);  // handler installed during startup
+  auto handlers = analysis::SignalScanner::scan(k.proc(pid));
+  ASSERT_EQ(handlers.size(), 1u);
+  EXPECT_EQ(handlers[0].signo, os::kSigsegv);
+  EXPECT_EQ(handlers[0].module, "jvm_sim");
+  EXPECT_EQ(handlers[0].verdict, analysis::FilterVerdict::kAcceptsAv);
+  auto cands = analysis::SignalScanner::candidates(handlers, "jvm_sim");
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_NE(cands[0].note.find("signal handler"), std::string::npos);
+}
+
+TEST(Jvm, SignalScannerRejectsNonRecoveringHandler) {
+  // A logging-only handler (no ucontext edit) must not be a candidate.
+  using isa::Assembler;
+  using isa::Reg;
+  Assembler a("logger");
+  a.label("e");
+  a.lea_pc(Reg::R3, "h");
+  a.lea_pc(Reg::R2, "desc");
+  a.store(Reg::R2, 0, Reg::R3, 8);
+  a.movi(Reg::R1, 11);
+  a.movi(Reg::R0, static_cast<i64>(os::Sys::kSigaction));
+  a.syscall();
+  a.label("spin");
+  a.jmp("spin");
+  a.label("h");  // counts faults but does not recover
+  a.lea_pc(Reg::R4, "count");
+  a.load(Reg::R5, Reg::R4, 8);
+  a.addi(Reg::R5, 1);
+  a.store(Reg::R4, 0, Reg::R5, 8);
+  a.ret();
+  a.set_entry("e");
+  a.data_u64("desc", 0);
+  a.data_u64("count", 0);
+  os::Kernel k;
+  int pid = k.create_process("logger", vm::Personality::kLinux, 5);
+  k.proc(pid).load(std::make_shared<isa::Image>(a.build()));
+  k.start_process(pid);
+  k.run(10000);
+  auto handlers = analysis::SignalScanner::scan(k.proc(pid));
+  ASSERT_EQ(handlers.size(), 1u);
+  EXPECT_EQ(handlers[0].verdict, analysis::FilterVerdict::kRejectsAv);
+}
+
+}  // namespace
+}  // namespace crp::targets

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "isa/assembler.h"
+#include "os/kernel.h"
+#include "trace/tracer.h"
+
+namespace crp::trace {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Reg;
+
+struct World {
+  os::Kernel k;
+  int pid = 0;
+  std::unique_ptr<Tracer> tracer;
+
+  explicit World(isa::Image img, vm::Personality pers = vm::Personality::kLinux) {
+    pid = k.create_process(img.name, pers, 5);
+    k.proc(pid).load(std::make_shared<isa::Image>(std::move(img)));
+    k.start_process(pid);
+    tracer = std::make_unique<Tracer>(k, k.proc(pid));
+  }
+  os::Process& p() { return k.proc(pid); }
+};
+
+TEST(Tracer, HitCountsPerInstruction) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R7, 3);
+  a.label("loop");
+  a.subi(Reg::R7, 1);
+  a.cmpi(Reg::R7, 0);
+  a.jcc(Cond::kNe, "loop");
+  a.movi(Reg::R1, 0);
+  a.movi(Reg::R0, static_cast<i64>(os::Sys::kExitGroup));
+  a.syscall();
+  a.set_entry("e");
+  World w(a.build());
+  w.k.run(10000);
+  const auto& mod = w.p().machine().modules()[0];
+  gva_t loop_pc = mod.symbol_addr("loop");
+  EXPECT_EQ(w.tracer->hit_count(loop_pc), 3u);        // subi executed 3x
+  EXPECT_EQ(w.tracer->hit_count(mod.code_addr(0)), 1u);  // movi once
+  EXPECT_GT(w.tracer->unique_pcs(), 4u);
+}
+
+TEST(Tracer, RangeQueries) {
+  Assembler a("t");
+  a.label("e");
+  a.label("hot_begin");
+  a.nop();
+  a.nop();
+  a.label("hot_end");
+  a.jmp("skip");
+  a.label("cold_begin");
+  a.nop();
+  a.label("cold_end");
+  a.label("skip");
+  a.movi(Reg::R1, 0);
+  a.movi(Reg::R0, static_cast<i64>(os::Sys::kExitGroup));
+  a.syscall();
+  a.set_entry("e");
+  World w(a.build());
+  w.k.run(10000);
+  const auto& mod = w.p().machine().modules()[0];
+  EXPECT_TRUE(w.tracer->executed_in_range(mod.symbol_addr("hot_begin"),
+                                          mod.symbol_addr("hot_end")));
+  EXPECT_FALSE(w.tracer->executed_in_range(mod.symbol_addr("cold_begin"),
+                                           mod.symbol_addr("cold_end")));
+  EXPECT_EQ(w.tracer->hits_in_range(mod.symbol_addr("hot_begin"),
+                                    mod.symbol_addr("hot_end")),
+            2u);
+}
+
+TEST(Tracer, SyscallLogRecordsArgsAndResult) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R1, 0x123);
+  a.movi(Reg::R2, 0x456);
+  a.movi(Reg::R0, static_cast<i64>(os::Sys::kGetpid));
+  a.syscall();
+  a.movi(Reg::R1, 0);
+  a.movi(Reg::R0, static_cast<i64>(os::Sys::kExitGroup));
+  a.syscall();
+  a.set_entry("e");
+  World w(a.build());
+  w.k.run(10000);
+  ASSERT_GE(w.tracer->syscalls().size(), 1u);
+  const auto& rec = w.tracer->syscalls()[0];
+  EXPECT_EQ(rec.nr, os::Sys::kGetpid);
+  EXPECT_EQ(rec.args[0], 0x123u);
+  EXPECT_EQ(rec.args[1], 0x456u);
+  EXPECT_EQ(rec.ret, 1);  // pid 1
+}
+
+TEST(Tracer, ApiLogCapturesCallStackModules) {
+  // DLL exports a function that makes an API call; app calls it. The API
+  // record's stack modules must include both the app and the DLL.
+  Assembler dll("scriptdll");
+  dll.set_dll(true);
+  dll.label("fn");
+  dll.movi(Reg::R1, 0);
+  dll.apicall(os::kApiGetTickCount);
+  dll.ret();
+  dll.export_fn("fn", "fn");
+
+  Assembler app("app");
+  app.label("e");
+  app.call_import("scriptdll", "fn");
+  app.halt();
+  app.set_entry("e");
+
+  os::Kernel k;
+  int pid = k.create_process("app", vm::Personality::kWindows, 5);
+  k.proc(pid).load(std::make_shared<isa::Image>(dll.build()));
+  k.proc(pid).load(std::make_shared<isa::Image>(app.build()));
+  k.start_process(pid);
+  Tracer tracer(k, k.proc(pid));
+  k.run(10000);
+
+  ASSERT_EQ(tracer.api_calls().size(), 1u);
+  const auto& rec = tracer.api_calls()[0];
+  EXPECT_EQ(rec.api_id, os::kApiGetTickCount);
+  EXPECT_TRUE(Tracer::stack_touches_module(rec, "scriptdll"));
+  EXPECT_FALSE(Tracer::stack_touches_module(rec, "jscript9"));
+  EXPECT_FALSE(rec.faulted);
+}
+
+TEST(Tracer, MemAccessRecordingGated) {
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R2, "cell");
+  a.load(Reg::R3, Reg::R2, 8);
+  a.movi(Reg::R1, 0);
+  a.movi(Reg::R0, static_cast<i64>(os::Sys::kExitGroup));
+  a.syscall();
+  a.set_entry("e");
+  a.data_u64("cell", 7);
+
+  {
+    World w(a.build());
+    w.k.run(10000);
+    gva_t cell = w.p().machine().modules()[0].symbol_addr("cell");
+    EXPECT_FALSE(w.tracer->guest_touched(cell));  // off by default
+  }
+  {
+    World w(a.build());
+    w.tracer->set_record_mem_accesses(true);
+    w.k.run(10000);
+    gva_t cell = w.p().machine().modules()[0].symbol_addr("cell");
+    EXPECT_TRUE(w.tracer->guest_touched(cell));
+    EXPECT_FALSE(w.tracer->guest_touched(cell + 4096));
+  }
+}
+
+TEST(Tracer, CallStackTracksNesting) {
+  Assembler a("t");
+  a.label("e");
+  a.call("f1");
+  a.halt();
+  a.label("f1");
+  a.call("f2");
+  a.ret();
+  a.label("f2");
+  a.movi(Reg::R0, static_cast<i64>(os::Sys::kGetpid));
+  a.syscall();  // syscall from depth 2 — stack observable via tracer state
+  a.ret();
+  a.set_entry("e");
+  World w(a.build(), vm::Personality::kLinux);
+  // Snapshot call stack at the syscall via an observer.
+  struct Snap : os::KernelObserver {
+    Tracer* t = nullptr;
+    std::vector<gva_t> stack;
+    void on_syscall_enter(os::Process&, os::Thread& th, os::Sys, u64*) override {
+      stack = t->call_stack(th.tid);
+    }
+  } snap;
+  snap.t = w.tracer.get();
+  w.k.add_observer(&snap);
+  w.k.run(10000);
+  w.k.remove_observer(&snap);
+  const auto& mod = w.p().machine().modules()[0];
+  ASSERT_EQ(snap.stack.size(), 2u);
+  EXPECT_EQ(snap.stack[0], mod.symbol_addr("f1"));
+  EXPECT_EQ(snap.stack[1], mod.symbol_addr("f2"));
+}
+
+TEST(Tracer, ClearLogs) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R0, static_cast<i64>(os::Sys::kGetpid));
+  a.syscall();
+  a.halt();
+  a.set_entry("e");
+  World w(a.build());
+  w.k.run(1000);
+  EXPECT_FALSE(w.tracer->syscalls().empty());
+  w.tracer->clear_logs();
+  EXPECT_TRUE(w.tracer->syscalls().empty());
+}
+
+}  // namespace
+}  // namespace crp::trace

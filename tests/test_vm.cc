@@ -1,0 +1,723 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "isa/assembler.h"
+#include "vm/machine.h"
+
+namespace crp::vm {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Reg;
+
+/// Build + load an image, returning (machine, cpu at entry with a stack).
+struct World {
+  std::unique_ptr<Machine> m;
+  Cpu cpu;
+
+  explicit World(isa::Image img, Personality pers = Personality::kWindows, u64 seed = 3) {
+    m = std::make_unique<Machine>(pers, seed);
+    size_t idx = m->load_image(std::make_shared<isa::Image>(std::move(img)));
+    const LoadedModule& mod = m->modules()[idx];
+    gva_t stack = m->layout().place(mem::RegionKind::kStack, 64 * 1024, "stack");
+    CRP_CHECK(m->mem().map(stack, 64 * 1024, mem::kPermR | mem::kPermW));
+    cpu.pc = mod.code_addr(mod.image->entry);
+    cpu.sp() = stack + 64 * 1024 - 64;
+  }
+
+  StepResult run(u64 max_steps = 100000) { return m->run(cpu, max_steps); }
+};
+
+TEST(Interp, ArithmeticAndHalt) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R1, 6);
+  a.movi(Reg::R2, 7);
+  a.mul(Reg::R1, Reg::R2);
+  a.mov(Reg::R0, Reg::R1);
+  a.addi(Reg::R0, 100);
+  a.halt();
+  a.set_entry("e");
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 142u);
+}
+
+TEST(Interp, FlagsAndBranches) {
+  // Compute: R0 = (5 < 7 signed) ? 1 : 2 via jcc.
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R1, 5);
+  a.cmpi(Reg::R1, 7);
+  a.jcc(Cond::kLt, "less");
+  a.movi(Reg::R0, 2);
+  a.halt();
+  a.label("less");
+  a.movi(Reg::R0, 1);
+  a.halt();
+  a.set_entry("e");
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 1u);
+}
+
+TEST(Interp, UnsignedVsSignedConditions) {
+  // -1 (as u64 max) is unsigned-greater than 1, signed-less than 1.
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R1, -1);
+  a.cmpi(Reg::R1, 1);
+  a.movi(Reg::R2, 0);
+  a.jcc(Cond::kUgt, "ugt");
+  a.jmp("next");
+  a.label("ugt");
+  a.ori(Reg::R2, 1);
+  a.label("next");
+  a.cmpi(Reg::R1, 1);
+  a.jcc(Cond::kLt, "slt");
+  a.jmp("done");
+  a.label("slt");
+  a.ori(Reg::R2, 2);
+  a.label("done");
+  a.mov(Reg::R0, Reg::R2);
+  a.halt();
+  a.set_entry("e");
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 3u);
+}
+
+TEST(Interp, CallRetAndStack) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R1, 10);
+  a.call("double_it");
+  a.mov(Reg::R0, Reg::R1);
+  a.halt();
+  a.label("double_it");
+  a.add(Reg::R1, Reg::R1);
+  a.ret();
+  a.set_entry("e");
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 20u);
+}
+
+TEST(Interp, LoadStoreData) {
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R2, "cell");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.addi(Reg::R1, 1);
+  a.store(Reg::R2, 0, Reg::R1, 8);
+  a.load(Reg::R0, Reg::R2, 8);
+  a.halt();
+  a.set_entry("e");
+  a.data_u64("cell", 99);
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 100u);
+}
+
+TEST(Interp, DivideByZeroFaults) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R1, 10);
+  a.movi(Reg::R2, 0);
+  a.udiv(Reg::R1, Reg::R2);
+  a.halt();
+  a.set_entry("e");
+  World w(a.build());
+  StepResult r = w.run();
+  EXPECT_EQ(r.kind, StepKind::kCrash);
+  EXPECT_EQ(r.exc.code, ExcCode::kIntDivideByZero);
+}
+
+TEST(Interp, UnmappedLoadCrashesWithoutHandler) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);
+  a.load(Reg::R1, Reg::R2, 8);
+  a.halt();
+  a.set_entry("e");
+  World w(a.build());
+  StepResult r = w.run();
+  EXPECT_EQ(r.kind, StepKind::kCrash);
+  EXPECT_EQ(r.exc.code, ExcCode::kAccessViolation);
+  EXPECT_EQ(r.exc.fault_addr, 0x400000u);
+  EXPECT_EQ(r.exc.access, mem::Access::kRead);
+  EXPECT_EQ(w.m->exception_stats().unhandled, 1u);
+}
+
+TEST(Seh, CatchAllScopeRecovers) {
+  // Listing-3 idiom: __try { value = *ptr; } __except(EXECUTE_HANDLER)
+  // { value = -1; }.
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);  // invalid ptr
+  a.label("try_begin");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.label("try_end");
+  a.jmp("out");
+  a.label("handler");
+  a.movi(Reg::R1, -1);
+  a.label("out");
+  a.mov(Reg::R0, Reg::R1);
+  a.halt();
+  a.set_entry("e");
+  a.scope("try_begin", "try_end", "", "handler");
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), ~0ull);
+  EXPECT_EQ(w.m->exception_stats().handled_seh, 1u);
+  EXPECT_EQ(w.m->exception_stats().unhandled, 0u);
+}
+
+// A filter that accepts only access violations: real SEH filter shape.
+void build_av_filter(Assembler& a) {
+  a.label("av_filter");
+  a.cmpi(Reg::R1, static_cast<i64>(0xC0000005));
+  a.jcc(Cond::kEq, "av_yes");
+  a.movi(Reg::R0, 0);  // CONTINUE_SEARCH
+  a.ret();
+  a.label("av_yes");
+  a.movi(Reg::R0, 1);  // EXECUTE_HANDLER
+  a.ret();
+}
+
+TEST(Seh, FilterAcceptsAv) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);
+  a.label("tb");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.label("te");
+  a.jmp("out");
+  a.label("h");
+  a.movi(Reg::R1, 7);
+  a.label("out");
+  a.mov(Reg::R0, Reg::R1);
+  a.halt();
+  build_av_filter(a);
+  a.set_entry("e");
+  a.scope("tb", "te", "av_filter", "h");
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 7u);
+}
+
+TEST(Seh, FilterRejectsOtherExceptions) {
+  // Same filter, but the guarded code divides by zero: filter says
+  // CONTINUE_SEARCH, no outer scope -> crash.
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R1, 3);
+  a.movi(Reg::R2, 0);
+  a.label("tb");
+  a.udiv(Reg::R1, Reg::R2);
+  a.label("te");
+  a.halt();
+  a.label("h");
+  a.halt();
+  build_av_filter(a);
+  a.set_entry("e");
+  a.scope("tb", "te", "av_filter", "h");
+  World w(a.build());
+  StepResult r = w.run();
+  EXPECT_EQ(r.kind, StepKind::kCrash);
+  EXPECT_EQ(r.exc.code, ExcCode::kIntDivideByZero);
+}
+
+TEST(Seh, NestedScopesInnermostFirst) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);
+  a.label("outer_b");
+  a.nop();
+  a.label("inner_b");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.label("inner_e");
+  a.nop();
+  a.label("outer_e");
+  a.halt();
+  a.label("inner_h");
+  a.movi(Reg::R0, 1);
+  a.halt();
+  a.label("outer_h");
+  a.movi(Reg::R0, 2);
+  a.halt();
+  a.set_entry("e");
+  a.scope("outer_b", "outer_e", "", "outer_h");
+  a.scope("inner_b", "inner_e", "", "inner_h");
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 1u);  // inner handler won
+}
+
+TEST(Seh, ContinueSearchFallsToOuterScope) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);
+  a.label("outer_b");
+  a.label("inner_b");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.label("inner_e");
+  a.label("outer_e");
+  a.halt();
+  a.label("reject_filter");
+  a.movi(Reg::R0, 0);  // CONTINUE_SEARCH always
+  a.ret();
+  a.label("inner_h");
+  a.movi(Reg::R0, 1);
+  a.halt();
+  a.label("outer_h");
+  a.movi(Reg::R0, 2);
+  a.halt();
+  a.set_entry("e");
+  a.scope("outer_b", "outer_e", "", "outer_h");
+  a.scope("inner_b", "inner_e", "reject_filter", "inner_h");
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 2u);
+}
+
+TEST(Seh, ContinueExecutionSkipsFaultViaContextEdit) {
+  // Filter increments the saved pc past the faulting load and returns
+  // CONTINUE_EXECUTION (-1): execution resumes after the load.
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);
+  a.movi(Reg::R3, 55);
+  a.label("tb");
+  a.load(Reg::R3, Reg::R2, 8);  // faults; filter skips it
+  a.label("te");
+  a.mov(Reg::R0, Reg::R3);
+  a.halt();
+  a.label("h");  // never used
+  a.halt();
+  a.label("skip_filter");
+  // R2 = &record; saved pc at +160. Advance it by 16.
+  a.load(Reg::R3, Reg::R2, 8, 160);
+  a.addi(Reg::R3, 16);
+  a.store(Reg::R2, 160, Reg::R3, 8);
+  a.movi(Reg::R0, -1);
+  a.ret();
+  a.set_entry("e");
+  a.scope("tb", "te", "skip_filter", "h");
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 55u);  // load skipped, R3 kept its value
+  EXPECT_EQ(w.m->exception_stats().continued, 1u);
+}
+
+TEST(Veh, VectoredHandlerRunsBeforeScopes) {
+  // VEH skips the faulting instruction; the scope handler must NOT run.
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R4, "veh");
+  // Register via machine API below (no APICALL in Windows guest-free test);
+  // store handler address for host to pick up.
+  a.movi(Reg::R2, 0x400000);
+  a.label("tb");
+  a.load(Reg::R3, Reg::R2, 8);
+  a.label("te");
+  a.movi(Reg::R0, 1);
+  a.halt();
+  a.label("h");
+  a.movi(Reg::R0, 2);
+  a.halt();
+  a.label("veh");
+  // R1 = &record: advance saved pc.
+  a.load(Reg::R3, Reg::R2, 8, 160);
+  a.addi(Reg::R3, 16);
+  a.store(Reg::R2, 160, Reg::R3, 8);
+  a.movi(Reg::R0, -1);  // CONTINUE_EXECUTION
+  a.ret();
+  a.set_entry("e");
+  a.scope("tb", "te", "", "h");
+  World w(a.build());
+  gva_t veh = w.m->modules()[0].symbol_addr("veh");
+  ASSERT_NE(veh, 0u);
+  w.m->add_veh(veh);
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 1u);  // fell through normally, not into handler
+  EXPECT_EQ(w.m->exception_stats().handled_veh, 1u);
+}
+
+// VEH filter convention: R1 = exception code, R2 = &record. The VEH above
+// reads the record via R2 — confirm that contract explicitly.
+TEST(Veh, HandlerReceivesRecordPointer) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);
+  a.load(Reg::R3, Reg::R2, 8);  // unguarded fault
+  a.halt();
+  a.label("veh");
+  // Write the observed fault address into a data cell, then resolve by
+  // skipping the instruction.
+  a.load(Reg::R5, Reg::R2, 8, 16);  // record+16 = fault addr
+  a.lea_pc(Reg::R6, "seen");
+  a.store(Reg::R6, 0, Reg::R5, 8);
+  a.load(Reg::R3, Reg::R2, 8, 160);
+  a.addi(Reg::R3, 16);
+  a.store(Reg::R2, 160, Reg::R3, 8);
+  a.movi(Reg::R0, -1);
+  a.ret();
+  a.set_entry("e");
+  a.data_u64("seen", 0);
+  World w(a.build());
+  w.m->add_veh(w.m->modules()[0].symbol_addr("veh"));
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  u64 seen = 0;
+  EXPECT_TRUE(w.m->mem().peek_u64(w.m->modules()[0].symbol_addr("seen"), &seen));
+  EXPECT_EQ(seen, 0x400000u);
+}
+
+TEST(Signals, SigsegvHandlerRecovers) {
+  // Linux personality: handler advances saved pc in ucontext.
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);
+  a.movi(Reg::R3, 11);
+  a.load(Reg::R3, Reg::R2, 8);  // SIGSEGV
+  a.mov(Reg::R0, Reg::R3);
+  a.halt();
+  a.label("sig");
+  // R2 = &siginfo(record), saved pc at +160 from record base.
+  a.load(Reg::R4, Reg::R2, 8, 160);
+  a.addi(Reg::R4, 16);
+  a.store(Reg::R2, 160, Reg::R4, 8);
+  a.ret();
+  a.set_entry("e");
+  World w(a.build(), Personality::kLinux);
+  w.m->set_signal_handler(11, w.m->modules()[0].symbol_addr("sig"));
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 11u);
+  EXPECT_EQ(w.m->exception_stats().handled_signal, 1u);
+}
+
+TEST(Signals, HandlerNotAdvancingPcMeansDeath) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);
+  a.load(Reg::R3, Reg::R2, 8);
+  a.halt();
+  a.label("sig");
+  a.ret();  // does not fix the context
+  a.set_entry("e");
+  World w(a.build(), Personality::kLinux);
+  w.m->set_signal_handler(11, w.m->modules()[0].symbol_addr("sig"));
+  EXPECT_EQ(w.run().kind, StepKind::kCrash);
+}
+
+TEST(Signals, NoHandlerMeansDeath) {
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);
+  a.load(Reg::R3, Reg::R2, 8);
+  a.halt();
+  a.set_entry("e");
+  World w(a.build(), Personality::kLinux);
+  EXPECT_EQ(w.run().kind, StepKind::kCrash);
+}
+
+TEST(Policy, MappedOnlyAvKillsUnmappedProbes) {
+  // Catch-all scope would normally recover; the §VII policy overrides it for
+  // unmapped fault addresses.
+  Assembler a("t");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);
+  a.label("tb");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.label("te");
+  a.halt();
+  a.label("h");
+  a.movi(Reg::R0, 1);
+  a.halt();
+  a.set_entry("e");
+  a.scope("tb", "te", "", "h");
+  World w(a.build());
+  w.m->set_mapped_only_av_policy(true);
+  EXPECT_EQ(w.run().kind, StepKind::kCrash);
+}
+
+TEST(Policy, MappedOnlyAvStillAllowsPermissionFaults) {
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R2, "guarded_cell");  // mapped but we'll write to R-only page
+  a.label("tb");
+  // Write to a read-only page: mapped, so the handler may run.
+  a.store(Reg::R2, 0, Reg::R1, 8);
+  a.label("te");
+  a.halt();
+  a.label("h");
+  a.movi(Reg::R0, 77);
+  a.halt();
+  a.set_entry("e");
+  a.data_u64("guarded_cell", 0);
+  a.scope("tb", "te", "", "h");
+  World w(a.build());
+  // Make the whole data section read-only.
+  const auto& mod = w.m->modules()[0];
+  gva_t cell = mod.symbol_addr("guarded_cell");
+  ASSERT_TRUE(w.m->mem().protect(align_down(cell, 4096), 4096, mem::kPermR));
+  w.m->set_mapped_only_av_policy(true);
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 77u);
+}
+
+TEST(Subroutine, CallSubroutineReturnsR0) {
+  Assembler a("t");
+  a.label("e");
+  a.halt();
+  a.label("fn");
+  a.mov(Reg::R0, Reg::R1);
+  a.add(Reg::R0, Reg::R2);
+  a.ret();
+  a.set_entry("e");
+  World w(a.build());
+  gva_t fn = w.m->modules()[0].symbol_addr("fn");
+  auto r = w.m->call_subroutine(w.cpu, fn, {30, 12});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 42u);
+}
+
+TEST(Subroutine, CrashInsideReturnsNullopt) {
+  Assembler a("t");
+  a.label("e");
+  a.halt();
+  a.label("fn");
+  a.movi(Reg::R2, 0x400000);
+  a.load(Reg::R0, Reg::R2, 8);
+  a.ret();
+  a.set_entry("e");
+  World w(a.build());
+  gva_t fn = w.m->modules()[0].symbol_addr("fn");
+  EXPECT_FALSE(w.m->call_subroutine(w.cpu, fn, {}).has_value());
+}
+
+TEST(Loader, ImportsResolveAcrossModules) {
+  Assembler dll("libfoo");
+  dll.set_dll(true);
+  dll.label("fn");
+  dll.movi(Reg::R0, 1234);
+  dll.ret();
+  dll.export_fn("foo", "fn");
+  Assembler app("app");
+  app.label("e");
+  app.call_import("libfoo", "foo");
+  app.halt();
+  app.set_entry("e");
+
+  Machine m(Personality::kWindows, 5);
+  m.load_image(std::make_shared<isa::Image>(dll.build()));
+  size_t app_idx = m.load_image(std::make_shared<isa::Image>(app.build()));
+  gva_t stack = m.layout().place(mem::RegionKind::kStack, 16384, "s");
+  CRP_CHECK(m.mem().map(stack, 16384, mem::kPermR | mem::kPermW));
+  Cpu cpu;
+  cpu.pc = m.modules()[app_idx].code_addr(0);
+  cpu.sp() = stack + 16000;
+  EXPECT_EQ(m.run(cpu, 1000).kind, StepKind::kHalt);
+  EXPECT_EQ(cpu.reg(Reg::R0), 1234u);
+}
+
+TEST(Loader, UnresolvedImportFaults) {
+  Assembler app("app");
+  app.label("e");
+  app.call_import("nosuch", "fn");
+  app.halt();
+  app.set_entry("e");
+  World w(app.build());
+  StepResult r = w.run();
+  EXPECT_EQ(r.kind, StepKind::kCrash);
+  EXPECT_EQ(r.exc.code, ExcCode::kIllegalInstruction);
+}
+
+TEST(Loader, AslrDiffersAcrossSeeds) {
+  Assembler a("t");
+  a.label("e");
+  a.halt();
+  a.set_entry("e");
+  auto img = std::make_shared<isa::Image>(a.build());
+  Machine m1(Personality::kLinux, 10), m2(Personality::kLinux, 20);
+  m1.load_image(img);
+  m2.load_image(img);
+  EXPECT_NE(m1.modules()[0].base, m2.modules()[0].base);
+}
+
+TEST(Machine, ModuleLookupByAddressAndName) {
+  Assembler a("mymod");
+  a.label("e");
+  a.halt();
+  a.set_entry("e");
+  World w(a.build());
+  const LoadedModule* mod = w.m->module_named("mymod");
+  ASSERT_NE(mod, nullptr);
+  EXPECT_EQ(w.m->module_at(mod->code_base()), mod);
+  EXPECT_EQ(w.m->module_at(0x1), nullptr);
+  EXPECT_EQ(w.m->resolve("mymod", "e"), mod->code_base());
+}
+
+}  // namespace
+}  // namespace crp::vm
+
+// Appended coverage: cross-frame SEH dispatch and related edge cases. The
+// anonymous namespace above already closed, so re-open the test namespace.
+namespace crp::vm {
+namespace {
+
+using isa::Assembler;
+using isa::Cond;
+using isa::Reg;
+
+TEST(SehStackWalk, HandlerInCallerFrameCatchesCalleeFault) {
+  // The §VI-A shape: caller guards a call; the fault happens inside the
+  // callee (different module), and the caller's catch-all must run with the
+  // stack unwound to the caller's frame.
+  Assembler dll("faultlib");
+  dll.set_dll(true);
+  dll.label("boom");
+  dll.movi(Reg::R2, 0x400000);
+  dll.load(Reg::R1, Reg::R2, 8);  // AV deep in the callee
+  dll.ret();
+  dll.export_fn("boom", "boom");
+
+  Assembler app("app2");
+  app.label("e");
+  app.movi(Reg::R5, 0x1111);
+  app.label("tb");
+  app.call_import("faultlib", "boom");
+  app.label("te");
+  app.movi(Reg::R0, 1);  // not reached
+  app.halt();
+  app.label("h");
+  app.mov(Reg::R0, Reg::R5);  // caller-frame state must be intact
+  app.halt();
+  app.set_entry("e");
+  app.scope("tb", "te", "", "h");
+
+  Machine m(Personality::kWindows, 21);
+  m.load_image(std::make_shared<isa::Image>(dll.build()));
+  size_t idx = m.load_image(std::make_shared<isa::Image>(app.build()));
+  gva_t stack = m.layout().place(mem::RegionKind::kStack, 65536, "s");
+  CRP_CHECK(m.mem().map(stack, 65536, mem::kPermR | mem::kPermW));
+  Cpu cpu;
+  cpu.pc = m.modules()[idx].code_addr(m.modules()[idx].image->entry);
+  cpu.sp() = stack + 65000;
+  u64 sp_before = cpu.sp();
+  EXPECT_EQ(m.run(cpu, 10000).kind, StepKind::kHalt);
+  EXPECT_EQ(cpu.reg(Reg::R0), 0x1111u);
+  // SP back at the caller's depth (handler ran after unwinding the callee).
+  EXPECT_EQ(cpu.sp(), sp_before);
+  EXPECT_EQ(m.exception_stats().handled_seh, 1u);
+}
+
+TEST(SehStackWalk, TwoLevelsDeep) {
+  Assembler a("deep");
+  a.label("e");
+  a.label("tb");
+  a.call("mid");
+  a.label("te");
+  a.movi(Reg::R0, 1);
+  a.halt();
+  a.label("h");
+  a.movi(Reg::R0, 2);
+  a.halt();
+  a.label("mid");
+  a.call("leaf");
+  a.ret();
+  a.label("leaf");
+  a.movi(Reg::R2, 0x400000);
+  a.load(Reg::R1, Reg::R2, 8);
+  a.ret();
+  a.set_entry("e");
+  a.scope("tb", "te", "", "h");
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 2u);
+}
+
+TEST(SehStackWalk, RejectingCallerFilterStillCrashes) {
+  Assembler a("deep2");
+  a.label("e");
+  a.label("tb");
+  a.call("leaf");
+  a.label("te");
+  a.halt();
+  a.label("h");
+  a.halt();
+  a.label("flt");  // rejects everything
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.label("leaf");
+  a.movi(Reg::R2, 0x400000);
+  a.load(Reg::R1, Reg::R2, 8);
+  a.ret();
+  a.set_entry("e");
+  a.scope("tb", "te", "flt", "h");
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kCrash);
+}
+
+TEST(Interp, FetchFromNonExecutableFaults) {
+  // Jump into the data section: W^X means fetch faults (exec access).
+  Assembler a("wx");
+  a.label("e");
+  a.lea_pc(Reg::R1, "blob");
+  a.jmp_reg(Reg::R1);
+  a.data_zero("blob", 64);
+  a.set_entry("e");
+  World w(a.build());
+  StepResult r = w.run();
+  EXPECT_EQ(r.kind, StepKind::kCrash);
+  EXPECT_EQ(r.exc.code, ExcCode::kAccessViolation);
+  EXPECT_EQ(r.exc.access, mem::Access::kExec);
+}
+
+TEST(Interp, RunBudgetReturnsOk) {
+  Assembler a("spin");
+  a.label("e");
+  a.label("l");
+  a.jmp("l");
+  a.set_entry("e");
+  World w(a.build());
+  u64 before = w.m->instret();
+  StepResult r = w.m->run(w.cpu, 500);
+  EXPECT_EQ(r.kind, StepKind::kOk);  // budget exhausted, no terminal event
+  EXPECT_EQ(w.m->instret() - before, 500u);
+}
+
+TEST(Seh, FaultInFilterFallsToNextHandler) {
+  // Inner filter itself dereferences bad memory -> abandoned
+  // (CONTINUE_SEARCH); outer catch-all must still recover.
+  Assembler a("ff");
+  a.label("e");
+  a.movi(Reg::R2, 0x400000);
+  a.label("ob");
+  a.label("ib");
+  a.load(Reg::R1, Reg::R2, 8);
+  a.label("ie");
+  a.label("oe");
+  a.halt();
+  a.label("bad_filter");
+  a.movi(Reg::R3, 0x500000);
+  a.load(Reg::R0, Reg::R3, 8);  // filter faults
+  a.ret();
+  a.label("ih");
+  a.movi(Reg::R0, 1);
+  a.halt();
+  a.label("oh");
+  a.movi(Reg::R0, 2);
+  a.halt();
+  a.set_entry("e");
+  a.scope("ob", "oe", "", "oh");
+  a.scope("ib", "ie", "bad_filter", "ih");
+  World w(a.build());
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 2u);  // outer handler won
+}
+
+}  // namespace
+}  // namespace crp::vm
