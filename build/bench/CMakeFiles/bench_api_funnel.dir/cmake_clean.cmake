@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_api_funnel.dir/bench_api_funnel.cc.o"
+  "CMakeFiles/bench_api_funnel.dir/bench_api_funnel.cc.o.d"
+  "bench_api_funnel"
+  "bench_api_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_api_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

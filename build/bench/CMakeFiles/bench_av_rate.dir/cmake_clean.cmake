@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_av_rate.dir/bench_av_rate.cc.o"
+  "CMakeFiles/bench_av_rate.dir/bench_av_rate.cc.o.d"
+  "bench_av_rate"
+  "bench_av_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_av_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cherokee_timing.dir/bench_cherokee_timing.cc.o"
+  "CMakeFiles/bench_cherokee_timing.dir/bench_cherokee_timing.cc.o.d"
+  "bench_cherokee_timing"
+  "bench_cherokee_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cherokee_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

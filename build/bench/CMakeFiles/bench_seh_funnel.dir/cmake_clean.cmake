@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seh_funnel.dir/bench_seh_funnel.cc.o"
+  "CMakeFiles/bench_seh_funnel.dir/bench_seh_funnel.cc.o.d"
+  "bench_seh_funnel"
+  "bench_seh_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seh_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_servers.dir/discover_servers.cpp.o"
+  "CMakeFiles/discover_servers.dir/discover_servers.cpp.o.d"
+  "discover_servers"
+  "discover_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_image.dir/inspect_image.cpp.o"
+  "CMakeFiles/inspect_image.dir/inspect_image.cpp.o.d"
+  "inspect_image"
+  "inspect_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

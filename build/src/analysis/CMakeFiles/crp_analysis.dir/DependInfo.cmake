@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/api_analysis.cc" "src/analysis/CMakeFiles/crp_analysis.dir/api_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/crp_analysis.dir/api_analysis.cc.o.d"
+  "/root/repo/src/analysis/candidates.cc" "src/analysis/CMakeFiles/crp_analysis.dir/candidates.cc.o" "gcc" "src/analysis/CMakeFiles/crp_analysis.dir/candidates.cc.o.d"
+  "/root/repo/src/analysis/guard_audit.cc" "src/analysis/CMakeFiles/crp_analysis.dir/guard_audit.cc.o" "gcc" "src/analysis/CMakeFiles/crp_analysis.dir/guard_audit.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/crp_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/crp_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/seh_analysis.cc" "src/analysis/CMakeFiles/crp_analysis.dir/seh_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/crp_analysis.dir/seh_analysis.cc.o.d"
+  "/root/repo/src/analysis/signal_scanner.cc" "src/analysis/CMakeFiles/crp_analysis.dir/signal_scanner.cc.o" "gcc" "src/analysis/CMakeFiles/crp_analysis.dir/signal_scanner.cc.o.d"
+  "/root/repo/src/analysis/syscall_scanner.cc" "src/analysis/CMakeFiles/crp_analysis.dir/syscall_scanner.cc.o" "gcc" "src/analysis/CMakeFiles/crp_analysis.dir/syscall_scanner.cc.o.d"
+  "/root/repo/src/analysis/veh_scanner.cc" "src/analysis/CMakeFiles/crp_analysis.dir/veh_scanner.cc.o" "gcc" "src/analysis/CMakeFiles/crp_analysis.dir/veh_scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/crp_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/crp_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/crp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/symex/CMakeFiles/crp_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/crp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/crp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/crp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/crp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

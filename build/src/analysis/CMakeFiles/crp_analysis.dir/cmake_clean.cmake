@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_analysis.dir/api_analysis.cc.o"
+  "CMakeFiles/crp_analysis.dir/api_analysis.cc.o.d"
+  "CMakeFiles/crp_analysis.dir/candidates.cc.o"
+  "CMakeFiles/crp_analysis.dir/candidates.cc.o.d"
+  "CMakeFiles/crp_analysis.dir/guard_audit.cc.o"
+  "CMakeFiles/crp_analysis.dir/guard_audit.cc.o.d"
+  "CMakeFiles/crp_analysis.dir/report.cc.o"
+  "CMakeFiles/crp_analysis.dir/report.cc.o.d"
+  "CMakeFiles/crp_analysis.dir/seh_analysis.cc.o"
+  "CMakeFiles/crp_analysis.dir/seh_analysis.cc.o.d"
+  "CMakeFiles/crp_analysis.dir/signal_scanner.cc.o"
+  "CMakeFiles/crp_analysis.dir/signal_scanner.cc.o.d"
+  "CMakeFiles/crp_analysis.dir/syscall_scanner.cc.o"
+  "CMakeFiles/crp_analysis.dir/syscall_scanner.cc.o.d"
+  "CMakeFiles/crp_analysis.dir/veh_scanner.cc.o"
+  "CMakeFiles/crp_analysis.dir/veh_scanner.cc.o.d"
+  "libcrp_analysis.a"
+  "libcrp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

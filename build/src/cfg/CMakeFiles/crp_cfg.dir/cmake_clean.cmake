@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_cfg.dir/cfg.cc.o"
+  "CMakeFiles/crp_cfg.dir/cfg.cc.o.d"
+  "libcrp_cfg.a"
+  "libcrp_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

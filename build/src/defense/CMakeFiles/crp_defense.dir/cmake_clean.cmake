@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_defense.dir/rate_detector.cc.o"
+  "CMakeFiles/crp_defense.dir/rate_detector.cc.o.d"
+  "libcrp_defense.a"
+  "libcrp_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

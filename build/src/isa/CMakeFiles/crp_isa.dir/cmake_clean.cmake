@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_isa.dir/asm_text.cc.o"
+  "CMakeFiles/crp_isa.dir/asm_text.cc.o.d"
+  "CMakeFiles/crp_isa.dir/assembler.cc.o"
+  "CMakeFiles/crp_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/crp_isa.dir/image.cc.o"
+  "CMakeFiles/crp_isa.dir/image.cc.o.d"
+  "CMakeFiles/crp_isa.dir/isa.cc.o"
+  "CMakeFiles/crp_isa.dir/isa.cc.o.d"
+  "libcrp_isa.a"
+  "libcrp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

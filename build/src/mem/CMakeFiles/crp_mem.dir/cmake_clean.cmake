@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_mem.dir/address_space.cc.o"
+  "CMakeFiles/crp_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/crp_mem.dir/layout.cc.o"
+  "CMakeFiles/crp_mem.dir/layout.cc.o.d"
+  "libcrp_mem.a"
+  "libcrp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_oracle.dir/crash_tolerant.cc.o"
+  "CMakeFiles/crp_oracle.dir/crash_tolerant.cc.o.d"
+  "CMakeFiles/crp_oracle.dir/oracle.cc.o"
+  "CMakeFiles/crp_oracle.dir/oracle.cc.o.d"
+  "libcrp_oracle.a"
+  "libcrp_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/abi.cc" "src/os/CMakeFiles/crp_os.dir/abi.cc.o" "gcc" "src/os/CMakeFiles/crp_os.dir/abi.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/crp_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/crp_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/net.cc" "src/os/CMakeFiles/crp_os.dir/net.cc.o" "gcc" "src/os/CMakeFiles/crp_os.dir/net.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/os/CMakeFiles/crp_os.dir/process.cc.o" "gcc" "src/os/CMakeFiles/crp_os.dir/process.cc.o.d"
+  "/root/repo/src/os/vfs.cc" "src/os/CMakeFiles/crp_os.dir/vfs.cc.o" "gcc" "src/os/CMakeFiles/crp_os.dir/vfs.cc.o.d"
+  "/root/repo/src/os/winapi.cc" "src/os/CMakeFiles/crp_os.dir/winapi.cc.o" "gcc" "src/os/CMakeFiles/crp_os.dir/winapi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/crp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/crp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/crp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_os.dir/abi.cc.o"
+  "CMakeFiles/crp_os.dir/abi.cc.o.d"
+  "CMakeFiles/crp_os.dir/kernel.cc.o"
+  "CMakeFiles/crp_os.dir/kernel.cc.o.d"
+  "CMakeFiles/crp_os.dir/net.cc.o"
+  "CMakeFiles/crp_os.dir/net.cc.o.d"
+  "CMakeFiles/crp_os.dir/process.cc.o"
+  "CMakeFiles/crp_os.dir/process.cc.o.d"
+  "CMakeFiles/crp_os.dir/vfs.cc.o"
+  "CMakeFiles/crp_os.dir/vfs.cc.o.d"
+  "CMakeFiles/crp_os.dir/winapi.cc.o"
+  "CMakeFiles/crp_os.dir/winapi.cc.o.d"
+  "libcrp_os.a"
+  "libcrp_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symex/bitblast.cc" "src/symex/CMakeFiles/crp_symex.dir/bitblast.cc.o" "gcc" "src/symex/CMakeFiles/crp_symex.dir/bitblast.cc.o.d"
+  "/root/repo/src/symex/expr.cc" "src/symex/CMakeFiles/crp_symex.dir/expr.cc.o" "gcc" "src/symex/CMakeFiles/crp_symex.dir/expr.cc.o.d"
+  "/root/repo/src/symex/filter_exec.cc" "src/symex/CMakeFiles/crp_symex.dir/filter_exec.cc.o" "gcc" "src/symex/CMakeFiles/crp_symex.dir/filter_exec.cc.o.d"
+  "/root/repo/src/symex/sat.cc" "src/symex/CMakeFiles/crp_symex.dir/sat.cc.o" "gcc" "src/symex/CMakeFiles/crp_symex.dir/sat.cc.o.d"
+  "/root/repo/src/symex/solver.cc" "src/symex/CMakeFiles/crp_symex.dir/solver.cc.o" "gcc" "src/symex/CMakeFiles/crp_symex.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/crp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/crp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/crp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

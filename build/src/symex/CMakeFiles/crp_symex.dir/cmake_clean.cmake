@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_symex.dir/bitblast.cc.o"
+  "CMakeFiles/crp_symex.dir/bitblast.cc.o.d"
+  "CMakeFiles/crp_symex.dir/expr.cc.o"
+  "CMakeFiles/crp_symex.dir/expr.cc.o.d"
+  "CMakeFiles/crp_symex.dir/filter_exec.cc.o"
+  "CMakeFiles/crp_symex.dir/filter_exec.cc.o.d"
+  "CMakeFiles/crp_symex.dir/sat.cc.o"
+  "CMakeFiles/crp_symex.dir/sat.cc.o.d"
+  "CMakeFiles/crp_symex.dir/solver.cc.o"
+  "CMakeFiles/crp_symex.dir/solver.cc.o.d"
+  "libcrp_symex.a"
+  "libcrp_symex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_symex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taint/taint.cc" "src/taint/CMakeFiles/crp_taint.dir/taint.cc.o" "gcc" "src/taint/CMakeFiles/crp_taint.dir/taint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/crp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/crp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/crp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/crp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

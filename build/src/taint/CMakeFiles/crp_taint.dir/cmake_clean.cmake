@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_taint.dir/taint.cc.o"
+  "CMakeFiles/crp_taint.dir/taint.cc.o.d"
+  "libcrp_taint.a"
+  "libcrp_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

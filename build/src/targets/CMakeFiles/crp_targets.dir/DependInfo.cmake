@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/targets/browser.cc" "src/targets/CMakeFiles/crp_targets.dir/browser.cc.o" "gcc" "src/targets/CMakeFiles/crp_targets.dir/browser.cc.o.d"
+  "/root/repo/src/targets/cherokee.cc" "src/targets/CMakeFiles/crp_targets.dir/cherokee.cc.o" "gcc" "src/targets/CMakeFiles/crp_targets.dir/cherokee.cc.o.d"
+  "/root/repo/src/targets/common.cc" "src/targets/CMakeFiles/crp_targets.dir/common.cc.o" "gcc" "src/targets/CMakeFiles/crp_targets.dir/common.cc.o.d"
+  "/root/repo/src/targets/dll_corpus.cc" "src/targets/CMakeFiles/crp_targets.dir/dll_corpus.cc.o" "gcc" "src/targets/CMakeFiles/crp_targets.dir/dll_corpus.cc.o.d"
+  "/root/repo/src/targets/jvm.cc" "src/targets/CMakeFiles/crp_targets.dir/jvm.cc.o" "gcc" "src/targets/CMakeFiles/crp_targets.dir/jvm.cc.o.d"
+  "/root/repo/src/targets/lighttpd.cc" "src/targets/CMakeFiles/crp_targets.dir/lighttpd.cc.o" "gcc" "src/targets/CMakeFiles/crp_targets.dir/lighttpd.cc.o.d"
+  "/root/repo/src/targets/memcached.cc" "src/targets/CMakeFiles/crp_targets.dir/memcached.cc.o" "gcc" "src/targets/CMakeFiles/crp_targets.dir/memcached.cc.o.d"
+  "/root/repo/src/targets/nginx.cc" "src/targets/CMakeFiles/crp_targets.dir/nginx.cc.o" "gcc" "src/targets/CMakeFiles/crp_targets.dir/nginx.cc.o.d"
+  "/root/repo/src/targets/postgres.cc" "src/targets/CMakeFiles/crp_targets.dir/postgres.cc.o" "gcc" "src/targets/CMakeFiles/crp_targets.dir/postgres.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/crp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/crp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/crp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/crp_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/crp_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/crp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/symex/CMakeFiles/crp_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/crp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/crp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_targets.dir/browser.cc.o"
+  "CMakeFiles/crp_targets.dir/browser.cc.o.d"
+  "CMakeFiles/crp_targets.dir/cherokee.cc.o"
+  "CMakeFiles/crp_targets.dir/cherokee.cc.o.d"
+  "CMakeFiles/crp_targets.dir/common.cc.o"
+  "CMakeFiles/crp_targets.dir/common.cc.o.d"
+  "CMakeFiles/crp_targets.dir/dll_corpus.cc.o"
+  "CMakeFiles/crp_targets.dir/dll_corpus.cc.o.d"
+  "CMakeFiles/crp_targets.dir/jvm.cc.o"
+  "CMakeFiles/crp_targets.dir/jvm.cc.o.d"
+  "CMakeFiles/crp_targets.dir/lighttpd.cc.o"
+  "CMakeFiles/crp_targets.dir/lighttpd.cc.o.d"
+  "CMakeFiles/crp_targets.dir/memcached.cc.o"
+  "CMakeFiles/crp_targets.dir/memcached.cc.o.d"
+  "CMakeFiles/crp_targets.dir/nginx.cc.o"
+  "CMakeFiles/crp_targets.dir/nginx.cc.o.d"
+  "CMakeFiles/crp_targets.dir/postgres.cc.o"
+  "CMakeFiles/crp_targets.dir/postgres.cc.o.d"
+  "libcrp_targets.a"
+  "libcrp_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

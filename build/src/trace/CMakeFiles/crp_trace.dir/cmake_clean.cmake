@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_trace.dir/tracer.cc.o"
+  "CMakeFiles/crp_trace.dir/tracer.cc.o.d"
+  "libcrp_trace.a"
+  "libcrp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_util.dir/common.cc.o"
+  "CMakeFiles/crp_util.dir/common.cc.o.d"
+  "CMakeFiles/crp_util.dir/hexdump.cc.o"
+  "CMakeFiles/crp_util.dir/hexdump.cc.o.d"
+  "CMakeFiles/crp_util.dir/log.cc.o"
+  "CMakeFiles/crp_util.dir/log.cc.o.d"
+  "CMakeFiles/crp_util.dir/rng.cc.o"
+  "CMakeFiles/crp_util.dir/rng.cc.o.d"
+  "CMakeFiles/crp_util.dir/table.cc.o"
+  "CMakeFiles/crp_util.dir/table.cc.o.d"
+  "libcrp_util.a"
+  "libcrp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

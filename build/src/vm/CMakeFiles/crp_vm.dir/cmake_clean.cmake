@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crp_vm.dir/machine.cc.o"
+  "CMakeFiles/crp_vm.dir/machine.cc.o.d"
+  "CMakeFiles/crp_vm.dir/module.cc.o"
+  "CMakeFiles/crp_vm.dir/module.cc.o.d"
+  "libcrp_vm.a"
+  "libcrp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/test_analysis.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/test_analysis.dir/test_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/targets/CMakeFiles/crp_targets.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/crp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/crp_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/crp_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/symex/CMakeFiles/crp_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/crp_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/crp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/crp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/crp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/crp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/crp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/crp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/crp_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

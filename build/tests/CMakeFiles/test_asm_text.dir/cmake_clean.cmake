@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm_text.dir/test_asm_text.cc.o"
+  "CMakeFiles/test_asm_text.dir/test_asm_text.cc.o.d"
+  "test_asm_text"
+  "test_asm_text.pdb"
+  "test_asm_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

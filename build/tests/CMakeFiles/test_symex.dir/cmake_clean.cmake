@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symex.dir/test_symex.cc.o"
+  "CMakeFiles/test_symex.dir/test_symex.cc.o.d"
+  "test_symex"
+  "test_symex.pdb"
+  "test_symex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taint.dir/test_taint.cc.o"
+  "CMakeFiles/test_taint.dir/test_taint.cc.o.d"
+  "test_taint"
+  "test_taint.pdb"
+  "test_taint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_targets.dir/test_targets.cc.o"
+  "CMakeFiles/test_targets.dir/test_targets.cc.o.d"
+  "test_targets"
+  "test_targets.pdb"
+  "test_targets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

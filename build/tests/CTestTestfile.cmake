@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_os[1]_include.cmake")
+include("/root/repo/build/tests/test_taint[1]_include.cmake")
+include("/root/repo/build/tests/test_symex[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_targets[1]_include.cmake")
+include("/root/repo/build/tests/test_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_defense[1]_include.cmake")
+include("/root/repo/build/tests/test_cfg[1]_include.cmake")
+include("/root/repo/build/tests/test_asm_text[1]_include.cmake")
