@@ -16,11 +16,13 @@
 
 #include "analysis/api_analysis.h"
 #include "analysis/report.h"
+#include "obs/bench_support.h"
 #include "targets/browser.h"
 #include "trace/tracer.h"
 #include "util/rng.h"
 
 int main() {
+  crp::obs::BenchSession obs_session("api_funnel");
   using namespace crp;
 
   printf("bench_api_funnel — §V-B: Windows API crash-resistance funnel\n");

@@ -16,6 +16,7 @@
 
 #include "defense/rate_detector.h"
 #include "isa/assembler.h"
+#include "obs/bench_support.h"
 #include "oracle/oracle.h"
 #include "targets/browser.h"
 #include "targets/common.h"
@@ -99,6 +100,7 @@ RateRow scanning_attack() {
 }  // namespace
 
 int main() {
+  crp::obs::BenchSession obs_session("av_rate");
   printf("bench_av_rate — §VII: access-violation rates per workload\n");
   printf("==========================================================\n\n");
   printf("%-32s %-10s %-14s %-14s %s\n", "workload", "AVs", "peak/window", "peak rate/s",

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "obs/bench_support.h"
 #include "targets/cherokee.h"
 #include "targets/common.h"
 
@@ -47,6 +48,7 @@ u64 serve_batch(os::Kernel& k, int n) {
 }  // namespace
 
 int main() {
+  crp::obs::BenchSession obs_session("cherokee_timing");
   using namespace crp;
 
   printf("bench_cherokee_timing — §VI-D: epoll_wait timing side channel\n");

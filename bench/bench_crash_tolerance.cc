@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "obs/bench_support.h"
 #include "oracle/crash_tolerant.h"
 #include "oracle/oracle.h"
 #include "targets/common.h"
@@ -119,6 +120,7 @@ void part2() {
 }  // namespace
 
 int main() {
+  crp::obs::BenchSession obs_session("crash_tolerance");
   printf("bench_crash_tolerance — crash resistance vs crash tolerance (§I/§II)\n");
   printf("=====================================================================\n\n");
   part1();

@@ -9,6 +9,8 @@
 
 #include "analysis/seh_analysis.h"
 #include "isa/assembler.h"
+#include "obs/bench_support.h"
+#include "obs/obs.h"
 #include "oracle/oracle.h"
 #include "os/kernel.h"
 #include "symex/solver.h"
@@ -54,6 +56,42 @@ void BM_InterpreterThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 10000);
 }
 BENCHMARK(BM_InterpreterThroughput);
+
+// The documented-overhead pair: identical interpreter loop with metric
+// recording on vs off (the runtime kill switch; CRP_OBS_DISABLED compiles
+// the mutations out entirely for the true-zero baseline).
+void BM_StepObsOn(benchmark::State& state) {
+  obs::set_runtime_enabled(true);
+  vm::Machine m(vm::Personality::kLinux, 1);
+  size_t idx = m.load_image(std::make_shared<isa::Image>(spin_image(16)));
+  gva_t stack = m.layout().place(mem::RegionKind::kStack, 65536, "s");
+  CRP_CHECK(m.mem().map(stack, 65536, mem::kPermR | mem::kPermW));
+  vm::Cpu cpu;
+  cpu.pc = m.modules()[idx].code_addr(0);
+  cpu.sp() = stack + 65000;
+  for (auto _ : state) {
+    m.run(cpu, 10000);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_StepObsOn);
+
+void BM_StepObsOff(benchmark::State& state) {
+  obs::set_runtime_enabled(false);
+  vm::Machine m(vm::Personality::kLinux, 1);
+  size_t idx = m.load_image(std::make_shared<isa::Image>(spin_image(16)));
+  gva_t stack = m.layout().place(mem::RegionKind::kStack, 65536, "s");
+  CRP_CHECK(m.mem().map(stack, 65536, mem::kPermR | mem::kPermW));
+  vm::Cpu cpu;
+  cpu.pc = m.modules()[idx].code_addr(0);
+  cpu.sp() = stack + 65000;
+  for (auto _ : state) {
+    m.run(cpu, 10000);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 10000);
+  obs::set_runtime_enabled(true);
+}
+BENCHMARK(BM_StepObsOff);
 
 void BM_InterpreterWithTaint(benchmark::State& state) {
   os::Kernel k;
@@ -167,4 +205,13 @@ BENCHMARK(BM_KernelSyscallPath);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN expanded so a BenchSession wraps the run and dumps
+// BENCH_micro.json alongside google-benchmark's own output.
+int main(int argc, char** argv) {
+  crp::obs::BenchSession obs_session("micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/bench_support.h"
 #include "oracle/oracle.h"
 #include "targets/browser.h"
 #include "targets/common.h"
@@ -48,6 +49,7 @@ Row hunt_with(oracle::MemoryOracle& oracle, os::Kernel& k, os::Process& proc,
 }  // namespace
 
 int main() {
+  crp::obs::BenchSession obs_session("probe_scan");
   printf("bench_probe_scan — Fig.1/§III: crash-resistant address-space probing\n");
   printf("=====================================================================\n\n");
 

@@ -14,10 +14,12 @@
 #include "analysis/guard_audit.h"
 #include "analysis/report.h"
 #include "analysis/seh_analysis.h"
+#include "obs/bench_support.h"
 #include "targets/browser.h"
 #include "trace/tracer.h"
 
 int main() {
+  crp::obs::BenchSession obs_session("seh_funnel");
   using namespace crp;
 
   printf("bench_seh_funnel — §V-C: system-wide SEH funnel (187 DLLs)\n");

@@ -17,9 +17,11 @@
 
 #include "analysis/report.h"
 #include "analysis/syscall_scanner.h"
+#include "obs/bench_support.h"
 #include "targets/servers.h"
 
 int main() {
+  crp::obs::BenchSession obs_session("table1");
   using namespace crp;
 
   printf("bench_table1 — Table I: syscall-based crash-resistant primitives\n");

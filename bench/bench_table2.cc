@@ -15,10 +15,12 @@
 
 #include "analysis/report.h"
 #include "analysis/seh_analysis.h"
+#include "obs/bench_support.h"
 #include "targets/browser.h"
 #include "trace/tracer.h"
 
 int main() {
+  crp::obs::BenchSession obs_session("table2");
   using namespace crp;
 
   printf("bench_table2 — Table II: guarded code locations per DLL (IE run)\n");

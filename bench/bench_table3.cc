@@ -13,6 +13,7 @@
 
 #include "analysis/report.h"
 #include "analysis/seh_analysis.h"
+#include "obs/bench_support.h"
 #include "targets/dll_corpus.h"
 
 namespace {
@@ -36,6 +37,7 @@ std::vector<crp::analysis::ModuleSehStats> analyze(
 }  // namespace
 
 int main() {
+  crp::obs::BenchSession obs_session("table3");
   using namespace crp;
 
   printf("bench_table3 — Table III: exception filters before/after symbolic execution\n");

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Run every bench binary and aggregate the BENCH_<name>.json telemetry
+# snapshots each one emits (see src/obs/bench_support.h) into one summary.
+#
+# Usage: bench/run_all.sh [build-dir] [output-dir]
+#   build-dir   defaults to ./build
+#   output-dir  defaults to <build-dir>/bench-results (exported as
+#               CRP_BENCH_DIR so the harness writes snapshots there)
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-$BUILD_DIR/bench-results}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found (build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+export CRP_BENCH_DIR="$OUT_DIR"
+
+failed=0
+for bench in "$BENCH_DIR"/bench_*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "=== $name ==="
+  if ! "$bench" > "$OUT_DIR/$name.log" 2>&1; then
+    echo "    FAILED (see $OUT_DIR/$name.log)" >&2
+    failed=1
+  fi
+  tail -n 1 "$OUT_DIR/$name.log"
+done
+
+echo
+echo "=== telemetry snapshots in $OUT_DIR ==="
+ls -1 "$OUT_DIR"/BENCH_*.json 2>/dev/null || echo "(none)"
+
+# Aggregate headline metrics across snapshots when python3 is available.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$OUT_DIR" << 'EOF'
+import glob, json, os, sys
+
+out_dir = sys.argv[1]
+keys = [
+    "vm.instr_retired",
+    "vm.exceptions",
+    "kernel.api.calls",
+    "sat.queries",
+    "oracle.scan.probes",
+    "oracle.scan.mapped_hits",
+    "oracle.scan.crashes",
+]
+rows = []
+for path in sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json"))):
+    if path.endswith("_trace.json"):
+        continue
+    with open(path) as f:
+        doc = json.load(f)
+    m = doc.get("metrics", {})
+
+    def flat(k):
+        v = m.get(k, 0)
+        return v.get("count", 0) if isinstance(v, dict) else v
+
+    rows.append([doc.get("bench", "?")] + [flat(k) for k in keys])
+
+if rows:
+    hdr = ["bench"] + [k.split(".")[-1] for k in keys]
+    widths = [max(len(str(r[i])) for r in [hdr] + rows) for i in range(len(hdr))]
+    for r in [hdr] + rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(r, widths)))
+    agg = {k: sum(r[i + 1] for r in rows) for i, k in enumerate(keys)}
+    summary = os.path.join(out_dir, "BENCH_SUMMARY.json")
+    with open(summary, "w") as f:
+        json.dump({"benches": [r[0] for r in rows], "totals": agg}, f, indent=1)
+    print(f"\nwrote {summary}")
+    if agg["oracle.scan.crashes"] != 0:
+        print("WARNING: nonzero oracle.scan.crashes across benches "
+              "(expected only from the crash-tolerant baseline)")
+EOF
+else
+  echo "(python3 unavailable — skipping aggregation)"
+fi
+
+exit $failed

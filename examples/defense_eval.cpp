@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "analysis/report.h"
 #include "defense/rate_detector.h"
 #include "oracle/oracle.h"
 #include "targets/browser.h"
@@ -66,5 +67,7 @@ int main() {
   printf("    probing rates sit orders of magnitude above benign AV rates;\n");
   printf("  * the mapped-only policy makes the very first unmapped probe fatal,\n");
   printf("    restoring information hiding's original guarantee.\n");
+
+  printf("\n%s", crp::analysis::render_metrics().c_str());
   return 0;
 }

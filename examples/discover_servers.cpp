@@ -39,5 +39,7 @@ int main() {
   printf("Paper ground truth (§V-A): recv@nginx, epoll_wait@cherokee,\n");
   printf("read@lighttpd, read@memcached (+ epoll_wait@memcached as the false\n");
   printf("positive), epoll_wait@postgresql.\n");
+
+  printf("\n%s", analysis::render_metrics().c_str());
   return 0;
 }

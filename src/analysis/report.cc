@@ -1,5 +1,6 @@
 #include "analysis/report.h"
 
+#include "obs/obs.h"
 #include "util/table.h"
 
 namespace crp::analysis {
@@ -101,6 +102,13 @@ std::string render_api_funnel(const ApiFunnel& f) {
 std::string render_candidates(const std::vector<Candidate>& cands) {
   std::string out;
   for (const auto& c : cands) out += c.describe() + "\n";
+  return out;
+}
+
+std::string render_metrics(bool skip_zero) {
+  std::string out = "pipeline metrics (crp::obs):\n";
+  std::string body = obs::Registry::global().text(skip_zero);
+  out += body.empty() ? "  (no metrics recorded)\n" : body;
   return out;
 }
 

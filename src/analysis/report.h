@@ -46,4 +46,9 @@ std::string render_api_funnel(const ApiFunnel& funnel);
 /// Flat candidate listing.
 std::string render_candidates(const std::vector<Candidate>& cands);
 
+/// Unified pipeline-metrics block (the crp::obs global registry): every
+/// counter/gauge/histogram any layer touched during the run, one per line.
+/// `skip_zero` (default) drops never-touched metrics.
+std::string render_metrics(bool skip_zero = true);
+
 }  // namespace crp::analysis

@@ -1,9 +1,16 @@
 #include "defense/rate_detector.h"
 
+#include "obs/journal.h"
+#include "obs/obs.h"
+
 namespace crp::defense {
 
 RateDetector::RateDetector(os::Kernel& kernel, os::Process& proc, Config cfg)
     : k_(kernel), proc_(proc), cfg_(cfg) {
+  obs::Registry& reg = obs::Registry::global();
+  c_handled_ = &reg.counter("defense.av_rate.handled");
+  c_alarms_ = &reg.counter("defense.av_rate.alarms");
+  g_peak_ = &reg.gauge("defense.av_rate.peak_window");
   proc_.machine().add_observer(this);
 }
 
@@ -14,11 +21,18 @@ void RateDetector::on_exception(const vm::ExceptionRecord& rec, vm::DispatchOutc
   ++total_;
   if (outcome == vm::DispatchOutcome::kUnhandled) return;  // the process dies anyway
   ++handled_;
+  c_handled_->inc();
   u64 now = k_.now_ns();
   window_.push_back(now);
   while (!window_.empty() && window_.front() + cfg_.window_ns < now) window_.pop_front();
   peak_ = std::max<u64>(peak_, window_.size());
-  if (window_.size() >= cfg_.threshold) alarmed_ = true;
+  g_peak_->update_max(static_cast<i64>(peak_));
+  if (window_.size() >= cfg_.threshold && !alarmed_) {
+    alarmed_ = true;
+    c_alarms_->inc();
+    obs::Journal::global().instant("av-rate-alarm", "defense", now / 1000, 0, "window_count",
+                                   static_cast<i64>(window_.size()));
+  }
 }
 
 double RateDetector::peak_rate_per_sec() const {

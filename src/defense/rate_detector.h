@@ -22,6 +22,11 @@
 #include "os/kernel.h"
 #include "vm/hooks.h"
 
+namespace crp::obs {
+class Counter;
+class Gauge;
+}  // namespace crp::obs
+
 namespace crp::defense {
 
 struct RateDetectorConfig {
@@ -58,6 +63,9 @@ class RateDetector : public vm::ExecObserver {
   u64 handled_ = 0;
   u64 peak_ = 0;
   bool alarmed_ = false;
+  obs::Counter* c_handled_;
+  obs::Counter* c_alarms_;
+  obs::Gauge* g_peak_;
 };
 
 /// Handlers whose filters are broader than their guarded code plausibly

@@ -1,0 +1,115 @@
+#include "obs/bench_support.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/journal.h"
+#include "obs/obs.h"
+#include "os/abi.h"
+#include "util/log.h"
+#include "vm/exception.h"
+#include "vm/machine.h"
+
+namespace crp::obs {
+
+namespace {
+std::string out_dir() {
+  const char* d = std::getenv("CRP_BENCH_DIR");
+  if (d == nullptr || *d == '\0') return {};
+  std::error_code ec;
+  std::filesystem::create_directories(d, ec);  // best effort; open reports failure
+  return std::string(d) + "/";
+}
+
+u64 wall_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+}  // namespace
+
+void preregister_core_metrics() {
+  Registry& r = Registry::global();
+  r.counter("vm.instr_retired");
+  r.counter("vm.exceptions");
+  r.counter("vm.filter_evals");
+  r.counter("vm.mapped_only_av_kills");
+  for (int o = 0; o <= static_cast<int>(vm::DispatchOutcome::kSwallowed); ++o)
+    r.counter(std::string("vm.dispatch.") +
+              vm::dispatch_outcome_name(static_cast<vm::DispatchOutcome>(o)));
+  for (u64 s = 0; s < static_cast<u64>(os::Sys::kCount); ++s) {
+    std::string base = std::string("kernel.sys.") + os::sys_name(static_cast<os::Sys>(s));
+    r.counter(base + ".calls");
+    r.counter(base + ".efault");
+  }
+  r.counter("kernel.copy_from_user.bytes");
+  r.counter("kernel.copy_to_user.bytes");
+  r.counter("kernel.copy_user.efaults");
+  r.counter("kernel.api.calls");
+  r.counter("kernel.api.faults");
+  r.counter("sat.queries");
+  r.counter("sat.conflicts");
+  r.counter("sat.decisions");
+  r.counter("sat.propagations");
+  r.counter("sat.restarts");
+  r.histogram("sat.solve_ns");
+  r.counter("symex.filter.explored");
+  r.counter("symex.filter.paths");
+  r.counter("taint.propagated");
+  r.gauge("taint.tainted_bytes_hwm");
+  r.counter("oracle.scan.probes");
+  r.counter("oracle.scan.mapped_hits");
+  r.counter("oracle.scan.crashes");
+  r.histogram("oracle.scan.probe_ns");
+  r.counter("defense.av_rate.handled");
+  r.counter("defense.av_rate.alarms");
+  r.gauge("defense.av_rate.peak_window");
+}
+
+BenchSession::BenchSession(const std::string& name) : name_(name), wall_t0_ns_(wall_ns()) {
+  preregister_core_metrics();
+}
+
+std::string BenchSession::metrics_path() const { return out_dir() + "BENCH_" + name_ + ".json"; }
+
+std::string BenchSession::trace_path() const {
+  return out_dir() + "BENCH_" + name_ + "_trace.json";
+}
+
+void BenchSession::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  Registry::global().gauge("bench.wall_ns").set(static_cast<i64>(wall_ns() - wall_t0_ns_));
+
+  std::string body = "{\n\"bench\": \"" + name_ + "\",\n\"schema\": 1,\n\"metrics\": ";
+  std::string metrics = Registry::global().json();
+  // Indent the metrics object one level to keep the file pleasant to diff.
+  body += metrics;
+  body += "\n}\n";
+  bool wrote = false;
+  {
+    std::ofstream f(metrics_path());
+    if (f) {
+      f << body;
+      wrote = true;
+    } else {
+      CRP_WARN("obs", "cannot write %s", metrics_path().c_str());
+    }
+  }
+
+  Journal& j = Journal::global();
+  if (j.size() > 0) {
+    std::ofstream f(trace_path());
+    if (f) f << j.chrome_trace_json() << "\n";
+  }
+  if (wrote)
+    std::fprintf(stderr, "[obs] metrics snapshot: %s%s\n", metrics_path().c_str(),
+                 j.size() > 0 ? strf(", trace: %s", trace_path().c_str()).c_str() : "");
+}
+
+BenchSession::~BenchSession() { flush(); }
+
+}  // namespace crp::obs

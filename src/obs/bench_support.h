@@ -1,0 +1,46 @@
+// Shared bench harness: every bench_*.cc declares one BenchSession at the
+// top of main(). On destruction it dumps the global metric registry to
+// BENCH_<name>.json (machine-readable, diffable — the perf trajectory) and,
+// when the global journal captured events, a Chrome trace_event file
+// BENCH_<name>_trace.json loadable in about:tracing / Perfetto.
+//
+// Output directory: $CRP_BENCH_DIR if set, else the current directory.
+// The constructor pre-registers the canonical cross-layer metrics
+// (vm.instr_retired, every kernel.sys.<name>.{calls,efault}, sat.*,
+// oracle.scan.*) so a snapshot always carries the full schema with zeros
+// rather than omitting layers the bench never touched.
+#pragma once
+
+#include <string>
+
+#include "util/common.h"
+
+namespace crp::obs {
+
+class BenchSession {
+ public:
+  explicit BenchSession(const std::string& name);
+  ~BenchSession();
+
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::string metrics_path() const;
+  std::string trace_path() const;
+
+  /// Write the snapshot/trace now instead of at destruction (benches that
+  /// want to print the paths before returning). Idempotent.
+  void flush();
+
+ private:
+  std::string name_;
+  u64 wall_t0_ns_ = 0;
+  bool flushed_ = false;
+};
+
+/// Touch every canonical pipeline metric so it exists (value 0) in the
+/// registry. Called by BenchSession; harmless to call repeatedly.
+void preregister_core_metrics();
+
+}  // namespace crp::obs

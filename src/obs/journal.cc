@@ -1,0 +1,90 @@
+#include "obs/journal.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace crp::obs {
+
+void Journal::span(const std::string& name, const std::string& cat, u64 ts_us, u64 dur_us,
+                   u32 tid, const std::string& arg_name, i64 arg) {
+  emit({name, cat, 'X', ts_us, dur_us, tid, arg_name, arg});
+}
+
+void Journal::instant(const std::string& name, const std::string& cat, u64 ts_us, u32 tid,
+                      const std::string& arg_name, i64 arg) {
+  emit({name, cat, 'i', ts_us, 0, tid, arg_name, arg});
+}
+
+void Journal::emit(TraceEvent ev) {
+  if (!detail::recording()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(ev));
+}
+
+size_t Journal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+u64 Journal::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Journal::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string Journal::chrome_trace_json() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events.assign(ring_.begin(), ring_.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += strf("\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%llu,\"pid\":1,"
+                "\"tid\":%u",
+                escape(e.name).c_str(), escape(e.cat).c_str(), e.phase,
+                static_cast<unsigned long long>(e.ts_us), e.tid);
+    if (e.phase == 'X') out += strf(",\"dur\":%llu", static_cast<unsigned long long>(e.dur_us));
+    if (e.phase == 'i') out += ",\"s\":\"g\"";
+    if (!e.arg_name.empty())
+      out += strf(",\"args\":{\"%s\":%lld}", escape(e.arg_name).c_str(),
+                  static_cast<long long>(e.arg));
+    out += "}";
+  }
+  out += "\n]";
+  return out;
+}
+
+Journal& Journal::global() {
+  static Journal* g = new Journal();
+  return *g;
+}
+
+}  // namespace crp::obs

@@ -1,0 +1,66 @@
+// Bounded ring-buffer event journal, exportable as Chrome trace_event JSON
+// (load the file in about:tracing or https://ui.perfetto.dev).
+//
+// Events are cheap to emit but not free (one mutex + one string copy), so
+// the journal is used at *operation* granularity — one event per oracle
+// probe, per SAT query, per bench phase — never per instruction. When the
+// ring is full the oldest events are overwritten and `dropped()` counts the
+// loss, so memory stays bounded on arbitrarily long campaigns.
+//
+// Timestamps are caller-supplied microseconds. Probe campaigns use the
+// Kernel's *virtual* clock (instruction-derived, deterministic); bench
+// phases use wall time. The exporter sorts events by timestamp, so a trace
+// mixing clock domains still loads cleanly, and traces from deterministic
+// runs are bit-identical.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "util/common.h"
+
+namespace crp::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';  // 'X' complete, 'i' instant, 'C' counter
+  u64 ts_us = 0;
+  u64 dur_us = 0;     // 'X' only
+  u32 tid = 0;
+  std::string arg_name;  // optional single numeric arg
+  i64 arg = 0;
+};
+
+class Journal {
+ public:
+  explicit Journal(size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  /// Append a complete ('X') span event.
+  void span(const std::string& name, const std::string& cat, u64 ts_us, u64 dur_us,
+            u32 tid = 0, const std::string& arg_name = {}, i64 arg = 0);
+  /// Append an instant ('i') event.
+  void instant(const std::string& name, const std::string& cat, u64 ts_us, u32 tid = 0,
+               const std::string& arg_name = {}, i64 arg = 0);
+  void emit(TraceEvent ev);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  u64 dropped() const;
+  void clear();
+
+  /// Chrome trace_event "JSON Array Format": events sorted by ts_us.
+  std::string chrome_trace_json() const;
+
+  /// The process-wide journal; benches export it via BenchSession.
+  static Journal& global();
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> ring_;
+  u64 dropped_ = 0;
+};
+
+}  // namespace crp::obs

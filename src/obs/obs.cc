@@ -1,0 +1,295 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+
+namespace crp::obs {
+
+namespace detail {
+std::atomic<bool> g_runtime_enabled{true};
+}  // namespace detail
+
+void set_runtime_enabled(bool on) {
+  detail::g_runtime_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool runtime_enabled() { return detail::g_runtime_enabled.load(std::memory_order_relaxed); }
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+// --- Gauge -------------------------------------------------------------------
+
+void Gauge::update_max(i64 v) {
+  if (!detail::recording()) return;
+  i64 cur = v_.load(std::memory_order_relaxed);
+  while (v > cur && !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+u32 Histogram::bucket_index(u64 v) {
+  if (v < kExactValues) return static_cast<u32>(v);
+  u32 octave = 63 - static_cast<u32>(std::countl_zero(v));
+  u32 sub = static_cast<u32>((v - (1ull << octave)) >> (octave - 2));
+  return kExactValues + (octave - 2) * kSubBuckets + sub;
+}
+
+u64 Histogram::bucket_lo(u32 idx) {
+  if (idx < kExactValues) return idx;
+  u32 octave = 2 + (idx - kExactValues) / kSubBuckets;
+  u32 sub = (idx - kExactValues) % kSubBuckets;
+  return (1ull << octave) + (static_cast<u64>(sub) << (octave - 2));
+}
+
+u64 Histogram::bucket_hi(u32 idx) {
+  if (idx < kExactValues) return idx + 1;
+  if (idx == kNumBuckets - 1) return ~0ull;
+  return bucket_lo(idx + 1);
+}
+
+void Histogram::record(u64 v) {
+  if (!detail::recording()) return;
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  u64 cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+u64 Histogram::min() const {
+  u64 m = min_.load(std::memory_order_relaxed);
+  return m == ~0ull ? 0 : m;
+}
+
+double Histogram::mean() const {
+  u64 n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+u64 Histogram::quantile(double q) const {
+  u64 n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based), then walk the cumulative counts.
+  u64 rank = static_cast<u64>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  u64 seen = 0;
+  for (u32 i = 0; i < kNumBuckets; ++i) {
+    u64 b = buckets_[i].load(std::memory_order_relaxed);
+    if (b == 0) continue;
+    if (seen + b >= rank) {
+      // Midpoint-rule interpolation inside the bucket (the k-th of b samples
+      // sits at fraction (k-0.5)/b), clamped to observed extremes.
+      u64 lo = bucket_lo(i), hi = bucket_hi(i);
+      double frac =
+          (static_cast<double>(rank - seen) - 0.5) / static_cast<double>(b);
+      u64 est = lo + static_cast<u64>(frac * static_cast<double>(hi - lo));
+      return std::clamp(est, min(), max());
+    }
+    seen += b;
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// --- ScopedTimer -------------------------------------------------------------
+
+namespace {
+u64 wall_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+}  // namespace
+
+ScopedTimer::ScopedTimer(Histogram& h) : h_(h), t0_(wall_ns()) {}
+
+ScopedTimer::~ScopedTimer() { h_.record(elapsed_ns()); }
+
+u64 ScopedTimer::elapsed_ns() const { return wall_ns() - t0_; }
+
+// --- Registry ----------------------------------------------------------------
+
+Registry::Entry& Registry::get_or_create(const std::string& name, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != kind)
+      CRP_PANIC(strf("metric '%s' registered as %s, requested as %s", name.c_str(),
+                     metric_kind_name(it->second.kind), metric_kind_name(kind)));
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter: e.c = std::make_unique<Counter>(); break;
+    case MetricKind::kGauge: e.g = std::make_unique<Gauge>(); break;
+    case MetricKind::kHistogram: e.h = std::make_unique<Histogram>(); break;
+  }
+  return metrics_.emplace(name, std::move(e)).first->second;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return *get_or_create(name, MetricKind::kCounter).c;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return *get_or_create(name, MetricKind::kGauge).g;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return *get_or_create(name, MetricKind::kHistogram).h;
+}
+
+bool Registry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.contains(name);
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : metrics_) {
+    switch (e.kind) {
+      case MetricKind::kCounter: e.c->reset(); break;
+      case MetricKind::kGauge: e.g->reset(); break;
+      case MetricKind::kHistogram: e.h->reset(); break;
+    }
+  }
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string hist_json(const Histogram& h) {
+  return strf(
+      "{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,\"mean\":%.3f,"
+      "\"p50\":%llu,\"p95\":%llu,\"p99\":%llu}",
+      static_cast<unsigned long long>(h.count()), static_cast<unsigned long long>(h.sum()),
+      static_cast<unsigned long long>(h.min()), static_cast<unsigned long long>(h.max()),
+      h.mean(), static_cast<unsigned long long>(h.quantile(0.50)),
+      static_cast<unsigned long long>(h.quantile(0.95)),
+      static_cast<unsigned long long>(h.quantile(0.99)));
+}
+}  // namespace
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, e] : metrics_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"" + json_escape(name) + "\": ";
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out += strf("%llu", static_cast<unsigned long long>(e.c->value()));
+        break;
+      case MetricKind::kGauge:
+        out += strf("%lld", static_cast<long long>(e.g->value()));
+        break;
+      case MetricKind::kHistogram:
+        out += hist_json(*e.h);
+        break;
+    }
+  }
+  out += "\n}";
+  return out;
+}
+
+std::string Registry::text(bool skip_zero) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, e] : metrics_) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        if (skip_zero && e.c->value() == 0) break;
+        out += strf("  %-40s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(e.c->value()));
+        break;
+      case MetricKind::kGauge:
+        if (skip_zero && e.g->value() == 0) break;
+        out += strf("  %-40s %lld\n", name.c_str(), static_cast<long long>(e.g->value()));
+        break;
+      case MetricKind::kHistogram:
+        if (skip_zero && e.h->count() == 0) break;
+        out += strf("  %-40s n=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu\n",
+                    name.c_str(), static_cast<unsigned long long>(e.h->count()), e.h->mean(),
+                    static_cast<unsigned long long>(e.h->quantile(0.50)),
+                    static_cast<unsigned long long>(e.h->quantile(0.95)),
+                    static_cast<unsigned long long>(e.h->quantile(0.99)),
+                    static_cast<unsigned long long>(e.h->max()));
+        break;
+    }
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* g = new Registry();  // intentionally leaked: outlives all cached refs
+  return *g;
+}
+
+// --- json_number -------------------------------------------------------------
+
+bool json_number(const std::string& json, const std::string& key, double* out) {
+  std::string name = key;
+  std::string field;
+  if (size_t slash = key.find('/'); slash != std::string::npos) {
+    name = key.substr(0, slash);
+    field = key.substr(slash + 1);
+  }
+  size_t pos = json.find("\"" + json_escape(name) + "\":");
+  if (pos == std::string::npos) return false;
+  pos = json.find(':', pos);
+  ++pos;
+  while (pos < json.size() && (json[pos] == ' ' || json[pos] == '\n')) ++pos;
+  if (pos < json.size() && json[pos] == '{') {
+    if (field.empty()) return false;
+    size_t end = json.find('}', pos);
+    if (end == std::string::npos) return false;
+    size_t f = json.find("\"" + field + "\":", pos);
+    if (f == std::string::npos || f > end) return false;
+    pos = json.find(':', f) + 1;
+  }
+  try {
+    *out = std::stod(json.substr(pos));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace crp::obs

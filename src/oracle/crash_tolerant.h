@@ -33,6 +33,13 @@ class CrashTolerantProbe : public MemoryOracle {
 
   ProbeResult probe(gva_t addr) override;
   std::string name() const override { return "crash-tolerant"; }
+  u64 virtual_now() const override { return k_->now_ns(); }
+  /// Reports dead until the next probe respawns the server.
+  bool target_alive() const override { return k_->proc(pid_).alive(); }
+  /// Exact count — consecutive crashes would be invisible to the Scanner's
+  /// alive->dead transition detection because each probe starts by
+  /// respawning a dead target.
+  u64 crash_count() const override { return crashes_; }
 
   u64 crashes() const { return crashes_; }
   u64 restarts() const { return restarts_; }

@@ -1,5 +1,7 @@
 #include "oracle/oracle.h"
 
+#include "obs/journal.h"
+#include "obs/obs.h"
 #include "targets/common.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -142,15 +144,48 @@ ProbeResult FirefoxPollOracle::probe(gva_t addr) {
 
 // --- Scanner -----------------------------------------------------------------------------
 
+Scanner::Scanner(MemoryOracle& oracle) : oracle_(oracle) {
+  // Acquired eagerly so every scan campaign's snapshot carries the full
+  // oracle.scan.* schema — crashes in particular must be *visibly* zero.
+  obs::Registry& reg = obs::Registry::global();
+  c_probes_ = &reg.counter("oracle.scan.probes");
+  c_mapped_ = &reg.counter("oracle.scan.mapped_hits");
+  c_crashes_ = &reg.counter("oracle.scan.crashes");
+  h_probe_ns_ = &reg.histogram("oracle.scan.probe_ns");
+}
+
+ProbeResult Scanner::probe_once(gva_t addr) {
+  ++stats_.probes;
+  c_probes_->inc();
+  bool alive_before = oracle_.target_alive();
+  u64 crashes_before = oracle_.crash_count();
+  u64 t0 = oracle_.virtual_now();
+  ProbeResult r = oracle_.probe(addr);
+  u64 t1 = oracle_.virtual_now();
+  if (t1 > t0) h_probe_ns_->record(t1 - t0);
+  if (r == ProbeResult::kMapped) {
+    ++stats_.mapped_hits;
+    c_mapped_->inc();
+  }
+  // Prefer the oracle's own exact accounting; fall back to alive->dead
+  // transition detection for oracles that do not self-report.
+  if (u64 crashed = oracle_.crash_count() - crashes_before; crashed > 0) {
+    stats_.crashes += crashed;
+    c_crashes_->inc(crashed);
+  } else if (alive_before && !oracle_.target_alive()) {
+    ++stats_.crashes;
+    c_crashes_->inc();
+  }
+  obs::Journal::global().span(oracle_.name(), "probe", t0 / 1000, (t1 - t0) / 1000, 0,
+                              "mapped", r == ProbeResult::kMapped ? 1 : 0);
+  return r;
+}
+
 std::vector<gva_t> Scanner::sweep(gva_t base, u64 len, u64 stride) {
   CRP_CHECK(stride != 0);
   std::vector<gva_t> mapped;
   for (gva_t a = base; a < base + len; a += stride) {
-    ++stats_.probes;
-    if (oracle_.probe(a) == ProbeResult::kMapped) {
-      ++stats_.mapped_hits;
-      mapped.push_back(a);
-    }
+    if (probe_once(a) == ProbeResult::kMapped) mapped.push_back(a);
   }
   return mapped;
 }
@@ -162,9 +197,7 @@ std::optional<gva_t> Scanner::hunt(gva_t lo, gva_t hi, u64 max_probes, u64 seed,
   u64 slots = (hi - lo) / mem::kPageSize;
   for (u64 i = 0; i < max_probes; ++i) {
     gva_t addr = lo + rng.below(slots) * mem::kPageSize;
-    ++stats_.probes;
-    if (oracle_.probe(addr) == ProbeResult::kMapped) {
-      ++stats_.mapped_hits;
+    if (probe_once(addr) == ProbeResult::kMapped) {
       if (!accept || accept(addr)) return addr;
     }
   }

@@ -32,6 +32,11 @@
 #include "os/kernel.h"
 #include "targets/browser.h"
 
+namespace crp::obs {
+class Counter;
+class Histogram;
+}  // namespace crp::obs
+
 namespace crp::oracle {
 
 enum class ProbeResult : u8 { kMapped = 0, kUnmapped, kUnknown };
@@ -46,6 +51,23 @@ class MemoryOracle {
   virtual std::string name() const = 0;
   u64 probes_issued() const { return probes_; }
 
+  /// The virtual clock (ns) of the kernel driving the target — lets the
+  /// Scanner attribute a deterministic latency to each probe. 0 when the
+  /// oracle has no clock.
+  virtual u64 virtual_now() const { return 0; }
+
+  /// Whether the probed target is still alive. The Scanner counts
+  /// alive->dead transitions across a probe as crashes — the number that
+  /// must stay 0 for a crash-RESISTANT oracle.
+  virtual bool target_alive() const { return true; }
+
+  /// Total target crashes this oracle has caused, for oracles that track
+  /// them precisely (e.g. the crash-tolerant baseline, whose supervisor
+  /// respawns the target between probes and so defeats the Scanner's
+  /// transition detection). Oracles returning 0 fall back to the Scanner's
+  /// alive->dead accounting.
+  virtual u64 crash_count() const { return 0; }
+
  protected:
   u64 probes_ = 0;
 };
@@ -58,6 +80,11 @@ class NginxRecvOracle : public MemoryOracle {
   NginxRecvOracle(os::Kernel& kernel, int pid, u16 port);
   ProbeResult probe(gva_t addr) override;
   std::string name() const override { return "nginx-recv"; }
+  u64 virtual_now() const override { return k_.now_ns(); }
+  bool target_alive() const override {
+    const os::Process* p = k_.find_proc(pid_);
+    return p != nullptr && p->alive();
+  }
 
  private:
   /// Locate the parked ngx_buf_t for our paused connection by scanning the
@@ -76,6 +103,8 @@ class SehProbeOracle : public MemoryOracle {
   explicit SehProbeOracle(targets::BrowserSim& browser);
   ProbeResult probe(gva_t addr) override;
   std::string name() const override { return "ie-mutx-seh"; }
+  u64 virtual_now() const override { return browser_.kernel().now_ns(); }
+  bool target_alive() const override { return browser_.proc().alive(); }
 
  private:
   targets::BrowserSim& browser_;
@@ -89,6 +118,8 @@ class FirefoxPollOracle : public MemoryOracle {
   explicit FirefoxPollOracle(targets::BrowserSim& browser);
   ProbeResult probe(gva_t addr) override;
   std::string name() const override { return "firefox-poll"; }
+  u64 virtual_now() const override { return browser_.kernel().now_ns(); }
+  bool target_alive() const override { return browser_.proc().alive(); }
 
  private:
   targets::BrowserSim& browser_;
@@ -107,7 +138,7 @@ struct ScanStats {
 /// stride, returning addresses that probed mapped.
 class Scanner {
  public:
-  explicit Scanner(MemoryOracle& oracle) : oracle_(oracle) {}
+  explicit Scanner(MemoryOracle& oracle);
 
   /// Probe [base, base+len) at `stride`; returns mapped probe addresses.
   std::vector<gva_t> sweep(gva_t base, u64 len, u64 stride);
@@ -121,8 +152,16 @@ class Scanner {
   const ScanStats& stats() const { return stats_; }
 
  private:
+  /// One instrumented probe: counters, virtual-time latency, liveness
+  /// transition (crash) detection, one journal span.
+  ProbeResult probe_once(gva_t addr);
+
   MemoryOracle& oracle_;
   ScanStats stats_;
+  obs::Counter* c_probes_;
+  obs::Counter* c_mapped_;
+  obs::Counter* c_crashes_;
+  obs::Histogram* h_probe_ns_;
 };
 
 /// Expected number of uniform probes to hit a region of `region_pages`

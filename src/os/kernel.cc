@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/log.h"
 
 namespace crp::os {
@@ -45,7 +46,20 @@ void ClientConn::close() {
 
 // --- Kernel ----------------------------------------------------------------------
 
-Kernel::Kernel() { winapi_.install_base_apis(); }
+Kernel::Kernel() {
+  winapi_.install_base_apis();
+  obs::Registry& reg = obs::Registry::global();
+  for (size_t s = 0; s < static_cast<size_t>(Sys::kCount); ++s) {
+    std::string base = std::string("kernel.sys.") + sys_name(static_cast<Sys>(s));
+    c_sys_calls_[s] = &reg.counter(base + ".calls");
+    c_sys_efault_[s] = &reg.counter(base + ".efault");
+  }
+  c_copy_in_bytes_ = &reg.counter("kernel.copy_from_user.bytes");
+  c_copy_out_bytes_ = &reg.counter("kernel.copy_to_user.bytes");
+  c_copy_efaults_ = &reg.counter("kernel.copy_user.efaults");
+  c_api_calls_ = &reg.counter("kernel.api.calls");
+  c_api_faults_ = &reg.counter("kernel.api.faults");
+}
 
 int Kernel::create_process(const std::string& name, vm::Personality pers, u64 aslr_seed) {
   int pid = next_pid_++;
@@ -113,14 +127,22 @@ std::optional<ClientConn> Kernel::connect(u16 port) {
 bool Kernel::copy_from_user(Process& p, gva_t src, std::span<u8> dst) {
   // Kernel-side copies honor page mapping but not the W^X user permission
   // split: reads require R.
-  if (!p.machine().mem().check_range(src, dst.size(), mem::kPermR)) return false;
+  if (!p.machine().mem().check_range(src, dst.size(), mem::kPermR)) {
+    c_copy_efaults_->inc();
+    return false;
+  }
+  c_copy_in_bytes_->inc(dst.size());
   return p.machine().mem().peek(src, dst);
 }
 
 bool Kernel::copy_to_user(Process& p, gva_t dst, std::span<const u8> src,
                           std::span<const u32> colors) {
-  if (!p.machine().mem().check_range(dst, src.size(), mem::kPermW)) return false;
+  if (!p.machine().mem().check_range(dst, src.size(), mem::kPermW)) {
+    c_copy_efaults_->inc();
+    return false;
+  }
   if (!p.machine().mem().poke(dst, src)) return false;
+  c_copy_out_bytes_->inc(src.size());
   for (auto* o : observers_) o->on_user_copy_out(p, dst, src, colors);
   return true;
 }
@@ -129,9 +151,15 @@ bool Kernel::strncpy_from_user(Process& p, gva_t src, std::string* out, size_t m
   out->clear();
   for (size_t i = 0; i < max; ++i) {
     u8 c = 0;
-    if (!p.machine().mem().check_range(src + i, 1, mem::kPermR)) return false;
+    if (!p.machine().mem().check_range(src + i, 1, mem::kPermR)) {
+      c_copy_efaults_->inc();
+      return false;
+    }
     CRP_CHECK(p.machine().mem().peek(src + i, std::span<u8>(&c, 1)));
-    if (c == 0) return true;
+    if (c == 0) {
+      c_copy_in_bytes_->inc(i + 1);
+      return true;
+    }
     out->push_back(static_cast<char>(c));
   }
   return false;  // unterminated
@@ -297,6 +325,7 @@ void Kernel::dispatch_syscall(Process& p, Thread& t) {
     return;
   }
   Sys nr = static_cast<Sys>(nr_raw);
+  c_sys_calls_[nr_raw]->inc();
   for (auto* o : observers_) o->on_syscall_enter(p, t, nr, args);
 
   SyscallOutcome oc = do_syscall(p, t, nr, args);
@@ -311,6 +340,7 @@ void Kernel::dispatch_syscall(Process& p, Thread& t) {
 }
 
 void Kernel::finish_syscall(Process& p, Thread& t, Sys nr, const u64* args, i64 ret) {
+  if (ret == -kEFAULT) c_sys_efault_[static_cast<size_t>(nr)]->inc();
   t.cpu.reg(isa::Reg::R0) = static_cast<u64>(ret);
   for (auto* o : observers_) o->on_syscall_exit(p, t, nr, args, ret);
 }
@@ -901,6 +931,7 @@ void Kernel::try_wake(Process& p, Thread& t) {
 void Kernel::dispatch_api(Process& p, Thread& t, i64 api_id) {
   u64 args[6];
   for (int i = 0; i < 6; ++i) args[i] = t.cpu.regs[static_cast<size_t>(1 + i)];
+  c_api_calls_->inc();
   for (auto* o : observers_) o->on_api_enter(p, t, static_cast<u32>(api_id), args);
 
   // Sleep needs the scheduler, so it is special-cased here.
@@ -915,6 +946,7 @@ void Kernel::dispatch_api(Process& p, Thread& t, i64 api_id) {
   }
 
   ApiResult r = winapi_.invoke(*this, p, t, static_cast<u32>(api_id), args);
+  if (r.fault.has_value()) c_api_faults_->inc();
   for (auto* o : observers_)
     o->on_api_exit(p, t, static_cast<u32>(api_id), args, r.ret, r.fault.has_value());
   if (r.fault.has_value()) {
@@ -934,7 +966,10 @@ void Kernel::dispatch_api(Process& p, Thread& t, i64 api_id) {
 }
 
 ApiResult Kernel::invoke_api(Process& p, Thread& t, u32 id, u64* args) {
-  return winapi_.invoke(*this, p, t, id, args);
+  c_api_calls_->inc();
+  ApiResult r = winapi_.invoke(*this, p, t, id, args);
+  if (r.fault.has_value()) c_api_faults_->inc();
+  return r;
 }
 
 }  // namespace crp::os

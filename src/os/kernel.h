@@ -28,6 +28,10 @@
 #include "os/vfs.h"
 #include "os/winapi.h"
 
+namespace crp::obs {
+class Counter;
+}  // namespace crp::obs
+
 namespace crp::os {
 
 /// Kernel-level observation hooks (taint sources/sinks, the monitor of the
@@ -199,6 +203,16 @@ class Kernel {
   u64 instret_ = 0;
   Process* cur_proc_ = nullptr;
   Thread* cur_thread_ = nullptr;
+
+  // Cached obs::Registry handles (registry entries are never removed);
+  // indexed by Sys so the syscall path does no name lookups.
+  obs::Counter* c_sys_calls_[static_cast<size_t>(Sys::kCount)];
+  obs::Counter* c_sys_efault_[static_cast<size_t>(Sys::kCount)];
+  obs::Counter* c_copy_in_bytes_;
+  obs::Counter* c_copy_out_bytes_;
+  obs::Counter* c_copy_efaults_;
+  obs::Counter* c_api_calls_;
+  obs::Counter* c_api_faults_;
 };
 
 }  // namespace crp::os

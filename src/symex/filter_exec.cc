@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "obs/obs.h"
 #include "vm/exception.h"
 
 namespace crp::symex {
@@ -348,6 +349,12 @@ FilterAnalysis FilterExecutor::explore(u64 filter_off, size_t max_paths, u64 max
     }
   }
   if (!work.empty()) out.truncated = true;
+  {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("symex.filter.explored").inc();
+    reg.counter("symex.filter.paths").inc(out.paths.size());
+    if (out.truncated) reg.counter("symex.filter.truncated").inc();
+  }
   return out;
 }
 

@@ -3,7 +3,41 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace crp::symex {
+
+namespace {
+/// Per-query deltas of the solver's lifetime counters, published to the
+/// global registry when a solve() call completes.
+struct SolveScope {
+  SatSolver& s;
+  u64 c0, d0, p0, r0;
+  obs::ScopedTimer timer;
+
+  explicit SolveScope(SatSolver& solver)
+      : s(solver),
+        c0(solver.conflicts()),
+        d0(solver.decisions()),
+        p0(solver.propagations()),
+        r0(solver.restarts()),
+        timer(obs::Registry::global().histogram("sat.solve_ns")) {}
+
+  ~SolveScope() {
+    obs::Registry& reg = obs::Registry::global();
+    static obs::Counter& queries = reg.counter("sat.queries");
+    static obs::Counter& conflicts = reg.counter("sat.conflicts");
+    static obs::Counter& decisions = reg.counter("sat.decisions");
+    static obs::Counter& propagations = reg.counter("sat.propagations");
+    static obs::Counter& restarts = reg.counter("sat.restarts");
+    queries.inc();
+    conflicts.inc(s.conflicts() - c0);
+    decisions.inc(s.decisions() - d0);
+    propagations.inc(s.propagations() - p0);
+    restarts.inc(s.restarts() - r0);
+  }
+};
+}  // namespace
 
 SatSolver::SatSolver() {
   // Var 0 unused; index arrays from 1.
@@ -212,6 +246,7 @@ int SatSolver::pick_branch() {
 }
 
 SatResult SatSolver::solve(u64 max_conflicts) {
+  SolveScope scope(*this);
   if (unsat_) return SatResult::kUnsat;
   if (propagate() != -1) {
     unsat_ = true;
@@ -254,6 +289,7 @@ SatResult SatSolver::solve(u64 max_conflicts) {
       if (since_restart >= restart_limit) {
         since_restart = 0;
         restart_limit = restart_limit + restart_limit / 2;
+        ++restarts_;
         backtrack(0);
       }
       continue;

@@ -33,6 +33,7 @@ class SatSolver {
   u64 conflicts() const { return conflicts_; }
   u64 decisions() const { return decisions_; }
   u64 propagations() const { return propagations_; }
+  u64 restarts() const { return restarts_; }
 
  private:
   // Internal literal encoding: var v (1-based), positive -> 2v, negative -> 2v+1.
@@ -78,7 +79,7 @@ class SatSolver {
   double act_inc_ = 1.0;
   std::vector<u8> seen_;
   bool unsat_ = false;
-  u64 conflicts_ = 0, decisions_ = 0, propagations_ = 0;
+  u64 conflicts_ = 0, decisions_ = 0, propagations_ = 0, restarts_ = 0;
 };
 
 }  // namespace crp::symex

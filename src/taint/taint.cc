@@ -1,5 +1,7 @@
 #include "taint/taint.h"
 
+#include "obs/obs.h"
+
 namespace crp::taint {
 
 using isa::Op;
@@ -8,6 +10,8 @@ using isa::Reg;
 TaintEngine::TaintEngine(os::Kernel& kernel, os::Process& proc)
     : kernel_(kernel), proc_(proc) {
   for (auto& p : reg_prov_) p = kNoProv;
+  c_propagated_ = &obs::Registry::global().counter("taint.propagated");
+  g_tainted_hwm_ = &obs::Registry::global().gauge("taint.tainted_bytes_hwm");
   proc_.machine().add_observer(this);
   kernel_.add_observer(this);
 }
@@ -41,19 +45,34 @@ Mask TaintEngine::mem_taint(gva_t addr, u64 len) const {
   return m;
 }
 
+void TaintEngine::write_shadow(gva_t addr, Mask m) {
+  if (m == 0) {
+    Mask* s = shadow_at(addr, false);
+    if (s != nullptr && *s != 0) --tainted_bytes_;
+    if (s != nullptr) *s = 0;
+    return;
+  }
+  Mask* s = shadow_at(addr, true);
+  if (*s == 0) ++tainted_bytes_;
+  *s = m;
+}
+
+void TaintEngine::publish_census() {
+  g_tainted_hwm_->update_max(static_cast<i64>(tainted_bytes_));
+}
+
 void TaintEngine::taint_mem(gva_t addr, u64 len, Mask mask) {
-  for (u64 i = 0; i < len; ++i) *shadow_at(addr + i, true) = mask;
+  for (u64 i = 0; i < len; ++i) write_shadow(addr + i, mask);
+  publish_census();
 }
 
 void TaintEngine::clear_mem(gva_t addr, u64 len) {
-  for (u64 i = 0; i < len; ++i) {
-    Mask* s = shadow_at(addr + i, false);
-    if (s != nullptr) *s = 0;
-  }
+  for (u64 i = 0; i < len; ++i) write_shadow(addr + i, 0);
 }
 
 void TaintEngine::clear_all() {
   pages_.clear();
+  tainted_bytes_ = 0;
   for (auto& m : reg_mask_) m = 0;
   for (auto& p : reg_prov_) p = kNoProv;
 }
@@ -67,6 +86,7 @@ void TaintEngine::on_exec(const vm::ExecEvent& ev, const vm::Cpu& cpu) {
   (void)cpu;
   if (!enabled_ || ev.faulted) return;
   ++propagated_;
+  c_propagated_->inc();
   const isa::Instr& in = ev.ins;
   Mask ta = reg_taint(in.ra);
   Mask tb = reg_taint(in.rb);
@@ -142,8 +162,9 @@ void TaintEngine::on_user_copy_out(os::Process& p, gva_t addr, std::span<const u
   if (!enabled_ || p.pid() != proc_.pid()) return;
   for (size_t i = 0; i < data.size(); ++i) {
     Mask m = i < colors.size() ? mask_for_color(colors[i]) : 0;
-    *shadow_at(addr + i, true) = m;
+    write_shadow(addr + i, m);
   }
+  publish_census();
 }
 
 void TaintEngine::on_syscall_exit(os::Process& p, os::Thread& t, os::Sys nr, const u64* args,

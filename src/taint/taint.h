@@ -26,6 +26,11 @@
 #include "vm/hooks.h"
 #include "vm/machine.h"
 
+namespace crp::obs {
+class Counter;
+class Gauge;
+}  // namespace crp::obs
+
 namespace crp::taint {
 
 using Mask = u64;
@@ -66,6 +71,9 @@ class TaintEngine : public vm::ExecObserver, public os::KernelObserver {
 
   u64 propagated_instrs() const { return propagated_; }
 
+  /// Bytes currently carrying a nonzero taint mask.
+  u64 tainted_bytes() const { return tainted_bytes_; }
+
   // --- vm::ExecObserver ---------------------------------------------------------
 
   void on_exec(const vm::ExecEvent& ev, const vm::Cpu& cpu) override;
@@ -88,6 +96,10 @@ class TaintEngine : public vm::ExecObserver, public os::KernelObserver {
   Mask* shadow_at(gva_t addr, bool create);
   const Mask* shadow_at(gva_t addr) const;
   void set_reg(isa::Reg r, Mask m, gva_t prov = kNoProv);
+  /// Shadow write tracking the tainted-byte census on 0<->nonzero flips.
+  void write_shadow(gva_t addr, Mask m);
+  /// Publish the census to the gauge + high-water mark after a bulk update.
+  void publish_census();
 
   os::Kernel& kernel_;
   os::Process& proc_;
@@ -96,6 +108,9 @@ class TaintEngine : public vm::ExecObserver, public os::KernelObserver {
   gva_t reg_prov_[isa::kNumRegs];
   std::unordered_map<u64, ShadowPage> pages_;
   u64 propagated_ = 0;
+  u64 tainted_bytes_ = 0;
+  obs::Counter* c_propagated_;
+  obs::Gauge* g_tainted_hwm_;
 };
 
 }  // namespace crp::taint

@@ -1,11 +1,18 @@
 #include "util/log.h"
 
+#include <strings.h>
+
 #include <atomic>
+#include <cstdlib>
+#include <mutex>
 
 namespace crp {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+constexpr int kUnset = -1;
+std::atomic<int> g_level{kUnset};
+std::mutex g_log_mu;
+
 const char* level_name(LogLevel lvl) {
   switch (lvl) {
     case LogLevel::kTrace: return "TRACE";
@@ -17,13 +24,41 @@ const char* level_name(LogLevel lvl) {
   }
   return "?";
 }
+
+/// CRP_LOG_LEVEL accepts a level name (case-insensitive) or its digit.
+int parse_level(const char* s) {
+  if (s == nullptr || *s == '\0') return kUnset;
+  if (s[1] == '\0' && s[0] >= '0' && s[0] <= '5') return s[0] - '0';
+  static constexpr const char* kNames[] = {"trace", "debug", "info", "warn", "error", "off"};
+  for (int i = 0; i < 6; ++i) {
+    if (strcasecmp(s, kNames[i]) == 0) return i;
+  }
+  return kUnset;
+}
+
+int level_from_env() {
+  int parsed = parse_level(std::getenv("CRP_LOG_LEVEL"));
+  return parsed == kUnset ? static_cast<int>(LogLevel::kWarn) : parsed;
+}
 }  // namespace
 
 void set_log_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl)); }
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel log_level() {
+  int lvl = g_level.load();
+  if (lvl == kUnset) {
+    // First use: adopt CRP_LOG_LEVEL from the environment (default kWarn).
+    // Racing threads compute the same value, so the CAS result is moot.
+    lvl = level_from_env();
+    int expected = kUnset;
+    g_level.compare_exchange_strong(expected, lvl);
+  }
+  return static_cast<LogLevel>(lvl);
+}
 
 void log_line(LogLevel lvl, const char* tag, const std::string& msg) {
+  // Serialize writers so concurrent lines never interleave mid-line.
+  std::lock_guard<std::mutex> lock(g_log_mu);
   std::fprintf(stderr, "[%s %s] %s\n", level_name(lvl), tag, msg.c_str());
 }
 

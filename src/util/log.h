@@ -1,5 +1,10 @@
 // Minimal leveled logger. Global level, stderr sink, zero allocation when
 // the level is filtered out (callers guard with the macros below).
+//
+// The initial level comes from the CRP_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error|off, or digits 0-5), parsed on first use;
+// set_log_level() overrides it. Concurrent log_line calls are serialized so
+// lines from different threads never interleave.
 #pragma once
 
 #include <string>
@@ -10,7 +15,8 @@ namespace crp {
 
 enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
-/// Process-wide log level; defaults to kWarn so tests/benches stay quiet.
+/// Process-wide log level; defaults to kWarn (or CRP_LOG_LEVEL when set) so
+/// tests/benches stay quiet.
 void set_log_level(LogLevel lvl);
 LogLevel log_level();
 

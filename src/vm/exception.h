@@ -47,6 +47,10 @@ enum class DispatchOutcome : u8 {
 
 const char* dispatch_outcome_name(DispatchOutcome o);
 
+/// Number of DispatchOutcome values (for per-outcome counter arrays).
+inline constexpr size_t kNumDispatchOutcomes =
+    static_cast<size_t>(DispatchOutcome::kSwallowed) + 1;
+
 // In-guest exception record + context layout (all fields u64, little-endian):
 //   +0   exception code
 //   +8   fault pc

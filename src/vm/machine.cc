@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/obs.h"
 #include "util/log.h"
 
 namespace crp::vm {
@@ -48,7 +49,32 @@ const char* dispatch_outcome_name(DispatchOutcome o) {
 }
 
 Machine::Machine(Personality personality, u64 aslr_seed, mem::AslrConfig aslr)
-    : personality_(personality), layout_(aslr, aslr_seed) {}
+    : personality_(personality), layout_(aslr, aslr_seed) {
+  obs::Registry& reg = obs::Registry::global();
+  c_instret_ = &reg.counter("vm.instr_retired");
+  c_exceptions_ = &reg.counter("vm.exceptions");
+  c_filter_evals_ = &reg.counter("vm.filter_evals");
+  c_mapped_only_kills_ = &reg.counter("vm.mapped_only_av_kills");
+  for (size_t o = 0; o < kNumDispatchOutcomes; ++o)
+    c_dispatch_[o] = &reg.counter(std::string("vm.dispatch.") +
+                                  dispatch_outcome_name(static_cast<DispatchOutcome>(o)));
+}
+
+Machine::~Machine() { publish_instret(); }
+
+namespace {
+// Power of two; one relaxed fetch_add per this many retired instructions.
+constexpr u64 kObsPublishInterval = 4096;
+}  // namespace
+
+void Machine::publish_instret() {
+  u64 delta = instret_ - instret_published_;
+  instret_published_ = instret_;
+  // Counter::inc drops the delta when recording is disabled, which gives the
+  // same semantics as an unbatched per-step inc (instructions retired while
+  // observability is off are not counted).
+  if (delta != 0) c_instret_->inc(delta);
+}
 
 size_t Machine::load_image(std::shared_ptr<const isa::Image> image) {
   CRP_CHECK(image != nullptr);
@@ -134,6 +160,7 @@ void Machine::notify_exec(const ExecEvent& ev, const Cpu& cpu) {
   for (auto* o : observers_) o->on_exec(ev, cpu);
 }
 void Machine::notify_exception(const ExceptionRecord& rec, DispatchOutcome outcome) {
+  c_dispatch_[static_cast<size_t>(outcome)]->inc();
   for (auto* o : observers_) o->on_exception(rec, outcome);
 }
 void Machine::notify_filter(gva_t handler, const ExceptionRecord& rec, i64 disp) {
@@ -388,6 +415,7 @@ StepResult Machine::step(Cpu& cpu) {
       ExecOutcome out = execute(cpu, *ins, pc, ev);
       if (out.ok) {
         ++instret_;
+        if ((instret_ & (kObsPublishInterval - 1)) == 0) publish_instret();
         notify_exec(ev, cpu);
         if (out.trap.kind != StepKind::kOk) return out.trap;
         return {};
@@ -451,6 +479,7 @@ void Machine::reload_context(Cpu& cpu, gva_t rec_addr) {
 std::optional<i64> Machine::run_filter(const Cpu& at_fault, gva_t entry,
                                        const ExceptionRecord& rec, gva_t rec_addr, int depth) {
   if (depth >= kMaxDispatchDepth) return std::nullopt;
+  c_filter_evals_->inc();
   Cpu ctx = at_fault;
   ctx.pc = entry;
   ctx.reg(isa::Reg::R1) = static_cast<u64>(rec.code);
@@ -477,6 +506,7 @@ std::optional<i64> Machine::run_filter(const Cpu& at_fault, gva_t entry,
     ev.ins = *ins;
     ExecOutcome out = execute(ctx, *ins, pc, ev);
     ++instret_;
+    if ((instret_ & (kObsPublishInterval - 1)) == 0) publish_instret();
     if (!out.ok) {
       // A fault inside the filter itself: Windows treats this as a nested
       // exception; we conservatively abandon the filter (CONTINUE_SEARCH).
@@ -488,11 +518,14 @@ std::optional<i64> Machine::run_filter(const Cpu& at_fault, gva_t entry,
 
 bool Machine::dispatch_exception(Cpu& cpu, const ExceptionRecord& rec) {
   ++exc_stats_.total;
+  c_exceptions_->inc();
+  publish_instret();  // exceptions are rare; keep instr_retired exact here
 
   // §VII mapped-only policy: AVs touching unmapped memory are always fatal.
   if (mapped_only_av_ && rec.code == ExcCode::kAccessViolation &&
       !mem_.is_mapped(rec.fault_addr)) {
     ++exc_stats_.unhandled;
+    c_mapped_only_kills_->inc();
     notify_exception(rec, DispatchOutcome::kUnhandled);
     return false;
   }

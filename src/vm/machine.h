@@ -22,6 +22,10 @@
 #include "vm/hooks.h"
 #include "vm/module.h"
 
+namespace crp::obs {
+class Counter;
+}  // namespace crp::obs
+
 namespace crp::vm {
 
 /// OS personality of the process: selects trap instruction availability and
@@ -129,6 +133,8 @@ class Machine {
   /// Total instructions retired across all contexts.
   u64 instret() const { return instret_; }
 
+  ~Machine();
+
  private:
   struct ExecOutcome {
     bool ok = true;
@@ -146,6 +152,12 @@ class Machine {
                                 gva_t rec_addr, int depth);
   void notify_exec(const ExecEvent& ev, const Cpu& cpu);
   void notify_exception(const ExceptionRecord& rec, DispatchOutcome outcome);
+  /// Push the instret delta since the last publish into the obs counter.
+  /// A relaxed fetch_add per retired instruction costs ~20% on the
+  /// interpreter hot loop, so the counter is synced in batches instead:
+  /// every kObsPublishInterval steps, at exception dispatch, and on
+  /// destruction.
+  void publish_instret();
   void notify_filter(gva_t handler, const ExceptionRecord& rec, i64 disp);
 
   Personality personality_;
@@ -158,7 +170,17 @@ class Machine {
   ExceptionStats exc_stats_;
   std::vector<ExecObserver*> observers_;
   u64 instret_ = 0;
+  u64 instret_published_ = 0;
   int nest_depth_ = 0;
+
+  // obs::Registry metrics are never removed, so these stay valid for the
+  // lifetime of the process — acquired once in the constructor to keep the
+  // interpreter hot path free of name lookups.
+  obs::Counter* c_instret_;
+  obs::Counter* c_exceptions_;
+  obs::Counter* c_filter_evals_;
+  obs::Counter* c_mapped_only_kills_;
+  obs::Counter* c_dispatch_[kNumDispatchOutcomes];
 };
 
 /// Sentinel return address used by call_subroutine / filter execution.

@@ -1,0 +1,272 @@
+// crp::obs unit tests: counter/gauge semantics, histogram bucket math and
+// quantile accuracy, registry get-or-create + kind collisions, concurrent
+// increments, JSON snapshot round-trip, journal ring + trace export.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/obs.h"
+
+namespace crp::obs {
+namespace {
+
+// Tests below that record values only make sense when instrumentation is
+// compiled in; under -DCRP_OBS_DISABLED recording is a no-op by design.
+#define REQUIRE_OBS_COMPILED_IN() \
+  if (!kCompiledIn) GTEST_SKIP() << "observability compiled out (CRP_OBS_DISABLED)"
+
+TEST(Counter, IncAndReset) {
+  REQUIRE_OBS_COMPILED_IN();
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, RuntimeDisableDropsIncrements) {
+  REQUIRE_OBS_COMPILED_IN();
+  Counter c;
+  set_runtime_enabled(false);
+  c.inc(100);
+  set_runtime_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  c.inc(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Gauge, SetAddUpdateMax) {
+  REQUIRE_OBS_COMPILED_IN();
+  Gauge g;
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+  g.update_max(100);
+  EXPECT_EQ(g.value(), 100);
+  g.update_max(50);  // lower value must not win
+  EXPECT_EQ(g.value(), 100);
+}
+
+TEST(Histogram, ExactSmallValues) {
+  REQUIRE_OBS_COMPILED_IN();
+  Histogram h;
+  for (u64 v = 0; v < 4; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lo(static_cast<u32>(v)), v);
+    EXPECT_EQ(Histogram::bucket_hi(static_cast<u32>(v)), v + 1);
+  }
+  h.record(2);
+  h.record(2);
+  EXPECT_EQ(h.quantile(0.5), 2u);
+}
+
+TEST(Histogram, BucketRangesInvertible) {
+  // Every bucket's range must map back to the same bucket, and boundary
+  // values must land in adjacent buckets.
+  for (u32 idx = 0; idx < Histogram::kNumBuckets; ++idx) {
+    u64 lo = Histogram::bucket_lo(idx);
+    EXPECT_EQ(Histogram::bucket_index(lo), idx) << "lo of bucket " << idx;
+    u64 hi = Histogram::bucket_hi(idx);
+    EXPECT_EQ(Histogram::bucket_index(hi - 1), idx) << "hi-1 of bucket " << idx;
+    if (idx + 1 < Histogram::kNumBuckets)
+      EXPECT_EQ(Histogram::bucket_index(hi), idx + 1) << "hi of bucket " << idx;
+  }
+  EXPECT_EQ(Histogram::bucket_index(~0ull), Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, StatsExact) {
+  REQUIRE_OBS_COMPILED_IN();
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, QuantilesOfUniformDistribution) {
+  REQUIRE_OBS_COMPILED_IN();
+  Histogram h;
+  for (u64 v = 1; v <= 10000; ++v) h.record(v);
+  // Log-bucketing bounds relative quantile error by 1/kSubBuckets = 25%.
+  for (double q : {0.50, 0.95, 0.99}) {
+    double exact = q * 10000.0;
+    double est = static_cast<double>(h.quantile(q));
+    EXPECT_NEAR(est, exact, exact * 0.25) << "q=" << q;
+  }
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_EQ(h.quantile(1.0), 10000u);
+}
+
+TEST(Histogram, QuantileClampedToObservedRange) {
+  REQUIRE_OBS_COMPILED_IN();
+  Histogram h;
+  h.record(1000);
+  // A single sample: every quantile is that sample, not a bucket edge.
+  EXPECT_EQ(h.quantile(0.5), 1000u);
+  EXPECT_EQ(h.quantile(0.99), 1000u);
+}
+
+TEST(Histogram, ResetClears) {
+  REQUIRE_OBS_COMPILED_IN();
+  Histogram h;
+  h.record(123);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Registry, GetOrCreateReturnsSameObject) {
+  Registry r;
+  Counter& a = r.counter("x.count");
+  Counter& b = r.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.contains("x.count"));
+  EXPECT_FALSE(r.contains("y.count"));
+}
+
+TEST(RegistryDeathTest, KindCollisionPanics) {
+  Registry r;
+  r.counter("name");
+  EXPECT_DEATH(r.gauge("name"), "registered as");
+}
+
+TEST(Registry, ResetValuesKeepsObjects) {
+  Registry r;
+  Counter& c = r.counter("c");
+  c.inc(9);
+  r.reset_values();
+  EXPECT_EQ(c.value(), 0u);       // same object, zeroed
+  EXPECT_EQ(&r.counter("c"), &c);
+}
+
+TEST(Registry, ConcurrentIncrementsExact) {
+  REQUIRE_OBS_COMPILED_IN();
+  Registry r;
+  Counter& c = r.counter("shared");
+  constexpr int kThreads = 8;
+  constexpr u64 kPer = 10000;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i)
+    ts.emplace_back([&c] {
+      for (u64 j = 0; j < kPer; ++j) c.inc();
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPer);
+}
+
+TEST(Registry, ConcurrentGetOrCreate) {
+  REQUIRE_OBS_COMPILED_IN();
+  Registry r;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 8; ++i)
+    ts.emplace_back([&r] {
+      for (int j = 0; j < 100; ++j) r.counter("same.name").inc();
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.counter("same.name").value(), 800u);
+}
+
+TEST(Registry, JsonRoundTrip) {
+  REQUIRE_OBS_COMPILED_IN();
+  Registry r;
+  r.counter("a.count").inc(42);
+  r.gauge("b.gauge").set(-5);
+  Histogram& h = r.histogram("c.hist");
+  for (u64 v = 1; v <= 100; ++v) h.record(v);
+
+  std::string j = r.json();
+  double v = 0;
+  ASSERT_TRUE(json_number(j, "a.count", &v));
+  EXPECT_DOUBLE_EQ(v, 42.0);
+  ASSERT_TRUE(json_number(j, "b.gauge", &v));
+  EXPECT_DOUBLE_EQ(v, -5.0);
+  ASSERT_TRUE(json_number(j, "c.hist/count", &v));
+  EXPECT_DOUBLE_EQ(v, 100.0);
+  ASSERT_TRUE(json_number(j, "c.hist/sum", &v));
+  EXPECT_DOUBLE_EQ(v, 5050.0);
+  ASSERT_TRUE(json_number(j, "c.hist/p50", &v));
+  EXPECT_NEAR(v, 50.0, 13.0);
+  EXPECT_FALSE(json_number(j, "missing", &v));
+}
+
+TEST(Registry, GlobalIsSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+TEST(ScopedTimerTest, RecordsOneSample) {
+  REQUIRE_OBS_COMPILED_IN();
+  Histogram h;
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ScopedVirtualTimerTest, RecordsClockDelta) {
+  REQUIRE_OBS_COMPILED_IN();
+  Histogram h;
+  u64 clock = 1000;
+  {
+    ScopedVirtualTimer t(h, &clock);
+    clock = 5000;
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 4000u);
+}
+
+TEST(JournalTest, CapacityBoundAndDropCount) {
+  REQUIRE_OBS_COMPILED_IN();
+  Journal j(4);
+  for (u64 i = 0; i < 10; ++i) j.instant("e", "t", i);
+  EXPECT_EQ(j.size(), 4u);
+  EXPECT_EQ(j.dropped(), 6u);
+  j.clear();
+  EXPECT_EQ(j.size(), 0u);
+}
+
+TEST(JournalTest, ChromeTraceSortedAndValid) {
+  REQUIRE_OBS_COMPILED_IN();
+  Journal j(16);
+  // Emit out of order; the exporter must sort by timestamp.
+  j.span("b", "cat", 200, 10);
+  j.span("a", "cat", 100, 10);
+  j.instant("mark", "cat", 150);
+  std::string out = j.chrome_trace_json();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+  size_t pa = out.find("\"ts\":100");
+  size_t pm = out.find("\"ts\":150");
+  size_t pb = out.find("\"ts\":200");
+  ASSERT_NE(pa, std::string::npos);
+  ASSERT_NE(pm, std::string::npos);
+  ASSERT_NE(pb, std::string::npos);
+  EXPECT_LT(pa, pm);
+  EXPECT_LT(pm, pb);
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(JournalTest, DisabledJournalRecordsNothing) {
+  REQUIRE_OBS_COMPILED_IN();
+  Journal j(16);
+  set_runtime_enabled(false);
+  j.instant("e", "t", 1);
+  set_runtime_enabled(true);
+  EXPECT_EQ(j.size(), 0u);
+}
+
+}  // namespace
+}  // namespace crp::obs
