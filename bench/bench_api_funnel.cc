@@ -12,14 +12,24 @@
 // narrowing step below is *measured*: black-box fuzzing, dynamic tracing of
 // a browsing workload, call-stack attribution, pointer classification.
 
+#include <chrono>
 #include <cstdio>
 
 #include "analysis/api_analysis.h"
 #include "analysis/report.h"
+#include "exec/thread_pool.h"
 #include "obs/bench_support.h"
 #include "targets/browser.h"
 #include "trace/tracer.h"
 #include "util/rng.h"
+
+namespace {
+double wall_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 int main() {
   crp::obs::BenchSession obs_session("api_funnel");
@@ -40,7 +50,11 @@ int main() {
   printf("[1] fuzzing %u APIs with invalid pointers (3 probes per pointer arg)...\n",
          kPopulation);
   analysis::ApiFuzzer fuzzer;
+  double t0 = wall_ms();
   analysis::ApiFuzzResult fuzz = fuzzer.fuzz_all(kernel);
+  // stderr only: stdout must be bit-identical across CRP_JOBS values.
+  fprintf(stderr, "[exec] fuzz %.1f ms (jobs=%d)\n", wall_ms() - t0,
+          exec::resolve_jobs());
   printf("    %u with pointer args, %zu crash-resistant, %u probes\n\n",
          fuzz.with_pointer_args, fuzz.crash_resistant.size(), fuzz.probes_executed);
 

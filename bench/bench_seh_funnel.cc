@@ -9,14 +9,24 @@
 // matching composition; all funnel numbers below are measured by the
 // pipeline.
 
+#include <chrono>
 #include <cstdio>
 
 #include "analysis/guard_audit.h"
 #include "analysis/report.h"
 #include "analysis/seh_analysis.h"
+#include "exec/thread_pool.h"
 #include "obs/bench_support.h"
 #include "targets/browser.h"
 #include "trace/tracer.h"
+
+namespace {
+double wall_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 int main() {
   crp::obs::BenchSession obs_session("seh_funnel");
@@ -37,13 +47,21 @@ int main() {
 
   printf("[1] static extraction over %zu DLL images...\n", browser.dlls().size());
   analysis::SehExtractor ex;
-  for (const auto& d : browser.dlls()) CRP_CHECK(ex.add_image_bytes(isa::write_image(*d.image)));
+  std::vector<std::vector<u8>> blobs;
+  for (const auto& d : browser.dlls()) blobs.push_back(isa::write_image(*d.image));
+  double t0 = wall_ms();
+  CRP_CHECK(ex.add_images_bytes(blobs));
+  double t1 = wall_ms();
   printf("    %zu C-specific handlers, %zu unique filter functions\n\n",
          ex.handlers().size(), ex.unique_filters().size());
 
   printf("[2] symbolic execution of every filter...\n");
   analysis::FilterClassifier fc;
   auto filters = fc.classify_all(ex);
+  // stderr only: stdout must be bit-identical across CRP_JOBS values.
+  fprintf(stderr, "[exec] extract %.1f ms, classify %.1f ms (jobs=%d, memo hits=%llu)\n",
+          t1 - t0, wall_ms() - t1, exec::resolve_jobs(),
+          static_cast<unsigned long long>(fc.memo_hits()));
   size_t av_filters = 0, av_handlers = 0, manual = 0;
   for (const auto& f : filters) {
     if (f.offset == isa::kFilterCatchAll) continue;

@@ -11,13 +11,23 @@
 //   user32 70/63/40, kernel32 76/66/14, msvcrt 129/10/3, jscript9 22/6/4,
 //   rpcrt4 62/20/6, sechost 133/11/0, ws2_32 82/29/10, xmlite 10/2/1.
 
+#include <chrono>
 #include <cstdio>
 
 #include "analysis/report.h"
 #include "analysis/seh_analysis.h"
+#include "exec/thread_pool.h"
 #include "obs/bench_support.h"
 #include "targets/browser.h"
 #include "trace/tracer.h"
+
+namespace {
+double wall_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 int main() {
   crp::obs::BenchSession obs_session("table2");
@@ -37,17 +47,26 @@ int main() {
   printf("done: %zu unique pcs executed, %zu commands left\n\n", tracer.unique_pcs(),
          browser.pending_commands());
 
+  // Timings and job counts go to stderr: stdout must stay bit-identical
+  // across CRP_JOBS values (the determinism contract in DESIGN.md).
+  int jobs = exec::resolve_jobs();
+  fprintf(stderr, "[exec] jobs=%d\n", jobs);
+
   analysis::SehExtractor ex;
-  for (const auto& d : browser.dlls()) {
-    // Static pass parses the *serialized* image — the "given a binary" path.
-    auto bytes = isa::write_image(*d.image);
-    CRP_CHECK(ex.add_image_bytes(bytes));
-  }
+  std::vector<std::vector<u8>> blobs;
+  // Static pass parses the *serialized* images — the "given a binary" path.
+  for (const auto& d : browser.dlls()) blobs.push_back(isa::write_image(*d.image));
+  double t0 = wall_ms();
+  CRP_CHECK(ex.add_images_bytes(blobs));
+  double t1 = wall_ms();
   printf("static extraction: %zu handlers, %zu unique filter functions\n",
          ex.handlers().size(), ex.unique_filters().size());
 
   analysis::FilterClassifier fc;
   auto filters = fc.classify_all(ex);
+  double t2 = wall_ms();
+  fprintf(stderr, "[exec] extract %.1f ms, classify %.1f ms (jobs=%d)\n", t1 - t0,
+          t2 - t1, jobs);
   printf("symbolic execution: %llu filters executed, %llu SAT queries\n\n",
          static_cast<unsigned long long>(fc.filters_executed()),
          static_cast<unsigned long long>(fc.sat_queries()));

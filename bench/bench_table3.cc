@@ -9,25 +9,39 @@
 // sechost.dll, while 9 of 129 are left in msvcrt.dll"; system-wide, symbolic
 // execution drops the majority of filters.
 
+#include <chrono>
 #include <cstdio>
 
 #include "analysis/report.h"
 #include "analysis/seh_analysis.h"
+#include "exec/thread_pool.h"
 #include "obs/bench_support.h"
 #include "targets/dll_corpus.h"
 
 namespace {
 
+double wall_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 std::vector<crp::analysis::ModuleSehStats> analyze(
     const std::vector<crp::targets::DllSpec>& specs, crp::u64 seed) {
   using namespace crp;
   analysis::SehExtractor ex;
+  std::vector<std::vector<u8>> blobs;
   for (const auto& spec : specs) {
     auto dll = targets::generate_dll(spec, seed);
-    CRP_CHECK(ex.add_image_bytes(isa::write_image(*dll.image)));
+    blobs.push_back(isa::write_image(*dll.image));
   }
+  double t0 = wall_ms();
+  CRP_CHECK(ex.add_images_bytes(blobs));
   analysis::FilterClassifier fc;
   auto filters = fc.classify_all(ex);
+  // stderr only: stdout must be bit-identical across CRP_JOBS values.
+  fprintf(stderr, "[exec] extract+classify %.1f ms (jobs=%d)\n", wall_ms() - t0,
+          exec::resolve_jobs());
   printf("  machine population: %zu handlers, %zu filters, %llu SAT queries\n",
          ex.handlers().size(), ex.unique_filters().size(),
          static_cast<unsigned long long>(fc.sat_queries()));

@@ -20,6 +20,11 @@ fi
 mkdir -p "$OUT_DIR"
 export CRP_BENCH_DIR="$OUT_DIR"
 
+# Clear snapshots from earlier runs: benches that were since renamed/removed
+# would otherwise leave stale BENCH_*.json files that the aggregation below
+# silently folds into the summary.
+rm -f "$OUT_DIR"/BENCH_*.json
+
 failed=0
 for bench in "$BENCH_DIR"/bench_*; do
   [ -x "$bench" ] || continue

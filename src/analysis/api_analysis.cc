@@ -1,5 +1,9 @@
 #include "analysis/api_analysis.h"
 
+#include <algorithm>
+
+#include "exec/thread_pool.h"
+#include "os/kernel.h"
 #include "util/log.h"
 
 namespace crp::analysis {
@@ -43,8 +47,9 @@ bool ApiFuzzer::fuzz_one(os::Kernel& kernel, u32 api_id) {
   return true;
 }
 
-ApiFuzzResult ApiFuzzer::fuzz_all(os::Kernel& kernel) {
+ApiFuzzResult ApiFuzzer::fuzz_all(os::Kernel& kernel, int jobs) {
   ApiFuzzResult res;
+  std::vector<u32> fuzz_ids;
   for (const auto& [id, spec] : kernel.winapi().all()) {
     ++res.total_apis;
     if (!spec.has_pointer_arg()) continue;
@@ -52,8 +57,40 @@ ApiFuzzResult ApiFuzzer::fuzz_all(os::Kernel& kernel) {
     int nptr = 0;
     for (auto k : spec.args) nptr += k != os::ArgKind::kValue ? 1 : 0;
     res.probes_executed += static_cast<u32>(nptr * probes_per_arg_);
-    if (fuzz_one(kernel, id)) res.crash_resistant.insert(id);
+    fuzz_ids.push_back(id);
   }
+
+  // Shard contiguous id ranges across workers. Every chunk fuzzes against
+  // its own scratch kernel (copy of the API surface), so verdicts cannot
+  // depend on chunking or scheduling — only on the spec and the id-derived
+  // process seeds inside fuzz_one. Merging chunk results in input order
+  // keeps crash_resistant identical for any job count.
+  exec::ThreadPool pool(jobs);
+  size_t chunk_size =
+      std::max<size_t>(1, (fuzz_ids.size() + static_cast<size_t>(pool.jobs()) * 8 - 1) /
+                              (static_cast<size_t>(pool.jobs()) * 8));
+  std::vector<std::pair<size_t, size_t>> chunks;  // [begin, end) into fuzz_ids
+  for (size_t b = 0; b < fuzz_ids.size(); b += chunk_size)
+    chunks.emplace_back(b, std::min(b + chunk_size, fuzz_ids.size()));
+
+  auto chunk_resistant = exec::parallel_map(
+      pool, chunks,
+      [&](size_t, const std::pair<size_t, size_t>& c) {
+        // Copy only this chunk's specs: cloning the full 20k-spec surface
+        // into every scratch kernel costs more than the fuzzing itself.
+        os::Kernel scratch;
+        for (size_t i = c.first; i < c.second; ++i) {
+          const os::ApiSpec* spec = kernel.winapi().find(fuzz_ids[i]);
+          if (spec != nullptr && scratch.winapi().find(fuzz_ids[i]) == nullptr)
+            scratch.winapi().add(*spec);
+        }
+        std::vector<u32> resistant;
+        for (size_t i = c.first; i < c.second; ++i)
+          if (fuzz_one(scratch, fuzz_ids[i])) resistant.push_back(fuzz_ids[i]);
+        return resistant;
+      },
+      "fuzz-api-chunk");
+  for (const auto& ids : chunk_resistant) res.crash_resistant.insert(ids.begin(), ids.end());
   return res;
 }
 

@@ -41,10 +41,15 @@ class ApiFuzzer {
   /// "resistant" labels for APIs that only fault on some addresses.
   explicit ApiFuzzer(int probes_per_arg = 3) : probes_per_arg_(probes_per_arg) {}
 
-  /// Fuzz every registered API with pointer args in `kernel`'s registry.
-  /// Each probe runs in a scratch Windows process so a crash cannot poison
-  /// the next probe.
-  ApiFuzzResult fuzz_all(os::Kernel& kernel);
+  /// Fuzz every registered API with pointer args in `kernel`'s registry,
+  /// sharding the API ids across a thread pool (`jobs` as for
+  /// exec::resolve_jobs). Each worker chunk fuzzes against its own scratch
+  /// os::Kernel carrying a copy of `kernel`'s API specs, so `kernel` itself
+  /// is never touched concurrently; verdicts depend only on the spec and
+  /// the (id-derived, index-deterministic) probe seeds, making the result
+  /// identical for any job count. Each probe runs in a scratch Windows
+  /// process so a crash cannot poison the next probe.
+  ApiFuzzResult fuzz_all(os::Kernel& kernel, int jobs = 0);
 
   /// Fuzz one API id. True = crash-resistant (graceful error on every probe).
   bool fuzz_one(os::Kernel& kernel, u32 api_id);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "cfg/cfg.h"
+#include "exec/thread_pool.h"
+#include "obs/obs.h"
 #include "symex/filter_exec.h"
 #include "symex/solver.h"
 #include "util/log.h"
@@ -22,6 +25,22 @@ bool SehExtractor::add_image_bytes(std::span<const u8> bytes) {
   if (!img.has_value()) return false;
   add_image(std::make_shared<isa::Image>(std::move(*img)));
   return true;
+}
+
+bool SehExtractor::add_images_bytes(const std::vector<std::vector<u8>>& blobs, int jobs) {
+  exec::ThreadPool pool(jobs);
+  auto parsed = exec::parallel_map(
+      pool, blobs,
+      [](size_t, const std::vector<u8>& b) { return isa::read_image(b); }, "parse-image");
+  bool ok = true;
+  for (auto& img : parsed) {
+    if (!img.has_value()) {
+      ok = false;
+      continue;
+    }
+    add_image(std::make_shared<isa::Image>(std::move(*img)));
+  }
+  return ok;
 }
 
 void SehExtractor::add_image(std::shared_ptr<const isa::Image> image) {
@@ -50,13 +69,97 @@ std::vector<const HandlerSite*> SehExtractor::handlers_in(const std::string& mod
   return out;
 }
 
-FilterVerdict FilterClassifier::classify(const isa::Image& image, u64 filter_off,
-                                         size_t* paths_out) {
+namespace {
+
+constexpr u64 kFnvBasis = 1469598103934665603ull;
+constexpr u64 kFnvPrime = 1099511628211ull;
+
+void mix(u64& h, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xff)) * kFnvPrime;
+    v >>= 8;
+  }
+}
+
+void mix_str(u64& h, const std::string& s) {
+  mix(h, s.size());
+  for (char c : s) h = (h ^ static_cast<u8>(c)) * kFnvPrime;
+}
+
+/// Static byte of `image` at the FilterExecutor build-time layout, rebased
+/// so the code section starts at 0: code bytes first, then the remaining
+/// sections page-aligned in declaration order (mirrors
+/// FilterExecutor::static_byte — must stay in sync with it).
+std::optional<u8> layout_byte(const isa::Image& img, u64 off) {
+  int cs = img.code_section();
+  if (cs < 0) return std::nullopt;
+  const auto& code = img.sections[static_cast<size_t>(cs)];
+  if (off < code.bytes.size()) return code.bytes[off];
+  u64 code_size = std::max<u64>(code.vsize, code.bytes.size());
+  u64 cursor = align_up(std::max<u64>(code_size, 1), 4096);
+  for (size_t i = 0; i < img.sections.size(); ++i) {
+    if (static_cast<int>(i) == cs) continue;
+    const auto& sec = img.sections[i];
+    u64 vsize = std::max<u64>(sec.vsize, sec.bytes.size());
+    if (off >= cursor && off < cursor + vsize) {
+      u64 o = off - cursor;
+      return o < sec.bytes.size() ? sec.bytes[o] : u8{0};
+    }
+    cursor += align_up(std::max<u64>(vsize, 1), 4096);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+u64 filter_body_hash(const isa::Image& image, u64 filter_off) {
+  cfg::Cfg g = cfg::Cfg::build(image, {filter_off});
+  u64 h = kFnvBasis;
+  for (const auto& [begin, bb] : g.blocks()) {
+    mix(h, begin - filter_off);  // block anchor, relative = position-independent
+    for (const auto& [off, ins] : g.instructions_in(bb.begin, bb.end)) {
+      mix(h, static_cast<u64>(ins.op) | (static_cast<u64>(ins.ra) << 8) |
+                 (static_cast<u64>(ins.rb) << 16) | (static_cast<u64>(ins.w) << 24));
+      switch (ins.op) {
+        case isa::Op::kLeaPc: {
+          // The displacement is module-specific (distance to this copy's
+          // data); what determines behavior is the referenced static
+          // content. Hash a 32-byte window at the target instead.
+          u64 target = off + isa::kInstrBytes + static_cast<u64>(ins.imm);
+          for (u64 i = 0; i < 32; ++i) {
+            auto b = layout_byte(image, target + i);
+            mix(h, b.has_value() ? 0x100u | *b : 0u);
+          }
+          break;
+        }
+        case isa::Op::kCallImp: {
+          // Import *index* differs per module; the imported name is what a
+          // duplicate body shares. (The executor havocs the result either
+          // way, but keep the key conservative.)
+          auto idx = static_cast<size_t>(ins.imm);
+          if (idx < image.imports.size()) {
+            mix_str(h, image.imports[idx].module);
+            mix_str(h, image.imports[idx].symbol);
+          } else {
+            mix(h, 0xbad1);
+          }
+          break;
+        }
+        default:
+          mix(h, static_cast<u64>(ins.imm));
+      }
+    }
+  }
+  return h;
+}
+
+FilterClassifier::Outcome FilterClassifier::classify_detail(const isa::Image& image,
+                                                            u64 filter_off) const {
+  Outcome out;
   symex::Ctx ctx;
   symex::FilterExecutor fx(ctx, image);
   symex::FilterAnalysis fa = fx.explore(filter_off, opts_.max_paths, opts_.max_steps);
-  ++executed_;
-  if (paths_out != nullptr) *paths_out = fa.paths.size();
+  out.paths = fa.paths.size();
 
   bool any_unknown = fa.truncated;
   for (const auto& path : fa.paths) {
@@ -71,7 +174,7 @@ FilterVerdict FilterClassifier::classify(const isa::Image& image, u64 filter_off
       handles = ctx.lor(handles,
                         ctx.eq(path.ret, ctx.constant(symex::kDispContinueExecution)));
     s.add(handles);
-    ++queries_;
+    ++out.queries;
     symex::SatResult r = s.check(opts_.solver_conflicts);
     if (r == symex::SatResult::kSat) {
       // A path that only accepts because of an unconstrained external call
@@ -80,42 +183,114 @@ FilterVerdict FilterClassifier::classify(const isa::Image& image, u64 filter_off
         any_unknown = true;
         continue;
       }
-      return FilterVerdict::kAcceptsAv;
+      out.verdict = FilterVerdict::kAcceptsAv;
+      return out;
     }
     if (r == symex::SatResult::kUnknown) any_unknown = true;
   }
-  return any_unknown ? FilterVerdict::kNeedsManual : FilterVerdict::kRejectsAv;
+  out.verdict = any_unknown ? FilterVerdict::kNeedsManual : FilterVerdict::kRejectsAv;
+  return out;
 }
 
-std::vector<FilterInfo> FilterClassifier::classify_all(const SehExtractor& ex) {
-  std::vector<FilterInfo> out;
-  for (const auto& [module, off] : ex.unique_filters()) {
+FilterVerdict FilterClassifier::classify(const isa::Image& image, u64 filter_off,
+                                         size_t* paths_out) {
+  Outcome o = classify_detail(image, filter_off);
+  ++executed_;
+  queries_ += o.queries;
+  if (paths_out != nullptr) *paths_out = o.paths;
+  return o.verdict;
+}
+
+std::vector<FilterInfo> FilterClassifier::classify_all(const SehExtractor& ex, int jobs) {
+  struct Item {
+    std::string module;
+    u64 off = 0;
     const isa::Image* img = nullptr;
-    for (const auto& im : ex.images())
-      if (im->name == module) img = im.get();
-    if (img == nullptr) continue;
-    FilterInfo info;
-    info.module = module;
-    info.offset = off;
-    info.machine = img->machine;
-    info.verdict = classify(*img, off, &info.paths_explored);
-    for (const auto& h : ex.handlers())
-      if (h.module == module && !h.catch_all && h.scope.filter == off) ++info.handlers_using;
-    out.push_back(info);
+  };
+  // Name -> image, last image with the name winning (as the previous
+  // linear rescans did).
+  std::map<std::string, const isa::Image*> by_name;
+  for (const auto& im : ex.images()) by_name[im->name] = im.get();
+
+  std::vector<Item> items;
+  for (const auto& [module, off] : ex.unique_filters()) {
+    auto it = by_name.find(module);
+    if (it == by_name.end()) continue;
+    items.push_back({module, off, it->second});
   }
+
+  exec::ThreadPool pool(jobs);
+
+  // Pass 1: content hashes (pure function of the image).
+  std::vector<u64> hashes = exec::parallel_map(
+      pool, items,
+      [](size_t, const Item& it) { return filter_body_hash(*it.img, it.off); },
+      "filter-hash");
+
+  // Dedup against the memo cache: the first occurrence (in input order) of
+  // each unknown hash becomes the representative that actually executes, so
+  // the executed/query counters are identical for any job count.
+  std::vector<size_t> run_idx;
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    std::set<u64> scheduled;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (memo_.contains(hashes[i])) continue;
+      if (scheduled.insert(hashes[i]).second) run_idx.push_back(i);
+    }
+  }
+
+  // Pass 2: symbolically execute one representative per unique body, each
+  // task with its own symex::Ctx/Solver.
+  std::vector<Outcome> outcomes = exec::parallel_map(
+      pool, run_idx,
+      [&](size_t, const size_t& idx) {
+        return classify_detail(*items[idx].img, items[idx].off);
+      },
+      "classify-filter");
+
+  std::vector<FilterInfo> out;
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    for (size_t k = 0; k < run_idx.size(); ++k)
+      memo_.emplace(hashes[run_idx[k]], outcomes[k]);
+    executed_ += run_idx.size();
+    for (const auto& o : outcomes) queries_ += o.queries;
+    u64 hits = items.size() - run_idx.size();
+    memo_hits_ += hits;
+    obs::Registry::global().counter("analysis.classify.memo_hits").inc(hits);
+
+    // Per-filter handler counts, built once instead of rescanning all
+    // handlers per filter.
+    std::map<std::pair<std::string, u64>, size_t> handler_counts;
+    for (const auto& h : ex.handlers())
+      if (!h.catch_all) ++handler_counts[{h.module, h.scope.filter}];
+
+    for (size_t i = 0; i < items.size(); ++i) {
+      const Outcome& o = memo_.at(hashes[i]);
+      FilterInfo info;
+      info.module = items[i].module;
+      info.offset = items[i].off;
+      info.machine = items[i].img->machine;
+      info.verdict = o.verdict;
+      info.paths_explored = o.paths;
+      auto hc = handler_counts.find({info.module, info.offset});
+      if (hc != handler_counts.end()) info.handlers_using = hc->second;
+      out.push_back(info);
+    }
+  }
+
   // Catch-all "filters" are structurally accepting; represent them with one
   // synthetic row per module that uses them (offset = kFilterCatchAll).
   std::map<std::string, size_t> catch_all_users;
   for (const auto& h : ex.handlers())
     if (h.catch_all) ++catch_all_users[h.module];
   for (const auto& [module, n] : catch_all_users) {
-    const isa::Image* img = nullptr;
-    for (const auto& im : ex.images())
-      if (im->name == module) img = im.get();
+    auto it = by_name.find(module);
     FilterInfo info;
     info.module = module;
     info.offset = isa::kFilterCatchAll;
-    info.machine = img != nullptr ? img->machine : isa::Machine::kX64;
+    info.machine = it != by_name.end() ? it->second->machine : isa::Machine::kX64;
     info.verdict = FilterVerdict::kAcceptsAv;
     info.handlers_using = n;
     out.push_back(info);

@@ -14,8 +14,10 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/candidates.h"
@@ -56,6 +58,11 @@ class SehExtractor {
  public:
   /// Parse one serialized image; returns false on malformed input.
   bool add_image_bytes(std::span<const u8> bytes);
+  /// Parse a batch of serialized images, sharding the parses across a
+  /// thread pool (`jobs` as for exec::resolve_jobs). Images are added in
+  /// input order, identical to calling add_image_bytes in a loop; malformed
+  /// blobs are skipped and make the call return false.
+  bool add_images_bytes(const std::vector<std::vector<u8>>& blobs, int jobs = 0);
   /// Convenience for already-parsed images.
   void add_image(std::shared_ptr<const isa::Image> image);
 
@@ -82,24 +89,55 @@ struct ClassifyOptions {
   bool continue_execution_counts = true;
 };
 
+/// Content hash of a filter function's *behavioral* identity: the code
+/// reachable from `filter_off` (CFG traversal), with PC-relative data
+/// references replaced by the referenced static bytes and import calls by
+/// the imported module/symbol names. Two filters with equal hashes execute
+/// identically under FilterExecutor (same paths, same verdict), regardless
+/// of which module they sit in or at which offset — the key for the
+/// classify memo cache below.
+u64 filter_body_hash(const isa::Image& image, u64 filter_off);
+
 class FilterClassifier {
  public:
   explicit FilterClassifier(ClassifyOptions opts = {}) : opts_(opts) {}
 
-  /// Classify every unique filter of `ex`. Catch-all handlers are accepted
-  /// structurally (no symbolic execution needed).
-  std::vector<FilterInfo> classify_all(const SehExtractor& ex);
+  /// Classify every unique filter of `ex`, sharding the symbolic executions
+  /// across a thread pool (`jobs` as for exec::resolve_jobs; each task gets
+  /// its own symex::Ctx/Solver — hash-consing contexts are not shareable
+  /// across threads). Results are merged in input order and a verdict memo
+  /// cache keyed by filter_body_hash classifies duplicate filter bodies
+  /// (catch-all / delegating templates stamped across DLLs) only once, so
+  /// the output and all funnel counters are identical for any job count.
+  /// Catch-all handlers are accepted structurally (no symbolic execution).
+  std::vector<FilterInfo> classify_all(const SehExtractor& ex, int jobs = 0);
 
   /// Classify one filter in one image.
   FilterVerdict classify(const isa::Image& image, u64 filter_off, size_t* paths_out = nullptr);
 
+  /// Unique filter bodies symbolically executed (memo-cache misses).
   u64 filters_executed() const { return executed_; }
   u64 sat_queries() const { return queries_; }
+  /// classify_all items answered from the verdict memo cache.
+  u64 memo_hits() const { return memo_hits_; }
 
  private:
+  struct Outcome {
+    FilterVerdict verdict = FilterVerdict::kNeedsManual;
+    size_t paths = 0;
+    u64 queries = 0;
+  };
+
+  /// Pure classification: no counter mutation, safe to run concurrently.
+  Outcome classify_detail(const isa::Image& image, u64 filter_off) const;
+
   ClassifyOptions opts_;
   u64 executed_ = 0;
   u64 queries_ = 0;
+  u64 memo_hits_ = 0;
+  /// filter_body_hash -> outcome, shared across classify_all calls.
+  std::mutex memo_mu_;
+  std::unordered_map<u64, Outcome> memo_;
 };
 
 /// Per-module funnel counts — the rows of Tables II and III.

@@ -48,15 +48,21 @@ void RateDetector::reset() {
 std::vector<analysis::HandlerSite> audit_broad_filters(
     const analysis::SehExtractor& ex, const std::vector<analysis::FilterInfo>& filters,
     u64 max_benign_bytes) {
+  // Index the filter verdicts once: the old handler×filter scan was
+  // quadratic on real corpora (thousands of each). OR-accumulate so a
+  // module:offset counts as accepting if *any* row with that key does,
+  // exactly matching the linear-scan semantics.
+  std::map<std::pair<std::string, u64>, bool> accepts;
+  for (const auto& f : filters) {
+    bool& slot = accepts[{f.module, f.offset}];
+    slot = slot || f.verdict == analysis::FilterVerdict::kAcceptsAv;
+  }
   std::vector<analysis::HandlerSite> out;
   for (const auto& h : ex.handlers()) {
     bool broad = h.catch_all;
     if (!broad) {
-      for (const auto& f : filters) {
-        if (f.module == h.module && f.offset == h.scope.filter &&
-            f.verdict == analysis::FilterVerdict::kAcceptsAv)
-          broad = true;
-      }
+      auto it = accepts.find({h.module, h.scope.filter});
+      broad = it != accepts.end() && it->second;
     }
     if (broad && h.scope.end - h.scope.begin > max_benign_bytes) out.push_back(h);
   }

@@ -67,6 +67,9 @@ void preregister_core_metrics() {
   r.counter("defense.av_rate.handled");
   r.counter("defense.av_rate.alarms");
   r.gauge("defense.av_rate.peak_window");
+  r.counter("analysis.pool.tasks");
+  r.histogram("analysis.pool.steal_ns");
+  r.counter("analysis.classify.memo_hits");
 }
 
 BenchSession::BenchSession(const std::string& name) : name_(name), wall_t0_ns_(wall_ns()) {

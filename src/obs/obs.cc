@@ -187,8 +187,21 @@ namespace {
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        // Remaining C0 controls are invalid raw inside a JSON string.
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strf("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        else
+          out.push_back(c);
+    }
   }
   return out;
 }

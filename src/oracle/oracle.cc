@@ -1,5 +1,7 @@
 #include "oracle/oracle.h"
 
+#include <algorithm>
+
 #include "obs/journal.h"
 #include "obs/obs.h"
 #include "targets/common.h"
@@ -184,8 +186,18 @@ ProbeResult Scanner::probe_once(gva_t addr) {
 std::vector<gva_t> Scanner::sweep(gva_t base, u64 len, u64 stride) {
   CRP_CHECK(stride != 0);
   std::vector<gva_t> mapped;
-  for (gva_t a = base; a < base + len; a += stride) {
+  // Remaining-length loop: `base + len` can wrap for sweeps ending at the
+  // top of the u64 address space (e.g. base=0xffffffff_fffff000), which
+  // would make an `a < base + len` bound false on the first iteration and
+  // silently probe nothing.
+  gva_t a = base;
+  for (u64 remaining = len; remaining > 0;) {
     if (probe_once(a) == ProbeResult::kMapped) mapped.push_back(a);
+    if (stride >= remaining) break;
+    remaining -= stride;
+    gva_t next = a + stride;
+    if (next < a) break;  // stepped past the top of the address space
+    a = next;
   }
   return mapped;
 }
@@ -194,7 +206,9 @@ std::optional<gva_t> Scanner::hunt(gva_t lo, gva_t hi, u64 max_probes, u64 seed,
                                    const std::function<bool(gva_t)>& accept) {
   CRP_CHECK(hi > lo);
   Rng rng(seed);
-  u64 slots = (hi - lo) / mem::kPageSize;
+  // A sub-page range yields slots == 0, which Rng::below rejects; clamp so
+  // a one-page (or smaller) hunt probes `lo` itself instead of panicking.
+  u64 slots = std::max<u64>((hi - lo) / mem::kPageSize, 1);
   for (u64 i = 0; i < max_probes; ++i) {
     gva_t addr = lo + rng.below(slots) * mem::kPageSize;
     if (probe_once(addr) == ProbeResult::kMapped) {

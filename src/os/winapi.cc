@@ -43,6 +43,10 @@ void WinApi::add(ApiSpec spec) {
   specs_.emplace(id, std::move(spec));
 }
 
+void WinApi::copy_specs_from(const WinApi& other) {
+  for (const auto& [id, spec] : other.specs_) specs_.insert_or_assign(id, spec);
+}
+
 const ApiSpec* WinApi::find(u32 id) const {
   auto it = specs_.find(id);
   return it == specs_.end() ? nullptr : &it->second;

@@ -93,6 +93,11 @@ class WinApi {
  public:
   /// Register a spec; id must be unused.
   void add(ApiSpec spec);
+  /// Copy every spec of `other` into this registry, replacing ids that
+  /// already exist. Lets the ApiFuzzer stamp out scratch kernels whose API
+  /// surface matches the fuzzed kernel's (specs capture no per-kernel
+  /// state — impls receive the Kernel as a parameter).
+  void copy_specs_from(const WinApi& other);
   const ApiSpec* find(u32 id) const;
   const ApiSpec* find(const std::string& name) const;
   const std::map<u32, ApiSpec>& all() const { return specs_; }

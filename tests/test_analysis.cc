@@ -19,8 +19,8 @@ using isa::Reg;
 
 constexpr i64 kAv = static_cast<i64>(0xC0000005);
 
-isa::Image mixed_handlers_image() {
-  Assembler a("libmixed");
+isa::Image mixed_handlers_image(const std::string& name = "libmixed") {
+  Assembler a(name);
   a.set_dll(true);
   a.label("fn");
   a.label("g1_b");
@@ -145,6 +145,161 @@ TEST(CoverageXref, DynamicOnPath) {
   auto cands = CoverageXref::candidates(ex, filters, &tracer, &k.proc(pid), "app");
   EXPECT_EQ(cands.size(), 2u);
   for (const auto& c : cands) EXPECT_EQ(c.cls, PrimitiveClass::kExceptionHandler);
+}
+
+/// Same guarded region + filter in every module, but the filter's verdict is
+/// gated on a static config word reached through lea_pc — filters with equal
+/// code and *different* referenced data must hash (and classify) differently.
+isa::Image gated_filter_image(const std::string& name, u64 cfg_value) {
+  Assembler a(name);
+  a.set_dll(true);
+  a.label("g_b");
+  a.nop();
+  a.label("g_e");
+  a.ret();
+  a.label("h");
+  a.ret();
+  a.label("f");
+  a.lea_pc(Reg::R2, "cfg");
+  a.load(Reg::R3, Reg::R2, 8);
+  a.cmpi(Reg::R3, 0);
+  a.jcc(Cond::kEq, "f_no");
+  a.cmpi(Reg::R1, kAv);
+  a.jcc(Cond::kEq, "f_yes");
+  a.label("f_no");
+  a.movi(Reg::R0, 0);
+  a.ret();
+  a.label("f_yes");
+  a.movi(Reg::R0, 1);
+  a.ret();
+  a.scope("g_b", "g_e", "f", "h");
+  a.data_u64("cfg", cfg_value);
+  return a.build();
+}
+
+u64 only_filter_hash(const isa::Image& img) {
+  SehExtractor ex;
+  ex.add_image(std::make_shared<isa::Image>(img));
+  auto uf = ex.unique_filters();
+  EXPECT_EQ(uf.size(), 1u);
+  return filter_body_hash(img, uf[0].second);
+}
+
+TEST(FilterBodyHash, EqualForClonedBodiesAcrossModules) {
+  // The same filter code stamped into differently-named modules must collide
+  // (that is the memo cache's whole premise)...
+  auto a = mixed_handlers_image("liba");
+  auto b = mixed_handlers_image("libb");
+  SehExtractor ex;
+  ex.add_image(std::make_shared<isa::Image>(a));
+  auto uf = ex.unique_filters();
+  ASSERT_EQ(uf.size(), 2u);
+  EXPECT_EQ(filter_body_hash(a, uf[0].second), filter_body_hash(b, uf[0].second));
+  EXPECT_EQ(filter_body_hash(a, uf[1].second), filter_body_hash(b, uf[1].second));
+  // ...while distinct filter bodies in one module must not.
+  EXPECT_NE(filter_body_hash(a, uf[0].second), filter_body_hash(a, uf[1].second));
+}
+
+TEST(FilterBodyHash, ReferencedStaticDataIsPartOfTheIdentity) {
+  // Code-identical filters whose lea_pc-referenced config words differ
+  // behave differently, so they must hash differently; equal config words
+  // must still collide across modules.
+  u64 off_a = only_filter_hash(gated_filter_image("cfg_off", 0));
+  u64 off_b = only_filter_hash(gated_filter_image("cfg_off2", 0));
+  u64 on = only_filter_hash(gated_filter_image("cfg_on", 1));
+  EXPECT_EQ(off_a, off_b);
+  EXPECT_NE(off_a, on);
+}
+
+std::vector<FilterInfo> classify_corpus(int jobs, u64* executed, u64* queries,
+                                        u64* memo_hits) {
+  SehExtractor ex;
+  ex.add_image(std::make_shared<isa::Image>(mixed_handlers_image("liba")));
+  ex.add_image(std::make_shared<isa::Image>(mixed_handlers_image("libb")));
+  ex.add_image(std::make_shared<isa::Image>(mixed_handlers_image("libc")));
+  ex.add_image(std::make_shared<isa::Image>(gated_filter_image("libgate0", 0)));
+  ex.add_image(std::make_shared<isa::Image>(gated_filter_image("libgate1", 1)));
+  FilterClassifier fc;
+  auto out = fc.classify_all(ex, jobs);
+  *executed = fc.filters_executed();
+  *queries = fc.sat_queries();
+  *memo_hits = fc.memo_hits();
+  return out;
+}
+
+TEST(FilterClassifier, ClassifyAllIsJobCountInvariant) {
+  // The determinism contract: FilterInfo rows AND every funnel counter must
+  // be bit-identical whether the sweep runs serial or on 4 workers.
+  u64 ex1 = 0, q1 = 0, m1 = 0, ex4 = 0, q4 = 0, m4 = 0;
+  auto serial = classify_corpus(1, &ex1, &q1, &m1);
+  auto parallel = classify_corpus(4, &ex4, &q4, &m4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].module, parallel[i].module) << i;
+    EXPECT_EQ(serial[i].offset, parallel[i].offset) << i;
+    EXPECT_EQ(serial[i].verdict, parallel[i].verdict) << i;
+    EXPECT_EQ(serial[i].paths_explored, parallel[i].paths_explored) << i;
+    EXPECT_EQ(serial[i].handlers_using, parallel[i].handlers_using) << i;
+  }
+  EXPECT_EQ(ex1, ex4);
+  EXPECT_EQ(q1, q4);
+  EXPECT_EQ(m1, m4);
+}
+
+TEST(FilterClassifier, MemoCacheDeduplicatesClonedFilters) {
+  u64 executed = 0, queries = 0, memo_hits = 0;
+  auto rows = classify_corpus(2, &executed, &queries, &memo_hits);
+  // 3 clones × 2 filters + 2 gated filters = 8 unique (module, offset)
+  // items, but only 4 unique bodies run (f_av, f_div, gate-off, gate-on —
+  // the two gated filters differ through their referenced config words).
+  EXPECT_EQ(executed, 4u);
+  EXPECT_EQ(memo_hits, 4u);  // libb + libc rows answered from the memo
+  // Verdicts still correct per module.
+  int accepts = 0;
+  for (const auto& f : rows)
+    if (f.offset != isa::kFilterCatchAll && f.verdict == FilterVerdict::kAcceptsAv)
+      ++accepts;
+  EXPECT_EQ(accepts, 4);  // f_av × 3 clones + the cfg=1 gated filter
+}
+
+TEST(SehExtractor, AddImagesBytesMatchesSerialAdds) {
+  std::vector<std::vector<u8>> blobs;
+  blobs.push_back(isa::write_image(mixed_handlers_image("liba")));
+  blobs.push_back(isa::write_image(gated_filter_image("libgate", 1)));
+  SehExtractor batch;
+  EXPECT_TRUE(batch.add_images_bytes(blobs, 4));
+  SehExtractor serial;
+  for (const auto& b : blobs) ASSERT_TRUE(serial.add_image_bytes(b));
+  ASSERT_EQ(batch.handlers().size(), serial.handlers().size());
+  for (size_t i = 0; i < batch.handlers().size(); ++i) {
+    EXPECT_EQ(batch.handlers()[i].module, serial.handlers()[i].module) << i;
+    EXPECT_EQ(batch.handlers()[i].scope.filter, serial.handlers()[i].scope.filter) << i;
+  }
+}
+
+TEST(SehExtractor, AddImagesBytesReportsMalformedBlob) {
+  std::vector<std::vector<u8>> blobs;
+  blobs.push_back(isa::write_image(mixed_handlers_image("liba")));
+  blobs.push_back(std::vector<u8>(64, 0x5a));  // garbage
+  blobs.push_back(isa::write_image(mixed_handlers_image("libb")));
+  SehExtractor ex;
+  EXPECT_FALSE(ex.add_images_bytes(blobs, 2));
+  // Well-formed blobs are still added, in input order.
+  EXPECT_EQ(ex.images().size(), 2u);
+  EXPECT_EQ(ex.handlers().size(), 6u);
+}
+
+TEST(ApiFuzzer, FuzzAllIsJobCountInvariant) {
+  os::Kernel k;
+  k.winapi().generate_population(4242, 300, 1.0, 0.4);
+  ApiFuzzer fuzzer;
+  ApiFuzzResult serial = fuzzer.fuzz_all(k, 1);
+  ApiFuzzResult parallel = fuzzer.fuzz_all(k, 4);
+  EXPECT_EQ(serial.total_apis, parallel.total_apis);
+  EXPECT_EQ(serial.with_pointer_args, parallel.with_pointer_args);
+  EXPECT_EQ(serial.probes_executed, parallel.probes_executed);
+  EXPECT_EQ(serial.crash_resistant, parallel.crash_resistant);
+  EXPECT_FALSE(serial.crash_resistant.empty());
 }
 
 TEST(ApiFuzzer, SeparatesResistantFromFaulting) {

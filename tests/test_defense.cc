@@ -5,6 +5,7 @@
 #include "oracle/oracle.h"
 #include "targets/browser.h"
 #include "targets/common.h"
+#include "targets/dll_corpus.h"
 
 namespace crp::defense {
 namespace {
@@ -133,6 +134,46 @@ TEST(AuditBroadFilters, FlagsCatchAllOverLargeRegions) {
   auto flagged = audit_broad_filters(ex, filters);
   ASSERT_EQ(flagged.size(), 1u);
   EXPECT_EQ(flagged[0].scope.end - flagged[0].scope.begin, 10 * isa::kInstrBytes);
+}
+
+TEST(AuditBroadFilters, IndexedLookupMatchesBruteForceOnCorpus) {
+  // The audit used to scan every filter row per handler (O(handlers ×
+  // filters)); it now indexes verdicts by module:offset first. Both must
+  // flag exactly the same handler sites on a realistic corpus.
+  analysis::SehExtractor ex;
+  auto specs = targets::paper_dll_specs();
+  auto filler = targets::filler_dll_specs(30, 0x5EF);
+  specs.insert(specs.end(), filler.begin(), filler.end());
+  for (const auto& spec : specs) {
+    auto dll = targets::generate_dll(spec, 0x5EF);
+    ex.add_image(dll.image);
+  }
+  analysis::FilterClassifier fc;
+  auto filters = fc.classify_all(ex);
+
+  // Reference: the original quadratic scan. One-instruction threshold so the
+  // corpus' (mostly short) guarded regions actually produce flagged rows.
+  constexpr u64 kMaxBenign = isa::kInstrBytes;
+  std::vector<const analysis::HandlerSite*> want;
+  for (const auto& h : ex.handlers()) {
+    bool broad = h.catch_all;
+    if (!broad) {
+      for (const auto& f : filters)
+        if (f.module == h.module && f.offset == h.scope.filter &&
+            f.verdict == analysis::FilterVerdict::kAcceptsAv)
+          broad = true;
+    }
+    if (broad && h.scope.end - h.scope.begin > kMaxBenign) want.push_back(&h);
+  }
+
+  auto got = audit_broad_filters(ex, filters, kMaxBenign);
+  ASSERT_FALSE(got.empty());  // the corpus plants broad guards by design
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].module, want[i]->module) << i;
+    EXPECT_EQ(got[i].scope.begin, want[i]->scope.begin) << i;
+    EXPECT_EQ(got[i].scope.filter, want[i]->scope.filter) << i;
+  }
 }
 
 TEST(RateDetector, ResetClearsState) {

@@ -204,6 +204,36 @@ TEST(Registry, JsonRoundTrip) {
   EXPECT_FALSE(json_number(j, "missing", &v));
 }
 
+TEST(Registry, JsonEscapesControlCharacters) {
+  // Metric names with quotes, backslashes, and C0 controls must serialize to
+  // valid JSON (RFC 8259 bans raw controls inside strings); json_escape used
+  // to pass \n & co. straight through, producing unparseable snapshots.
+  Registry r;
+  r.counter("with\"quote").inc(1);
+  r.counter("with\\backslash").inc(2);
+  r.counter("tab\there").inc(3);
+  r.counter("newline\nhere").inc(4);
+  r.counter(std::string("nul\x01") + "byte").inc(5);
+  std::string j = r.json();
+  EXPECT_NE(j.find("with\\\"quote"), std::string::npos);
+  EXPECT_NE(j.find("with\\\\backslash"), std::string::npos);
+  EXPECT_NE(j.find("tab\\there"), std::string::npos);
+  EXPECT_NE(j.find("newline\\nhere"), std::string::npos);
+  EXPECT_NE(j.find("nul\\u0001byte"), std::string::npos);
+  // No raw control byte may survive into the serialized document.
+  for (char c : j) EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n');
+}
+
+TEST(Registry, JsonEscapedNamesStillQueryable) {
+  REQUIRE_OBS_COMPILED_IN();
+  Registry r;
+  r.counter("weird\tname").inc(9);
+  double v = 0;
+  // json_number escapes the key the same way, so lookups keep working.
+  ASSERT_TRUE(json_number(r.json(), "weird\tname", &v));
+  EXPECT_DOUBLE_EQ(v, 9.0);
+}
+
 TEST(Registry, GlobalIsSingleton) {
   EXPECT_EQ(&Registry::global(), &Registry::global());
 }

@@ -142,6 +142,77 @@ TEST(FirefoxPollOracleT, ScannerOverFirefoxOracle) {
   EXPECT_LT(*hit, hidden + 2 * 4096);
 }
 
+/// Pure in-memory oracle for exercising Scanner edge cases without a guest:
+/// everything inside [mapped_lo, mapped_hi) probes mapped, never crashes.
+/// The membership test is wrap-safe so hi == 0 means "top of address space".
+class StubOracle : public MemoryOracle {
+ public:
+  StubOracle(gva_t lo, gva_t hi) : lo_(lo), hi_(hi) {}
+  ProbeResult probe(gva_t addr) override {
+    probed.push_back(addr);
+    ++probes_;
+    return addr - lo_ < hi_ - lo_ ? ProbeResult::kMapped : ProbeResult::kUnmapped;
+  }
+  std::string name() const override { return "stub"; }
+  std::vector<gva_t> probed;
+
+ private:
+  gva_t lo_, hi_;
+};
+
+TEST(Scanner, SweepReachesLastPageOfAddressSpace) {
+  // Regression: the bound used to be `a < base + len`, which wraps to a tiny
+  // value for windows ending at the top of the u64 space and probed nothing.
+  constexpr gva_t kTop16 = 0xffff'ffff'ffff'0000ull;  // last 16 pages
+  StubOracle oracle_last(kTop16 + 15 * 4096, kTop16 + 16 * 4096);  // hi wraps to 0
+  Scanner scanner(oracle_last);
+  auto mapped = scanner.sweep(kTop16, 16 * 4096, 4096);
+  EXPECT_EQ(oracle_last.probed.size(), 16u);  // every page probed, none skipped
+  ASSERT_EQ(mapped.size(), 1u);
+  EXPECT_EQ(mapped[0], 0xffff'ffff'ffff'f000ull);  // the very last page
+  EXPECT_EQ(scanner.stats().probes, 16u);
+}
+
+TEST(Scanner, SweepProbeAddressesUnchangedInInterior) {
+  // The rewritten loop must visit exactly the addresses the old one did for
+  // non-wrapping sweeps: base, base+stride, ... while remaining > 0.
+  StubOracle oracle(0x5000, 0x7000);
+  Scanner scanner(oracle);
+  auto mapped = scanner.sweep(0x4000, 5 * 4096, 4096);
+  std::vector<gva_t> want = {0x4000, 0x5000, 0x6000, 0x7000, 0x8000};
+  EXPECT_EQ(oracle.probed, want);
+  ASSERT_EQ(mapped.size(), 2u);
+  EXPECT_EQ(mapped[0], 0x5000u);
+  EXPECT_EQ(mapped[1], 0x6000u);
+}
+
+TEST(Scanner, SweepPartialTrailingStride) {
+  // len not a stride multiple: the old and new loops both probe the page
+  // containing the final partial stride's start.
+  StubOracle oracle(0, 0);
+  Scanner scanner(oracle);
+  scanner.sweep(0x10000, 4096 + 512, 4096);
+  std::vector<gva_t> want = {0x10000, 0x11000};
+  EXPECT_EQ(oracle.probed, want);
+}
+
+TEST(Scanner, HuntSinglePageRange) {
+  // Regression: (hi - lo) / page == 1 slot, fine — but a sub-page range gave
+  // slots == 0 and Rng::below(0) panicked. Both must clamp to probing `lo`.
+  StubOracle one_page(0x20000, 0x21000);
+  Scanner s1(one_page);
+  auto hit = s1.hunt(0x20000, 0x21000, 8, /*seed=*/3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0x20000u);
+
+  StubOracle sub_page(0x30000, 0x30800);
+  Scanner s2(sub_page);
+  auto hit2 = s2.hunt(0x30000, 0x30800, 8, /*seed=*/3);
+  ASSERT_TRUE(hit2.has_value());
+  EXPECT_EQ(*hit2, 0x30000u);
+  for (gva_t a : sub_page.probed) EXPECT_EQ(a, 0x30000u);
+}
+
 }  // namespace
 }  // namespace crp::oracle
 
