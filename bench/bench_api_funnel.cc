@@ -8,18 +8,19 @@
 //     -> 0 with an attacker-controllable pointer argument
 //        (exclusions: stack-allocated / dereferenced-outside / volatile heap)
 //
-// The population is synthesized with the paper's composition ratios; every
-// narrowing step below is *measured*: black-box fuzzing, dynamic tracing of
-// a browsing workload, call-stack attribution, pointer classification.
+// Thin driver over the pipeline layer: the population comes from the
+// TargetRegistry (corpus/winapi), fuzzing runs through the Campaign's
+// ApiFuzzStage (answered from the content-addressed ArtifactStore on a
+// repeat), call-site reduction through CallSiteTraceStage. Every narrowing
+// step below is *measured*: black-box fuzzing, dynamic tracing of a
+// browsing workload, call-stack attribution, pointer classification.
 
 #include <chrono>
 #include <cstdio>
 
-#include "analysis/api_analysis.h"
-#include "analysis/report.h"
 #include "exec/thread_pool.h"
 #include "obs/bench_support.h"
-#include "targets/browser.h"
+#include "pipeline/campaign.h"
 #include "trace/tracer.h"
 #include "util/rng.h"
 
@@ -38,23 +39,23 @@ int main() {
   printf("bench_api_funnel — §V-B: Windows API crash-resistance funnel\n");
   printf("=============================================================\n\n");
 
-  constexpr u32 kPopulation = 20672;
-  constexpr double kPtrFraction = 0.5573;    // 11,521 / 20,672
-  constexpr double kResistFraction = 0.0347; // 400 / 11,521
+  pipeline::TargetRegistry reg = pipeline::TargetRegistry::builtin();
+  const pipeline::TargetSpec* spec = reg.find("corpus/winapi");
+  CRP_CHECK(spec != nullptr);
+  pipeline::Campaign campaign;
 
   os::Kernel kernel;
-  kernel.winapi().generate_population(0xA91, kPopulation, kPtrFraction,
-                                      kResistFraction);
+  pipeline::Campaign::materialize_api_corpus(*spec, kernel);
 
   // Stage 1: fuzz the whole surface.
   printf("[1] fuzzing %u APIs with invalid pointers (3 probes per pointer arg)...\n",
-         kPopulation);
-  analysis::ApiFuzzer fuzzer;
+         spec->api.total);
   double t0 = wall_ms();
-  analysis::ApiFuzzResult fuzz = fuzzer.fuzz_all(kernel);
+  pipeline::ApiFuzzStage::Out fuzzed = campaign.fuzz_apis(kernel);
+  const analysis::ApiFuzzResult& fuzz = fuzzed.result;
   // stderr only: stdout must be bit-identical across CRP_JOBS values.
-  fprintf(stderr, "[exec] fuzz %.1f ms (jobs=%d)\n", wall_ms() - t0,
-          exec::resolve_jobs());
+  fprintf(stderr, "[exec] fuzz %.1f ms (jobs=%d, cache %s)\n", wall_ms() - t0,
+          exec::resolve_jobs(), fuzzed.cache_hit ? "hit" : "miss");
   printf("    %u with pointer args, %zu crash-resistant, %u probes\n\n",
          fuzz.with_pointer_args, fuzz.crash_resistant.size(), fuzz.probes_executed);
 
@@ -63,8 +64,8 @@ int main() {
   // stubs (≈6%, the rate that puts ~25 crash-resistant APIs on path).
   Rng rng(0xFA77);
   std::vector<u32> stub_ids;
-  for (const auto& [id, spec] : kernel.winapi().all()) {
-    if (id < os::kApiPopulationBase || !spec.has_pointer_arg()) continue;
+  for (const auto& [id, api] : kernel.winapi().all()) {
+    if (id < os::kApiPopulationBase || !api.has_pointer_arg()) continue;
     if (rng.chance(0.0625)) stub_ids.push_back(id);
   }
   printf("[2] browsing: %zu population APIs reachable from browser code...\n",
@@ -82,8 +83,8 @@ int main() {
   printf("    workload done (%zu API invocations traced)\n\n", tracer.api_calls().size());
 
   // Stage 3+4: call-site analysis.
-  auto sites = analysis::ApiCallSiteTracer::analyze(tracer, fuzz.crash_resistant, kernel,
-                                                    browser.proc(), "jscript9");
+  auto sites = campaign.call_sites(tracer, fuzz.crash_resistant, kernel,
+                                   browser.proc(), "jscript9");
   std::set<u32> on_path, scripted, controllable;
   analysis::ApiFunnel funnel;
   for (const auto& s : sites) {
@@ -101,7 +102,7 @@ int main() {
   funnel.script_triggerable = static_cast<u32>(scripted.size());
   funnel.controllable = static_cast<u32>(controllable.size());
 
-  printf("Measured funnel:\n%s\n", analysis::render_api_funnel(funnel).c_str());
+  printf("Measured funnel:\n%s\n", pipeline::ReportStage::api_funnel(funnel).c_str());
   printf("Paper funnel:    20672 -> 11521 (55.7%%) -> 400 -> 25 -> 12 -> 0\n");
   printf("(controllable = 0 is the paper's negative result: every surviving\n");
   printf(" pointer argument is stack-allocated, dereferenced outside the\n");

@@ -5,19 +5,19 @@
 // used by 1,797 handlers; cross-referencing against the browsing trace
 // leaves 385 guarded code parts actually executed (736,512 trigger events).
 //
-// The corpus (the 10 named DLLs + 177 filler DLLs) is generated with
-// matching composition; all funnel numbers below are measured by the
-// pipeline.
+// Thin driver over the pipeline layer: the corpus is the TargetRegistry's
+// browser/iexplore_sys187 subject (the 10 named DLLs + 177 fillers,
+// matching composition), the funnel runs through the Campaign's extract ->
+// classify -> xref stages (classification cached in the ArtifactStore);
+// all funnel numbers below are measured by the pipeline.
 
 #include <chrono>
 #include <cstdio>
 
 #include "analysis/guard_audit.h"
-#include "analysis/report.h"
-#include "analysis/seh_analysis.h"
 #include "exec/thread_pool.h"
 #include "obs/bench_support.h"
-#include "targets/browser.h"
+#include "pipeline/campaign.h"
 #include "trace/tracer.h"
 
 namespace {
@@ -35,35 +35,33 @@ int main() {
   printf("bench_seh_funnel — §V-C: system-wide SEH funnel (187 DLLs)\n");
   printf("===========================================================\n\n");
 
-  constexpr int kFillerDlls = 177;
+  pipeline::TargetRegistry reg = pipeline::TargetRegistry::builtin();
+  const pipeline::TargetSpec* spec = reg.find("browser/iexplore_sys187");
+  CRP_CHECK(spec != nullptr);
+  pipeline::Campaign campaign;
 
   os::Kernel kernel;
-  targets::BrowserSim::Options opts;
-  opts.kind = targets::BrowserSim::Kind::kIE;
-  opts.seed = 0x5EF;
-  opts.filler_dlls = kFillerDlls;
-  targets::BrowserSim browser(kernel, opts);
+  targets::BrowserSim browser(kernel, pipeline::browser_options(*spec));
   trace::Tracer tracer(kernel, browser.proc());
 
   printf("[1] static extraction over %zu DLL images...\n", browser.dlls().size());
-  analysis::SehExtractor ex;
-  std::vector<std::vector<u8>> blobs;
-  for (const auto& d : browser.dlls()) blobs.push_back(isa::write_image(*d.image));
+  std::vector<std::vector<u8>> blobs = pipeline::Campaign::image_blobs(browser.dlls());
   double t0 = wall_ms();
-  CRP_CHECK(ex.add_images_bytes(blobs));
+  pipeline::SehCorpus corpus = campaign.extract(blobs);
   double t1 = wall_ms();
   printf("    %zu C-specific handlers, %zu unique filter functions\n\n",
-         ex.handlers().size(), ex.unique_filters().size());
+         corpus.ex.handlers().size(), corpus.ex.unique_filters().size());
 
   printf("[2] symbolic execution of every filter...\n");
-  analysis::FilterClassifier fc;
-  auto filters = fc.classify_all(ex);
+  pipeline::ClassifyOutcome cls = campaign.classify(corpus);
   // stderr only: stdout must be bit-identical across CRP_JOBS values.
-  fprintf(stderr, "[exec] extract %.1f ms, classify %.1f ms (jobs=%d, memo hits=%llu)\n",
+  fprintf(stderr,
+          "[exec] extract %.1f ms, classify %.1f ms (jobs=%d, memo hits=%llu, cache %s)\n",
           t1 - t0, wall_ms() - t1, exec::resolve_jobs(),
-          static_cast<unsigned long long>(fc.memo_hits()));
+          static_cast<unsigned long long>(cls.memo_hits),
+          cls.cache_hit ? "hit" : "miss");
   size_t av_filters = 0, av_handlers = 0, manual = 0;
-  for (const auto& f : filters) {
+  for (const auto& f : cls.filters) {
     if (f.offset == isa::kFilterCatchAll) continue;
     if (f.verdict == analysis::FilterVerdict::kAcceptsAv) {
       ++av_filters;
@@ -73,7 +71,7 @@ int main() {
   }
   // Catch-all handlers are AV-capable by construction.
   size_t catch_all_handlers = 0;
-  for (const auto& h : ex.handlers()) catch_all_handlers += h.catch_all ? 1 : 0;
+  for (const auto& h : corpus.ex.handlers()) catch_all_handlers += h.catch_all ? 1 : 0;
   printf("    %zu AV-capable filters (+%zu needing manual review),\n", av_filters, manual);
   printf("    used by %zu handlers (+%zu catch-all handlers)\n\n", av_handlers,
          catch_all_handlers);
@@ -82,7 +80,7 @@ int main() {
   browser.crawl();
   for (u64 site = 0; site < 500; ++site) browser.visit_page(site);
   browser.pump(2'500'000'000);
-  auto stats = analysis::CoverageXref::compute(ex, filters, &tracer, &browser.proc());
+  auto stats = campaign.xref(corpus, cls, &tracer, &browser.proc());
   size_t on_path = 0;
   u64 events = 0;
   size_t handlers_total = 0, av_capable_sites = 0;
@@ -97,7 +95,7 @@ int main() {
   printf("  DLLs analyzed:                 %4zu   (paper: 187)\n", browser.dlls().size());
   printf("  C-specific handlers:           %4zu   (paper: 6745)\n", handlers_total);
   printf("  unique filter functions:       %4zu   (paper: 5751)\n",
-         ex.unique_filters().size());
+         corpus.ex.unique_filters().size());
   printf("  AV-capable filters after SB:   %4zu   (paper: 808)\n", av_filters);
   printf("  handlers using them:           %4zu   (paper: 1797, incl. catch-all)\n",
          av_handlers + catch_all_handlers);
@@ -109,7 +107,7 @@ int main() {
   // §VII-B static refinement: which AV-capable guards protect an actual
   // dereference (attack candidates) vs. gratuitously broad filters
   // (defender's narrowing worklist).
-  analysis::GuardAuditSummary audit = analysis::audit_guards(ex, filters);
+  analysis::GuardAuditSummary audit = analysis::audit_guards(corpus.ex, cls.filters);
   printf("\nGuard audit (CFG-based, §VII-B):\n");
   printf("  deref-guard candidates:        %4zu\n", audit.deref_guards);
   printf("  gratuitously broad filters:    %4zu\n", audit.gratuitous);

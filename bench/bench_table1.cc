@@ -1,10 +1,13 @@
 // Table I reproduction: the syscall candidate matrix over the five server
 // simulacra (Nginx, Cherokee, Lighttpd, Memcached, PostgreSQL).
 //
-// For each server: run its test suite under byte-granular taint tracking,
-// collect EFAULT-capable syscalls with pointer arguments, then verify each
-// candidate by corrupting the pointer (register + live memory home) in a
-// fresh instance and observing process + service health.
+// Thin driver over the pipeline layer: the subjects come from the
+// TargetRegistry, the funnel (taint trace -> candidate selection -> verify)
+// runs inside pipeline::Campaign, and repeated runs are answered from the
+// content-addressed ArtifactStore (set CRP_CACHE_DIR for cross-process
+// warmth, CRP_CACHE=0 to bypass). Progress lines are printed *after* the
+// scans from the merged results, so stdout is byte-identical for any job
+// count and any cache state.
 //
 // Paper ground truth (§V-A):
 //   usable (+): recv@nginx, epoll_wait@cherokee, read@lighttpd,
@@ -16,9 +19,8 @@
 #include <map>
 
 #include "analysis/report.h"
-#include "analysis/syscall_scanner.h"
 #include "obs/bench_support.h"
-#include "targets/servers.h"
+#include "pipeline/campaign.h"
 
 int main() {
   crp::obs::BenchSession obs_session("table1");
@@ -27,31 +29,33 @@ int main() {
   printf("bench_table1 — Table I: syscall-based crash-resistant primitives\n");
   printf("=================================================================\n\n");
 
+  pipeline::TargetRegistry reg = pipeline::TargetRegistry::builtin();
+  pipeline::Campaign campaign;
+  std::vector<pipeline::ServerScan> scans =
+      campaign.scan_targets(reg.of_class(pipeline::TargetClass::kLinuxServer));
+
   std::map<std::string, analysis::SyscallScanResult> results;
   std::vector<std::string> names;
   int usable = 0, fps = 0;
 
-  for (analysis::TargetProgram& target : targets::all_servers()) {
-    printf("scanning %-14s ...", target.name.c_str());
-    fflush(stdout);
-    analysis::SyscallScanner scanner(target);
-    analysis::SyscallScanResult res = scanner.run_full();
+  for (pipeline::ServerScan& scan : scans) {
+    printf("scanning %-14s ...", scan.name.c_str());
     int u = 0, f = 0;
-    for (const auto& c : res.candidates) {
+    for (const auto& c : scan.result.candidates) {
       u += c.verdict == analysis::Verdict::kUsable ? 1 : 0;
       f += c.verdict == analysis::Verdict::kFalsePositive ? 1 : 0;
     }
     printf(" %zu observed, %zu candidates, %d usable, %d false-positive\n",
-           res.observed.size(), res.candidates.size(), u, f);
+           scan.result.observed.size(), scan.result.candidates.size(), u, f);
     usable += u;
     fps += f;
-    names.push_back(target.name);
-    results[target.name] = std::move(res);
+    names.push_back(scan.name);
+    results[scan.name] = std::move(scan.result);
   }
 
   printf("\nTable I (measured)\n");
   printf("  (+) usable   FP false positive   +- observed/invalid   . not on path\n\n");
-  printf("%s\n", analysis::render_table1(names, results).c_str());
+  printf("%s\n", pipeline::ReportStage::table1(names, results).c_str());
 
   printf("Paper Table I (expected pattern): one usable primitive per server —\n");
   printf("nginx:recv, cherokee:epoll_wait, lighttpd:read, memcached:read,\n");

@@ -2,10 +2,14 @@
 // an Internet Explorer run — before symbolic execution, after symbolic
 // execution (AV-capable), and on the browsing execution path.
 //
-// The DLL corpus plants the paper's per-DLL populations; everything in this
-// bench is *measured* by the pipeline: scope tables parsed from serialized
-// images, filters decided by symbolic execution + SAT, on-path counts by
-// tracing a 500-page browsing workload.
+// Thin driver over the pipeline layer: the browser subject comes from the
+// TargetRegistry, and the SEH funnel (static extraction -> filter
+// classification -> coverage cross-reference) runs through the Campaign
+// stages; classification is answered from the content-addressed
+// ArtifactStore when an identical corpus was classified before. Everything
+// printed is *measured*: scope tables parsed from serialized images,
+// filters decided by symbolic execution + SAT, on-path counts by tracing a
+// 500-page browsing workload.
 //
 // Paper Table II (per DLL, before SB / after SB / on path):
 //   user32 70/63/40, kernel32 76/66/14, msvcrt 129/10/3, jscript9 22/6/4,
@@ -14,11 +18,9 @@
 #include <chrono>
 #include <cstdio>
 
-#include "analysis/report.h"
-#include "analysis/seh_analysis.h"
 #include "exec/thread_pool.h"
 #include "obs/bench_support.h"
-#include "targets/browser.h"
+#include "pipeline/campaign.h"
 #include "trace/tracer.h"
 
 namespace {
@@ -36,8 +38,13 @@ int main() {
   printf("bench_table2 — Table II: guarded code locations per DLL (IE run)\n");
   printf("=================================================================\n\n");
 
+  pipeline::TargetRegistry reg = pipeline::TargetRegistry::builtin();
+  const pipeline::TargetSpec* spec = reg.find("browser/iexplore_sim");
+  CRP_CHECK(spec != nullptr);
+  pipeline::Campaign campaign;
+
   os::Kernel kernel;
-  targets::BrowserSim browser(kernel, {targets::BrowserSim::Kind::kIE, 0x7AB1E2, 0});
+  targets::BrowserSim browser(kernel, pipeline::browser_options(*spec));
   trace::Tracer tracer(kernel, browser.proc());
 
   printf("browsing the top-500 workload (crawl + %d page visits)...\n", 500);
@@ -52,27 +59,24 @@ int main() {
   int jobs = exec::resolve_jobs();
   fprintf(stderr, "[exec] jobs=%d\n", jobs);
 
-  analysis::SehExtractor ex;
-  std::vector<std::vector<u8>> blobs;
   // Static pass parses the *serialized* images — the "given a binary" path.
-  for (const auto& d : browser.dlls()) blobs.push_back(isa::write_image(*d.image));
+  std::vector<std::vector<u8>> blobs = pipeline::Campaign::image_blobs(browser.dlls());
   double t0 = wall_ms();
-  CRP_CHECK(ex.add_images_bytes(blobs));
+  pipeline::SehCorpus corpus = campaign.extract(blobs);
   double t1 = wall_ms();
   printf("static extraction: %zu handlers, %zu unique filter functions\n",
-         ex.handlers().size(), ex.unique_filters().size());
+         corpus.ex.handlers().size(), corpus.ex.unique_filters().size());
 
-  analysis::FilterClassifier fc;
-  auto filters = fc.classify_all(ex);
+  pipeline::ClassifyOutcome cls = campaign.classify(corpus);
   double t2 = wall_ms();
-  fprintf(stderr, "[exec] extract %.1f ms, classify %.1f ms (jobs=%d)\n", t1 - t0,
-          t2 - t1, jobs);
+  fprintf(stderr, "[exec] extract %.1f ms, classify %.1f ms (jobs=%d, cache %s)\n",
+          t1 - t0, t2 - t1, jobs, cls.cache_hit ? "hit" : "miss");
   printf("symbolic execution: %llu filters executed, %llu SAT queries\n\n",
-         static_cast<unsigned long long>(fc.filters_executed()),
-         static_cast<unsigned long long>(fc.sat_queries()));
+         static_cast<unsigned long long>(cls.filters_executed),
+         static_cast<unsigned long long>(cls.sat_queries));
 
-  auto stats = analysis::CoverageXref::compute(ex, filters, &tracer, &browser.proc());
-  printf("%s\n", analysis::render_table2(stats).c_str());
+  auto stats = campaign.xref(corpus, cls, &tracer, &browser.proc());
+  printf("%s\n", pipeline::ReportStage::table2(stats).c_str());
 
   printf("Paper Table II: user32 70/63/40, kernel32 76/66/14, msvcrt 129/10/3,\n");
   printf("jscript9 22/6/4, rpcrt4 62/20/6, sechost 133/11/0, ws2_32 82/29/10,\n");

@@ -1,9 +1,11 @@
 // Table III reproduction: unique exception filter functions per DLL before
 // and after symbolic execution, for both the 64-bit and 32-bit populations.
 //
-// Both corpora are analyzed purely statically (parse scope tables out of the
-// serialized images, symbolically execute every unique filter, ask the SAT
-// backend whether any path accepts an access violation).
+// Thin driver over the pipeline layer: both corpora come from the
+// TargetRegistry (corpus/dll_x64, corpus/dll_x32), are analyzed purely
+// statically through the Campaign's extract -> classify -> xref stages, and
+// repeated classifications of an identical corpus are answered from the
+// content-addressed ArtifactStore.
 //
 // Paper Table III highlights: "only 4 of 126 filter functions remain in
 // sechost.dll, while 9 of 129 are left in msvcrt.dll"; system-wide, symbolic
@@ -12,11 +14,9 @@
 #include <chrono>
 #include <cstdio>
 
-#include "analysis/report.h"
-#include "analysis/seh_analysis.h"
 #include "exec/thread_pool.h"
 #include "obs/bench_support.h"
-#include "targets/dll_corpus.h"
+#include "pipeline/campaign.h"
 
 namespace {
 
@@ -27,25 +27,19 @@ double wall_ms() {
 }
 
 std::vector<crp::analysis::ModuleSehStats> analyze(
-    const std::vector<crp::targets::DllSpec>& specs, crp::u64 seed) {
+    crp::pipeline::Campaign& campaign, const crp::pipeline::TargetSpec& spec) {
   using namespace crp;
-  analysis::SehExtractor ex;
-  std::vector<std::vector<u8>> blobs;
-  for (const auto& spec : specs) {
-    auto dll = targets::generate_dll(spec, seed);
-    blobs.push_back(isa::write_image(*dll.image));
-  }
+  std::vector<std::vector<u8>> blobs = pipeline::Campaign::dll_blobs(spec);
   double t0 = wall_ms();
-  CRP_CHECK(ex.add_images_bytes(blobs));
-  analysis::FilterClassifier fc;
-  auto filters = fc.classify_all(ex);
+  pipeline::SehCorpus corpus = campaign.extract(blobs);
+  pipeline::ClassifyOutcome cls = campaign.classify(corpus);
   // stderr only: stdout must be bit-identical across CRP_JOBS values.
-  fprintf(stderr, "[exec] extract+classify %.1f ms (jobs=%d)\n", wall_ms() - t0,
-          exec::resolve_jobs());
+  fprintf(stderr, "[exec] extract+classify %.1f ms (jobs=%d, cache %s)\n",
+          wall_ms() - t0, exec::resolve_jobs(), cls.cache_hit ? "hit" : "miss");
   printf("  machine population: %zu handlers, %zu filters, %llu SAT queries\n",
-         ex.handlers().size(), ex.unique_filters().size(),
-         static_cast<unsigned long long>(fc.sat_queries()));
-  return analysis::CoverageXref::compute(ex, filters, nullptr, nullptr);
+         corpus.ex.handlers().size(), corpus.ex.unique_filters().size(),
+         static_cast<unsigned long long>(cls.sat_queries));
+  return campaign.xref(corpus, cls, nullptr, nullptr);
 }
 
 }  // namespace
@@ -57,11 +51,17 @@ int main() {
   printf("bench_table3 — Table III: exception filters before/after symbolic execution\n");
   printf("============================================================================\n\n");
 
+  pipeline::TargetRegistry reg = pipeline::TargetRegistry::builtin();
+  const pipeline::TargetSpec* x64_spec = reg.find("corpus/dll_x64");
+  const pipeline::TargetSpec* x32_spec = reg.find("corpus/dll_x32");
+  CRP_CHECK(x64_spec != nullptr && x32_spec != nullptr);
+  pipeline::Campaign campaign;
+
   printf("x64 population:\n");
-  auto x64 = analyze(targets::paper_dll_specs(), 0x7AB1E3);
+  auto x64 = analyze(campaign, *x64_spec);
   printf("x32 population:\n");
-  auto x32 = analyze(targets::paper_dll_specs_x32(), 0x7AB1E3 ^ 32);
-  printf("\n%s\n", analysis::render_table3(x64, x32).c_str());
+  auto x32 = analyze(campaign, *x32_spec);
+  printf("\n%s\n", pipeline::ReportStage::table3(x64, x32).c_str());
 
   printf("Paper anchors: sechost 126 -> 4, msvcrt 129 -> 9; symbolic execution\n");
   printf("\"significantly reduces the set of exception filters\" — the after/before\n");

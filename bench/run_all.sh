@@ -37,6 +37,15 @@ for bench in "$BENCH_DIR"/bench_*; do
   tail -n 1 "$OUT_DIR/$name.log"
 done
 
+# A failed bench means the telemetry set is incomplete: aggregating the
+# survivors into BENCH_SUMMARY.json would present a partial run as a full
+# one, so fail loudly instead.
+if [ "$failed" -ne 0 ]; then
+  echo
+  echo "error: at least one bench failed — skipping BENCH_SUMMARY.json aggregation" >&2
+  exit 1
+fi
+
 echo
 echo "=== telemetry snapshots in $OUT_DIR ==="
 ls -1 "$OUT_DIR"/BENCH_*.json 2>/dev/null || echo "(none)"
@@ -88,4 +97,4 @@ else
   echo "(python3 unavailable — skipping aggregation)"
 fi
 
-exit $failed
+exit 0

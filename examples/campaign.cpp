@@ -1,0 +1,53 @@
+// Whole-corpus campaign: run EVERY registered discovery subject through the
+// class-appropriate funnel in one invocation — the end-to-end entry point
+// the staged pipeline layer exists for.
+//
+//   linux-server     taint trace -> syscall candidates -> verify
+//   managed-runtime  run -> signal-handler scan (ucontext-editing SIGSEGV)
+//   browser          browse under trace -> SEH extract -> classify -> xref
+//                    (+ VEH harvest for runtime-registered handlers)
+//   dll-corpus       SEH extract -> classify (static only)
+//   api-corpus       invalid-pointer fuzz -> traced call-site reduction
+//
+// Build & run:  ./build/examples/campaign
+// Repeated runs with CRP_CACHE_DIR set are answered from the
+// content-addressed ArtifactStore ([cached] below); CRP_CACHE=0 bypasses.
+
+#include <cstdio>
+
+#include "pipeline/campaign.h"
+
+int main() {
+  using namespace crp;
+
+  printf("CRProbe campaign — every registered target, one pipeline\n");
+  printf("=========================================================\n\n");
+
+  pipeline::TargetRegistry reg = pipeline::TargetRegistry::builtin();
+  pipeline::Campaign campaign;
+
+  int total_primitives = 0;
+  for (const pipeline::TargetSpec& spec : reg.all()) {
+    printf("--- %-24s [%s]\n", spec.id.c_str(),
+           pipeline::target_class_name(spec.cls));
+    pipeline::TargetReport rep = campaign.run_target(spec);
+    printf("    %s%s\n", rep.summary.c_str(), rep.cache_hit ? " [cached]" : "");
+    for (const analysis::Candidate& c : rep.candidates) {
+      if (c.verdict == analysis::Verdict::kUsable ||
+          c.cls != analysis::PrimitiveClass::kSyscall)
+        printf("    * %s\n", c.describe().c_str());
+    }
+    total_primitives += rep.usable;
+    printf("\n");
+  }
+
+  const pipeline::ArtifactStore& store = pipeline::ArtifactStore::global();
+  printf("=========================================================\n");
+  printf("%zu targets, %d crash-resistant primitives / recovery sites\n",
+         reg.all().size(), total_primitives);
+  printf("artifact cache: %llu hits, %llu misses, %llu stores\n",
+         static_cast<unsigned long long>(store.hits()),
+         static_cast<unsigned long long>(store.misses()),
+         static_cast<unsigned long long>(store.stores()));
+  return 0;
+}

@@ -2,39 +2,44 @@
 // (Nginx, Cherokee, Lighttpd, Memcached, PostgreSQL), with per-candidate
 // narration — the expanded version of what bench_table1 prints.
 //
+// Thin driver over the pipeline layer: subjects come from the
+// TargetRegistry, each scan runs through the Campaign's staged funnel, and
+// the trailing metrics dump now includes the `pipeline.stage.*` and
+// `pipeline.cache.*` series the campaign publishes.
+//
 // Build & run:  ./build/examples/discover_servers
 
 #include <cstdio>
 #include <map>
 
 #include "analysis/report.h"
-#include "analysis/syscall_scanner.h"
-#include "targets/servers.h"
+#include "pipeline/campaign.h"
 
 int main() {
   using namespace crp;
 
+  pipeline::TargetRegistry reg = pipeline::TargetRegistry::builtin();
+  pipeline::Campaign campaign;
+
   std::map<std::string, analysis::SyscallScanResult> results;
   std::vector<std::string> names;
 
-  for (analysis::TargetProgram& target : targets::all_servers()) {
-    printf("=== %s ===\n", target.name.c_str());
-    analysis::SyscallScanner scanner(target);
-    analysis::SyscallScanResult res = scanner.discover();
+  for (const pipeline::TargetSpec* spec :
+       reg.of_class(pipeline::TargetClass::kLinuxServer)) {
+    pipeline::ServerScan scan = campaign.scan_target(*spec);
+    printf("=== %s ===\n", scan.name.c_str());
     printf("  observed %zu EFAULT-capable syscalls on the workload path\n",
-           res.observed.size());
-    for (analysis::Candidate& c : res.candidates) {
-      scanner.verify(c);
+           scan.result.observed.size());
+    for (const analysis::Candidate& c : scan.result.candidates)
       printf("  %s\n", c.describe().c_str());
-    }
-    names.push_back(target.name);
-    results[target.name] = std::move(res);
+    names.push_back(scan.name);
+    results[scan.name] = std::move(scan.result);
     printf("\n");
   }
 
   printf("Table I — syscall candidate matrix\n");
   printf("  (+) usable primitive   FP false positive   +- observed/invalid   . unseen\n\n");
-  printf("%s\n", analysis::render_table1(names, results).c_str());
+  printf("%s\n", pipeline::ReportStage::table1(names, results).c_str());
 
   printf("Paper ground truth (§V-A): recv@nginx, epoll_wait@cherokee,\n");
   printf("read@lighttpd, read@memcached (+ epoll_wait@memcached as the false\n");

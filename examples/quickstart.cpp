@@ -1,18 +1,20 @@
 // Quickstart: discover crash-resistant primitives in one target.
 //
-// Pipeline shown end-to-end on nginx_sim:
-//   1. instantiate the target in a simulated kernel,
-//   2. run its test-suite workload under byte-granular taint tracking,
-//   3. verify every candidate by corrupting the pointer and watching both
-//      the process and the *service*,
+// Pipeline shown end-to-end on nginx_sim, as the staged campaign engine
+// runs it (the same code path every bench uses):
+//   1. pick the subject from the TargetRegistry,
+//   2. TaintTraceStage — run its test-suite workload under byte-granular
+//      taint tracking,
+//   3. SyscallCandidateStage + VerifyStage — corrupt every candidate
+//      pointer and watch both the process and the *service*,
 //   4. print the verdicts.
 //
 // Build & run:  ./build/examples/quickstart
+// (CRP_CACHE_DIR=<dir> makes a second run warm; CRP_CACHE=0 disables.)
 
 #include <cstdio>
 
-#include "analysis/report.h"
-#include "analysis/syscall_scanner.h"
+#include "pipeline/campaign.h"
 #include "targets/nginx.h"
 
 int main() {
@@ -21,23 +23,26 @@ int main() {
   printf("CRProbe quickstart — crash-resistant primitive discovery\n");
   printf("=========================================================\n\n");
 
-  analysis::TargetProgram target = targets::make_nginx();
+  pipeline::TargetRegistry reg = pipeline::TargetRegistry::builtin();
+  const pipeline::TargetSpec* spec = reg.find("server/nginx_sim");
+  CRP_CHECK(spec != nullptr);
+  analysis::TargetProgram target = spec->make_program();
   printf("Target: %s (Linux personality, port %u)\n\n", target.name.c_str(),
          targets::kNginxPort);
 
-  analysis::SyscallScanner scanner(target);
+  pipeline::Campaign campaign;
 
   printf("[1/2] discovery: running the test suite under taint tracking...\n");
-  analysis::SyscallScanResult result = scanner.discover();
+  pipeline::ServerScan scan = campaign.scan_program(target);
+  const analysis::SyscallScanResult& result = scan.result;
   printf("      %llu syscalls traced, %zu EFAULT-capable syscalls observed,\n",
          static_cast<unsigned long long>(result.syscalls_traced), result.observed.size());
   printf("      %zu pointer-argument candidates recorded\n\n", result.candidates.size());
 
   printf("[2/2] verification: corrupting each candidate pointer and checking\n");
   printf("      process + service health (fresh instance per candidate)...\n\n");
-  for (analysis::Candidate& c : result.candidates) scanner.verify(c);
 
-  printf("%s\n", analysis::render_candidates(result.candidates).c_str());
+  printf("%s\n", pipeline::ReportStage::candidates(result.candidates).c_str());
 
   int usable = 0;
   for (const auto& c : result.candidates)

@@ -253,10 +253,4 @@ void SyscallScanner::verify(Candidate& cand) {
                                      : "survives; service healthy";
 }
 
-SyscallScanResult SyscallScanner::run_full() {
-  SyscallScanResult res = discover();
-  for (Candidate& c : res.candidates) verify(c);
-  return res;
-}
-
 }  // namespace crp::analysis

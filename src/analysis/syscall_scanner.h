@@ -49,10 +49,10 @@ class SyscallScanner {
   SyscallScanResult discover();
 
   /// Phase 2 for one candidate (fresh kernel instance per run).
+  /// (Whole-target discover+verify funnels live in pipeline::Campaign —
+  /// there is deliberately no run_full() here so every driver goes through
+  /// the staged pipeline and its caching/observability.)
   void verify(Candidate& cand);
-
-  /// discover() + verify() every candidate.
-  SyscallScanResult run_full();
 
  private:
   const TargetProgram& target_;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "isa/assembler.h"
@@ -74,7 +75,9 @@ struct Parser {
       size_t pos = 0;
       *out = static_cast<i64>(std::stoll(t, &pos, 0));
       if (pos != t.size()) return fail("bad immediate '" + t + "'");
-    } catch (...) {
+    } catch (const std::invalid_argument&) {  // not a number at all
+      return fail("bad immediate '" + t + "'");
+    } catch (const std::out_of_range&) {  // doesn't fit in long long
       return fail("bad immediate '" + t + "'");
     }
     return true;

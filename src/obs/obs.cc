@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 
 namespace crp::obs {
 
@@ -299,7 +300,9 @@ bool json_number(const std::string& json, const std::string& key, double* out) {
   }
   try {
     *out = std::stod(json.substr(pos));
-  } catch (...) {
+  } catch (const std::invalid_argument&) {  // no parsable number at pos
+    return false;
+  } catch (const std::out_of_range&) {  // magnitude overflows a double
     return false;
   }
   return true;

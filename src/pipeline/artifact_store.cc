@@ -1,0 +1,127 @@
+#include "pipeline/artifact_store.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/obs.h"
+
+namespace crp::pipeline {
+
+u64 hash_bytes(const void* data, size_t n, u64 seed) {
+  const u8* p = static_cast<const u8*>(data);
+  u64 h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x00000100000001b3ull;  // FNV prime
+  }
+  return h;
+}
+
+std::string ArtifactKey::str() const {
+  return strf("%s-%016llx-%016llx", stage.c_str(),
+              static_cast<unsigned long long>(input_hash),
+              static_cast<unsigned long long>(config_hash));
+}
+
+ArtifactStore::ArtifactStore()
+    : c_hits_(&obs::Registry::global().counter("pipeline.cache.hits")),
+      c_misses_(&obs::Registry::global().counter("pipeline.cache.misses")),
+      c_stores_(&obs::Registry::global().counter("pipeline.cache.stores")) {
+  if (const char* env = std::getenv("CRP_CACHE")) {
+    if (env[0] == '0' && env[1] == '\0') enabled_ = false;
+  }
+  if (const char* env = std::getenv("CRP_CACHE_DIR")) {
+    if (env[0] != '\0') set_dir(env);
+  }
+}
+
+void ArtifactStore::set_dir(std::string dir) {
+  std::lock_guard<std::mutex> lk(mu_);
+  dir_ = std::move(dir);
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);  // best-effort: a failed
+    if (ec) dir_.clear();  // disk tier degrades to memory-only, never throws
+  }
+}
+
+std::string ArtifactStore::disk_path(const ArtifactKey& key) const {
+  return dir_ + "/" + key.str() + ".artifact";
+}
+
+bool ArtifactStore::lookup(const ArtifactKey& key, std::string* value) {
+  if (!enabled_) return false;
+  std::string name = key.str();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = mem_.find(name);
+    if (it != mem_.end()) {
+      *value = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      c_hits_->inc();
+      return true;
+    }
+    if (!dir_.empty()) {
+      std::ifstream in(disk_path(key), std::ios::binary);
+      if (in) {
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        mem_[name] = ss.str();
+        *value = mem_[name];
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        c_hits_->inc();
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  c_misses_->inc();
+  return false;
+}
+
+void ArtifactStore::store(const ArtifactKey& key, const std::string& value) {
+  if (!enabled_) return;
+  std::string name = key.str();
+  std::lock_guard<std::mutex> lk(mu_);
+  mem_[name] = value;
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  c_stores_->inc();
+  if (!dir_.empty()) {
+    // Write-then-rename so a concurrent reader never sees a torn artifact.
+    std::string final_path = disk_path(key);
+    std::string tmp_path = final_path + ".tmp";
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out.write(value.data(), static_cast<std::streamsize>(value.size()));
+      out.close();
+      if (out.good()) {
+        std::rename(tmp_path.c_str(), final_path.c_str());
+      } else {
+        std::remove(tmp_path.c_str());
+      }
+    }
+  }
+}
+
+size_t ArtifactStore::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return mem_.size();
+}
+
+void ArtifactStore::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  mem_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  stores_.store(0, std::memory_order_relaxed);
+}
+
+ArtifactStore& ArtifactStore::global() {
+  static ArtifactStore store;
+  return store;
+}
+
+}  // namespace crp::pipeline

@@ -1,0 +1,121 @@
+// crp::pipeline::ArtifactStore — content-addressed caching of stage outputs.
+//
+// Generalizes the PR 2 `filter_body_hash` verdict memo from "one map inside
+// FilterClassifier" to a campaign-wide service: any pipeline stage whose
+// output is a pure function of its input bytes and its configuration can
+// publish that output under the key (stage id, input hash, config hash) and
+// skip recomputation the next time the same corpus flows through the same
+// stage. Repeated campaigns over shared corpora (the common case: every
+// bench and example re-scans the same five servers and re-classifies the
+// same DLL populations) then cost one lookup instead of a taint-traced
+// workload run or a symbolic-execution sweep.
+//
+// Addressing is *content*-based: input hashes cover the serialized image
+// bytes / corpus spec, never file names or timestamps, so a single flipped
+// byte in a target image changes the key and invalidates the entry
+// (tested in tests/test_pipeline.cc).
+//
+// Storage tiers:
+//   * in-memory map — always on (per process);
+//   * optional disk tier — set CRP_CACHE_DIR to persist artifacts across
+//     processes (one file per key, write-tmp-then-rename); this is what
+//     makes a *second* bench run warm.
+//
+// Kill switch: CRP_CACHE=0 disables the store entirely — lookups miss
+// without counting and stores are dropped — so any suspected cache bug can
+// be ruled out in one rerun. Hit/miss/store traffic is published as
+// `pipeline.cache.{hits,misses,stores}` in the global obs registry.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/common.h"
+
+namespace crp::obs {
+class Counter;
+}  // namespace crp::obs
+
+namespace crp::pipeline {
+
+/// FNV-1a 64-bit over raw bytes, seedable for chaining.
+inline constexpr u64 kFnvOffset = 0xcbf29ce484222325ull;
+u64 hash_bytes(const void* data, size_t n, u64 seed = kFnvOffset);
+
+/// Incremental content hasher for composite keys (a corpus = many blobs,
+/// a config = several scalar fields). Order-sensitive by design.
+class Hasher {
+ public:
+  Hasher& bytes(const void* data, size_t n) {
+    h_ = hash_bytes(data, n, h_);
+    return *this;
+  }
+  Hasher& str(std::string_view s) { return bytes(s.data(), s.size()); }
+  Hasher& u64v(u64 v) { return bytes(&v, sizeof v); }
+  Hasher& f64(double v) { return bytes(&v, sizeof v); }
+  u64 digest() const { return h_; }
+
+ private:
+  u64 h_ = kFnvOffset;
+};
+
+/// Content address of one stage output.
+struct ArtifactKey {
+  std::string stage;    // stage id, e.g. "filter_classify"
+  u64 input_hash = 0;   // content hash of the stage input
+  u64 config_hash = 0;  // hash of the stage configuration
+
+  /// Stable file/map name: "<stage>-<input:016x>-<config:016x>".
+  std::string str() const;
+};
+
+class ArtifactStore {
+ public:
+  /// Reads CRP_CACHE (anything other than "0"/"" -> enabled) and
+  /// CRP_CACHE_DIR (empty -> memory-only) at construction.
+  ArtifactStore();
+
+  /// Overrides for tests and embedding; both shadow the env settings.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+  void set_dir(std::string dir);
+  const std::string& dir() const { return dir_; }
+
+  /// True + fills *value on a hit (memory first, then disk). A disabled
+  /// store always returns false and counts nothing (pure bypass).
+  bool lookup(const ArtifactKey& key, std::string* value);
+  /// Publish an artifact (memory + disk tier when configured). Dropped
+  /// silently when disabled.
+  void store(const ArtifactKey& key, const std::string& value);
+
+  u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+  u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+  u64 stores() const { return stores_.load(std::memory_order_relaxed); }
+  size_t size() const;
+
+  /// Drop every in-memory artifact and zero the traffic counters (the disk
+  /// tier, if any, is left untouched). Intended for tests.
+  void clear();
+
+  /// The process-wide store every Campaign uses by default.
+  static ArtifactStore& global();
+
+ private:
+  std::string disk_path(const ArtifactKey& key) const;
+
+  bool enabled_ = true;
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> mem_;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+  std::atomic<u64> stores_{0};
+  obs::Counter* c_hits_;
+  obs::Counter* c_misses_;
+  obs::Counter* c_stores_;
+};
+
+}  // namespace crp::pipeline

@@ -1,0 +1,305 @@
+#include "pipeline/campaign.h"
+
+#include "analysis/signal_scanner.h"
+#include "analysis/veh_scanner.h"
+#include "exec/thread_pool.h"
+#include "util/rng.h"
+
+namespace crp::pipeline {
+
+targets::BrowserSim::Options browser_options(const TargetSpec& spec) {
+  targets::BrowserSim::Options o;
+  o.kind = spec.browser_kind;
+  o.seed = spec.seed;
+  o.filler_dlls = spec.filler_dlls;
+  return o;
+}
+
+Campaign::Campaign(CampaignOptions opts, ArtifactStore* store)
+    : opts_(opts), store_(store != nullptr ? store : &ArtifactStore::global()) {}
+
+ArtifactKey Campaign::syscall_scan_key(const analysis::TargetProgram& prog) const {
+  Hasher in;
+  in.str(prog.name)
+      .u64v(static_cast<u64>(prog.personality))
+      .u64v(prog.port)
+      .u64v(prog.images.size());
+  for (const auto& img : prog.images) {
+    std::vector<u8> bytes = isa::write_image(*img);
+    in.u64v(bytes.size()).bytes(bytes.data(), bytes.size());
+  }
+  u64 cfg = Hasher()
+                .u64v(opts_.syscall.discover_budget)
+                .u64v(opts_.syscall.verify_budget)
+                .u64v(opts_.syscall.check_service_liveness ? 1 : 0)
+                .u64v(opts_.syscall.seed)
+                .digest();
+  return ArtifactKey{TaintTraceStage::kId, in.digest(), cfg};
+}
+
+ServerScan Campaign::scan_program(const analysis::TargetProgram& prog,
+                                  int verify_jobs) {
+  ServerScan out;
+  out.name = prog.name;
+
+  ArtifactKey key = syscall_scan_key(prog);
+  ArtifactStore* st = store();
+  std::string doc;
+  if (st != nullptr && st->lookup(key, &doc) &&
+      decode_syscall_scan(doc, &out.result)) {
+    out.cache_hit = true;
+    return out;
+  }
+
+  out.result = TaintTraceStage::run({&prog, opts_.syscall});
+  std::vector<analysis::Candidate> cands =
+      SyscallCandidateStage::run({&out.result});
+  out.result.candidates = VerifyStage::run(
+      {&prog, opts_.syscall, std::move(cands),
+       verify_jobs != 0 ? verify_jobs : opts_.jobs});
+  if (st != nullptr) st->store(key, encode_syscall_scan(out.result));
+  return out;
+}
+
+ServerScan Campaign::scan_target(const TargetSpec& spec) {
+  CRP_CHECK(spec.make_program != nullptr);
+  analysis::TargetProgram prog = spec.make_program();
+  return scan_program(prog);
+}
+
+std::vector<ServerScan> Campaign::scan_targets(
+    const std::vector<const TargetSpec*>& specs) {
+  // Materialize programs up front (image generation is deterministic and
+  // cheap); then shard whole scans across the pool. Verification inside a
+  // sharded scan stays serial — nesting pools would oversubscribe without
+  // adding parallelism.
+  std::vector<analysis::TargetProgram> progs;
+  progs.reserve(specs.size());
+  for (const TargetSpec* s : specs) {
+    CRP_CHECK(s != nullptr && s->make_program != nullptr);
+    progs.push_back(s->make_program());
+  }
+  exec::ThreadPool pool(opts_.jobs);
+  return exec::parallel_map(
+      pool, progs,
+      [&](size_t, const analysis::TargetProgram& p) {
+        return scan_program(p, /*verify_jobs=*/1);
+      },
+      "scan_target");
+}
+
+SehCorpus Campaign::extract(const std::vector<std::vector<u8>>& blobs) {
+  return SehExtractStage::run({&blobs, opts_.jobs});
+}
+
+ClassifyOutcome Campaign::classify(const SehCorpus& corpus) {
+  return FilterClassifyStage::run({&corpus, opts_.classify, opts_.jobs, store()});
+}
+
+std::vector<analysis::ModuleSehStats> Campaign::xref(
+    const SehCorpus& corpus, const ClassifyOutcome& cls,
+    const trace::Tracer* tracer, const os::Process* proc) {
+  return CoverageXrefStage::run({&corpus.ex, &cls.filters, tracer, proc});
+}
+
+std::vector<std::vector<u8>> Campaign::dll_blobs(const TargetSpec& spec) {
+  CRP_CHECK(spec.dll_specs != nullptr);
+  std::vector<std::vector<u8>> blobs;
+  for (const targets::DllSpec& s : spec.dll_specs())
+    blobs.push_back(isa::write_image(*targets::generate_dll(s, spec.seed).image));
+  return blobs;
+}
+
+std::vector<std::vector<u8>> Campaign::image_blobs(
+    const std::vector<targets::GeneratedDll>& dlls) {
+  std::vector<std::vector<u8>> blobs;
+  blobs.reserve(dlls.size());
+  for (const auto& d : dlls) blobs.push_back(isa::write_image(*d.image));
+  return blobs;
+}
+
+void Campaign::materialize_api_corpus(const TargetSpec& spec, os::Kernel& kernel) {
+  kernel.winapi().generate_population(spec.api.seed, spec.api.total,
+                                      spec.api.ptr_fraction,
+                                      spec.api.resistant_fraction);
+}
+
+ApiFuzzStage::Out Campaign::fuzz_apis(os::Kernel& kernel) {
+  return ApiFuzzStage::run({&kernel, opts_.api_probes_per_arg, opts_.jobs, store()});
+}
+
+std::vector<analysis::ApiSiteInfo> Campaign::call_sites(
+    const trace::Tracer& tracer, const std::set<u32>& crash_resistant,
+    const os::Kernel& kernel, const os::Process& proc,
+    const std::string& needle) {
+  return CallSiteTraceStage::run({&tracer, &crash_resistant, &kernel, &proc, needle});
+}
+
+TargetReport Campaign::run_server(const TargetSpec& spec) {
+  ServerScan scan = scan_target(spec);
+  TargetReport rep;
+  rep.candidates = scan.result.candidates;
+  rep.cache_hit = scan.cache_hit;
+  int fps = 0;
+  for (const auto& c : rep.candidates) {
+    rep.usable += c.verdict == analysis::Verdict::kUsable ? 1 : 0;
+    fps += c.verdict == analysis::Verdict::kFalsePositive ? 1 : 0;
+  }
+  rep.summary = strf("%zu syscalls observed, %zu candidates, %d usable, %d false-positive",
+                     scan.result.observed.size(), rep.candidates.size(),
+                     rep.usable, fps);
+  return rep;
+}
+
+TargetReport Campaign::run_runtime(const TargetSpec& spec) {
+  CRP_CHECK(spec.make_program != nullptr);
+  analysis::TargetProgram prog = spec.make_program();
+  os::Kernel k;
+  int pid = prog.instantiate(k, opts_.syscall.seed);
+  k.run(2'000'000);  // let startup install its signal handlers
+
+  std::vector<analysis::SignalHandlerInfo> handlers;
+  {
+    StageScope scope("signal_scan", prog.name);
+    handlers = analysis::SignalScanner::scan(k.proc(pid), opts_.classify);
+  }
+  TargetReport rep;
+  rep.candidates = analysis::SignalScanner::candidates(handlers, prog.name);
+  for (const auto& h : handlers)
+    rep.usable += h.verdict == analysis::FilterVerdict::kAcceptsAv ? 1 : 0;
+  rep.summary = strf("%zu installed signal handlers, %d recovering (pc-editing)",
+                     handlers.size(), rep.usable);
+  return rep;
+}
+
+TargetReport Campaign::run_browser(const TargetSpec& spec) {
+  os::Kernel kernel;
+  targets::BrowserSim::Options bopts = browser_options(spec);
+  // Attach the tracer before startup so runtime VEH registrations are
+  // observed (the §VII-A harvesting pass).
+  bopts.defer_start = true;
+  targets::BrowserSim browser(kernel, bopts);
+  trace::Tracer tracer(kernel, browser.proc());
+  browser.start();
+  browser.crawl();
+  for (u64 site = 0; site < opts_.browse_pages; ++site) browser.visit_page(site);
+  browser.pump(opts_.browse_budget);
+
+  std::vector<std::vector<u8>> blobs = image_blobs(browser.dlls());
+  SehCorpus corpus = extract(blobs);
+  ClassifyOutcome cls = classify(corpus);
+  std::vector<analysis::ModuleSehStats> stats =
+      xref(corpus, cls, &tracer, &browser.proc());
+
+  TargetReport rep;
+  rep.cache_hit = cls.cache_hit;
+  rep.candidates = analysis::CoverageXref::candidates(
+      corpus.ex, cls.filters, &tracer, &browser.proc(), spec.id);
+  size_t on_path = rep.candidates.size();
+
+  std::vector<analysis::VehHandlerInfo> veh =
+      analysis::VehScanner::scan(tracer, browser.proc(), opts_.classify);
+  int veh_usable = 0;
+  for (const auto& h : veh)
+    veh_usable += h.verdict == analysis::FilterVerdict::kAcceptsAv ? 1 : 0;
+  std::vector<analysis::Candidate> veh_cands =
+      analysis::VehScanner::candidates(veh, spec.id);
+  rep.candidates.insert(rep.candidates.end(), veh_cands.begin(), veh_cands.end());
+
+  rep.usable = static_cast<int>(on_path) + veh_usable;
+  rep.summary = strf(
+      "%zu DLLs, %zu handlers, %zu unique filters, %zu guarded sites on path, "
+      "%zu VEH (%d recovering)",
+      browser.dlls().size(), corpus.ex.handlers().size(),
+      corpus.ex.unique_filters().size(), on_path, veh.size(), veh_usable);
+  (void)stats;
+  return rep;
+}
+
+TargetReport Campaign::run_dll_corpus(const TargetSpec& spec) {
+  std::vector<std::vector<u8>> blobs = dll_blobs(spec);
+  SehCorpus corpus = extract(blobs);
+  ClassifyOutcome cls = classify(corpus);
+  size_t av = 0;
+  for (const auto& f : cls.filters) {
+    if (f.offset == isa::kFilterCatchAll) continue;
+    av += f.verdict == analysis::FilterVerdict::kAcceptsAv ? 1 : 0;
+  }
+  TargetReport rep;
+  rep.cache_hit = cls.cache_hit;
+  rep.usable = static_cast<int>(av);
+  rep.summary = strf("%zu DLLs, %zu unique filters, %zu AV-capable after SB",
+                     corpus.ex.images().size(), corpus.ex.unique_filters().size(),
+                     av);
+  return rep;
+}
+
+TargetReport Campaign::run_api_corpus(const TargetSpec& spec) {
+  os::Kernel kernel;
+  materialize_api_corpus(spec, kernel);
+  ApiFuzzStage::Out fuzz = fuzz_apis(kernel);
+
+  // The historical §V-B browsing workload: a ~6% uniform stub sample of the
+  // pointer-arg population, 120 page visits on the IE analog (seed 0xF0) —
+  // the rate that puts ~25 crash-resistant APIs on the execution path.
+  Rng rng(0xFA77);
+  std::vector<u32> stub_ids;
+  for (const auto& [id, s] : kernel.winapi().all()) {
+    if (id < os::kApiPopulationBase || !s.has_pointer_arg()) continue;
+    if (rng.chance(0.0625)) stub_ids.push_back(id);
+  }
+  targets::BrowserSim::Options bopts;
+  bopts.kind = targets::BrowserSim::Kind::kIE;
+  bopts.seed = 0xF0;
+  bopts.api_stub_ids = stub_ids;
+  targets::BrowserSim browser(kernel, bopts);
+  trace::Tracer tracer(kernel, browser.proc());
+  tracer.set_record_mem_accesses(true);
+  browser.crawl();
+  for (u64 site = 0; site < 120; ++site) browser.visit_page(site);
+  browser.pump(2'000'000'000);
+
+  std::vector<analysis::ApiSiteInfo> sites = call_sites(
+      tracer, fuzz.result.crash_resistant, kernel, browser.proc(), "jscript9");
+  std::set<u32> on_path, controllable;
+  for (const auto& s : sites) {
+    if (s.api_id < os::kApiPopulationBase) continue;
+    on_path.insert(s.api_id);
+    if (s.exclusion == analysis::ExclusionReason::kNone)
+      controllable.insert(s.api_id);
+  }
+
+  TargetReport rep;
+  rep.cache_hit = fuzz.cache_hit;
+  rep.candidates = analysis::ApiCallSiteTracer::candidates(sites, spec.id);
+  rep.usable = static_cast<int>(controllable.size());
+  rep.summary = strf(
+      "%u APIs -> %u with pointer args -> %zu crash-resistant -> %zu on path "
+      "-> %zu controllable",
+      fuzz.result.total_apis, fuzz.result.with_pointer_args,
+      fuzz.result.crash_resistant.size(), on_path.size(), controllable.size());
+  return rep;
+}
+
+TargetReport Campaign::run_target(const TargetSpec& spec) {
+  TargetReport rep;
+  switch (spec.cls) {
+    case TargetClass::kLinuxServer: rep = run_server(spec); break;
+    case TargetClass::kManagedRuntime: rep = run_runtime(spec); break;
+    case TargetClass::kBrowser: rep = run_browser(spec); break;
+    case TargetClass::kDllCorpus: rep = run_dll_corpus(spec); break;
+    case TargetClass::kApiCorpus: rep = run_api_corpus(spec); break;
+  }
+  rep.id = spec.id;
+  rep.cls = spec.cls;
+  return rep;
+}
+
+std::vector<TargetReport> Campaign::run_all(const TargetRegistry& reg) {
+  std::vector<TargetReport> out;
+  out.reserve(reg.all().size());
+  for (const TargetSpec& spec : reg.all()) out.push_back(run_target(spec));
+  return out;
+}
+
+}  // namespace crp::pipeline

@@ -1,0 +1,136 @@
+// crp::pipeline::Campaign — the staged engine that runs registry targets
+// through the paper's funnels.
+//
+// A Campaign owns the cross-cutting concerns every driver used to re-plumb
+// by hand: worker-count resolution (the exec pool), the content-addressed
+// ArtifactStore, and consistent stage options. Drivers stay declarative —
+// pick targets from the registry, call the funnel entry points, print.
+//
+// Funnel entry points compose the typed stages of stages.h:
+//   scan_program / scan_target(s)  TaintTrace -> SyscallCandidate -> Verify,
+//                                  whole-scan cached by target content
+//   extract / classify / xref      SehExtract -> FilterClassify (cached) ->
+//                                  CoverageXref
+//   fuzz_apis / call_sites         ApiFuzz (cached) -> CallSiteTrace
+//   run_target / run_all           the class-appropriate funnel end-to-end,
+//                                  one TargetReport per subject
+//
+// Determinism contract (inherited from crp::exec and the scanners): every
+// funnel number and rendered table is bit-identical for any job count and
+// for any cache state — a warm campaign replays *exactly* the cold run's
+// results, just faster.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/registry.h"
+#include "pipeline/stages.h"
+
+namespace crp::pipeline {
+
+struct CampaignOptions {
+  /// Worker count for every pooled stage (exec::resolve_jobs semantics).
+  int jobs = 0;
+  /// Set false to bypass the ArtifactStore for this campaign regardless of
+  /// CRP_CACHE (the store's own switch still applies when true).
+  bool cache = true;
+  analysis::SyscallScanOptions syscall;
+  analysis::ClassifyOptions classify;
+  int api_probes_per_arg = 3;
+  /// Browser-funnel workload size (page visits after the crawl).
+  u64 browse_pages = 500;
+  u64 browse_budget = 2'500'000'000;
+};
+
+/// One Linux-syscall-funnel outcome (result.candidates are verified).
+struct ServerScan {
+  std::string name;
+  analysis::SyscallScanResult result;
+  bool cache_hit = false;
+};
+
+/// One whole-target funnel outcome (run_target / run_all).
+struct TargetReport {
+  std::string id;
+  TargetClass cls = TargetClass::kLinuxServer;
+  /// Discovered primitive candidates, class-appropriate.
+  std::vector<analysis::Candidate> candidates;
+  /// Candidates verified usable (servers) / AV-capable handler or VEH
+  /// primitives (browsers, runtimes) / crash-resistant APIs (API corpus).
+  int usable = 0;
+  /// One-line funnel summary for campaign reports.
+  std::string summary;
+  bool cache_hit = false;
+};
+
+/// BrowserSim construction parameters for a kBrowser registry entry.
+targets::BrowserSim::Options browser_options(const TargetSpec& spec);
+
+class Campaign {
+ public:
+  /// `store` == nullptr uses ArtifactStore::global().
+  explicit Campaign(CampaignOptions opts = {}, ArtifactStore* store = nullptr);
+
+  const CampaignOptions& options() const { return opts_; }
+  /// The store stage calls should use: nullptr when caching is off for this
+  /// campaign, so stages compute unconditionally.
+  ArtifactStore* store() const { return opts_.cache ? store_ : nullptr; }
+
+  // --- Linux syscall funnel (Table I) ---------------------------------------
+  /// Full funnel over one program. `verify_jobs` overrides the pool width
+  /// of the verification stage only (scan_targets passes 1: it already
+  /// parallelizes across targets).
+  ServerScan scan_program(const analysis::TargetProgram& prog, int verify_jobs = 0);
+  ServerScan scan_target(const TargetSpec& spec);
+  /// Scan several targets, sharded across the exec pool; results in input
+  /// order, identical to scanning serially.
+  std::vector<ServerScan> scan_targets(const std::vector<const TargetSpec*>& specs);
+
+  // --- SEH funnel (Tables II/III, §V-C) -------------------------------------
+  SehCorpus extract(const std::vector<std::vector<u8>>& blobs);
+  ClassifyOutcome classify(const SehCorpus& corpus);
+  std::vector<analysis::ModuleSehStats> xref(const SehCorpus& corpus,
+                                             const ClassifyOutcome& cls,
+                                             const trace::Tracer* tracer,
+                                             const os::Process* proc);
+
+  /// Materialize a kDllCorpus registry entry into serialized image blobs.
+  static std::vector<std::vector<u8>> dll_blobs(const TargetSpec& spec);
+  /// Serialize already-generated DLL images (browser corpora).
+  static std::vector<std::vector<u8>> image_blobs(
+      const std::vector<targets::GeneratedDll>& dlls);
+
+  // --- Windows API funnel (§V-B) --------------------------------------------
+  /// Populate `kernel`'s API registry from a kApiCorpus spec.
+  static void materialize_api_corpus(const TargetSpec& spec, os::Kernel& kernel);
+  ApiFuzzStage::Out fuzz_apis(os::Kernel& kernel);
+  std::vector<analysis::ApiSiteInfo> call_sites(const trace::Tracer& tracer,
+                                                const std::set<u32>& crash_resistant,
+                                                const os::Kernel& kernel,
+                                                const os::Process& proc,
+                                                const std::string& needle);
+
+  // --- whole-target funnels --------------------------------------------------
+  /// Run the class-appropriate funnel end-to-end for one subject.
+  TargetReport run_target(const TargetSpec& spec);
+  /// Every registered subject, registration order.
+  std::vector<TargetReport> run_all(const TargetRegistry& reg);
+
+  /// Content-addressed key of a syscall scan (exposed for the cache
+  /// invalidation tests): input covers the target's name, personality, port
+  /// and every image's serialized bytes.
+  ArtifactKey syscall_scan_key(const analysis::TargetProgram& prog) const;
+
+ private:
+  TargetReport run_server(const TargetSpec& spec);
+  TargetReport run_runtime(const TargetSpec& spec);
+  TargetReport run_browser(const TargetSpec& spec);
+  TargetReport run_dll_corpus(const TargetSpec& spec);
+  TargetReport run_api_corpus(const TargetSpec& spec);
+
+  CampaignOptions opts_;
+  ArtifactStore* store_;
+};
+
+}  // namespace crp::pipeline

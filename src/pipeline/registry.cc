@@ -1,0 +1,146 @@
+#include "pipeline/registry.h"
+
+#include "targets/jvm.h"
+#include "targets/servers.h"
+
+namespace crp::pipeline {
+
+const char* target_class_name(TargetClass c) {
+  switch (c) {
+    case TargetClass::kLinuxServer: return "linux-server";
+    case TargetClass::kManagedRuntime: return "managed-runtime";
+    case TargetClass::kBrowser: return "browser";
+    case TargetClass::kDllCorpus: return "dll-corpus";
+    case TargetClass::kApiCorpus: return "api-corpus";
+  }
+  return "?";
+}
+
+void TargetRegistry::add(TargetSpec spec) {
+  CRP_CHECK(!spec.id.empty());
+  if (find(spec.id) != nullptr) CRP_PANIC("duplicate target id: " + spec.id);
+  targets_.push_back(std::move(spec));
+}
+
+const TargetSpec* TargetRegistry::find(std::string_view id) const {
+  for (const TargetSpec& t : targets_)
+    if (t.id == id) return &t;
+  return nullptr;
+}
+
+std::vector<const TargetSpec*> TargetRegistry::of_class(TargetClass c) const {
+  std::vector<const TargetSpec*> out;
+  for (const TargetSpec& t : targets_)
+    if (t.cls == c) out.push_back(&t);
+  return out;
+}
+
+namespace {
+
+TargetSpec server(const char* name, analysis::TargetProgram (*make)(),
+                  const char* desc) {
+  TargetSpec s;
+  s.id = std::string("server/") + name;
+  s.cls = TargetClass::kLinuxServer;
+  s.personality = vm::Personality::kLinux;
+  s.description = desc;
+  s.make_program = make;
+  return s;
+}
+
+}  // namespace
+
+TargetRegistry TargetRegistry::builtin() {
+  TargetRegistry reg;
+
+  // Table I column order.
+  reg.add(server("nginx_sim", targets::make_nginx,
+                 "event-driven HTTP server, heap ngx_buf_t recv buffers"));
+  reg.add(server("cherokee_sim", targets::make_cherokee,
+                 "threaded HTTP server, 1 s epoll_wait poll loops"));
+  reg.add(server("lighttpd_sim", targets::make_lighttpd,
+                 "single-process read-loop HTTP server"));
+  reg.add(server("memcached_sim", targets::make_memcached,
+                 "per-connection threads (the Table I false positive)"));
+  reg.add(server("postgres_sim", targets::make_postgres,
+                 "worker-process-per-connection database"));
+
+  {
+    TargetSpec s;
+    s.id = "runtime/jvm_sim";
+    s.cls = TargetClass::kManagedRuntime;
+    s.personality = vm::Personality::kLinux;
+    s.description = "managed runtime, SIGSEGV-recovering implicit null checks";
+    s.make_program = targets::make_jvm;
+    reg.add(std::move(s));
+  }
+
+  {
+    TargetSpec s;
+    s.id = "browser/iexplore_sim";
+    s.cls = TargetClass::kBrowser;
+    s.personality = vm::Personality::kWindows;
+    s.description = "IE 11 analog over the named system-DLL corpus (Table II)";
+    s.browser_kind = targets::BrowserSim::Kind::kIE;
+    s.seed = 0x7AB1E2;  // the historical bench_table2 seed
+    reg.add(std::move(s));
+  }
+  {
+    TargetSpec s;
+    s.id = "browser/firefox_sim";
+    s.cls = TargetClass::kBrowser;
+    s.personality = vm::Personality::kWindows;
+    s.description = "Firefox 46 analog, runtime-registered VEH + poll thread";
+    s.browser_kind = targets::BrowserSim::Kind::kFirefox;
+    s.seed = 0xF1FE;
+    reg.add(std::move(s));
+  }
+  {
+    TargetSpec s;
+    s.id = "browser/iexplore_sys187";
+    s.cls = TargetClass::kBrowser;
+    s.personality = vm::Personality::kWindows;
+    s.description = "system-wide 187-DLL browser corpus (the §V-C funnel)";
+    s.browser_kind = targets::BrowserSim::Kind::kIE;
+    s.seed = 0x5EF;       // the historical bench_seh_funnel seed
+    s.filler_dlls = 177;  // 10 named DLLs + 177 fillers = 187
+    reg.add(std::move(s));
+  }
+
+  {
+    TargetSpec s;
+    s.id = "corpus/dll_x64";
+    s.cls = TargetClass::kDllCorpus;
+    s.personality = vm::Personality::kWindows;
+    s.description = "Table III x64 system-DLL population";
+    s.seed = 0x7AB1E3;  // the historical bench_table3 seed
+    s.dll_specs = [] { return targets::paper_dll_specs(); };
+    reg.add(std::move(s));
+  }
+  {
+    TargetSpec s;
+    s.id = "corpus/dll_x32";
+    s.cls = TargetClass::kDllCorpus;
+    s.personality = vm::Personality::kWindows;
+    s.description = "Table III x32 system-DLL population";
+    s.seed = 0x7AB1E3 ^ 32;
+    s.dll_specs = [] { return targets::paper_dll_specs_x32(); };
+    reg.add(std::move(s));
+  }
+
+  {
+    TargetSpec s;
+    s.id = "corpus/winapi";
+    s.cls = TargetClass::kApiCorpus;
+    s.personality = vm::Personality::kWindows;
+    s.description = "documented Windows API surface, paper §V-B composition";
+    // 20,672 documented APIs; 11,521/20,672 with pointer args; 400/11,521
+    // crash-resistant — the historical bench_api_funnel parameters.
+    s.api = ApiCorpusSpec{0xA91, 20672, 0.5573, 0.0347};
+    reg.add(std::move(s));
+  }
+
+  return reg;
+}
+
+}  // namespace crp::pipeline

@@ -1,0 +1,101 @@
+// crp::pipeline::TargetRegistry — every discovery subject behind one
+// interface.
+//
+// The paper evaluates one pipeline against very different subjects: five
+// Linux servers (syscall class, Table I), a managed runtime (signal class,
+// §III-B), two Windows browsers (SEH/VEH class, Tables II and §V-C), static
+// DLL populations (Table III) and the documented Windows API surface
+// (§V-B). Before this layer existed every bench and example re-declared its
+// subjects by hand; the registry makes the corpus a first-class enumerable
+// set so a campaign can ask "all targets" or "all Linux-syscall targets"
+// and drivers stay declarative.
+//
+// Each entry carries *personality metadata* — which primitive class the
+// subject belongs to and which funnel therefore applies:
+//   kLinuxServer    -> taint trace -> syscall candidates -> verify
+//   kManagedRuntime -> run -> signal-handler scan (ucontext-editing SIGSEGV)
+//   kBrowser        -> browse under trace -> SEH extract -> classify -> xref
+//                      (+ VEH harvest for runtime-registered handlers)
+//   kDllCorpus      -> SEH extract -> classify (static only)
+//   kApiCorpus      -> invalid-pointer fuzz (-> on-path/call-site analysis
+//                      when paired with a browser workload)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/target.h"
+#include "targets/browser.h"
+#include "targets/dll_corpus.h"
+
+namespace crp::pipeline {
+
+enum class TargetClass : u8 {
+  kLinuxServer = 0,  // syscall funnel (Table I)
+  kManagedRuntime,   // Linux signal-handler class (jvm_sim, §III-B)
+  kBrowser,          // Windows SEH/VEH funnel (Table II, §V-C, §VI-A/B)
+  kDllCorpus,        // static SEH population (Table III)
+  kApiCorpus,        // Windows API fuzzing funnel (§V-B)
+};
+
+const char* target_class_name(TargetClass c);
+
+/// Parameters of a synthetic Windows API population (kApiCorpus).
+struct ApiCorpusSpec {
+  u64 seed = 0;
+  u32 total = 0;
+  double ptr_fraction = 0.0;
+  double resistant_fraction = 0.0;
+};
+
+/// One discovery subject. Class-specific fields are only meaningful for the
+/// matching TargetClass; everything is cheap to copy except make_program,
+/// which builds images lazily on call.
+struct TargetSpec {
+  std::string id;  // unique, "<kind>/<name>", e.g. "server/nginx_sim"
+  TargetClass cls = TargetClass::kLinuxServer;
+  vm::Personality personality = vm::Personality::kLinux;
+  std::string description;
+
+  /// kLinuxServer / kManagedRuntime: build the runnable program.
+  std::function<analysis::TargetProgram()> make_program;
+
+  /// kBrowser: simulacrum construction parameters.
+  targets::BrowserSim::Kind browser_kind = targets::BrowserSim::Kind::kIE;
+  u64 seed = 0;         // browser / corpus generation seed
+  int filler_dlls = 0;  // extra DLLs beyond the paper's named set
+
+  /// kDllCorpus: population specs (generated with `seed`).
+  std::function<std::vector<targets::DllSpec>()> dll_specs;
+
+  /// kApiCorpus.
+  ApiCorpusSpec api;
+};
+
+/// Enumerable, id-addressable set of targets. Intentionally a value type:
+/// campaigns may start from builtin() and add bespoke subjects.
+class TargetRegistry {
+ public:
+  /// Every subject the reproduction knows: the five Table I servers,
+  /// jvm_sim, both browsers (plus the 187-DLL system-wide browser corpus of
+  /// §V-C), the x64/x32 DLL populations of Table III, and the §V-B API
+  /// corpus. Seeds match the historical bench wiring so pipeline-driven
+  /// benches reproduce the exact pre-refactor numbers.
+  static TargetRegistry builtin();
+
+  /// Register a target; panics on a duplicate id.
+  void add(TargetSpec spec);
+
+  const std::vector<TargetSpec>& all() const { return targets_; }
+  /// Entry with this id, or nullptr.
+  const TargetSpec* find(std::string_view id) const;
+  /// All entries of one class, registration order.
+  std::vector<const TargetSpec*> of_class(TargetClass c) const;
+
+ private:
+  std::vector<TargetSpec> targets_;
+};
+
+}  // namespace crp::pipeline

@@ -1,0 +1,304 @@
+// Tests for the pipeline layer: target registry enumeration, the
+// content-addressed ArtifactStore (hit/miss traffic, CRP_CACHE=0 bypass,
+// disk tier, key invalidation on content change), artifact codecs, and the
+// golden equivalence between the staged Campaign funnel and the
+// pre-refactor manual discover()+verify() wiring.
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+#include "pipeline/campaign.h"
+#include "targets/nginx.h"
+#include "targets/servers.h"
+
+namespace crp::pipeline {
+namespace {
+
+// --- TargetRegistry ----------------------------------------------------------
+
+TEST(Registry, EnumeratesEveryTargetExactlyOnce) {
+  TargetRegistry reg = TargetRegistry::builtin();
+  std::set<std::string> ids;
+  for (const TargetSpec& t : reg.all()) {
+    EXPECT_TRUE(ids.insert(t.id).second) << "duplicate id: " << t.id;
+    EXPECT_EQ(reg.find(t.id), &t);
+  }
+  // The full corpus: 5 servers, jvm, 3 browser subjects, 2 DLL populations,
+  // 1 API corpus.
+  EXPECT_EQ(reg.all().size(), 12u);
+  EXPECT_EQ(reg.of_class(TargetClass::kLinuxServer).size(), 5u);
+  EXPECT_EQ(reg.of_class(TargetClass::kManagedRuntime).size(), 1u);
+  EXPECT_EQ(reg.of_class(TargetClass::kBrowser).size(), 3u);
+  EXPECT_EQ(reg.of_class(TargetClass::kDllCorpus).size(), 2u);
+  EXPECT_EQ(reg.of_class(TargetClass::kApiCorpus).size(), 1u);
+  EXPECT_EQ(reg.find("no/such_target"), nullptr);
+}
+
+TEST(Registry, TableIServersKeepPaperColumnOrder) {
+  TargetRegistry reg = TargetRegistry::builtin();
+  auto servers = reg.of_class(TargetClass::kLinuxServer);
+  ASSERT_EQ(servers.size(), 5u);
+  EXPECT_EQ(servers[0]->id, "server/nginx_sim");
+  EXPECT_EQ(servers[1]->id, "server/cherokee_sim");
+  EXPECT_EQ(servers[2]->id, "server/lighttpd_sim");
+  EXPECT_EQ(servers[3]->id, "server/memcached_sim");
+  EXPECT_EQ(servers[4]->id, "server/postgres_sim");
+}
+
+TEST(Registry, AddPanicsOnDuplicateId) {
+  TargetRegistry reg = TargetRegistry::builtin();
+  TargetSpec dup;
+  dup.id = "server/nginx_sim";
+  EXPECT_DEATH(reg.add(std::move(dup)), "duplicate target id");
+}
+
+TEST(Registry, ClassMetadataMatchesPersonality) {
+  TargetRegistry reg = TargetRegistry::builtin();
+  for (const TargetSpec& t : reg.all()) {
+    bool linux_cls = t.cls == TargetClass::kLinuxServer ||
+                     t.cls == TargetClass::kManagedRuntime;
+    EXPECT_EQ(t.personality,
+              linux_cls ? vm::Personality::kLinux : vm::Personality::kWindows)
+        << t.id;
+    if (linux_cls) {
+      EXPECT_NE(t.make_program, nullptr) << t.id;
+    }
+    if (t.cls == TargetClass::kDllCorpus) {
+      EXPECT_NE(t.dll_specs, nullptr) << t.id;
+    }
+    if (t.cls == TargetClass::kApiCorpus) {
+      EXPECT_GT(t.api.total, 0u) << t.id;
+    }
+  }
+}
+
+// --- ArtifactStore -----------------------------------------------------------
+
+TEST(ArtifactStore, HitMissAndTrafficCounters) {
+  ArtifactStore store;
+  store.set_enabled(true);
+  ArtifactKey key{"stage_x", 0x1111, 0x2222};
+  std::string value;
+  EXPECT_FALSE(store.lookup(key, &value));
+  EXPECT_EQ(store.misses(), 1u);
+
+  store.store(key, "payload");
+  EXPECT_TRUE(store.lookup(key, &value));
+  EXPECT_EQ(value, "payload");
+  EXPECT_EQ(store.hits(), 1u);
+  EXPECT_EQ(store.stores(), 1u);
+  EXPECT_EQ(store.size(), 1u);
+
+  // A different config hash is a different artifact.
+  EXPECT_FALSE(store.lookup({"stage_x", 0x1111, 0x3333}, &value));
+  EXPECT_EQ(store.misses(), 2u);
+}
+
+TEST(ArtifactStore, DisabledStoreIsAPureBypass) {
+  ArtifactStore store;
+  store.set_enabled(false);
+  ArtifactKey key{"stage_x", 1, 2};
+  store.store(key, "payload");
+  std::string value;
+  EXPECT_FALSE(store.lookup(key, &value));
+  // Bypass counts nothing: CRP_CACHE=0 must not perturb metrics either.
+  EXPECT_EQ(store.hits(), 0u);
+  EXPECT_EQ(store.misses(), 0u);
+  EXPECT_EQ(store.stores(), 0u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ArtifactStore, CrpCacheZeroDisablesViaEnv) {
+  ::setenv("CRP_CACHE", "0", 1);
+  ArtifactStore off;
+  ::unsetenv("CRP_CACHE");
+  EXPECT_FALSE(off.enabled());
+  ArtifactStore on;
+  EXPECT_TRUE(on.enabled());
+}
+
+TEST(ArtifactStore, DiskTierSurvivesMemoryClear) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "crp_cache_test").string();
+  std::filesystem::remove_all(dir);
+  ArtifactStore store;
+  store.set_dir(dir);
+  ArtifactKey key{"filter_classify", 0xabcdef, 0x42};
+  store.store(key, "disk payload\nwith a second line");
+  store.clear();  // drop the memory tier; disk remains
+  std::string value;
+  EXPECT_TRUE(store.lookup(key, &value));
+  EXPECT_EQ(value, "disk payload\nwith a second line");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ArtifactStore, KeyStringIsStable) {
+  ArtifactKey key{"taint_trace", 0x1a2b, 0x3c4d};
+  EXPECT_EQ(key.str(), "taint_trace-0000000000001a2b-0000000000003c4d");
+}
+
+// --- codecs ------------------------------------------------------------------
+
+TEST(Codec, SyscallScanRoundTrips) {
+  analysis::SyscallScanResult res;
+  res.syscalls_traced = 123456;
+  res.instructions = 789;
+  res.observed = {os::Sys::kRead, os::Sys::kRecv};
+  analysis::Candidate c;
+  c.cls = analysis::PrimitiveClass::kSyscall;
+  c.target = "nginx_sim";
+  c.syscall = os::Sys::kRecv;
+  c.pointer_arg = 2;
+  c.taint_mask = 0b101;
+  c.pointer_home = 0xdeadbeef;
+  c.controllable_home = true;
+  c.verdict = analysis::Verdict::kUsable;
+  c.note = "EFAULT observed; service healthy";
+  res.candidates.push_back(c);
+
+  analysis::SyscallScanResult back;
+  ASSERT_TRUE(decode_syscall_scan(encode_syscall_scan(res), &back));
+  EXPECT_EQ(back.syscalls_traced, res.syscalls_traced);
+  EXPECT_EQ(back.observed, res.observed);
+  ASSERT_EQ(back.candidates.size(), 1u);
+  EXPECT_EQ(back.candidates[0].syscall, os::Sys::kRecv);
+  EXPECT_EQ(back.candidates[0].pointer_home, c.pointer_home);
+  EXPECT_TRUE(back.candidates[0].controllable_home);
+  EXPECT_EQ(back.candidates[0].verdict, analysis::Verdict::kUsable);
+  EXPECT_EQ(back.candidates[0].note, c.note);  // %-escaped spaces round-trip
+}
+
+TEST(Codec, RejectsWrongKindAndVersion) {
+  analysis::ApiFuzzResult fuzz;
+  fuzz.total_apis = 10;
+  std::string doc = encode_api_fuzz(fuzz);
+  analysis::SyscallScanResult scan;
+  EXPECT_FALSE(decode_syscall_scan(doc, &scan));  // kind mismatch -> miss
+  ClassifyOutcome cls;
+  EXPECT_FALSE(decode_classify("crp-artifact v999 filter_classify\n", &cls));
+  analysis::ApiFuzzResult back;
+  EXPECT_TRUE(decode_api_fuzz(doc, &back));
+  EXPECT_EQ(back.total_apis, 10u);
+}
+
+// --- cache keys --------------------------------------------------------------
+
+TEST(CacheKey, ChangesWhenImageBytesChange) {
+  Campaign campaign;
+  analysis::TargetProgram prog = targets::make_nginx();
+  ArtifactKey base = campaign.syscall_scan_key(prog);
+  EXPECT_EQ(campaign.syscall_scan_key(prog).str(), base.str());  // stable
+
+  // Flip one byte of one image: the content address must move.
+  analysis::TargetProgram tweaked = prog;
+  auto img = std::make_shared<isa::Image>(*prog.images.back());
+  ASSERT_FALSE(img->sections.empty());
+  ASSERT_FALSE(img->sections[0].bytes.empty());
+  img->sections[0].bytes[0] ^= 0xFF;
+  tweaked.images.back() = img;
+  EXPECT_NE(campaign.syscall_scan_key(tweaked).input_hash, base.input_hash);
+  EXPECT_EQ(campaign.syscall_scan_key(tweaked).config_hash, base.config_hash);
+
+  // A different scan configuration moves the config half of the key.
+  CampaignOptions opts;
+  opts.syscall.seed = 9999;
+  Campaign other(opts);
+  EXPECT_NE(other.syscall_scan_key(prog).config_hash, base.config_hash);
+  EXPECT_EQ(other.syscall_scan_key(prog).input_hash, base.input_hash);
+}
+
+// --- Campaign funnel vs legacy wiring ---------------------------------------
+
+TEST(Campaign, MatchesLegacyWiringByteForByte) {
+  // The golden equivalence behind the bench_table1 byte-identity criterion,
+  // at unit scale (nginx only — the full five-server check runs in CI):
+  // the staged funnel must render exactly the bytes the pre-refactor
+  // discover()+verify() wiring rendered.
+  analysis::TargetProgram prog = targets::make_nginx();
+
+  analysis::SyscallScanner scanner(prog);
+  analysis::SyscallScanResult legacy = scanner.discover();
+  for (analysis::Candidate& c : legacy.candidates) scanner.verify(c);
+
+  ArtifactStore store;  // isolated store: this test must compute, not reuse
+  Campaign campaign({}, &store);
+  ServerScan scan = campaign.scan_program(prog);
+  EXPECT_FALSE(scan.cache_hit);
+
+  EXPECT_EQ(scan.result.syscalls_traced, legacy.syscalls_traced);
+  EXPECT_EQ(scan.result.observed, legacy.observed);
+  ASSERT_EQ(scan.result.candidates.size(), legacy.candidates.size());
+  EXPECT_EQ(analysis::render_candidates(scan.result.candidates),
+            analysis::render_candidates(legacy.candidates));
+
+  std::vector<std::string> names{prog.name};
+  std::map<std::string, analysis::SyscallScanResult> legacy_rows, pipe_rows;
+  legacy_rows[prog.name] = legacy;
+  pipe_rows[prog.name] = scan.result;
+  EXPECT_EQ(analysis::render_table1(names, pipe_rows),
+            analysis::render_table1(names, legacy_rows));
+}
+
+TEST(Campaign, WarmScanIsACacheHitWithIdenticalRows) {
+  analysis::TargetProgram prog = targets::make_nginx();
+  ArtifactStore store;
+  Campaign campaign({}, &store);
+
+  ServerScan cold = campaign.scan_program(prog);
+  EXPECT_FALSE(cold.cache_hit);
+  ServerScan warm = campaign.scan_program(prog);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_GE(store.hits(), 1u);
+  EXPECT_EQ(analysis::render_candidates(warm.result.candidates),
+            analysis::render_candidates(cold.result.candidates));
+  EXPECT_EQ(warm.result.observed, cold.result.observed);
+  EXPECT_EQ(warm.result.syscalls_traced, cold.result.syscalls_traced);
+}
+
+TEST(Campaign, CacheFalseBypassesTheStore) {
+  analysis::TargetProgram prog = targets::make_nginx();
+  ArtifactStore store;
+  CampaignOptions opts;
+  opts.cache = false;
+  Campaign campaign(opts, &store);
+  ServerScan a = campaign.scan_program(prog);
+  ServerScan b = campaign.scan_program(prog);
+  EXPECT_FALSE(a.cache_hit);
+  EXPECT_FALSE(b.cache_hit);
+  EXPECT_EQ(store.hits() + store.misses() + store.stores(), 0u);
+  EXPECT_EQ(analysis::render_candidates(a.result.candidates),
+            analysis::render_candidates(b.result.candidates));
+}
+
+TEST(Campaign, RunTargetReportsServerFunnel) {
+  TargetRegistry reg = TargetRegistry::builtin();
+  const TargetSpec* nginx = reg.find("server/nginx_sim");
+  ASSERT_NE(nginx, nullptr);
+  ArtifactStore store;
+  Campaign campaign({}, &store);
+  TargetReport rep = campaign.run_target(*nginx);
+  EXPECT_EQ(rep.id, "server/nginx_sim");
+  EXPECT_EQ(rep.cls, TargetClass::kLinuxServer);
+  EXPECT_GE(rep.usable, 1);  // recv@nginx, the paper's §V-A primitive
+  EXPECT_NE(rep.summary.find("usable"), std::string::npos);
+}
+
+TEST(Campaign, RunTargetScansTheManagedRuntime) {
+  TargetRegistry reg = TargetRegistry::builtin();
+  const TargetSpec* jvm = reg.find("runtime/jvm_sim");
+  ASSERT_NE(jvm, nullptr);
+  ArtifactStore store;
+  Campaign campaign({}, &store);
+  TargetReport rep = campaign.run_target(*jvm);
+  EXPECT_EQ(rep.usable, 1);  // the pc-editing SIGSEGV handler
+  ASSERT_EQ(rep.candidates.size(), 1u);
+  EXPECT_EQ(rep.candidates[0].cls, analysis::PrimitiveClass::kExceptionHandler);
+}
+
+}  // namespace
+}  // namespace crp::pipeline
