@@ -20,6 +20,14 @@ fi
 mkdir -p "$OUT_DIR"
 export CRP_BENCH_DIR="$OUT_DIR"
 
+# Provenance stamped into BENCH_SUMMARY.json (and benchdiff baselines): the
+# commit, job count, and cache mode a snapshot was taken under — without
+# them two summaries are not comparable.
+GIT_SHA="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export CRP_GIT_SHA="$GIT_SHA"
+SUMMARY_JOBS="${CRP_JOBS:-default}"
+SUMMARY_CACHE="${CRP_CACHE:-default}"
+
 # Clear snapshots from earlier runs: benches that were since renamed/removed
 # would otherwise leave stale BENCH_*.json files that the aggregation below
 # silently folds into the summary.
@@ -52,10 +60,11 @@ ls -1 "$OUT_DIR"/BENCH_*.json 2>/dev/null || echo "(none)"
 
 # Aggregate headline metrics across snapshots when python3 is available.
 if command -v python3 > /dev/null 2>&1; then
-  python3 - "$OUT_DIR" << 'EOF'
+  python3 - "$OUT_DIR" "$GIT_SHA" "$SUMMARY_JOBS" "$SUMMARY_CACHE" << 'EOF'
 import glob, json, os, sys
 
 out_dir = sys.argv[1]
+meta = {"git_sha": sys.argv[2], "jobs": sys.argv[3], "cache": sys.argv[4]}
 keys = [
     "vm.instr_retired",
     "vm.exceptions",
@@ -87,7 +96,8 @@ if rows:
     agg = {k: sum(r[i + 1] for r in rows) for i, k in enumerate(keys)}
     summary = os.path.join(out_dir, "BENCH_SUMMARY.json")
     with open(summary, "w") as f:
-        json.dump({"benches": [r[0] for r in rows], "totals": agg}, f, indent=1)
+        json.dump({"meta": meta, "benches": [r[0] for r in rows], "totals": agg},
+                  f, indent=1)
     print(f"\nwrote {summary}")
     if agg["oracle.scan.crashes"] != 0:
         print("WARNING: nonzero oracle.scan.crashes across benches "
@@ -95,6 +105,27 @@ if rows:
 EOF
 else
   echo "(python3 unavailable — skipping aggregation)"
+fi
+
+# Regression gate: compare this run against the committed baseline when both
+# the benchdiff binary and bench/baseline.json exist. Advisory by default
+# (thresholds are tuned for identical hardware); CRP_BENCHDIFF_ENFORCE=1
+# promotes a regression to a failing exit — what a perf-gating CI job sets.
+BENCHDIFF="$BUILD_DIR/tools/benchdiff"
+BASELINE="$(dirname "$0")/baseline.json"
+if [ -x "$BENCHDIFF" ] && [ -f "$BASELINE" ]; then
+  echo
+  echo "=== benchdiff vs $BASELINE ==="
+  if "$BENCHDIFF" --no-wall "$BASELINE" "$OUT_DIR"; then
+    :
+  else
+    rc=$?
+    if [ "$rc" -eq 1 ] && [ "${CRP_BENCHDIFF_ENFORCE:-0}" != "1" ]; then
+      echo "warning: bench regression vs baseline (advisory; set CRP_BENCHDIFF_ENFORCE=1 to fail)" >&2
+    else
+      exit "$rc"
+    fi
+  fi
 fi
 
 exit 0

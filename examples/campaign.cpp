@@ -14,7 +14,10 @@
 // content-addressed ArtifactStore ([cached] below); CRP_CACHE=0 bypasses.
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "obs/ledger.h"
+#include "obs/obs.h"
 #include "pipeline/campaign.h"
 
 int main() {
@@ -49,5 +52,16 @@ int main() {
          static_cast<unsigned long long>(store.hits()),
          static_cast<unsigned long long>(store.misses()),
          static_cast<unsigned long long>(store.stores()));
+
+  // With a flight-recorder sink requested, machine-check the ledger before
+  // exit: the zero-crash invariant per primitive plus the ledger/counter
+  // cross-check. A FAIL here is a real bug, so it fails the process (CI
+  // asserts on both the exit code and the PASS line).
+  if (const char* p = std::getenv("CRP_LEDGER"); p != nullptr && *p != '\0') {
+    obs::LedgerAudit audit =
+        obs::audit_ledger(obs::Ledger::global(), &obs::Registry::global());
+    printf("%s\n", audit.summary().c_str());
+    if (!audit.ok()) return 1;
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "defense/rate_detector.h"
 
 #include "obs/journal.h"
+#include "obs/ledger.h"
 #include "obs/obs.h"
 
 namespace crp::defense {
@@ -11,6 +12,7 @@ RateDetector::RateDetector(os::Kernel& kernel, os::Process& proc, Config cfg)
   c_handled_ = &reg.counter("defense.av_rate.handled");
   c_alarms_ = &reg.counter("defense.av_rate.alarms");
   g_peak_ = &reg.gauge("defense.av_rate.peak_window");
+  ledger_prim_ = obs::Ledger::global().intern("av-rate-detector");
   proc_.machine().add_observer(this);
 }
 
@@ -19,6 +21,13 @@ RateDetector::~RateDetector() { proc_.machine().remove_observer(this); }
 void RateDetector::on_exception(const vm::ExceptionRecord& rec, vm::DispatchOutcome outcome) {
   if (rec.code != vm::ExcCode::kAccessViolation) return;
   ++total_;
+  // The defender's view of every AV: a handled one is a survived probe, an
+  // unhandled one is the crash the attacker was trying to avoid.
+  obs::Ledger::global().record(
+      obs::LedgerStage::kDefense,
+      outcome == vm::DispatchOutcome::kUnhandled ? obs::ProbeOutcome::kCrash
+                                                 : obs::ProbeOutcome::kSurvive,
+      ledger_prim_, /*target=*/0, rec.fault_addr, k_.now_ns());
   if (outcome == vm::DispatchOutcome::kUnhandled) return;  // the process dies anyway
   ++handled_;
   c_handled_->inc();

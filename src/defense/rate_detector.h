@@ -66,6 +66,7 @@ class RateDetector : public vm::ExecObserver {
   obs::Counter* c_handled_;
   obs::Counter* c_alarms_;
   obs::Gauge* g_peak_;
+  u32 ledger_prim_ = 0;
 };
 
 /// Handlers whose filters are broader than their guarded code plausibly

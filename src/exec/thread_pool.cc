@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/journal.h"
+#include "obs/ledger.h"
 #include "obs/obs.h"
 
 namespace crp::exec {
@@ -75,6 +76,9 @@ void ThreadPool::drain(const std::function<void(u64)>& fn, u64 n, const char* la
 }
 
 void ThreadPool::worker_loop() {
+  // Pre-create this worker's flight-recorder ring so its first probe event
+  // (tasks routinely probe through oracles) stays lock-free.
+  obs::Ledger::global().register_current_thread();
   u64 seen_gen = 0;
   for (;;) {
     u64 wait_t0 = wall_ns();

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "obs/journal.h"
+#include "obs/ledger.h"
 #include "obs/obs.h"
 #include "os/abi.h"
 #include "util/log.h"
@@ -28,6 +29,15 @@ u64 wall_ns() {
   return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                               std::chrono::steady_clock::now().time_since_epoch())
                               .count());
+}
+
+// At most one live BenchSession registers itself as the process-exit flush
+// sink, so a bench killed by CRP_PANIC or an uncaught exception still leaves
+// its BENCH_*.json behind (flush_now() is capture-free by contract).
+BenchSession* g_active_session = nullptr;
+
+void flush_active_session() {
+  if (g_active_session != nullptr) g_active_session->flush();
 }
 }  // namespace
 
@@ -74,6 +84,11 @@ void preregister_core_metrics() {
 
 BenchSession::BenchSession(const std::string& name) : name_(name), wall_t0_ns_(wall_ns()) {
   preregister_core_metrics();
+  install_flush_handlers();
+  if (g_active_session == nullptr) {
+    g_active_session = this;
+    set_session_flush_sink(&flush_active_session);
+  }
 }
 
 std::string BenchSession::metrics_path() const { return out_dir() + "BENCH_" + name_ + ".json"; }
@@ -113,6 +128,12 @@ void BenchSession::flush() {
                  j.size() > 0 ? strf(", trace: %s", trace_path().c_str()).c_str() : "");
 }
 
-BenchSession::~BenchSession() { flush(); }
+BenchSession::~BenchSession() {
+  flush();
+  if (g_active_session == this) {
+    g_active_session = nullptr;
+    set_session_flush_sink(nullptr);
+  }
+}
 
 }  // namespace crp::obs

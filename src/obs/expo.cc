@@ -1,0 +1,223 @@
+#include "obs/expo.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace crp::obs::expo {
+
+namespace {
+
+/// Prometheus metric-name alphabet: [a-zA-Z0-9_:]; everything else folds to
+/// '_' (dots in our hierarchical names included).
+std::string prom_name(const std::string& prefix, const std::string& name) {
+  std::string out = prefix.empty() ? "" : prefix + "_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+const char* prom_kind(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string jesc(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20)
+      out += strf("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+    else
+      out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const Snapshot& snap, const std::string& prefix) {
+  std::string out;
+  for (const auto& [name, v] : snap.values) {
+    std::string pn = prom_name(prefix, name);
+    out += strf("# TYPE %s %s\n", pn.c_str(), prom_kind(v.kind));
+    switch (v.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += strf("%s %lld\n", pn.c_str(), static_cast<long long>(v.num));
+        break;
+      case MetricKind::kHistogram: {
+        u64 cum = 0;
+        for (const auto& [idx, n] : v.hist.buckets) {
+          cum += n;
+          // le is inclusive; our buckets are half-open [lo, hi), so the
+          // inclusive upper bound of bucket idx is hi-1.
+          out += strf("%s_bucket{le=\"%llu\"} %llu\n", pn.c_str(),
+                      static_cast<unsigned long long>(Histogram::bucket_hi(idx) - 1),
+                      static_cast<unsigned long long>(cum));
+        }
+        out += strf("%s_bucket{le=\"+Inf\"} %llu\n", pn.c_str(),
+                    static_cast<unsigned long long>(v.hist.count));
+        out += strf("%s_sum %llu\n", pn.c_str(),
+                    static_cast<unsigned long long>(v.hist.sum));
+        out += strf("%s_count %llu\n", pn.c_str(),
+                    static_cast<unsigned long long>(v.hist.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string json(const Snapshot& snap) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, v] : snap.values) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"" + jesc(name) + "\": ";
+    switch (v.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += strf("{\"kind\":\"%s\",\"value\":%lld}", prom_kind(v.kind),
+                    static_cast<long long>(v.num));
+        break;
+      case MetricKind::kHistogram: {
+        out += strf(
+            "{\"kind\":\"histogram\",\"count\":%llu,\"sum\":%llu,\"min\":%llu,"
+            "\"max\":%llu,\"p50\":%llu,\"p95\":%llu,\"p99\":%llu,\"buckets\":[",
+            static_cast<unsigned long long>(v.hist.count),
+            static_cast<unsigned long long>(v.hist.sum),
+            static_cast<unsigned long long>(v.hist.min),
+            static_cast<unsigned long long>(v.hist.max),
+            static_cast<unsigned long long>(v.hist.quantile(0.50)),
+            static_cast<unsigned long long>(v.hist.quantile(0.95)),
+            static_cast<unsigned long long>(v.hist.quantile(0.99)));
+        bool bf = true;
+        for (const auto& [idx, n] : v.hist.buckets) {
+          if (!bf) out += ",";
+          bf = false;
+          out += strf("[%u,%llu,%llu,%llu]", idx,
+                      static_cast<unsigned long long>(Histogram::bucket_lo(idx)),
+                      static_cast<unsigned long long>(Histogram::bucket_hi(idx)),
+                      static_cast<unsigned long long>(n));
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "\n}";
+  return out;
+}
+
+// --- parse_bench_json --------------------------------------------------------
+
+double BenchDoc::get(const std::string& key, double fallback) const {
+  auto it = flat.find(key);
+  return it == flat.end() ? fallback : it->second;
+}
+
+namespace {
+
+void skip_ws(const std::string& s, size_t* p) {
+  while (*p < s.size() && std::isspace(static_cast<unsigned char>(s[*p]))) ++*p;
+}
+
+/// Parse a quoted string (the escapes Registry::json emits).
+bool parse_str(const std::string& s, size_t* p, std::string* out) {
+  skip_ws(s, p);
+  if (*p >= s.size() || s[*p] != '"') return false;
+  ++*p;
+  out->clear();
+  while (*p < s.size() && s[*p] != '"') {
+    if (s[*p] == '\\' && *p + 1 < s.size()) ++*p;
+    out->push_back(s[(*p)++]);
+  }
+  if (*p >= s.size()) return false;
+  ++*p;  // closing quote
+  return true;
+}
+
+bool parse_num(const std::string& s, size_t* p, double* out) {
+  skip_ws(s, p);
+  const char* start = s.c_str() + *p;
+  char* end = nullptr;
+  double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *p += static_cast<size_t>(end - start);
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool parse_bench_json(const std::string& text, BenchDoc* out) {
+  out->flat.clear();
+  // Header fields are optional so a bare metrics object also parses.
+  if (size_t bp = text.find("\"bench\":"); bp != std::string::npos) {
+    size_t p = bp + 8;
+    parse_str(text, &p, &out->bench);
+  }
+  if (size_t sp = text.find("\"schema\":"); sp != std::string::npos) {
+    size_t p = sp + 9;
+    double v = 0;
+    if (parse_num(text, &p, &v)) out->schema = static_cast<int>(v);
+  }
+
+  size_t p = text.find("\"metrics\":");
+  if (p != std::string::npos) {
+    p += 10;
+  } else {
+    p = 0;  // treat the whole document as the metrics object
+  }
+  skip_ws(text, &p);
+  if (p >= text.size() || text[p] != '{') return false;
+  ++p;
+
+  for (;;) {
+    skip_ws(text, &p);
+    if (p < text.size() && text[p] == '}') return true;  // end of metrics
+    std::string key;
+    if (!parse_str(text, &p, &key)) return false;
+    skip_ws(text, &p);
+    if (p >= text.size() || text[p] != ':') return false;
+    ++p;
+    skip_ws(text, &p);
+    if (p < text.size() && text[p] == '{') {
+      // Histogram sub-object: {"count":...,"p50":...}.
+      ++p;
+      for (;;) {
+        skip_ws(text, &p);
+        if (p < text.size() && text[p] == '}') {
+          ++p;
+          break;
+        }
+        std::string field;
+        double v = 0;
+        if (!parse_str(text, &p, &field)) return false;
+        skip_ws(text, &p);
+        if (p >= text.size() || text[p] != ':') return false;
+        ++p;
+        if (!parse_num(text, &p, &v)) return false;
+        out->flat[key + "/" + field] = v;
+        skip_ws(text, &p);
+        if (p < text.size() && text[p] == ',') ++p;
+      }
+    } else {
+      double v = 0;
+      if (!parse_num(text, &p, &v)) return false;
+      out->flat[key] = v;
+    }
+    skip_ws(text, &p);
+    if (p < text.size() && text[p] == ',') ++p;
+  }
+}
+
+}  // namespace crp::obs::expo

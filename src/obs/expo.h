@@ -1,0 +1,53 @@
+// crp::obs::expo — metrics exposition and bench-snapshot parsing.
+//
+// Turns a Registry Snapshot into the two interchange formats the tooling
+// around the repo consumes:
+//   * Prometheus text exposition format (one # TYPE line per metric,
+//     histograms as cumulative _bucket{le=...}/_sum/_count series with the
+//     log-bucket boundaries of obs::Histogram) — scrape-ready, and written
+//     at process exit when CRP_METRICS=path is set;
+//   * a JSON snapshot that, unlike Registry::json(), carries the full
+//     histogram bucket layout (index, [lo, hi) boundary, count) so external
+//     tools can re-estimate quantiles.
+//
+// The reverse direction lives here too: parse_bench_json() reads the
+// BENCH_<name>.json files BenchSession writes, which is what tools/benchdiff
+// builds its regression gate on. It is a purpose-built parser for that one
+// format (flat metrics map, histogram sub-objects), not a general JSON
+// parser.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace crp::obs::expo {
+
+/// Prometheus text exposition of a snapshot. Metric names are prefixed with
+/// `prefix` and sanitized ("oracle.scan.probes" -> crp_oracle_scan_probes).
+/// Histogram buckets are emitted cumulatively for every nonzero bucket's
+/// upper boundary plus +Inf (a valid, if sparse, le series).
+std::string prometheus_text(const Snapshot& snap, const std::string& prefix = "crp");
+
+/// JSON object: {"name": {"kind":...,...}, ...} with full bucket boundaries
+/// for histograms. Keys sorted (Snapshot map order), line-diffable.
+std::string json(const Snapshot& snap);
+
+/// One parsed BENCH_<name>.json document. `flat` maps metric names to
+/// values; histogram fields use the "name/field" convention of
+/// obs::json_number ("sat.solve_ns/count", ".../sum", ".../p95", ...).
+struct BenchDoc {
+  std::string bench;
+  int schema = 0;
+  std::map<std::string, double> flat;
+
+  bool has(const std::string& key) const { return flat.count(key) != 0; }
+  double get(const std::string& key, double fallback = 0.0) const;
+};
+
+/// Parse a BenchSession metrics file (or the "metrics" object of one).
+/// Returns false on structural mismatch.
+bool parse_bench_json(const std::string& text, BenchDoc* out);
+
+}  // namespace crp::obs::expo

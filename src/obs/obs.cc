@@ -84,6 +84,9 @@ double Histogram::mean() const {
 u64 Histogram::quantile(double q) const {
   u64 n = count();
   if (n == 0) return 0;
+  // Degenerate distributions (single sample, or all samples equal) have an
+  // exact answer; don't let bucket interpolation manufacture one.
+  if (min() == max()) return min();
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the q-th sample (1-based), then walk the cumulative counts.
   u64 rank = static_cast<u64>(std::ceil(q * static_cast<double>(n)));
@@ -274,6 +277,113 @@ std::string Registry::text(bool skip_zero) const {
 Registry& Registry::global() {
   static Registry* g = new Registry();  // intentionally leaked: outlives all cached refs
   return *g;
+}
+
+// --- Snapshot ----------------------------------------------------------------
+
+double HistSnap::mean() const {
+  return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+u64 HistSnap::quantile(double q) const {
+  if (count == 0) return 0;
+  if (min == max) return min;
+  q = std::clamp(q, 0.0, 1.0);
+  u64 rank = static_cast<u64>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  u64 seen = 0;
+  for (const auto& [idx, b] : buckets) {
+    if (seen + b >= rank) {
+      u64 lo = Histogram::bucket_lo(idx), hi = Histogram::bucket_hi(idx);
+      double frac =
+          (static_cast<double>(rank - seen) - 0.5) / static_cast<double>(b);
+      u64 est = lo + static_cast<u64>(frac * static_cast<double>(hi - lo));
+      return std::clamp(est, min, max);
+    }
+    seen += b;
+  }
+  return max;
+}
+
+const SnapValue* Snapshot::find(const std::string& name) const {
+  auto it = values.find(name);
+  return it == values.end() ? nullptr : &it->second;
+}
+
+i64 Snapshot::num(const std::string& name) const {
+  const SnapValue* v = find(name);
+  if (v == nullptr) return 0;
+  return v->kind == MetricKind::kHistogram ? static_cast<i64>(v->hist.count) : v->num;
+}
+
+u64 Registry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != MetricKind::kCounter) return 0;
+  return it->second.c->value();
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, e] : metrics_) {
+    SnapValue v;
+    v.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter: v.num = static_cast<i64>(e.c->value()); break;
+      case MetricKind::kGauge: v.num = e.g->value(); break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *e.h;
+        v.hist.count = h.count();
+        v.hist.sum = h.sum();
+        v.hist.min = h.min();
+        v.hist.max = h.max();
+        for (u32 i = 0; i < Histogram::kNumBuckets; ++i)
+          if (u64 b = h.bucket_count(i); b > 0) v.hist.buckets.emplace_back(i, b);
+        break;
+      }
+    }
+    snap.values.emplace(name, std::move(v));
+  }
+  return snap;
+}
+
+Snapshot Registry::diff(const Snapshot& before, const Snapshot& after) {
+  Snapshot out;
+  for (const auto& [name, a] : after.values) {
+    const SnapValue* b = before.find(name);
+    SnapValue d;
+    d.kind = a.kind;
+    if (b != nullptr && b->kind != a.kind) b = nullptr;  // kind changed: treat as new
+    switch (a.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        d.num = a.num - (b != nullptr ? b->num : 0);
+        break;
+      case MetricKind::kHistogram: {
+        const HistSnap empty;
+        const HistSnap& hb = b != nullptr ? b->hist : empty;
+        d.hist.count = a.hist.count - std::min(hb.count, a.hist.count);
+        d.hist.sum = a.hist.sum - std::min(hb.sum, a.hist.sum);
+        std::map<u32, u64> bb(hb.buckets.begin(), hb.buckets.end());
+        for (const auto& [idx, n] : a.hist.buckets) {
+          u64 prev = bb.count(idx) ? bb[idx] : 0;
+          if (n > prev) d.hist.buckets.emplace_back(idx, n - prev);
+        }
+        // min/max of the *delta* samples are unknowable exactly; bound them
+        // by the surviving buckets' ranges so quantile() stays sane.
+        if (!d.hist.buckets.empty()) {
+          d.hist.min = Histogram::bucket_lo(d.hist.buckets.front().first);
+          d.hist.max = Histogram::bucket_hi(d.hist.buckets.back().first) - 1;
+          d.hist.min = std::max(d.hist.min, std::min(a.hist.min, d.hist.max));
+          d.hist.max = std::min(d.hist.max, a.hist.max);
+        }
+        break;
+      }
+    }
+    out.values.emplace(name, std::move(d));
+  }
+  return out;
 }
 
 // --- json_number -------------------------------------------------------------

@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/common.h"
@@ -105,7 +106,9 @@ class Histogram {
   u64 max() const { return max_.load(std::memory_order_relaxed); }
   double mean() const;
 
-  /// Interpolated quantile estimate, q in [0, 1]. 0 when empty.
+  /// Interpolated quantile estimate, q in [0, 1]. Degenerate inputs have
+  /// defined values: 0 when empty, the sample itself when min == max (in
+  /// particular the single-sample case) — never bucket interpolation noise.
   u64 quantile(double q) const;
 
   /// Bucket mapping, exposed for tests: index for a value, and the
@@ -113,6 +116,11 @@ class Histogram {
   static u32 bucket_index(u64 v);
   static u64 bucket_lo(u32 idx);
   static u64 bucket_hi(u32 idx);
+
+  /// Raw per-bucket count (snapshot/exposition substrate).
+  u64 bucket_count(u32 idx) const {
+    return idx < kNumBuckets ? buckets_[idx].load(std::memory_order_relaxed) : 0;
+  }
 
   void reset();
 
@@ -154,6 +162,42 @@ class ScopedVirtualTimer {
   u64 t0_;
 };
 
+/// Point-in-time copy of one histogram: the exact aggregates plus every
+/// nonzero (bucket index, count) pair — enough to re-estimate quantiles, to
+/// export bucket boundaries (Prometheus), and to diff two snapshots
+/// bucket-wise.
+struct HistSnap {
+  u64 count = 0;
+  u64 sum = 0;
+  u64 min = 0;
+  u64 max = 0;
+  std::vector<std::pair<u32, u64>> buckets;  // (bucket index, count), nonzero only
+
+  double mean() const;
+  /// Same estimator (and degenerate-case guarantees) as Histogram::quantile.
+  u64 quantile(double q) const;
+};
+
+/// One snapshotted metric value. For counters and gauges `num` holds the
+/// value; in a diff it holds the delta (counter deltas are signed too, so a
+/// reset between snapshots is visible instead of wrapping).
+struct SnapValue {
+  MetricKind kind = MetricKind::kCounter;
+  i64 num = 0;
+  HistSnap hist;
+};
+
+/// Full-registry snapshot: name -> value, taken atomically enough for
+/// metric-delta assertions (each metric is read with relaxed loads; the map
+/// itself is captured under the registry lock).
+struct Snapshot {
+  std::map<std::string, SnapValue> values;
+
+  const SnapValue* find(const std::string& name) const;
+  /// Numeric accessor: counter/gauge value, histogram count. 0 if absent.
+  i64 num(const std::string& name) const;
+};
+
 /// Thread-safe metric registry. Names are hierarchical dotted paths; the
 /// first accessor for a name creates the metric, later accessors return the
 /// same object (a kind mismatch on an existing name is a programmer error
@@ -172,6 +216,19 @@ class Registry {
   /// Metric registered under `name`, or nullopt. Second member is the kind.
   bool contains(const std::string& name) const;
   size_t size() const;
+
+  /// Read-only value of a registered counter (0 when absent or not a
+  /// counter) — lets auditors cross-check without creating metrics.
+  u64 counter_value(const std::string& name) const;
+
+  /// Point-in-time copy of every metric.
+  Snapshot snapshot() const;
+
+  /// Element-wise `after - before`: counters and gauges subtract, histograms
+  /// subtract count/sum/buckets (min/max are re-derived from the surviving
+  /// delta buckets). Tests assert on deltas instead of absolutes, so shared
+  /// global-registry state from earlier phases cancels out.
+  static Snapshot diff(const Snapshot& before, const Snapshot& after);
 
   /// Zero every metric's value, keeping all registered objects alive (so
   /// cached references survive). Intended for tests and for the start of a

@@ -43,12 +43,12 @@ ProbeResult CrashTolerantProbe::probe(gva_t addr) {
   // ITSELF — the server dereferences it unguarded in handle_readable, so an
   // unmapped address is a hard crash (the crash-tolerant idiom).
   auto conn = k_->connect(target_.port);
-  if (!conn.has_value()) return ProbeResult::kUnknown;
+  if (!conn.has_value()) return finish_probe(addr, ProbeResult::kUnknown);
   conn->send(targets::wire_command(targets::kOpGet).substr(0, 8));
   k_->run(400'000);
 
   gva_t table = p.machine().resolve("nginx_sim", "conn_table");
-  if (table == 0) return ProbeResult::kUnknown;
+  if (table == 0) return finish_probe(addr, ProbeResult::kUnknown);
   std::optional<gva_t> slot;
   for (int fd = 0; fd < 64; ++fd) {
     u64 buf = 0;
@@ -60,7 +60,7 @@ ProbeResult CrashTolerantProbe::probe(gva_t addr) {
   }
   if (!slot.has_value()) {
     conn->close();
-    return ProbeResult::kUnknown;
+    return finish_probe(addr, ProbeResult::kUnknown);
   }
   p.machine().mem().poke_u64(*slot, addr);
 
@@ -71,10 +71,12 @@ ProbeResult CrashTolerantProbe::probe(gva_t addr) {
   conn->close();
   if (died) {
     ++crashes_;
-    return ProbeResult::kUnmapped;  // the crash IS the signal — and the noise
+    // The crash IS the signal — and the noise. Self-report it so the ledger
+    // shows exactly why this baseline fails the zero-crash audit.
+    return finish_probe(addr, ProbeResult::kUnmapped, /*crashed=*/1);
   }
   k_->run(200'000);
-  return ProbeResult::kMapped;
+  return finish_probe(addr, ProbeResult::kMapped);
 }
 
 }  // namespace crp::oracle

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/journal.h"
+#include "obs/ledger.h"
 #include "obs/obs.h"
 #include "targets/common.h"
 #include "util/log.h"
@@ -17,6 +18,30 @@ const char* probe_result_name(ProbeResult r) {
     case ProbeResult::kUnknown: return "unknown";
   }
   return "?";
+}
+
+namespace {
+
+/// Map an oracle answer (plus crash knowledge) onto the flight-recorder
+/// outcome alphabet. A crash dominates whatever the probe returned.
+obs::ProbeOutcome to_outcome(ProbeResult r, bool crashed) {
+  if (crashed) return obs::ProbeOutcome::kCrash;
+  switch (r) {
+    case ProbeResult::kMapped: return obs::ProbeOutcome::kSurvive;
+    case ProbeResult::kUnmapped: return obs::ProbeOutcome::kEfault;
+    case ProbeResult::kUnknown: return obs::ProbeOutcome::kTimeout;
+  }
+  return obs::ProbeOutcome::kTimeout;
+}
+
+}  // namespace
+
+ProbeResult MemoryOracle::finish_probe(gva_t addr, ProbeResult r, u64 crashed) {
+  obs::Ledger& led = obs::Ledger::global();
+  if (ledger_prim_ == 0) ledger_prim_ = led.intern(name());
+  led.record(obs::LedgerStage::kOracle, to_outcome(r, crashed > 0), ledger_prim_,
+             /*target=*/0, addr, virtual_now());
+  return r;
 }
 
 // --- NginxRecvOracle -------------------------------------------------------------
@@ -50,7 +75,7 @@ ProbeResult NginxRecvOracle::probe(gva_t addr) {
 
   // 1. Partial request parks a recognizable ngx_buf_t.
   auto conn = k_.connect(port_);
-  if (!conn.has_value()) return ProbeResult::kUnknown;
+  if (!conn.has_value()) return finish_probe(addr, ProbeResult::kUnknown);
   conn->send(targets::wire_command(targets::kOpGet).substr(0, 8));
   k_.run(400'000);
 
@@ -58,7 +83,7 @@ ProbeResult NginxRecvOracle::probe(gva_t addr) {
   std::optional<gva_t> buf = leak_parked_buf();
   if (!buf.has_value()) {
     conn->close();
-    return ProbeResult::kUnknown;
+    return finish_probe(addr, ProbeResult::kUnknown);
   }
 
   // 3. Arbitrary write: point pos at the probed address (end = pos + 8 so
@@ -81,9 +106,10 @@ ProbeResult NginxRecvOracle::probe(gva_t addr) {
 
   // 5. Response => recv succeeded => address mapped (writable); silent
   //    close => -EFAULT path => unmapped. Zero crashes either way.
-  if (!got.empty()) return ProbeResult::kMapped;
-  if (closed) return ProbeResult::kUnmapped;
-  return ProbeResult::kUnknown;
+  ProbeResult r = ProbeResult::kUnknown;
+  if (!got.empty()) r = ProbeResult::kMapped;
+  else if (closed) r = ProbeResult::kUnmapped;
+  return finish_probe(addr, r);
 }
 
 // --- SehProbeOracle ----------------------------------------------------------------
@@ -101,7 +127,7 @@ SehProbeOracle::SehProbeOracle(targets::BrowserSim& browser) : browser_(browser)
 
 ProbeResult SehProbeOracle::probe(gva_t addr) {
   ++probes_;
-  if (engine_ == 0) return ProbeResult::kUnknown;
+  if (engine_ == 0) return finish_probe(addr, ProbeResult::kUnknown);
   auto& mem = browser_.proc().machine().mem();
   // debug_info + 0x10 is dereferenced: bias the pointer so the read lands
   // exactly on `addr`.
@@ -115,9 +141,10 @@ ProbeResult SehProbeOracle::probe(gva_t addr) {
       [&] { return browser_.script_done_count() > done_before; }, 4'000'000);
   u64 status = browser_.mutx_status();
   mem.poke_u64(engine_ + 32, saved_debug_info_);
-  if (status == 0) return ProbeResult::kMapped;
-  if (status == 1) return ProbeResult::kUnmapped;
-  return ProbeResult::kUnknown;
+  ProbeResult r = ProbeResult::kUnknown;
+  if (status == 0) r = ProbeResult::kMapped;
+  else if (status == 1) r = ProbeResult::kUnmapped;
+  return finish_probe(addr, r);
 }
 
 // --- FirefoxPollOracle ---------------------------------------------------------------
@@ -128,7 +155,7 @@ FirefoxPollOracle::FirefoxPollOracle(targets::BrowserSim& browser) : browser_(br
 
 ProbeResult FirefoxPollOracle::probe(gva_t addr) {
   ++probes_;
-  if (slot_ == 0 || addr == 0) return ProbeResult::kUnknown;
+  if (slot_ == 0 || addr == 0) return finish_probe(addr, ProbeResult::kUnknown);
   auto& mem = browser_.proc().machine().mem();
   mem.poke_u64(slot_ + 16, 0);   // clear status
   mem.poke_u64(slot_ + 0, addr); // request — the background thread does the rest
@@ -139,14 +166,16 @@ ProbeResult FirefoxPollOracle::probe(gva_t addr) {
         return status != 0;
       },
       6'000'000);
-  if (status == 2) return ProbeResult::kMapped;
-  if (status == 1) return ProbeResult::kUnmapped;
-  return ProbeResult::kUnknown;
+  ProbeResult r = ProbeResult::kUnknown;
+  if (status == 2) r = ProbeResult::kMapped;
+  else if (status == 1) r = ProbeResult::kUnmapped;
+  return finish_probe(addr, r);
 }
 
 // --- Scanner -----------------------------------------------------------------------------
 
-Scanner::Scanner(MemoryOracle& oracle) : oracle_(oracle) {
+Scanner::Scanner(MemoryOracle& oracle, const std::string& target_label)
+    : oracle_(oracle) {
   // Acquired eagerly so every scan campaign's snapshot carries the full
   // oracle.scan.* schema — crashes in particular must be *visibly* zero.
   obs::Registry& reg = obs::Registry::global();
@@ -154,9 +183,12 @@ Scanner::Scanner(MemoryOracle& oracle) : oracle_(oracle) {
   c_mapped_ = &reg.counter("oracle.scan.mapped_hits");
   c_crashes_ = &reg.counter("oracle.scan.crashes");
   h_probe_ns_ = &reg.histogram("oracle.scan.probe_ns");
+  ledger_ = &obs::Ledger::global();
+  ledger_prim_ = ledger_->intern(oracle.name());
+  ledger_target_ = target_label.empty() ? 0 : ledger_->intern(target_label);
 }
 
-ProbeResult Scanner::probe_once(gva_t addr) {
+ProbeResult Scanner::probe_once(gva_t addr, obs::LedgerStage stage) {
   ++stats_.probes;
   c_probes_->inc();
   bool alive_before = oracle_.target_alive();
@@ -171,13 +203,18 @@ ProbeResult Scanner::probe_once(gva_t addr) {
   }
   // Prefer the oracle's own exact accounting; fall back to alive->dead
   // transition detection for oracles that do not self-report.
-  if (u64 crashed = oracle_.crash_count() - crashes_before; crashed > 0) {
-    stats_.crashes += crashed;
-    c_crashes_->inc(crashed);
+  bool crashed = false;
+  if (u64 n = oracle_.crash_count() - crashes_before; n > 0) {
+    stats_.crashes += n;
+    c_crashes_->inc(n);
+    crashed = true;
   } else if (alive_before && !oracle_.target_alive()) {
     ++stats_.crashes;
     c_crashes_->inc();
+    crashed = true;
   }
+  ledger_->record(stage, to_outcome(r, crashed), ledger_prim_, ledger_target_, addr,
+                  t0);
   obs::Journal::global().span(oracle_.name(), "probe", t0 / 1000, (t1 - t0) / 1000, 0,
                               "mapped", r == ProbeResult::kMapped ? 1 : 0);
   return r;
@@ -192,7 +229,8 @@ std::vector<gva_t> Scanner::sweep(gva_t base, u64 len, u64 stride) {
   // silently probe nothing.
   gva_t a = base;
   for (u64 remaining = len; remaining > 0;) {
-    if (probe_once(a) == ProbeResult::kMapped) mapped.push_back(a);
+    if (probe_once(a, obs::LedgerStage::kSweep) == ProbeResult::kMapped)
+      mapped.push_back(a);
     if (stride >= remaining) break;
     remaining -= stride;
     gva_t next = a + stride;
@@ -211,7 +249,7 @@ std::optional<gva_t> Scanner::hunt(gva_t lo, gva_t hi, u64 max_probes, u64 seed,
   u64 slots = std::max<u64>((hi - lo) / mem::kPageSize, 1);
   for (u64 i = 0; i < max_probes; ++i) {
     gva_t addr = lo + rng.below(slots) * mem::kPageSize;
-    if (probe_once(addr) == ProbeResult::kMapped) {
+    if (probe_once(addr, obs::LedgerStage::kHunt) == ProbeResult::kMapped) {
       if (!accept || accept(addr)) return addr;
     }
   }

@@ -35,6 +35,8 @@
 namespace crp::obs {
 class Counter;
 class Histogram;
+class Ledger;
+enum class LedgerStage : u8;
 }  // namespace crp::obs
 
 namespace crp::oracle {
@@ -69,7 +71,16 @@ class MemoryOracle {
   virtual u64 crash_count() const { return 0; }
 
  protected:
+  /// Flight-recorder tail call for probe() implementations: records one
+  /// oracle-stage ProbeEvent (primitive = name(), virtual-now timestamp) in
+  /// the global obs::Ledger and passes `r` through. `crashed` is the number
+  /// of target crashes this probe caused, for self-reporting oracles.
+  ProbeResult finish_probe(gva_t addr, ProbeResult r, u64 crashed = 0);
+
   u64 probes_ = 0;
+
+ private:
+  u32 ledger_prim_ = 0;  // interned lazily (name() is virtual)
 };
 
 /// §VI-C oracle against a running nginx_sim.
@@ -138,7 +149,9 @@ struct ScanStats {
 /// stride, returning addresses that probed mapped.
 class Scanner {
  public:
-  explicit Scanner(MemoryOracle& oracle);
+  /// `target_label` names the probed subject in flight-recorder events
+  /// (empty -> the unknown target id 0).
+  explicit Scanner(MemoryOracle& oracle, const std::string& target_label = {});
 
   /// Probe [base, base+len) at `stride`; returns mapped probe addresses.
   std::vector<gva_t> sweep(gva_t base, u64 len, u64 stride);
@@ -153,8 +166,9 @@ class Scanner {
 
  private:
   /// One instrumented probe: counters, virtual-time latency, liveness
-  /// transition (crash) detection, one journal span.
-  ProbeResult probe_once(gva_t addr);
+  /// transition (crash) detection, one journal span, one ledger event under
+  /// `stage` (sweep or hunt).
+  ProbeResult probe_once(gva_t addr, obs::LedgerStage stage);
 
   MemoryOracle& oracle_;
   ScanStats stats_;
@@ -162,6 +176,9 @@ class Scanner {
   obs::Counter* c_mapped_;
   obs::Counter* c_crashes_;
   obs::Histogram* h_probe_ns_;
+  obs::Ledger* ledger_;
+  u32 ledger_prim_;
+  u32 ledger_target_;
 };
 
 /// Expected number of uniform probes to hit a region of `region_pages`

@@ -4,6 +4,7 @@
 
 #include "exec/thread_pool.h"
 #include "obs/journal.h"
+#include "obs/ledger.h"
 #include "obs/obs.h"
 #include "os/abi.h"
 
@@ -85,10 +86,30 @@ SyscallCandidateStage::Out SyscallCandidateStage::run(const In& in) {
   return out;
 }
 
+namespace {
+
+/// Flight-recorder view of a verify verdict. kCrashes means the candidate
+/// was DISQUALIFIED because probing through it kills the target — recorded
+/// as a verify-stage crash event (expected; the zero-crash invariant only
+/// binds the probing stages). Everything tested and surviving is kSurvive;
+/// untested candidates read as kTimeout.
+obs::ProbeOutcome verdict_outcome(analysis::Verdict v) {
+  switch (v) {
+    case analysis::Verdict::kCrashes: return obs::ProbeOutcome::kCrash;
+    case analysis::Verdict::kUsable:
+    case analysis::Verdict::kNotControllable:
+    case analysis::Verdict::kFalsePositive: return obs::ProbeOutcome::kSurvive;
+    case analysis::Verdict::kUntested: return obs::ProbeOutcome::kTimeout;
+  }
+  return obs::ProbeOutcome::kTimeout;
+}
+
+}  // namespace
+
 VerifyStage::Out VerifyStage::run(const In& in) {
   StageScope scope(kId, in.target->name);
   exec::ThreadPool pool(in.jobs);
-  return exec::parallel_map(
+  Out out = exec::parallel_map(
       pool, in.candidates,
       [&](size_t, const analysis::Candidate& c) {
         analysis::Candidate v = c;
@@ -97,6 +118,18 @@ VerifyStage::Out VerifyStage::run(const In& in) {
         return v;
       },
       "verify");
+  // Emit the per-candidate flight-recorder events from the caller thread,
+  // after the merge: parallel_map returns candidates in input order at any
+  // job count, so the ledger stays deterministic too.
+  obs::Ledger& led = obs::Ledger::global();
+  u32 target_id = led.intern(in.target->name);
+  for (const analysis::Candidate& v : out) {
+    std::string prim =
+        v.api_name.empty() ? std::string(os::sys_name(v.syscall)) : v.api_name;
+    led.record(obs::LedgerStage::kVerify, verdict_outcome(v.verdict), led.intern(prim),
+               target_id, v.pointer_home.value_or(0), 0);
+  }
+  return out;
 }
 
 SehExtractStage::Out SehExtractStage::run(const In& in) {

@@ -1,12 +1,38 @@
 #include "util/common.h"
 
+#include <atomic>
 #include <cstdarg>
 
 namespace crp {
 
+namespace {
+// Fixed-size hook table: panic must not allocate, and hooks are registered a
+// handful of times per process (flush handlers), so a small array suffices.
+constexpr int kMaxPanicHooks = 8;
+void (*g_panic_hooks[kMaxPanicHooks])() = {};
+std::atomic<int> g_panic_hook_count{0};
+std::atomic<bool> g_panicking{false};
+}  // namespace
+
+void add_panic_hook(void (*fn)()) {
+  int n = g_panic_hook_count.load(std::memory_order_relaxed);
+  while (n < kMaxPanicHooks) {
+    if (g_panic_hook_count.compare_exchange_weak(n, n + 1, std::memory_order_acq_rel)) {
+      g_panic_hooks[n] = fn;
+      return;
+    }
+  }
+}
+
 void panic(const char* file, int line, const std::string& msg) {
   std::fprintf(stderr, "[crp panic] %s:%d: %s\n", file, line, msg.c_str());
   std::fflush(stderr);
+  // Flush telemetry sinks unless a hook itself panicked (re-entrancy guard).
+  if (!g_panicking.exchange(true, std::memory_order_acq_rel)) {
+    int n = g_panic_hook_count.load(std::memory_order_acquire);
+    for (int i = 0; i < n && i < kMaxPanicHooks; ++i)
+      if (g_panic_hooks[i] != nullptr) g_panic_hooks[i]();
+  }
   std::abort();
 }
 

@@ -26,6 +26,13 @@ using gva_t = u64;
 /// never for guest-induced conditions (those surface as faults/status codes).
 [[noreturn]] void panic(const char* file, int line, const std::string& msg);
 
+/// Register a hook panic() runs (once, in registration order) before
+/// aborting — the escape hatch that lets buffered telemetry (journal ring,
+/// probe ledger) reach disk when a bench or example dies mid-run. Hooks must
+/// be async-signal-unsafe-tolerant only in the sense that they run on the
+/// panicking thread; re-entrant panics skip the hooks.
+void add_panic_hook(void (*fn)());
+
 #define CRP_PANIC(msg) ::crp::panic(__FILE__, __LINE__, (msg))
 
 #define CRP_CHECK(cond)                                                  \

@@ -1,6 +1,7 @@
 // crp::obs unit tests: counter/gauge semantics, histogram bucket math and
 // quantile accuracy, registry get-or-create + kind collisions, concurrent
-// increments, JSON snapshot round-trip, journal ring + trace export.
+// increments, JSON snapshot round-trip, snapshot/diff, Prometheus + JSON
+// exposition, bench-snapshot parsing, journal ring + trace export.
 
 #include <gtest/gtest.h>
 
@@ -8,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/expo.h"
 #include "obs/journal.h"
 #include "obs/obs.h"
 
@@ -115,6 +117,23 @@ TEST(Histogram, QuantileClampedToObservedRange) {
   // A single sample: every quantile is that sample, not a bucket edge.
   EXPECT_EQ(h.quantile(0.5), 1000u);
   EXPECT_EQ(h.quantile(0.99), 1000u);
+}
+
+TEST(Histogram, QuantileDegenerateCases) {
+  REQUIRE_OBS_COMPILED_IN();
+  // Empty histogram: every quantile is 0, not a bucket artifact.
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.0), 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+  EXPECT_EQ(empty.quantile(1.0), 0u);
+  // Repeated single value: min == max, so every quantile is THE value even
+  // though the bucket midpoint would land elsewhere.
+  Histogram h;
+  for (int i = 0; i < 7; ++i) h.record(1000);
+  EXPECT_EQ(h.quantile(0.0), 1000u);
+  EXPECT_EQ(h.quantile(0.5), 1000u);
+  EXPECT_EQ(h.quantile(0.99), 1000u);
+  EXPECT_EQ(h.quantile(1.0), 1000u);
 }
 
 TEST(Histogram, ResetClears) {
@@ -236,6 +255,122 @@ TEST(Registry, JsonEscapedNamesStillQueryable) {
 
 TEST(Registry, GlobalIsSingleton) {
   EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+TEST(Registry, CounterValueReadOnly) {
+  REQUIRE_OBS_COMPILED_IN();
+  Registry r;
+  r.counter("c").inc(7);
+  r.gauge("g").set(3);
+  EXPECT_EQ(r.counter_value("c"), 7u);
+  EXPECT_EQ(r.counter_value("g"), 0u);        // not a counter
+  EXPECT_EQ(r.counter_value("missing"), 0u);  // absent: not created
+  EXPECT_FALSE(r.contains("missing"));
+}
+
+TEST(Snapshot, CarriesAllThreeKinds) {
+  REQUIRE_OBS_COMPILED_IN();
+  Registry r;
+  r.counter("c").inc(5);
+  r.gauge("g").set(-2);
+  r.histogram("h").record(100);
+  Snapshot s = r.snapshot();
+  EXPECT_EQ(s.num("c"), 5);
+  EXPECT_EQ(s.num("g"), -2);
+  EXPECT_EQ(s.num("h"), 1);  // histograms read as their count
+  ASSERT_NE(s.find("h"), nullptr);
+  EXPECT_EQ(s.find("h")->hist.sum, 100u);
+  EXPECT_EQ(s.find("nope"), nullptr);
+  EXPECT_EQ(s.num("nope"), 0);
+}
+
+TEST(Snapshot, DiffAllThreeKinds) {
+  REQUIRE_OBS_COMPILED_IN();
+  Registry r;
+  Counter& c = r.counter("c");
+  Gauge& g = r.gauge("g");
+  Histogram& h = r.histogram("h");
+  c.inc(10);
+  g.set(5);
+  h.record(100);
+  Snapshot before = r.snapshot();
+  c.inc(7);
+  g.set(2);  // gauges can go down: diff is signed
+  h.record(100);
+  h.record(200);
+  Snapshot after = r.snapshot();
+
+  Snapshot d = Registry::diff(before, after);
+  EXPECT_EQ(d.num("c"), 7);
+  EXPECT_EQ(d.num("g"), -3);
+  const SnapValue* hv = d.find("h");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->hist.count, 2u);
+  EXPECT_EQ(hv->hist.sum, 300u);
+  // Metrics created between the snapshots appear with their full value.
+  r.counter("new").inc(4);
+  d = Registry::diff(before, r.snapshot());
+  EXPECT_EQ(d.num("new"), 4);
+}
+
+TEST(Expo, PrometheusTextFormat) {
+  REQUIRE_OBS_COMPILED_IN();
+  Registry r;
+  r.counter("oracle.scan.probes").inc(42);
+  r.gauge("bench.wall_ns").set(1000);
+  Histogram& h = r.histogram("sat.solve_ns");
+  h.record(3);
+  h.record(100);
+  std::string text = expo::prometheus_text(r.snapshot());
+  EXPECT_NE(text.find("# TYPE crp_oracle_scan_probes counter"), std::string::npos);
+  EXPECT_NE(text.find("crp_oracle_scan_probes 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE crp_bench_wall_ns gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE crp_sat_solve_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("crp_sat_solve_ns_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("crp_sat_solve_ns_sum 103"), std::string::npos);
+  EXPECT_NE(text.find("crp_sat_solve_ns_count 2"), std::string::npos);
+  // Cumulative bucket series: the le="3" bucket holds 1 sample.
+  EXPECT_NE(text.find("crp_sat_solve_ns_bucket{le=\"3\"} 1"), std::string::npos);
+}
+
+TEST(Expo, JsonCarriesBucketBoundaries) {
+  REQUIRE_OBS_COMPILED_IN();
+  Registry r;
+  r.histogram("h").record(10);
+  std::string j = expo::json(r.snapshot());
+  u32 idx = Histogram::bucket_index(10);
+  std::string expect = strf("[%u,%llu,%llu,1]", idx,
+                            static_cast<unsigned long long>(Histogram::bucket_lo(idx)),
+                            static_cast<unsigned long long>(Histogram::bucket_hi(idx)));
+  EXPECT_NE(j.find(expect), std::string::npos) << j;
+}
+
+TEST(Expo, ParseBenchJsonRoundTrip) {
+  REQUIRE_OBS_COMPILED_IN();
+  // Feed the parser exactly what BenchSession writes.
+  Registry r;
+  r.counter("vm.instr_retired").inc(12345);
+  r.gauge("bench.wall_ns").set(999);
+  Histogram& h = r.histogram("sat.solve_ns");
+  for (u64 v = 1; v <= 100; ++v) h.record(v);
+  std::string body = "{\n\"bench\": \"t1\",\n\"schema\": 1,\n\"metrics\": ";
+  body += r.json();
+  body += "\n}\n";
+
+  expo::BenchDoc doc;
+  ASSERT_TRUE(expo::parse_bench_json(body, &doc));
+  EXPECT_EQ(doc.bench, "t1");
+  EXPECT_EQ(doc.schema, 1);
+  EXPECT_DOUBLE_EQ(doc.get("vm.instr_retired"), 12345.0);
+  EXPECT_DOUBLE_EQ(doc.get("bench.wall_ns"), 999.0);
+  EXPECT_DOUBLE_EQ(doc.get("sat.solve_ns/count"), 100.0);
+  EXPECT_DOUBLE_EQ(doc.get("sat.solve_ns/sum"), 5050.0);
+  EXPECT_TRUE(doc.has("sat.solve_ns/p95"));
+  EXPECT_FALSE(doc.has("missing"));
+  EXPECT_DOUBLE_EQ(doc.get("missing", -1.0), -1.0);
+
+  expo::BenchDoc bad;
+  EXPECT_FALSE(expo::parse_bench_json("not json at all", &bad));
 }
 
 TEST(ScopedTimerTest, RecordsOneSample) {
