@@ -1,0 +1,159 @@
+#include "chaos/prop.h"
+
+#include <algorithm>
+
+namespace crp::chaos {
+
+u64 Gen::pointer(const std::vector<GenRange>& mapped) {
+  u64 base;
+  switch (rng_.below(8)) {
+    case 0: base = 0 + rng_.below(4096); break;                       // null page
+    case 1: base = ~0ull - rng_.below(8192); break;                   // top of space
+    case 2: base = rng_.next(); break;                                // uniform garbage
+    case 3:
+    case 4:
+      // Interior of a mapped range.
+      if (!mapped.empty()) {
+        const GenRange& r = mapped[rng_.below(mapped.size())];
+        base = r.hi > r.lo ? r.lo + rng_.below(r.hi - r.lo) : r.lo;
+      } else {
+        base = rng_.next();
+      }
+      break;
+    default:
+      // Edges and just-out-of-bounds neighbors.
+      if (!mapped.empty()) {
+        const GenRange& r = mapped[rng_.below(mapped.size())];
+        switch (rng_.below(4)) {
+          case 0: base = r.lo; break;
+          case 1: base = r.hi - 1; break;
+          case 2: base = r.lo - rng_.range(1, 64); break;
+          default: base = r.hi + rng_.below(64); break;
+        }
+      } else {
+        base = rng_.next();
+      }
+      break;
+  }
+  // Unaligned more often than not.
+  if (rng_.chance(0.25)) base &= ~7ull;
+  return base;
+}
+
+std::vector<u64> Gen::syscall_args(const std::vector<GenRange>& mapped) {
+  std::vector<u64> args(6);
+  for (u64& a : args) {
+    switch (rng_.below(4)) {
+      case 0: a = rng_.below(8); break;            // fd-/count-looking
+      case 1: a = rng_.below(1u << 16); break;     // length-/flag-looking
+      case 2: a = pointer(mapped); break;
+      default: a = rng_.next(); break;
+    }
+  }
+  return args;
+}
+
+std::vector<u8> Gen::bytes(size_t n) {
+  std::vector<u8> out(n);
+  for (u8& b : out) b = static_cast<u8>(rng_.below(256));
+  return out;
+}
+
+std::string PropResult::summary() const {
+  if (ok())
+    return strf("prop %-28s PASS  (%llu seeds)", name.c_str(),
+                static_cast<unsigned long long>(runs));
+  return strf("prop %-28s FAIL  seed %llu: %s\n  replay: CRP_CHAOS=%s (%zu events, %d shrink runs)",
+              name.c_str(), static_cast<unsigned long long>(cex->seed), cex->message.c_str(),
+              cex->replay.c_str(), cex->events.size(), cex->shrink_runs);
+}
+
+std::optional<std::string> run_with_plan(const FaultPlan& plan, const Property& body,
+                                         std::vector<FaultEvent>* fired) {
+  ScopedPlan scope(plan);
+  std::optional<std::string> verdict = body(plan.seed);
+  if (fired != nullptr) *fired = scope.events();
+  return verdict;
+}
+
+std::vector<FaultEvent> shrink(u64 seed, std::vector<FaultEvent> events, const Property& body,
+                               int max_runs, int* runs_used) {
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+
+  int runs = 0;
+  auto fails = [&](const std::vector<FaultEvent>& subset) {
+    ++runs;
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.replay = true;
+    plan.events = subset;
+    return run_with_plan(plan, body).has_value();
+  };
+
+  // ddmin: drop complements at increasing granularity until 1-minimal.
+  size_t granularity = 2;
+  while (events.size() >= 2 && runs < max_runs) {
+    size_t n = events.size();
+    size_t chunk = std::max<size_t>(1, n / granularity);
+    bool reduced = false;
+    for (size_t start = 0; start < n && runs < max_runs; start += chunk) {
+      std::vector<FaultEvent> rest;
+      rest.reserve(n);
+      rest.insert(rest.end(), events.begin(), events.begin() + static_cast<ptrdiff_t>(start));
+      rest.insert(rest.end(),
+                  events.begin() + static_cast<ptrdiff_t>(std::min(start + chunk, n)),
+                  events.end());
+      if (rest.size() < events.size() && fails(rest)) {
+        events = std::move(rest);
+        granularity = std::max<size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= events.size()) break;
+      granularity = std::min(events.size(), granularity * 2);
+    }
+  }
+  if (runs_used != nullptr) *runs_used = runs;
+  return events;
+}
+
+PropResult check(const std::string& name, const PropOptions& opts, const Property& body) {
+  PropResult result;
+  result.name = name;
+  for (u64 k = 0; k < opts.seeds; ++k) {
+    u64 seed = opts.base_seed + k;
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.rate = opts.rate;
+    plan.points = opts.points;
+    std::vector<FaultEvent> fired;
+    std::optional<std::string> verdict = run_with_plan(plan, body, &fired);
+    ++result.runs;
+    if (!verdict.has_value()) continue;
+
+    Counterexample cex;
+    cex.seed = seed;
+    cex.message = *verdict;
+    cex.events = shrink(seed, std::move(fired), body, opts.max_shrink_runs, &cex.shrink_runs);
+    // Re-run the minimized replay to report the *minimal* failure message
+    // (and guard against a flaky body: if the replay no longer fails, keep
+    // the original message but say so).
+    FaultPlan replay;
+    replay.seed = seed;
+    replay.replay = true;
+    replay.events = cex.events;
+    if (std::optional<std::string> confirmed = run_with_plan(replay, body))
+      cex.message = *confirmed;
+    else
+      cex.message += " [WARNING: minimized replay did not reproduce]";
+    cex.replay = format_replay(seed, cex.events);
+    result.cex = std::move(cex);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace crp::chaos

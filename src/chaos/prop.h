@@ -1,0 +1,110 @@
+// crp::chaos::prop — property-based testing over the fault-injection engine.
+//
+// A property is a deterministic body run under a seeded FaultPlan: it sets
+// up a world (kernel, guest, campaign, ...), drives it while the plan
+// injects faults, and returns a failure message when a paper-level
+// invariant breaks (a probe crashed the process, the ledger audit went red,
+// a taint label vanished, cached output diverged, ...).
+//
+// check() sweeps N seeds. On the first failing seed it minimizes the
+// recorded injection trace with ddmin: subsets of the fired events are
+// replayed (FaultPlan replay mode) until no event can be removed, and the
+// surviving events are formatted as a one-line CRP_CHAOS spec — the
+// counterexample a human (or CI artifact) needs to reproduce the bug is
+// that line, not a core dump.
+//
+// Value generators (Gen) cover the paper's input spaces: guest pointers
+// biased toward mapping edges and the address-space top, syscall argument
+// vectors, raw instruction bytes. (SEH filter bodies are generated at the
+// test layer with isa::Assembler — see tests/test_chaos.cc — to keep this
+// library free of an isa dependency.)
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+#include "util/rng.h"
+
+namespace crp::chaos {
+
+// --- generators ---------------------------------------------------------------
+
+/// A mapped guest range [lo, hi) the pointer generator can aim at.
+struct GenRange {
+  u64 lo = 0;
+  u64 hi = 0;
+};
+
+class Gen {
+ public:
+  explicit Gen(u64 seed) : rng_(mix64(seed, 0x6e6)) {}
+
+  Rng& rng() { return rng_; }
+  u64 any_u64() { return rng_.next(); }
+
+  /// Guest pointer biased toward the interesting corners: interiors, exact
+  /// begin/end edges of `mapped`, just-out-of-bounds neighbors, the null
+  /// page, the top of the 64-bit space (u64-wrap regression territory) and
+  /// uniformly random garbage. Unaligned more often than not.
+  u64 pointer(const std::vector<GenRange>& mapped);
+
+  /// Six syscall arguments: a mix of small scalars, flag-looking values and
+  /// pointer(mapped) outputs.
+  std::vector<u64> syscall_args(const std::vector<GenRange>& mapped);
+
+  /// `n` raw bytes (decoder fuzz input).
+  std::vector<u8> bytes(size_t n);
+
+ private:
+  Rng rng_;
+};
+
+// --- property runner ----------------------------------------------------------
+
+struct PropOptions {
+  u64 seeds = 16;       // seeds swept: base_seed, base_seed+1, ...
+  u64 base_seed = 1;
+  u32 rate = 16;        // injection rate while searching (1-in-rate)
+  u32 points = kIoPoints;
+  int max_shrink_runs = 256;  // replay budget for ddmin
+};
+
+struct Counterexample {
+  u64 seed = 0;
+  std::string message;             // the failure the body reported
+  std::vector<FaultEvent> events;  // minimized injection trace
+  std::string replay;              // CRP_CHAOS line reproducing the failure
+  int shrink_runs = 0;             // replays the shrinker spent
+};
+
+struct PropResult {
+  std::string name;
+  u64 runs = 0;  // seeds executed (stops at the first failure)
+  std::optional<Counterexample> cex;
+
+  bool ok() const { return !cex.has_value(); }
+  std::string summary() const;
+};
+
+/// The property body: runs under an installed plan (seed given for value
+/// generation — construct Gen(seed)); returns a failure message or nullopt.
+/// Must be deterministic given (seed, plan): the shrinker replays it.
+using Property = std::function<std::optional<std::string>(u64 seed)>;
+
+/// Sweep `opts.seeds` plans over `body`; minimize the first failure.
+PropResult check(const std::string& name, const PropOptions& opts, const Property& body);
+
+/// Run `body` under an explicit plan (replay helper; also what check()
+/// uses internally). Returns the body's verdict.
+std::optional<std::string> run_with_plan(const FaultPlan& plan, const Property& body,
+                                         std::vector<FaultEvent>* fired = nullptr);
+
+/// ddmin over `events`: smallest subset whose replay still fails `body`.
+/// Exposed for tests (shrinker-convergence satellite).
+std::vector<FaultEvent> shrink(u64 seed, std::vector<FaultEvent> events, const Property& body,
+                               int max_runs, int* runs_used = nullptr);
+
+}  // namespace crp::chaos

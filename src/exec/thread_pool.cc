@@ -2,10 +2,13 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <numeric>
 
+#include "chaos/chaos.h"
 #include "obs/journal.h"
 #include "obs/ledger.h"
 #include "obs/obs.h"
+#include "util/rng.h"
 
 namespace crp::exec {
 
@@ -61,10 +64,19 @@ void ThreadPool::drain(const std::function<void(u64)>& fn, u64 n, const char* la
   for (;;) {
     u64 i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;
+    // Under a perturbed batch, claim i runs task chaos_order_[i]; the task's
+    // chaos salt follows the *task* index, so per-item injection streams are
+    // identical whether or not the order was shuffled.
+    u64 task = chaos_on_ && !chaos_order_.empty() ? chaos_order_[i] : i;
     u64 t0 = wall_ns();
-    fn(i);
+    if (chaos_on_) {
+      chaos::TaskScope scope(task_seed(chaos_batch_salt_, task));
+      fn(task);
+    } else {
+      fn(task);
+    }
     obs::Journal::global().span(label, "exec", t0 / 1000, (wall_ns() - t0) / 1000, 0,
-                               "task", static_cast<i64>(i));
+                               "task", static_cast<i64>(task));
     c_tasks_->inc();
     if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
       // Take the lock so the notify cannot race the caller between its
@@ -109,9 +121,28 @@ void ThreadPool::worker_loop() {
 void ThreadPool::for_each_index(u64 n, const std::function<void(u64)>& fn,
                                 const char* label) {
   if (n == 0) return;
+  // Chaos bookkeeping happens on the caller thread, in program order, so
+  // batch salts (and therefore every stream salt derived inside tasks) are
+  // identical at any job count.
+  bool chaos_on = chaos::active();
+  u64 batch_salt = 0;
+  std::vector<u64> order;
+  if (chaos_on) {
+    batch_salt = chaos::next_batch_salt();
+    chaos::FaultStream stream = chaos::make_stream(chaos::point_bit(chaos::Point::kTaskOrder));
+    if (stream.fire(chaos::Point::kTaskOrder)) {
+      order.resize(n);
+      std::iota(order.begin(), order.end(), 0);
+      Rng rng(stream.draw(chaos::Point::kTaskOrder));
+      rng.shuffle(order);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     CRP_CHECK(fn_ == nullptr);  // one batch at a time
+    chaos_on_ = chaos_on;
+    chaos_batch_salt_ = batch_salt;
+    chaos_order_ = std::move(order);
     fn_ = &fn;
     label_ = label;
     batch_n_ = n;

@@ -80,6 +80,15 @@ class ThreadPool {
   int jobs_;
   std::vector<std::thread> workers_;
 
+  // Chaos state of the current batch (set under mu_ in for_each_index
+  // before workers wake; read by drain). When fault injection is off,
+  // chaos_on_ stays false and drain pays a single branch per task.
+  bool chaos_on_ = false;
+  u64 chaos_batch_salt_ = 0;
+  // Non-empty: claim i executes task chaos_order_[i] (a seeded permutation;
+  // merged output must be unchanged — the kTaskOrder invariant).
+  std::vector<u64> chaos_order_;
+
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;

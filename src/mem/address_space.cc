@@ -148,6 +148,9 @@ AccessResult AddressSpace::write_uint(gva_t addr, u8 width, u64 value) {
 }
 
 bool AddressSpace::peek(gva_t addr, std::span<u8> out) const {
+  // A range wrapping past the top of the 64-bit space is never valid (same
+  // policy as check_range); without this, addr+done wraps to low pages.
+  if (addr + out.size() < addr) return false;
   size_t done = 0;
   while (done < out.size()) {
     const Page* pg = page_at(addr + done);
@@ -161,8 +164,14 @@ bool AddressSpace::peek(gva_t addr, std::span<u8> out) const {
 }
 
 bool AddressSpace::poke(gva_t addr, std::span<const u8> in) {
+  // A wrapping range used to skip the validation loop below entirely
+  // (p < end is vacuously false when end overflows), letting the copy loop
+  // dereference an unmapped page — a host crash reachable from guest-chosen
+  // addresses at the top of the space.
+  gva_t end = addr + in.size();
+  if (end < addr) return false;
   // Validate first so a failing poke has no partial effect.
-  for (gva_t p = align_down(addr, kPageSize); p < addr + in.size(); p += kPageSize)
+  for (gva_t p = align_down(addr, kPageSize); p < end; p += kPageSize)
     if (page_at(p) == nullptr) return false;
   size_t done = 0;
   while (done < in.size()) {

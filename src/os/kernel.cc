@@ -59,6 +59,7 @@ Kernel::Kernel() {
   c_copy_efaults_ = &reg.counter("kernel.copy_user.efaults");
   c_api_calls_ = &reg.counter("kernel.api.calls");
   c_api_faults_ = &reg.counter("kernel.api.faults");
+  chaos_ = chaos::make_stream(chaos::kIoPoints);
 }
 
 int Kernel::create_process(const std::string& name, vm::Personality pers, u64 aslr_seed) {
@@ -684,6 +685,16 @@ i64 Kernel::sys_read_common(Process& p, Thread& t, Sys nr, u64* a, SyscallOutcom
   FdEntry* fe = p.fds().get(fd);
   if (fe == nullptr) return -kEBADF;
 
+  if (chaos_.armed()) {
+    // Spurious errors land *before* any bytes are consumed from the stream:
+    // a well-behaved guest retries the read and must observe the same data
+    // (and the taint layer the same labels) it would have without the fault.
+    if (chaos_.fire(chaos::Point::kSysEintr)) return -kEINTR;
+    if (chaos_.fire(chaos::Point::kSysEfault)) return -kEFAULT;
+    if (len > 1 && chaos_.fire(chaos::Point::kShortRead))
+      len = 1 + chaos_.draw(chaos::Point::kShortRead) % (len - 1);
+  }
+
   if (auto* file = std::get_if<FdFile>(fe)) {
     const VfsNode* node = vfs_.resolve(file->path);
     if (node == nullptr) return -kENOENT;
@@ -742,6 +753,15 @@ i64 Kernel::sys_write_common(Process& p, Thread& t, Sys nr, u64* a) {
   FdEntry* fe = p.fds().get(fd);
   if (fe == nullptr) return -kEBADF;
 
+  if (chaos_.armed()) {
+    if (chaos_.fire(chaos::Point::kSysEintr)) return -kEINTR;
+    if (chaos_.fire(chaos::Point::kSysEfault)) return -kEFAULT;
+    // Short write: consume fewer bytes than asked and report that count —
+    // the POSIX contract a caller must handle by resubmitting the tail.
+    if (len > 1 && chaos_.fire(chaos::Point::kShortWrite))
+      len = 1 + chaos_.draw(chaos::Point::kShortWrite) % (len - 1);
+  }
+
   std::vector<u8> data(len);
   if (!copy_from_user(p, buf, data)) return -kEFAULT;
 
@@ -772,6 +792,11 @@ i64 Kernel::sys_epoll_wait(Process& p, Thread& t, u64* a, SyscallOutcome* oc) {
   gva_t events = a[1];
   u64 maxevents = a[2];
   i64 timeout_ms = static_cast<i64>(a[3]);
+
+  // Spurious epoll_wait EINTR — the classic signal-wakeup every event loop
+  // must tolerate (nginx/lighttpd/cherokee retry; memcached and postgres
+  // workers exit gracefully, which is their documented §V-A behavior).
+  if (chaos_.armed() && chaos_.fire(chaos::Point::kSysEintr)) return -kEINTR;
 
   FdEntry* fe = p.fds().get(epfd);
   if (fe == nullptr) return -kEBADF;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "os/abi.h"
 #include "os/net.h"
 #include "os/process.h"
@@ -200,6 +201,10 @@ class Kernel {
   std::vector<KernelObserver*> observers_;
   int next_pid_ = 1;
   u64 now_ns_ = 0;
+  // Fault-injection stream for the I/O syscall family (spurious
+  // -EFAULT/-EINTR, short reads/writes). Unarmed unless a chaos plan
+  // covering those points is active at kernel construction.
+  chaos::FaultStream chaos_;
   u64 instret_ = 0;
   Process* cur_proc_ = nullptr;
   Thread* cur_thread_ = nullptr;

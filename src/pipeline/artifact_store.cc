@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -26,10 +27,32 @@ std::string ArtifactKey::str() const {
               static_cast<unsigned long long>(config_hash));
 }
 
+namespace {
+
+// On-disk artifact header: 8-byte magic + 8-byte little-endian FNV-1a of
+// the payload. Anything that fails validation (legacy headerless files
+// included) is treated as corruption: detected, counted, recomputed.
+constexpr char kDiskMagic[8] = {'C', 'R', 'P', 'A', 'R', 'T', '1', '\0'};
+constexpr size_t kDiskHeader = 16;
+
+void put_le64(char* out, u64 v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>(v >> (8 * i));
+}
+
+u64 get_le64(const char* in) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(static_cast<u8>(in[i])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
 ArtifactStore::ArtifactStore()
     : c_hits_(&obs::Registry::global().counter("pipeline.cache.hits")),
       c_misses_(&obs::Registry::global().counter("pipeline.cache.misses")),
-      c_stores_(&obs::Registry::global().counter("pipeline.cache.stores")) {
+      c_stores_(&obs::Registry::global().counter("pipeline.cache.stores")),
+      c_corrupt_(&obs::Registry::global().counter("pipeline.cache.corrupt")),
+      chaos_(chaos::make_stream(chaos::kCachePoints)) {
   if (const char* env = std::getenv("CRP_CACHE")) {
     if (env[0] == '0' && env[1] == '\0') enabled_ = false;
   }
@@ -69,11 +92,35 @@ bool ArtifactStore::lookup(const ArtifactKey& key, std::string* value) {
       if (in) {
         std::ostringstream ss;
         ss << in.rdbuf();
-        mem_[name] = ss.str();
-        *value = mem_[name];
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        c_hits_->inc();
-        return true;
+        std::string raw = ss.str();
+
+        // Chaos: damage the blob as a failing disk would, keyed by the
+        // artifact key so the decision is schedule-independent.
+        u64 kh = hash_bytes(name.data(), name.size());
+        if (!raw.empty() && chaos_.fire_keyed(chaos::Point::kCacheTruncate, kh))
+          raw.resize(chaos_.draw(chaos::Point::kCacheTruncate) % raw.size());
+        if (!raw.empty() && chaos_.fire_keyed(chaos::Point::kCacheCorrupt, kh)) {
+          u64 d = chaos_.draw(chaos::Point::kCacheCorrupt);
+          raw[d % raw.size()] ^= static_cast<char>(0x80u | (d >> 56));
+        }
+
+        bool valid = raw.size() >= kDiskHeader &&
+                     std::memcmp(raw.data(), kDiskMagic, sizeof kDiskMagic) == 0 &&
+                     get_le64(raw.data() + 8) ==
+                         hash_bytes(raw.data() + kDiskHeader, raw.size() - kDiskHeader);
+        if (valid) {
+          mem_[name] = raw.substr(kDiskHeader);
+          *value = mem_[name];
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          c_hits_->inc();
+          return true;
+        }
+        // Detected corruption (or a pre-checksum legacy file): drop it so
+        // the recomputed artifact replaces it, and fall through to a miss.
+        in.close();
+        std::remove(disk_path(key).c_str());
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        c_corrupt_->inc();
       }
     }
   }
@@ -95,9 +142,18 @@ void ArtifactStore::store(const ArtifactKey& key, const std::string& value) {
     std::string tmp_path = final_path + ".tmp";
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (out) {
+      char header[kDiskHeader];
+      std::memcpy(header, kDiskMagic, sizeof kDiskMagic);
+      put_le64(header + 8, hash_bytes(value.data(), value.size()));
+      out.write(header, sizeof header);
       out.write(value.data(), static_cast<std::streamsize>(value.size()));
       out.close();
-      if (out.good()) {
+      u64 kh = hash_bytes(name.data(), name.size());
+      if (chaos_.fire_keyed(chaos::Point::kCacheRenameFail, kh)) {
+        // Chaos: the publish rename "fails" — the artifact must survive in
+        // memory only and the next cold process recomputes it.
+        std::remove(tmp_path.c_str());
+      } else if (out.good()) {
         std::rename(tmp_path.c_str(), final_path.c_str());
       } else {
         std::remove(tmp_path.c_str());
@@ -117,6 +173,7 @@ void ArtifactStore::clear() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   stores_.store(0, std::memory_order_relaxed);
+  corrupt_.store(0, std::memory_order_relaxed);
 }
 
 ArtifactStore& ArtifactStore::global() {

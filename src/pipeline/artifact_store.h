@@ -19,7 +19,11 @@
 //   * in-memory map — always on (per process);
 //   * optional disk tier — set CRP_CACHE_DIR to persist artifacts across
 //     processes (one file per key, write-tmp-then-rename); this is what
-//     makes a *second* bench run warm.
+//     makes a *second* bench run warm. On-disk blobs carry a "CRPART1"
+//     magic + FNV-1a checksum header: a corrupted, truncated or
+//     legacy-format file is *detected* (pipeline.cache.corrupt), dropped,
+//     and treated as a miss — the stage recomputes instead of decoding
+//     garbage.
 //
 // Kill switch: CRP_CACHE=0 disables the store entirely — lookups miss
 // without counting and stores are dropped — so any suspected cache bug can
@@ -33,6 +37,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "chaos/chaos.h"
 #include "util/common.h"
 
 namespace crp::obs {
@@ -94,6 +99,9 @@ class ArtifactStore {
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
   u64 stores() const { return stores_.load(std::memory_order_relaxed); }
+  /// Disk blobs rejected by the header/checksum validation (each also
+  /// counts as a miss: the caller recomputes).
+  u64 corrupt() const { return corrupt_.load(std::memory_order_relaxed); }
   size_t size() const;
 
   /// Drop every in-memory artifact and zero the traffic counters (the disk
@@ -113,9 +121,15 @@ class ArtifactStore {
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
   std::atomic<u64> stores_{0};
+  std::atomic<u64> corrupt_{0};
   obs::Counter* c_hits_;
   obs::Counter* c_misses_;
   obs::Counter* c_stores_;
+  obs::Counter* c_corrupt_;
+  // Chaos: disk-tier fault injection (corrupt/truncate blobs on read,
+  // failed tmp-rename on store). Decisions are keyed by the artifact key
+  // hash, so they are independent of lookup order and thread schedule.
+  chaos::FaultStream chaos_;
 };
 
 }  // namespace crp::pipeline

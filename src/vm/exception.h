@@ -16,6 +16,7 @@ enum class ExcCode : u32 {
   kIntDivideByZero = 0xC0000094,
   kStackOverflow = 0xC00000FD,
   kGuardPage = 0x80000001,
+  kSingleStep = 0x80000004,  // trace trap (chaos-injected; no hardware TF model)
   kSoftware = 0xE0000001,  // program-raised (RaiseException / C++ throw analog)
 };
 

@@ -11,6 +11,10 @@ namespace crp::vm {
 namespace {
 constexpr u64 kMaxFilterSteps = 100000;
 constexpr int kMaxDispatchDepth = 4;
+// Chaos: injection opportunities are offered every this many steps; the
+// plan's rate then decides whether one fires. Small enough that a
+// rate-reduced test plan hits within a typical workload run.
+constexpr u64 kChaosVmInterval = 256;
 
 bool is_dispatchable_signal(int signo) { return signo == 7 || signo == 8 || signo == 11; }
 
@@ -19,6 +23,7 @@ int signo_for(ExcCode code) {
     case ExcCode::kAccessViolation: return 11;  // SIGSEGV
     case ExcCode::kIntDivideByZero: return 8;   // SIGFPE
     case ExcCode::kIllegalInstruction: return 4;  // SIGILL (no handler support)
+    case ExcCode::kSingleStep: return 5;          // SIGTRAP (no handler support)
     default: return 11;
   }
 }
@@ -31,6 +36,7 @@ const char* exc_name(ExcCode c) {
     case ExcCode::kIntDivideByZero: return "INT_DIVIDE_BY_ZERO";
     case ExcCode::kStackOverflow: return "STACK_OVERFLOW";
     case ExcCode::kGuardPage: return "GUARD_PAGE";
+    case ExcCode::kSingleStep: return "SINGLE_STEP";
     case ExcCode::kSoftware: return "SOFTWARE";
   }
   return "?";
@@ -58,6 +64,8 @@ Machine::Machine(Personality personality, u64 aslr_seed, mem::AslrConfig aslr)
   for (size_t o = 0; o < kNumDispatchOutcomes; ++o)
     c_dispatch_[o] = &reg.counter(std::string("vm.dispatch.") +
                                   dispatch_outcome_name(static_cast<DispatchOutcome>(o)));
+  chaos_ = chaos::make_stream(chaos::kVmPoints);
+  if (chaos_.armed()) chaos_countdown_ = kChaosVmInterval;
 }
 
 Machine::~Machine() { publish_instret(); }
@@ -392,7 +400,33 @@ Machine::ExecOutcome Machine::execute(Cpu& cpu, const isa::Instr& ins, gva_t pc,
   return out;
 }
 
+bool Machine::chaos_step_inject(Cpu& cpu, StepResult* out) {
+  ExceptionRecord rec;
+  if (chaos_.fire(chaos::Point::kVmAv)) {
+    // AV at a poisoned, never-mapped data address; the faulting instruction
+    // is whatever the guest was about to execute.
+    u64 d = chaos_.draw(chaos::Point::kVmAv);
+    rec = {ExcCode::kAccessViolation, cpu.pc,
+           0xC4A0'5000'0000'0000ull | (d & 0x0000'00FF'FFFF'F000ull), mem::Access::kRead};
+  } else if (chaos_.fire(chaos::Point::kVmSingleStep)) {
+    rec = {ExcCode::kSingleStep, cpu.pc, cpu.pc, mem::Access::kExec};
+  } else {
+    return false;
+  }
+  if (dispatch_exception(cpu, rec)) {
+    *out = {};
+    return true;
+  }
+  out->kind = StepKind::kCrash;
+  out->exc = rec;
+  return true;
+}
+
 StepResult Machine::step(Cpu& cpu) {
+  if (chaos_countdown_ != 0 && --chaos_countdown_ == 0) {
+    chaos_countdown_ = kChaosVmInterval;
+    if (StepResult r; chaos_step_inject(cpu, &r)) return r;
+  }
   gva_t pc = cpu.pc;
   u8 word[isa::kInstrBytes];
   mem::AccessResult fr = mem_.fetch(pc, word);

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.h"
 #include "isa/image.h"
 #include "mem/address_space.h"
 #include "mem/layout.h"
@@ -159,6 +160,10 @@ class Machine {
   /// destruction.
   void publish_instret();
   void notify_filter(gva_t handler, const ExceptionRecord& rec, i64 disp);
+  /// Chaos: maybe synthesize an injected exception instead of executing the
+  /// next instruction. True when an injection happened (`*out` is the step
+  /// outcome: kOk when a handler resolved it, kCrash otherwise).
+  bool chaos_step_inject(Cpu& cpu, StepResult* out);
 
   Personality personality_;
   mem::AddressSpace mem_;
@@ -168,6 +173,11 @@ class Machine {
   gva_t sig_handlers_[32] = {};
   bool mapped_only_av_ = false;
   ExceptionStats exc_stats_;
+  // Chaos: injected AV / single-step exceptions at deterministic instruction
+  // counts. chaos_countdown_ == 0 means vm injection is off and step() pays
+  // exactly one compare per instruction.
+  chaos::FaultStream chaos_;
+  u64 chaos_countdown_ = 0;
   std::vector<ExecObserver*> observers_;
   u64 instret_ = 0;
   u64 instret_published_ = 0;

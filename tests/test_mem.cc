@@ -189,5 +189,54 @@ TEST(AslrLayout, BasesArePageAligned) {
     EXPECT_EQ(layout.place(RegionKind::kStack, 4096, "s") % kPageSize, 0u);
 }
 
+// A kPermNone guard page between two mapped regions: every access kind
+// faults on the guard (reporting the guard's address), while both neighbors
+// stay reachable — the probe pattern oracles aim at region skirts.
+TEST(AddressSpace, GuardPageBetweenRegionsFaultsButNeighborsWork) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x10000, 4096, kPermR | kPermW));
+  ASSERT_TRUE(as.map(0x11000, 4096, kPermNone));  // guard
+  ASSERT_TRUE(as.map(0x12000, 4096, kPermR | kPermW));
+
+  u8 buf[8] = {};
+  EXPECT_TRUE(as.read(0x10ff8, buf).ok);
+  EXPECT_TRUE(as.read(0x12000, buf).ok);
+
+  AccessResult r = as.read(0x11000, buf);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault_addr, 0x11000u);
+  EXPECT_FALSE(as.write(0x11ff8, buf).ok);
+  // A straddling read faults on the guard page, not the valid prefix.
+  r = as.read(0x10ffc, buf);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.fault_addr, 0x11000u);
+  // Raw peek/poke ignore perms but still require the page to exist.
+  EXPECT_TRUE(as.peek(0x11000, buf));  // guard is mapped storage
+  EXPECT_TRUE(as.check_range(0x11000, 8, 0));
+  EXPECT_FALSE(as.check_range(0x11000, 8, kPermR));
+}
+
+// Regression for the u64-wrap hole: a range ending past 2^64 used to skip
+// poke()'s validation loop entirely (end overflowed to a small value, so
+// `p < end` was vacuously false) and then dereference an unmapped page —
+// a host crash reachable from guest-chosen top-of-space addresses.
+TEST(AddressSpace, TopOfSpaceWrappingRangesAreRejected) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x10000, 4096, kPermR | kPermW));
+
+  u8 buf[16] = {};
+  for (gva_t addr : {~0ull - 7, ~0ull - 1, ~0ull}) {
+    EXPECT_FALSE(as.peek(addr, buf)) << std::hex << addr;
+    EXPECT_FALSE(as.poke(addr, buf)) << std::hex << addr;
+    EXPECT_FALSE(as.check_range(addr, sizeof buf, 0)) << std::hex << addr;
+    EXPECT_FALSE(as.read(addr, std::span<u8>(buf, sizeof buf)).ok) << std::hex << addr;
+  }
+  u64 v = 0;
+  EXPECT_FALSE(as.peek_u64(~0ull - 3, &v));
+  EXPECT_FALSE(as.poke_u64(~0ull - 3, 0x1234));
+  // The exact top page is simply unmapped; probing it reports a clean fault.
+  EXPECT_FALSE(as.read(~0ull - 4095, std::span<u8>(buf, 8)).ok);
+}
+
 }  // namespace
 }  // namespace crp::mem

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "chaos/chaos.h"
 #include "isa/assembler.h"
 #include "os/kernel.h"
 
@@ -692,6 +693,183 @@ TEST(WinApi, IsBadReadPtrQueriesLayout) {
   k.start_process(pid);
   k.run(100000);
   EXPECT_EQ(k.proc(pid).threads()[0].cpu.reg(Reg::R0), 1u);
+}
+
+// --- crp::chaos satellites: partial-transfer handling under fault injection ---
+
+// A read loop accumulating into buf+total converges to the full file even
+// when every read is cut short: injected short reads return fewer bytes but
+// never lose any (the kernel clamps the length *before* consuming the
+// stream), so the next iteration picks up exactly where this one stopped.
+TEST(Syscalls, ShortReadLoopStillReadsWholeFile) {
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R1, "path");
+  a.movi(Reg::R2, 0);
+  emit_syscall(a, Sys::kOpen);
+  a.mov(Reg::R5, Reg::R0);  // fd
+  a.movi(Reg::R7, 0);       // total
+  a.label("loop");
+  a.mov(Reg::R1, Reg::R5);
+  a.lea_pc(Reg::R2, "buf");
+  a.add(Reg::R2, Reg::R7);  // buf + total
+  a.movi(Reg::R3, 32);
+  a.sub(Reg::R3, Reg::R7);  // want - total
+  emit_syscall(a, Sys::kRead);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLe, "done");  // EOF or error: stop
+  a.add(Reg::R7, Reg::R0);
+  a.cmpi(Reg::R7, 32);
+  a.jcc(Cond::kLt, "loop");
+  a.label("done");
+  a.mov(Reg::R1, Reg::R7);
+  emit_syscall(a, Sys::kExitGroup);
+  a.set_entry("e");
+  a.data_cstr("path", "/f");
+  a.data_zero("buf", 32);
+  isa::Image img = a.build();
+
+  // The invariant must hold at every seed; at least one seed in the sweep
+  // must actually cut a read short, or the test proves nothing.
+  size_t fired = 0;
+  for (u64 seed = 1; seed <= 8; ++seed) {
+    chaos::FaultPlan plan;
+    plan.seed = seed;
+    plan.rate = 2;
+    plan.points = chaos::point_bit(chaos::Point::kShortRead);
+    chaos::ScopedPlan scope(plan);
+    LinuxWorld w(img);
+    w.k.vfs().put_file("/f", "0123456789abcdefghijklmnopqrstuv");
+    w.k.run(300000);
+
+    ASSERT_FALSE(w.p().alive()) << "seed " << seed;
+    EXPECT_FALSE(w.p().exit_info().crashed) << "seed " << seed;
+    EXPECT_EQ(w.p().exit_info().code, 32) << "seed " << seed;  // every byte arrived
+    gva_t buf = w.p().machine().modules()[0].symbol_addr("buf");
+    u64 first8 = 0, last8 = 0;
+    ASSERT_TRUE(w.p().machine().mem().peek_u64(buf, &first8));
+    ASSERT_TRUE(w.p().machine().mem().peek_u64(buf + 24, &last8));
+    EXPECT_EQ(first8 & 0xff, u64{'0'}) << "seed " << seed;
+    EXPECT_EQ(last8 >> 56, u64{'v'}) << "seed " << seed;  // the tail survived
+    fired += scope.events().size();
+  }
+  EXPECT_GT(fired, 0u);  // reads really were cut short somewhere in the sweep
+}
+
+// The mirrored write loop: injected short writes consume a prefix; the loop
+// advances by the returned count and the vfs file ends up byte-complete.
+TEST(Syscalls, ShortWriteLoopStillWritesWholeFile) {
+  Assembler a("t");
+  a.label("e");
+  a.lea_pc(Reg::R1, "path");
+  a.movi(Reg::R2, static_cast<i64>(kOWronly | kOCreat));
+  emit_syscall(a, Sys::kOpen);
+  a.mov(Reg::R5, Reg::R0);  // fd
+  a.movi(Reg::R7, 0);       // total
+  a.label("loop");
+  a.mov(Reg::R1, Reg::R5);
+  a.lea_pc(Reg::R2, "msg");
+  a.add(Reg::R2, Reg::R7);
+  a.movi(Reg::R3, 24);
+  a.sub(Reg::R3, Reg::R7);
+  emit_syscall(a, Sys::kWrite);
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLe, "done");
+  a.add(Reg::R7, Reg::R0);
+  a.cmpi(Reg::R7, 24);
+  a.jcc(Cond::kLt, "loop");
+  a.label("done");
+  a.mov(Reg::R1, Reg::R7);
+  emit_syscall(a, Sys::kExitGroup);
+  a.set_entry("e");
+  a.data_cstr("path", "/out");
+  a.data_cstr("msg", "the quick brown fox jump");
+  isa::Image img = a.build();
+
+  size_t fired = 0;
+  for (u64 seed = 1; seed <= 8; ++seed) {
+    chaos::FaultPlan plan;
+    plan.seed = seed;
+    plan.rate = 2;
+    plan.points = chaos::point_bit(chaos::Point::kShortWrite);
+    chaos::ScopedPlan scope(plan);
+    LinuxWorld w(img);
+    w.k.run(300000);
+
+    ASSERT_FALSE(w.p().alive()) << "seed " << seed;
+    EXPECT_FALSE(w.p().exit_info().crashed) << "seed " << seed;
+    EXPECT_EQ(w.p().exit_info().code, 24) << "seed " << seed;
+    const VfsNode* node = w.k.vfs().resolve("/out");
+    ASSERT_NE(node, nullptr) << "seed " << seed;
+    std::string got(node->data.begin(), node->data.end());
+    EXPECT_EQ(got, "the quick brown fox jump") << "seed " << seed;
+    fired += scope.events().size();
+  }
+  EXPECT_GT(fired, 0u);
+}
+
+// Network variant: the byte-count server from ReadFromClientBlocksUntilData,
+// now retrying injected -EINTR and accumulating short reads — the count it
+// exits with must still equal exactly what the client sent.
+TEST(Syscalls, NetReadLoopSurvivesEintrAndShortReads) {
+  Assembler a("srv");
+  a.label("e");
+  emit_syscall(a, Sys::kSocket);
+  a.mov(Reg::R5, Reg::R0);
+  a.mov(Reg::R1, Reg::R5);
+  a.movi(Reg::R2, 8080);
+  emit_syscall(a, Sys::kBind);
+  a.mov(Reg::R1, Reg::R5);
+  emit_syscall(a, Sys::kListen);
+  a.mov(Reg::R1, Reg::R5);
+  a.movi(Reg::R2, 0);
+  emit_syscall(a, Sys::kAccept);
+  a.mov(Reg::R6, Reg::R0);
+  a.movi(Reg::R7, 0);  // total
+  a.label("loop");
+  a.mov(Reg::R1, Reg::R6);
+  a.lea_pc(Reg::R2, "buf");
+  a.add(Reg::R2, Reg::R7);
+  a.movi(Reg::R3, 16);
+  a.sub(Reg::R3, Reg::R7);
+  emit_syscall(a, Sys::kRead);
+  a.cmpi(Reg::R0, -kEINTR);
+  a.jcc(Cond::kEq, "loop");  // spurious interrupt: try again
+  a.cmpi(Reg::R0, 0);
+  a.jcc(Cond::kLe, "done");
+  a.add(Reg::R7, Reg::R0);
+  a.cmpi(Reg::R7, 16);
+  a.jcc(Cond::kLt, "loop");
+  a.label("done");
+  a.mov(Reg::R1, Reg::R7);
+  emit_syscall(a, Sys::kExitGroup);
+  a.set_entry("e");
+  a.data_zero("buf", 16);
+  isa::Image img = a.build();
+
+  size_t fired = 0;
+  for (u64 seed = 1; seed <= 8; ++seed) {
+    chaos::FaultPlan plan;
+    plan.seed = seed;
+    plan.rate = 3;
+    plan.points =
+        chaos::point_bit(chaos::Point::kSysEintr) | chaos::point_bit(chaos::Point::kShortRead);
+    chaos::ScopedPlan scope(plan);
+    LinuxWorld w(img);
+    w.k.run(50000);
+    EXPECT_TRUE(w.p().alive()) << "seed " << seed;
+    auto client = w.k.connect(8080);
+    ASSERT_TRUE(client.has_value()) << "seed " << seed;
+    w.k.run(50000);
+    client->send("exactly sixteen!");
+    w.k.run(200000);
+
+    ASSERT_FALSE(w.p().alive()) << "seed " << seed;
+    EXPECT_FALSE(w.p().exit_info().crashed) << "seed " << seed;
+    EXPECT_EQ(w.p().exit_info().code, 16) << "seed " << seed;
+    fired += scope.events().size();
+  }
+  EXPECT_GT(fired, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,515 @@
+// chaosrun — sweep fault-injection seeds across the registered discovery
+// subjects and print a per-invariant pass/fail table.
+//
+// Two layers of sweep:
+//
+//   1. A parallel target sweep: every kLinuxServer registry subject runs a
+//      reduced-budget Campaign syscall funnel under a per-cell ScopedPlan
+//      (one cell = target x seed, sharded over the exec pool; each cell's
+//      campaign runs jobs=1 because the plan override is thread-local).
+//      Invariant: the funnel completes and traces work under injected I/O
+//      and cache faults — no host crash, no hang, no empty trace.
+//
+//   2. The paper-level property suite via chaos::check(): oracle probes
+//      never crash the target, audit_ledger() stays green, taint labels
+//      survive injected -EINTR retries, the decoder never reads out of
+//      bounds, warm-cache output is byte-identical to cold under cache
+//      corruption, and task-order perturbation never changes merged output.
+//      Failures are shrunk to a one-line CRP_CHAOS replay spec.
+//
+// Exit status 0 iff every invariant passed at every seed. Failing rows
+// print `CRP_CHAOS=<line>` counterexamples for artifact upload (see CI).
+//
+// Usage: chaosrun [--seeds N] [--base-seed S] [--rate R] [--points spec]
+//                 [--jobs J] [--targets substr] [--list]
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+#include "chaos/prop.h"
+#include "exec/thread_pool.h"
+#include "isa/assembler.h"
+#include "isa/isa.h"
+#include "obs/ledger.h"
+#include "obs/obs.h"
+#include "oracle/oracle.h"
+#include "os/kernel.h"
+#include "pipeline/campaign.h"
+#include "pipeline/registry.h"
+#include "taint/taint.h"
+#include "targets/common.h"
+#include "targets/nginx.h"
+#include "util/common.h"
+
+namespace crp {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options {
+  u64 seeds = 8;
+  u64 base_seed = 1;
+  u32 rate = 8;
+  // Default sweep: the fault families every registered guest must tolerate.
+  // vm-av / vm-single-step kill handler-less guests by design (that is the
+  // acceptance test's planted bug, not a survivable fault), so they are
+  // opt-in via --points vm.
+  u32 points = chaos::kIoPoints | chaos::kCachePoints |
+               chaos::point_bit(chaos::Point::kTaskOrder);
+  int jobs = 0;  // exec::resolve_jobs semantics (0 = CRP_JOBS or hw)
+  std::string target_filter;
+  bool list = false;
+};
+
+// Reduced per-cell funnel budgets: the sweep wants breadth (many seeds x
+// many targets), not the full Table I depth.
+constexpr u64 kSweepDiscoverBudget = 150'000;
+constexpr u64 kSweepVerifyBudget = 150'000;
+
+struct InvariantRow {
+  std::string name;
+  u64 runs = 0;
+  bool ok = true;
+  std::string detail;  // failure message (first line of the table footnote)
+  std::string replay;  // CRP_CHAOS line reproducing the failure
+};
+
+// --- phase 1: parallel target sweep ------------------------------------------
+
+struct Cell {
+  const pipeline::TargetSpec* spec = nullptr;
+  u64 seed = 0;
+};
+
+struct CellVerdict {
+  bool ok = true;
+  std::string msg;
+  std::string replay;
+  u64 fired = 0;
+};
+
+CellVerdict run_cell(const Cell& cell, const Options& opt) {
+  chaos::FaultPlan plan;
+  plan.seed = cell.seed;
+  plan.rate = opt.rate;
+  plan.points = opt.points;
+  chaos::ScopedPlan scope(plan);
+
+  pipeline::CampaignOptions copts;
+  copts.jobs = 1;  // the plan override is thread-local: stay on this thread
+  copts.cache = false;
+  copts.syscall.discover_budget = kSweepDiscoverBudget;
+  copts.syscall.verify_budget = kSweepVerifyBudget;
+  copts.syscall.seed = cell.seed;
+  pipeline::Campaign camp(copts);
+
+  pipeline::ServerScan scan = camp.scan_target(*cell.spec);
+  CellVerdict v;
+  v.fired = scope.events().size();
+  if (scan.result.instructions == 0 || scan.result.syscalls_traced == 0) {
+    v.ok = false;
+    v.msg = strf("funnel traced nothing (instructions=%llu syscalls=%llu)",
+                 (unsigned long long)scan.result.instructions,
+                 (unsigned long long)scan.result.syscalls_traced);
+    v.replay = chaos::format_replay(cell.seed, scope.events());
+  }
+  return v;
+}
+
+// --- phase 2: property-suite helpers -----------------------------------------
+
+// Shared world for the probe / ledger invariants: boot nginx_sim, plant a
+// hidden region, hunt it with the §VI-C recv oracle. Returns nullopt when
+// the world never became probeable (an injected fault killed startup —
+// vacuous for a *probe* invariant), otherwise runs `verdict` on the result.
+template <typename Fn>
+std::optional<std::string> with_nginx_hunt(u64 seed, Fn&& verdict) {
+  os::Kernel k;
+  analysis::TargetProgram prog = targets::make_nginx();
+  int pid = prog.instantiate(k, chaos::mix64(seed, 0x5eed));
+  k.run(3'000'000);
+  if (!k.proc(pid).alive()) return std::nullopt;
+
+  gva_t hidden = targets::plant_hidden_region(k.proc(pid), 8 * 4096, 1);
+  oracle::NginxRecvOracle oracle(k, pid, targets::kNginxPort);
+  oracle::Scanner scanner(oracle, "chaosrun");
+  scanner.hunt(hidden - 64 * 4096, hidden + 64 * 4096, 150,
+               chaos::mix64(seed, 0x9e37));
+  return verdict(k, pid, scanner);
+}
+
+std::optional<std::string> probe_no_crash_body(u64 seed) {
+  return with_nginx_hunt(seed, [](os::Kernel& k, int pid,
+                                  const oracle::Scanner& sc)
+                                   -> std::optional<std::string> {
+    const oracle::ScanStats& st = sc.stats();
+    if (st.crashes != 0)
+      return strf("scanner observed %llu probe-induced crashes",
+                  (unsigned long long)st.crashes);
+    if (!k.proc(pid).alive()) return std::string("target dead after hunt");
+    u64 unhandled = k.proc(pid).machine().exception_stats().unhandled;
+    if (unhandled != 0)
+      return strf("%llu unhandled exceptions during probing",
+                  (unsigned long long)unhandled);
+    return std::nullopt;
+  });
+}
+
+std::optional<std::string> ledger_audit_body(u64 seed) {
+  obs::Ledger::global().clear();
+  auto r = with_nginx_hunt(
+      seed, [](os::Kernel&, int, const oracle::Scanner&)
+                -> std::optional<std::string> { return std::nullopt; });
+  if (r.has_value()) return r;
+  obs::LedgerAudit audit = obs::audit_ledger(obs::Ledger::global());
+  if (!audit.zero_crash())
+    return strf("audit_ledger red: %llu crash events",
+                (unsigned long long)audit.crash_events);
+  return std::nullopt;
+}
+
+std::optional<std::string> taint_eintr_body(u64 /*seed*/) {
+  using isa::Assembler;
+  using isa::Cond;
+  using isa::Reg;
+  Assembler a("srv");
+  auto sys = [&a](os::Sys nr) {
+    a.movi(Reg::R0, static_cast<i64>(nr));
+    a.syscall();
+  };
+  a.label("e");
+  sys(os::Sys::kSocket);
+  a.mov(Reg::R5, Reg::R0);
+  a.mov(Reg::R1, Reg::R5);
+  a.movi(Reg::R2, 8080);
+  sys(os::Sys::kBind);
+  a.mov(Reg::R1, Reg::R5);
+  sys(os::Sys::kListen);
+  a.mov(Reg::R1, Reg::R5);
+  a.movi(Reg::R2, 0);
+  sys(os::Sys::kAccept);
+  a.mov(Reg::R6, Reg::R0);
+  a.label("retry");
+  a.mov(Reg::R1, Reg::R6);
+  a.lea_pc(Reg::R2, "buf");
+  a.movi(Reg::R3, 64);
+  sys(os::Sys::kRead);
+  a.cmpi(Reg::R0, -os::kEINTR);
+  a.jcc(Cond::kEq, "retry");
+  a.lea_pc(Reg::R2, "buf");
+  a.load(Reg::R7, Reg::R2, 8);
+  a.label("stop");
+  a.jmp("stop");
+  a.set_entry("e");
+  a.data_zero("buf", 64);
+
+  os::Kernel k;
+  int pid = k.create_process("srv", vm::Personality::kLinux, 21);
+  k.proc(pid).load(std::make_shared<isa::Image>(a.build()));
+  k.start_process(pid);
+  taint::TaintEngine taint(k, k.proc(pid));
+  k.run(50'000);
+  auto client = k.connect(8080);
+  if (!client.has_value()) return std::string("connect to guest failed");
+  k.run(50'000);
+  client->send("AAAAAAAA");
+  k.run(50'000);
+
+  gva_t buf = k.proc(pid).machine().modules()[0].symbol_addr("buf");
+  taint::Mask expected = taint::mask_for_color(client->color());
+  if (taint.mem_taint(buf, 8) != expected)
+    return strf("buffer label lost: got %llx want %llx",
+                (unsigned long long)taint.mem_taint(buf, 8),
+                (unsigned long long)expected);
+  if (taint.reg_taint(isa::Reg::R7) != expected)
+    return std::string("register label lost across EINTR retry");
+  return std::nullopt;
+}
+
+std::optional<std::string> decoder_oob_body(u64 seed) {
+  chaos::Gen gen(seed);
+  // Exact-sized heap buffers: an out-of-bounds read is a real OOB the
+  // nightly ASan build traps, not a silent over-read of a padded array.
+  for (int i = 0; i < 256; ++i) {
+    std::vector<u8> word = gen.bytes(isa::kInstrBytes);
+    (void)isa::decode(word);
+  }
+  for (size_t n = 0; n < isa::kInstrBytes; ++n) {
+    std::vector<u8> part = gen.bytes(n);
+    if (isa::decode(part).has_value())
+      return strf("decode claimed success on a %zu-byte span", n);
+  }
+  return std::nullopt;
+}
+
+u64 digest_scan(const pipeline::ServerScan& scan) {
+  u64 h = chaos::mix64(0x5ca9, scan.result.syscalls_traced);
+  h = chaos::mix64(h, scan.result.instructions);
+  for (os::Sys s : scan.result.observed)
+    h = chaos::mix64(h, static_cast<u64>(s));
+  for (const analysis::Candidate& c : scan.result.candidates) {
+    for (char ch : c.describe()) h = chaos::mix64(h, static_cast<u8>(ch));
+    h = chaos::mix64(h, static_cast<u64>(c.verdict));
+  }
+  return h;
+}
+
+std::optional<std::string> cache_cold_warm_body(u64 seed) {
+  static std::atomic<u64> cell_no{0};
+  fs::path dir = fs::temp_directory_path() /
+                 strf("crp-chaosrun-%d-%llu-%llu", (int)getpid(),
+                      (unsigned long long)seed,
+                      (unsigned long long)cell_no.fetch_add(1));
+  fs::create_directories(dir);
+
+  pipeline::CampaignOptions copts;
+  copts.jobs = 1;
+  copts.cache = true;
+  copts.syscall.discover_budget = kSweepDiscoverBudget;
+  copts.syscall.verify_budget = kSweepVerifyBudget;
+
+  analysis::TargetProgram prog = targets::make_nginx();
+
+  pipeline::ArtifactStore cold_store;
+  cold_store.set_enabled(true);
+  cold_store.set_dir(dir.string());
+  pipeline::Campaign cold(copts, &cold_store);
+  u64 cold_digest = digest_scan(cold.scan_program(prog));
+
+  // Fresh store over the same directory: the disk tier (possibly corrupted
+  // or truncated by the plan) is all the warm run can see. Detection must
+  // fall back to recompute, never decode garbage.
+  pipeline::ArtifactStore warm_store;
+  warm_store.set_enabled(true);
+  warm_store.set_dir(dir.string());
+  pipeline::Campaign warm(copts, &warm_store);
+  u64 warm_digest = digest_scan(warm.scan_program(prog));
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  if (cold_digest != warm_digest)
+    return strf("warm output diverged from cold (%016llx != %016llx)",
+                (unsigned long long)warm_digest,
+                (unsigned long long)cold_digest);
+  return std::nullopt;
+}
+
+std::optional<std::string> task_order_body(u64 seed) {
+  exec::ThreadPool pool(1);  // caller-is-worker: stays under the plan
+  std::vector<u64> items(64);
+  for (u64 i = 0; i < items.size(); ++i) items[i] = chaos::mix64(seed, i);
+  std::vector<u64> out = exec::parallel_map(
+      pool, items, [](size_t, const u64& v) { return chaos::mix64(v, 0x7ab); });
+  for (u64 i = 0; i < items.size(); ++i)
+    if (out[i] != chaos::mix64(items[i], 0x7ab))
+      return strf("merged output wrong at index %llu", (unsigned long long)i);
+  return std::nullopt;
+}
+
+// --- driver -------------------------------------------------------------------
+
+InvariantRow run_property(const std::string& name, const Options& opt,
+                          u32 points, const chaos::Property& body) {
+  chaos::PropOptions popts;
+  popts.seeds = opt.seeds;
+  popts.base_seed = opt.base_seed;
+  popts.rate = opt.rate;
+  popts.points = points;
+  chaos::PropResult res = chaos::check(name, popts, body);
+  InvariantRow row;
+  row.name = name;
+  row.runs = res.runs;
+  row.ok = res.ok();
+  if (res.cex.has_value()) {
+    row.detail = res.cex->message;
+    row.replay = res.cex->replay;
+  }
+  return row;
+}
+
+bool parse_points(const char* spec, u32* out) {
+  u32 mask = 0;
+  std::string_view rest(spec);
+  while (!rest.empty()) {
+    size_t comma = rest.find(',');
+    std::string_view item = rest.substr(0, comma);
+    u32 bits = chaos::points_from_name(item);
+    if (bits == 0) return false;
+    mask |= bits;
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  *out = mask;
+  return mask != 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: chaosrun [--seeds N] [--base-seed S] [--rate R]\n"
+               "                [--points p1,p2,...] [--jobs J]\n"
+               "                [--targets substr] [--list]\n");
+  return 2;
+}
+
+}  // namespace
+
+int chaosrun_main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--seeds") {
+      const char* v = next();
+      if (!v) return usage();
+      opt.seeds = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--base-seed") {
+      const char* v = next();
+      if (!v) return usage();
+      opt.base_seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--rate") {
+      const char* v = next();
+      if (!v) return usage();
+      opt.rate = static_cast<u32>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--points") {
+      const char* v = next();
+      if (!v || !parse_points(v, &opt.points)) return usage();
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (!v) return usage();
+      opt.jobs = std::atoi(v);
+    } else if (arg == "--targets") {
+      const char* v = next();
+      if (!v) return usage();
+      opt.target_filter = v;
+    } else if (arg == "--list") {
+      opt.list = true;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.seeds == 0 || opt.rate == 0) return usage();
+
+  pipeline::TargetRegistry reg = pipeline::TargetRegistry::builtin();
+  std::vector<const pipeline::TargetSpec*> servers;
+  for (const pipeline::TargetSpec* s :
+       reg.of_class(pipeline::TargetClass::kLinuxServer)) {
+    if (opt.target_filter.empty() ||
+        s->id.find(opt.target_filter) != std::string::npos)
+      servers.push_back(s);
+  }
+  if (opt.list) {
+    for (const pipeline::TargetSpec* s : servers)
+      std::printf("%s\n", s->id.c_str());
+    return 0;
+  }
+  if (servers.empty()) {
+    std::fprintf(stderr, "chaosrun: no targets match '%s'\n",
+                 opt.target_filter.c_str());
+    return 2;
+  }
+
+  int jobs = exec::resolve_jobs(opt.jobs);
+  std::printf("chaosrun: %llu seeds (base %llu, rate 1/%u), %zu targets, %d jobs\n\n",
+              (unsigned long long)opt.seeds, (unsigned long long)opt.base_seed,
+              opt.rate, servers.size(), jobs);
+
+  // Phase 1: the target sweep. One cell per seed, targets assigned
+  // round-robin (a full seeds x targets matrix would be dominated by the
+  // heavier workloads — cherokee_sim alone replays ~30M instructions per
+  // funnel — without probing more of the fault space). Cells shard over
+  // the pool; ScopedPlan is thread-local, so each cell body is self-
+  // contained on its worker.
+  std::vector<Cell> cells;
+  for (u64 i = 0; i < opt.seeds; ++i)
+    cells.push_back(Cell{servers[i % servers.size()], opt.base_seed + i});
+
+  exec::ThreadPool pool(jobs);
+  std::vector<CellVerdict> verdicts = exec::parallel_map(
+      pool, cells, [&](size_t, const Cell& c) { return run_cell(c, opt); });
+
+  std::vector<InvariantRow> rows;
+  u64 sweep_fired = 0;
+  for (const pipeline::TargetSpec* s : servers) {
+    InvariantRow row;
+    row.name = "scan-funnel/" + s->id;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].spec != s) continue;
+      ++row.runs;
+      sweep_fired += verdicts[i].fired;
+      if (row.ok && !verdicts[i].ok) {
+        row.ok = false;
+        row.detail = strf("seed %llu: %s", (unsigned long long)cells[i].seed,
+                          verdicts[i].msg.c_str());
+        row.replay = verdicts[i].replay;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // Phase 2: the paper-level property suite (serial: check() owns the
+  // thread-local plan while it sweeps and shrinks).
+  rows.push_back(run_property("oracle-probe-no-crash", opt, chaos::kIoPoints,
+                              probe_no_crash_body));
+  rows.push_back(run_property("ledger-audit-green", opt, chaos::kIoPoints,
+                              ledger_audit_body));
+  rows.push_back(run_property("taint-eintr-labels", opt,
+                              chaos::point_bit(chaos::Point::kSysEintr),
+                              taint_eintr_body));
+  rows.push_back(
+      run_property("decoder-no-oob", opt, opt.points, decoder_oob_body));
+  rows.push_back(run_property("cache-cold-warm-identical", opt,
+                              chaos::kCachePoints, cache_cold_warm_body));
+  rows.push_back(run_property("task-order-output-stable", opt,
+                              chaos::point_bit(chaos::Point::kTaskOrder),
+                              task_order_body));
+
+  // The table.
+  size_t width = 0;
+  for (const InvariantRow& r : rows) width = std::max(width, r.name.size());
+  std::printf("  %-*s  %6s  %s\n", (int)width, "invariant", "seeds", "result");
+  bool all_ok = true;
+  for (const InvariantRow& r : rows) {
+    std::printf("  %-*s  %6llu  %s\n", (int)width, r.name.c_str(),
+                (unsigned long long)r.runs, r.ok ? "PASS" : "FAIL");
+    all_ok = all_ok && r.ok;
+  }
+
+  obs::Registry& metrics = obs::Registry::global();
+  u64 injected = 0;
+  for (u32 i = 0; i < chaos::kNumPoints; ++i) {
+    std::string name = std::string("chaos.injected.") +
+                       chaos::point_name(static_cast<chaos::Point>(i));
+    std::replace(name.begin(), name.end(), '-', '_');
+    injected += metrics.counter_value(name);
+  }
+  std::printf("\n  faults injected: %llu total (%llu in the target sweep)\n",
+              (unsigned long long)injected, (unsigned long long)sweep_fired);
+
+  if (!all_ok) {
+    std::printf("\nFAILURES:\n");
+    for (const InvariantRow& r : rows) {
+      if (r.ok) continue;
+      std::printf("  %s: %s\n", r.name.c_str(), r.detail.c_str());
+      if (!r.replay.empty())
+        std::printf("    reproduce: CRP_CHAOS=%s\n", r.replay.c_str());
+    }
+    return 1;
+  }
+  std::printf("\nall invariants held\n");
+  return 0;
+}
+
+}  // namespace crp
+
+int main(int argc, char** argv) { return crp::chaosrun_main(argc, argv); }
