@@ -30,8 +30,9 @@ SUMMARY_CACHE="${CRP_CACHE:-default}"
 
 # Clear snapshots from earlier runs: benches that were since renamed/removed
 # would otherwise leave stale BENCH_*.json files that the aggregation below
-# silently folds into the summary.
-rm -f "$OUT_DIR"/BENCH_*.json
+# silently folds into the summary. Same for profiler reports — a PROF_*.json
+# from a previous CRP_PROF run must not outlive the run that produced it.
+rm -f "$OUT_DIR"/BENCH_*.json "$OUT_DIR"/PROF_*.json "$OUT_DIR"/PROF_*.folded
 
 failed=0
 for bench in "$BENCH_DIR"/bench_*; do

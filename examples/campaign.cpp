@@ -18,6 +18,7 @@
 
 #include "obs/ledger.h"
 #include "obs/obs.h"
+#include "obs/serve.h"
 #include "pipeline/campaign.h"
 
 int main() {
@@ -26,8 +27,14 @@ int main() {
   printf("CRProbe campaign — every registered target, one pipeline\n");
   printf("=========================================================\n\n");
 
+  // CRP_OBS_SERVE=port exposes live progress (watch with tools/crptop).
+  obs::serve::maybe_start_from_env();
+
   pipeline::TargetRegistry reg = pipeline::TargetRegistry::builtin();
   pipeline::Campaign campaign;
+  obs::Registry::global()
+      .gauge("pipeline.campaign.targets_total")
+      .set(static_cast<i64>(reg.all().size()));
 
   int total_primitives = 0;
   for (const pipeline::TargetSpec& spec : reg.all()) {

@@ -3,6 +3,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/prof.h"
 #include "taint/taint.h"
 #include "util/log.h"
 
@@ -190,6 +191,10 @@ SyscallScanner::SyscallScanner(const TargetProgram& target, SyscallScanOptions o
     : target_(target), opts_(opts) {}
 
 SyscallScanResult SyscallScanner::discover() {
+  // The whole discovery run executes under byte-granular taint tracking;
+  // tag its virtual-time samples so the heat table separates taint-traced
+  // interpretation from plain execution.
+  obs::ScopedProfFlags prof_flags(obs::kProfTaint);
   os::Kernel k;
   TaintFarm farm(k);
   DiscoverHook hook(k, farm, target_.name);

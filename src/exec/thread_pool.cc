@@ -68,14 +68,23 @@ void ThreadPool::drain(const std::function<void(u64)>& fn, u64 n, const char* la
     // chaos salt follows the *task* index, so per-item injection streams are
     // identical whether or not the order was shuffled.
     u64 task = chaos_on_ && !chaos_order_.empty() ? chaos_order_[i] : i;
+    // Trace lane derived from the *task* id, never from thread identity:
+    // spans from two runs of the same batch land on the same lane at any
+    // job count, so Chrome traces diff cleanly across runs.
+    u32 lane = 1 + static_cast<u32>(task % obs::kJournalTaskLanes);
     u64 t0 = wall_ns();
-    if (chaos_on_) {
-      chaos::TaskScope scope(task_seed(chaos_batch_salt_, task));
-      fn(task);
-    } else {
-      fn(task);
+    {
+      obs::ScopedJournalLane lane_scope(lane);
+      // Tasks inherit the batch issuer's profiler context (stage/target).
+      obs::ScopedProfContext prof_scope(prof_batch_ctx_);
+      if (chaos_on_) {
+        chaos::TaskScope scope(task_seed(chaos_batch_salt_, task));
+        fn(task);
+      } else {
+        fn(task);
+      }
     }
-    obs::Journal::global().span(label, "exec", t0 / 1000, (wall_ns() - t0) / 1000, 0,
+    obs::Journal::global().span(label, "exec", t0 / 1000, (wall_ns() - t0) / 1000, lane,
                                "task", static_cast<i64>(task));
     c_tasks_->inc();
     if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
@@ -143,6 +152,7 @@ void ThreadPool::for_each_index(u64 n, const std::function<void(u64)>& fn,
     chaos_on_ = chaos_on;
     chaos_batch_salt_ = batch_salt;
     chaos_order_ = std::move(order);
+    prof_batch_ctx_ = obs::Profiler::context();
     fn_ = &fn;
     label_ = label;
     batch_n_ = n;

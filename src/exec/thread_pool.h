@@ -30,6 +30,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/prof.h"
 #include "util/common.h"
 
 namespace crp::obs {
@@ -85,6 +86,10 @@ class ThreadPool {
   // chaos_on_ stays false and drain pays a single branch per task.
   bool chaos_on_ = false;
   u64 chaos_batch_salt_ = 0;
+  // Profiler context of the batch issuer, re-entered around every task so
+  // samples taken inside worker threads inherit the issuing stage/target
+  // (VerifyStage's machines must not sample as context-less).
+  obs::ProfContext prof_batch_ctx_{};
   // Non-empty: claim i executes task chaos_order_[i] (a seeded permutation;
   // merged output must be unchanged — the kTaskOrder invariant).
   std::vector<u64> chaos_order_;

@@ -1,14 +1,18 @@
 #include "obs/bench_support.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
+#include "chaos/chaos.h"
 #include "obs/journal.h"
 #include "obs/ledger.h"
 #include "obs/obs.h"
+#include "obs/prof.h"
+#include "obs/serve.h"
 #include "os/abi.h"
 #include "util/log.h"
 #include "vm/exception.h"
@@ -80,11 +84,27 @@ void preregister_core_metrics() {
   r.counter("analysis.pool.tasks");
   r.histogram("analysis.pool.steal_ns");
   r.counter("analysis.classify.memo_hits");
+  // Fault-injection and artifact-cache counters: preregistered so clean runs
+  // expose them at zero and a snapshot diff shows exactly what chaos touched.
+  for (u64 p = 0; p < static_cast<u64>(chaos::Point::kCount); ++p) {
+    std::string name =
+        std::string("chaos.injected.") + chaos::point_name(static_cast<chaos::Point>(p));
+    std::replace(name.begin(), name.end(), '-', '_');
+    r.counter(name);
+  }
+  r.counter("pipeline.cache.hits");
+  r.counter("pipeline.cache.misses");
+  r.counter("pipeline.cache.stores");
+  r.counter("pipeline.cache.corrupt");
+  r.counter("pipeline.campaign.targets_run");
+  r.gauge("pipeline.campaign.targets_total");
+  r.gauge("bench.instr_virtual");
 }
 
 BenchSession::BenchSession(const std::string& name) : name_(name), wall_t0_ns_(wall_ns()) {
   preregister_core_metrics();
   install_flush_handlers();
+  serve::maybe_start_from_env();
   if (g_active_session == nullptr) {
     g_active_session = this;
     set_session_flush_sink(&flush_active_session);
@@ -101,6 +121,10 @@ void BenchSession::flush() {
   if (flushed_) return;
   flushed_ = true;
   Registry::global().gauge("bench.wall_ns").set(static_cast<i64>(wall_ns() - wall_t0_ns_));
+  // Virtual-time cost metric: the retired-instruction count is deterministic,
+  // so benchdiff can gate profiler overhead on it without wall-clock noise.
+  Registry::global().gauge("bench.instr_virtual")
+      .set(static_cast<i64>(Registry::global().counter("vm.instr_retired").value()));
 
   std::string body = "{\n\"bench\": \"" + name_ + "\",\n\"schema\": 1,\n\"metrics\": ";
   std::string metrics = Registry::global().json();
@@ -122,6 +146,19 @@ void BenchSession::flush() {
   if (j.size() > 0) {
     std::ofstream f(trace_path());
     if (f) f << j.chrome_trace_json() << "\n";
+  }
+
+  Profiler& prof = Profiler::global();
+  if (prof.enabled()) {
+    std::string prof_path = out_dir() + "PROF_" + name_ + ".json";
+    std::ofstream pf(prof_path);
+    if (pf) pf << prof.report_json(name_, 10);
+    std::string folded_path = out_dir() + "PROF_" + name_ + ".folded";
+    std::ofstream ff(folded_path);
+    if (ff) ff << prof.collapsed();
+    std::fprintf(stderr, "[obs] profile: %s (%llu samples, %llu dropped)\n",
+                 prof_path.c_str(), static_cast<unsigned long long>(prof.samples()),
+                 static_cast<unsigned long long>(prof.dropped()));
   }
   if (wrote)
     std::fprintf(stderr, "[obs] metrics snapshot: %s%s\n", metrics_path().c_str(),

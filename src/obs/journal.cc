@@ -7,6 +7,13 @@
 
 namespace crp::obs {
 
+namespace {
+thread_local u32 t_journal_lane = 0;
+}  // namespace
+
+u32 journal_thread_lane() { return t_journal_lane; }
+void set_journal_thread_lane(u32 lane) { t_journal_lane = lane; }
+
 void Journal::span(const std::string& name, const std::string& cat, u64 ts_us, u64 dur_us,
                    u32 tid, const std::string& arg_name, i64 arg) {
   emit({name, cat, 'X', ts_us, dur_us, tid, arg_name, arg});
@@ -19,6 +26,7 @@ void Journal::instant(const std::string& name, const std::string& cat, u64 ts_us
 
 void Journal::emit(TraceEvent ev) {
   if (!detail::recording()) return;
+  if (ev.tid == 0) ev.tid = t_journal_lane;
   std::lock_guard<std::mutex> lock(mu_);
   if (ring_.size() >= capacity_) {
     ring_.pop_front();
@@ -41,6 +49,11 @@ void Journal::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   dropped_ = 0;
+}
+
+std::vector<TraceEvent> Journal::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceEvent>(ring_.begin(), ring_.end());
 }
 
 namespace {

@@ -17,10 +17,39 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/common.h"
 
 namespace crp::obs {
+
+/// Fixed lane count for task-derived trace tids (lane = 1 + task % lanes).
+/// A fixed, job-count-independent modulus keeps traces from jobs=1 and
+/// jobs=8 runs on identical lanes.
+inline constexpr u32 kJournalTaskLanes = 16;
+
+/// Deterministic trace lane of the calling thread. Events emitted with
+/// tid == 0 adopt it, so nested spans (e.g. oracle probes inside a pool
+/// task) land on their task's lane without plumbing a tid through every
+/// layer. Lane 0 (the default) is the main/untracked lane.
+u32 journal_thread_lane();
+void set_journal_thread_lane(u32 lane);
+
+/// RAII lane switch; exec::ThreadPool scopes one per task, derived from the
+/// task id (never std::thread::id — thread identity is scheduling-dependent
+/// and would break trace determinism across runs and job counts).
+class ScopedJournalLane {
+ public:
+  explicit ScopedJournalLane(u32 lane) : prev_(journal_thread_lane()) {
+    set_journal_thread_lane(lane);
+  }
+  ~ScopedJournalLane() { set_journal_thread_lane(prev_); }
+  ScopedJournalLane(const ScopedJournalLane&) = delete;
+  ScopedJournalLane& operator=(const ScopedJournalLane&) = delete;
+
+ private:
+  u32 prev_;
+};
 
 struct TraceEvent {
   std::string name;
@@ -49,6 +78,9 @@ class Journal {
   size_t capacity() const { return capacity_; }
   u64 dropped() const;
   void clear();
+
+  /// Copy of the buffered events in emission order (tests, live telemetry).
+  std::vector<TraceEvent> events() const;
 
   /// Chrome trace_event "JSON Array Format": events sorted by ts_us.
   std::string chrome_trace_json() const;

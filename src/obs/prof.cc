@@ -1,0 +1,304 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+
+#include "obs/obs.h"
+#include "util/log.h"
+
+namespace crp::obs {
+
+std::string prof_flags_name(u16 flags) {
+  std::string out;
+  auto add = [&](u16 bit, const char* name) {
+    if ((flags & bit) == 0) return;
+    if (!out.empty()) out += "|";
+    out += name;
+  };
+  add(kProfProbe, "probe");
+  add(kProfTaint, "taint");
+  add(kProfFilter, "filter");
+  return out.empty() ? "-" : out;
+}
+
+// --- Shard -------------------------------------------------------------------
+
+namespace {
+/// Heat key in interned-id space (names are resolved only at export).
+using HeatKey = std::tuple<u32, u32, u32, u16, u16>;  // block, stage, target, sys, flags
+}  // namespace
+
+/// Per-thread shard: an SPSC raw-sample ring (owning thread produces, a
+/// drainer holding the profiler mutex consumes) plus the exact heat tallies
+/// under a shard-local mutex that only the (rare) snapshot ever contends.
+struct Profiler::Shard {
+  explicit Shard(size_t cap) : buf(cap) {}
+
+  std::vector<ProfSample> buf;
+  std::atomic<u64> head{0};
+  std::atomic<u64> tail{0};
+  std::atomic<u64> dropped{0};
+
+  std::mutex mu;
+  std::map<HeatKey, u64> heat;
+};
+
+namespace {
+
+/// Thread-local shard cache, keyed by a per-profiler unique id (never by
+/// address: a test profiler destroyed and another allocated at the same
+/// address must not alias a stale entry).
+struct TlsShardRef {
+  u64 profiler_id;
+  Profiler::Shard* shard;
+};
+thread_local std::vector<TlsShardRef> t_shards;
+
+std::atomic<u64> g_next_profiler_id{1};
+
+u64 env_interval() {
+  const char* p = std::getenv("CRP_PROF");
+  if (p == nullptr || *p == '\0') return 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(p, &end, 10);
+  if (end == p || (end != nullptr && *end != '\0')) {
+    CRP_WARN("obs", "ignoring CRP_PROF=\"%s\": not an instruction count", p);
+    return 0;
+  }
+  return static_cast<u64>(v);
+}
+
+}  // namespace
+
+Profiler::Profiler(size_t ring_capacity)
+    : ring_capacity_(std::max<size_t>(ring_capacity, 8)),
+      id_(g_next_profiler_id.fetch_add(1, std::memory_order_relaxed)) {
+  names_.push_back("-");  // id 0: none/unknown
+}
+
+Profiler::~Profiler() = default;
+
+Profiler& Profiler::global() {
+  static Profiler* g = [] {
+    auto* p = new Profiler();
+    p->set_interval(env_interval());
+    return p;
+  }();
+  return *g;
+}
+
+ProfContext& Profiler::context() {
+  thread_local ProfContext ctx;
+  return ctx;
+}
+
+Profiler::Shard& Profiler::shard_for_thread() {
+  for (const TlsShardRef& r : t_shards)
+    if (r.profiler_id == id_) return *r.shard;
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>(ring_capacity_));
+  Shard* shard = shards_.back().get();
+  t_shards.push_back({id_, shard});
+  return *shard;
+}
+
+u32 Profiler::intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<u32>(i);
+  names_.push_back(name);
+  return static_cast<u32>(names_.size() - 1);
+}
+
+std::string Profiler::name_of(u32 id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < names_.size() ? names_[id] : std::string("-");
+}
+
+void Profiler::record(const ProfSample& s) {
+  if (!detail::recording()) return;
+  Shard& sh = shard_for_thread();
+
+  u64 head = sh.head.load(std::memory_order_relaxed);
+  u64 tail = sh.tail.load(std::memory_order_acquire);
+  if (head - tail >= sh.buf.size()) {
+    // Full: drop the newest raw sample (overwriting the oldest would race
+    // the drainer). The heat tally below is exact regardless.
+    sh.dropped.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    sh.buf[static_cast<size_t>(head % sh.buf.size())] = s;
+    sh.head.store(head + 1, std::memory_order_release);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    ++sh.heat[HeatKey{s.block, s.stage, s.target, s.syscall, s.flags}];
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+u64 Profiler::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  u64 n = archive_dropped_;
+  for (const auto& sh : shards_) n += sh->dropped.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::vector<ProfSample> Profiler::samples_snapshot() {
+  constexpr size_t kArchiveCap = 1 << 18;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    u64 head = sh.head.load(std::memory_order_acquire);
+    u64 tail = sh.tail.load(std::memory_order_relaxed);
+    for (; tail != head; ++tail) {
+      if (archive_.size() >= kArchiveCap) {
+        ++archive_dropped_;
+        continue;
+      }
+      archive_.push_back(sh.buf[static_cast<size_t>(tail % sh.buf.size())]);
+    }
+    sh.tail.store(tail, std::memory_order_release);
+  }
+  std::vector<ProfSample> out = archive_;
+  std::sort(out.begin(), out.end(), [](const ProfSample& a, const ProfSample& b) {
+    return std::tie(a.vcount, a.pc, a.block, a.stage, a.target, a.syscall, a.flags) <
+           std::tie(b.vcount, b.pc, b.block, b.stage, b.target, b.syscall, b.flags);
+  });
+  return out;
+}
+
+std::vector<Profiler::HeatRow> Profiler::heat() const {
+  std::map<HeatKey, u64> merged;
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& shp : shards_) {
+      std::lock_guard<std::mutex> slock(shp->mu);
+      for (const auto& [k, n] : shp->heat) merged[k] += n;
+    }
+    names = names_;
+  }
+  auto resolve = [&](u32 id) {
+    return id < names.size() ? names[id] : std::string("-");
+  };
+  std::vector<HeatRow> rows;
+  rows.reserve(merged.size());
+  for (const auto& [k, n] : merged) {
+    HeatRow r;
+    r.block = resolve(std::get<0>(k));
+    r.stage = resolve(std::get<1>(k));
+    r.target = resolve(std::get<2>(k));
+    r.syscall = resolve(std::get<3>(k));
+    r.flags = std::get<4>(k);
+    r.samples = n;
+    rows.push_back(std::move(r));
+  }
+  // Order by names, not ids: id assignment follows first-use order, which
+  // scheduling can permute; names cannot.
+  std::sort(rows.begin(), rows.end(), [](const HeatRow& a, const HeatRow& b) {
+    if (a.samples != b.samples) return a.samples > b.samples;
+    return std::tie(a.block, a.stage, a.target, a.syscall, a.flags) <
+           std::tie(b.block, b.stage, b.target, b.syscall, b.flags);
+  });
+  return rows;
+}
+
+std::vector<std::pair<std::string, u64>> Profiler::hot_blocks(size_t top_k) const {
+  std::map<std::string, u64> by_block;
+  for (const HeatRow& r : heat()) by_block[r.block] += r.samples;
+  std::vector<std::pair<std::string, u64>> out(by_block.begin(), by_block.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (top_k != 0 && out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+std::string Profiler::collapsed() const {
+  std::vector<std::string> lines;
+  for (const HeatRow& r : heat()) {
+    std::string frame = r.block;
+    if (r.flags != 0) frame += " [" + prof_flags_name(r.flags) + "]";
+    lines.push_back(strf("%s;%s;%s;%s %llu", r.target.c_str(), r.stage.c_str(),
+                         r.syscall.c_str(), frame.c_str(),
+                         static_cast<unsigned long long>(r.samples)));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+std::string jesc(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string Profiler::report_json(const std::string& name, size_t top_k) const {
+  std::vector<HeatRow> rows = heat();
+  std::vector<std::pair<std::string, u64>> blocks = hot_blocks(top_k);
+  u64 total = samples();
+
+  std::string out = "{\n";
+  out += strf("\"prof\": \"%s\",\n\"schema\": 1,\n", jesc(name).c_str());
+  // No "dropped" field on purpose: ring overflow counts are scheduling-
+  // dependent, and this report must be bit-identical at any CRP_JOBS. The
+  // drop count is diagnostics, not data — BenchSession logs it to stderr.
+  out += strf("\"interval\": %llu,\n\"samples\": %llu,\n",
+              static_cast<unsigned long long>(interval()),
+              static_cast<unsigned long long>(total));
+  out += "\"hot_blocks\": [";
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (i != 0) out += ",";
+    double share = total != 0 ? static_cast<double>(blocks[i].second) /
+                                    static_cast<double>(total)
+                              : 0.0;
+    out += strf("\n  {\"rank\": %zu, \"block\": \"%s\", \"samples\": %llu, "
+                "\"share\": %.6f}",
+                i + 1, jesc(blocks[i].first).c_str(),
+                static_cast<unsigned long long>(blocks[i].second), share);
+  }
+  out += "\n],\n\"heat\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const HeatRow& r = rows[i];
+    if (i != 0) out += ",";
+    out += strf("\n  {\"block\": \"%s\", \"stage\": \"%s\", \"target\": \"%s\", "
+                "\"syscall\": \"%s\", \"flags\": \"%s\", \"samples\": %llu}",
+                jesc(r.block).c_str(), jesc(r.stage).c_str(), jesc(r.target).c_str(),
+                jesc(r.syscall).c_str(), prof_flags_name(r.flags).c_str(),
+                static_cast<unsigned long long>(r.samples));
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    std::lock_guard<std::mutex> slock(sh.mu);
+    sh.tail.store(sh.head.load(std::memory_order_acquire), std::memory_order_release);
+    sh.dropped.store(0, std::memory_order_relaxed);
+    sh.heat.clear();
+  }
+  names_.clear();
+  names_.push_back("-");
+  archive_.clear();
+  archive_dropped_ = 0;
+  samples_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace crp::obs

@@ -1,0 +1,209 @@
+#include "obs/serve.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/expo.h"
+#include "obs/ledger.h"
+#include "obs/obs.h"
+#include "obs/prof.h"
+#include "util/log.h"
+
+namespace crp::obs::serve {
+
+namespace {
+
+std::string ledger_json() {
+  Ledger& led = Ledger::global();
+  std::vector<std::string> names = led.names();
+  std::string out = "{\n";
+  out += strf("\"events\": %llu,\n\"dropped\": %llu,\n",
+              static_cast<unsigned long long>(led.total_events()),
+              static_cast<unsigned long long>(led.dropped()));
+  out += "\"stages\": {";
+  bool first = true;
+  for (u32 s = 0; s < kNumLedgerStages; ++s) {
+    if (!first) out += ",";
+    first = false;
+    out += strf("\n  \"%s\": {", ledger_stage_name(static_cast<LedgerStage>(s)));
+    for (u32 o = 0; o < kNumProbeOutcomes; ++o) {
+      if (o != 0) out += ", ";
+      out += strf("\"%s\": %llu", probe_outcome_name(static_cast<ProbeOutcome>(o)),
+                  static_cast<unsigned long long>(
+                      led.stage_total(static_cast<LedgerStage>(s),
+                                      static_cast<ProbeOutcome>(o))));
+    }
+    out += "}";
+  }
+  out += "\n},\n\"primitives\": [";
+  first = true;
+  for (u32 id = 1; id < names.size(); ++id) {
+    u64 any = 0;
+    for (u32 o = 0; o < kNumProbeOutcomes; ++o)
+      any += led.total(id, static_cast<ProbeOutcome>(o));
+    if (any == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += strf("\n  {\"name\": \"%s\"", names[id].c_str());
+    for (u32 o = 0; o < kNumProbeOutcomes; ++o)
+      out += strf(", \"%s\": %llu",
+                  probe_outcome_name(static_cast<ProbeOutcome>(o)),
+                  static_cast<unsigned long long>(
+                      led.total(id, static_cast<ProbeOutcome>(o))));
+    out += "}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+constexpr const char* kIndex =
+    "crp live telemetry endpoints:\n"
+    "  /metrics       Prometheus text exposition\n"
+    "  /metrics.json  JSON snapshot (full histogram buckets)\n"
+    "  /flat.json     BENCH-shaped metrics JSON (crptop polls this)\n"
+    "  /ledger.json   flight-recorder tallies\n"
+    "  /prof.json     profiler hot-block report\n"
+    "  /prof.folded   collapsed-stack flamegraph text\n";
+
+}  // namespace
+
+Response respond(const std::string& path) {
+  Response r;
+  if (path == "/" || path == "/index") {
+    r.body = kIndex;
+  } else if (path == "/metrics") {
+    r.body = expo::prometheus_text(Registry::global().snapshot());
+  } else if (path == "/metrics.json") {
+    r.content_type = "application/json";
+    r.body = expo::json(Registry::global().snapshot());
+  } else if (path == "/flat.json") {
+    r.content_type = "application/json";
+    r.body = Registry::global().json();
+  } else if (path == "/ledger.json") {
+    r.content_type = "application/json";
+    r.body = ledger_json();
+  } else if (path == "/prof.json") {
+    r.content_type = "application/json";
+    r.body = Profiler::global().report_json("live", 10);
+  } else if (path == "/prof.folded") {
+    r.body = Profiler::global().collapsed();
+  } else {
+    r.status = 404;
+    r.body = "404 not found\n";
+  }
+  return r;
+}
+
+ObsServer::~ObsServer() { stop(); }
+
+ObsServer& ObsServer::global() {
+  static ObsServer* g = new ObsServer();
+  return *g;
+}
+
+bool ObsServer::start(u16 port) {
+  if (running()) return true;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    CRP_WARN("obs", "serve: socket() failed: %s", std::strerror(errno));
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    CRP_WARN("obs", "serve: cannot bind 127.0.0.1:%u: %s", port,
+             std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+  else
+    port_ = port;
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void ObsServer::stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void ObsServer::loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int n = ::poll(&pfd, 1, 200);  // the 200ms tick bounds shutdown latency
+    if (n <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // Read the request head (first line suffices for HTTP/1.0 GET).
+    std::string req;
+    char buf[2048];
+    for (;;) {
+      ssize_t got = ::recv(client, buf, sizeof(buf), 0);
+      if (got <= 0) break;
+      req.append(buf, static_cast<size_t>(got));
+      if (req.find("\r\n\r\n") != std::string::npos || req.size() > 16384) break;
+    }
+    std::string path = "/";
+    if (req.rfind("GET ", 0) == 0) {
+      size_t end = req.find(' ', 4);
+      if (end != std::string::npos) path = req.substr(4, end - 4);
+      if (size_t q = path.find('?'); q != std::string::npos) path.resize(q);
+    }
+
+    Response r = respond(path);
+    std::string head = strf(
+        "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+        "Connection: close\r\n\r\n",
+        r.status, r.status == 200 ? "OK" : "Not Found", r.content_type.c_str(),
+        r.body.size());
+    std::string msg = head + r.body;
+    size_t off = 0;
+    while (off < msg.size()) {
+      ssize_t sent = ::send(client, msg.data() + off, msg.size() - off, 0);
+      if (sent <= 0) break;
+      off += static_cast<size_t>(sent);
+    }
+    ::close(client);
+  }
+}
+
+bool maybe_start_from_env() {
+  ObsServer& srv = ObsServer::global();
+  if (srv.running()) return true;
+  const char* p = std::getenv("CRP_OBS_SERVE");
+  if (p == nullptr || *p == '\0') return false;
+  char* end = nullptr;
+  unsigned long v = std::strtoul(p, &end, 10);
+  if (end == p || *end != '\0' || v > 65535) {
+    CRP_WARN("obs", "ignoring CRP_OBS_SERVE=\"%s\": not a port", p);
+    return false;
+  }
+  if (!srv.start(static_cast<u16>(v))) return false;
+  std::fprintf(stderr, "[obs] live telemetry: http://127.0.0.1:%u/\n",
+               srv.port());
+  return true;
+}
+
+}  // namespace crp::obs::serve

@@ -1,0 +1,80 @@
+// crp::obs::serve — minimal HTTP/1.0 live-telemetry endpoint.
+//
+// ROADMAP item 2 (the crpd campaign service) needs a monitoring channel; a
+// long campaign today is a black box until its BENCH_*.json lands. This
+// module binds 127.0.0.1:<port> (CRP_OBS_SERVE=port, 0 = ephemeral) and
+// serves point-in-time snapshots of the three observability substrates over
+// the existing expo writers:
+//
+//   GET /             route index (text/plain)
+//   GET /metrics      Registry snapshot, Prometheus text exposition
+//   GET /metrics.json Registry snapshot, expo::json (full histogram buckets)
+//   GET /flat.json    Registry::json() — the BENCH-file metrics shape,
+//                     parseable by expo::parse_bench_json (what crptop polls)
+//   GET /ledger.json  flight-recorder tallies (per stage and per primitive)
+//   GET /prof.json    profiler hot-block report (Profiler::report_json)
+//   GET /prof.folded  collapsed-stack flamegraph text
+//
+// Deliberately tiny: one accept-loop thread, serial request handling,
+// HTTP/1.0 close-after-response, no keep-alive, no TLS, loopback only. The
+// server reads shared state through the same thread-safe snapshot paths the
+// exit flush uses, so it never perturbs a deterministic campaign.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "util/common.h"
+
+namespace crp::obs::serve {
+
+/// One routed response (the pure core of the server, exposed so tests and
+/// crptop's offline mode can render endpoints without a socket).
+struct Response {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Route `path` ("/metrics", ...) to its current snapshot. Unknown paths
+/// return 404.
+Response respond(const std::string& path);
+
+class ObsServer {
+ public:
+  ObsServer() = default;
+  ~ObsServer();
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 picks an ephemeral port) and start the accept
+  /// loop. Returns false (with a warning) when the bind fails. Idempotent:
+  /// a running server stays on its port.
+  bool start(u16 port);
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Bound port (valid while running; the ephemeral-port case reads it back
+  /// from the socket).
+  u16 port() const { return port_; }
+
+  /// The process-wide server (what CRP_OBS_SERVE starts).
+  static ObsServer& global();
+
+ private:
+  void loop();
+
+  int listen_fd_ = -1;
+  u16 port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Start the global server when CRP_OBS_SERVE=port is set (idempotent; logs
+/// the endpoint on success). Returns true when a server is running after
+/// the call. BenchSession and examples/campaign call this at startup.
+bool maybe_start_from_env();
+
+}  // namespace crp::obs::serve

@@ -5,6 +5,7 @@
 #include "obs/journal.h"
 #include "obs/ledger.h"
 #include "obs/obs.h"
+#include "obs/prof.h"
 #include "targets/common.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -191,6 +192,8 @@ Scanner::Scanner(MemoryOracle& oracle, const std::string& target_label)
 ProbeResult Scanner::probe_once(gva_t addr, obs::LedgerStage stage) {
   ++stats_.probes;
   c_probes_->inc();
+  // Guest instructions executed to answer this probe sample as probe work.
+  obs::ScopedProfFlags prof_flags(obs::kProfProbe);
   bool alive_before = oracle_.target_alive();
   u64 crashes_before = oracle_.crash_count();
   u64 t0 = oracle_.virtual_now();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.h"
+#include "obs/prof.h"
 #include "util/log.h"
 
 namespace crp::os {
@@ -59,6 +60,11 @@ Kernel::Kernel() {
   c_copy_efaults_ = &reg.counter("kernel.copy_user.efaults");
   c_api_calls_ = &reg.counter("kernel.api.calls");
   c_api_faults_ = &reg.counter("kernel.api.faults");
+  if (obs::Profiler::global().enabled()) {
+    for (size_t s = 0; s < static_cast<size_t>(Sys::kCount); ++s)
+      prof_sys_id_[s] = static_cast<u16>(
+          obs::Profiler::global().intern(sys_name(static_cast<Sys>(s))));
+  }
   chaos_ = chaos::make_stream(chaos::kIoPoints);
 }
 
@@ -327,6 +333,9 @@ void Kernel::dispatch_syscall(Process& p, Thread& t) {
   }
   Sys nr = static_cast<Sys>(nr_raw);
   c_sys_calls_[nr_raw]->inc();
+  // Samples taken while guest code runs inside the service of this syscall
+  // (API callbacks, signal frames, chaos-injected retries) attribute to it.
+  obs::ScopedProfSyscall prof_sys(prof_sys_id_[nr_raw]);
   for (auto* o : observers_) o->on_syscall_enter(p, t, nr, args);
 
   SyscallOutcome oc = do_syscall(p, t, nr, args);

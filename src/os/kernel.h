@@ -213,6 +213,9 @@ class Kernel {
   // indexed by Sys so the syscall path does no name lookups.
   obs::Counter* c_sys_calls_[static_cast<size_t>(Sys::kCount)];
   obs::Counter* c_sys_efault_[static_cast<size_t>(Sys::kCount)];
+  // Pre-interned profiler ids per syscall name (0 when sampling is off), so
+  // dispatch_syscall tags samples without a name-table lookup per call.
+  u16 prof_sys_id_[static_cast<size_t>(Sys::kCount)] = {};
   obs::Counter* c_copy_in_bytes_;
   obs::Counter* c_copy_out_bytes_;
   obs::Counter* c_copy_efaults_;

@@ -3,6 +3,8 @@
 #include "analysis/signal_scanner.h"
 #include "analysis/veh_scanner.h"
 #include "exec/thread_pool.h"
+#include "obs/obs.h"
+#include "obs/prof.h"
 #include "util/rng.h"
 
 namespace crp::pipeline {
@@ -39,6 +41,7 @@ ArtifactKey Campaign::syscall_scan_key(const analysis::TargetProgram& prog) cons
 
 ServerScan Campaign::scan_program(const analysis::TargetProgram& prog,
                                   int verify_jobs) {
+  obs::ScopedProfTarget prof_target(prog.name);
   ServerScan out;
   out.name = prog.name;
 
@@ -282,6 +285,7 @@ TargetReport Campaign::run_api_corpus(const TargetSpec& spec) {
 }
 
 TargetReport Campaign::run_target(const TargetSpec& spec) {
+  obs::ScopedProfTarget prof_target(spec.id);
   TargetReport rep;
   switch (spec.cls) {
     case TargetClass::kLinuxServer: rep = run_server(spec); break;
@@ -292,10 +296,16 @@ TargetReport Campaign::run_target(const TargetSpec& spec) {
   }
   rep.id = spec.id;
   rep.cls = spec.cls;
+  // Campaign progress, for the live telemetry endpoint (crptop renders
+  // targets_run / targets_total).
+  obs::Registry::global().counter("pipeline.campaign.targets_run").inc();
   return rep;
 }
 
 std::vector<TargetReport> Campaign::run_all(const TargetRegistry& reg) {
+  obs::Registry::global()
+      .gauge("pipeline.campaign.targets_total")
+      .set(static_cast<i64>(reg.all().size()));
   std::vector<TargetReport> out;
   out.reserve(reg.all().size());
   for (const TargetSpec& spec : reg.all()) out.push_back(run_target(spec));

@@ -51,7 +51,8 @@ u64 corpus_content_hash(const std::vector<std::vector<u8>>& blobs) {
 }
 
 StageScope::StageScope(const char* stage_id, std::string subject)
-    : id_(stage_id), subject_(std::move(subject)), t0_ns_(wall_ns()) {
+    : id_(stage_id), subject_(std::move(subject)), t0_ns_(wall_ns()),
+      prof_stage_(stage_id) {
   obs::Registry::global().counter(strf("pipeline.stage.%s.runs", id_)).inc();
 }
 

@@ -30,6 +30,7 @@
 
 #include "analysis/api_analysis.h"
 #include "analysis/report.h"
+#include "obs/prof.h"
 #include "analysis/seh_analysis.h"
 #include "analysis/syscall_scanner.h"
 #include "os/kernel.h"
@@ -40,7 +41,9 @@
 namespace crp::pipeline {
 
 /// RAII observability wrapper for one stage execution. Cheap relative to
-/// any stage body; not for per-item use inside a stage.
+/// any stage body; not for per-item use inside a stage. Also enters the
+/// profiler's stage context, so virtual-time samples taken while the stage
+/// runs carry its id.
 class StageScope {
  public:
   explicit StageScope(const char* stage_id, std::string subject = {});
@@ -52,6 +55,7 @@ class StageScope {
   const char* id_;
   std::string subject_;
   u64 t0_ns_;
+  obs::ScopedProfStage prof_stage_;
 };
 
 // --- Linux syscall funnel (§IV-A) -------------------------------------------

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 
+#include "cfg/cfg.h"
 #include "obs/obs.h"
+#include "obs/prof.h"
 #include "util/log.h"
 
 namespace crp::vm {
@@ -66,9 +69,63 @@ Machine::Machine(Personality personality, u64 aslr_seed, mem::AslrConfig aslr)
                                   dispatch_outcome_name(static_cast<DispatchOutcome>(o)));
   chaos_ = chaos::make_stream(chaos::kVmPoints);
   if (chaos_.armed()) chaos_countdown_ = kChaosVmInterval;
+  prof_interval_ = obs::Profiler::global().interval();
+  if (prof_interval_ != 0) prof_countdown_ = prof_interval_;
 }
 
 Machine::~Machine() { publish_instret(); }
+
+/// Block attribution cache for one loaded module: a one-time cfg::Cfg
+/// disassembly plus the interned name id per block leader already seen.
+struct Machine::ProfModCache {
+  cfg::Cfg cfg;
+  std::map<u64, u32> block_ids;  // block-leader code offset -> interned id
+};
+
+void Machine::prof_sample(gva_t pc, u16 extra_flags) {
+  obs::Profiler& prof = obs::Profiler::global();
+  u32 block = 0;
+  size_t mi = modules_.size();
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (modules_[i].contains_code(pc)) {
+      mi = i;
+      break;
+    }
+  }
+  if (mi < modules_.size()) {
+    const LoadedModule& mod = modules_[mi];
+    if (prof_mods_.size() < modules_.size()) prof_mods_.resize(modules_.size());
+    std::unique_ptr<ProfModCache>& pm = prof_mods_[mi];
+    if (pm == nullptr)
+      pm = std::make_unique<ProfModCache>(
+          ProfModCache{cfg::Cfg::build_all(*mod.image), {}});
+    u64 off = pc - mod.code_base();
+    const cfg::BasicBlock* bb = pm->cfg.block_at(off);
+    // Code the static disassembly never reached (e.g. computed targets)
+    // falls back to the raw offset — still a stable, meaningful name.
+    u64 leader = bb != nullptr ? bb->begin : off;
+    auto it = pm->block_ids.find(leader);
+    if (it == pm->block_ids.end()) {
+      u32 id = prof.intern(strf("%s+0x%llx", mod.image->name.c_str(),
+                                static_cast<unsigned long long>(leader)));
+      it = pm->block_ids.emplace(leader, id).first;
+    }
+    block = it->second;
+  } else {
+    if (prof_anon_block_ == 0) prof_anon_block_ = prof.intern("[anon]");
+    block = prof_anon_block_;
+  }
+  const obs::ProfContext& ctx = obs::Profiler::context();
+  obs::ProfSample s;
+  s.vcount = instret_;
+  s.pc = pc;
+  s.block = block;
+  s.stage = ctx.stage;
+  s.target = ctx.target;
+  s.syscall = ctx.syscall;
+  s.flags = static_cast<u16>(ctx.flags | extra_flags);
+  prof.record(s);
+}
 
 namespace {
 // Power of two; one relaxed fetch_add per this many retired instructions.
@@ -427,6 +484,10 @@ StepResult Machine::step(Cpu& cpu) {
     chaos_countdown_ = kChaosVmInterval;
     if (StepResult r; chaos_step_inject(cpu, &r)) return r;
   }
+  if (prof_countdown_ != 0 && --prof_countdown_ == 0) {
+    prof_countdown_ = prof_interval_;
+    prof_sample(cpu.pc, 0);
+  }
   gva_t pc = cpu.pc;
   u8 word[isa::kInstrBytes];
   mem::AccessResult fr = mem_.fetch(pc, word);
@@ -526,6 +587,10 @@ std::optional<i64> Machine::run_filter(const Cpu& at_fault, gva_t entry,
 
   for (u64 i = 0; i < kMaxFilterSteps; ++i) {
     if (ctx.pc == kSentinelRet) return static_cast<i64>(ctx.reg(isa::Reg::R0));
+    if (prof_countdown_ != 0 && --prof_countdown_ == 0) {
+      prof_countdown_ = prof_interval_;
+      prof_sample(ctx.pc, obs::kProfFilter);
+    }
     gva_t pc = ctx.pc;
     u8 word[isa::kInstrBytes];
     mem::AccessResult fr = mem_.fetch(pc, word);

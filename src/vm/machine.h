@@ -164,6 +164,9 @@ class Machine {
   /// next instruction. True when an injection happened (`*out` is the step
   /// outcome: kOk when a handler resolved it, kCrash otherwise).
   bool chaos_step_inject(Cpu& cpu, StepResult* out);
+  /// Profiler: attribute `pc` to a basic block (lazy per-module cfg::Cfg)
+  /// and record one sample with the calling thread's ProfContext.
+  void prof_sample(gva_t pc, u16 extra_flags);
 
   Personality personality_;
   mem::AddressSpace mem_;
@@ -178,6 +181,18 @@ class Machine {
   // exactly one compare per instruction.
   chaos::FaultStream chaos_;
   u64 chaos_countdown_ = 0;
+  // Virtual-time sampling profiler (obs::Profiler). prof_countdown_ == 0
+  // means sampling is off and step() pays exactly one compare per
+  // instruction, mirroring the chaos countdown above. The interval is read
+  // once at construction (CRP_PROF / Profiler::set_interval).
+  u64 prof_interval_ = 0;
+  u64 prof_countdown_ = 0;
+  // Per-module block-attribution caches, built lazily at the first sample
+  // landing in a module: a cfg::Cfg disassembly plus interned block-name
+  // ids. Index-aligned with modules_.
+  struct ProfModCache;
+  std::vector<std::unique_ptr<ProfModCache>> prof_mods_;
+  u32 prof_anon_block_ = 0;  // interned "[anon]" (pc outside any module)
   std::vector<ExecObserver*> observers_;
   u64 instret_ = 0;
   u64 instret_published_ = 0;

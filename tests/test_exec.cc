@@ -6,10 +6,12 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <map>
 #include <numeric>
 #include <thread>
 
 #include "exec/thread_pool.h"
+#include "obs/journal.h"
 #include "obs/obs.h"
 
 namespace crp::exec {
@@ -117,6 +119,45 @@ TEST(ThreadPool, ReusedAcrossManySmallBatches) {
     pool.for_each_index(n, [&](u64 i) { sum.fetch_add(i + 1); });
     EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
   }
+}
+
+TEST(ThreadPool, JournalLanesFollowTaskIdsNotThreads) {
+  // Chrome-trace determinism: a task's spans land on lane 1 + task % 16 at
+  // ANY job count, so traces from different runs nest and diff identically.
+  auto lanes_for = [](int jobs) {
+    obs::Journal& j = obs::Journal::global();
+    j.clear();
+    ThreadPool pool(jobs);
+    pool.for_each_index(40, [](u64) {}, "lane-test");
+    std::map<i64, u32> task_to_tid;
+    for (const obs::TraceEvent& e : j.events())
+      if (e.name == "lane-test") task_to_tid[e.arg] = e.tid;
+    j.clear();
+    return task_to_tid;
+  };
+  std::map<i64, u32> serial = lanes_for(1);
+  ASSERT_EQ(serial.size(), 40u);
+  for (const auto& [task, tid] : serial)
+    EXPECT_EQ(tid, 1u + static_cast<u32>(task) % obs::kJournalTaskLanes);
+  EXPECT_EQ(serial, lanes_for(4));
+  EXPECT_EQ(serial, lanes_for(8));
+}
+
+TEST(ThreadPool, NestedEventsAdoptTheTaskLane) {
+  // An event emitted with tid == 0 from inside a task (e.g. an oracle probe
+  // span) inherits the task's lane instead of collapsing onto lane 0.
+  obs::Journal& j = obs::Journal::global();
+  j.clear();
+  ThreadPool pool(4);
+  pool.for_each_index(8, [&](u64) {
+    j.instant("nested", "test", 0);  // tid defaulted to 0
+  });
+  for (const obs::TraceEvent& e : j.events())
+    if (e.name == "nested") {
+      EXPECT_GE(e.tid, 1u);
+      EXPECT_LE(e.tid, obs::kJournalTaskLanes);
+    }
+  j.clear();
 }
 
 TEST(ThreadPool, ConcurrentMetricHammer) {

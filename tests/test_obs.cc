@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/chaos.h"
+#include "obs/bench_support.h"
 #include "obs/expo.h"
 #include "obs/journal.h"
 #include "obs/obs.h"
@@ -431,6 +433,39 @@ TEST(JournalTest, DisabledJournalRecordsNothing) {
   j.instant("e", "t", 1);
   set_runtime_enabled(true);
   EXPECT_EQ(j.size(), 0u);
+}
+
+TEST(Preregister, ChaosAndCacheCountersAreInTheSnapshotSchema) {
+  REQUIRE_OBS_COMPILED_IN();
+  // Regression: the exposition schema must carry the fault-injection and
+  // artifact-cache counters even on clean runs (value 0), so a snapshot
+  // diff between a clean and a chaos run shows exactly what was injected
+  // instead of silently omitting untouched layers.
+  preregister_core_metrics();
+  Snapshot snap = Registry::global().snapshot();
+  for (u32 i = 0; i < chaos::kNumPoints; ++i) {
+    std::string name = std::string("chaos.injected.") +
+                       chaos::point_name(static_cast<chaos::Point>(i));
+    std::replace(name.begin(), name.end(), '-', '_');
+    EXPECT_NE(snap.find(name), nullptr) << name;
+  }
+  for (const char* name : {"pipeline.cache.hits", "pipeline.cache.misses",
+                           "pipeline.cache.stores", "pipeline.cache.corrupt",
+                           "pipeline.campaign.targets_run", "bench.instr_virtual"})
+    EXPECT_NE(snap.find(name), nullptr) << name;
+
+  // The counters flow through both exposition formats under their names.
+  std::string prom = expo::prometheus_text(snap);
+  EXPECT_NE(prom.find("crp_chaos_injected_sys_efault"), std::string::npos);
+  EXPECT_NE(prom.find("crp_chaos_injected_cache_corrupt"), std::string::npos);
+  EXPECT_NE(prom.find("crp_pipeline_cache_corrupt"), std::string::npos);
+
+  // And a diff across an injection is attributed to the right counter.
+  Snapshot before = Registry::global().snapshot();
+  Registry::global().counter("chaos.injected.vm_av").inc(3);
+  Snapshot d = Registry::diff(before, Registry::global().snapshot());
+  EXPECT_EQ(d.num("chaos.injected.vm_av"), 3);
+  EXPECT_EQ(d.num("chaos.injected.sys_efault"), 0);
 }
 
 }  // namespace

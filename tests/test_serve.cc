@@ -1,0 +1,132 @@
+// crp::obs::serve — routing of the live-telemetry endpoint and one real
+// socket round-trip against an ephemeral port.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/expo.h"
+#include "obs/obs.h"
+#include "obs/prof.h"
+#include "obs/serve.h"
+
+namespace crp::obs::serve {
+namespace {
+
+TEST(Respond, IndexListsEveryRoute) {
+  Response r = respond("/");
+  EXPECT_EQ(r.status, 200);
+  for (const char* route : {"/metrics", "/metrics.json", "/flat.json",
+                            "/ledger.json", "/prof.json", "/prof.folded"})
+    EXPECT_NE(r.body.find(route), std::string::npos) << route;
+}
+
+TEST(Respond, MetricsCarriesRegistryCounters) {
+  Registry::global().counter("vm.instr_retired");  // ensure it exists
+  Response r = respond("/metrics");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("crp_vm_instr_retired"), std::string::npos);
+}
+
+TEST(Respond, FlatJsonIsBenchParseable) {
+  Registry::global().counter("vm.instr_retired");
+  Response r = respond("/flat.json");
+  ASSERT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "application/json");
+  // crptop wraps /flat.json in the BENCH envelope and reuses the bench
+  // parser; this is the contract that keeps the two in sync.
+  expo::BenchDoc doc;
+  std::string wrapped =
+      "{\n\"bench\": \"live\",\n\"schema\": 1,\n\"metrics\": " + r.body + "\n}\n";
+  ASSERT_TRUE(expo::parse_bench_json(wrapped, &doc));
+  EXPECT_TRUE(doc.has("vm.instr_retired"));
+}
+
+TEST(Respond, LedgerAndProfRoutesAreWellFormed) {
+  Response ledger = respond("/ledger.json");
+  EXPECT_EQ(ledger.status, 200);
+  EXPECT_NE(ledger.body.find("\"stages\""), std::string::npos);
+  EXPECT_NE(ledger.body.find("\"events\""), std::string::npos);
+
+  Response prof = respond("/prof.json");
+  EXPECT_EQ(prof.status, 200);
+  EXPECT_NE(prof.body.find("\"hot_blocks\""), std::string::npos);
+
+  EXPECT_EQ(respond("/prof.folded").status, 200);
+}
+
+TEST(Respond, UnknownPathIs404) {
+  EXPECT_EQ(respond("/nope").status, 404);
+  EXPECT_EQ(respond("").status, 404);
+}
+
+/// Minimal HTTP/1.0 GET used to exercise the real socket path.
+std::string http_get(u16 port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, req.data(), req.size(), 0);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got <= 0) break;
+    resp.append(buf, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return resp;
+}
+
+TEST(ObsServer, ServesOverARealSocket) {
+  Registry::global().counter("vm.instr_retired");  // give /flat.json content
+  ObsServer server;
+  ASSERT_TRUE(server.start(0));  // ephemeral port
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  std::string resp = http_get(server.port(), "/flat.json");
+  EXPECT_EQ(resp.rfind("HTTP/1.0 200 OK", 0), 0u) << resp.substr(0, 64);
+  EXPECT_NE(resp.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(resp.find("vm.instr_retired"), std::string::npos);
+
+  EXPECT_EQ(http_get(server.port(), "/missing").rfind("HTTP/1.0 404", 0), 0u);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ObsServer, StartIsIdempotentWhileRunning) {
+  ObsServer server;
+  ASSERT_TRUE(server.start(0));
+  u16 port = server.port();
+  EXPECT_TRUE(server.start(0));  // no-op: keeps the bound port
+  EXPECT_EQ(server.port(), port);
+  server.stop();
+}
+
+TEST(MaybeStartFromEnv, UnsetAndGarbageAreRejected) {
+  ::unsetenv("CRP_OBS_SERVE");
+  EXPECT_FALSE(maybe_start_from_env());
+  ::setenv("CRP_OBS_SERVE", "not-a-port", 1);
+  EXPECT_FALSE(maybe_start_from_env());
+  ::setenv("CRP_OBS_SERVE", "99999999", 1);
+  EXPECT_FALSE(maybe_start_from_env());
+  ::unsetenv("CRP_OBS_SERVE");
+}
+
+}  // namespace
+}  // namespace crp::obs::serve

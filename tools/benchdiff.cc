@@ -151,7 +151,23 @@ bool is_bench_file(const fs::path& p) {
   return true;
 }
 
-bool load_set(const std::string& arg, BenchSet* out) {
+/// Best-effort extraction of meta.git_sha from a combined baseline file
+/// (directories of BENCH_*.json carry no provenance — "unknown").
+std::string parse_meta_git_sha(const std::string& text) {
+  size_t meta = text.find("\"meta\"");
+  size_t key = meta == std::string::npos ? std::string::npos
+                                         : text.find("\"git_sha\"", meta);
+  if (key == std::string::npos) return "unknown";
+  size_t p = text.find(':', key);
+  if (p == std::string::npos) return "unknown";
+  ++p;
+  std::string sha;
+  if (!parse_str(text, &p, &sha) || sha.empty()) return "unknown";
+  return sha;
+}
+
+bool load_set(const std::string& arg, BenchSet* out, std::string* git_sha = nullptr) {
+  if (git_sha != nullptr) *git_sha = "unknown";
   std::error_code ec;
   if (fs::is_directory(arg, ec)) {
     std::vector<fs::path> files;
@@ -186,6 +202,7 @@ bool load_set(const std::string& arg, BenchSet* out) {
     std::fprintf(stderr, "benchdiff: %s is not a baseline file\n", arg.c_str());
     return false;
   }
+  if (git_sha != nullptr) *git_sha = parse_meta_git_sha(text);
   return true;
 }
 
@@ -242,24 +259,38 @@ struct Options {
   std::vector<std::string> extra_keys;
 };
 
-/// Compare one metric of one bench; returns true on regression.
-bool compare_key(const std::string& bench, const std::string& key, double a, double b,
+/// One tracked metric of one bench after comparison.
+struct MetricRow {
+  std::string key;
+  double old_v = 0;
+  double new_v = 0;
+  double rel = 0;  // relative delta vs old (1.0 when old == 0 and new != 0)
+  bool regressed = false;
+};
+
+/// Compare one metric; appends a row and returns true on regression.
+bool compare_key(std::vector<MetricRow>* rows, const std::string& key, double a, double b,
                  double threshold, bool any_increase_fails) {
   double delta = b - a;
-  double rel = a != 0.0 ? delta / a : (b != 0.0 ? 1.0 : 0.0);
-  bool regressed = any_increase_fails ? delta > 0.0 : rel > threshold;
-  if (regressed) {
-    std::fprintf(stderr, "REGRESSION %s %s: %.17g -> %.17g (%+.1f%%)\n", bench.c_str(),
-                 key.c_str(), a, b, rel * 100.0);
-    return true;
-  }
-  if (rel < -threshold)
-    std::fprintf(stderr, "improved   %s %s: %.17g -> %.17g (%+.1f%%)\n", bench.c_str(),
-                 key.c_str(), a, b, rel * 100.0);
-  return false;
+  MetricRow row{key, a, b, a != 0.0 ? delta / a : (b != 0.0 ? 1.0 : 0.0), false};
+  row.regressed = any_increase_fails ? delta > 0.0 : row.rel > threshold;
+  rows->push_back(row);
+  return rows->back().regressed;
 }
 
-int compare_sets(const BenchSet& a, const BenchSet& b, const Options& opt) {
+/// On failure the full per-metric table is printed — one regressed metric is
+/// rarely diagnosable without the neighbours (e.g. instr_retired up because
+/// probes went up), so never report a failing name in isolation.
+void print_bench_table(const std::string& bench, const std::vector<MetricRow>& rows) {
+  std::fprintf(stderr, "bench %s:\n  %-28s %18s %18s %9s\n", bench.c_str(), "metric",
+               "old", "new", "delta");
+  for (const MetricRow& r : rows)
+    std::fprintf(stderr, "  %-28s %18.17g %18.17g %+8.1f%%%s\n", r.key.c_str(), r.old_v,
+                 r.new_v, r.rel * 100.0, r.regressed ? "  << REGRESSION" : "");
+}
+
+int compare_sets(const BenchSet& a, const BenchSet& b, const Options& opt,
+                 const std::string& baseline_sha) {
   int regressions = 0;
   int compared = 0;
   for (const auto& [name, am] : a) {
@@ -279,21 +310,31 @@ int compare_sets(const BenchSet& a, const BenchSet& b, const Options& opt) {
       *bv = bi->second;
       return true;
     };
+    std::vector<MetricRow> rows;
+    int bench_regressions = 0;
     double av = 0, bv = 0;
     // The invariant metric: any crash increase fails regardless of size.
     if (both("oracle.scan.crashes", &av, &bv))
-      regressions += compare_key(name, "oracle.scan.crashes", av, bv, 0.0, true);
+      bench_regressions += compare_key(&rows, "oracle.scan.crashes", av, bv, 0.0, true);
     for (const char* key : kVirtualKeys)
       if (both(key, &av, &bv))
-        regressions += compare_key(name, key, av, bv, opt.threshold, false);
+        bench_regressions += compare_key(&rows, key, av, bv, opt.threshold, false);
     for (const std::string& key : opt.extra_keys)
       if (both(key, &av, &bv))
-        regressions += compare_key(name, key, av, bv, opt.threshold, false);
+        bench_regressions += compare_key(&rows, key, av, bv, opt.threshold, false);
     if (opt.check_wall && both("bench.wall_ns", &av, &bv))
-      regressions += compare_key(name, "bench.wall_ns", av, bv, opt.wall_threshold, false);
+      bench_regressions +=
+          compare_key(&rows, "bench.wall_ns", av, bv, opt.wall_threshold, false);
+    if (bench_regressions > 0) print_bench_table(name, rows);
+    for (const MetricRow& r : rows)
+      if (!r.regressed && r.rel < -opt.threshold && bench_regressions == 0)
+        std::fprintf(stderr, "improved   %s %s: %.17g -> %.17g (%+.1f%%)\n",
+                     name.c_str(), r.key.c_str(), r.old_v, r.new_v, r.rel * 100.0);
+    regressions += bench_regressions;
   }
-  std::fprintf(stderr, "benchdiff: %d bench(es) compared, %d regression(s)\n", compared,
-               regressions);
+  std::fprintf(stderr,
+               "benchdiff: %d bench(es) compared, %d regression(s) (baseline git_sha %s)\n",
+               compared, regressions, baseline_sha.c_str());
   return regressions > 0 ? 1 : 0;
 }
 
@@ -355,6 +396,7 @@ int main(int argc, char** argv) {
 
   if (inputs.size() != 2) return usage();
   BenchSet a, b;
-  if (!load_set(inputs[0], &a) || !load_set(inputs[1], &b)) return 2;
-  return compare_sets(a, b, opt);
+  std::string baseline_sha;
+  if (!load_set(inputs[0], &a, &baseline_sha) || !load_set(inputs[1], &b)) return 2;
+  return compare_sets(a, b, opt, baseline_sha);
 }

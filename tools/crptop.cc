@@ -1,0 +1,261 @@
+// crptop — live campaign progress viewer.
+//
+// Polls a CRP_OBS_SERVE endpoint (default 127.0.0.1:9179) for /flat.json and
+// /prof.json, and renders per-stage progress plus the top-K hot blocks,
+// refreshing in place like top(1). With --json FILE it instead renders a
+// PROF_<bench>.json report once from disk (post-mortem mode).
+//
+//   crptop                        poll 127.0.0.1:9179 once per second
+//   crptop --port 9200 --top 15   other endpoint, more hot blocks
+//   crptop --once                 single snapshot, no ANSI refresh
+//   crptop --json PROF_table1.json   offline hot-block report
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/expo.h"
+#include "util/common.h"
+
+using crp::u16;
+using crp::u64;
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  u16 port = 9179;
+  std::string json_file;  // offline mode when nonempty
+  int top_k = 10;
+  double interval_s = 1.0;
+  bool once = false;
+};
+
+int usage(const char* argv0, int rc) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--top K] [--interval SEC] [--once]\n"
+               "       %s --json PROF_<bench>.json\n",
+               argv0, argv0);
+  return rc;
+}
+
+/// One HTTP/1.0 GET against host:port; returns false on any socket error.
+bool http_get(const std::string& host, u16 port, const std::string& path,
+              std::string* body) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    ssize_t sent = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (sent <= 0) {
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<size_t>(sent);
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got <= 0) break;
+    resp.append(buf, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  size_t hdr_end = resp.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) return false;
+  if (resp.rfind("HTTP/1.0 200", 0) != 0 && resp.rfind("HTTP/1.1 200", 0) != 0)
+    return false;
+  *body = resp.substr(hdr_end + 4);
+  return true;
+}
+
+struct HotBlock {
+  std::string block;
+  u64 samples = 0;
+  double share = 0.0;
+};
+
+/// Minimal scanner for the "hot_blocks" array of a profiler report. Only
+/// needs the three fields report_json emits per entry; anything malformed is
+/// skipped rather than fatal (a live endpoint can race its own writer).
+std::vector<HotBlock> parse_hot_blocks(const std::string& json) {
+  std::vector<HotBlock> out;
+  size_t arr = json.find("\"hot_blocks\"");
+  if (arr == std::string::npos) return out;
+  size_t pos = json.find('[', arr);
+  size_t end = json.find(']', arr);
+  if (pos == std::string::npos || end == std::string::npos) return out;
+  while (true) {
+    size_t obj = json.find('{', pos);
+    if (obj == std::string::npos || obj > end) break;
+    size_t close = json.find('}', obj);
+    if (close == std::string::npos) break;
+    std::string entry = json.substr(obj, close - obj);
+    HotBlock hb;
+    size_t b = entry.find("\"block\"");
+    if (b != std::string::npos) {
+      size_t q0 = entry.find('"', entry.find(':', b));
+      size_t q1 = q0 == std::string::npos ? q0 : entry.find('"', q0 + 1);
+      if (q1 != std::string::npos) hb.block = entry.substr(q0 + 1, q1 - q0 - 1);
+    }
+    size_t s = entry.find("\"samples\"");
+    if (s != std::string::npos)
+      hb.samples = std::strtoull(entry.c_str() + entry.find(':', s) + 1, nullptr, 10);
+    size_t sh = entry.find("\"share\"");
+    if (sh != std::string::npos)
+      hb.share = std::strtod(entry.c_str() + entry.find(':', sh) + 1, nullptr);
+    if (!hb.block.empty()) out.push_back(std::move(hb));
+    pos = close + 1;
+  }
+  return out;
+}
+
+u64 scan_u64(const std::string& json, const char* key) {
+  size_t k = json.find(std::string("\"") + key + "\"");
+  if (k == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + json.find(':', k) + 1, nullptr, 10);
+}
+
+void render_hot_blocks(const std::vector<HotBlock>& blocks, int top_k) {
+  std::printf("  %-4s %-44s %12s %8s\n", "#", "hot block", "samples", "share");
+  int rank = 0;
+  for (const HotBlock& hb : blocks) {
+    if (rank >= top_k) break;
+    ++rank;
+    std::printf("  %-4d %-44s %12llu %7.2f%%\n", rank, hb.block.c_str(),
+                static_cast<unsigned long long>(hb.samples), hb.share * 100.0);
+  }
+  if (rank == 0) std::printf("  (no samples yet — is CRP_PROF set on the campaign?)\n");
+}
+
+int run_offline(const Options& opt) {
+  std::ifstream f(opt.json_file);
+  if (!f) {
+    std::fprintf(stderr, "crptop: cannot read %s\n", opt.json_file.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  std::string json = ss.str();
+  std::printf("crptop — %s\n", opt.json_file.c_str());
+  std::printf("interval=%llu  samples=%llu\n\n",
+              static_cast<unsigned long long>(scan_u64(json, "interval")),
+              static_cast<unsigned long long>(scan_u64(json, "samples")));
+  render_hot_blocks(parse_hot_blocks(json), opt.top_k);
+  return 0;
+}
+
+double get(const crp::obs::expo::BenchDoc& doc, const std::string& key) {
+  return doc.get(key, 0.0);
+}
+
+void render_live(const Options& opt, const crp::obs::expo::BenchDoc& doc,
+                 const std::vector<HotBlock>& blocks, u64 prof_samples, bool clear) {
+  if (clear) std::printf("\x1b[H\x1b[2J");
+  std::printf("crptop — http://%s:%u  (q: ctrl-c)\n\n", opt.host.c_str(), opt.port);
+  double run = get(doc, "pipeline.campaign.targets_run");
+  double total = get(doc, "pipeline.campaign.targets_total");
+  std::printf("campaign   targets %.0f/%.0f   instr %.3gM   probes %.0f   crashes %.0f\n",
+              run, total, get(doc, "vm.instr_retired") / 1e6,
+              get(doc, "oracle.scan.probes"), get(doc, "oracle.scan.crashes"));
+  std::printf("stages     pool tasks %.0f   sat queries %.0f   filter evals %.0f   "
+              "taint bytes hwm %.0f\n",
+              get(doc, "analysis.pool.tasks"), get(doc, "sat.queries"),
+              get(doc, "vm.filter_evals"), get(doc, "taint.tainted_bytes_hwm"));
+  std::printf("chaos      injected %.0f   cache corrupt %.0f   kernel efaults %.0f\n\n",
+              get(doc, "chaos.injected.sys_efault") + get(doc, "chaos.injected.sys_eintr") +
+                  get(doc, "chaos.injected.short_read") +
+                  get(doc, "chaos.injected.short_write") + get(doc, "chaos.injected.vm_av"),
+              get(doc, "pipeline.cache.corrupt"), get(doc, "kernel.copy_user.efaults"));
+  std::printf("profiler   %llu samples\n", static_cast<unsigned long long>(prof_samples));
+  render_hot_blocks(blocks, opt.top_k);
+}
+
+int run_live(const Options& opt) {
+  bool ever_connected = false;
+  for (;;) {
+    std::string flat, prof;
+    bool ok = http_get(opt.host, opt.port, "/flat.json", &flat);
+    if (ok) http_get(opt.host, opt.port, "/prof.json", &prof);
+    if (!ok) {
+      if (!ever_connected)
+        std::fprintf(stderr, "crptop: cannot reach http://%s:%u (CRP_OBS_SERVE not set?)\n",
+                     opt.host.c_str(), opt.port);
+      if (opt.once || !ever_connected) return 1;
+      std::printf("(endpoint gone — campaign finished?)\n");
+      return 0;
+    }
+    ever_connected = true;
+    // /flat.json is the BENCH-file metrics shape minus the wrapper; wrap it
+    // so parse_bench_json accepts it verbatim.
+    crp::obs::expo::BenchDoc doc;
+    std::string wrapped =
+        "{\n\"bench\": \"live\",\n\"schema\": 1,\n\"metrics\": " + flat + "\n}\n";
+    if (!crp::obs::expo::parse_bench_json(wrapped, &doc)) {
+      std::fprintf(stderr, "crptop: malformed /flat.json\n");
+      return 1;
+    }
+    render_live(opt, doc, parse_hot_blocks(prof), scan_u64(prof, "samples"), !opt.once);
+    if (opt.once) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<long>(opt.interval_s * 1e6)));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "--host") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0], 2);
+      opt.host = v;
+    } else if (a == "--port") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0], 2);
+      opt.port = static_cast<u16>(std::atoi(v));
+    } else if (a == "--json") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0], 2);
+      opt.json_file = v;
+    } else if (a == "--top") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0], 2);
+      opt.top_k = std::atoi(v);
+    } else if (a == "--interval") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0], 2);
+      opt.interval_s = std::atof(v);
+    } else if (a == "--once") {
+      opt.once = true;
+    } else if (a == "-h" || a == "--help") {
+      return usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "crptop: unknown flag %s\n", a.c_str());
+      return usage(argv[0], 2);
+    }
+  }
+  return opt.json_file.empty() ? run_live(opt) : run_offline(opt);
+}
