@@ -44,6 +44,11 @@ class RateDetector : public vm::ExecObserver {
   RateDetector(const RateDetector&) = delete;
   RateDetector& operator=(const RateDetector&) = delete;
 
+  /// Only exception-dispatch events matter here; declining on_exec keeps
+  /// the machine's block-translation engine usable while the detector is
+  /// attached.
+  bool wants_exec() const override { return false; }
+
   void on_exception(const vm::ExceptionRecord& rec, vm::DispatchOutcome outcome) override;
 
   u64 total_avs() const { return total_; }

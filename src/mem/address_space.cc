@@ -15,13 +15,19 @@ const char* access_name(Access a) {
 }
 
 const AddressSpace::Page* AddressSpace::page_at(gva_t addr) const {
-  auto it = pages_.find(addr / kPageSize);
-  return it == pages_.end() ? nullptr : &it->second;
+  const u64 num = addr / kPageSize;
+  if (cached_gen_ == generation_ && cached_page_num_ == num) return cached_page_;
+  auto it = pages_.find(num);
+  const Page* p = it == pages_.end() ? nullptr : &it->second;
+  cached_gen_ = generation_;
+  cached_page_num_ = num;
+  cached_page_ = p;
+  return p;
 }
 
 AddressSpace::Page* AddressSpace::page_at(gva_t addr) {
-  auto it = pages_.find(addr / kPageSize);
-  return it == pages_.end() ? nullptr : &it->second;
+  // Safe const_cast: *this is non-const, so the underlying Page is mutable.
+  return const_cast<Page*>(static_cast<const AddressSpace*>(this)->page_at(addr));
 }
 
 bool AddressSpace::map(gva_t addr, u64 size, u8 perms) {
@@ -38,6 +44,7 @@ bool AddressSpace::map(gva_t addr, u64 size, u8 perms) {
     std::memset(pg.data.get(), 0, kPageSize);
     pages_.emplace(p / kPageSize, std::move(pg));
   }
+  ++generation_;
   return true;
 }
 
@@ -47,6 +54,7 @@ bool AddressSpace::unmap(gva_t addr, u64 size) {
   gva_t end = align_up(addr + size, kPageSize);
   bool any = false;
   for (gva_t p = begin; p != end; p += kPageSize) any |= pages_.erase(p / kPageSize) > 0;
+  if (any) ++generation_;
   return any;
 }
 
@@ -57,6 +65,7 @@ bool AddressSpace::protect(gva_t addr, u64 size, u8 perms) {
   for (gva_t p = begin; p != end; p += kPageSize)
     if (!pages_.contains(p / kPageSize)) return false;
   for (gva_t p = begin; p != end; p += kPageSize) pages_.at(p / kPageSize).perms = perms;
+  ++generation_;
   return true;
 }
 
@@ -179,9 +188,36 @@ bool AddressSpace::poke(gva_t addr, std::span<const u8> in) {
     u64 off = (addr + done) & kPageMask;
     size_t n = std::min<size_t>(in.size() - done, kPageSize - off);
     std::memcpy(pg->data.get() + off, in.data() + done, n);
+    if (pg->watched && write_watcher_) write_watcher_((addr + done) & ~kPageMask);
     done += n;
   }
   return true;
+}
+
+PageRef AddressSpace::page_ref(gva_t addr) const {
+  const Page* pg = page_at(addr);
+  if (pg == nullptr) return {};
+  return {pg->data.get(), pg->perms, pg->watched};
+}
+
+void AddressSpace::set_watch(gva_t addr, u64 size, bool on) {
+  if (size == 0) return;
+  gva_t begin = align_down(addr, kPageSize);
+  gva_t end = align_up(addr + size, kPageSize);
+  bool changed = false;
+  for (gva_t p = begin; p != end && p >= begin; p += kPageSize) {
+    Page* pg = page_at(p);
+    if (pg != nullptr && pg->watched != on) {
+      pg->watched = on;
+      changed = true;
+    }
+  }
+  if (changed) ++generation_;
+}
+
+bool AddressSpace::watched(gva_t addr) const {
+  const Page* pg = page_at(addr);
+  return pg != nullptr && pg->watched;
 }
 
 bool AddressSpace::peek_u64(gva_t addr, u64* out) const {

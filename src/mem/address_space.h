@@ -12,6 +12,7 @@
 // paper's class-(a) primitives rely on.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -54,6 +55,15 @@ struct Region {
   gva_t begin = 0;
   gva_t end = 0;  // exclusive
   u8 perms = kPermNone;
+};
+
+/// Raw view of one mapped page for engine-level fast paths (the VM's page
+/// cache). `data` stays valid until the page is unmapped; `perms`/`watched`
+/// are snapshots — callers must revalidate when generation() changes.
+struct PageRef {
+  u8* data = nullptr;  // kPageSize bytes, or nullptr if unmapped
+  u8 perms = kPermNone;
+  bool watched = false;
 };
 
 class AddressSpace {
@@ -110,9 +120,33 @@ class AddressSpace {
   bool peek_u64(gva_t addr, u64* out) const;
   bool poke_u64(gva_t addr, u64 value);
 
+  // --- engine fast-path support (translation cache / page cache) ------------
+
+  /// Monotonic layout generation: bumped on every map/unmap/protect and on
+  /// watch-flag changes. Engines caching PageRefs compare against this and
+  /// refill on mismatch.
+  u64 generation() const { return generation_; }
+
+  /// Raw view of the page containing `addr` (data == nullptr if unmapped).
+  PageRef page_ref(gva_t addr) const;
+
+  /// Mark/unmark pages of [addr, addr+size) as write-watched. Any poke (and
+  /// hence any checked write) landing in a watched page invokes the write
+  /// watcher after the bytes move. Used for self-modifying-code detection on
+  /// pages holding translated traces.
+  void set_watch(gva_t addr, u64 size, bool on);
+  bool watched(gva_t addr) const;
+
+  /// Single write watcher, invoked once per watched page touched by a poke
+  /// with the page's base address. Replacing it does not bump generation.
+  void set_write_watcher(std::function<void(gva_t page_base)> cb) {
+    write_watcher_ = std::move(cb);
+  }
+
  private:
   struct Page {
     u8 perms = kPermNone;
+    bool watched = false;
     std::unique_ptr<u8[]> data;  // kPageSize bytes, zero-initialized
   };
 
@@ -123,6 +157,15 @@ class AddressSpace {
   AccessResult validate(gva_t addr, u64 size, u8 perms, Access kind) const;
 
   std::unordered_map<u64, Page> pages_;  // keyed by page number
+  u64 generation_ = 1;
+  std::function<void(gva_t)> write_watcher_;
+
+  // One-entry page_at cache (peek/poke-heavy paths touch the same page
+  // repeatedly). Stamped with generation_, so any map/unmap/protect —
+  // the only operations that can invalidate a Page pointer — drops it.
+  mutable u64 cached_page_num_ = ~0ull;
+  mutable u64 cached_gen_ = 0;
+  mutable const Page* cached_page_ = nullptr;
 };
 
 }  // namespace crp::mem

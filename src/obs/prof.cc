@@ -89,11 +89,6 @@ Profiler& Profiler::global() {
   return *g;
 }
 
-ProfContext& Profiler::context() {
-  thread_local ProfContext ctx;
-  return ctx;
-}
-
 Profiler::Shard& Profiler::shard_for_thread() {
   for (const TlsShardRef& r : t_shards)
     if (r.profiler_id == id_) return *r.shard;

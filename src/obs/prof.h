@@ -118,8 +118,12 @@ class Profiler {
   std::string name_of(u32 id) const;
 
   /// Calling thread's sampling context (shared by all Profiler instances;
-  /// context is a property of the thread, not of a profiler).
-  static ProfContext& context();
+  /// context is a property of the thread, not of a profiler). Inline: the
+  /// scoped-context guards below sit on per-syscall paths.
+  static ProfContext& context() {
+    thread_local ProfContext ctx;
+    return ctx;
+  }
 
   /// Lock-free-ish fast path: ring store + one uncontended shard mutex for
   /// the exact heat tally. Called at sampling granularity, never per

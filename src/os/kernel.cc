@@ -12,6 +12,17 @@ namespace {
 constexpr u64 kNsPerInstr = 2;
 constexpr u64 kSliceInstr = 200;
 constexpr u64 kInvalidDeadline = ~0ull;
+
+/// True when a blocked wait provably cannot be satisfied right now, so the
+/// real poll can be skipped. Sleeps depend only on the virtual clock; every
+/// other kind is monotone in the process's poll generation (net-wake + fd
+/// table), with epoll additionally able to time out. kNone (spurious block)
+/// must always be polled.
+bool cannot_wake(const Wait& w, u64 pgen, u64 now_ns) {
+  if (w.kind == Wait::Kind::kSleep) return now_ns < w.deadline_ns;
+  return w.kind != Wait::Kind::kNone && w.poll_gen == pgen &&
+         (w.kind != Wait::Kind::kEpoll || now_ns < w.deadline_ns);
+}
 }  // namespace
 
 // --- ClientConn -----------------------------------------------------------------
@@ -111,6 +122,9 @@ void Kernel::destroy_process(int pid) {
   CRP_CHECK(cur_proc_ == nullptr || cur_proc_->pid() != pid);
   for (auto it = procs_.begin(); it != procs_.end(); ++it) {
     if ((*it)->pid() == pid) {
+      // Streams may point at this process's net-wake counter; its storage
+      // dies with the Process object.
+      net_.drop_waker(&(*it)->net_wake_gen);
       procs_.erase(it);
       return;
     }
@@ -135,21 +149,21 @@ bool Kernel::copy_from_user(Process& p, gva_t src, std::span<u8> dst) {
   // Kernel-side copies honor page mapping but not the W^X user permission
   // split: reads require R.
   if (!p.machine().mem().check_range(src, dst.size(), mem::kPermR)) {
-    c_copy_efaults_->inc();
+    ++pend_copy_efaults_;
     return false;
   }
-  c_copy_in_bytes_->inc(dst.size());
+  pend_copy_in_bytes_ += dst.size();
   return p.machine().mem().peek(src, dst);
 }
 
 bool Kernel::copy_to_user(Process& p, gva_t dst, std::span<const u8> src,
                           std::span<const u32> colors) {
   if (!p.machine().mem().check_range(dst, src.size(), mem::kPermW)) {
-    c_copy_efaults_->inc();
+    ++pend_copy_efaults_;
     return false;
   }
   if (!p.machine().mem().poke(dst, src)) return false;
-  c_copy_out_bytes_->inc(src.size());
+  pend_copy_out_bytes_ += src.size();
   for (auto* o : observers_) o->on_user_copy_out(p, dst, src, colors);
   return true;
 }
@@ -159,12 +173,12 @@ bool Kernel::strncpy_from_user(Process& p, gva_t src, std::string* out, size_t m
   for (size_t i = 0; i < max; ++i) {
     u8 c = 0;
     if (!p.machine().mem().check_range(src + i, 1, mem::kPermR)) {
-      c_copy_efaults_->inc();
+      ++pend_copy_efaults_;
       return false;
     }
     CRP_CHECK(p.machine().mem().peek(src + i, std::span<u8>(&c, 1)));
     if (c == 0) {
-      c_copy_in_bytes_->inc(i + 1);
+      pend_copy_in_bytes_ += i + 1;
       return true;
     }
     out->push_back(static_cast<char>(c));
@@ -194,7 +208,36 @@ bool Kernel::has_work() const {
 
 u64 Kernel::run(u64 max_instr) { return run_bounded(max_instr, ~0ull); }
 
+void Kernel::flush_counters() {
+  for (size_t s = 0; s < static_cast<size_t>(Sys::kCount); ++s) {
+    if (pend_sys_calls_[s] != 0) {
+      c_sys_calls_[s]->inc(pend_sys_calls_[s]);
+      pend_sys_calls_[s] = 0;
+    }
+    if (pend_sys_efault_[s] != 0) {
+      c_sys_efault_[s]->inc(pend_sys_efault_[s]);
+      pend_sys_efault_[s] = 0;
+    }
+  }
+  if (pend_copy_in_bytes_ != 0) {
+    c_copy_in_bytes_->inc(pend_copy_in_bytes_);
+    pend_copy_in_bytes_ = 0;
+  }
+  if (pend_copy_out_bytes_ != 0) {
+    c_copy_out_bytes_->inc(pend_copy_out_bytes_);
+    pend_copy_out_bytes_ = 0;
+  }
+  if (pend_copy_efaults_ != 0) {
+    c_copy_efaults_->inc(pend_copy_efaults_);
+    pend_copy_efaults_ = 0;
+  }
+}
+
 u64 Kernel::run_bounded(u64 max_instr, u64 max_jumps) {
+  struct Flush {
+    Kernel* k;
+    ~Flush() { k->flush_counters(); }
+  } flush{this};
   u64 start = instret_;
   u64 jumps = 0;
   while (instret_ - start < max_instr) {
@@ -205,32 +248,66 @@ u64 Kernel::run_bounded(u64 max_instr, u64 max_jumps) {
     for (size_t pi = 0; pi < procs_.size(); ++pi) {
       Process& p = *procs_[pi];
       if (!p.alive()) continue;
+      // Quiescence fast path: every thread of p was blocked the last time
+      // we scanned, and nothing a wake condition depends on (network or fd
+      // generation, virtual clock vs. earliest deadline) has moved since.
+      const u64 pgen = p.net_wake_gen + p.fds().change_gen();
+      if (p.sched_gen == pgen && now_ns_ < p.sched_deadline) {
+        min_deadline = std::min(min_deadline, p.sched_deadline);
+        continue;
+      }
+      p.sched_gen = Process::kNoSchedGen;
+      bool all_idle = true;
+      u64 pmin = kInvalidDeadline;
       for (auto& t : p.threads()) {
         if (!p.alive()) break;
         if (t.state == Thread::State::kBlocked) {
+          // Inline copy of try_wake's idle-poll early-out: at ~60 server
+          // processes x ~8 blocked threads this test runs hundreds of times
+          // per pass, and the call itself was measurable.
+          const Wait& w = t.wait;
+          if (cannot_wake(w, pgen, now_ns_)) {
+            pmin = std::min(pmin, w.deadline_ns);
+            min_deadline = std::min(min_deadline, w.deadline_ns);
+            continue;
+          }
           try_wake(p, t);
           if (t.state == Thread::State::kBlocked) {
+            pmin = std::min(pmin, t.wait.deadline_ns);
             min_deadline = std::min(min_deadline, t.wait.deadline_ns);
             continue;
           }
         }
         if (t.state != Thread::State::kRunnable) continue;
+        all_idle = false;
         ran_any = true;
         step_thread(p, t, kSliceInstr);
+      }
+      // Only an all-blocked scan with zero wakes can be cached: any thread
+      // that ran may have changed world state mid-scan (pgen is stale then).
+      if (all_idle && p.alive()) {
+        p.sched_gen = pgen;
+        p.sched_deadline = pmin;
       }
     }
 
     if (!ran_any) {
       if (min_deadline == kInvalidDeadline) return instret_ - start;  // fully quiescent
       if (jumps++ >= max_jumps) return instret_ - start;
-      // Jump the clock to the earliest deadline and retry wakes.
+      // Jump the clock to the earliest deadline and retry wakes. A clock
+      // jump moves no generation, so only deadline-crossing waits can fire:
+      // whole quiescent processes with a later deadline are skipped, and
+      // within a scanned process each wait gets the same cannot_wake test
+      // the main loop uses.
       now_ns_ = std::max(now_ns_, min_deadline);
       bool woke = false;
       for (size_t pi = 0; pi < procs_.size(); ++pi) {
         Process& p = *procs_[pi];
         if (!p.alive()) continue;
+        const u64 pgen = p.net_wake_gen + p.fds().change_gen();
+        if (p.sched_gen == pgen && now_ns_ < p.sched_deadline) continue;
         for (auto& t : p.threads())
-          if (t.state == Thread::State::kBlocked) {
+          if (t.state == Thread::State::kBlocked && !cannot_wake(t.wait, pgen, now_ns_)) {
             try_wake(p, t);
             woke |= t.state == Thread::State::kRunnable;
           }
@@ -272,12 +349,20 @@ void Kernel::step_thread(Process& p, Thread& t, u64 slice) {
       k->cur_thread_ = nullptr;
     }
   } reset{this};
-  for (u64 i = 0; i < slice; ++i) {
+  for (u64 i = 0; i < slice;) {
     if (t.state != Thread::State::kRunnable || !p.alive()) return;
-    vm::StepResult r = p.machine().step(t.cpu);
-    ++instret_;
-    ++t.steps;
-    now_ns_ += kNsPerInstr;
+    // Block-stepped: run_block retires a whole translated trace (or one
+    // interpreted instruction) and reports how many step() attempts that
+    // was, so the bulk accounting below is bit-identical to the old
+    // per-instruction loop. Traps and faults always terminate the block,
+    // so thread state cannot change mid-block.
+    vm::BlockResult br = p.machine().run_block(t.cpu, slice - i);
+    if (br.steps == 0) return;  // defensive: no progress possible
+    vm::StepResult r = br.res;
+    i += br.steps;
+    instret_ += br.steps;
+    t.steps += br.steps;
+    now_ns_ += br.steps * kNsPerInstr;
     switch (r.kind) {
       case vm::StepKind::kOk:
         break;
@@ -332,7 +417,7 @@ void Kernel::dispatch_syscall(Process& p, Thread& t) {
     return;
   }
   Sys nr = static_cast<Sys>(nr_raw);
-  c_sys_calls_[nr_raw]->inc();
+  ++pend_sys_calls_[nr_raw];
   // Samples taken while guest code runs inside the service of this syscall
   // (API callbacks, signal frames, chaos-injected retries) attribute to it.
   obs::ScopedProfSyscall prof_sys(prof_sys_id_[nr_raw]);
@@ -344,19 +429,21 @@ void Kernel::dispatch_syscall(Process& p, Thread& t) {
     // delivered by try_wake via finish_syscall.
     t.state = Thread::State::kBlocked;
     t.wait.nr = nr;
+    t.wait.poll_gen = Wait::kNoPoll;  // first try_wake must really poll
     return;
   }
   finish_syscall(p, t, nr, args, oc.ret);
 }
 
 void Kernel::finish_syscall(Process& p, Thread& t, Sys nr, const u64* args, i64 ret) {
-  if (ret == -kEFAULT) c_sys_efault_[static_cast<size_t>(nr)]->inc();
+  if (ret == -kEFAULT) ++pend_sys_efault_[static_cast<size_t>(nr)];
   t.cpu.reg(isa::Reg::R0) = static_cast<u64>(ret);
   for (auto* o : observers_) o->on_syscall_exit(p, t, nr, args, ret);
 }
 
-std::vector<std::pair<u64, u64>> Kernel::epoll_ready(Process& p, FdEpoll& ep) {
-  std::vector<std::pair<u64, u64>> out;
+const std::vector<std::pair<u64, u64>>& Kernel::epoll_ready(Process& p, FdEpoll& ep) {
+  std::vector<std::pair<u64, u64>>& out = epoll_scratch_;
+  out.clear();
   for (auto& [wfd, cfg] : ep.watched) {
     auto [mask, data] = cfg;
     FdEntry* fe = p.fds().get(wfd);
@@ -439,6 +526,7 @@ Kernel::SyscallOutcome Kernel::do_syscall(Process& p, Thread& t, Sys nr, u64* a)
       auto* lst = std::get_if<FdListener>(fe);
       if (lst == nullptr) return ret(-kENOTSOCK);
       net_.listen(lst->port);
+      net_.set_port_waker(lst->port, &p.net_wake_gen);
       return ret(0);
     }
 
@@ -478,7 +566,7 @@ Kernel::SyscallOutcome Kernel::do_syscall(Process& p, Thread& t, Sys nr, u64* a)
       u8 addr[8];
       if (!copy_from_user(p, a[1], addr)) return ret(-kEFAULT);
       u16 port = static_cast<u16>(addr[0] | (addr[1] << 8));
-      std::optional<u64> cid = net_.connect(port, 0);
+      std::optional<u64> cid = net_.connect(port, 0, &p.net_wake_gen);
       if (!cid.has_value()) return ret(-kECONNREFUSED);
       *fe = FdConn{*cid, 0};
       return ret(0);
@@ -537,10 +625,12 @@ Kernel::SyscallOutcome Kernel::do_syscall(Process& p, Thread& t, Sys nr, u64* a)
         for (int i = 0; i < 8; ++i) mask |= static_cast<u64>(ev[i]) << (8 * i);
         for (int i = 0; i < 8; ++i) data |= static_cast<u64>(ev[8 + i]) << (8 * i);
         ep->watched[target] = {mask, data};
+        p.fds().note_change();  // in-place edit; an added fd may already be ready
         return ret(0);
       }
       if (op == kEpollCtlDel) {
         ep->watched.erase(target);
+        p.fds().note_change();
         return ret(0);
       }
       return ret(-kEINVAL);
@@ -664,6 +754,10 @@ Kernel::SyscallOutcome Kernel::do_syscall(Process& p, Thread& t, Sys nr, u64* a)
       if (has_conn) {
         child.fds().install(3, conn_copy);
         p.fds().close(fd);  // descriptor moves to the worker
+        // The stream's reader changed with the descriptor: retarget its wake
+        // pointer so pushes invalidate the worker's polls, not the parent's.
+        if (Connection* c = net_.conn(conn_copy.conn_id))
+          c->stream_from(conn_copy.side).wake_gen = &child.net_wake_gen;
       }
       child.spawn_thread(child_entry, has_conn ? 3u : 0u);
       return ret(child_pid);
@@ -818,10 +912,11 @@ i64 Kernel::sys_epoll_wait(Process& p, Thread& t, u64* a, SyscallOutcome* oc) {
   if (!p.machine().mem().check_range(events, maxevents * kEpollEventSize, mem::kPermW))
     return -kEFAULT;
 
-  std::vector<std::pair<u64, u64>> ready = epoll_ready(p, *ep);
+  const std::vector<std::pair<u64, u64>>& ready = epoll_ready(p, *ep);
   if (!ready.empty()) {
     u64 n = std::min<u64>(ready.size(), maxevents);
-    std::vector<u8> buf(n * kEpollEventSize);
+    std::vector<u8>& buf = copyout_scratch_;
+    buf.assign(n * kEpollEventSize, 0);
     for (u64 i = 0; i < n; ++i) {
       auto [mask, data] = ready[i];
       for (int b = 0; b < 8; ++b) buf[i * 16 + static_cast<u64>(b)] = static_cast<u8>(mask >> (8 * b));
@@ -847,6 +942,12 @@ i64 Kernel::sys_epoll_wait(Process& p, Thread& t, u64* a, SyscallOutcome* oc) {
 void Kernel::try_wake(Process& p, Thread& t) {
   if (t.state != Thread::State::kBlocked) return;
   Wait& w = t.wait;
+  // Idle-poll early-out. Wake conditions are monotone in the process's poll
+  // generation (net-wake + fd table) plus the virtual clock: if nothing
+  // relevant moved since the last failed poll, re-polling cannot succeed.
+  const u64 gen = p.net_wake_gen + p.fds().change_gen();
+  if (cannot_wake(w, gen, now_ns_)) return;
+  w.poll_gen = gen;
   u64 args[6] = {static_cast<u64>(w.fd), w.buf, w.len, 0, 0, 0};
 
   switch (w.kind) {
@@ -932,7 +1033,7 @@ void Kernel::try_wake(Process& p, Thread& t) {
         finish_syscall(p, t, Sys::kEpollWait, args, -kEBADF);
         return;
       }
-      std::vector<std::pair<u64, u64>> ready = epoll_ready(p, *ep);
+      const std::vector<std::pair<u64, u64>>& ready = epoll_ready(p, *ep);
       if (ready.empty()) {
         if (now_ns_ >= w.deadline_ns) {
           t.state = Thread::State::kRunnable;
@@ -941,7 +1042,8 @@ void Kernel::try_wake(Process& p, Thread& t) {
         return;
       }
       u64 n = std::min<u64>(ready.size(), w.len);
-      std::vector<u8> buf(n * kEpollEventSize);
+      std::vector<u8>& buf = copyout_scratch_;
+      buf.assign(n * kEpollEventSize, 0);
       for (u64 i = 0; i < n; ++i) {
         auto [mask, data] = ready[i];
         for (int b = 0; b < 8; ++b)

@@ -191,8 +191,11 @@ class Kernel {
   i64 sys_read_common(Process& p, Thread& t, Sys nr, u64* a, SyscallOutcome* oc);
   i64 sys_write_common(Process& p, Thread& t, Sys nr, u64* a);
   i64 sys_epoll_wait(Process& p, Thread& t, u64* a, SyscallOutcome* oc);
-  /// Collect ready (events,data) pairs for an epoll fd.
-  std::vector<std::pair<u64, u64>> epoll_ready(Process& p, FdEpoll& ep);
+  /// Collect ready (events,data) pairs for an epoll fd. Fills and returns
+  /// `epoll_scratch_` (tens of millions of polls per run: the per-call
+  /// vector allocation was measurable); callers must consume the result
+  /// before the next poll.
+  const std::vector<std::pair<u64, u64>>& epoll_ready(Process& p, FdEpoll& ep);
 
   Vfs vfs_;
   Network net_;
@@ -208,6 +211,22 @@ class Kernel {
   u64 instret_ = 0;
   Process* cur_proc_ = nullptr;
   Thread* cur_thread_ = nullptr;
+  // Reused scratch buffers for the epoll hot path (capacity persists, so
+  // steady state allocates nothing).
+  std::vector<std::pair<u64, u64>> epoll_scratch_;
+  std::vector<u8> copyout_scratch_;
+
+  // Pending deltas for the hottest per-syscall counters. The registry
+  // counters are atomics shared with the telemetry reader; one fetch_add per
+  // syscall (~10^8 per table1 run) was measurable, so the hot path bumps
+  // these plain fields and flush_counters() publishes them when run_bounded
+  // returns — totals are exact at every run boundary.
+  void flush_counters();
+  u64 pend_sys_calls_[static_cast<size_t>(Sys::kCount)] = {};
+  u64 pend_sys_efault_[static_cast<size_t>(Sys::kCount)] = {};
+  u64 pend_copy_in_bytes_ = 0;
+  u64 pend_copy_out_bytes_ = 0;
+  u64 pend_copy_efaults_ = 0;
 
   // Cached obs::Registry handles (registry entries are never removed);
   // indexed by Sys so the syscall path does no name lookups.

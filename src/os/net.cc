@@ -7,6 +7,7 @@ namespace crp::os {
 void ByteStream::push(std::span<const u8> data, u32 color) {
   bytes.insert(bytes.end(), data.begin(), data.end());
   colors.insert(colors.end(), data.size(), color);
+  if (wake_gen != nullptr && !data.empty()) ++*wake_gen;
 }
 
 size_t ByteStream::pop(size_t max, std::vector<u8>* out, std::vector<u32>* colors_out) {
@@ -19,11 +20,19 @@ size_t ByteStream::pop(size_t max, std::vector<u8>* out, std::vector<u32>* color
   return n;
 }
 
+namespace {
+void bump(u64* waker) {
+  if (waker != nullptr) ++*waker;
+}
+}  // namespace
+
 void Network::listen(u16 port) { listeners_.try_emplace(port); }
 
 bool Network::listening(u16 port) const { return listeners_.contains(port); }
 
-std::optional<u64> Network::connect(u16 port, u32 color) {
+void Network::set_port_waker(u16 port, u64* waker) { port_wakers_[port] = waker; }
+
+std::optional<u64> Network::connect(u16 port, u32 color, u64* client_waker) {
   auto it = listeners_.find(port);
   if (it == listeners_.end()) return std::nullopt;
   u64 id = next_id_++;
@@ -31,8 +40,14 @@ std::optional<u64> Network::connect(u16 port, u32 color) {
   c.id = id;
   c.port = port;
   c.color = color;
-  conns_.emplace(id, std::move(c));
+  Connection& ins = conns_.emplace(id, std::move(c)).first->second;
+  // Each stream wakes the process that reads it: the listening process for
+  // to_server, the connecting one for to_client (null when the host reads).
+  auto pw = port_wakers_.find(port);
+  ins.to_server.wake_gen = pw == port_wakers_.end() ? nullptr : pw->second;
+  ins.to_client.wake_gen = client_waker;
   it->second.push_back(id);
+  bump(ins.to_server.wake_gen);  // backlog arrival can satisfy accept/epoll
   return id;
 }
 
@@ -42,6 +57,8 @@ std::optional<u64> Network::accept(u16 port) {
   u64 id = it->second.front();
   it->second.pop_front();
   conns_.at(id).accepted = true;
+  auto pw = port_wakers_.find(port);
+  if (pw != port_wakers_.end()) bump(pw->second);
   return id;
 }
 
@@ -58,6 +75,10 @@ const Connection* Network::conn(u64 id) const {
 void Network::close_side(u64 id, int side) {
   Connection* c = conn(id);
   if (c == nullptr) return;
+  // Both readers can be woken: EOF for the peer reading the closed stream,
+  // reap/writability change for the closing side's own reader.
+  bump(c->to_server.wake_gen);
+  bump(c->to_client.wake_gen);
   c->side_open[side] = false;
   c->stream_into(side).open = false;
   if (!c->side_open[0] && !c->side_open[1]) {
@@ -66,6 +87,15 @@ void Network::close_side(u64 id, int side) {
       bl.erase(std::remove(bl.begin(), bl.end(), id), bl.end());
     conns_.erase(id);
   }
+}
+
+void Network::drop_waker(const u64* waker) {
+  for (auto& [_, c] : conns_) {
+    if (c.to_server.wake_gen == waker) c.to_server.wake_gen = nullptr;
+    if (c.to_client.wake_gen == waker) c.to_client.wake_gen = nullptr;
+  }
+  for (auto& [_, w] : port_wakers_)
+    if (w == waker) w = nullptr;
 }
 
 size_t Network::backlog(u16 port) const {

@@ -25,6 +25,9 @@ struct ByteStream {
   std::deque<u8> bytes;
   std::deque<u32> colors;  // taint color per byte (0 = clean)
   bool open = true;        // writer side still open
+  u64* wake_gen = nullptr;  // reading process's net-wake counter (null when the
+                            // reader is host-side); push() bumps it so blocked
+                            // readers know their wait is worth re-polling
 
   void push(std::span<const u8> data, u32 color);
   /// Pop up to `max` bytes into out/colors_out; returns count.
@@ -58,7 +61,10 @@ class Network {
 
   /// Establish a connection to `port`; nullopt if nobody listens. The new
   /// connection sits in the listener's backlog until accepted.
-  std::optional<u64> connect(u16 port, u32 color);
+  /// `client_waker` is the connecting process's net-wake counter (null for
+  /// host-side clients); the listener's registered waker is bumped so a
+  /// blocked accept/epoll on the server re-polls.
+  std::optional<u64> connect(u16 port, u32 color, u64* client_waker = nullptr);
 
   /// Accepting end: pop one pending connection on `port` (nullopt if none).
   std::optional<u64> accept(u16 port);
@@ -75,8 +81,18 @@ class Network {
   /// Next unused taint color (1-based).
   u32 fresh_color() { return next_color_++; }
 
+  /// Register the net-wake counter of the process listening on `port`.
+  /// Backlog arrivals and server-bound data bump it, so only THAT process's
+  /// cached polls are invalidated — not every blocked process in the world.
+  void set_port_waker(u16 port, u64* waker);
+
+  /// Null every stored waker pointer equal to `waker` (process teardown:
+  /// the counter's storage is about to go away).
+  void drop_waker(const u64* waker);
+
  private:
   std::map<u16, std::deque<u64>> listeners_;  // port -> backlog of conn ids
+  std::map<u16, u64*> port_wakers_;           // port -> listener's wake counter
   std::map<u64, Connection> conns_;
   u64 next_id_ = 1;
   u32 next_color_ = 1;

@@ -12,17 +12,20 @@ i64 FdTable::alloc(FdEntry entry) {
   i64 fd = 3;
   while (fds_.contains(fd)) ++fd;
   fds_[fd] = std::move(entry);
+  ++change_gen_;
   return fd;
 }
 
-void FdTable::install(i64 fd, FdEntry entry) { fds_[fd] = std::move(entry); }
-
-FdEntry* FdTable::get(i64 fd) {
-  auto it = fds_.find(fd);
-  return it == fds_.end() ? nullptr : &it->second;
+void FdTable::install(i64 fd, FdEntry entry) {
+  fds_[fd] = std::move(entry);
+  ++change_gen_;
 }
 
-bool FdTable::close(i64 fd) { return fds_.erase(fd) > 0; }
+bool FdTable::close(i64 fd) {
+  if (fds_.erase(fd) == 0) return false;
+  ++change_gen_;
+  return true;
+}
 
 Process::Process(int pid, std::string name, vm::Personality pers, u64 aslr_seed)
     : pid_(pid), name_(std::move(name)), machine_(pers, aslr_seed) {}
@@ -37,6 +40,7 @@ int Process::spawn_thread(gva_t entry, u64 arg, u64 stack_size) {
   t.cpu.reg(isa::Reg::R1) = arg;
   t.cpu.sp() = stack_base + stack_size - 64;  // small top-of-stack red zone
   threads_.push_back(std::move(t));
+  sched_gen = kNoSchedGen;  // a new runnable thread: drop the quiescence cache
   return threads_.back().tid;
 }
 

@@ -57,12 +57,22 @@ class FdTable {
   i64 alloc(FdEntry entry);
   /// Install at a specific number (worker fd passing).
   void install(i64 fd, FdEntry entry);
-  FdEntry* get(i64 fd);
+  FdEntry* get(i64 fd) {
+    auto it = fds_.find(fd);
+    return it == fds_.end() ? nullptr : &it->second;
+  }
   bool close(i64 fd);
   const std::map<i64, FdEntry>& all() const { return fds_; }
 
+  /// Monotone counter bumped on table mutations (and, via note_change, on
+  /// in-place edits such as epoll_ctl). Pairs with Process::net_wake_gen to
+  /// let try_wake skip polls whose inputs have not moved.
+  u64 change_gen() const { return change_gen_; }
+  void note_change() { ++change_gen_; }
+
  private:
   std::map<i64, FdEntry> fds_;
+  u64 change_gen_ = 0;
 };
 
 // --- threads -------------------------------------------------------------------
@@ -75,6 +85,13 @@ struct Wait {
   u64 len = 0;          // buffer length / maxevents
   u64 deadline_ns = ~0ull;  // absolute virtual deadline (kEpoll/kSleep)
   Sys nr = Sys::kCount;     // the blocked syscall (for observer reporting)
+
+  /// World generation (net + fd-table) at the last poll that left us
+  /// blocked; kNoPoll forces the next try_wake to do a real poll. Every
+  /// wake condition is monotone in the generations and the virtual clock,
+  /// so an unchanged generation before the deadline cannot wake.
+  static constexpr u64 kNoPoll = ~0ull;
+  u64 poll_gen = kNoPoll;
 };
 
 struct Thread {
@@ -128,6 +145,23 @@ class Process {
 
   /// Console output captured from fds 1/2.
   std::string& console() { return console_; }
+
+  /// Scheduler quiescence cache, owned by Kernel::run_bounded: when every
+  /// thread was blocked at world generation `sched_gen` (net + this fd
+  /// table) the whole process is skipped until the generation moves or
+  /// `sched_deadline` arrives. kNoSchedGen = must scan. Invalidated on
+  /// spawn_thread (a fresh runnable thread appears without a gen bump).
+  static constexpr u64 kNoSchedGen = ~0ull;
+  u64 sched_gen = kNoSchedGen;
+  u64 sched_deadline = ~0ull;
+
+  /// Net-wake counter: bumped by network events that can satisfy one of THIS
+  /// process's blocked waits (data pushed into a stream it reads, backlog
+  /// arrival on its listener, close on one of its conns). Streams hold a
+  /// pointer to it (see ByteStream::wake_gen); Network::drop_waker must run
+  /// before this object is destroyed mid-run. Summed with the fd-table
+  /// generation to form the poll generation try_wake caches.
+  u64 net_wake_gen = 0;
 
  private:
   int pid_;

@@ -4,167 +4,45 @@
 
 namespace crp::taint {
 
-using isa::Op;
 using isa::Reg;
 
 TaintEngine::TaintEngine(os::Kernel& kernel, os::Process& proc)
     : kernel_(kernel), proc_(proc) {
-  for (auto& p : reg_prov_) p = kNoProv;
-  c_propagated_ = &obs::Registry::global().counter("taint.propagated");
-  g_tainted_hwm_ = &obs::Registry::global().gauge("taint.tainted_bytes_hwm");
+  shadow_.set_metrics(&obs::Registry::global().counter("taint.propagated"),
+                      &obs::Registry::global().gauge("taint.tainted_bytes_hwm"));
   proc_.machine().add_observer(this);
+  proc_.machine().set_taint_shadow(&shadow_, this);
   kernel_.add_observer(this);
 }
 
 TaintEngine::~TaintEngine() {
+  shadow_.publish();
+  proc_.machine().set_taint_shadow(nullptr, nullptr);
   proc_.machine().remove_observer(this);
   kernel_.remove_observer(this);
 }
 
-Mask* TaintEngine::shadow_at(gva_t addr, bool create) {
-  u64 page = addr / kShadowPage;
-  auto it = pages_.find(page);
-  if (it == pages_.end()) {
-    if (!create) return nullptr;
-    it = pages_.emplace(page, ShadowPage{}).first;
-  }
-  return &it->second.bytes[addr % kShadowPage];
-}
-
-const Mask* TaintEngine::shadow_at(gva_t addr) const {
-  auto it = pages_.find(addr / kShadowPage);
-  return it == pages_.end() ? nullptr : &it->second.bytes[addr % kShadowPage];
-}
-
-Mask TaintEngine::mem_taint(gva_t addr, u64 len) const {
-  Mask m = 0;
-  for (u64 i = 0; i < len; ++i) {
-    const Mask* s = shadow_at(addr + i);
-    if (s != nullptr) m |= *s;
-  }
-  return m;
-}
-
-void TaintEngine::write_shadow(gva_t addr, Mask m) {
-  if (m == 0) {
-    Mask* s = shadow_at(addr, false);
-    if (s != nullptr && *s != 0) --tainted_bytes_;
-    if (s != nullptr) *s = 0;
-    return;
-  }
-  Mask* s = shadow_at(addr, true);
-  if (*s == 0) ++tainted_bytes_;
-  *s = m;
-}
-
-void TaintEngine::publish_census() {
-  g_tainted_hwm_->update_max(static_cast<i64>(tainted_bytes_));
-}
-
-void TaintEngine::taint_mem(gva_t addr, u64 len, Mask mask) {
-  for (u64 i = 0; i < len; ++i) write_shadow(addr + i, mask);
-  publish_census();
-}
-
-void TaintEngine::clear_mem(gva_t addr, u64 len) {
-  for (u64 i = 0; i < len; ++i) write_shadow(addr + i, 0);
-}
-
-void TaintEngine::clear_all() {
-  pages_.clear();
-  tainted_bytes_ = 0;
-  for (auto& m : reg_mask_) m = 0;
-  for (auto& p : reg_prov_) p = kNoProv;
-}
-
-void TaintEngine::set_reg(Reg r, Mask m, gva_t prov) {
-  reg_mask_[static_cast<u8>(r)] = m;
-  reg_prov_[static_cast<u8>(r)] = prov;
+void TaintEngine::set_enabled(bool on) {
+  // The machine registration stays put; both engines check the shadow's
+  // enabled flag, so toggling is one store for either execution path.
+  shadow_.set_enabled(on);
 }
 
 void TaintEngine::on_exec(const vm::ExecEvent& ev, const vm::Cpu& cpu) {
   (void)cpu;
-  if (!enabled_ || ev.faulted) return;
-  ++propagated_;
-  c_propagated_->inc();
-  const isa::Instr& in = ev.ins;
-  Mask ta = reg_taint(in.ra);
-  Mask tb = reg_taint(in.rb);
-
-  switch (in.op) {
-    case Op::kMovRR:
-      set_reg(in.ra, tb, reg_prov_[static_cast<u8>(in.rb)]);
-      break;
-    case Op::kMovRI:
-    case Op::kLeaPc:
-      set_reg(in.ra, 0);
-      break;
-    case Op::kLea:
-      // Address arithmetic: value derives from rb, loses load provenance.
-      set_reg(in.ra, tb);
-      break;
-    case Op::kLoad:
-      set_reg(in.ra, mem_taint(ev.mem_addr, ev.mem_size),
-              in.w == 8 ? ev.mem_addr : kNoProv);
-      break;
-    case Op::kPop:
-      set_reg(in.ra, mem_taint(ev.mem_addr, 8), ev.mem_addr);
-      break;
-    case Op::kStore:
-      taint_mem(ev.mem_addr, ev.mem_size, tb);
-      break;
-    case Op::kPush:
-      taint_mem(ev.mem_addr, 8, ta);
-      break;
-    case Op::kCall:
-    case Op::kCallR:
-    case Op::kCallImp:
-      taint_mem(ev.mem_addr, 8, 0);  // pushed return address is clean
-      break;
-    case Op::kXorRR:
-      if (in.ra == in.rb) {
-        set_reg(in.ra, 0);  // zeroing idiom
-        break;
-      }
-      set_reg(in.ra, ta | tb);
-      break;
-    case Op::kAddRR:
-    case Op::kSubRR:
-    case Op::kMulRR:
-    case Op::kDivRR:
-    case Op::kModRR:
-    case Op::kAndRR:
-    case Op::kOrRR:
-    case Op::kShlRR:
-    case Op::kShrRR:
-      set_reg(in.ra, ta | tb);
-      break;
-    case Op::kAddRI:
-    case Op::kSubRI:
-    case Op::kMulRI:
-    case Op::kAndRI:
-    case Op::kOrRI:
-    case Op::kXorRI:
-    case Op::kShlRI:
-    case Op::kShrRI:
-    case Op::kSarRI:
-    case Op::kNot:
-    case Op::kNeg:
-      set_reg(in.ra, ta);
-      break;
-    default:
-      break;  // control flow, cmp/test, nop, traps: no register data writes
-  }
+  if (!shadow_.enabled() || ev.faulted) return;
+  shadow_.propagate(ev.ins.op, ev.ins.ra, ev.ins.rb, ev.ins.w, ev.mem_addr, ev.mem_size);
 }
 
 void TaintEngine::on_user_copy_out(os::Process& p, gva_t addr, std::span<const u8> data,
                                    std::span<const u32> colors) {
-  if (!enabled_ || p.pid() != proc_.pid()) return;
+  if (!shadow_.enabled() || p.pid() != proc_.pid()) return;
   for (size_t i = 0; i < data.size(); ++i) {
     Mask m = i < colors.size() ? mask_for_color(colors[i]) : 0;
-    write_shadow(addr + i, m);
+    shadow_.write_shadow(addr + i, m);
   }
-  publish_census();
+  shadow_.note_census();
+  shadow_.publish();
 }
 
 void TaintEngine::on_syscall_exit(os::Process& p, os::Thread& t, os::Sys nr, const u64* args,
@@ -175,7 +53,7 @@ void TaintEngine::on_syscall_exit(os::Process& p, os::Thread& t, os::Sys nr, con
   (void)ret;
   if (p.pid() != proc_.pid()) return;
   // The kernel wrote R0; its value does not derive from guest data flow.
-  set_reg(Reg::R0, 0);
+  shadow_.set_reg(Reg::R0, 0);
 }
 
 }  // namespace crp::taint

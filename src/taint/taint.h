@@ -1,44 +1,31 @@
 // Byte-granular dynamic taint tracking (the libdft analog of §IV-A).
 //
-// The engine attaches to one process: it observes every retired instruction
-// of that process's Machine (vm::ExecObserver) for propagation, and the
-// Kernel (os::KernelObserver) for sources — bytes the kernel copies into
-// user memory carry per-byte colors assigned per client connection.
-//
-// Shadow state:
-//   * memory  — one 64-bit color mask per guest byte (sparse, per page);
-//   * registers — one mask per register (bytewise masks are OR-folded on
-//     load; the pointer-argument question the analysis asks is per-value);
-//   * provenance — per register, the guest address an 8-byte value was last
-//     loaded from. This is what lets the CandidateVerifier corrupt the
-//     *memory home* of a pointer argument (the paper's monitor invalidates
-//     pointers in attacker-reachable memory, not registers), so re-reads of
-//     the same location elsewhere in the program are faithfully affected.
+// The engine attaches to one process. The shadow state and the propagation
+// rules live in vm::TaintShadow (src/vm/shadow.h) so the interpreter and the
+// block-translation engine share one implementation; this class is the
+// wiring: it observes the process Machine (vm::ExecObserver) to drive
+// propagation on the interpreter path, registers the shadow with the
+// Machine so translated traces propagate inline, and observes the Kernel
+// (os::KernelObserver) for sources — bytes the kernel copies into user
+// memory carry per-byte colors assigned per client connection.
 //
 // Colors are small integers (1..) handed out per connection; masks fold
 // color c onto bit (c-1) mod 64. Up to 64 simultaneous colors stay exact.
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 
 #include "os/kernel.h"
 #include "vm/hooks.h"
 #include "vm/machine.h"
-
-namespace crp::obs {
-class Counter;
-class Gauge;
-}  // namespace crp::obs
+#include "vm/shadow.h"
 
 namespace crp::taint {
 
-using Mask = u64;
+using Mask = vm::TaintMask;
 
 /// Mask bit for a connection color (0 = clean).
-constexpr Mask mask_for_color(u32 color) {
-  return color == 0 ? 0 : (1ull << ((color - 1) % 64));
-}
+constexpr Mask mask_for_color(u32 color) { return vm::taint_mask_for_color(color); }
 
 class TaintEngine : public vm::ExecObserver, public os::KernelObserver {
  public:
@@ -51,28 +38,31 @@ class TaintEngine : public vm::ExecObserver, public os::KernelObserver {
 
   // --- queries ---------------------------------------------------------------
 
-  Mask reg_taint(isa::Reg r) const { return reg_mask_[static_cast<u8>(r)]; }
+  Mask reg_taint(isa::Reg r) const { return shadow_.reg_taint(r); }
   std::optional<gva_t> reg_provenance(isa::Reg r) const {
-    gva_t a = reg_prov_[static_cast<u8>(r)];
-    return a == kNoProv ? std::nullopt : std::optional<gva_t>(a);
+    gva_t a = shadow_.reg_prov(r);
+    return a == vm::TaintShadow::kNoProv ? std::nullopt : std::optional<gva_t>(a);
   }
   /// OR of byte masks over [addr, addr+len).
-  Mask mem_taint(gva_t addr, u64 len) const;
+  Mask mem_taint(gva_t addr, u64 len) const { return shadow_.mem_taint(addr, len); }
 
   // --- manual control (the monitor's "control the taint state" commands) ------
 
-  void taint_mem(gva_t addr, u64 len, Mask mask);
-  void clear_mem(gva_t addr, u64 len);
-  void clear_all();
+  void taint_mem(gva_t addr, u64 len, Mask mask) {
+    shadow_.taint_mem(addr, len, mask);
+    shadow_.publish();
+  }
+  void clear_mem(gva_t addr, u64 len) { shadow_.clear_mem(addr, len); }
+  void clear_all() { shadow_.clear_all(); }
 
   /// Toggle source tracking (workload warm-up phases run untracked).
-  void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool on);
+  bool enabled() const { return shadow_.enabled(); }
 
-  u64 propagated_instrs() const { return propagated_; }
+  u64 propagated_instrs() const { return shadow_.propagated_instrs(); }
 
   /// Bytes currently carrying a nonzero taint mask.
-  u64 tainted_bytes() const { return tainted_bytes_; }
+  u64 tainted_bytes() const { return shadow_.tainted_bytes(); }
 
   // --- vm::ExecObserver ---------------------------------------------------------
 
@@ -86,31 +76,9 @@ class TaintEngine : public vm::ExecObserver, public os::KernelObserver {
                        i64 ret) override;
 
  private:
-  static constexpr gva_t kNoProv = ~0ull;
-  static constexpr u64 kShadowPage = 4096;
-
-  struct ShadowPage {
-    Mask bytes[kShadowPage] = {};
-  };
-
-  Mask* shadow_at(gva_t addr, bool create);
-  const Mask* shadow_at(gva_t addr) const;
-  void set_reg(isa::Reg r, Mask m, gva_t prov = kNoProv);
-  /// Shadow write tracking the tainted-byte census on 0<->nonzero flips.
-  void write_shadow(gva_t addr, Mask m);
-  /// Publish the census to the gauge + high-water mark after a bulk update.
-  void publish_census();
-
   os::Kernel& kernel_;
   os::Process& proc_;
-  bool enabled_ = true;
-  Mask reg_mask_[isa::kNumRegs] = {};
-  gva_t reg_prov_[isa::kNumRegs];
-  std::unordered_map<u64, ShadowPage> pages_;
-  u64 propagated_ = 0;
-  u64 tainted_bytes_ = 0;
-  obs::Counter* c_propagated_;
-  obs::Gauge* g_tainted_hwm_;
+  vm::TaintShadow shadow_;
 };
 
 }  // namespace crp::taint

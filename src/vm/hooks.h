@@ -34,6 +34,12 @@ class ExecObserver {
  public:
   virtual ~ExecObserver() = default;
 
+  /// Whether this observer needs on_exec delivery at all. Observers that
+  /// only care about exception/filter events (e.g. the AV-rate defense)
+  /// return false so the Machine can keep the block-translation engine
+  /// enabled; per-instruction events are then not synthesized for them.
+  virtual bool wants_exec() const { return true; }
+
   /// After each instruction executes (or faults). `cpu` is post-state for
   /// retired instructions, pre-dispatch state for faulted ones.
   virtual void on_exec(const ExecEvent& ev, const Cpu& cpu) {

@@ -1,6 +1,7 @@
 #include "vm/machine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 
@@ -8,6 +9,7 @@
 #include "obs/obs.h"
 #include "obs/prof.h"
 #include "util/log.h"
+#include "vm/shadow.h"
 
 namespace crp::vm {
 
@@ -71,6 +73,9 @@ Machine::Machine(Personality personality, u64 aslr_seed, mem::AslrConfig aslr)
   if (chaos_.armed()) chaos_countdown_ = kChaosVmInterval;
   prof_interval_ = obs::Profiler::global().interval();
   if (prof_interval_ != 0) prof_countdown_ = prof_interval_;
+  const char* jit = std::getenv("CRP_JIT");
+  jit_on_ = jit == nullptr || jit[0] != '0';
+  mem_.set_write_watcher([this](gva_t page_base) { jit_note_write(page_base); });
 }
 
 Machine::~Machine() { publish_instret(); }
@@ -81,6 +86,16 @@ struct Machine::ProfModCache {
   cfg::Cfg cfg;
   std::map<u64, u32> block_ids;  // block-leader code offset -> interned id
 };
+
+gva_t Machine::prof_block_end(gva_t pc) const {
+  for (size_t mi = 0; mi < modules_.size(); ++mi) {
+    if (!modules_[mi].contains_code(pc)) continue;
+    if (mi >= prof_mods_.size() || prof_mods_[mi] == nullptr) return 0;
+    const cfg::BasicBlock* bb = prof_mods_[mi]->cfg.block_at(pc - modules_[mi].code_base());
+    return bb != nullptr ? modules_[mi].code_base() + bb->end : 0;
+  }
+  return 0;
+}
 
 void Machine::prof_sample(gva_t pc, u16 extra_flags) {
   obs::Profiler& prof = obs::Profiler::global();
@@ -127,11 +142,6 @@ void Machine::prof_sample(gva_t pc, u16 extra_flags) {
   prof.record(s);
 }
 
-namespace {
-// Power of two; one relaxed fetch_add per this many retired instructions.
-constexpr u64 kObsPublishInterval = 4096;
-}  // namespace
-
 void Machine::publish_instret() {
   u64 delta = instret_ - instret_published_;
   instret_published_ = instret_;
@@ -139,6 +149,9 @@ void Machine::publish_instret() {
   // same semantics as an unbatched per-step inc (instructions retired while
   // observability is off are not counted).
   if (delta != 0) c_instret_->inc(delta);
+  // The taint shadow batches its counters the same way; flush on the same
+  // cadence so live telemetry sees both advance together.
+  if (taint_shadow_ != nullptr) taint_shadow_->publish();
 }
 
 size_t Machine::load_image(std::shared_ptr<const isa::Image> image) {
@@ -215,10 +228,14 @@ gva_t Machine::signal_handler(int signo) const {
   return (signo >= 0 && signo < 32) ? sig_handlers_[signo] : 0;
 }
 
-void Machine::add_observer(ExecObserver* obs) { observers_.push_back(obs); }
+void Machine::add_observer(ExecObserver* obs) {
+  observers_.push_back(obs);
+  recompute_exec_mode();
+}
 
 void Machine::remove_observer(ExecObserver* obs) {
   observers_.erase(std::remove(observers_.begin(), observers_.end(), obs), observers_.end());
+  recompute_exec_mode();
 }
 
 void Machine::notify_exec(const ExecEvent& ev, const Cpu& cpu) {
@@ -531,9 +548,12 @@ StepResult Machine::step(Cpu& cpu) {
 }
 
 StepResult Machine::run(Cpu& cpu, u64 max_steps) {
-  for (u64 i = 0; i < max_steps; ++i) {
-    StepResult r = step(cpu);
-    if (r.kind != StepKind::kOk) return r;
+  u64 spent = 0;
+  while (spent < max_steps) {
+    BlockResult br = run_block(cpu, max_steps - spent);
+    spent += br.steps;
+    if (br.res.kind != StepKind::kOk) return br.res;
+    CRP_CHECK(br.steps != 0);  // run_block guarantees progress
   }
   return {};
 }
@@ -780,10 +800,11 @@ std::optional<u64> Machine::call_subroutine(const Cpu& base, gva_t entry,
   }
   ctx.sp() = align_down(ctx.sp() - 256, 16) - 8;
   if (!mem_.write_uint(ctx.sp(), 8, kSentinelRet).ok) return std::nullopt;
-  for (u64 n = 0; n < max_steps; ++n) {
+  for (u64 n = 0; n < max_steps;) {
     if (ctx.pc == kSentinelRet) return ctx.reg(isa::Reg::R0);
-    StepResult r = step(ctx);
-    if (r.kind != StepKind::kOk) return std::nullopt;
+    BlockResult r = run_block(ctx, max_steps - n);
+    n += r.steps;
+    if (r.res.kind != StepKind::kOk) return std::nullopt;
   }
   return std::nullopt;
 }

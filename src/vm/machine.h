@@ -22,6 +22,7 @@
 #include "vm/exception.h"
 #include "vm/hooks.h"
 #include "vm/module.h"
+#include "vm/translate.h"
 
 namespace crp::obs {
 class Counter;
@@ -47,6 +48,19 @@ struct StepResult {
   ExceptionRecord exc{};  // valid for kCrash
   i64 api_id = 0;         // valid for kApiTrap
 };
+
+/// Result of run_block: the final step outcome plus how many interpreter
+/// step() attempts it consumed (retired instructions, including a trailing
+/// trap, plus the one faulting attempt when kind != kOk came from a fault).
+/// `steps` is exactly the number of times the caller's old per-instruction
+/// loop would have called step(), so callers can keep budgets and virtual
+/// clocks bit-identical to interpreted execution.
+struct BlockResult {
+  StepResult res{};
+  u64 steps = 0;
+};
+
+class TaintShadow;
 
 /// Counters the defense experiments read.
 struct ExceptionStats {
@@ -92,6 +106,22 @@ class Machine {
   /// Run until halt/crash/trap or `max_steps` spent. Returns the last step
   /// result (kOk means the budget ran out).
   StepResult run(Cpu& cpu, u64 max_steps);
+
+  /// Advance `cpu` by up to `max_steps` instructions, using the block
+  /// translation cache when enabled (CRP_JIT, on by default) and falling
+  /// back to single interpreter steps otherwise. Never overshoots
+  /// `max_steps`; always makes progress (steps >= 1) when max_steps > 0.
+  /// Observable state (instret, countdown firing indices, taint, exception
+  /// records) is bit-identical to calling step() `steps` times.
+  BlockResult run_block(Cpu& cpu, u64 max_steps);
+
+  bool jit_enabled() const { return jit_on_; }
+  void set_jit_enabled(bool on);
+
+  /// Register the shared taint shadow (and the observer that owns it) so
+  /// translated traces propagate taint inline instead of routing every
+  /// instruction through ExecEvents. Pass nullptrs to detach.
+  void set_taint_shadow(TaintShadow* shadow, ExecObserver* owner);
 
   /// Call a guest subroutine to completion on a temporary context derived
   /// from `cpu` (shares memory, own register file). Used by exception
@@ -164,9 +194,63 @@ class Machine {
   /// next instruction. True when an injection happened (`*out` is the step
   /// outcome: kOk when a handler resolved it, kCrash otherwise).
   bool chaos_step_inject(Cpu& cpu, StepResult* out);
+
+  // --- block translation engine (translate.cc) -------------------------------
+
+  /// How translated traces execute: with no hooks at all, with inline taint
+  /// propagation, or not at all (an observer needs per-instruction events,
+  /// so everything goes through the interpreter).
+  enum class ExecMode : u8 { kBare = 0, kTaint, kEvents };
+
+  void recompute_exec_mode();
+  /// Trace for `pc`, translating on miss. Also the reaping point for
+  /// deferred invalidations (dirty pages, mapping-generation changes).
+  const Trace* trace_for(gva_t pc);
+  BlockResult exec_trace(Cpu& cpu, const Trace& tr, u64 budget);
+  void jit_note_write(gva_t page_base);  // AddressSpace write watcher
+  void jit_flush_all();
+  void thint_flush();
+  void tlb_flush();
+
+  static constexpr u64 kObsPublishInterval = 4096;  // power of two
+  static constexpr size_t kMaxTraceOps = 256;
+
+  bool jit_on_ = false;
+  ExecMode exec_mode_ = ExecMode::kBare;
+  TaintShadow* taint_shadow_ = nullptr;
+  ExecObserver* taint_owner_ = nullptr;
+  TraceCache tcache_;
+  u64 jit_mem_gen_ = 0;      // AddressSpace generation the cache was built on
+  bool jit_dirty_ = false;   // a watched page was poked since the last reap
+  std::vector<u64> jit_dirty_pages_;
+
+  // Front-line pc -> trace hint (direct-mapped), flushed with the cache.
+  struct TraceHint {
+    gva_t pc = ~0ull;
+    const Trace* tr = nullptr;
+  };
+  static constexpr size_t kTraceHintSize = 512;
+  TraceHint thint_[kTraceHintSize];
+
+  // Direct-mapped guest-page TLB for trace-mode loads/stores. Entries cache
+  // the raw data pointer + perms + watch flag; flushed whenever the mapping
+  // generation changes (data pointers are stable across pokes).
+  struct TlbEntry {
+    u64 page_no = ~0ull;
+    u8* data = nullptr;
+    u8 perms = 0;
+    bool watched = false;
+  };
+  static constexpr u64 kTlbSize = 64;
+  TlbEntry tlb_[kTlbSize];
+  TlbEntry* tlb_get(u64 page_no);
   /// Profiler: attribute `pc` to a basic block (lazy per-module cfg::Cfg)
   /// and record one sample with the calling thread's ProfContext.
   void prof_sample(gva_t pc, u16 extra_flags);
+  /// End (exclusive) of the static basic block containing `pc`, when a
+  /// cfg::Cfg for its module has already been built (profiler caches);
+  /// 0 when unknown. The translator uses it to align trace boundaries.
+  gva_t prof_block_end(gva_t pc) const;
 
   Personality personality_;
   mem::AddressSpace mem_;

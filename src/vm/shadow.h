@@ -1,0 +1,271 @@
+// Byte-granular taint shadow state, shared by both execution engines.
+//
+// The propagation rules of §IV-A live here — ONE implementation — so the
+// interpreter path (taint::TaintEngine::on_exec forwarding each ExecEvent)
+// and the block-translation fast path (Machine executing a micro-op trace
+// with the shadow registered via Machine::set_taint_shadow) are identical by
+// construction: same switch, same shadow structures, same ordering.
+//
+// Shadow state:
+//   * memory  — one 64-bit color mask per guest byte (sparse, per page),
+//     with a one-entry page cache (guest accesses are strongly page-local);
+//   * registers — one mask per register;
+//   * provenance — per register, the guest address an 8-byte value was last
+//     loaded from (what lets the monitor corrupt a pointer's memory home).
+//
+// Counters are batched: `propagated` and the tainted-byte high-water mark
+// accumulate locally and reach the obs registry via publish() (called from
+// Machine::publish_instret and on engine detach), so the hot loop never
+// touches an atomic. Published totals equal the old per-instruction
+// increments bit-for-bit.
+#pragma once
+
+#include <unordered_map>
+
+#include "isa/isa.h"
+#include "obs/obs.h"
+#include "util/common.h"
+
+namespace crp::vm {
+
+using TaintMask = u64;
+
+/// Mask bit for a connection color (0 = clean).
+constexpr TaintMask taint_mask_for_color(u32 color) {
+  return color == 0 ? 0 : (1ull << ((color - 1) % 64));
+}
+
+class TaintShadow {
+ public:
+  static constexpr gva_t kNoProv = ~0ull;
+  static constexpr u64 kShadowPage = 4096;
+
+  TaintShadow() {
+    for (auto& p : reg_prov_) p = kNoProv;
+  }
+
+  /// Wire the registry metrics this shadow publishes into (optional; tests
+  /// may run without).
+  void set_metrics(obs::Counter* propagated, obs::Gauge* tainted_hwm) {
+    c_propagated_ = propagated;
+    g_tainted_hwm_ = tainted_hwm;
+  }
+
+  // --- queries ---------------------------------------------------------------
+
+  TaintMask reg_taint(isa::Reg r) const { return reg_mask_[static_cast<u8>(r)]; }
+  gva_t reg_prov(isa::Reg r) const { return reg_prov_[static_cast<u8>(r)]; }
+
+  /// OR of byte masks over [addr, addr+len).
+  TaintMask mem_taint(gva_t addr, u64 len) const {
+    // Fast path: the span sits inside one shadow page (the overwhelmingly
+    // common case for 1..8-byte accesses) — one lookup, not one per byte.
+    if (len != 0 && (addr % kShadowPage) + len <= kShadowPage) {
+      const ShadowPage* pg = page_at(addr / kShadowPage);
+      if (pg == nullptr) return 0;
+      TaintMask m = 0;
+      u64 off = addr % kShadowPage;
+      for (u64 i = 0; i < len; ++i) m |= pg->bytes[off + i];
+      return m;
+    }
+    TaintMask m = 0;
+    for (u64 i = 0; i < len; ++i) {
+      const ShadowPage* pg = page_at((addr + i) / kShadowPage);
+      if (pg != nullptr) m |= pg->bytes[(addr + i) % kShadowPage];
+    }
+    return m;
+  }
+
+  u64 propagated_instrs() const { return propagated_; }
+  u64 tainted_bytes() const { return tainted_bytes_; }
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // --- mutation --------------------------------------------------------------
+
+  void set_reg(isa::Reg r, TaintMask m, gva_t prov = kNoProv) {
+    reg_mask_[static_cast<u8>(r)] = m;
+    reg_prov_[static_cast<u8>(r)] = prov;
+  }
+
+  /// Paint [addr, addr+len) with `mask` (0 clears), maintaining the census
+  /// and the high-water mark the same way the bulk sources do.
+  void taint_mem(gva_t addr, u64 len, TaintMask mask) {
+    for (u64 i = 0; i < len; ++i) write_shadow(addr + i, mask);
+    note_census();
+  }
+
+  void clear_mem(gva_t addr, u64 len) {
+    for (u64 i = 0; i < len; ++i) write_shadow(addr + i, 0);
+  }
+
+  void clear_all() {
+    pages_.clear();
+    cached_page_no_ = ~0ull;
+    cached_page_ = nullptr;
+    tainted_bytes_ = 0;
+    for (auto& m : reg_mask_) m = 0;
+    for (auto& p : reg_prov_) p = kNoProv;
+  }
+
+  /// Shadow write tracking the tainted-byte census on 0<->nonzero flips.
+  void write_shadow(gva_t addr, TaintMask m) {
+    u64 page_no = addr / kShadowPage;
+    if (m == 0) {
+      ShadowPage* pg = page_at_mut(page_no, /*create=*/false);
+      if (pg == nullptr) return;
+      TaintMask& s = pg->bytes[addr % kShadowPage];
+      if (s != 0) --tainted_bytes_;
+      s = 0;
+      return;
+    }
+    ShadowPage* pg = page_at_mut(page_no, /*create=*/true);
+    TaintMask& s = pg->bytes[addr % kShadowPage];
+    if (s == 0) ++tainted_bytes_;
+    s = m;
+  }
+
+  /// Record the current census into the local high-water mark (the batched
+  /// analog of publishing the gauge after every bulk update).
+  void note_census() {
+    if (tainted_bytes_ > hwm_) hwm_ = tainted_bytes_;
+  }
+
+  // --- propagation (one retired, non-faulted instruction) ---------------------
+  //
+  // `mem_addr`/`mem_size` carry exactly what the interpreter's ExecEvent
+  // would: the resolved effective address and width for load/store, the
+  // stack slot for push/pop/call. Ignored for other ops.
+
+  void propagate(isa::Op op, isa::Reg ra, isa::Reg rb, u8 w, gva_t mem_addr, u8 mem_size) {
+    using isa::Op;
+    ++propagated_;
+    TaintMask ta = reg_taint(ra);
+    TaintMask tb = reg_taint(rb);
+
+    switch (op) {
+      case Op::kMovRR:
+        set_reg(ra, tb, reg_prov_[static_cast<u8>(rb)]);
+        break;
+      case Op::kMovRI:
+      case Op::kLeaPc:
+        set_reg(ra, 0);
+        break;
+      case Op::kLea:
+        // Address arithmetic: value derives from rb, loses load provenance.
+        set_reg(ra, tb);
+        break;
+      case Op::kLoad:
+        set_reg(ra, mem_taint(mem_addr, mem_size), w == 8 ? mem_addr : kNoProv);
+        break;
+      case Op::kPop:
+        set_reg(ra, mem_taint(mem_addr, 8), mem_addr);
+        break;
+      case Op::kStore:
+        taint_mem(mem_addr, mem_size, tb);
+        break;
+      case Op::kPush:
+        taint_mem(mem_addr, 8, ta);
+        break;
+      case Op::kCall:
+      case Op::kCallR:
+      case Op::kCallImp:
+        taint_mem(mem_addr, 8, 0);  // pushed return address is clean
+        break;
+      case Op::kXorRR:
+        if (ra == rb) {
+          set_reg(ra, 0);  // zeroing idiom
+          break;
+        }
+        set_reg(ra, ta | tb);
+        break;
+      case Op::kAddRR:
+      case Op::kSubRR:
+      case Op::kMulRR:
+      case Op::kDivRR:
+      case Op::kModRR:
+      case Op::kAndRR:
+      case Op::kOrRR:
+      case Op::kShlRR:
+      case Op::kShrRR:
+        set_reg(ra, ta | tb);
+        break;
+      case Op::kAddRI:
+      case Op::kSubRI:
+      case Op::kMulRI:
+      case Op::kAndRI:
+      case Op::kOrRI:
+      case Op::kXorRI:
+      case Op::kShlRI:
+      case Op::kShrRI:
+      case Op::kSarRI:
+      case Op::kNot:
+      case Op::kNeg:
+        set_reg(ra, ta);
+        break;
+      default:
+        break;  // control flow, cmp/test, nop, traps: no register data writes
+    }
+  }
+
+  /// Flush batched counters to the registry. Totals match the unbatched
+  /// per-instruction publishing bit-for-bit.
+  void publish() {
+    if (c_propagated_ != nullptr && propagated_ != propagated_published_) {
+      c_propagated_->inc(propagated_ - propagated_published_);
+      propagated_published_ = propagated_;
+    }
+    if (g_tainted_hwm_ != nullptr) {
+      note_census();
+      g_tainted_hwm_->update_max(static_cast<i64>(hwm_));
+    }
+  }
+
+ private:
+  struct ShadowPage {
+    TaintMask bytes[kShadowPage] = {};
+  };
+
+  const ShadowPage* page_at(u64 page_no) const {
+    if (page_no == cached_page_no_) return cached_page_;
+    auto it = pages_.find(page_no);
+    const ShadowPage* pg = it == pages_.end() ? nullptr : &it->second;
+    cached_page_no_ = page_no;
+    cached_page_ = pg;
+    return pg;
+  }
+
+  ShadowPage* page_at_mut(u64 page_no, bool create) {
+    if (page_no == cached_page_no_ && cached_page_ != nullptr)
+      return const_cast<ShadowPage*>(cached_page_);
+    auto it = pages_.find(page_no);
+    if (it == pages_.end()) {
+      if (!create) {
+        cached_page_no_ = page_no;
+        cached_page_ = nullptr;
+        return nullptr;
+      }
+      it = pages_.emplace(page_no, ShadowPage{}).first;
+    }
+    cached_page_no_ = page_no;
+    cached_page_ = &it->second;
+    return &it->second;
+  }
+
+  bool enabled_ = true;
+  TaintMask reg_mask_[isa::kNumRegs] = {};
+  gva_t reg_prov_[isa::kNumRegs];
+  std::unordered_map<u64, ShadowPage> pages_;
+  // One-entry lookup cache; unordered_map nodes are pointer-stable, so the
+  // cached pointer survives unrelated inserts. clear_all() resets it.
+  mutable u64 cached_page_no_ = ~0ull;
+  mutable const ShadowPage* cached_page_ = nullptr;
+  u64 propagated_ = 0;
+  u64 propagated_published_ = 0;
+  u64 tainted_bytes_ = 0;
+  u64 hwm_ = 0;
+  obs::Counter* c_propagated_ = nullptr;
+  obs::Gauge* g_tainted_hwm_ = nullptr;
+};
+
+}  // namespace crp::vm

@@ -1,0 +1,784 @@
+// Block translation + the trace execution engine (DESIGN.md §14).
+//
+// Everything Machine-side of the translation cache lives here: translation
+// (decode-until-branch with precomputed targets), the trace cache with
+// page-granular invalidation, and Machine::exec_trace — the threaded-
+// dispatch inner loop that replaces fetch/decode/ExecEvent/observer-walk
+// with one indirect jump per retired instruction.
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "vm/machine.h"
+#include "vm/shadow.h"
+#include "vm/translate.h"
+
+static_assert(std::endian::native == std::endian::little,
+              "trace fast paths memcpy guest little-endian words directly");
+
+namespace crp::vm {
+
+// --- translation -------------------------------------------------------------
+
+std::unique_ptr<Trace> translate_block(const mem::AddressSpace& mem,
+                                       const std::vector<LoadedModule>& modules, gva_t entry,
+                                       gva_t stop_pc, size_t max_ops) {
+  using isa::Op;
+  auto t = std::make_unique<Trace>();
+  t->entry = entry;
+  gva_t pc = entry;
+  while (t->ops.size() < max_ops && (stop_pc == 0 || pc < stop_pc)) {
+    u8 word[isa::kInstrBytes];
+    if (!mem.fetch(pc, word).ok) break;
+    std::optional<isa::Instr> ins = isa::decode(word);
+    if (!ins.has_value()) break;  // interpreter raises the IllegalInstruction
+
+    MicroOp o;
+    o.op = ins->op;
+    o.ra = ins->ra;
+    o.rb = ins->rb;
+    o.w = ins->w;
+    o.imm = ins->imm;
+    o.pc = pc;
+    gva_t next = pc + isa::kInstrBytes;
+
+    bool terminal = false;
+    // Unconditional transfers with a translation-time target chain: the
+    // decode cursor follows the edge and the successor instruction lands in
+    // the same trace. Only when no CFG clamp is in force (stop_pc == 0);
+    // with a clamp, traces keep the static basic-block shape.
+    auto chain_or_end = [&]() {
+      if (stop_pc == 0 && t->ops.size() + 1 < max_ops) {
+        o.chain = true;
+      } else {
+        terminal = true;
+      }
+    };
+    switch (ins->op) {
+      case Op::kLeaPc: o.aux = next + static_cast<u64>(ins->imm); break;
+      case Op::kJcc: o.aux = next + static_cast<u64>(ins->imm); break;
+      case Op::kJmp:
+        o.aux = next + static_cast<u64>(ins->imm);
+        chain_or_end();
+        break;
+      case Op::kCall:
+        o.aux = next + static_cast<u64>(ins->imm);
+        chain_or_end();
+        break;
+      case Op::kCallImp: {
+        const LoadedModule* m = nullptr;
+        for (const auto& mod : modules)
+          if (mod.contains_code(pc)) {
+            m = &mod;
+            break;
+          }
+        size_t idx = static_cast<size_t>(ins->imm);
+        if (m == nullptr || idx >= m->import_addr.size() || m->import_addr[idx] == 0) {
+          // Unresolvable import: end the trace before it; the interpreter
+          // raises the exact IllegalInstruction fault on re-execution.
+          goto done;
+        }
+        o.aux = m->import_addr[idx];
+        chain_or_end();
+        break;
+      }
+      case Op::kJmpR:
+      case Op::kCallR:
+      case Op::kRet:
+      case Op::kHalt:
+      case Op::kSyscall:
+      case Op::kApiCall:
+        terminal = true;
+        break;
+      default: break;
+    }
+    t->ops.push_back(o);
+    pc = o.chain ? o.aux : next;
+    if (terminal) break;
+  }
+done:
+  if (t->ops.empty()) return nullptr;
+  // Distinct pages holding trace bytes (chaining makes them non-contiguous).
+  for (const MicroOp& o : t->ops) {
+    t->pages.push_back(o.pc / mem::kPageSize);
+    t->pages.push_back((o.pc + isa::kInstrBytes - 1) / mem::kPageSize);
+  }
+  std::sort(t->pages.begin(), t->pages.end());
+  t->pages.erase(std::unique(t->pages.begin(), t->pages.end()), t->pages.end());
+  return t;
+}
+
+// --- trace cache -------------------------------------------------------------
+
+const Trace* TraceCache::insert(std::unique_ptr<Trace> t) {
+  const Trace* raw = t.get();
+  translated_ops_ += t->ops.size();
+  for (u64 p : t->pages) page_entries_[p].push_back(t->entry);
+  traces_[t->entry] = std::move(t);
+  return raw;
+}
+
+void TraceCache::invalidate_page(u64 page_no) {
+  auto it = page_entries_.find(page_no);
+  if (it == page_entries_.end()) return;
+  for (gva_t entry : it->second) traces_.erase(entry);
+  page_entries_.erase(it);
+}
+
+void TraceCache::clear() {
+  traces_.clear();
+  page_entries_.clear();
+}
+
+// --- Machine integration -----------------------------------------------------
+
+void Machine::set_jit_enabled(bool on) {
+  jit_on_ = on;
+  if (!on) jit_flush_all();
+}
+
+void Machine::set_taint_shadow(TaintShadow* shadow, ExecObserver* owner) {
+  taint_shadow_ = shadow;
+  taint_owner_ = owner;
+  recompute_exec_mode();
+}
+
+void Machine::recompute_exec_mode() {
+  bool events = false;
+  for (ExecObserver* o : observers_)
+    if (o != taint_owner_ && o->wants_exec()) events = true;
+  exec_mode_ = events ? ExecMode::kEvents
+                      : (taint_shadow_ != nullptr ? ExecMode::kTaint : ExecMode::kBare);
+}
+
+void Machine::jit_note_write(gva_t page_base) {
+  u64 pn = page_base / mem::kPageSize;
+  if (!jit_dirty_pages_.empty() && jit_dirty_pages_.back() == pn) return;
+  jit_dirty_ = true;
+  jit_dirty_pages_.push_back(pn);
+}
+
+void Machine::thint_flush() {
+  for (TraceHint& h : thint_) h = TraceHint{};
+}
+
+void Machine::tlb_flush() {
+  for (TlbEntry& e : tlb_) e = TlbEntry{};
+}
+
+void Machine::jit_flush_all() {
+  tcache_.clear();
+  thint_flush();
+  tlb_flush();
+  jit_dirty_pages_.clear();
+  jit_dirty_ = false;
+}
+
+Machine::TlbEntry* Machine::tlb_get(u64 page_no) {
+  TlbEntry& e = tlb_[page_no & (kTlbSize - 1)];
+  if (e.page_no == page_no && e.data != nullptr) return &e;
+  mem::PageRef pr = mem_.page_ref(page_no * mem::kPageSize);
+  if (pr.data == nullptr) return nullptr;
+  e = {page_no, pr.data, pr.perms, pr.watched};
+  return &e;
+}
+
+const Trace* Machine::trace_for(gva_t pc) {
+  u64 gen = mem_.generation();
+  if (gen != jit_mem_gen_) {
+    // Mapping layout changed (map/unmap/protect): drop everything; the hot
+    // set re-translates in a handful of blocks.
+    jit_flush_all();
+    jit_mem_gen_ = gen;
+  } else if (jit_dirty_) {
+    for (u64 pn : jit_dirty_pages_) tcache_.invalidate_page(pn);
+    jit_dirty_pages_.clear();
+    jit_dirty_ = false;
+    thint_flush();  // hints may point at freed traces
+  }
+
+  TraceHint& h = thint_[(pc >> 4) & (kTraceHintSize - 1)];
+  if (h.pc == pc) return h.tr;
+
+  const Trace* tr = tcache_.lookup(pc);
+  if (tr == nullptr) {
+    // Reuse static block boundaries when the profiler already built a CFG
+    // for this module; otherwise decode-until-branch.
+    gva_t stop = prof_block_end(pc);
+    std::unique_ptr<Trace> t = translate_block(mem_, modules_, pc, stop, kMaxTraceOps);
+    if (t == nullptr) return nullptr;
+    // Watch the covered pages so any poke/guest store invalidates us; the
+    // set_watch generation bump is ours, absorb it (and refresh the TLB,
+    // whose watched snapshots just went stale).
+    for (u64 pn : t->pages) mem_.set_watch(pn * mem::kPageSize, mem::kPageSize, true);
+    tr = tcache_.insert(std::move(t));
+    jit_mem_gen_ = mem_.generation();
+    tlb_flush();
+  }
+  h.pc = pc;
+  h.tr = tr;
+  return tr;
+}
+
+BlockResult Machine::run_block(Cpu& cpu, u64 max_steps) {
+  BlockResult out;
+  if (max_steps == 0) return out;
+  if (jit_on_ && exec_mode_ != ExecMode::kEvents) {
+    // Clamp the trace budget below every armed countdown: the attempt at
+    // which a countdown expires must run through step() so chaos/prof fire
+    // at the exact same retired-instruction index as the interpreter.
+    u64 budget = max_steps;
+    if (chaos_countdown_ != 0) budget = std::min(budget, chaos_countdown_ - 1);
+    if (prof_countdown_ != 0) budget = std::min(budget, prof_countdown_ - 1);
+    if (budget != 0) {
+      const Trace* tr = trace_for(cpu.pc);
+      if (tr != nullptr) {
+        out = exec_trace(cpu, *tr, budget);
+        // Countdowns tick once per step() attempt; every trace op is one
+        // successfully retired attempt, so consume them in bulk (the clamp
+        // guarantees they stay >= 1).
+        if (chaos_countdown_ != 0) chaos_countdown_ -= out.steps;
+        if (prof_countdown_ != 0) prof_countdown_ -= out.steps;
+        if (out.steps != 0 || out.res.kind != StepKind::kOk) return out;
+        // Side-exit on the very first op: fall through and interpret it.
+      }
+    }
+  }
+  out.res = step(cpu);
+  out.steps = 1;
+  return out;
+}
+
+// --- trace executor ----------------------------------------------------------
+
+namespace {
+
+inline u64 load_le(const u8* p, u8 w) {
+  switch (w) {
+    case 1: return *p;
+    case 2: {
+      u16 v;
+      std::memcpy(&v, p, 2);
+      return v;
+    }
+    case 4: {
+      u32 v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+    default: {
+      u64 v;
+      std::memcpy(&v, p, 8);
+      return v;
+    }
+  }
+}
+
+inline void store_le(u8* p, u8 w, u64 v) {
+  switch (w) {
+    case 1: *p = static_cast<u8>(v); break;
+    case 2: {
+      u16 x = static_cast<u16>(v);
+      std::memcpy(p, &x, 2);
+      break;
+    }
+    case 4: {
+      u32 x = static_cast<u32>(v);
+      std::memcpy(p, &x, 4);
+      break;
+    }
+    default: std::memcpy(p, &v, 8); break;
+  }
+}
+
+}  // namespace
+
+// Threaded dispatch: with GNU extensions each op body jumps directly to the
+// next op's body through a label table (no loop bound / switch re-dispatch
+// on the hot path); otherwise a plain switch in a loop.
+#if defined(__GNUC__) || defined(__clang__)
+#define CRP_THREADED_DISPATCH 1
+#endif
+
+BlockResult Machine::exec_trace(Cpu& cpu, const Trace& tr, u64 budget) {
+  BlockResult out;
+  TaintShadow* sh =
+      (exec_mode_ == ExecMode::kTaint && taint_shadow_->enabled()) ? taint_shadow_ : nullptr;
+  u64* R = cpu.regs.data();
+  const MicroOp* ops = tr.ops.data();
+  const u64 n = tr.ops.size();
+  u64 i = 0;
+  u64 done = 0;
+
+  // Single-page fast loads/stores through the TLB; cross-page ranges take
+  // the checked slow path (validate-first: a fault commits nothing).
+  // mem_write returns 0 on fault, 1 on the unwatched fast path, 2 when it
+  // went through poke (watched page: the write watcher may have dirtied
+  // the cache, including the trace being executed).
+  auto mem_read = [&](gva_t addr, u8 w, u64* v) -> bool {
+    u64 off = addr & mem::kPageMask;
+    if (off + w <= mem::kPageSize) [[likely]] {
+      TlbEntry* e = tlb_get(addr / mem::kPageSize);
+      if (e == nullptr || (e->perms & mem::kPermR) == 0) return false;
+      *v = load_le(e->data + off, w);
+      return true;
+    }
+    return mem_.read_uint(addr, w, v).ok;
+  };
+  auto mem_write = [&](gva_t addr, u8 w, u64 v) -> int {
+    u64 off = addr & mem::kPageMask;
+    if (off + w <= mem::kPageSize) [[likely]] {
+      TlbEntry* e = tlb_get(addr / mem::kPageSize);
+      if (e == nullptr || (e->perms & mem::kPermW) == 0) return 0;
+      if (!e->watched) [[likely]] {
+        store_le(e->data + off, w, v);
+        return 1;
+      }
+    }
+    return mem_.write_uint(addr, w, v).ok ? 2 : 0;
+  };
+  auto set_cmp_flags = [&](u64 a, u64 b) {
+    u64 d = a - b;
+    cpu.zf = d == 0;
+    cpu.sf = (d >> 63) != 0;
+    cpu.cf = a < b;
+    cpu.of = (((a ^ b) & (a ^ d)) >> 63) != 0;
+  };
+
+// Book-keeping per retired op — identical, by construction, to what the
+// interpreter does per step: instret, batched publish, taint propagation.
+#define CRP_RETIRE(o, maddr, msz)                                         \
+  do {                                                                    \
+    ++done;                                                               \
+    ++instret_;                                                           \
+    if ((instret_ & (kObsPublishInterval - 1)) == 0) publish_instret();   \
+    if (sh != nullptr) sh->propagate((o).op, (o).ra, (o).rb, (o).w, (maddr), (msz)); \
+  } while (0)
+
+// Side-exit without committing anything: rewind to the op's pc; the caller
+// re-executes it through the interpreter (exact faults/events/countdowns).
+#define CRP_SIDE_EXIT(o)   \
+  do {                     \
+    cpu.pc = (o).pc;       \
+    goto trace_exit;       \
+  } while (0)
+
+// Continue to the next op, or leave with pc at the fallthrough address when
+// the trace or the budget ends.
+#ifdef CRP_THREADED_DISPATCH
+#define CRP_NEXT(o)                                        \
+  do {                                                     \
+    ++i;                                                   \
+    if (i >= n || done >= budget) {                        \
+      cpu.pc = (o).pc + isa::kInstrBytes;                  \
+      goto trace_exit;                                     \
+    }                                                      \
+    goto* kDispatch[static_cast<u8>(ops[i].op)];           \
+  } while (0)
+#define CRP_OP(name) lbl_##name
+#else
+#define CRP_NEXT(o)                                        \
+  do {                                                     \
+    ++i;                                                   \
+    if (i >= n || done >= budget) {                        \
+      cpu.pc = (o).pc + isa::kInstrBytes;                  \
+      goto trace_exit;                                     \
+    }                                                      \
+    goto dispatch;                                         \
+  } while (0)
+#define CRP_OP(name) case isa::Op::name
+#endif
+
+// Continue into a chained successor: cpu.pc already holds the transfer
+// target (which is ops[i+1].pc), so budget/end exits need no pc fixup.
+#ifdef CRP_THREADED_DISPATCH
+#define CRP_CHAIN_NEXT()                                   \
+  do {                                                     \
+    ++i;                                                   \
+    if (i >= n || done >= budget) goto trace_exit;         \
+    goto* kDispatch[static_cast<u8>(ops[i].op)];           \
+  } while (0)
+#else
+#define CRP_CHAIN_NEXT()                                   \
+  do {                                                     \
+    ++i;                                                   \
+    if (i >= n || done >= budget) goto trace_exit;         \
+    goto dispatch;                                         \
+  } while (0)
+#endif
+
+// A dirty flag set by this op's own store means the remaining trace ops may
+// be stale bytes — commit this op, then leave at the fallthrough pc.
+#define CRP_DIRTY_CHECK(o)                     \
+  do {                                         \
+    if (wr == 2 && jit_dirty_) {               \
+      cpu.pc = (o).pc + isa::kInstrBytes;      \
+      goto trace_exit;                         \
+    }                                          \
+  } while (0)
+
+#ifdef CRP_THREADED_DISPATCH
+  // Indexed by isa::Op (same order as the enum; kCount never appears in a
+  // translated trace but keeps the table total).
+  static const void* const kDispatch[] = {
+      &&lbl_kNop,    &&lbl_kHalt,   &&lbl_kMovRR,  &&lbl_kMovRI,  &&lbl_kLea,
+      &&lbl_kLeaPc,  &&lbl_kLoad,   &&lbl_kStore,  &&lbl_kPush,   &&lbl_kPop,
+      &&lbl_kAddRR,  &&lbl_kAddRI,  &&lbl_kSubRR,  &&lbl_kSubRI,  &&lbl_kMulRR,
+      &&lbl_kMulRI,  &&lbl_kDivRR,  &&lbl_kModRR,  &&lbl_kAndRR,  &&lbl_kAndRI,
+      &&lbl_kOrRR,   &&lbl_kOrRI,   &&lbl_kXorRR,  &&lbl_kXorRI,  &&lbl_kShlRI,
+      &&lbl_kShrRI,  &&lbl_kSarRI,  &&lbl_kShlRR,  &&lbl_kShrRR,  &&lbl_kNot,
+      &&lbl_kNeg,    &&lbl_kCmpRR,  &&lbl_kCmpRI,  &&lbl_kTestRR, &&lbl_kTestRI,
+      &&lbl_kJmp,    &&lbl_kJmpR,   &&lbl_kJcc,    &&lbl_kCall,   &&lbl_kCallR,
+      &&lbl_kCallImp, &&lbl_kRet,   &&lbl_kSyscall, &&lbl_kApiCall, &&lbl_kNop,
+  };
+  static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
+                static_cast<size_t>(isa::Op::kCount) + 1);
+  goto* kDispatch[static_cast<u8>(ops[0].op)];
+#else
+dispatch:
+  switch (ops[i].op) {
+#endif
+
+  CRP_OP(kNop) : {
+    const MicroOp& o = ops[i];
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kMovRR) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] = R[static_cast<u8>(o.rb)];
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kMovRI) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] = static_cast<u64>(o.imm);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kLea) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] = R[static_cast<u8>(o.rb)] + static_cast<u64>(o.imm);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kLeaPc) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] = o.aux;
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kLoad) : {
+    const MicroOp& o = ops[i];
+    gva_t addr = R[static_cast<u8>(o.rb)] + static_cast<u64>(o.imm);
+    u64 v;
+    if (!mem_read(addr, o.w, &v)) CRP_SIDE_EXIT(o);
+    R[static_cast<u8>(o.ra)] = v;
+    CRP_RETIRE(o, addr, o.w);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kStore) : {
+    const MicroOp& o = ops[i];
+    gva_t addr = R[static_cast<u8>(o.ra)] + static_cast<u64>(o.imm);
+    int wr = mem_write(addr, o.w, R[static_cast<u8>(o.rb)]);
+    if (wr == 0) CRP_SIDE_EXIT(o);
+    CRP_RETIRE(o, addr, o.w);
+    CRP_DIRTY_CHECK(o);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kPush) : {
+    const MicroOp& o = ops[i];
+    gva_t addr = R[14] - 8;
+    int wr = mem_write(addr, 8, R[static_cast<u8>(o.ra)]);
+    if (wr == 0) CRP_SIDE_EXIT(o);
+    R[14] = addr;
+    CRP_RETIRE(o, addr, 8);
+    CRP_DIRTY_CHECK(o);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kPop) : {
+    const MicroOp& o = ops[i];
+    gva_t addr = R[14];
+    u64 v;
+    if (!mem_read(addr, 8, &v)) CRP_SIDE_EXIT(o);
+    R[static_cast<u8>(o.ra)] = v;
+    R[14] = addr + 8;  // interpreter order: SP write last (ra may be SP)
+    CRP_RETIRE(o, addr, 8);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kAddRR) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] += R[static_cast<u8>(o.rb)];
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kAddRI) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] += static_cast<u64>(o.imm);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kSubRR) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] -= R[static_cast<u8>(o.rb)];
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kSubRI) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] -= static_cast<u64>(o.imm);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kMulRR) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] *= R[static_cast<u8>(o.rb)];
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kMulRI) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] *= static_cast<u64>(o.imm);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kDivRR) : {
+    const MicroOp& o = ops[i];
+    u64 d = R[static_cast<u8>(o.rb)];
+    if (d == 0) CRP_SIDE_EXIT(o);  // interpreter raises DivideByZero
+    R[static_cast<u8>(o.ra)] /= d;
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kModRR) : {
+    const MicroOp& o = ops[i];
+    u64 d = R[static_cast<u8>(o.rb)];
+    if (d == 0) CRP_SIDE_EXIT(o);
+    R[static_cast<u8>(o.ra)] %= d;
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kAndRR) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] &= R[static_cast<u8>(o.rb)];
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kAndRI) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] &= static_cast<u64>(o.imm);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kOrRR) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] |= R[static_cast<u8>(o.rb)];
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kOrRI) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] |= static_cast<u64>(o.imm);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kXorRR) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] ^= R[static_cast<u8>(o.rb)];
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kXorRI) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] ^= static_cast<u64>(o.imm);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kShlRI) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] <<= (o.imm & 63);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kShrRI) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] >>= (o.imm & 63);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kSarRI) : {
+    const MicroOp& o = ops[i];
+    u64& ra = R[static_cast<u8>(o.ra)];
+    ra = static_cast<u64>(static_cast<i64>(ra) >> (o.imm & 63));
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kShlRR) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] <<= (R[static_cast<u8>(o.rb)] & 63);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kShrRR) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] >>= (R[static_cast<u8>(o.rb)] & 63);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kNot) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] = ~R[static_cast<u8>(o.ra)];
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kNeg) : {
+    const MicroOp& o = ops[i];
+    R[static_cast<u8>(o.ra)] = 0 - R[static_cast<u8>(o.ra)];
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kCmpRR) : {
+    const MicroOp& o = ops[i];
+    set_cmp_flags(R[static_cast<u8>(o.ra)], R[static_cast<u8>(o.rb)]);
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kCmpRI) : {
+    const MicroOp& o = ops[i];
+    set_cmp_flags(R[static_cast<u8>(o.ra)], static_cast<u64>(o.imm));
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kTestRR) : {
+    const MicroOp& o = ops[i];
+    u64 v = R[static_cast<u8>(o.ra)] & R[static_cast<u8>(o.rb)];
+    cpu.zf = v == 0;
+    cpu.sf = (v >> 63) != 0;
+    cpu.cf = cpu.of = false;
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kTestRI) : {
+    const MicroOp& o = ops[i];
+    u64 v = R[static_cast<u8>(o.ra)] & static_cast<u64>(o.imm);
+    cpu.zf = v == 0;
+    cpu.sf = (v >> 63) != 0;
+    cpu.cf = cpu.of = false;
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kJmp) : {
+    const MicroOp& o = ops[i];
+    cpu.pc = o.aux;
+    CRP_RETIRE(o, 0, 0);
+    if (o.chain) CRP_CHAIN_NEXT();
+    goto trace_exit;
+  }
+  CRP_OP(kJmpR) : {
+    const MicroOp& o = ops[i];
+    cpu.pc = R[static_cast<u8>(o.ra)];
+    CRP_RETIRE(o, 0, 0);
+    goto trace_exit;
+  }
+  CRP_OP(kJcc) : {
+    const MicroOp& o = ops[i];
+    if (cpu.eval(static_cast<isa::Cond>(o.w))) {
+      cpu.pc = o.aux;
+      CRP_RETIRE(o, 0, 0);
+      goto trace_exit;
+    }
+    CRP_RETIRE(o, 0, 0);
+    CRP_NEXT(o);
+  }
+  CRP_OP(kCall) : {
+    const MicroOp& o = ops[i];
+    gva_t slot = R[14] - 8;
+    int wr = mem_write(slot, 8, o.pc + isa::kInstrBytes);
+    if (wr == 0) CRP_SIDE_EXIT(o);
+    R[14] = slot;
+    cpu.pc = o.aux;
+    CRP_RETIRE(o, slot, 8);
+    // The push may have dirtied a translated page (watched-path write):
+    // the chained remainder could be stale bytes, so exit at the target.
+    if (o.chain && !(wr == 2 && jit_dirty_)) CRP_CHAIN_NEXT();
+    goto trace_exit;
+  }
+  CRP_OP(kCallR) : {
+    const MicroOp& o = ops[i];
+    gva_t target = R[static_cast<u8>(o.ra)];  // read before the push (ra may be SP)
+    gva_t slot = R[14] - 8;
+    int wr = mem_write(slot, 8, o.pc + isa::kInstrBytes);
+    if (wr == 0) CRP_SIDE_EXIT(o);
+    R[14] = slot;
+    cpu.pc = target;
+    CRP_RETIRE(o, slot, 8);
+    goto trace_exit;
+  }
+  CRP_OP(kCallImp) : {
+    const MicroOp& o = ops[i];
+    gva_t slot = R[14] - 8;
+    int wr = mem_write(slot, 8, o.pc + isa::kInstrBytes);
+    if (wr == 0) CRP_SIDE_EXIT(o);
+    R[14] = slot;
+    cpu.pc = o.aux;  // resolved at translation time
+    CRP_RETIRE(o, slot, 8);
+    if (o.chain && !(wr == 2 && jit_dirty_)) CRP_CHAIN_NEXT();
+    goto trace_exit;
+  }
+  CRP_OP(kRet) : {
+    const MicroOp& o = ops[i];
+    gva_t slot = R[14];
+    u64 target;
+    if (!mem_read(slot, 8, &target)) CRP_SIDE_EXIT(o);
+    R[14] = slot + 8;
+    cpu.pc = target;
+    CRP_RETIRE(o, slot, 8);
+    goto trace_exit;
+  }
+  CRP_OP(kHalt) : {
+    const MicroOp& o = ops[i];
+    cpu.pc = o.pc + isa::kInstrBytes;
+    CRP_RETIRE(o, 0, 0);
+    out.res.kind = StepKind::kHalt;
+    goto trace_exit;
+  }
+  CRP_OP(kSyscall) : {
+    const MicroOp& o = ops[i];
+    if (personality_ != Personality::kLinux) CRP_SIDE_EXIT(o);
+    cpu.pc = o.pc + isa::kInstrBytes;
+    CRP_RETIRE(o, 0, 0);
+    out.res.kind = StepKind::kSyscallTrap;
+    goto trace_exit;
+  }
+  CRP_OP(kApiCall) : {
+    const MicroOp& o = ops[i];
+    if (personality_ != Personality::kWindows) CRP_SIDE_EXIT(o);
+    cpu.pc = o.pc + isa::kInstrBytes;
+    CRP_RETIRE(o, 0, 0);
+    out.res.kind = StepKind::kApiTrap;
+    out.res.api_id = o.imm;
+    goto trace_exit;
+  }
+
+#ifndef CRP_THREADED_DISPATCH
+    default: {
+      // kCount never decodes; anything unexpected re-executes interpreted.
+      CRP_SIDE_EXIT(ops[i]);
+    }
+  }  // switch
+#endif
+
+trace_exit:
+  out.steps = done;
+  return out;
+
+#undef CRP_RETIRE
+#undef CRP_SIDE_EXIT
+#undef CRP_NEXT
+#undef CRP_CHAIN_NEXT
+#undef CRP_OP
+#undef CRP_DIRTY_CHECK
+}
+
+}  // namespace crp::vm

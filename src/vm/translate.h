@@ -1,0 +1,113 @@
+// Block-translation cache for the MiniVM hot path (DESIGN.md §14).
+//
+// The interpreter pays a page-table hash lookup (instruction fetch), a
+// decode, an ExecEvent construction and an observer walk for every retired
+// instruction. The translator removes all of that from steady state: each
+// basic block is decoded ONCE into a flat vector of MicroOps with all
+// pc-relative values precomputed, and the Machine executes the trace by
+// threaded dispatch (see Machine::exec_trace in translate.cc).
+//
+// Correctness contract (the "side-exit" rules):
+//   * A trace op that would fault, hit an unresolvable import, or observe a
+//     personality mismatch is NEVER committed by the trace engine: the
+//     executor rewinds cpu.pc to the op's guest pc and returns, and the
+//     caller re-executes that instruction through the interpreter
+//     (Machine::step), which reproduces the exact ExecEvent, countdown
+//     behavior, ExceptionRecord and dispatch the interpreter always had.
+//   * Traces are invalidated on any poke/guest store into a page holding
+//     translated code (AddressSpace write watcher) and the whole cache is
+//     dropped when the mapping generation changes (map/unmap/protect).
+//   * Countdown hooks (chaos scheduled AVs, CRP_PROF sampling) fire at the
+//     same retired-instruction index as the interpreter: run_block clamps
+//     the trace budget below the nearest countdown, so the firing attempt
+//     itself is always interpreted.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.h"
+#include "mem/address_space.h"
+#include "util/common.h"
+#include "vm/module.h"
+
+namespace crp::vm {
+
+/// One flattened micro-op. `aux` holds the value the interpreter would
+/// recompute from pc every execution: the absolute branch target for
+/// kJmp/kJcc/kCall, the materialized address for kLeaPc, the resolved
+/// import address for kCallImp, and pc+16 (the return address) for calls.
+struct MicroOp {
+  isa::Op op = isa::Op::kNop;
+  isa::Reg ra = isa::Reg::R0;
+  isa::Reg rb = isa::Reg::R0;
+  u8 w = 0;
+  i64 imm = 0;
+  gva_t pc = 0;  // guest pc of the source instruction
+  u64 aux = 0;
+  // Unconditional direct transfer (kJmp/kCall/kCallImp) whose successor was
+  // folded into this trace: execution continues at ops[i+1], which is the
+  // instruction at `aux`, instead of exiting the trace.
+  bool chain = false;
+};
+
+/// One translated trace: straight-line code from `entry` up to the first
+/// unpredictable control transfer (kJmpR/kCallR/kRet) or trap. Conditional
+/// branches may appear mid-trace (the not-taken path falls through; taken
+/// exits), and unconditional direct jumps/calls are chained through, so one
+/// trace may span several basic blocks and unroll small loops up to the op
+/// cap.
+struct Trace {
+  gva_t entry = 0;
+  std::vector<MicroOp> ops;
+  std::vector<u64> pages;  // sorted, distinct guest pages holding trace bytes
+};
+
+/// Decode-until-branch translation. `stop_pc` (exclusive, 0 = none) lets
+/// the caller clamp the trace at a cfg::Cfg block boundary when a static
+/// CFG for the module is already available. `modules` resolves kCallImp
+/// import slots at translation time; an unresolvable import ends the trace
+/// *before* the call so the interpreter can raise the exact fault.
+/// Returns nullptr when not even one instruction decodes (unfetchable or
+/// malformed first word).
+std::unique_ptr<Trace> translate_block(const mem::AddressSpace& mem,
+                                       const std::vector<LoadedModule>& modules, gva_t entry,
+                                       gva_t stop_pc, size_t max_ops);
+
+/// Entry-pc -> Trace map with per-page invalidation. Invalidation is
+/// deferred-safe: the Machine never frees a trace while executing it (the
+/// write watcher only records dirty pages; traces are reaped on the next
+/// trace lookup).
+class TraceCache {
+ public:
+  TraceCache() {
+    // Sized for a loaded target (a few thousand blocks): growth rehashes of
+    // a near-full table showed up in profiles.
+    traces_.reserve(4096);
+    page_entries_.reserve(1024);
+  }
+
+  const Trace* lookup(gva_t pc) const {
+    auto it = traces_.find(pc);
+    return it == traces_.end() ? nullptr : it->second.get();
+  }
+
+  const Trace* insert(std::unique_ptr<Trace> t);
+
+  /// Drop every trace overlapping `page_no`. Conservative: an entry listed
+  /// under a page it no longer covers is simply skipped.
+  void invalidate_page(u64 page_no);
+
+  void clear();
+
+  size_t size() const { return traces_.size(); }
+  u64 translated_ops() const { return translated_ops_; }
+
+ private:
+  std::unordered_map<gva_t, std::unique_ptr<Trace>> traces_;
+  std::unordered_map<u64, std::vector<gva_t>> page_entries_;  // page -> entry pcs
+  u64 translated_ops_ = 0;
+};
+
+}  // namespace crp::vm

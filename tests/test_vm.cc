@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "chaos/prop.h"
 #include "isa/assembler.h"
+#include "isa/isa.h"
 #include "vm/machine.h"
+#include "vm/shadow.h"
 
 namespace crp::vm {
 namespace {
@@ -717,6 +723,340 @@ TEST(Seh, FaultInFilterFallsToNextHandler) {
   World w(a.build());
   EXPECT_EQ(w.run().kind, StepKind::kHalt);
   EXPECT_EQ(w.cpu.reg(Reg::R0), 2u);  // outer handler won
+}
+
+// --- block translation (JIT) vs interpreter ------------------------------------
+
+/// Mirrors TaintEngine's machine wiring without needing an os::Kernel:
+/// registered as the shadow's owner so translated traces propagate inline,
+/// while interpreted steps propagate through on_exec. One propagation per
+/// retired instruction either way.
+struct TaintTap : ExecObserver {
+  explicit TaintTap(TaintShadow* s) : sh(s) {}
+  TaintShadow* sh;
+  void on_exec(const ExecEvent& ev, const Cpu& cpu) override {
+    (void)cpu;
+    if (ev.faulted) return;
+    sh->propagate(ev.ins.op, ev.ins.ra, ev.ins.rb, ev.ins.w, ev.mem_addr, ev.mem_size);
+  }
+};
+
+/// One engine's observable outcome for a differential run.
+struct EngineState {
+  StepResult res;
+  Cpu cpu;
+  u64 retired = 0;
+  u64 propagated = 0;
+  std::vector<u8> data;                // .data buffer contents
+  std::vector<u8> stack;               // full stack region contents
+  std::array<TaintMask, 16> reg_taint{};
+  std::array<gva_t, 16> reg_prov{};
+  std::vector<TaintMask> data_taint;
+};
+
+/// Run `img` to completion (or `budget` steps) under one engine and capture
+/// every piece of state the two engines must agree on.
+EngineState run_engine(const isa::Image& img, bool jit, u64 budget) {
+  World w(img);
+  w.m->set_jit_enabled(jit);
+  TaintShadow sh;
+  TaintTap tap(&sh);
+  w.m->add_observer(&tap);
+  w.m->set_taint_shadow(&sh, &tap);
+
+  gva_t stack_base = w.cpu.sp() + 64 - 64 * 1024;
+
+  // Prologue (lea_pc R8 = buf) runs first so the buffer address is known,
+  // then taint seeds go in before the random body executes.
+  StepResult r = w.m->run(w.cpu, 1);
+  EXPECT_EQ(r.kind, StepKind::kOk);
+  gva_t buf = w.cpu.reg(Reg::R8);
+  sh.set_reg(Reg::R1, 0x2, buf);
+  sh.taint_mem(buf, 64, 0x1);
+
+  EngineState out;
+  out.res = w.m->run(w.cpu, budget);
+  out.cpu = w.cpu;
+  out.retired = w.m->instret();
+  out.propagated = sh.propagated_instrs();
+  out.data.resize(4096);
+  EXPECT_TRUE(w.m->mem().peek(buf, out.data));
+  out.stack.resize(64 * 1024);
+  EXPECT_TRUE(w.m->mem().peek(stack_base, out.stack));
+  for (u8 i = 0; i < 16; ++i) {
+    out.reg_taint[i] = sh.reg_taint(static_cast<Reg>(i));
+    out.reg_prov[i] = sh.reg_prov(static_cast<Reg>(i));
+  }
+  out.data_taint.resize(4096);
+  for (u64 i = 0; i < 4096; ++i) out.data_taint[i] = sh.mem_taint(buf + i, 1);
+
+  w.m->set_taint_shadow(nullptr, nullptr);
+  w.m->remove_observer(&tap);
+  return out;
+}
+
+void expect_engines_agree(const isa::Image& img, u64 budget, u64 seed_for_msg) {
+  EngineState a = run_engine(img, /*jit=*/false, budget);
+  EngineState b = run_engine(img, /*jit=*/true, budget);
+  SCOPED_TRACE("seed=" + std::to_string(seed_for_msg));
+  EXPECT_EQ(a.res.kind, b.res.kind);
+  EXPECT_EQ(a.res.api_id, b.res.api_id);
+  EXPECT_EQ(a.res.exc.code, b.res.exc.code);
+  EXPECT_EQ(a.res.exc.fault_pc, b.res.exc.fault_pc);
+  EXPECT_EQ(a.res.exc.fault_addr, b.res.exc.fault_addr);
+  EXPECT_EQ(a.res.exc.access, b.res.exc.access);
+  EXPECT_EQ(a.cpu.pc, b.cpu.pc);
+  EXPECT_EQ(a.cpu.regs, b.cpu.regs);
+  EXPECT_EQ(a.cpu.zf, b.cpu.zf);
+  EXPECT_EQ(a.cpu.sf, b.cpu.sf);
+  EXPECT_EQ(a.cpu.cf, b.cpu.cf);
+  EXPECT_EQ(a.cpu.of, b.cpu.of);
+  EXPECT_EQ(a.retired, b.retired);
+  EXPECT_EQ(a.propagated, b.propagated);
+  EXPECT_EQ(a.data, b.data);
+  EXPECT_EQ(a.stack, b.stack);
+  EXPECT_EQ(a.reg_taint, b.reg_taint);
+  EXPECT_EQ(a.reg_prov, b.reg_prov);
+  EXPECT_EQ(a.data_taint, b.data_taint);
+}
+
+/// Random-but-biased instruction block: arithmetic, flag/branch pairs,
+/// loads/stores around a valid buffer (with occasional wild pointers and
+/// malformed widths), pushes/pops, div-by-maybe-zero, traps. Every path is
+/// deterministic given the seed, so interpreter and JIT must agree on all
+/// observable state — including where and how they fault.
+isa::Image random_block_image(u64 seed) {
+  chaos::Gen gen(seed);
+  Assembler a("fuzz");
+  a.data_zero("buf", 4096);
+  a.label("e");
+  a.lea_pc(Reg::R8, "buf");
+  for (int r = 0; r < 8; ++r)
+    a.raw(isa::Instr{isa::Op::kMovRI, static_cast<Reg>(r), Reg::R0, 0,
+                     static_cast<i64>(gen.any_u64() >> 33)});
+  const int kBody = 28;
+  for (int i = 0; i < kBody; ++i) {
+    int remaining = kBody - i;  // body slots after this one (before halt)
+    u64 pick = gen.any_u64() % 100;
+    auto reg = [&](bool any = false) {
+      return static_cast<Reg>(gen.any_u64() % (any ? 16 : 13));
+    };
+    if (pick < 30) {
+      // Plain ALU, register or immediate form.
+      static const isa::Op kAlu[] = {
+          isa::Op::kAddRR, isa::Op::kAddRI, isa::Op::kSubRR, isa::Op::kSubRI,
+          isa::Op::kMulRR, isa::Op::kMulRI, isa::Op::kAndRR, isa::Op::kAndRI,
+          isa::Op::kOrRR,  isa::Op::kOrRI,  isa::Op::kXorRR, isa::Op::kXorRI,
+          isa::Op::kShlRI, isa::Op::kShrRI, isa::Op::kSarRI, isa::Op::kNot,
+          isa::Op::kNeg,   isa::Op::kMovRR, isa::Op::kMovRI, isa::Op::kLea};
+      isa::Op op = kAlu[gen.any_u64() % (sizeof(kAlu) / sizeof(kAlu[0]))];
+      a.raw(isa::Instr{op, reg(), reg(), 0, static_cast<i64>(gen.any_u64() % 4096)});
+    } else if (pick < 50) {
+      // Memory op near the buffer; sometimes a wild base or a bad width.
+      bool wild = gen.any_u64() % 8 == 0;
+      u8 w = "\1\2\4\10\3"[gen.any_u64() % 5];  // 3 = malformed
+      Reg base = wild ? reg(true) : Reg::R8;
+      i64 off = static_cast<i64>(gen.any_u64() % 4200) - 64;  // may cross the end
+      if (gen.any_u64() % 2 == 0) {
+        a.raw(isa::Instr{isa::Op::kLoad, reg(), base, w, off});
+      } else {
+        a.raw(isa::Instr{isa::Op::kStore, base, reg(), w, off});
+      }
+    } else if (pick < 62) {
+      // Flag-setting compare followed (sometimes) by a forward jcc.
+      isa::Op cmp = gen.any_u64() % 2 == 0 ? isa::Op::kCmpRR : isa::Op::kTestRR;
+      a.raw(isa::Instr{cmp, reg(), reg(), 0, 0});
+      if (remaining > 1 && gen.any_u64() % 2 == 0) {
+        u8 cond = static_cast<u8>(gen.any_u64() % 10);
+        i64 skip = static_cast<i64>(gen.any_u64() % static_cast<u64>(remaining - 1));
+        a.raw(isa::Instr{isa::Op::kJcc, Reg::R0, Reg::R0, cond,
+                         skip * static_cast<i64>(isa::kInstrBytes)});
+        ++i;  // the jcc consumed a body slot
+      }
+    } else if (pick < 72) {
+      if (gen.any_u64() % 2 == 0) {
+        a.raw(isa::Instr{isa::Op::kPush, reg(), Reg::R0, 0, 0});
+      } else {
+        a.raw(isa::Instr{isa::Op::kPop, reg(), Reg::R0, 0, 0});
+      }
+    } else if (pick < 80) {
+      isa::Op op = gen.any_u64() % 2 == 0 ? isa::Op::kDivRR : isa::Op::kModRR;
+      a.raw(isa::Instr{op, reg(), reg(), 0, 0});  // rb may hold 0: fault path
+    } else if (pick < 88) {
+      // Unconditional forward jmp.
+      i64 skip = remaining > 1
+                     ? static_cast<i64>(gen.any_u64() % static_cast<u64>(remaining - 1))
+                     : 0;
+      a.raw(isa::Instr{isa::Op::kJmp, Reg::R0, Reg::R0, 0,
+                       skip * static_cast<i64>(isa::kInstrBytes)});
+    } else if (pick < 94) {
+      // Garbage word: bad opcode or bad register index (InvalidOpcode path).
+      u8 op = static_cast<u8>(44 + gen.any_u64() % 40);
+      a.raw(isa::Instr{static_cast<isa::Op>(op), reg(true), reg(true), 0,
+                       static_cast<i64>(gen.any_u64())});
+    } else if (pick < 97) {
+      a.raw(isa::Instr{isa::Op::kApiCall, Reg::R0, Reg::R0, 0,
+                       static_cast<i64>(gen.any_u64() % 64)});
+    } else {
+      // Indirect jump through a (usually garbage) register.
+      a.raw(isa::Instr{isa::Op::kJmpR, reg(true), Reg::R0, 0, 0});
+    }
+  }
+  a.halt();
+  a.set_entry("e");
+  return a.build();
+}
+
+TEST(JitDiff, RandomBlocksMatchInterpreterExactly) {
+  for (u64 seed = 1; seed <= 40; ++seed) {
+    isa::Image img = random_block_image(seed);
+    expect_engines_agree(img, /*budget=*/600, seed);
+  }
+}
+
+TEST(JitDiff, FaultAtEveryTracePosition) {
+  // A fault at micro-op position j must leave: j retired instructions after
+  // the prologue, pc parked on the faulting word, and the same
+  // ExceptionRecord as the interpreter — for both a cold and a warm cache.
+  constexpr int kOps = 8;
+  for (int pos = 0; pos < kOps; ++pos) {
+    Assembler a("fault");
+    a.label("e");
+    a.movi(Reg::R9, 0);
+    a.movi(Reg::R2, 0);
+    for (int i = 0; i < kOps; ++i) {
+      if (i == pos) {
+        a.load(Reg::R1, Reg::R9, 8);  // null deref
+      } else {
+        a.addi(Reg::R2, 1);
+      }
+    }
+    a.halt();
+    a.set_entry("e");
+    isa::Image img = a.build();
+
+    World wi(img);
+    wi.m->set_jit_enabled(false);
+    StepResult ri = wi.run();
+
+    World wj(img);
+    wj.m->set_jit_enabled(true);
+    Cpu fresh = wj.cpu;  // entry state for the warm re-run
+    StepResult rj_cold = wj.run();
+    u64 retired_cold = wj.m->instret();
+    wj.cpu = fresh;
+    StepResult rj_warm = wj.run();
+
+    for (const StepResult* rj : {&rj_cold, &rj_warm}) {
+      SCOPED_TRACE("pos=" + std::to_string(pos));
+      EXPECT_EQ(rj->kind, StepKind::kCrash);
+      EXPECT_EQ(rj->exc.code, ri.exc.code);
+      EXPECT_EQ(rj->exc.fault_pc, ri.exc.fault_pc);
+      EXPECT_EQ(rj->exc.fault_addr, ri.exc.fault_addr);
+      EXPECT_EQ(rj->exc.access, ri.exc.access);
+    }
+    EXPECT_EQ(wj.cpu.pc, wi.cpu.pc);
+    EXPECT_EQ(wj.cpu.regs, wi.cpu.regs);
+    // 2 prologue instrs + pos adds retired before the faulting attempt.
+    EXPECT_EQ(retired_cold, wi.m->instret());
+    EXPECT_EQ(wi.cpu.reg(Reg::R2), static_cast<u64>(pos));
+  }
+}
+
+TEST(JitDiff, RunBudgetNeverOvershoots) {
+  // Infinite loop: retired count must be exactly the budget, for budgets
+  // that end mid-trace, at a trace boundary, and across many traces.
+  Assembler a("loop");
+  a.label("e");
+  for (int i = 0; i < 40; ++i) a.addi(Reg::R1, 1);
+  a.jmp("e");
+  a.set_entry("e");
+  isa::Image img = a.build();
+
+  for (u64 budget : {1ull, 5ull, 16ull, 40ull, 41ull, 100ull, 256ull, 257ull, 1000ull}) {
+    World wi(img);
+    wi.m->set_jit_enabled(false);
+    EXPECT_EQ(wi.run(budget).kind, StepKind::kOk);
+
+    World wj(img);
+    wj.m->set_jit_enabled(true);
+    EXPECT_EQ(wj.run(budget).kind, StepKind::kOk);
+
+    SCOPED_TRACE("budget=" + std::to_string(budget));
+    EXPECT_EQ(wi.m->instret(), budget);
+    EXPECT_EQ(wj.m->instret(), budget);
+    EXPECT_EQ(wj.cpu.pc, wi.cpu.pc);
+    EXPECT_EQ(wj.cpu.reg(Reg::R1), wi.cpu.reg(Reg::R1));
+  }
+}
+
+TEST(JitSmc, HostPokeInvalidatesTranslatedCode) {
+  Assembler a("t");
+  a.label("e");
+  a.halt();
+  a.set_entry("e");
+  World w(a.build());
+  w.m->set_jit_enabled(true);
+
+  gva_t page = w.m->layout().place(mem::RegionKind::kStack, 4096, "smc");
+  ASSERT_TRUE(w.m->mem().map(page, 4096, mem::kPermR | mem::kPermW | mem::kPermX));
+  auto poke_ins = [&](u64 off, const isa::Instr& ins) {
+    ASSERT_TRUE(w.m->mem().poke(page + off, isa::encode(ins)));
+  };
+  poke_ins(0, {isa::Op::kMovRI, Reg::R0, Reg::R0, 0, 1});
+  poke_ins(16, {isa::Op::kHalt, Reg::R0, Reg::R0, 0, 0});
+
+  w.cpu.pc = page;
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 1u);  // trace now cached
+
+  poke_ins(0, {isa::Op::kMovRI, Reg::R0, Reg::R0, 0, 2});
+  w.cpu.pc = page;
+  EXPECT_EQ(w.run().kind, StepKind::kHalt);
+  EXPECT_EQ(w.cpu.reg(Reg::R0), 2u);  // stale trace would have produced 1
+}
+
+TEST(JitSmc, GuestStoreIntoOwnTraceTakesEffect) {
+  // The block overwrites an instruction *later in its own trace* before
+  // reaching it: store-store-(movi R0,1 -> movi R0,2)-halt. Both engines
+  // must execute the rewritten word.
+  auto build = [](Machine& m, Cpu& cpu) {
+    gva_t page = m.layout().place(mem::RegionKind::kStack, 4096, "smc2");
+    ASSERT_TRUE(m.mem().map(page, 4096, mem::kPermR | mem::kPermW | mem::kPermX));
+    auto put = [&](u64 off, const isa::Instr& ins) {
+      ASSERT_TRUE(m.mem().poke(page + off, isa::encode(ins)));
+    };
+    put(0, {isa::Op::kStore, Reg::R8, Reg::R1, 8, 32});
+    put(16, {isa::Op::kStore, Reg::R8, Reg::R2, 8, 40});
+    put(32, {isa::Op::kMovRI, Reg::R0, Reg::R0, 0, 1});
+    put(48, {isa::Op::kHalt, Reg::R0, Reg::R0, 0, 0});
+    std::array<u8, 16> neu = isa::encode({isa::Op::kMovRI, Reg::R0, Reg::R0, 0, 2});
+    u64 lo = 0, hi = 0;
+    for (int i = 0; i < 8; ++i) lo |= static_cast<u64>(neu[i]) << (8 * i);
+    for (int i = 0; i < 8; ++i) hi |= static_cast<u64>(neu[8 + i]) << (8 * i);
+    cpu.reg(Reg::R8) = page;
+    cpu.reg(Reg::R1) = lo;
+    cpu.reg(Reg::R2) = hi;
+    cpu.pc = page;
+  };
+
+  Assembler a("t");
+  a.label("e");
+  a.halt();
+  a.set_entry("e");
+  isa::Image img = a.build();
+
+  u64 r0[2];
+  int k = 0;
+  for (bool jit : {false, true}) {
+    World w(img);
+    w.m->set_jit_enabled(jit);
+    build(*w.m, w.cpu);
+    EXPECT_EQ(w.run().kind, StepKind::kHalt);
+    r0[k++] = w.cpu.reg(Reg::R0);
+  }
+  EXPECT_EQ(r0[0], 2u);  // interpreter sees the rewritten instruction
+  EXPECT_EQ(r0[1], r0[0]);
 }
 
 }  // namespace
