@@ -7,7 +7,7 @@
 namespace crp::defense {
 
 RateDetector::RateDetector(os::Kernel& kernel, os::Process& proc, Config cfg)
-    : k_(kernel), proc_(proc), cfg_(cfg) {
+    : k_(kernel), proc_(proc), cfg_(cfg), window_(cfg.window_ns) {
   obs::Registry& reg = obs::Registry::global();
   c_handled_ = &reg.counter("defense.av_rate.handled");
   c_alarms_ = &reg.counter("defense.av_rate.alarms");
@@ -32,25 +32,23 @@ void RateDetector::on_exception(const vm::ExceptionRecord& rec, vm::DispatchOutc
   ++handled_;
   c_handled_->inc();
   u64 now = k_.now_ns();
-  window_.push_back(now);
-  while (!window_.empty() && window_.front() + cfg_.window_ns < now) window_.pop_front();
-  peak_ = std::max<u64>(peak_, window_.size());
-  g_peak_->update_max(static_cast<i64>(peak_));
-  if (window_.size() >= cfg_.threshold && !alarmed_) {
+  u64 in_window = window_.add(now);
+  g_peak_->update_max(static_cast<i64>(window_.peak()));
+  if (in_window >= cfg_.threshold && !alarmed_) {
     alarmed_ = true;
     c_alarms_->inc();
     obs::Journal::global().instant("av-rate-alarm", "defense", now / 1000, 0, "window_count",
-                                   static_cast<i64>(window_.size()));
+                                   static_cast<i64>(in_window));
   }
 }
 
 double RateDetector::peak_rate_per_sec() const {
-  return static_cast<double>(peak_) * 1e9 / static_cast<double>(cfg_.window_ns);
+  return static_cast<double>(window_.peak()) * 1e9 / static_cast<double>(cfg_.window_ns);
 }
 
 void RateDetector::reset() {
   window_.clear();
-  total_ = handled_ = peak_ = 0;
+  total_ = handled_ = 0;
   alarmed_ = false;
 }
 

@@ -15,6 +15,7 @@
 //                      catch-all filters guarding non-trivial regions).
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <vector>
 
@@ -28,6 +29,46 @@ class Gauge;
 }  // namespace crp::obs
 
 namespace crp::defense {
+
+/// Sliding-window event counter — the §VII rate-anomaly core, factored out
+/// of RateDetector so the crpd admission controller can reuse it verbatim
+/// (virtual time there is wall-clock time, the mechanism is identical:
+/// count events inside a trailing window, compare against a threshold).
+class RateWindow {
+ public:
+  explicit RateWindow(u64 window_ns) : window_ns_(window_ns) {}
+
+  /// Record an event at `now_ns`; returns the count inside the window
+  /// (including this event).
+  u64 add(u64 now_ns) {
+    times_.push_back(now_ns);
+    prune(now_ns);
+    peak_ = std::max<u64>(peak_, times_.size());
+    return times_.size();
+  }
+  /// Events inside the window ending at `now_ns`.
+  u64 count(u64 now_ns) {
+    prune(now_ns);
+    return times_.size();
+  }
+  /// Highest in-window count ever observed.
+  u64 peak() const { return peak_; }
+  u64 window_ns() const { return window_ns_; }
+  void clear() {
+    times_.clear();
+    peak_ = 0;
+  }
+
+ private:
+  void prune(u64 now_ns) {
+    while (!times_.empty() && times_.front() + window_ns_ < now_ns)
+      times_.pop_front();
+  }
+
+  u64 window_ns_;
+  std::deque<u64> times_;
+  u64 peak_ = 0;
+};
 
 struct RateDetectorConfig {
   u64 window_ns = 1'000'000'000;  // 1 virtual second
@@ -54,7 +95,7 @@ class RateDetector : public vm::ExecObserver {
   u64 total_avs() const { return total_; }
   u64 handled_avs() const { return handled_; }
   /// Highest number of handled AVs observed inside one window.
-  u64 peak_window_count() const { return peak_; }
+  u64 peak_window_count() const { return window_.peak(); }
   double peak_rate_per_sec() const;
   bool alarmed() const { return alarmed_; }
   void reset();
@@ -63,10 +104,9 @@ class RateDetector : public vm::ExecObserver {
   os::Kernel& k_;
   os::Process& proc_;
   Config cfg_;
-  std::deque<u64> window_;  // timestamps (ns) of handled AVs
+  RateWindow window_;  // timestamps (ns) of handled AVs
   u64 total_ = 0;
   u64 handled_ = 0;
-  u64 peak_ = 0;
   bool alarmed_ = false;
   obs::Counter* c_handled_;
   obs::Counter* c_alarms_;

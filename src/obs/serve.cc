@@ -1,11 +1,5 @@
 #include "obs/serve.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <cstdlib>
 #include <cstring>
 
@@ -109,84 +103,41 @@ ObsServer& ObsServer::global() {
 
 bool ObsServer::start(u16 port) {
   if (running()) return true;
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    CRP_WARN("obs", "serve: socket() failed: %s", std::strerror(errno));
-    return false;
-  }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
-    CRP_WARN("obs", "serve: cannot bind 127.0.0.1:%u: %s", port,
-             std::strerror(errno));
-    ::close(fd);
-    return false;
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
-    port_ = ntohs(addr.sin_port);
-  else
-    port_ = port;
-  listen_fd_ = fd;
-  stop_.store(false, std::memory_order_release);
-  running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { loop(); });
-  return true;
+  crp::serve::SocketServer::Handlers h;
+  h.on_data = [this](crp::serve::ConnId conn, std::string_view data) {
+    on_data(conn, data);
+  };
+  h.on_close = [this](crp::serve::ConnId conn) { reqs_.erase(conn); };
+  return server_.start(port, std::move(h));
 }
 
-void ObsServer::stop() {
-  if (!running()) return;
-  stop_.store(true, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  listen_fd_ = -1;
-  running_.store(false, std::memory_order_release);
-}
+void ObsServer::stop() { server_.stop(); }
 
-void ObsServer::loop() {
-  while (!stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    int n = ::poll(&pfd, 1, 200);  // the 200ms tick bounds shutdown latency
-    if (n <= 0 || (pfd.revents & POLLIN) == 0) continue;
-    int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
+void ObsServer::on_data(crp::serve::ConnId conn, std::string_view data) {
+  // Accumulate until the request head is complete (first line suffices for
+  // HTTP/1.0 GET); fragments from slow writers just come back here.
+  std::string& req = reqs_[conn];
+  req.append(data.data(), data.size());
+  if (req.find("\r\n\r\n") == std::string::npos && req.size() <= 16384) return;
 
-    // Read the request head (first line suffices for HTTP/1.0 GET).
-    std::string req;
-    char buf[2048];
-    for (;;) {
-      ssize_t got = ::recv(client, buf, sizeof(buf), 0);
-      if (got <= 0) break;
-      req.append(buf, static_cast<size_t>(got));
-      if (req.find("\r\n\r\n") != std::string::npos || req.size() > 16384) break;
-    }
-    std::string path = "/";
-    if (req.rfind("GET ", 0) == 0) {
-      size_t end = req.find(' ', 4);
-      if (end != std::string::npos) path = req.substr(4, end - 4);
-      if (size_t q = path.find('?'); q != std::string::npos) path.resize(q);
-    }
-
-    Response r = respond(path);
-    std::string head = strf(
-        "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-        "Connection: close\r\n\r\n",
-        r.status, r.status == 200 ? "OK" : "Not Found", r.content_type.c_str(),
-        r.body.size());
-    std::string msg = head + r.body;
-    size_t off = 0;
-    while (off < msg.size()) {
-      ssize_t sent = ::send(client, msg.data() + off, msg.size() - off, 0);
-      if (sent <= 0) break;
-      off += static_cast<size_t>(sent);
-    }
-    ::close(client);
+  std::string path = "/";
+  if (req.rfind("GET ", 0) == 0) {
+    size_t end = req.find(' ', 4);
+    if (end != std::string::npos) path = req.substr(4, end - 4);
+    if (size_t q = path.find('?'); q != std::string::npos) path.resize(q);
   }
+  reqs_.erase(conn);
+
+  Response r = respond(path);
+  std::string head = strf(
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      r.status, r.status == 200 ? "OK" : "Not Found", r.content_type.c_str(),
+      r.body.size());
+  // The transport owns delivery (partial writes, EINTR/EAGAIN, slow
+  // readers) and closes once the response has drained.
+  server_.send(conn, head + r.body);
+  server_.close_conn(conn, /*after_flush=*/true);
 }
 
 bool maybe_start_from_env() {

@@ -15,16 +15,20 @@
 //   GET /prof.json    profiler hot-block report (Profiler::report_json)
 //   GET /prof.folded  collapsed-stack flamegraph text
 //
-// Deliberately tiny: one accept-loop thread, serial request handling,
-// HTTP/1.0 close-after-response, no keep-alive, no TLS, loopback only. The
-// server reads shared state through the same thread-safe snapshot paths the
-// exit flush uses, so it never perturbs a deterministic campaign.
+// Runs on the shared crp::serve::SocketServer core: many concurrent
+// clients, partial reads and writes handled by the transport (a slow
+// crptop poller never stalls another client), HTTP/1.0
+// close-after-response, no keep-alive, no TLS, loopback only. The server
+// reads shared state through the same thread-safe snapshot paths the exit
+// flush uses, so it never perturbs a deterministic campaign.
 #pragma once
 
 #include <atomic>
+#include <map>
+#include <mutex>
 #include <string>
-#include <thread>
 
+#include "serve/socket_server.h"
 #include "util/common.h"
 
 namespace crp::obs::serve {
@@ -48,28 +52,27 @@ class ObsServer {
   ObsServer(const ObsServer&) = delete;
   ObsServer& operator=(const ObsServer&) = delete;
 
-  /// Bind 127.0.0.1:`port` (0 picks an ephemeral port) and start the accept
-  /// loop. Returns false (with a warning) when the bind fails. Idempotent:
-  /// a running server stays on its port.
+  /// Bind 127.0.0.1:`port` (0 picks an ephemeral port) and start serving.
+  /// Returns false (with a warning) when the bind fails. Idempotent: a
+  /// running server stays on its port.
   bool start(u16 port);
   void stop();
 
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool running() const { return server_.running(); }
   /// Bound port (valid while running; the ephemeral-port case reads it back
   /// from the socket).
-  u16 port() const { return port_; }
+  u16 port() const { return server_.port(); }
 
   /// The process-wide server (what CRP_OBS_SERVE starts).
   static ObsServer& global();
 
  private:
-  void loop();
+  void on_data(crp::serve::ConnId conn, std::string_view data);
 
-  int listen_fd_ = -1;
-  u16 port_ = 0;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stop_{false};
-  std::thread thread_;
+  crp::serve::SocketServer server_;
+  // Per-connection request accumulation (reads may arrive in fragments).
+  // Touched only from transport callbacks, which are serialized.
+  std::map<crp::serve::ConnId, std::string> reqs_;
 };
 
 /// Start the global server when CRP_OBS_SERVE=port is set (idempotent; logs

@@ -15,6 +15,19 @@
 // byte in a target image changes the key and invalidates the entry
 // (tested in tests/test_pipeline.cc).
 //
+// Since PR 8 the store is a shared tier under the multi-tenant crpd
+// daemon, so it is concurrency-first:
+//   * the namespace is striped across kShards lock shards (keys hash to a
+//     shard), so unrelated stages never contend on one mutex;
+//   * `acquire`/`finish`/`abort_claim` implement a single-writer lease per
+//     key: when N jobs race on the same cold artifact, exactly one
+//     computes while the rest block and are handed the finished value (a
+//     hit) — the "duplicate submission costs one computation" property the
+//     daemon advertises;
+//   * hit/miss traffic is additionally attributed to the submitting tenant
+//     (ScopedCacheTenant, a thread-local) as
+//     `pipeline.cache.tenant.<t>.{hits,misses}`.
+//
 // Storage tiers:
 //   * in-memory map — always on (per process);
 //   * optional disk tier — set CRP_CACHE_DIR to persist artifacts across
@@ -23,7 +36,8 @@
 //     magic + FNV-1a checksum header: a corrupted, truncated or
 //     legacy-format file is *detected* (pipeline.cache.corrupt), dropped,
 //     and treated as a miss — the stage recomputes instead of decoding
-//     garbage.
+//     garbage. CRP_CACHE_MAX_MB caps the disk tier: least-recently-used
+//     blobs are evicted after each store (pipeline.cache.evictions).
 //
 // Kill switch: CRP_CACHE=0 disables the store entirely — lookups miss
 // without counting and stores are dropped — so any suspected cache bug can
@@ -32,7 +46,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <list>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -77,10 +94,36 @@ struct ArtifactKey {
   std::string str() const;
 };
 
+/// Attribute cache traffic on this thread to a tenant for the duration of
+/// the scope (`pipeline.cache.tenant.<t>.{hits,misses}`). Nesting restores
+/// the previous tenant; the empty tenant attributes nothing extra.
+class ScopedCacheTenant {
+ public:
+  explicit ScopedCacheTenant(std::string tenant);
+  ~ScopedCacheTenant();
+  ScopedCacheTenant(const ScopedCacheTenant&) = delete;
+  ScopedCacheTenant& operator=(const ScopedCacheTenant&) = delete;
+
+  /// The tenant cache traffic on this thread is attributed to ("" = none).
+  static const std::string& current();
+
+ private:
+  std::string saved_;
+};
+
+/// Outcome of ArtifactStore::acquire.
+enum class Acquire {
+  kHit,     // *value filled; nothing to compute or release
+  kOwner,   // caller holds the single-writer lease: compute, then
+            // finish() (publishes + wakes waiters) or abort_claim()
+  kBypass,  // store disabled: compute, do not call finish/abort
+};
+
 class ArtifactStore {
  public:
-  /// Reads CRP_CACHE (anything other than "0"/"" -> enabled) and
-  /// CRP_CACHE_DIR (empty -> memory-only) at construction.
+  /// Reads CRP_CACHE (anything other than "0"/"" -> enabled),
+  /// CRP_CACHE_DIR (empty -> memory-only) and CRP_CACHE_MAX_MB (0/unset ->
+  /// unbounded disk tier) at construction.
   ArtifactStore();
 
   /// Overrides for tests and embedding; both shadow the env settings.
@@ -88,6 +131,8 @@ class ArtifactStore {
   bool enabled() const { return enabled_; }
   void set_dir(std::string dir);
   const std::string& dir() const { return dir_; }
+  /// Disk-tier size cap in bytes (0 = unbounded). Shadows CRP_CACHE_MAX_MB.
+  void set_max_disk_bytes(u64 cap);
 
   /// True + fills *value on a hit (memory first, then disk). A disabled
   /// store always returns false and counts nothing (pure bypass).
@@ -96,13 +141,28 @@ class ArtifactStore {
   /// silently when disabled.
   void store(const ArtifactKey& key, const std::string& value);
 
+  /// Single-writer lease: lookup that serializes concurrent producers of
+  /// the same key. kHit fills *value. kOwner grants this caller the lease —
+  /// every concurrent acquire of the key blocks until the owner calls
+  /// finish(key, value) (waiters wake with a hit) or abort_claim(key) (one
+  /// waiter is promoted to owner and recomputes).
+  Acquire acquire(const ArtifactKey& key, std::string* value);
+  void finish(const ArtifactKey& key, const std::string& value);
+  void abort_claim(const ArtifactKey& key);
+
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
   u64 stores() const { return stores_.load(std::memory_order_relaxed); }
   /// Disk blobs rejected by the header/checksum validation (each also
   /// counts as a miss: the caller recomputes).
   u64 corrupt() const { return corrupt_.load(std::memory_order_relaxed); }
+  /// Disk blobs evicted by the CRP_CACHE_MAX_MB LRU cap.
+  u64 evictions() const { return evictions_.load(std::memory_order_relaxed); }
   size_t size() const;
+
+  /// Per-tenant traffic recorded via ScopedCacheTenant (0 for unknown).
+  u64 tenant_hits(const std::string& tenant) const;
+  u64 tenant_misses(const std::string& tenant) const;
 
   /// Drop every in-memory artifact and zero the traffic counters (the disk
   /// tier, if any, is left untouched). Intended for tests.
@@ -112,23 +172,74 @@ class ArtifactStore {
   static ArtifactStore& global();
 
  private:
-  std::string disk_path(const ArtifactKey& key) const;
+  // Key space is striped: each shard owns the memory tier and the
+  // single-writer lease set for the keys that hash to it. Lock order:
+  // shard.mu -> disk_mu_ / chaos_mu_ (never shard -> shard).
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;  // signaled when a lease is released
+    std::unordered_map<std::string, std::string> mem;
+    std::set<std::string> inflight;  // keys with an active writer lease
+  };
+
+  Shard& shard_for(const std::string& name);
+  const Shard& shard_for(const std::string& name) const;
+  std::string disk_path(const std::string& name) const;
+  // Disk read/validate for `name`; fills *value and promotes to the memory
+  // tier on success. Caller holds the shard lock.
+  bool disk_lookup(Shard& sh, const std::string& name, std::string* value);
+  void disk_store(const std::string& name, const std::string& value);
+  void count_hit();
+  void count_miss();
+  void release_claim(const std::string& name);
+
+  // --- disk LRU (guarded by disk_mu_) ---
+  void disk_index_scan_locked();
+  void disk_touch(const std::string& name);
+  void disk_forget(const std::string& name);
+  void disk_add_and_evict(const std::string& name, size_t bytes);
 
   bool enabled_ = true;
   std::string dir_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::string> mem_;
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
   std::atomic<u64> stores_{0};
   std::atomic<u64> corrupt_{0};
+  std::atomic<u64> evictions_{0};
   obs::Counter* c_hits_;
   obs::Counter* c_misses_;
   obs::Counter* c_stores_;
   obs::Counter* c_corrupt_;
+  obs::Counter* c_evictions_;
+  Shard shards_[kShards];
+
+  // Per-tenant attribution (lazily materialized registry counters).
+  struct TenantStat {
+    u64 hits = 0;
+    u64 misses = 0;
+    obs::Counter* c_hits = nullptr;
+    obs::Counter* c_misses = nullptr;
+  };
+  mutable std::mutex tenant_mu_;
+  std::unordered_map<std::string, TenantStat> tenants_;
+
+  // Disk-tier LRU index: names in recency order (front = coldest), with
+  // payload sizes, populated lazily from a directory scan.
+  mutable std::mutex disk_mu_;
+  bool disk_scanned_ = false;
+  u64 disk_cap_bytes_ = 0;
+  u64 disk_total_bytes_ = 0;
+  std::list<std::string> disk_lru_;  // front = least recently used
+  std::unordered_map<std::string, std::pair<std::list<std::string>::iterator, size_t>>
+      disk_index_;
+
   // Chaos: disk-tier fault injection (corrupt/truncate blobs on read,
   // failed tmp-rename on store). Decisions are keyed by the artifact key
-  // hash, so they are independent of lookup order and thread schedule.
+  // hash, so they are independent of lookup order and thread schedule; the
+  // stream's occurrence counters are serialized by chaos_mu_ (shards hit
+  // the disk tier concurrently).
+  std::mutex chaos_mu_;
   chaos::FaultStream chaos_;
 };
 

@@ -1,10 +1,14 @@
 #include "pipeline/campaign.h"
 
+#include <optional>
+#include <stdexcept>
+
 #include "analysis/signal_scanner.h"
 #include "analysis/veh_scanner.h"
 #include "exec/thread_pool.h"
 #include "obs/obs.h"
 #include "obs/prof.h"
+#include "pipeline/job_queue.h"
 #include "util/rng.h"
 
 namespace crp::pipeline {
@@ -17,10 +21,27 @@ targets::BrowserSim::Options browser_options(const TargetSpec& spec) {
   return o;
 }
 
+std::string render_report(const TargetReport& rep, bool cache_tag) {
+  std::string out =
+      strf("--- %-24s [%s]\n", rep.id.c_str(), target_class_name(rep.cls));
+  out += strf("    %s%s\n", rep.summary.c_str(),
+              cache_tag && rep.cache_hit ? " [cached]" : "");
+  for (const analysis::Candidate& c : rep.candidates) {
+    if (c.verdict == analysis::Verdict::kUsable ||
+        c.cls != analysis::PrimitiveClass::kSyscall)
+      out += strf("    * %s\n", c.describe().c_str());
+  }
+  out += "\n";
+  return out;
+}
+
 Campaign::Campaign(CampaignOptions opts, ArtifactStore* store)
     : opts_(opts), store_(store != nullptr ? store : &ArtifactStore::global()) {}
 
-ArtifactKey Campaign::syscall_scan_key(const analysis::TargetProgram& prog) const {
+namespace {
+
+ArtifactKey syscall_scan_key_for(const analysis::TargetProgram& prog,
+                                 const CampaignOptions& opts) {
   Hasher in;
   in.str(prog.name)
       .u64v(static_cast<u64>(prog.personality))
@@ -31,37 +52,91 @@ ArtifactKey Campaign::syscall_scan_key(const analysis::TargetProgram& prog) cons
     in.u64v(bytes.size()).bytes(bytes.data(), bytes.size());
   }
   u64 cfg = Hasher()
-                .u64v(opts_.syscall.discover_budget)
-                .u64v(opts_.syscall.verify_budget)
-                .u64v(opts_.syscall.check_service_liveness ? 1 : 0)
-                .u64v(opts_.syscall.seed)
+                .u64v(opts.syscall.discover_budget)
+                .u64v(opts.syscall.verify_budget)
+                .u64v(opts.syscall.check_service_liveness ? 1 : 0)
+                .u64v(opts.syscall.seed)
                 .digest();
   return ArtifactKey{TaintTraceStage::kId, in.digest(), cfg};
+}
+
+// The Linux-syscall funnel (TaintTrace -> SyscallCandidate -> Verify) as
+// explicit stepped state, shared by the blocking scan_program path and the
+// ServerCell job steps so the two cannot drift apart. Holds the store's
+// single-writer lease between the lookup and the publish — concurrent
+// scans of an identical target compute once, the rest are handed the
+// finished artifact. The destructor releases an abandoned lease (a step
+// threw, or the job was cancelled between steps).
+struct SyscallFunnel {
+  const CampaignOptions& opts;
+  ArtifactStore* st;  // nullptr: caching off
+  int verify_jobs;
+  const analysis::TargetProgram* prog = nullptr;
+  ArtifactKey key;
+  bool leased = false;
+  std::vector<analysis::Candidate> cands;
+  ServerScan scan;
+
+  SyscallFunnel(const CampaignOptions& o, ArtifactStore* s, int vj)
+      : opts(o), st(s), verify_jobs(vj) {}
+  ~SyscallFunnel() {
+    if (leased && st != nullptr) st->abort_claim(key);
+  }
+
+  void trace() {
+    scan.name = prog->name;
+    if (st != nullptr) {
+      key = syscall_scan_key_for(*prog, opts);
+      std::string doc;
+      Acquire a = st->acquire(key, &doc);
+      if (a == Acquire::kHit && decode_syscall_scan(doc, &scan.result)) {
+        scan.cache_hit = true;
+        return;
+      }
+      // A hit that fails to decode recomputes without the lease; the
+      // publish below replaces the stored blob.
+      leased = a == Acquire::kOwner;
+    }
+    scan.result = TaintTraceStage::run({prog, opts.syscall});
+  }
+
+  void candidates() {
+    if (scan.cache_hit) return;
+    cands = SyscallCandidateStage::run({&scan.result});
+  }
+
+  void verify() {
+    if (scan.cache_hit) return;
+    scan.result.candidates =
+        VerifyStage::run({prog, opts.syscall, std::move(cands),
+                          verify_jobs != 0 ? verify_jobs : opts.jobs});
+    if (st != nullptr) {
+      std::string doc = encode_syscall_scan(scan.result);
+      if (leased) {
+        st->finish(key, doc);
+        leased = false;
+      } else {
+        st->store(key, doc);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ArtifactKey Campaign::syscall_scan_key(const analysis::TargetProgram& prog) const {
+  return syscall_scan_key_for(prog, opts_);
 }
 
 ServerScan Campaign::scan_program(const analysis::TargetProgram& prog,
                                   int verify_jobs) {
   obs::ScopedProfTarget prof_target(prog.name);
-  ServerScan out;
-  out.name = prog.name;
-
-  ArtifactKey key = syscall_scan_key(prog);
-  ArtifactStore* st = store();
-  std::string doc;
-  if (st != nullptr && st->lookup(key, &doc) &&
-      decode_syscall_scan(doc, &out.result)) {
-    out.cache_hit = true;
-    return out;
-  }
-
-  out.result = TaintTraceStage::run({&prog, opts_.syscall});
-  std::vector<analysis::Candidate> cands =
-      SyscallCandidateStage::run({&out.result});
-  out.result.candidates = VerifyStage::run(
-      {&prog, opts_.syscall, std::move(cands),
-       verify_jobs != 0 ? verify_jobs : opts_.jobs});
-  if (st != nullptr) st->store(key, encode_syscall_scan(out.result));
-  return out;
+  SyscallFunnel funnel(opts_, store(), verify_jobs);
+  funnel.prog = &prog;
+  funnel.trace();
+  funnel.candidates();
+  funnel.verify();
+  return std::move(funnel.scan);
 }
 
 ServerScan Campaign::scan_target(const TargetSpec& spec) {
@@ -138,177 +213,370 @@ std::vector<analysis::ApiSiteInfo> Campaign::call_sites(
   return CallSiteTraceStage::run({&tracer, &crash_resistant, &kernel, &proc, needle});
 }
 
-TargetReport Campaign::run_server(const TargetSpec& spec) {
-  ServerScan scan = scan_target(spec);
-  TargetReport rep;
-  rep.candidates = scan.result.candidates;
-  rep.cache_hit = scan.cache_hit;
-  int fps = 0;
-  for (const auto& c : rep.candidates) {
-    rep.usable += c.verdict == analysis::Verdict::kUsable ? 1 : 0;
-    fps += c.verdict == analysis::Verdict::kFalsePositive ? 1 : 0;
+// --- target cells --------------------------------------------------------------
+
+void TargetCell::run_step() {
+  CRP_CHECK(next_ < steps_.size());
+  obs::ScopedProfTarget prof_target(spec_.id);
+  do_step(next_);
+  ++next_;
+  if (next_ == steps_.size()) {
+    report_.id = spec_.id;
+    report_.cls = spec_.cls;
   }
-  rep.summary = strf("%zu syscalls observed, %zu candidates, %d usable, %d false-positive",
-                     scan.result.observed.size(), rep.candidates.size(),
-                     rep.usable, fps);
-  return rep;
 }
 
-TargetReport Campaign::run_runtime(const TargetSpec& spec) {
-  CRP_CHECK(spec.make_program != nullptr);
-  analysis::TargetProgram prog = spec.make_program();
-  os::Kernel k;
-  int pid = prog.instantiate(k, opts_.syscall.seed);
-  k.run(2'000'000);  // let startup install its signal handlers
+namespace {
 
-  std::vector<analysis::SignalHandlerInfo> handlers;
-  {
-    StageScope scope("signal_scan", prog.name);
-    handlers = analysis::SignalScanner::scan(k.proc(pid), opts_.classify);
+class ServerCell final : public TargetCell {
+ public:
+  ServerCell(const CampaignOptions& o, ArtifactStore* s, TargetSpec spec)
+      : TargetCell(o, s, std::move(spec),
+                   {"taint_trace", "candidates", "verify", "finalize"}) {}
+
+ private:
+  void do_step(size_t i) override {
+    switch (i) {
+      case 0: {
+        CRP_CHECK(spec_.make_program != nullptr);
+        prog_ = spec_.make_program();
+        funnel_.emplace(opts_, store_, /*verify_jobs=*/0);
+        funnel_->prog = &prog_;
+        obs::ScopedProfTarget prof(prog_.name);
+        funnel_->trace();
+        break;
+      }
+      case 1: {
+        obs::ScopedProfTarget prof(prog_.name);
+        funnel_->candidates();
+        break;
+      }
+      case 2: {
+        obs::ScopedProfTarget prof(prog_.name);
+        funnel_->verify();
+        break;
+      }
+      case 3: {
+        ServerScan& scan = funnel_->scan;
+        report_.candidates = scan.result.candidates;
+        report_.cache_hit = scan.cache_hit;
+        int fps = 0;
+        for (const auto& c : report_.candidates) {
+          report_.usable += c.verdict == analysis::Verdict::kUsable ? 1 : 0;
+          fps += c.verdict == analysis::Verdict::kFalsePositive ? 1 : 0;
+        }
+        report_.summary = strf(
+            "%zu syscalls observed, %zu candidates, %d usable, %d false-positive",
+            scan.result.observed.size(), report_.candidates.size(),
+            report_.usable, fps);
+        funnel_.reset();
+        break;
+      }
+    }
   }
-  TargetReport rep;
-  rep.candidates = analysis::SignalScanner::candidates(handlers, prog.name);
-  for (const auto& h : handlers)
-    rep.usable += h.verdict == analysis::FilterVerdict::kAcceptsAv ? 1 : 0;
-  rep.summary = strf("%zu installed signal handlers, %d recovering (pc-editing)",
-                     handlers.size(), rep.usable);
-  return rep;
+
+  analysis::TargetProgram prog_;
+  std::optional<SyscallFunnel> funnel_;
+};
+
+class RuntimeCell final : public TargetCell {
+ public:
+  RuntimeCell(const CampaignOptions& o, ArtifactStore* s, TargetSpec spec)
+      : TargetCell(o, s, std::move(spec), {"boot", "signal_scan", "finalize"}) {}
+
+ private:
+  void do_step(size_t i) override {
+    switch (i) {
+      case 0: {
+        CRP_CHECK(spec_.make_program != nullptr);
+        prog_ = spec_.make_program();
+        kernel_ = std::make_unique<os::Kernel>();
+        pid_ = prog_.instantiate(*kernel_, opts_.syscall.seed);
+        kernel_->run(2'000'000);  // let startup install its signal handlers
+        break;
+      }
+      case 1: {
+        StageScope scope("signal_scan", prog_.name);
+        handlers_ =
+            analysis::SignalScanner::scan(kernel_->proc(pid_), opts_.classify);
+        break;
+      }
+      case 2: {
+        report_.candidates =
+            analysis::SignalScanner::candidates(handlers_, prog_.name);
+        for (const auto& h : handlers_)
+          report_.usable +=
+              h.verdict == analysis::FilterVerdict::kAcceptsAv ? 1 : 0;
+        report_.summary =
+            strf("%zu installed signal handlers, %d recovering (pc-editing)",
+                 handlers_.size(), report_.usable);
+        kernel_.reset();
+        break;
+      }
+    }
+  }
+
+  analysis::TargetProgram prog_;
+  std::unique_ptr<os::Kernel> kernel_;
+  int pid_ = 0;
+  std::vector<analysis::SignalHandlerInfo> handlers_;
+};
+
+class BrowserCell final : public TargetCell {
+ public:
+  BrowserCell(const CampaignOptions& o, ArtifactStore* s, TargetSpec spec)
+      : TargetCell(o, s, std::move(spec),
+                   {"browse", "seh_extract", "classify", "xref_veh", "finalize"}) {}
+
+ private:
+  void do_step(size_t i) override {
+    switch (i) {
+      case 0: {
+        kernel_ = std::make_unique<os::Kernel>();
+        targets::BrowserSim::Options bopts = browser_options(spec_);
+        // Attach the tracer before startup so runtime VEH registrations
+        // are observed (the §VII-A harvesting pass).
+        bopts.defer_start = true;
+        browser_ = std::make_unique<targets::BrowserSim>(*kernel_, bopts);
+        tracer_ = std::make_unique<trace::Tracer>(*kernel_, browser_->proc());
+        browser_->start();
+        browser_->crawl();
+        for (u64 site = 0; site < opts_.browse_pages; ++site)
+          browser_->visit_page(site);
+        browser_->pump(opts_.browse_budget);
+        break;
+      }
+      case 1: {
+        blobs_ = Campaign::image_blobs(browser_->dlls());
+        corpus_ = SehExtractStage::run({&blobs_, opts_.jobs});
+        break;
+      }
+      case 2: {
+        cls_ = FilterClassifyStage::run(
+            {&corpus_, opts_.classify, opts_.jobs, store_});
+        break;
+      }
+      case 3: {
+        std::vector<analysis::ModuleSehStats> stats = CoverageXrefStage::run(
+            {&corpus_.ex, &cls_.filters, tracer_.get(), &browser_->proc()});
+        report_.cache_hit = cls_.cache_hit;
+        report_.candidates = analysis::CoverageXref::candidates(
+            corpus_.ex, cls_.filters, tracer_.get(), &browser_->proc(),
+            spec_.id);
+        on_path_ = report_.candidates.size();
+
+        veh_ = analysis::VehScanner::scan(*tracer_, browser_->proc(),
+                                          opts_.classify);
+        for (const auto& h : veh_)
+          veh_usable_ +=
+              h.verdict == analysis::FilterVerdict::kAcceptsAv ? 1 : 0;
+        std::vector<analysis::Candidate> veh_cands =
+            analysis::VehScanner::candidates(veh_, spec_.id);
+        report_.candidates.insert(report_.candidates.end(), veh_cands.begin(),
+                                  veh_cands.end());
+        (void)stats;
+        break;
+      }
+      case 4: {
+        report_.usable = static_cast<int>(on_path_) + veh_usable_;
+        report_.summary = strf(
+            "%zu DLLs, %zu handlers, %zu unique filters, %zu guarded sites on "
+            "path, %zu VEH (%d recovering)",
+            browser_->dlls().size(), corpus_.ex.handlers().size(),
+            corpus_.ex.unique_filters().size(), on_path_, veh_.size(),
+            veh_usable_);
+        tracer_.reset();
+        browser_.reset();
+        kernel_.reset();
+        break;
+      }
+    }
+  }
+
+  std::unique_ptr<os::Kernel> kernel_;
+  std::unique_ptr<targets::BrowserSim> browser_;
+  std::unique_ptr<trace::Tracer> tracer_;
+  std::vector<std::vector<u8>> blobs_;
+  SehCorpus corpus_;
+  ClassifyOutcome cls_;
+  std::vector<analysis::VehHandlerInfo> veh_;
+  size_t on_path_ = 0;
+  int veh_usable_ = 0;
+};
+
+class DllCorpusCell final : public TargetCell {
+ public:
+  DllCorpusCell(const CampaignOptions& o, ArtifactStore* s, TargetSpec spec)
+      : TargetCell(o, s, std::move(spec),
+                   {"generate", "seh_extract", "classify", "finalize"}) {}
+
+ private:
+  void do_step(size_t i) override {
+    switch (i) {
+      case 0: blobs_ = Campaign::dll_blobs(spec_); break;
+      case 1: corpus_ = SehExtractStage::run({&blobs_, opts_.jobs}); break;
+      case 2:
+        cls_ = FilterClassifyStage::run(
+            {&corpus_, opts_.classify, opts_.jobs, store_});
+        break;
+      case 3: {
+        size_t av = 0;
+        for (const auto& f : cls_.filters) {
+          if (f.offset == isa::kFilterCatchAll) continue;
+          av += f.verdict == analysis::FilterVerdict::kAcceptsAv ? 1 : 0;
+        }
+        report_.cache_hit = cls_.cache_hit;
+        report_.usable = static_cast<int>(av);
+        report_.summary =
+            strf("%zu DLLs, %zu unique filters, %zu AV-capable after SB",
+                 corpus_.ex.images().size(), corpus_.ex.unique_filters().size(),
+                 av);
+        break;
+      }
+    }
+  }
+
+  std::vector<std::vector<u8>> blobs_;
+  SehCorpus corpus_;
+  ClassifyOutcome cls_;
+};
+
+class ApiCorpusCell final : public TargetCell {
+ public:
+  ApiCorpusCell(const CampaignOptions& o, ArtifactStore* s, TargetSpec spec)
+      : TargetCell(o, s, std::move(spec),
+                   {"api_fuzz", "browse", "call_sites", "finalize"}) {}
+
+ private:
+  void do_step(size_t i) override {
+    switch (i) {
+      case 0: {
+        kernel_ = std::make_unique<os::Kernel>();
+        Campaign::materialize_api_corpus(spec_, *kernel_);
+        fuzz_ = ApiFuzzStage::run(
+            {kernel_.get(), opts_.api_probes_per_arg, opts_.jobs, store_});
+        break;
+      }
+      case 1: {
+        // The historical §V-B browsing workload: a ~6% uniform stub sample
+        // of the pointer-arg population, 120 page visits on the IE analog
+        // (seed 0xF0) — the rate that puts ~25 crash-resistant APIs on the
+        // execution path.
+        Rng rng(0xFA77);
+        std::vector<u32> stub_ids;
+        for (const auto& [id, s] : kernel_->winapi().all()) {
+          if (id < os::kApiPopulationBase || !s.has_pointer_arg()) continue;
+          if (rng.chance(0.0625)) stub_ids.push_back(id);
+        }
+        targets::BrowserSim::Options bopts;
+        bopts.kind = targets::BrowserSim::Kind::kIE;
+        bopts.seed = 0xF0;
+        bopts.api_stub_ids = stub_ids;
+        browser_ = std::make_unique<targets::BrowserSim>(*kernel_, bopts);
+        tracer_ = std::make_unique<trace::Tracer>(*kernel_, browser_->proc());
+        tracer_->set_record_mem_accesses(true);
+        browser_->crawl();
+        for (u64 site = 0; site < 120; ++site) browser_->visit_page(site);
+        browser_->pump(2'000'000'000);
+        break;
+      }
+      case 2: {
+        sites_ = CallSiteTraceStage::run({tracer_.get(),
+                                          &fuzz_.result.crash_resistant,
+                                          kernel_.get(), &browser_->proc(),
+                                          "jscript9"});
+        for (const auto& s : sites_) {
+          if (s.api_id < os::kApiPopulationBase) continue;
+          on_path_.insert(s.api_id);
+          if (s.exclusion == analysis::ExclusionReason::kNone)
+            controllable_.insert(s.api_id);
+        }
+        break;
+      }
+      case 3: {
+        report_.cache_hit = fuzz_.cache_hit;
+        report_.candidates =
+            analysis::ApiCallSiteTracer::candidates(sites_, spec_.id);
+        report_.usable = static_cast<int>(controllable_.size());
+        report_.summary = strf(
+            "%u APIs -> %u with pointer args -> %zu crash-resistant -> %zu on "
+            "path -> %zu controllable",
+            fuzz_.result.total_apis, fuzz_.result.with_pointer_args,
+            fuzz_.result.crash_resistant.size(), on_path_.size(),
+            controllable_.size());
+        tracer_.reset();
+        browser_.reset();
+        kernel_.reset();
+        break;
+      }
+    }
+  }
+
+  std::unique_ptr<os::Kernel> kernel_;
+  std::unique_ptr<targets::BrowserSim> browser_;
+  std::unique_ptr<trace::Tracer> tracer_;
+  ApiFuzzStage::Out fuzz_;
+  std::vector<analysis::ApiSiteInfo> sites_;
+  std::set<u32> on_path_, controllable_;
+};
+
+}  // namespace
+
+std::unique_ptr<TargetCell> plan_target(const CampaignOptions& opts,
+                                        ArtifactStore* store,
+                                        const TargetSpec& spec) {
+  switch (spec.cls) {
+    case TargetClass::kLinuxServer:
+      return std::make_unique<ServerCell>(opts, store, spec);
+    case TargetClass::kManagedRuntime:
+      return std::make_unique<RuntimeCell>(opts, store, spec);
+    case TargetClass::kBrowser:
+      return std::make_unique<BrowserCell>(opts, store, spec);
+    case TargetClass::kDllCorpus:
+      return std::make_unique<DllCorpusCell>(opts, store, spec);
+    case TargetClass::kApiCorpus:
+      return std::make_unique<ApiCorpusCell>(opts, store, spec);
+  }
+  CRP_PANIC("unknown target class");
 }
 
-TargetReport Campaign::run_browser(const TargetSpec& spec) {
-  os::Kernel kernel;
-  targets::BrowserSim::Options bopts = browser_options(spec);
-  // Attach the tracer before startup so runtime VEH registrations are
-  // observed (the §VII-A harvesting pass).
-  bopts.defer_start = true;
-  targets::BrowserSim browser(kernel, bopts);
-  trace::Tracer tracer(kernel, browser.proc());
-  browser.start();
-  browser.crawl();
-  for (u64 site = 0; site < opts_.browse_pages; ++site) browser.visit_page(site);
-  browser.pump(opts_.browse_budget);
-
-  std::vector<std::vector<u8>> blobs = image_blobs(browser.dlls());
-  SehCorpus corpus = extract(blobs);
-  ClassifyOutcome cls = classify(corpus);
-  std::vector<analysis::ModuleSehStats> stats =
-      xref(corpus, cls, &tracer, &browser.proc());
-
-  TargetReport rep;
-  rep.cache_hit = cls.cache_hit;
-  rep.candidates = analysis::CoverageXref::candidates(
-      corpus.ex, cls.filters, &tracer, &browser.proc(), spec.id);
-  size_t on_path = rep.candidates.size();
-
-  std::vector<analysis::VehHandlerInfo> veh =
-      analysis::VehScanner::scan(tracer, browser.proc(), opts_.classify);
-  int veh_usable = 0;
-  for (const auto& h : veh)
-    veh_usable += h.verdict == analysis::FilterVerdict::kAcceptsAv ? 1 : 0;
-  std::vector<analysis::Candidate> veh_cands =
-      analysis::VehScanner::candidates(veh, spec.id);
-  rep.candidates.insert(rep.candidates.end(), veh_cands.begin(), veh_cands.end());
-
-  rep.usable = static_cast<int>(on_path) + veh_usable;
-  rep.summary = strf(
-      "%zu DLLs, %zu handlers, %zu unique filters, %zu guarded sites on path, "
-      "%zu VEH (%d recovering)",
-      browser.dlls().size(), corpus.ex.handlers().size(),
-      corpus.ex.unique_filters().size(), on_path, veh.size(), veh_usable);
-  (void)stats;
-  return rep;
-}
-
-TargetReport Campaign::run_dll_corpus(const TargetSpec& spec) {
-  std::vector<std::vector<u8>> blobs = dll_blobs(spec);
-  SehCorpus corpus = extract(blobs);
-  ClassifyOutcome cls = classify(corpus);
-  size_t av = 0;
-  for (const auto& f : cls.filters) {
-    if (f.offset == isa::kFilterCatchAll) continue;
-    av += f.verdict == analysis::FilterVerdict::kAcceptsAv ? 1 : 0;
-  }
-  TargetReport rep;
-  rep.cache_hit = cls.cache_hit;
-  rep.usable = static_cast<int>(av);
-  rep.summary = strf("%zu DLLs, %zu unique filters, %zu AV-capable after SB",
-                     corpus.ex.images().size(), corpus.ex.unique_filters().size(),
-                     av);
-  return rep;
-}
-
-TargetReport Campaign::run_api_corpus(const TargetSpec& spec) {
-  os::Kernel kernel;
-  materialize_api_corpus(spec, kernel);
-  ApiFuzzStage::Out fuzz = fuzz_apis(kernel);
-
-  // The historical §V-B browsing workload: a ~6% uniform stub sample of the
-  // pointer-arg population, 120 page visits on the IE analog (seed 0xF0) —
-  // the rate that puts ~25 crash-resistant APIs on the execution path.
-  Rng rng(0xFA77);
-  std::vector<u32> stub_ids;
-  for (const auto& [id, s] : kernel.winapi().all()) {
-    if (id < os::kApiPopulationBase || !s.has_pointer_arg()) continue;
-    if (rng.chance(0.0625)) stub_ids.push_back(id);
-  }
-  targets::BrowserSim::Options bopts;
-  bopts.kind = targets::BrowserSim::Kind::kIE;
-  bopts.seed = 0xF0;
-  bopts.api_stub_ids = stub_ids;
-  targets::BrowserSim browser(kernel, bopts);
-  trace::Tracer tracer(kernel, browser.proc());
-  tracer.set_record_mem_accesses(true);
-  browser.crawl();
-  for (u64 site = 0; site < 120; ++site) browser.visit_page(site);
-  browser.pump(2'000'000'000);
-
-  std::vector<analysis::ApiSiteInfo> sites = call_sites(
-      tracer, fuzz.result.crash_resistant, kernel, browser.proc(), "jscript9");
-  std::set<u32> on_path, controllable;
-  for (const auto& s : sites) {
-    if (s.api_id < os::kApiPopulationBase) continue;
-    on_path.insert(s.api_id);
-    if (s.exclusion == analysis::ExclusionReason::kNone)
-      controllable.insert(s.api_id);
-  }
-
-  TargetReport rep;
-  rep.cache_hit = fuzz.cache_hit;
-  rep.candidates = analysis::ApiCallSiteTracer::candidates(sites, spec.id);
-  rep.usable = static_cast<int>(controllable.size());
-  rep.summary = strf(
-      "%u APIs -> %u with pointer args -> %zu crash-resistant -> %zu on path "
-      "-> %zu controllable",
-      fuzz.result.total_apis, fuzz.result.with_pointer_args,
-      fuzz.result.crash_resistant.size(), on_path.size(), controllable.size());
-  return rep;
+std::unique_ptr<TargetCell> Campaign::plan(const TargetSpec& spec) const {
+  return plan_target(opts_, store(), spec);
 }
 
 TargetReport Campaign::run_target(const TargetSpec& spec) {
-  obs::ScopedProfTarget prof_target(spec.id);
-  TargetReport rep;
-  switch (spec.cls) {
-    case TargetClass::kLinuxServer: rep = run_server(spec); break;
-    case TargetClass::kManagedRuntime: rep = run_runtime(spec); break;
-    case TargetClass::kBrowser: rep = run_browser(spec); break;
-    case TargetClass::kDllCorpus: rep = run_dll_corpus(spec); break;
-    case TargetClass::kApiCorpus: rep = run_api_corpus(spec); break;
-  }
-  rep.id = spec.id;
-  rep.cls = spec.cls;
-  // Campaign progress, for the live telemetry endpoint (crptop renders
-  // targets_run / targets_total).
-  obs::Registry::global().counter("pipeline.campaign.targets_run").inc();
-  return rep;
+  JobQueue q(JobQueueOptions{/*workers=*/0, store_});
+  JobSpec js;
+  js.target = spec;
+  js.opts = opts_;
+  JobResult r = q.wait(q.submit(std::move(js)));
+  if (r.state == JobState::kFailed) throw std::runtime_error(r.error);
+  return std::move(r.report);
 }
 
 std::vector<TargetReport> Campaign::run_all(const TargetRegistry& reg) {
   obs::Registry::global()
       .gauge("pipeline.campaign.targets_total")
       .set(static_cast<i64>(reg.all().size()));
+  // One batch of equal-priority jobs on an inline queue: drained on this
+  // thread in submission (= registration) order, exactly like the old
+  // serial loop — just through the same engine the daemon uses.
+  JobQueue q(JobQueueOptions{/*workers=*/0, store_});
+  std::vector<JobId> ids;
+  ids.reserve(reg.all().size());
+  for (const TargetSpec& spec : reg.all()) {
+    JobSpec js;
+    js.target = spec;
+    js.opts = opts_;
+    ids.push_back(q.submit(std::move(js)));
+  }
   std::vector<TargetReport> out;
-  out.reserve(reg.all().size());
-  for (const TargetSpec& spec : reg.all()) out.push_back(run_target(spec));
+  out.reserve(ids.size());
+  for (JobId id : ids) {
+    JobResult r = q.wait(id);
+    if (r.state == JobState::kFailed) throw std::runtime_error(r.error);
+    out.push_back(std::move(r.report));
+  }
   return out;
 }
 

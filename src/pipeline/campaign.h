@@ -21,6 +21,7 @@
 // results, just faster.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,8 +65,67 @@ struct TargetReport {
   bool cache_hit = false;
 };
 
+/// Render one TargetReport as the canonical campaign block (the exact
+/// format examples/campaign prints and the crpd FETCH verb serves, so the
+/// two can be byte-diffed): header line, summary line, one line per
+/// reportable candidate, blank terminator. `cache_tag` appends " [cached]"
+/// to the summary of a cache-served report (the daemon omits it: a report
+/// must read identically whether it was computed or replayed).
+std::string render_report(const TargetReport& rep, bool cache_tag = true);
+
 /// BrowserSim construction parameters for a kBrowser registry entry.
 targets::BrowserSim::Options browser_options(const TargetSpec& spec);
+
+/// One target's funnel, decomposed into named, resumable steps.
+///
+/// A TargetCell is the preemptible unit of the job engine: the JobQueue
+/// runs cells one step at a time, so a long browser funnel can yield to a
+/// higher-priority submission at every step boundary instead of holding a
+/// worker for the whole run. Steps run in order, exactly once each; all
+/// intermediate state (kernels, tracers, corpora, cache leases) lives in
+/// the cell, and destroying a part-run cell releases whatever it held.
+/// Splitting points mirror the stage boundaries of stages.h, so the step
+/// sequence of a class is also its funnel documentation.
+class TargetCell {
+ public:
+  virtual ~TargetCell() = default;
+  TargetCell(const TargetCell&) = delete;
+  TargetCell& operator=(const TargetCell&) = delete;
+
+  const TargetSpec& spec() const { return spec_; }
+  size_t step_count() const { return steps_.size(); }
+  const char* step_name(size_t i) const { return steps_[i]; }
+  /// Index of the next step to run (== steps completed so far).
+  size_t next_step() const { return next_; }
+  bool done() const { return next_ == steps_.size(); }
+
+  /// Run the next step. The final step finalizes the report.
+  void run_step();
+
+  /// The finished report (valid once done()).
+  TargetReport& report() { return report_; }
+
+ protected:
+  TargetCell(const CampaignOptions& opts, ArtifactStore* store, TargetSpec spec,
+             std::vector<const char*> steps)
+      : opts_(opts), store_(store), spec_(std::move(spec)), steps_(std::move(steps)) {}
+
+  virtual void do_step(size_t i) = 0;
+
+  CampaignOptions opts_;
+  ArtifactStore* store_;  // nullptr: caching off for this cell
+  TargetSpec spec_;
+  std::vector<const char*> steps_;
+  size_t next_ = 0;
+  TargetReport report_;
+};
+
+/// Plan the class-appropriate cell for `spec`. `store` == nullptr disables
+/// caching for the cell (the Campaign/JobQueue resolve their cache policy
+/// before planning).
+std::unique_ptr<TargetCell> plan_target(const CampaignOptions& opts,
+                                        ArtifactStore* store,
+                                        const TargetSpec& spec);
 
 class Campaign {
  public:
@@ -112,9 +172,15 @@ class Campaign {
                                                 const std::string& needle);
 
   // --- whole-target funnels --------------------------------------------------
-  /// Run the class-appropriate funnel end-to-end for one subject.
+  /// Plan `spec`'s funnel as a resumable cell (what the JobQueue executes).
+  std::unique_ptr<TargetCell> plan(const TargetSpec& spec) const;
+  /// Run the class-appropriate funnel end-to-end for one subject. Since
+  /// PR 8 this is a thin client of the job engine: it submits one job to an
+  /// inline JobQueue and waits — the batch path and the daemon path execute
+  /// the same cells.
   TargetReport run_target(const TargetSpec& spec);
-  /// Every registered subject, registration order.
+  /// Every registered subject, registration order (submitted as one batch
+  /// of equal-priority jobs; drained in submission order).
   std::vector<TargetReport> run_all(const TargetRegistry& reg);
 
   /// Content-addressed key of a syscall scan (exposed for the cache
@@ -123,12 +189,6 @@ class Campaign {
   ArtifactKey syscall_scan_key(const analysis::TargetProgram& prog) const;
 
  private:
-  TargetReport run_server(const TargetSpec& spec);
-  TargetReport run_runtime(const TargetSpec& spec);
-  TargetReport run_browser(const TargetSpec& spec);
-  TargetReport run_dll_corpus(const TargetSpec& spec);
-  TargetReport run_api_corpus(const TargetSpec& spec);
-
   CampaignOptions opts_;
   ArtifactStore* store_;
 };

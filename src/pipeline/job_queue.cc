@@ -1,0 +1,313 @@
+#include "pipeline/job_queue.h"
+
+#include "chaos/chaos.h"
+#include "obs/obs.h"
+
+namespace crp::pipeline {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+JobQueue::JobQueue(JobQueueOptions opts) : opts_(opts) {
+  if (opts_.store == nullptr) opts_.store = &ArtifactStore::global();
+  for (int i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+JobQueue::~JobQueue() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Queued jobs die with the queue; part-run cells release their cache
+  // leases in their destructors.
+}
+
+void JobQueue::set_event_sink(std::function<void(const JobEvent&)> sink) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sink_ = std::move(sink);
+}
+
+JobId JobQueue::submit(JobSpec spec) {
+  std::unique_lock<std::mutex> lk(mu_);
+  JobId id = next_id_++;
+  auto job = std::make_unique<Job>();
+  job->id = id;
+  job->spec = std::move(spec);
+  job->seq = next_seq_++;
+  JobEvent ev;
+  ev.id = id;
+  ev.state = JobState::kQueued;
+  ev.tenant = job->spec.tenant;
+  ev.target = job->spec.target.id;
+  jobs_.emplace(id, std::move(job));
+  obs::Registry::global().counter("crpd.jobs.submitted").inc();
+  cv_work_.notify_one();
+  emit(lk, ev);
+  return id;
+}
+
+bool JobQueue::cancel(JobId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Job* job = find_locked(id);
+  if (job == nullptr || job_state_terminal(job->state)) return false;
+  if (job->state == JobState::kQueued) {
+    finish_locked(lk, job, JobState::kCancelled);
+    return true;
+  }
+  job->cancel_requested = true;  // honored at the next step boundary
+  return true;
+}
+
+JobQueue::Job* JobQueue::find_locked(JobId id) {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+const JobQueue::Job* JobQueue::find_locked(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+JobResult JobQueue::snapshot(const Job& job) {
+  JobResult r;
+  r.id = job.id;
+  r.state = job.state;
+  r.report = job.report;
+  r.error = job.error;
+  r.steps_done = job.steps_done;
+  r.steps_total = job.steps_total;
+  r.tenant = job.spec.tenant;
+  return r;
+}
+
+JobResult JobQueue::status(JobId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Job* job = find_locked(id);
+  if (job == nullptr) {
+    JobResult r;
+    r.id = id;
+    r.state = JobState::kFailed;
+    r.error = "unknown job";
+    return r;
+  }
+  return snapshot(*job);
+}
+
+bool JobQueue::try_result(JobId id, JobResult* out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Job* job = find_locked(id);
+  if (job == nullptr || !job_state_terminal(job->state)) return false;
+  *out = snapshot(*job);
+  return true;
+}
+
+size_t JobQueue::active(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [id, job] : jobs_)
+    if (!job_state_terminal(job->state) && job->spec.tenant == tenant) ++n;
+  return n;
+}
+
+size_t JobQueue::active_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [id, job] : jobs_)
+    if (!job_state_terminal(job->state)) ++n;
+  return n;
+}
+
+size_t JobQueue::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [id, job] : jobs_)
+    if (job->state == JobState::kQueued) ++n;
+  return n;
+}
+
+JobQueue::Job* JobQueue::pick_best_locked() {
+  Job* best = nullptr;
+  for (const auto& [id, job] : jobs_) {
+    if (job->state != JobState::kQueued) continue;
+    if (best == nullptr || job->spec.priority > best->spec.priority ||
+        (job->spec.priority == best->spec.priority && job->seq < best->seq))
+      best = job.get();
+  }
+  return best;
+}
+
+bool JobQueue::higher_queued_locked(int priority) const {
+  for (const auto& [id, job] : jobs_)
+    if (job->state == JobState::kQueued && job->spec.priority > priority)
+      return true;
+  return false;
+}
+
+void JobQueue::emit(std::unique_lock<std::mutex>& lk, const JobEvent& ev) {
+  std::function<void(const JobEvent&)> sink = sink_;
+  if (!sink) return;
+  lk.unlock();
+  sink(ev);
+  lk.lock();
+}
+
+void JobQueue::finish_locked(std::unique_lock<std::mutex>& lk, Job* job,
+                             JobState state) {
+  job->state = state;
+  if (job->cell != nullptr) {
+    job->steps_done = job->cell->next_step();
+    job->steps_total = job->cell->step_count();
+    if (state == JobState::kDone) job->report = std::move(job->cell->report());
+    job->cell.reset();  // frees kernels/tracers and releases cache leases
+  }
+  auto& reg = obs::Registry::global();
+  switch (state) {
+    case JobState::kDone:
+      reg.counter("crpd.jobs.done").inc();
+      // Campaign progress, for the live telemetry endpoint (crptop renders
+      // targets_run / targets_total).
+      reg.counter("pipeline.campaign.targets_run").inc();
+      break;
+    case JobState::kFailed: reg.counter("crpd.jobs.failed").inc(); break;
+    case JobState::kCancelled: reg.counter("crpd.jobs.cancelled").inc(); break;
+    default: break;
+  }
+  cv_done_.notify_all();
+  JobEvent ev;
+  ev.id = job->id;
+  ev.state = state;
+  ev.tenant = job->spec.tenant;
+  ev.target = job->spec.target.id;
+  ev.step = job->steps_done;
+  ev.steps = job->steps_total;
+  ev.cache_hit = state == JobState::kDone && job->report.cache_hit;
+  emit(lk, ev);
+}
+
+void JobQueue::drive(std::unique_lock<std::mutex>& lk, Job* job) {
+  job->state = JobState::kRunning;
+  for (;;) {
+    if (stop_) {
+      // Queue teardown: park the job; it dies queued with the queue.
+      job->state = JobState::kQueued;
+      return;
+    }
+    if (job->cancel_requested) {
+      finish_locked(lk, job, JobState::kCancelled);
+      return;
+    }
+    if (higher_queued_locked(job->spec.priority)) {
+      // Preempt at the step boundary: the cell keeps its progress and the
+      // job re-enters the queue behind the higher-priority arrival.
+      job->state = JobState::kQueued;
+      obs::Registry::global().counter("crpd.jobs.preempted").inc();
+      cv_work_.notify_all();
+      JobEvent ev;
+      ev.id = job->id;
+      ev.state = JobState::kQueued;
+      ev.tenant = job->spec.tenant;
+      ev.target = job->spec.target.id;
+      ev.step = job->steps_done;
+      ev.steps = job->steps_total;
+      ev.preempted = true;
+      emit(lk, ev);
+      return;
+    }
+
+    // The job is kRunning: no other thread touches its cell while we hold
+    // no lock (cancel only sets a flag; status reads the counters we
+    // update after relocking).
+    lk.unlock();
+    bool failed = false;
+    std::string error;
+    const char* step = "";
+    try {
+      if (job->cell == nullptr) {
+        ArtifactStore* store =
+            job->spec.opts.cache ? opts_.store : nullptr;
+        job->cell = plan_target(job->spec.opts, store, job->spec.target);
+      }
+      size_t idx = job->cell->next_step();
+      step = job->cell->step_name(idx);
+      // Deterministic salts + cache attribution derive from the job, not
+      // from the worker that happens to run this step.
+      chaos::TaskScope chaos_scope(chaos::mix64(job->spec.seed, idx));
+      ScopedCacheTenant tenant(job->spec.tenant);
+      job->cell->run_step();
+    } catch (const std::exception& e) {
+      failed = true;
+      error = e.what();
+    } catch (...) {
+      failed = true;
+      error = "unknown error";
+    }
+    lk.lock();
+
+    if (failed) {
+      job->error = error.empty() ? "error" : error;
+      finish_locked(lk, job, JobState::kFailed);
+      return;
+    }
+    job->steps_done = job->cell->next_step();
+    job->steps_total = job->cell->step_count();
+    if (job->cell->done()) {
+      finish_locked(lk, job, JobState::kDone);
+      return;
+    }
+    JobEvent ev;
+    ev.id = job->id;
+    ev.state = JobState::kRunning;
+    ev.tenant = job->spec.tenant;
+    ev.target = job->spec.target.id;
+    ev.step = job->steps_done;
+    ev.steps = job->steps_total;
+    ev.step_name = step;
+    emit(lk, ev);
+  }
+}
+
+JobResult JobQueue::wait(JobId id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    Job* job = find_locked(id);
+    CRP_CHECK(job != nullptr);
+    if (job_state_terminal(job->state)) return snapshot(*job);
+    if (opts_.workers == 0) {
+      // Inline mode: this thread is the engine. Drive the best queued job
+      // (which may or may not be `id` — priorities decide).
+      Job* best = pick_best_locked();
+      if (best != nullptr) {
+        drive(lk, best);
+        continue;
+      }
+      // Nothing queued but `id` not terminal: another thread is driving
+      // it (concurrent inline waiters are allowed).
+      cv_done_.wait(lk);
+    } else {
+      cv_done_.wait(lk);
+    }
+  }
+}
+
+void JobQueue::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_work_.wait(lk, [&] { return stop_ || pick_best_locked() != nullptr; });
+    if (stop_) return;
+    Job* best = pick_best_locked();
+    if (best != nullptr) drive(lk, best);
+  }
+}
+
+}  // namespace crp::pipeline

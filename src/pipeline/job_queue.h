@@ -1,0 +1,173 @@
+// crp::pipeline::JobQueue — the preemptible discovery-job engine.
+//
+// PR 8 splits Campaign::run_target into resumable TargetCell steps; the
+// JobQueue is what drives them. One job = one (target, options) cell. Jobs
+// carry a priority and a tenant; the queue always runs the
+// highest-priority queued job (FIFO within a priority), and a running job
+// is *preempted at its next step boundary* when a strictly
+// higher-priority job arrives — the cell keeps its progress and resumes
+// when the queue drains back down to it. Cancellation has the same
+// granularity: a queued job cancels immediately, a running job at its
+// next boundary.
+//
+// Two execution modes:
+//   * workers > 0 — a thread pool drains the queue (the crpd daemon);
+//   * workers == 0 — inline: wait(id) drains jobs on the *caller's*
+//     thread until `id` is terminal. This is what Campaign::run_target /
+//     run_all use, and it is what keeps the batch path byte-identical to
+//     pre-engine behavior: same thread, same order, same chaos context
+//     visibility (a thread-local chaos::ScopedPlan installed by the
+//     caller governs the cells it drives).
+//
+// Determinism: each step runs under chaos::TaskScope(mix64(job seed, step
+// index)) and ScopedCacheTenant(job tenant), so fault-injection salts and
+// cache attribution derive from the job, never from which worker ran it.
+//
+// Progress events (submit, per-step, preemption, terminal) fan out through
+// an optional sink, called outside the queue lock; the daemon turns them
+// into WATCH streams. Telemetry: crpd.jobs.{submitted,done,failed,
+// cancelled,preempted} and the long-standing pipeline.campaign.targets_run.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/campaign.h"
+
+namespace crp::pipeline {
+
+using JobId = u64;
+
+enum class JobState : u8 { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+/// Stable protocol name: "queued", "running", "done", "failed", "cancelled".
+const char* job_state_name(JobState s);
+inline bool job_state_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed || s == JobState::kCancelled;
+}
+
+/// One discovery-job request.
+struct JobSpec {
+  TargetSpec target;
+  CampaignOptions opts;
+  /// Higher runs first; a strictly higher submission preempts a running
+  /// job at its next step boundary.
+  int priority = 0;
+  /// Deterministic salt basis: step i runs under
+  /// chaos::TaskScope(mix64(seed, i)).
+  u64 seed = 0;
+  /// Cache attribution + daemon quota bucket ("" = anonymous).
+  std::string tenant;
+};
+
+/// One progress notification (sink is called outside the queue lock).
+struct JobEvent {
+  JobId id = 0;
+  JobState state = JobState::kQueued;
+  std::string tenant;
+  std::string target;
+  size_t step = 0;         // steps completed so far
+  size_t steps = 0;        // total steps (0 until the cell is planned)
+  std::string step_name;   // last completed step ("" for submit/terminal)
+  bool preempted = false;  // requeued by a higher-priority arrival
+  bool cache_hit = false;  // kDone only: report was served from the cache
+};
+
+/// Snapshot of one job (status/wait/try_result).
+struct JobResult {
+  JobId id = 0;
+  JobState state = JobState::kQueued;
+  TargetReport report;  // valid when state == kDone
+  std::string error;    // set when state == kFailed
+  size_t steps_done = 0;
+  size_t steps_total = 0;
+  std::string tenant;
+};
+
+struct JobQueueOptions {
+  /// 0 = inline mode (wait() drains on the caller's thread); > 0 spawns
+  /// that many worker threads. Negative reserved.
+  int workers = 0;
+  /// Cache tier for cells whose options enable caching (nullptr ->
+  /// ArtifactStore::global()).
+  ArtifactStore* store = nullptr;
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(JobQueueOptions opts = {});
+  ~JobQueue();
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Install the progress sink (call before submitting; replaces any
+  /// previous sink). The sink runs on whichever thread drives the job.
+  void set_event_sink(std::function<void(const JobEvent&)> sink);
+
+  JobId submit(JobSpec spec);
+
+  /// True if the cancellation will take effect (job was queued — immediate
+  /// — or running — at its next step boundary). False once terminal.
+  bool cancel(JobId id);
+
+  /// Snapshot (unknown id: state kFailed, error "unknown job").
+  JobResult status(JobId id) const;
+  /// True + snapshot when the job is terminal.
+  bool try_result(JobId id, JobResult* out) const;
+  /// Block until `id` is terminal. Inline mode: drives queued jobs
+  /// (highest priority first) on this thread until then.
+  JobResult wait(JobId id);
+
+  /// Queued + running jobs for `tenant` (the daemon's quota input).
+  size_t active(const std::string& tenant) const;
+  /// Queued + running jobs across all tenants.
+  size_t active_total() const;
+  /// Queued (not yet running) jobs.
+  size_t pending() const;
+
+ private:
+  struct Job {
+    JobId id = 0;
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    u64 seq = 0;  // FIFO order within a priority
+    std::unique_ptr<TargetCell> cell;
+    TargetReport report;
+    std::string error;
+    bool cancel_requested = false;
+    size_t steps_done = 0;
+    size_t steps_total = 0;
+  };
+
+  Job* find_locked(JobId id);
+  const Job* find_locked(JobId id) const;
+  Job* pick_best_locked();
+  bool higher_queued_locked(int priority) const;
+  static JobResult snapshot(const Job& job);
+  /// Run `job` until terminal or preempted. Enters with lk held and
+  /// job->state == kQueued; returns with lk held.
+  void drive(std::unique_lock<std::mutex>& lk, Job* job);
+  void finish_locked(std::unique_lock<std::mutex>& lk, Job* job, JobState state);
+  /// Emit `ev` with the lock dropped across the sink call.
+  void emit(std::unique_lock<std::mutex>& lk, const JobEvent& ev);
+  void worker_loop();
+
+  JobQueueOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  // workers: new work / stop
+  std::condition_variable cv_done_;  // waiters: some job reached terminal
+  std::map<JobId, std::unique_ptr<Job>> jobs_;
+  JobId next_id_ = 1;
+  u64 next_seq_ = 0;
+  bool stop_ = false;
+  std::function<void(const JobEvent&)> sink_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace crp::pipeline

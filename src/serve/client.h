@@ -1,0 +1,72 @@
+// crp::serve::Client — blocking line-protocol client for crpd.
+//
+// The counterpart of Daemon for tools (crpc), tests, and the synthetic
+// swarm: a plain blocking loopback socket with EINTR-safe full-buffer
+// send/recv loops and its own line reassembly. One Client = one
+// connection; instances are not thread-safe (the swarm gives each worker
+// thread its own).
+//
+// Layering: primitives (request / read_line / read_payload) speak raw
+// protocol lines; conveniences (submit / watch_until_done / fetch /
+// run_job) wrap the common SUBMIT→WATCH→FETCH flow and parse replies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/common.h"
+
+namespace crp::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to 127.0.0.1:`port`. False + *err on failure.
+  bool connect(u16 port, std::string* err = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // --- protocol primitives ---
+  /// Send `line` ("\n" appended if missing) and read one reply line.
+  bool request(const std::string& line, std::string* reply, std::string* err = nullptr);
+  /// Send without waiting for a reply (pipelining).
+  bool send_line(const std::string& line, std::string* err = nullptr);
+  /// Next line from the stream (blocking).
+  bool read_line(std::string* line, std::string* err = nullptr);
+  /// Exactly `n` raw bytes (the FETCH payload).
+  bool read_payload(size_t n, std::string* out, std::string* err = nullptr);
+
+  // --- conveniences ---
+  struct Reply {
+    bool ok = false;
+    int code = 0;        // ERR code when !ok
+    std::string detail;  // text after OK/ERR-code
+  };
+  static Reply parse_reply(const std::string& line);
+
+  /// SUBMIT; returns job id (0 on rejection/error, with *code/*err filled).
+  u64 submit(const std::string& tenant, const std::string& target,
+             const std::vector<std::string>& knobs = {}, int* code = nullptr,
+             std::string* err = nullptr);
+  /// WATCH until the DONE line; returns the terminal state name and
+  /// cached flag. False on protocol/transport error.
+  bool watch_until_done(u64 job_id, std::string* state, bool* cached,
+                        std::string* err = nullptr);
+  /// FETCH the finished report's exact bytes.
+  bool fetch(u64 job_id, std::string* report, std::string* err = nullptr);
+  /// SUBMIT + WATCH + FETCH. False on any failure (err explains).
+  bool run_job(const std::string& tenant, const std::string& target,
+               const std::vector<std::string>& knobs, std::string* report,
+               bool* cached = nullptr, std::string* err = nullptr);
+
+ private:
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace crp::serve

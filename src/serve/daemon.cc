@@ -1,0 +1,275 @@
+#include "serve/daemon.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+#include "obs/obs.h"
+#include "pipeline/campaign.h"
+#include "util/log.h"
+
+namespace crp::serve {
+
+namespace {
+// A request line (or a headerless garbage stream) larger than this is a
+// protocol violation, not a slow writer.
+constexpr size_t kMaxLine = 64 * 1024;
+}  // namespace
+
+Daemon::Daemon(DaemonOptions opts)
+    : opts_(opts),
+      registry_(pipeline::TargetRegistry::builtin()),
+      queue_(pipeline::JobQueueOptions{opts.workers, opts.store}) {
+  obs::Registry& reg = obs::Registry::global();
+  c_requests_ = &reg.counter("crpd.requests");
+  c_accepted_ = &reg.counter("crpd.admission.accepted");
+  c_rej_quota_ = &reg.counter("crpd.admission.rejected_quota");
+  c_rej_rate_ = &reg.counter("crpd.admission.rejected_rate");
+  c_conns_opened_ = &reg.counter("crpd.conns.opened");
+  c_conns_closed_ = &reg.counter("crpd.conns.closed");
+  queue_.set_event_sink([this](const pipeline::JobEvent& ev) { on_job_event(ev); });
+}
+
+Daemon::~Daemon() { stop(); }
+
+bool Daemon::start() {
+  if (running()) return true;
+  SocketServer::Handlers h;
+  h.on_open = [this](ConnId c) { on_open(c); };
+  h.on_data = [this](ConnId c, std::string_view d) { on_data(c, d); };
+  h.on_close = [this](ConnId c) { on_close(c); };
+  return server_.start(opts_.port, std::move(h));
+}
+
+void Daemon::stop() { server_.stop(); }
+
+u64 Daemon::wall_ns() const {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+void Daemon::on_open(ConnId conn) {
+  lines_.emplace(conn, LineBuffer());
+  c_conns_opened_->inc();
+}
+
+void Daemon::on_close(ConnId conn) {
+  lines_.erase(conn);
+  c_conns_closed_->inc();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [id, conns] : watchers_) conns.erase(conn);
+}
+
+void Daemon::on_data(ConnId conn, std::string_view data) {
+  auto it = lines_.find(conn);
+  if (it == lines_.end()) return;  // already being torn down
+  LineBuffer& lb = it->second;
+  lb.append(data);
+  std::string line;
+  while (lb.next(&line)) {
+    handle_line(conn, line);
+    // handle_line may have closed the connection (QUIT); the buffer entry
+    // survives until on_close, so continuing to drain is harmless.
+  }
+  if (lb.size() > kMaxLine) {
+    server_.send(conn, err_line(400, "request line too long"));
+    server_.close_conn(conn, /*after_flush=*/true);
+  }
+}
+
+void Daemon::handle_line(ConnId conn, const std::string& line) {
+  if (line.empty()) return;  // blank keep-alive lines are ignored
+  c_requests_->inc();
+  Request req = parse_request(line);
+  if (req.verb == "PING") {
+    server_.send(conn, "PONG\n");
+  } else if (req.verb == "SUBMIT") {
+    handle_submit(conn, req);
+  } else if (req.verb == "STATUS") {
+    pipeline::JobId id = 0;
+    if (req.args.size() != 1 ||
+        (id = std::strtoull(req.args[0].c_str(), nullptr, 10)) == 0) {
+      server_.send(conn, err_line(400, "usage: STATUS <job-id>"));
+      return;
+    }
+    pipeline::JobResult r = queue_.status(id);
+    if (r.state == pipeline::JobState::kFailed && r.error == "unknown job") {
+      server_.send(conn, err_line(404, "unknown job"));
+      return;
+    }
+    server_.send(conn, status_line(r));
+  } else if (req.verb == "WATCH") {
+    handle_watch(conn, req);
+  } else if (req.verb == "FETCH") {
+    handle_fetch(conn, req);
+  } else if (req.verb == "CANCEL") {
+    pipeline::JobId id =
+        req.args.size() == 1 ? std::strtoull(req.args[0].c_str(), nullptr, 10) : 0;
+    if (id == 0) {
+      server_.send(conn, err_line(400, "usage: CANCEL <job-id>"));
+      return;
+    }
+    pipeline::JobResult r = queue_.status(id);
+    if (r.state == pipeline::JobState::kFailed && r.error == "unknown job") {
+      server_.send(conn, err_line(404, "unknown job"));
+      return;
+    }
+    if (queue_.cancel(id)) {
+      server_.send(conn, ok_line(strf("cancelling %llu",
+                                      static_cast<unsigned long long>(id))));
+    } else {
+      server_.send(conn, err_line(409, "job already terminal"));
+    }
+  } else if (req.verb == "STATS") {
+    pipeline::ArtifactStore& st =
+        opts_.store != nullptr ? *opts_.store : pipeline::ArtifactStore::global();
+    server_.send(
+        conn,
+        ok_line(strf("active=%zu pending=%zu cache_hits=%llu cache_misses=%llu "
+                     "cache_stores=%llu cache_evictions=%llu",
+                     queue_.active_total(), queue_.pending(),
+                     static_cast<unsigned long long>(st.hits()),
+                     static_cast<unsigned long long>(st.misses()),
+                     static_cast<unsigned long long>(st.stores()),
+                     static_cast<unsigned long long>(st.evictions()))));
+  } else if (req.verb == "QUIT") {
+    server_.close_conn(conn, /*after_flush=*/true);
+  } else {
+    server_.send(conn, err_line(400, strf("unknown verb \"%s\"", req.verb.c_str())));
+  }
+}
+
+void Daemon::handle_submit(ConnId conn, const Request& req) {
+  if (req.args.size() < 2) {
+    server_.send(conn, err_line(400, "usage: SUBMIT <tenant> <target-id> [k=v]..."));
+    return;
+  }
+  const std::string& tenant = req.args[0];
+  const std::string& target_id = req.args[1];
+  if (!valid_tenant(tenant)) {
+    server_.send(conn, err_line(400, "bad tenant name"));
+    return;
+  }
+  const pipeline::TargetSpec* spec = registry_.find(target_id);
+  if (spec == nullptr) {
+    server_.send(conn, err_line(404, strf("unknown target \"%s\"", target_id.c_str())));
+    return;
+  }
+
+  pipeline::JobSpec js;
+  js.target = *spec;
+  js.opts = opts_.defaults;
+  js.tenant = tenant;
+  for (size_t i = 2; i < req.args.size(); ++i) {
+    std::string err;
+    if (!apply_knob(req.args[i], &js, &err)) {
+      server_.send(conn, err_line(400, err));
+      return;
+    }
+  }
+
+  // Admission: quota on concurrently-active jobs, then the submission-rate
+  // window (the §VII detector watching the front door; rejected attempts
+  // consume window slots, so a hammering tenant stays rejected).
+  if (queue_.active(tenant) >= opts_.tenant_max_active) {
+    c_rej_quota_->inc();
+    server_.send(conn, err_line(429, strf("tenant quota exceeded (%zu active)",
+                                          opts_.tenant_max_active)));
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    defense::RateWindow& w =
+        rates_.try_emplace(tenant, opts_.admission_window_ns).first->second;
+    if (w.add(wall_ns()) > opts_.admission_window_max) {
+      lk.unlock();
+      c_rej_rate_->inc();
+      server_.send(conn, err_line(429, "submission rate exceeded"));
+      return;
+    }
+  }
+
+  pipeline::JobId id = queue_.submit(std::move(js));
+  c_accepted_->inc();
+  server_.send(conn, ok_line(strf("%llu", static_cast<unsigned long long>(id))));
+}
+
+void Daemon::handle_watch(ConnId conn, const Request& req) {
+  pipeline::JobId id =
+      req.args.size() == 1 ? std::strtoull(req.args[0].c_str(), nullptr, 10) : 0;
+  if (id == 0) {
+    server_.send(conn, err_line(400, "usage: WATCH <job-id>"));
+    return;
+  }
+  pipeline::JobResult r = queue_.status(id);
+  if (r.state == pipeline::JobState::kFailed && r.error == "unknown job") {
+    server_.send(conn, err_line(404, "unknown job"));
+    return;
+  }
+  server_.send(conn, ok_line(strf("watching %llu", static_cast<unsigned long long>(id))));
+  // Registration and the terminal check happen under one lock hold: the
+  // event sink also locks mu_, so either we see the terminal state (and
+  // answer directly, without registering) or the sink sees our
+  // registration — a DONE line arrives exactly once.
+  std::lock_guard<std::mutex> lk(mu_);
+  pipeline::JobResult now;
+  if (queue_.try_result(id, &now)) {
+    pipeline::JobEvent ev;
+    ev.id = now.id;
+    ev.state = now.state;
+    ev.step = now.steps_done;
+    ev.steps = now.steps_total;
+    ev.cache_hit = now.report.cache_hit;
+    server_.send(conn, done_line(ev));
+    return;
+  }
+  watchers_[id].insert(conn);
+}
+
+void Daemon::handle_fetch(ConnId conn, const Request& req) {
+  pipeline::JobId id =
+      req.args.size() == 1 ? std::strtoull(req.args[0].c_str(), nullptr, 10) : 0;
+  if (id == 0) {
+    server_.send(conn, err_line(400, "usage: FETCH <job-id>"));
+    return;
+  }
+  pipeline::JobResult r = queue_.status(id);
+  if (r.state == pipeline::JobState::kFailed && r.error == "unknown job") {
+    server_.send(conn, err_line(404, "unknown job"));
+    return;
+  }
+  if (!pipeline::job_state_terminal(r.state)) {
+    server_.send(conn, err_line(409, "job not finished"));
+    return;
+  }
+  if (r.state == pipeline::JobState::kCancelled) {
+    server_.send(conn, err_line(409, "job was cancelled"));
+    return;
+  }
+  if (r.state == pipeline::JobState::kFailed) {
+    server_.send(conn, err_line(500, r.error));
+    return;
+  }
+  // cache_tag=false: a fetched report must be byte-identical whether the
+  // job computed or replayed from the shared store (CI diffs it against
+  // the batch examples/campaign block).
+  server_.send(conn, report_frame(pipeline::render_report(r.report,
+                                                          /*cache_tag=*/false)));
+}
+
+void Daemon::on_job_event(const pipeline::JobEvent& ev) {
+  std::vector<ConnId> conns;
+  bool terminal = pipeline::job_state_terminal(ev.state);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = watchers_.find(ev.id);
+    if (it == watchers_.end()) return;
+    conns.assign(it->second.begin(), it->second.end());
+    if (terminal) watchers_.erase(it);
+  }
+  std::string line = terminal ? done_line(ev) : event_line(ev);
+  for (ConnId c : conns) server_.send(c, line);
+}
+
+}  // namespace crp::serve

@@ -1,0 +1,135 @@
+// crp::serve::SocketServer — the reusable loopback socket-server core.
+//
+// Generalizes the single-client accept loop that used to live inside
+// src/obs/serve.cc into the piece every frontend shares: a poll-driven
+// event loop multiplexing many concurrent connections with explicit
+// partial-read / partial-write state machines. Both network frontends sit
+// on top of it:
+//
+//   * obs::serve::ObsServer   — HTTP/1.0 telemetry snapshots (one request,
+//                               close after flush);
+//   * serve::Daemon (crpd)    — the long-lived line-protocol discovery
+//                               service (pipelined requests, streamed
+//                               progress events).
+//
+// Contract:
+//   * callbacks (on_open / on_data / on_close) run on the server thread,
+//     strictly serialized per connection — handlers need no locking for
+//     per-connection state;
+//   * send() is callable from ANY thread (the JobQueue's workers push
+//     progress events): it appends to the connection's outbound buffer and
+//     wakes the poll loop through a self-pipe. Writes drain as the socket
+//     accepts them — partial sends and EINTR/EAGAIN are handled here, never
+//     by the caller;
+//   * a slow or stalled reader never blocks the loop: undrained bytes stay
+//     buffered (bounded by max_out_buffer) while other clients progress;
+//   * close_conn(after_flush=true) closes once the outbound buffer drains —
+//     the HTTP/1.0 "response then close" idiom without sleeping.
+//
+// Deliberately transport-only: no framing, no protocol, no obs counters
+// (the obs library itself links against this core, so it stays util-only).
+// Loopback binds exclusively; this is a local service substrate, not an
+// internet-facing server.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "util/common.h"
+
+namespace crp::serve {
+
+/// Monotonically increasing per-connection id (never reused by a server
+/// instance, so a stale id is harmlessly ignored).
+using ConnId = u64;
+
+class SocketServer {
+ public:
+  struct Handlers {
+    /// A client connected.
+    std::function<void(ConnId)> on_open;
+    /// Bytes arrived (as read off the socket — any framing is the
+    /// handler's job; a single call may carry a fraction of a message or
+    /// several pipelined ones).
+    std::function<void(ConnId, std::string_view)> on_data;
+    /// Connection closed (peer hangup, error, or close_conn). Fires at
+    /// most once per connection.
+    std::function<void(ConnId)> on_close;
+  };
+
+  struct Options {
+    /// Hard cap on bytes buffered for one connection in either direction;
+    /// exceeding it drops the connection (a runaway or stalled peer must
+    /// not hold the process's memory hostage).
+    size_t max_out_buffer = 64u << 20;
+    size_t max_in_chunk = 64 * 1024;
+    /// poll() tick bounding shutdown latency when no wake arrives.
+    int poll_timeout_ms = 200;
+  };
+
+  SocketServer() = default;
+  explicit SocketServer(Options opts) : opts_(opts) {}
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral) and start the loop thread.
+  /// False (no thread started) when the bind fails.
+  bool start(u16 port, Handlers handlers);
+  /// Stop the loop, close every connection (on_close fires), join.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  u16 port() const { return port_; }
+  size_t connection_count() const;
+
+  /// Queue bytes for `conn`; thread-safe. False when the connection is
+  /// gone or its outbound buffer is over limit (the connection is then
+  /// dropped). Bytes are drained by the loop as the socket accepts them.
+  bool send(ConnId conn, std::string data);
+  /// Close `conn`; with after_flush, once its outbound buffer drains.
+  void close_conn(ConnId conn, bool after_flush = true);
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string out;        // pending outbound bytes
+    size_t out_off = 0;     // drained prefix of `out`
+    bool close_after_flush = false;
+    bool closing = false;   // queued for removal this iteration
+  };
+
+  void loop();
+  void wake();
+  void accept_clients();
+  /// Read until EAGAIN; false when the connection is done (peer closed or
+  /// error) and should be torn down.
+  bool drain_in(ConnId id, Conn& c);
+  /// Write until EAGAIN or empty; false on a dead socket.
+  bool drain_out(Conn& c);
+  void teardown(ConnId id, Conn& c);
+
+  Options opts_;
+  Handlers handlers_;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1, wake_wr_ = -1;
+  u16 port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+
+  /// Connection table. The loop thread mutates it; send()/close_conn()
+  /// from other threads only touch existing entries' buffers/flags, under
+  /// the lock.
+  mutable std::mutex mu_;
+  std::map<ConnId, Conn> conns_;
+  ConnId next_id_ = 1;
+};
+
+}  // namespace crp::serve

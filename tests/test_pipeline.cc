@@ -4,15 +4,18 @@
 // golden equivalence between the staged Campaign funnel and the
 // pre-refactor manual discover()+verify() wiring.
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "analysis/report.h"
 #include "pipeline/campaign.h"
+#include "pipeline/job_queue.h"
 #include "targets/nginx.h"
 #include "targets/servers.h"
 
@@ -286,6 +289,256 @@ TEST(Campaign, RunTargetReportsServerFunnel) {
   EXPECT_EQ(rep.cls, TargetClass::kLinuxServer);
   EXPECT_GE(rep.usable, 1);  // recv@nginx, the paper's §V-A primitive
   EXPECT_NE(rep.summary.find("usable"), std::string::npos);
+}
+
+// --- shared-store concurrency (leases, LRU, tenants) -------------------------
+
+TEST(ArtifactStore, SingleWriterLeaseCoalescesConcurrentMisses) {
+  ArtifactStore store;
+  store.set_enabled(true);
+  ArtifactKey key{"stage_x", 0xAA, 0xBB};
+  std::string value;
+
+  // First acquirer owns the computation.
+  ASSERT_EQ(store.acquire(key, &value), Acquire::kOwner);
+
+  std::atomic<bool> waiter_started{false};
+  Acquire waiter_result = Acquire::kBypass;
+  std::string waiter_value;
+  std::thread waiter([&] {
+    waiter_started.store(true);
+    waiter_result = store.acquire(key, &waiter_value);  // blocks on the lease
+  });
+  while (!waiter_started.load()) std::this_thread::yield();
+
+  store.finish(key, "computed once");
+  waiter.join();
+  EXPECT_EQ(waiter_result, Acquire::kHit);
+  EXPECT_EQ(waiter_value, "computed once");
+  // One miss (the owner), one hit (the waiter): N identical concurrent
+  // jobs must cost exactly one computation.
+  EXPECT_EQ(store.misses(), 1u);
+  EXPECT_EQ(store.hits(), 1u);
+}
+
+TEST(ArtifactStore, AbortedLeasePromotesTheNextWaiter) {
+  ArtifactStore store;
+  store.set_enabled(true);
+  ArtifactKey key{"stage_x", 0xCC, 0xDD};
+  std::string value;
+  ASSERT_EQ(store.acquire(key, &value), Acquire::kOwner);
+
+  std::atomic<bool> waiter_started{false};
+  Acquire waiter_result = Acquire::kBypass;
+  std::thread waiter([&] {
+    waiter_started.store(true);
+    std::string v;
+    waiter_result = store.acquire(key, &v);
+  });
+  while (!waiter_started.load()) std::this_thread::yield();
+
+  store.abort_claim(key);  // owner died without publishing
+  waiter.join();
+  EXPECT_EQ(waiter_result, Acquire::kOwner);
+  store.abort_claim(key);  // release the promoted lease too
+}
+
+TEST(ArtifactStore, DiskLruEvictsColdArtifactsUnderTheCap) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "crp_lru_test").string();
+  std::filesystem::remove_all(dir);
+  ArtifactStore store;
+  store.set_dir(dir);
+  store.set_max_disk_bytes(64 * 1024);
+
+  std::string big(20 * 1024, 'x');
+  for (u64 i = 0; i < 8; ++i)
+    store.store({"stage_x", i, 0}, big);  // 160 KiB total vs a 64 KiB cap
+  EXPECT_GE(store.evictions(), 4u);
+
+  // The most recent artifact must survive (store never evicts the key it
+  // just wrote); the oldest must be gone from both tiers.
+  store.clear();
+  std::string value;
+  EXPECT_TRUE(store.lookup({"stage_x", 7, 0}, &value));
+  EXPECT_FALSE(store.lookup({"stage_x", 0, 0}, &value));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ArtifactStore, TenantAttributionFollowsTheScopedTenant) {
+  ArtifactStore store;
+  store.set_enabled(true);
+  ArtifactKey key{"stage_x", 0xEE, 0xFF};
+  std::string value;
+  {
+    ScopedCacheTenant t("alice");
+    EXPECT_FALSE(store.lookup(key, &value));  // alice misses
+    store.store(key, "payload");
+  }
+  {
+    ScopedCacheTenant t("bob");
+    EXPECT_TRUE(store.lookup(key, &value));  // bob rides alice's work
+  }
+  EXPECT_EQ(store.tenant_misses("alice"), 1u);
+  EXPECT_EQ(store.tenant_hits("alice"), 0u);
+  EXPECT_EQ(store.tenant_hits("bob"), 1u);
+  EXPECT_EQ(store.tenant_misses("bob"), 0u);
+}
+
+// --- JobQueue ----------------------------------------------------------------
+
+const TargetSpec& nginx_spec() {
+  static TargetRegistry reg = TargetRegistry::builtin();
+  const TargetSpec* s = reg.find("server/nginx_sim");
+  CRP_CHECK(s != nullptr);
+  return *s;
+}
+
+TEST(JobQueue, InlineJobMatchesRunTargetByteForByte) {
+  ArtifactStore store_a, store_b;
+  Campaign campaign({}, &store_a);
+  TargetReport direct = campaign.run_target(nginx_spec());
+
+  JobQueue q(JobQueueOptions{0, &store_b});
+  JobSpec js;
+  js.target = nginx_spec();
+  JobResult r = q.wait(q.submit(std::move(js)));
+  ASSERT_EQ(r.state, JobState::kDone);
+  EXPECT_EQ(render_report(r.report), render_report(direct));
+  EXPECT_EQ(r.steps_done, r.steps_total);
+}
+
+TEST(JobQueue, PriorityOrdersInlineDraining) {
+  // workers=0: nothing runs until wait() drains, so submission order and
+  // execution order are fully decoupled — the queue must pick by priority.
+  ArtifactStore store;
+  JobQueue q(JobQueueOptions{0, &store});
+  std::vector<JobId> completion;
+  std::mutex mu;
+  q.set_event_sink([&](const JobEvent& ev) {
+    if (ev.state == JobState::kDone) {
+      std::lock_guard<std::mutex> lk(mu);
+      completion.push_back(ev.id);
+    }
+  });
+
+  JobSpec low;
+  low.target = nginx_spec();
+  low.priority = 0;
+  low.opts.cache = false;
+  JobSpec high = low;
+  high.priority = 5;
+  JobId low_id = q.submit(std::move(low));
+  JobId high_id = q.submit(std::move(high));
+
+  JobResult r = q.wait(low_id);  // drains both, highest priority first
+  EXPECT_EQ(r.state, JobState::kDone);
+  ASSERT_EQ(completion.size(), 2u);
+  EXPECT_EQ(completion[0], high_id);
+  EXPECT_EQ(completion[1], low_id);
+}
+
+TEST(JobQueue, CancelQueuedJobIsImmediate) {
+  ArtifactStore store;
+  JobQueue q(JobQueueOptions{0, &store});
+  JobSpec js;
+  js.target = nginx_spec();
+  JobId id = q.submit(std::move(js));
+  EXPECT_TRUE(q.cancel(id));
+  JobResult r;
+  ASSERT_TRUE(q.try_result(id, &r));
+  EXPECT_EQ(r.state, JobState::kCancelled);
+  EXPECT_FALSE(q.cancel(id));  // already terminal
+}
+
+TEST(JobQueue, HigherPrioritySubmissionPreemptsAtAStepBoundary) {
+  ArtifactStore store;
+  JobQueue q(JobQueueOptions{0, &store});
+  std::mutex mu;
+  std::vector<std::string> order;  // "<id>:<event>" trace
+  std::atomic<bool> injected{false};
+  JobId low_id = 0, high_id = 0;
+
+  q.set_event_sink([&](const JobEvent& ev) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      order.push_back(strf("%llu:%s%s", (unsigned long long)ev.id,
+                           job_state_name(ev.state), ev.preempted ? "+p" : ""));
+    }
+    // After the low job's first completed step, inject a higher-priority
+    // job. The engine must requeue `low` at the next boundary, run `high`
+    // to completion, then resume `low` from its kept progress.
+    if (ev.id == low_id && ev.state == JobState::kRunning && ev.step == 1 &&
+        !injected.exchange(true)) {
+      JobSpec high;
+      high.target = nginx_spec();
+      high.priority = 9;
+      high.opts.cache = false;
+      high_id = q.submit(std::move(high));
+    }
+  });
+
+  JobSpec low;
+  low.target = nginx_spec();
+  low.opts.cache = false;
+  low_id = q.submit(std::move(low));
+  JobResult r = q.wait(low_id);
+  ASSERT_EQ(r.state, JobState::kDone);
+  ASSERT_TRUE(injected.load());
+  JobResult rh;
+  ASSERT_TRUE(q.try_result(high_id, &rh));
+  EXPECT_EQ(rh.state, JobState::kDone);
+
+  // The trace must contain low's preemption, and high's completion must
+  // precede low's.
+  std::string low_preempt = strf("%llu:queued+p", (unsigned long long)low_id);
+  std::string high_done = strf("%llu:done", (unsigned long long)high_id);
+  std::string low_done = strf("%llu:done", (unsigned long long)low_id);
+  auto at = [&](const std::string& needle) {
+    for (size_t i = 0; i < order.size(); ++i)
+      if (order[i] == needle) return static_cast<long>(i);
+    return -1L;
+  };
+  EXPECT_GE(at(low_preempt), 0) << "no preemption event";
+  ASSERT_GE(at(high_done), 0);
+  ASSERT_GE(at(low_done), 0);
+  EXPECT_LT(at(high_done), at(low_done));
+}
+
+TEST(JobQueue, FailingCellReportsTheError) {
+  ArtifactStore store;
+  JobQueue q(JobQueueOptions{0, &store});
+  JobSpec js;
+  js.target = nginx_spec();
+  js.target.id = "server/broken_sim";
+  js.target.make_program = +[]() -> analysis::TargetProgram {
+    throw std::runtime_error("planted failure");
+  };
+  JobResult r = q.wait(q.submit(std::move(js)));
+  EXPECT_EQ(r.state, JobState::kFailed);
+  EXPECT_EQ(r.error, "planted failure");
+}
+
+TEST(JobQueue, ThreadedWorkersDrainConcurrentSubmissions) {
+  ArtifactStore store;
+  JobQueue q(JobQueueOptions{2, &store});
+  std::vector<JobId> ids;
+  for (int i = 0; i < 6; ++i) {
+    JobSpec js;
+    js.target = nginx_spec();
+    ids.push_back(q.submit(std::move(js)));
+  }
+  std::string first;
+  for (JobId id : ids) {
+    JobResult r = q.wait(id);
+    ASSERT_EQ(r.state, JobState::kDone);
+    std::string rendered = render_report(r.report, /*cache_tag=*/false);
+    if (first.empty()) first = rendered;
+    EXPECT_EQ(rendered, first);  // identical jobs -> identical reports
+  }
+  // The shared store collapsed six identical jobs to one computation.
+  EXPECT_EQ(store.misses(), 1u);
+  EXPECT_GE(store.hits(), 5u);
 }
 
 TEST(Campaign, RunTargetScansTheManagedRuntime) {

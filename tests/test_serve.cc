@@ -1,5 +1,7 @@
 // crp::obs::serve — routing of the live-telemetry endpoint and one real
-// socket round-trip against an ephemeral port.
+// socket round-trip against an ephemeral port — and crp::serve — the crpd
+// daemon: protocol parsing, admission control, concurrent clients, slow
+// readers, and mid-request disconnects.
 
 #include <gtest/gtest.h>
 
@@ -8,13 +10,20 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/expo.h"
 #include "obs/obs.h"
 #include "obs/prof.h"
 #include "obs/serve.h"
+#include "pipeline/campaign.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/protocol.h"
 
 namespace crp::obs::serve {
 namespace {
@@ -130,3 +139,275 @@ TEST(MaybeStartFromEnv, UnsetAndGarbageAreRejected) {
 
 }  // namespace
 }  // namespace crp::obs::serve
+
+// --- crpd: protocol + daemon -------------------------------------------------
+
+namespace crp::serve {
+namespace {
+
+TEST(Protocol, LineBufferReassemblesFragments) {
+  LineBuffer lb;
+  lb.append("PI");
+  std::string line;
+  EXPECT_FALSE(lb.next(&line));
+  lb.append("NG\r\nSTATS\nSUB");
+  ASSERT_TRUE(lb.next(&line));
+  EXPECT_EQ(line, "PING");  // "\r\n" stripped
+  ASSERT_TRUE(lb.next(&line));
+  EXPECT_EQ(line, "STATS");
+  EXPECT_FALSE(lb.next(&line));
+  EXPECT_EQ(lb.size(), 3u);  // partial "SUB" stays buffered
+}
+
+TEST(Protocol, KnobsParseAndRejectGarbage) {
+  pipeline::JobSpec spec;
+  std::string err;
+  EXPECT_TRUE(apply_knob("seed=42", &spec, &err));
+  EXPECT_TRUE(apply_knob("priority=-3", &spec, &err));
+  EXPECT_TRUE(apply_knob("cache=0", &spec, &err));
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_EQ(spec.priority, -3);
+  EXPECT_FALSE(spec.opts.cache);
+  EXPECT_FALSE(apply_knob("seed=banana", &spec, &err));
+  EXPECT_FALSE(apply_knob("nonsense=1", &spec, &err));
+  EXPECT_FALSE(apply_knob("naked", &spec, &err));
+
+  EXPECT_TRUE(valid_tenant("alice_01-x"));
+  EXPECT_FALSE(valid_tenant(""));
+  EXPECT_FALSE(valid_tenant("has space"));
+  EXPECT_FALSE(valid_tenant(std::string(65, 'a')));
+}
+
+/// Admission-only daemon (workers=0): jobs queue but never run, so quota
+/// and rate decisions are deterministic.
+struct AdmissionDaemon {
+  pipeline::ArtifactStore store;
+  Daemon daemon;
+  explicit AdmissionDaemon(size_t max_active = 2, u64 window_max = 100)
+      : daemon(make_opts(&store, max_active, window_max)) {
+    EXPECT_TRUE(daemon.start());
+  }
+  static DaemonOptions make_opts(pipeline::ArtifactStore* st, size_t max_active,
+                                 u64 window_max) {
+    DaemonOptions o;
+    o.workers = 0;
+    o.tenant_max_active = max_active;
+    o.admission_window_max = window_max;
+    o.store = st;
+    return o;
+  }
+};
+
+TEST(Daemon, PingBadVerbAndUnknownIds) {
+  AdmissionDaemon ad;
+  Client c;
+  ASSERT_TRUE(c.connect(ad.daemon.port()));
+  std::string reply;
+  ASSERT_TRUE(c.request("PING", &reply));
+  EXPECT_EQ(reply, "PONG");
+  ASSERT_TRUE(c.request("FROB x", &reply));
+  EXPECT_EQ(Client::parse_reply(reply).code, 400);
+  ASSERT_TRUE(c.request("STATUS 12345", &reply));
+  EXPECT_EQ(Client::parse_reply(reply).code, 404);
+  ASSERT_TRUE(c.request("FETCH 12345", &reply));
+  EXPECT_EQ(Client::parse_reply(reply).code, 404);
+  ASSERT_TRUE(c.request("SUBMIT alice no/such_target", &reply));
+  EXPECT_EQ(Client::parse_reply(reply).code, 404);
+  ASSERT_TRUE(c.request("SUBMIT bad..tenant! server/nginx_sim", &reply));
+  EXPECT_EQ(Client::parse_reply(reply).code, 400);
+}
+
+TEST(Daemon, PerTenantQuotaRejectsWith429) {
+  AdmissionDaemon ad(/*max_active=*/2);
+  Client c;
+  ASSERT_TRUE(c.connect(ad.daemon.port()));
+  EXPECT_NE(c.submit("alice", "server/nginx_sim"), 0u);
+  EXPECT_NE(c.submit("alice", "server/nginx_sim"), 0u);
+  int code = 0;
+  EXPECT_EQ(c.submit("alice", "server/nginx_sim", {}, &code), 0u);
+  EXPECT_EQ(code, 429);
+  // Quotas are per tenant: bob is unaffected by alice's backlog.
+  EXPECT_NE(c.submit("bob", "server/nginx_sim"), 0u);
+}
+
+TEST(Daemon, SubmissionRateWindowRejectsWith429) {
+  AdmissionDaemon ad(/*max_active=*/100, /*window_max=*/3);
+  Client c;
+  ASSERT_TRUE(c.connect(ad.daemon.port()));
+  int code = 0;
+  EXPECT_NE(c.submit("alice", "server/nginx_sim"), 0u);
+  EXPECT_NE(c.submit("alice", "server/nginx_sim"), 0u);
+  EXPECT_NE(c.submit("alice", "server/nginx_sim"), 0u);
+  EXPECT_EQ(c.submit("alice", "server/nginx_sim", {}, &code), 0u);
+  EXPECT_EQ(code, 429);
+  // Rejected submissions consume window slots too: hammering stays rejected.
+  EXPECT_EQ(c.submit("alice", "server/nginx_sim", {}, &code), 0u);
+  EXPECT_EQ(code, 429);
+}
+
+TEST(Daemon, PipelinedSubmissionsAnswerInOrder) {
+  AdmissionDaemon ad(/*max_active=*/100);
+  Client c;
+  ASSERT_TRUE(c.connect(ad.daemon.port()));
+  // One write, four requests; replies must come back in request order.
+  ASSERT_TRUE(c.send_line(
+      "PING\nSUBMIT alice server/nginx_sim\nSUBMIT alice server/lighttpd_sim\nSTATS"));
+  std::string line;
+  ASSERT_TRUE(c.read_line(&line));
+  EXPECT_EQ(line, "PONG");
+  ASSERT_TRUE(c.read_line(&line));
+  EXPECT_EQ(line, "OK 1");
+  ASSERT_TRUE(c.read_line(&line));
+  EXPECT_EQ(line, "OK 2");
+  ASSERT_TRUE(c.read_line(&line));
+  EXPECT_EQ(line.rfind("OK active=2", 0), 0u) << line;
+}
+
+TEST(Daemon, CancelQueuedJobAndFetchConflict) {
+  AdmissionDaemon ad;
+  Client c;
+  ASSERT_TRUE(c.connect(ad.daemon.port()));
+  u64 id = c.submit("alice", "server/nginx_sim");
+  ASSERT_NE(id, 0u);
+  std::string reply;
+  ASSERT_TRUE(c.request(strf("FETCH %llu", (unsigned long long)id), &reply));
+  EXPECT_EQ(Client::parse_reply(reply).code, 409);  // not finished
+  ASSERT_TRUE(c.request(strf("CANCEL %llu", (unsigned long long)id), &reply));
+  EXPECT_TRUE(Client::parse_reply(reply).ok);
+  ASSERT_TRUE(c.request(strf("STATUS %llu", (unsigned long long)id), &reply));
+  EXPECT_EQ(reply.find("OK cancelled"), 0u) << reply;
+  ASSERT_TRUE(c.request(strf("FETCH %llu", (unsigned long long)id), &reply));
+  EXPECT_EQ(Client::parse_reply(reply).code, 409);  // cancelled
+}
+
+TEST(Daemon, ServedReportIsByteIdenticalToBatch) {
+  pipeline::TargetRegistry reg = pipeline::TargetRegistry::builtin();
+  const pipeline::TargetSpec* nginx = reg.find("server/nginx_sim");
+  ASSERT_NE(nginx, nullptr);
+  pipeline::ArtifactStore batch_store;
+  pipeline::Campaign campaign({}, &batch_store);
+  std::string batch =
+      pipeline::render_report(campaign.run_target(*nginx), /*cache_tag=*/false);
+
+  pipeline::ArtifactStore store;
+  DaemonOptions o;
+  o.workers = 2;
+  o.store = &store;
+  Daemon daemon(o);
+  ASSERT_TRUE(daemon.start());
+
+  // Two tenants submit the same target; the second rides the first's lease
+  // or cache entry, and both fetched reports match the batch bytes.
+  Client a, b;
+  ASSERT_TRUE(a.connect(daemon.port()));
+  ASSERT_TRUE(b.connect(daemon.port()));
+  std::string report_a, report_b, err;
+  bool cached_a = false, cached_b = false;
+  std::thread tb([&] {
+    EXPECT_TRUE(b.run_job("bob", "server/nginx_sim", {}, &report_b, &cached_b, &err))
+        << err;
+  });
+  std::string err_a;
+  EXPECT_TRUE(a.run_job("alice", "server/nginx_sim", {}, &report_a, &cached_a, &err_a))
+      << err_a;
+  tb.join();
+  EXPECT_EQ(report_a, batch);
+  EXPECT_EQ(report_b, batch);
+  EXPECT_EQ(store.misses(), 1u);  // one computation across both tenants
+}
+
+TEST(Daemon, MidRequestDisconnectLeavesDaemonServing) {
+  AdmissionDaemon ad;
+  // A client that dies mid-line: open, send a partial verb, vanish.
+  {
+    Client c;
+    ASSERT_TRUE(c.connect(ad.daemon.port()));
+    // No trailing "\n": the daemon is left holding a partial line.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(ad.daemon.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    ASSERT_GT(::send(fd, "SUBMIT ali", 10, 0), 0);
+    ::close(fd);
+  }
+  // A watcher that disconnects before its job finishes.
+  {
+    Client c;
+    ASSERT_TRUE(c.connect(ad.daemon.port()));
+    u64 id = c.submit("alice", "server/nginx_sim");
+    ASSERT_NE(id, 0u);
+    std::string reply;
+    ASSERT_TRUE(c.request(strf("WATCH %llu", (unsigned long long)id), &reply));
+    EXPECT_TRUE(Client::parse_reply(reply).ok);
+    c.close();  // watcher gone; the daemon must drop the registration
+  }
+  Client c;
+  ASSERT_TRUE(c.connect(ad.daemon.port()));
+  std::string reply;
+  ASSERT_TRUE(c.request("PING", &reply));
+  EXPECT_EQ(reply, "PONG");
+}
+
+TEST(Daemon, SlowReaderDoesNotStallOtherClients) {
+  AdmissionDaemon ad;
+  Client slow;
+  ASSERT_TRUE(slow.connect(ad.daemon.port()));
+  // ~100k pipelined PINGs, none of the replies read yet: the daemon must
+  // buffer ~600 KiB of PONGs without blocking its event loop.
+  constexpr int kPings = 100'000;
+  std::string burst;
+  for (int i = 0; i < kPings; ++i) burst += "PING\n";
+  ASSERT_TRUE(slow.send_line(burst.substr(0, burst.size() - 1)));
+
+  // Meanwhile a second client gets answered promptly.
+  Client fast;
+  ASSERT_TRUE(fast.connect(ad.daemon.port()));
+  std::string reply;
+  ASSERT_TRUE(fast.request("PING", &reply));
+  EXPECT_EQ(reply, "PONG");
+
+  // The slow reader eventually drains every buffered PONG, in order.
+  for (int i = 0; i < kPings; ++i) {
+    ASSERT_TRUE(slow.read_line(&reply)) << "at reply " << i;
+    ASSERT_EQ(reply, "PONG");
+  }
+}
+
+TEST(Daemon, ConcurrentClientSwarmSharesOneComputation) {
+  pipeline::ArtifactStore store;
+  DaemonOptions o;
+  o.workers = 4;
+  o.tenant_max_active = 1000;
+  o.admission_window_max = 100'000;
+  o.store = &store;
+  Daemon daemon(o);
+  ASSERT_TRUE(daemon.start());
+
+  constexpr int kClients = 32;
+  std::atomic<int> failures{0};
+  std::vector<std::string> reports(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client c;
+      std::string err;
+      if (!c.connect(daemon.port(), &err) ||
+          !c.run_job(strf("tenant%d", i % 4), "server/nginx_sim", {}, &reports[i],
+                     nullptr, &err)) {
+        ADD_FAILURE() << "client " << i << ": " << err;
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int i = 1; i < kClients; ++i) EXPECT_EQ(reports[i], reports[0]);
+  EXPECT_EQ(store.misses(), 1u);
+  EXPECT_GE(store.hits(), static_cast<u64>(kClients - 1));
+}
+
+}  // namespace
+}  // namespace crp::serve

@@ -45,6 +45,7 @@
 #include "oracle/oracle.h"
 #include "os/kernel.h"
 #include "pipeline/campaign.h"
+#include "pipeline/job_queue.h"
 #include "pipeline/registry.h"
 #include "taint/taint.h"
 #include "targets/common.h"
@@ -111,10 +112,37 @@ CellVerdict run_cell(const Cell& cell, const Options& opt) {
   copts.syscall.discover_budget = kSweepDiscoverBudget;
   copts.syscall.verify_budget = kSweepVerifyBudget;
   copts.syscall.seed = cell.seed;
-  pipeline::Campaign camp(copts);
 
-  pipeline::ServerScan scan = camp.scan_target(*cell.spec);
   CellVerdict v;
+  if (cell.seed == opt.base_seed) {
+    // The sweep's first cell goes through the job engine — the same inline
+    // submit+wait drain the daemon's batch path uses — so step-decomposed
+    // cells and their boundaries also run under an armed fault plan.
+    pipeline::JobQueue q(pipeline::JobQueueOptions{0, nullptr});
+    pipeline::JobSpec js;
+    js.target = *cell.spec;
+    js.opts = copts;
+    js.seed = cell.seed;
+    pipeline::JobResult r = q.wait(q.submit(std::move(js)));
+    v.fired = scope.events().size();
+    unsigned long long syscalls = 0;
+    if (r.state != pipeline::JobState::kDone) {
+      v.ok = false;
+      v.msg = strf("job-engine cell finished %s: %s",
+                   pipeline::job_state_name(r.state), r.error.c_str());
+      v.replay = chaos::format_replay(cell.seed, scope.events());
+    } else if (std::sscanf(r.report.summary.c_str(), "%llu", &syscalls) != 1 ||
+               syscalls == 0) {
+      v.ok = false;
+      v.msg = strf("job-engine cell traced nothing (\"%s\")",
+                   r.report.summary.c_str());
+      v.replay = chaos::format_replay(cell.seed, scope.events());
+    }
+    return v;
+  }
+
+  pipeline::Campaign camp(copts);
+  pipeline::ServerScan scan = camp.scan_target(*cell.spec);
   v.fired = scope.events().size();
   if (scan.result.instructions == 0 || scan.result.syscalls_traced == 0) {
     v.ok = false;

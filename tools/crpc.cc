@@ -1,0 +1,194 @@
+// crpc — command-line client for the crpd discovery daemon.
+//
+//   crpc --port P run <tenant> <target> [k=v]...    submit, watch, print report
+//   crpc --port P submit <tenant> <target> [k=v]... submit, print the job id
+//   crpc --port P status <job-id>
+//   crpc --port P cancel <job-id>
+//   crpc --port P stats
+//   crpc --port P ping
+//   crpc --port P swarm [--clients N] [--dup N] [--tenants N] <target> [k=v]...
+//
+// Swarm mode is the load harness for the acceptance run: N client threads
+// (each its own connection) submit concurrently; with --dup D every job in
+// a group of D shares a (tenant, target, seed) tuple, so the shared
+// ArtifactStore must collapse the group to one computation and every
+// fetched report in the group must be byte-identical. Exit is nonzero on
+// any transport error, failed job, or report mismatch.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "util/log.h"
+
+namespace {
+
+using crp::serve::Client;
+using crp::strf;
+using crp::u16;
+using crp::u64;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: crpc --port P <run|submit|status|cancel|stats|ping|swarm> ...\n"
+               "       crpc --port P run <tenant> <target> [k=v]...\n"
+               "       crpc --port P swarm [--clients N] [--dup N] [--tenants N] "
+               "<target> [k=v]...\n");
+  std::exit(2);
+}
+
+struct SwarmOptions {
+  u16 port = 0;
+  int clients = 8;
+  int dup = 1;      // group size sharing one (tenant, seed) tuple
+  int tenants = 4;  // tenant names cycle client_index % tenants
+  std::string target;
+  std::vector<std::string> knobs;
+};
+
+int run_swarm(const SwarmOptions& so) {
+  std::atomic<int> failures{0};
+  std::atomic<int> cached{0};
+  std::mutex mu;
+  // group index -> first report seen (for byte-identity within a group)
+  std::map<int, std::string> group_report;
+  std::vector<std::string> errors;
+
+  auto worker = [&](int idx) {
+    int group = idx / so.dup;
+    std::string tenant = strf("tenant%d", (group % so.tenants));
+    std::vector<std::string> knobs = so.knobs;
+    // One seed per group: duplicates are exact resubmissions.
+    knobs.push_back(strf("seed=%d", group));
+    Client c;
+    std::string err;
+    if (!c.connect(so.port, &err)) {
+      std::lock_guard<std::mutex> lk(mu);
+      errors.push_back(strf("client %d: %s", idx, err.c_str()));
+      failures.fetch_add(1);
+      return;
+    }
+    std::string report;
+    bool was_cached = false;
+    if (!c.run_job(tenant, so.target, knobs, &report, &was_cached, &err)) {
+      std::lock_guard<std::mutex> lk(mu);
+      errors.push_back(strf("client %d: %s", idx, err.c_str()));
+      failures.fetch_add(1);
+      return;
+    }
+    if (was_cached) cached.fetch_add(1);
+    std::lock_guard<std::mutex> lk(mu);
+    auto [it, inserted] = group_report.emplace(group, report);
+    if (!inserted && it->second != report) {
+      errors.push_back(strf("client %d: report diverges from group %d", idx, group));
+      failures.fetch_add(1);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(so.clients));
+  for (int i = 0; i < so.clients; ++i) threads.emplace_back(worker, i);
+  for (std::thread& t : threads) t.join();
+
+  for (const std::string& e : errors) std::fprintf(stderr, "swarm: %s\n", e.c_str());
+  std::printf("swarm: %d clients, %d groups, %d cached, %d failures\n", so.clients,
+              (so.clients + so.dup - 1) / so.dup, cached.load(), failures.load());
+  return failures.load() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u16 port = 0;
+  int i = 1;
+  if (i + 1 < argc && std::strcmp(argv[i], "--port") == 0) {
+    port = static_cast<u16>(std::strtoul(argv[i + 1], nullptr, 10));
+    i += 2;
+  }
+  if (port == 0 || i >= argc) usage();
+  std::string cmd = argv[i++];
+
+  if (cmd == "swarm") {
+    SwarmOptions so;
+    so.port = port;
+    while (i < argc && std::strncmp(argv[i], "--", 2) == 0) {
+      if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
+        so.clients = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--dup") == 0 && i + 1 < argc)
+        so.dup = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc)
+        so.tenants = std::atoi(argv[++i]);
+      else
+        usage();
+      ++i;
+    }
+    if (i >= argc || so.clients < 1 || so.dup < 1 || so.tenants < 1) usage();
+    so.target = argv[i++];
+    for (; i < argc; ++i) so.knobs.push_back(argv[i]);
+    return run_swarm(so);
+  }
+
+  Client c;
+  std::string err;
+  if (!c.connect(port, &err)) {
+    std::fprintf(stderr, "crpc: %s\n", err.c_str());
+    return 1;
+  }
+
+  if (cmd == "ping") {
+    std::string reply;
+    if (!c.request("PING", &reply, &err)) {
+      std::fprintf(stderr, "crpc: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("%s\n", reply.c_str());
+    return reply == "PONG" ? 0 : 1;
+  }
+  if (cmd == "stats" || cmd == "status" || cmd == "cancel") {
+    std::string line = cmd == "stats" ? "STATS"
+                       : cmd == "status"
+                           ? (i < argc ? strf("STATUS %s", argv[i]) : std::string())
+                           : (i < argc ? strf("CANCEL %s", argv[i]) : std::string());
+    if (line.empty()) usage();
+    std::string reply;
+    if (!c.request(line, &reply, &err)) {
+      std::fprintf(stderr, "crpc: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("%s\n", reply.c_str());
+    return reply.rfind("OK", 0) == 0 ? 0 : 1;
+  }
+  if (cmd == "submit" || cmd == "run") {
+    if (i + 1 >= argc) usage();
+    std::string tenant = argv[i++];
+    std::string target = argv[i++];
+    std::vector<std::string> knobs;
+    for (; i < argc; ++i) knobs.push_back(argv[i]);
+    if (cmd == "submit") {
+      int code = 0;
+      u64 id = c.submit(tenant, target, knobs, &code, &err);
+      if (id == 0) {
+        std::fprintf(stderr, "crpc: ERR %d %s\n", code, err.c_str());
+        return 1;
+      }
+      std::printf("%llu\n", static_cast<unsigned long long>(id));
+      return 0;
+    }
+    std::string report;
+    bool was_cached = false;
+    if (!c.run_job(tenant, target, knobs, &report, &was_cached, &err)) {
+      std::fprintf(stderr, "crpc: %s\n", err.c_str());
+      return 1;
+    }
+    fwrite(report.data(), 1, report.size(), stdout);
+    if (was_cached) std::fprintf(stderr, "crpc: served from shared cache\n");
+    return 0;
+  }
+  usage();
+}

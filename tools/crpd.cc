@@ -1,0 +1,97 @@
+// crpd — the multi-tenant crash-resistance discovery daemon.
+//
+// Binds 127.0.0.1:<port> and serves discovery jobs over the line protocol
+// in src/serve/protocol.h. Run it, then drive it with crpc:
+//
+//   crpd --port 17117 --workers 4 &
+//   crpc --port 17117 run alice nginx-1.9.5
+//
+// Flags:
+//   --port N            listen port (default 0 = ephemeral, printed)
+//   --workers N         job-engine worker threads (default 2)
+//   --max-active N      per-tenant active-job quota (default 8)
+//   --rate-max N        per-tenant SUBMITs allowed per window (default 64)
+//   --rate-window-ms N  admission rate window (default 1000)
+//   --cache 0|1         shared artifact cache (default 1)
+//   --jobs N            default intra-job verify parallelism (default 1)
+//
+// SIGINT/SIGTERM stop the daemon cleanly (in-flight cells release their
+// kernels and cache leases on teardown).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "serve/daemon.h"
+#include "util/log.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: crpd [--port N] [--workers N] [--max-active N] "
+               "[--rate-max N] [--rate-window-ms N] [--cache 0|1] [--jobs N]\n");
+  std::exit(2);
+}
+
+long arg_num(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage();
+  char* end = nullptr;
+  long v = std::strtol(argv[++i], &end, 10);
+  if (end == nullptr || *end != '\0') usage();
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  crp::serve::DaemonOptions opts;
+  opts.port = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0) {
+      opts.port = static_cast<crp::u16>(arg_num(argc, argv, i));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      opts.workers = static_cast<int>(arg_num(argc, argv, i));
+    } else if (std::strcmp(argv[i], "--max-active") == 0) {
+      opts.tenant_max_active = static_cast<size_t>(arg_num(argc, argv, i));
+    } else if (std::strcmp(argv[i], "--rate-max") == 0) {
+      opts.admission_window_max = static_cast<crp::u64>(arg_num(argc, argv, i));
+    } else if (std::strcmp(argv[i], "--rate-window-ms") == 0) {
+      opts.admission_window_ns =
+          static_cast<crp::u64>(arg_num(argc, argv, i)) * 1'000'000ull;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      opts.defaults.cache = arg_num(argc, argv, i) != 0;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      opts.defaults.jobs = static_cast<int>(arg_num(argc, argv, i));
+    } else {
+      usage();
+    }
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  crp::serve::Daemon daemon(opts);
+  if (!daemon.start()) {
+    std::fprintf(stderr, "crpd: failed to bind port %u\n", unsigned{opts.port});
+    return 1;
+  }
+  // The smoke script greps this exact line for the bound port.
+  std::printf("crpd listening on 127.0.0.1:%u\n", unsigned{daemon.port()});
+  std::fflush(stdout);
+
+  while (!g_stop.load() && daemon.running())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  daemon.stop();
+  std::printf("crpd: shut down\n");
+  return 0;
+}
