@@ -109,21 +109,33 @@ std::string ArtifactStore::disk_path(const std::string& name) const {
   return dir_ + "/" + name + ".artifact";
 }
 
+ArtifactStore::TenantStat* ArtifactStore::tenant_stat_locked(const std::string& t) {
+  auto it = tenants_.find(t);
+  if (it == tenants_.end()) {
+    // Cap the attributed-tenant set: tenant names are client-minted, and
+    // each attributed tenant materializes two registry counters that live
+    // forever. Beyond the cap, traffic still counts globally — it just
+    // stops being broken out per tenant.
+    if (tenants_.size() >= kMaxAttributedTenants) return nullptr;
+    it = tenants_.emplace(t, TenantStat{}).first;
+    it->second.c_hits = &obs::Registry::global().counter(
+        strf("pipeline.cache.tenant.%s.hits", t.c_str()));
+    it->second.c_misses = &obs::Registry::global().counter(
+        strf("pipeline.cache.tenant.%s.misses", t.c_str()));
+  }
+  return &it->second;
+}
+
 void ArtifactStore::count_hit() {
   hits_.fetch_add(1, std::memory_order_relaxed);
   c_hits_->inc();
   const std::string& t = ScopedCacheTenant::current();
   if (t.empty()) return;
   std::lock_guard<std::mutex> lk(tenant_mu_);
-  TenantStat& ts = tenants_[t];
-  if (ts.c_hits == nullptr) {
-    ts.c_hits = &obs::Registry::global().counter(
-        strf("pipeline.cache.tenant.%s.hits", t.c_str()));
-    ts.c_misses = &obs::Registry::global().counter(
-        strf("pipeline.cache.tenant.%s.misses", t.c_str()));
-  }
-  ts.hits++;
-  ts.c_hits->inc();
+  TenantStat* ts = tenant_stat_locked(t);
+  if (ts == nullptr) return;
+  ts->hits++;
+  ts->c_hits->inc();
 }
 
 void ArtifactStore::count_miss() {
@@ -132,15 +144,10 @@ void ArtifactStore::count_miss() {
   const std::string& t = ScopedCacheTenant::current();
   if (t.empty()) return;
   std::lock_guard<std::mutex> lk(tenant_mu_);
-  TenantStat& ts = tenants_[t];
-  if (ts.c_hits == nullptr) {
-    ts.c_hits = &obs::Registry::global().counter(
-        strf("pipeline.cache.tenant.%s.hits", t.c_str()));
-    ts.c_misses = &obs::Registry::global().counter(
-        strf("pipeline.cache.tenant.%s.misses", t.c_str()));
-  }
-  ts.misses++;
-  ts.c_misses->inc();
+  TenantStat* ts = tenant_stat_locked(t);
+  if (ts == nullptr) return;
+  ts->misses++;
+  ts->c_misses->inc();
 }
 
 u64 ArtifactStore::tenant_hits(const std::string& tenant) const {
@@ -155,8 +162,10 @@ u64 ArtifactStore::tenant_misses(const std::string& tenant) const {
   return it == tenants_.end() ? 0 : it->second.misses;
 }
 
-bool ArtifactStore::disk_lookup(Shard& sh, const std::string& name,
-                                std::string* value) {
+bool ArtifactStore::disk_read(const std::string& name, std::string* payload) {
+  // Blocking file I/O — never called with a shard lock held; the caller
+  // holds the key's inflight lease instead, which keeps single-reader
+  // semantics without stalling unrelated keys in the shard.
   std::string path;
   {
     std::lock_guard<std::mutex> dlk(disk_mu_);
@@ -196,8 +205,7 @@ bool ArtifactStore::disk_lookup(Shard& sh, const std::string& name,
     c_corrupt_->inc();
     return false;
   }
-  sh.mem[name] = raw.substr(kDiskHeader);
-  *value = sh.mem[name];
+  *payload = raw.substr(kDiskHeader);
   disk_touch(name);
   return true;
 }
@@ -206,6 +214,7 @@ bool ArtifactStore::lookup(const ArtifactKey& key, std::string* value) {
   if (!enabled_) return false;
   std::string name = key.str();
   Shard& sh = shard_for(name);
+  bool probe_disk = false;
   {
     std::lock_guard<std::mutex> lk(sh.mu);
     auto it = sh.mem.find(name);
@@ -214,7 +223,29 @@ bool ArtifactStore::lookup(const ArtifactKey& key, std::string* value) {
       count_hit();
       return true;
     }
-    if (disk_lookup(sh, name, value)) {
+    // Probe the disk tier only when no writer (or disk reader) is in
+    // flight for the key; take the lease so the read happens unlocked.
+    if (sh.inflight.count(name) == 0) {
+      sh.inflight.insert(name);
+      probe_disk = true;
+    }
+  }
+  if (probe_disk) {
+    std::string payload;
+    bool found = disk_read(name, &payload);
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.inflight.erase(name);
+    sh.cv.notify_all();
+    if (found) {
+      sh.mem[name] = payload;
+      *value = std::move(payload);
+      count_hit();
+      return true;
+    }
+    // A store() may have published while we probed the disk.
+    auto it = sh.mem.find(name);
+    if (it != sh.mem.end()) {
+      *value = it->second;
       count_hit();
       return true;
     }
@@ -236,12 +267,30 @@ Acquire ArtifactStore::acquire(const ArtifactKey& key, std::string* value) {
       return Acquire::kHit;
     }
     if (sh.inflight.count(name) == 0) {
-      // No writer in flight: check the disk tier, then take the lease.
-      if (disk_lookup(sh, name, value)) {
+      // No writer in flight: take the lease, then check the disk tier with
+      // the shard unlocked (the lease keeps readers/writers single-file).
+      sh.inflight.insert(name);
+      lk.unlock();
+      std::string payload;
+      bool found = disk_read(name, &payload);
+      lk.lock();
+      if (found) {
+        sh.mem[name] = payload;
+        *value = std::move(payload);
+        sh.inflight.erase(name);
+        sh.cv.notify_all();
         count_hit();
         return Acquire::kHit;
       }
-      sh.inflight.insert(name);
+      // A store() may have published while the disk probe ran.
+      it = sh.mem.find(name);
+      if (it != sh.mem.end()) {
+        *value = it->second;
+        sh.inflight.erase(name);
+        sh.cv.notify_all();
+        count_hit();
+        return Acquire::kHit;
+      }
       count_miss();
       return Acquire::kOwner;
     }
@@ -273,10 +322,16 @@ void ArtifactStore::store(const ArtifactKey& key, const std::string& value) {
   if (!enabled_) return;
   std::string name = key.str();
   Shard& sh = shard_for(name);
-  std::lock_guard<std::mutex> lk(sh.mu);
-  sh.mem[name] = value;
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.mem[name] = value;
+  }
   stores_.fetch_add(1, std::memory_order_relaxed);
   c_stores_->inc();
+  // Disk publish happens outside the shard lock: one slow write must not
+  // stall memory-tier hits on unrelated keys in the shard. Concurrent
+  // stores of the same key write identical bytes (keys are content
+  // addresses), so ordering does not matter.
   disk_store(name, value);
 }
 

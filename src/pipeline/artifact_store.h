@@ -26,7 +26,13 @@
 //     daemon advertises;
 //   * hit/miss traffic is additionally attributed to the submitting tenant
 //     (ScopedCacheTenant, a thread-local) as
-//     `pipeline.cache.tenant.<t>.{hits,misses}`.
+//     `pipeline.cache.tenant.<t>.{hits,misses}`. Attribution is capped at
+//     kMaxAttributedTenants distinct tenants (registry counters live
+//     forever; client-minted names must not grow them unboundedly) —
+//     traffic beyond the cap still counts in the global totals;
+//   * disk-tier file I/O never runs under a shard lock: the reader takes
+//     the key's inflight lease, reads with the shard unlocked, and
+//     publishes on relock, so a slow disk stalls only that key.
 //
 // Storage tiers:
 //   * in-memory map — always on (per process);
@@ -173,8 +179,9 @@ class ArtifactStore {
 
  private:
   // Key space is striped: each shard owns the memory tier and the
-  // single-writer lease set for the keys that hash to it. Lock order:
-  // shard.mu -> disk_mu_ / chaos_mu_ (never shard -> shard).
+  // single-writer lease set for the keys that hash to it. disk_mu_ and
+  // chaos_mu_ are never taken with a shard lock held (disk I/O runs
+  // unlocked under the key's inflight lease), and never shard -> shard.
   static constexpr size_t kShards = 16;
   struct Shard {
     mutable std::mutex mu;
@@ -186,9 +193,9 @@ class ArtifactStore {
   Shard& shard_for(const std::string& name);
   const Shard& shard_for(const std::string& name) const;
   std::string disk_path(const std::string& name) const;
-  // Disk read/validate for `name`; fills *value and promotes to the memory
-  // tier on success. Caller holds the shard lock.
-  bool disk_lookup(Shard& sh, const std::string& name, std::string* value);
+  // Disk read/validate for `name`; fills *payload on success. Called with
+  // NO shard lock held — the caller owns the key's inflight lease instead.
+  bool disk_read(const std::string& name, std::string* payload);
   void disk_store(const std::string& name, const std::string& value);
   void count_hit();
   void count_miss();
@@ -214,13 +221,17 @@ class ArtifactStore {
   obs::Counter* c_evictions_;
   Shard shards_[kShards];
 
-  // Per-tenant attribution (lazily materialized registry counters).
+  // Per-tenant attribution (lazily materialized registry counters),
+  // bounded: tenants beyond the cap are not broken out (global counters
+  // still see their traffic).
+  static constexpr size_t kMaxAttributedTenants = 64;
   struct TenantStat {
     u64 hits = 0;
     u64 misses = 0;
     obs::Counter* c_hits = nullptr;
     obs::Counter* c_misses = nullptr;
   };
+  TenantStat* tenant_stat_locked(const std::string& t);
   mutable std::mutex tenant_mu_;
   std::unordered_map<std::string, TenantStat> tenants_;
 

@@ -74,6 +74,7 @@ struct SyscallFunnel {
   const analysis::TargetProgram* prog = nullptr;
   ArtifactKey key;
   bool leased = false;
+  bool parked = false;  // lease released by park(); re-acquire on resume()
   std::vector<analysis::Candidate> cands;
   ServerScan scan;
 
@@ -98,6 +99,31 @@ struct SyscallFunnel {
       leased = a == Acquire::kOwner;
     }
     scan.result = TaintTraceStage::run({prog, opts.syscall});
+  }
+
+  // Park/resume protocol (JobQueue preemption): a parked job may wait in
+  // the queue indefinitely while other jobs for the same key block inside
+  // acquire() — so the lease is released on park and re-taken on the next
+  // step. If another job published the artifact in between, resume turns
+  // into a cache hit and the remaining compute steps are skipped.
+  void park() {
+    if (leased && st != nullptr) {
+      st->abort_claim(key);
+      leased = false;
+      parked = true;
+    }
+  }
+
+  void resume() {
+    if (!parked) return;
+    parked = false;
+    std::string doc;
+    Acquire a = st->acquire(key, &doc);
+    if (a == Acquire::kHit && decode_syscall_scan(doc, &scan.result)) {
+      scan.cache_hit = true;
+      return;
+    }
+    leased = a == Acquire::kOwner;
   }
 
   void candidates() {
@@ -234,6 +260,10 @@ class ServerCell final : public TargetCell {
       : TargetCell(o, s, std::move(spec),
                    {"taint_trace", "candidates", "verify", "finalize"}) {}
 
+  void on_park() override {
+    if (funnel_) funnel_->park();
+  }
+
  private:
   void do_step(size_t i) override {
     switch (i) {
@@ -248,11 +278,13 @@ class ServerCell final : public TargetCell {
       }
       case 1: {
         obs::ScopedProfTarget prof(prog_.name);
+        funnel_->resume();
         funnel_->candidates();
         break;
       }
       case 2: {
         obs::ScopedProfTarget prof(prog_.name);
+        funnel_->resume();
         funnel_->verify();
         break;
       }

@@ -102,6 +102,14 @@ class TargetCell {
   /// Run the next step. The final step finalizes the report.
   void run_step();
 
+  /// The job engine is parking this cell (preemption, or queue teardown):
+  /// it may sit queued indefinitely, so it must not keep holding resources
+  /// other jobs block on — in particular an ArtifactStore single-writer
+  /// lease (a parked owner would deadlock every waiter while the waiters
+  /// occupy the workers that could resume it). Cells re-acquire on the
+  /// next run_step().
+  virtual void on_park() {}
+
   /// The finished report (valid once done()).
   TargetReport& report() { return report_; }
 

@@ -50,6 +50,7 @@ JobId JobQueue::submit(JobSpec spec) {
   ev.state = JobState::kQueued;
   ev.tenant = job->spec.tenant;
   ev.target = job->spec.target.id;
+  enqueue_locked(job.get());
   jobs_.emplace(id, std::move(job));
   obs::Registry::global().counter("crpd.jobs.submitted").inc();
   cv_work_.notify_one();
@@ -130,28 +131,26 @@ size_t JobQueue::active_total() const {
 
 size_t JobQueue::pending() const {
   std::lock_guard<std::mutex> lk(mu_);
-  size_t n = 0;
-  for (const auto& [id, job] : jobs_)
-    if (job->state == JobState::kQueued) ++n;
-  return n;
+  return queued_.size();
+}
+
+void JobQueue::enqueue_locked(Job* job) {
+  queued_.insert({-job->spec.priority, job->seq, job->id});
+}
+
+void JobQueue::dequeue_locked(Job* job) {
+  queued_.erase({-job->spec.priority, job->seq, job->id});
 }
 
 JobQueue::Job* JobQueue::pick_best_locked() {
-  Job* best = nullptr;
-  for (const auto& [id, job] : jobs_) {
-    if (job->state != JobState::kQueued) continue;
-    if (best == nullptr || job->spec.priority > best->spec.priority ||
-        (job->spec.priority == best->spec.priority && job->seq < best->seq))
-      best = job.get();
-  }
-  return best;
+  if (queued_.empty()) return nullptr;
+  Job* job = find_locked(std::get<2>(*queued_.begin()));
+  CRP_CHECK(job != nullptr && job->state == JobState::kQueued);
+  return job;
 }
 
 bool JobQueue::higher_queued_locked(int priority) const {
-  for (const auto& [id, job] : jobs_)
-    if (job->state == JobState::kQueued && job->spec.priority > priority)
-      return true;
-  return false;
+  return !queued_.empty() && -std::get<0>(*queued_.begin()) > priority;
 }
 
 void JobQueue::emit(std::unique_lock<std::mutex>& lk, const JobEvent& ev) {
@@ -162,8 +161,21 @@ void JobQueue::emit(std::unique_lock<std::mutex>& lk, const JobEvent& ev) {
   lk.lock();
 }
 
+void JobQueue::evict_terminal_locked() {
+  if (opts_.retain_terminal == 0) return;
+  while (terminal_fifo_.size() > opts_.retain_terminal) {
+    Job* oldest = find_locked(terminal_fifo_.front());
+    // A waiter inside wait(id) still needs its snapshot; stop here and
+    // retry after the next completion (waits are short-lived).
+    if (oldest != nullptr && oldest->waiters > 0) return;
+    if (oldest != nullptr) jobs_.erase(oldest->id);
+    terminal_fifo_.pop_front();
+  }
+}
+
 void JobQueue::finish_locked(std::unique_lock<std::mutex>& lk, Job* job,
                              JobState state) {
+  if (job->state == JobState::kQueued) dequeue_locked(job);
   job->state = state;
   if (job->cell != nullptr) {
     job->steps_done = job->cell->next_step();
@@ -183,6 +195,10 @@ void JobQueue::finish_locked(std::unique_lock<std::mutex>& lk, Job* job,
     case JobState::kCancelled: reg.counter("crpd.jobs.cancelled").inc(); break;
     default: break;
   }
+  if (opts_.retain_terminal != 0) {
+    terminal_fifo_.push_back(job->id);
+    evict_terminal_locked();
+  }
   cv_done_.notify_all();
   JobEvent ev;
   ev.id = job->id;
@@ -195,12 +211,23 @@ void JobQueue::finish_locked(std::unique_lock<std::mutex>& lk, Job* job,
   emit(lk, ev);
 }
 
+void JobQueue::park_locked(Job* job) {
+  // The job may now sit queued indefinitely; drop anything other jobs
+  // block on (e.g. the scan funnel's ArtifactStore lease — a parked owner
+  // would deadlock every same-key waiter while those waiters occupy the
+  // workers that could resume it). The cell re-acquires on its next step.
+  if (job->cell != nullptr) job->cell->on_park();
+  job->state = JobState::kQueued;
+  enqueue_locked(job);
+}
+
 void JobQueue::drive(std::unique_lock<std::mutex>& lk, Job* job) {
+  dequeue_locked(job);
   job->state = JobState::kRunning;
   for (;;) {
     if (stop_) {
       // Queue teardown: park the job; it dies queued with the queue.
-      job->state = JobState::kQueued;
+      park_locked(job);
       return;
     }
     if (job->cancel_requested) {
@@ -210,7 +237,7 @@ void JobQueue::drive(std::unique_lock<std::mutex>& lk, Job* job) {
     if (higher_queued_locked(job->spec.priority)) {
       // Preempt at the step boundary: the cell keeps its progress and the
       // job re-enters the queue behind the higher-priority arrival.
-      job->state = JobState::kQueued;
+      park_locked(job);
       obs::Registry::global().counter("crpd.jobs.preempted").inc();
       cv_work_.notify_all();
       JobEvent ev;
@@ -279,9 +306,28 @@ void JobQueue::drive(std::unique_lock<std::mutex>& lk, Job* job) {
 
 JobResult JobQueue::wait(JobId id) {
   std::unique_lock<std::mutex> lk(mu_);
+  struct WaiterGuard {
+    Job* job = nullptr;
+    ~WaiterGuard() {
+      if (job != nullptr) --job->waiters;
+    }
+  } guard;
   for (;;) {
     Job* job = find_locked(id);
-    CRP_CHECK(job != nullptr);
+    if (job == nullptr) {
+      // Unknown id, or a terminal job already dropped by retention.
+      JobResult r;
+      r.id = id;
+      r.state = JobState::kFailed;
+      r.error = "unknown job";
+      return r;
+    }
+    if (guard.job == nullptr) {
+      // Pin the job against retention eviction while this wait is live
+      // (jobs_ erasure happens under mu_, so the pin is race-free).
+      guard.job = job;
+      ++job->waiters;
+    }
     if (job_state_terminal(job->state)) return snapshot(*job);
     if (opts_.workers == 0) {
       // Inline mode: this thread is the engine. Drive the best queued job

@@ -6,9 +6,16 @@
 // highest-priority queued job (FIFO within a priority), and a running job
 // is *preempted at its next step boundary* when a strictly
 // higher-priority job arrives — the cell keeps its progress and resumes
-// when the queue drains back down to it. Cancellation has the same
-// granularity: a queued job cancels immediately, a running job at its
-// next boundary.
+// when the queue drains back down to it. Parking notifies the cell
+// (TargetCell::on_park) so it releases anything other jobs block on —
+// an ArtifactStore lease held by a parked job would deadlock the pool.
+// Cancellation has the same granularity: a queued job cancels
+// immediately, a running job at its next boundary.
+//
+// Terminal jobs are retained for STATUS/FETCH up to
+// JobQueueOptions::retain_terminal (completion order, oldest forgotten
+// first), so a long-running daemon's memory is bounded by active work +
+// the retention window, not by total submissions.
 //
 // Two execution modes:
 //   * workers > 0 — a thread pool drains the queue (the crpd daemon);
@@ -30,12 +37,15 @@
 #pragma once
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "pipeline/campaign.h"
@@ -97,6 +107,11 @@ struct JobQueueOptions {
   /// Cache tier for cells whose options enable caching (nullptr ->
   /// ArtifactStore::global()).
   ArtifactStore* store = nullptr;
+  /// Terminal jobs retained for STATUS/FETCH. Beyond the cap the oldest
+  /// terminal job (without an active wait()) is forgotten — its id then
+  /// answers "unknown job". 0 = retain forever (batch tools that wait on
+  /// every id; a long-running daemon should keep the cap).
+  size_t retain_terminal = 1024;
 };
 
 class JobQueue {
@@ -116,12 +131,14 @@ class JobQueue {
   /// — or running — at its next step boundary). False once terminal.
   bool cancel(JobId id);
 
-  /// Snapshot (unknown id: state kFailed, error "unknown job").
+  /// Snapshot (unknown or already-forgotten id: state kFailed, error
+  /// "unknown job").
   JobResult status(JobId id) const;
   /// True + snapshot when the job is terminal.
   bool try_result(JobId id, JobResult* out) const;
   /// Block until `id` is terminal. Inline mode: drives queued jobs
-  /// (highest priority first) on this thread until then.
+  /// (highest priority first) on this thread until then. An unknown (or
+  /// forgotten) id returns kFailed / "unknown job" instead of blocking.
   JobResult wait(JobId id);
 
   /// Queued + running jobs for `tenant` (the daemon's quota input).
@@ -143,12 +160,21 @@ class JobQueue {
     bool cancel_requested = false;
     size_t steps_done = 0;
     size_t steps_total = 0;
+    int waiters = 0;  // threads inside wait(id): blocks retention eviction
   };
 
   Job* find_locked(JobId id);
   const Job* find_locked(JobId id) const;
   Job* pick_best_locked();
   bool higher_queued_locked(int priority) const;
+  /// Add/remove `job` from the queued-order index (kQueued jobs only).
+  void enqueue_locked(Job* job);
+  void dequeue_locked(Job* job);
+  /// Park a running job back to kQueued (preemption / teardown): releases
+  /// resources other jobs block on (cell->on_park) and re-indexes it.
+  void park_locked(Job* job);
+  /// Drop the oldest terminal jobs beyond opts_.retain_terminal.
+  void evict_terminal_locked();
   static JobResult snapshot(const Job& job);
   /// Run `job` until terminal or preempted. Enters with lk held and
   /// job->state == kQueued; returns with lk held.
@@ -163,6 +189,11 @@ class JobQueue {
   std::condition_variable cv_work_;  // workers: new work / stop
   std::condition_variable cv_done_;  // waiters: some job reached terminal
   std::map<JobId, std::unique_ptr<Job>> jobs_;
+  // Queued jobs in dispatch order: (-priority, seq, id). pick/peek are
+  // O(log n) in *queued* jobs, independent of history size.
+  std::set<std::tuple<int, u64, JobId>> queued_;
+  // Terminal jobs in completion order, for retention eviction.
+  std::deque<JobId> terminal_fifo_;
   JobId next_id_ = 1;
   u64 next_seq_ = 0;
   bool stop_ = false;

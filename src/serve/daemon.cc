@@ -14,6 +14,12 @@ namespace {
 // A request line (or a headerless garbage stream) larger than this is a
 // protocol violation, not a slow writer.
 constexpr size_t kMaxLine = 64 * 1024;
+
+// Strict single-argument job-id parse (same rules as SUBMIT knob values:
+// whole-token match, so "7abc" is a 400, not job 7). Ids start at 1.
+bool job_id_arg(const Request& req, pipeline::JobId* id) {
+  return req.args.size() == 1 && parse_u64(req.args[0], id) && *id != 0;
+}
 }  // namespace
 
 Daemon::Daemon(DaemonOptions opts)
@@ -25,6 +31,7 @@ Daemon::Daemon(DaemonOptions opts)
   c_accepted_ = &reg.counter("crpd.admission.accepted");
   c_rej_quota_ = &reg.counter("crpd.admission.rejected_quota");
   c_rej_rate_ = &reg.counter("crpd.admission.rejected_rate");
+  c_rej_tenants_ = &reg.counter("crpd.admission.rejected_tenants");
   c_conns_opened_ = &reg.counter("crpd.conns.opened");
   c_conns_closed_ = &reg.counter("crpd.conns.closed");
   queue_.set_event_sink([this](const pipeline::JobEvent& ev) { on_job_event(ev); });
@@ -88,8 +95,7 @@ void Daemon::handle_line(ConnId conn, const std::string& line) {
     handle_submit(conn, req);
   } else if (req.verb == "STATUS") {
     pipeline::JobId id = 0;
-    if (req.args.size() != 1 ||
-        (id = std::strtoull(req.args[0].c_str(), nullptr, 10)) == 0) {
+    if (!job_id_arg(req, &id)) {
       server_.send(conn, err_line(400, "usage: STATUS <job-id>"));
       return;
     }
@@ -104,9 +110,8 @@ void Daemon::handle_line(ConnId conn, const std::string& line) {
   } else if (req.verb == "FETCH") {
     handle_fetch(conn, req);
   } else if (req.verb == "CANCEL") {
-    pipeline::JobId id =
-        req.args.size() == 1 ? std::strtoull(req.args[0].c_str(), nullptr, 10) : 0;
-    if (id == 0) {
+    pipeline::JobId id = 0;
+    if (!job_id_arg(req, &id)) {
       server_.send(conn, err_line(400, "usage: CANCEL <job-id>"));
       return;
     }
@@ -180,9 +185,27 @@ void Daemon::handle_submit(ConnId conn, const Request& req) {
   }
   {
     std::unique_lock<std::mutex> lk(mu_);
-    defense::RateWindow& w =
-        rates_.try_emplace(tenant, opts_.admission_window_ns).first->second;
-    if (w.add(wall_ns()) > opts_.admission_window_max) {
+    u64 now = wall_ns();
+    // Tenant names are client-minted: expire windows with no submission
+    // inside the trailing window, and cap the distinct names tracked at
+    // once, so cycling fresh tenants cannot grow daemon state unboundedly.
+    for (auto it = rates_.begin(); it != rates_.end();) {
+      if (it->first != tenant && it->second.count(now) == 0)
+        it = rates_.erase(it);
+      else
+        ++it;
+    }
+    auto it = rates_.find(tenant);
+    if (it == rates_.end()) {
+      if (rates_.size() >= opts_.max_tracked_tenants) {
+        lk.unlock();
+        c_rej_tenants_->inc();
+        server_.send(conn, err_line(429, "too many active tenants"));
+        return;
+      }
+      it = rates_.try_emplace(tenant, opts_.admission_window_ns).first;
+    }
+    if (it->second.add(now) > opts_.admission_window_max) {
       lk.unlock();
       c_rej_rate_->inc();
       server_.send(conn, err_line(429, "submission rate exceeded"));
@@ -196,9 +219,8 @@ void Daemon::handle_submit(ConnId conn, const Request& req) {
 }
 
 void Daemon::handle_watch(ConnId conn, const Request& req) {
-  pipeline::JobId id =
-      req.args.size() == 1 ? std::strtoull(req.args[0].c_str(), nullptr, 10) : 0;
-  if (id == 0) {
+  pipeline::JobId id = 0;
+  if (!job_id_arg(req, &id)) {
     server_.send(conn, err_line(400, "usage: WATCH <job-id>"));
     return;
   }
@@ -228,9 +250,8 @@ void Daemon::handle_watch(ConnId conn, const Request& req) {
 }
 
 void Daemon::handle_fetch(ConnId conn, const Request& req) {
-  pipeline::JobId id =
-      req.args.size() == 1 ? std::strtoull(req.args[0].c_str(), nullptr, 10) : 0;
-  if (id == 0) {
+  pipeline::JobId id = 0;
+  if (!job_id_arg(req, &id)) {
     server_.send(conn, err_line(400, "usage: FETCH <job-id>"));
     return;
   }

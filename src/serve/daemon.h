@@ -11,7 +11,8 @@
 // Multi-tenancy is enforced at admission, before a job touches a worker:
 //   1. unknown target id               -> ERR 404
 //   2. per-tenant active-job quota     -> ERR 429 (crpd.admission.rejected_quota)
-//   3. per-tenant submission-rate cap  -> ERR 429 (crpd.admission.rejected_rate)
+//   3. distinct-tenant tracking cap    -> ERR 429 (crpd.admission.rejected_tenants)
+//   4. per-tenant submission-rate cap  -> ERR 429 (crpd.admission.rejected_rate)
 // The rate cap reuses defense::RateWindow — the paper's §VII anomaly
 // detector pointed at the service's own front door (a tenant hammering
 // SUBMIT looks exactly like a probing attack: orders of magnitude above
@@ -55,6 +56,10 @@ struct DaemonOptions {
   /// (rejected submissions consume window slots too).
   u64 admission_window_ns = 1'000'000'000;
   u64 admission_window_max = 64;
+  /// Admission: max distinct tenant names with a live rate window (idle
+  /// windows expire). A client cycling fresh names past the cap gets 429
+  /// (`crpd.admission.rejected_tenants`) instead of growing daemon state.
+  size_t max_tracked_tenants = 1024;
   /// Campaign knob defaults for submitted jobs (SUBMIT k=v overrides).
   pipeline::CampaignOptions defaults;
   /// Shared artifact tier (nullptr -> ArtifactStore::global()).
@@ -107,6 +112,7 @@ class Daemon {
   obs::Counter* c_accepted_;
   obs::Counter* c_rej_quota_;
   obs::Counter* c_rej_rate_;
+  obs::Counter* c_rej_tenants_;
   obs::Counter* c_conns_opened_;
   obs::Counter* c_conns_closed_;
 };

@@ -45,8 +45,6 @@ bool valid_tenant(std::string_view tenant) {
   return true;
 }
 
-namespace {
-
 bool parse_u64(std::string_view v, u64* out) {
   if (v.empty()) return false;
   char buf[32];
@@ -59,6 +57,8 @@ bool parse_u64(std::string_view v, u64* out) {
   *out = x;
   return true;
 }
+
+namespace {
 
 bool parse_int(std::string_view v, int* out) {
   if (v.empty()) return false;

@@ -61,6 +61,10 @@ Request parse_request(std::string_view line);
 /// Is `tenant` a valid tenant name ([A-Za-z0-9_-]{1,64})?
 bool valid_tenant(std::string_view tenant);
 
+/// Strict u64 parse (strtoull bases, whole-token match — trailing garbage
+/// rejects). Shared by SUBMIT knob values and job-id arguments.
+bool parse_u64(std::string_view v, u64* out);
+
 /// Apply one "k=v" SUBMIT knob onto `spec`. False + *err on unknown knob
 /// or malformed value.
 bool apply_knob(std::string_view kv, pipeline::JobSpec* spec, std::string* err);

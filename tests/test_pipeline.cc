@@ -5,9 +5,11 @@
 // pre-refactor manual discover()+verify() wiring.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <set>
 #include <thread>
 
@@ -517,6 +519,102 @@ TEST(JobQueue, FailingCellReportsTheError) {
   JobResult r = q.wait(q.submit(std::move(js)));
   EXPECT_EQ(r.state, JobState::kFailed);
   EXPECT_EQ(r.error, "planted failure");
+}
+
+TEST(JobQueue, PreemptedLeaseHolderDoesNotDeadlockSameKeyJobs) {
+  // Regression: a priority-0 job takes the store's single-writer lease in
+  // its trace step; two priority-1 submissions of the same target preempt
+  // it at the step boundary and then block inside acquire() on both
+  // workers. Parking must release the lease (promoting a waiter to owner)
+  // or the parked job can never be rescheduled and the pool deadlocks.
+  ArtifactStore store;
+  JobQueue q(JobQueueOptions{2, &store});
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool lease_taken = false;   // low finished its trace step (lease held)
+  bool highs_queued = false;  // test injected the two same-key rivals
+  q.set_event_sink([&](const JobEvent& ev) {
+    // The first step-1 running event is the low job completing its trace
+    // step (no other job exists yet). Hold it at the boundary (sink runs
+    // on the driving worker, outside the queue lock) until both rivals
+    // are submitted — the preemption check then sees them
+    // deterministically.
+    if (ev.state != JobState::kRunning || ev.step != 1) return;
+    std::unique_lock<std::mutex> lk(mu);
+    if (lease_taken) return;  // later jobs' step-1 events pass through
+    lease_taken = true;
+    cv.notify_all();
+    cv.wait(lk, [&] { return highs_queued; });
+  });
+
+  JobSpec low;
+  low.target = nginx_spec();
+  low.priority = 0;
+  JobId low_id = q.submit(std::move(low));
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return lease_taken; });
+  }
+  JobSpec high_a;
+  high_a.target = nginx_spec();
+  high_a.priority = 1;
+  JobSpec high_b = high_a;
+  JobId a_id = q.submit(std::move(high_a));
+  JobId b_id = q.submit(std::move(high_b));
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    highs_queued = true;
+  }
+  cv.notify_all();
+
+  JobResult ra = q.wait(a_id);
+  JobResult rb = q.wait(b_id);
+  JobResult rl = q.wait(low_id);
+  ASSERT_EQ(ra.state, JobState::kDone);
+  ASSERT_EQ(rb.state, JobState::kDone);
+  ASSERT_EQ(rl.state, JobState::kDone);
+  std::string rendered = render_report(ra.report, /*cache_tag=*/false);
+  EXPECT_EQ(render_report(rb.report, false), rendered);
+  EXPECT_EQ(render_report(rl.report, false), rendered);
+}
+
+TEST(JobQueue, TerminalJobsAreForgottenBeyondRetention) {
+  ArtifactStore store;
+  JobQueue q(JobQueueOptions{0, &store, /*retain_terminal=*/2});
+  std::vector<JobId> ids;
+  for (int i = 0; i < 4; ++i) {
+    JobSpec js;
+    js.target = nginx_spec();
+    JobId id = q.submit(std::move(js));
+    ASSERT_EQ(q.wait(id).state, JobState::kDone);
+    ids.push_back(id);
+  }
+  // Only the last two completions are still addressable; older ids answer
+  // like they never existed (bounded daemon memory).
+  EXPECT_EQ(q.status(ids[0]).error, "unknown job");
+  EXPECT_EQ(q.status(ids[1]).error, "unknown job");
+  EXPECT_EQ(q.status(ids[2]).state, JobState::kDone);
+  EXPECT_EQ(q.status(ids[3]).state, JobState::kDone);
+  // wait() on a forgotten id fails instead of blocking forever.
+  EXPECT_EQ(q.wait(ids[0]).error, "unknown job");
+}
+
+TEST(ArtifactStore, TenantAttributionIsCapped) {
+  ArtifactStore store;
+  store.set_enabled(true);
+  ArtifactKey key{"stage_cap", 0x1, 0x2};
+  store.store(key, "payload");
+  std::string value;
+  // 64 attributed tenants fill the cap; later names still count globally
+  // but are not broken out (registry counters must stay bounded).
+  for (int i = 0; i < 70; ++i) {
+    ScopedCacheTenant t(strf("cap_tenant_%d", i));
+    EXPECT_TRUE(store.lookup(key, &value));
+  }
+  EXPECT_EQ(store.tenant_hits("cap_tenant_0"), 1u);
+  EXPECT_EQ(store.tenant_hits("cap_tenant_69"), 0u);
+  EXPECT_EQ(store.hits(), 70u);
 }
 
 TEST(JobQueue, ThreadedWorkersDrainConcurrentSubmissions) {

@@ -217,6 +217,62 @@ TEST(Daemon, PingBadVerbAndUnknownIds) {
   EXPECT_EQ(Client::parse_reply(reply).code, 400);
 }
 
+TEST(Daemon, MalformedJobIdsAreRejectedNotTruncated) {
+  AdmissionDaemon ad;
+  Client c;
+  ASSERT_TRUE(c.connect(ad.daemon.port()));
+  u64 id = c.submit("alice", "server/nginx_sim");
+  ASSERT_NE(id, 0u);
+  std::string reply;
+  // strtoull would truncate "7abc" to job 7; the strict parse must 400
+  // every trailing-garbage id on every verb that takes one.
+  for (const char* verb : {"STATUS", "WATCH", "FETCH", "CANCEL"}) {
+    ASSERT_TRUE(c.request(strf("%s %lluabc", verb, (unsigned long long)id), &reply));
+    EXPECT_EQ(Client::parse_reply(reply).code, 400) << verb;
+    ASSERT_TRUE(c.request(strf("%s 0", verb), &reply));
+    EXPECT_EQ(Client::parse_reply(reply).code, 400) << verb;
+    ASSERT_TRUE(c.request(strf("%s 1 2", verb), &reply));
+    EXPECT_EQ(Client::parse_reply(reply).code, 400) << verb;
+  }
+  ASSERT_TRUE(c.request(strf("STATUS %llu", (unsigned long long)id), &reply));
+  EXPECT_TRUE(Client::parse_reply(reply).ok);
+}
+
+TEST(Daemon, TenantTrackingCapRejectsFreshNames) {
+  pipeline::ArtifactStore store;
+  DaemonOptions o;
+  o.workers = 0;
+  o.max_tracked_tenants = 2;
+  o.store = &store;
+  Daemon daemon(o);
+  ASSERT_TRUE(daemon.start());
+  Client c;
+  ASSERT_TRUE(c.connect(daemon.port()));
+  EXPECT_NE(c.submit("t1", "server/nginx_sim"), 0u);
+  EXPECT_NE(c.submit("t2", "server/nginx_sim"), 0u);
+  int code = 0;
+  EXPECT_EQ(c.submit("t3", "server/nginx_sim", {}, &code), 0u);
+  EXPECT_EQ(code, 429);  // cycling fresh names stops growing daemon state
+  EXPECT_NE(c.submit("t1", "server/nginx_sim"), 0u);  // tracked names fine
+}
+
+TEST(Daemon, IdleTenantWindowsExpire) {
+  pipeline::ArtifactStore store;
+  DaemonOptions o;
+  o.workers = 0;
+  o.max_tracked_tenants = 2;
+  o.admission_window_ns = 1;  // any later submission sees an idle window
+  o.store = &store;
+  Daemon daemon(o);
+  ASSERT_TRUE(daemon.start());
+  Client c;
+  ASSERT_TRUE(c.connect(daemon.port()));
+  // Five distinct tenants sail past a cap of 2 because each submission
+  // expires the previous, now-idle windows instead of accumulating them.
+  for (int i = 0; i < 5; ++i)
+    EXPECT_NE(c.submit(strf("fresh%d", i), "server/nginx_sim"), 0u) << i;
+}
+
 TEST(Daemon, PerTenantQuotaRejectsWith429) {
   AdmissionDaemon ad(/*max_active=*/2);
   Client c;
