@@ -99,6 +99,25 @@ void preregister_core_metrics() {
   r.counter("pipeline.campaign.targets_run");
   r.gauge("pipeline.campaign.targets_total");
   r.gauge("bench.instr_virtual");
+  // Serving-path instruments (crpd/trace/watchdog/transport): preregistered
+  // so the exposition schema carries them at zero in batch runs too, and a
+  // daemon scrape sees every series from the first request on.
+  r.counter("crpd.requests");
+  r.counter("crpd.admission.accepted");
+  r.counter("crpd.admission.rejected_quota");
+  r.counter("crpd.admission.rejected_rate");
+  r.counter("crpd.admission.rejected_tenants");
+  r.counter("crpd.conns.opened");
+  r.counter("crpd.conns.closed");
+  r.gauge("crpd.queue.depth");
+  r.gauge("crpd.jobs.active");
+  r.counter("crpd.watchdog.step_stalls");
+  r.counter("crpd.watchdog.lease_stalls");
+  r.counter("crpd.trace.spans");
+  r.counter("crpd.trace.dropped");
+  r.counter("serve.conn.accepted");
+  r.counter("serve.conn.dropped");
+  r.gauge("serve.conn.out_buffer_hwm");
 }
 
 BenchSession::BenchSession(const std::string& name) : name_(name), wall_t0_ns_(wall_ns()) {

@@ -7,6 +7,7 @@
 #include "obs/ledger.h"
 #include "obs/obs.h"
 #include "obs/prof.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace crp::obs::serve {
@@ -63,14 +64,61 @@ constexpr const char* kIndex =
     "  /flat.json     BENCH-shaped metrics JSON (crptop polls this)\n"
     "  /ledger.json   flight-recorder tallies\n"
     "  /prof.json     profiler hot-block report\n"
-    "  /prof.folded   collapsed-stack flamegraph text\n";
+    "  /prof.folded   collapsed-stack flamegraph text\n"
+    "  /traces.json   per-job trace spans (JobTracer)\n"
+    "  /trace.json    merged Chrome trace_event lanes (one per job)\n";
+
+// Dynamic route table (register_route). Providers run on the server
+// thread; the map is tiny (a handful of daemon endpoints), so a copy of
+// the provider under the lock per request is fine.
+struct DynRoute {
+  std::string content_type;
+  std::function<std::string()> provider;
+};
+std::mutex g_routes_mu;
+std::map<std::string, DynRoute>& dyn_routes() {
+  static std::map<std::string, DynRoute>* g = new std::map<std::string, DynRoute>();
+  return *g;
+}
 
 }  // namespace
 
+void register_route(const std::string& path, const std::string& content_type,
+                    std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lk(g_routes_mu);
+  dyn_routes()[path] = DynRoute{content_type, std::move(provider)};
+}
+
+void unregister_route(const std::string& path) {
+  std::lock_guard<std::mutex> lk(g_routes_mu);
+  dyn_routes().erase(path);
+}
+
 Response respond(const std::string& path) {
   Response r;
+  {
+    // Dynamic routes first; call the provider with the table unlocked so a
+    // provider fetching slow state never blocks registration.
+    DynRoute dr;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lk(g_routes_mu);
+      auto it = dyn_routes().find(path);
+      if (it != dyn_routes().end()) {
+        dr = it->second;
+        found = true;
+      }
+    }
+    if (found) {
+      r.content_type = dr.content_type;
+      r.body = dr.provider();
+      return r;
+    }
+  }
   if (path == "/" || path == "/index") {
     r.body = kIndex;
+    std::lock_guard<std::mutex> lk(g_routes_mu);
+    for (const auto& [p, dr] : dyn_routes()) r.body += "  " + p + "\n";
   } else if (path == "/metrics") {
     r.body = expo::prometheus_text(Registry::global().snapshot());
   } else if (path == "/metrics.json") {
@@ -87,6 +135,12 @@ Response respond(const std::string& path) {
     r.body = Profiler::global().report_json("live", 10);
   } else if (path == "/prof.folded") {
     r.body = Profiler::global().collapsed();
+  } else if (path == "/traces.json") {
+    r.content_type = "application/json";
+    r.body = JobTracer::global().traces_json();
+  } else if (path == "/trace.json") {
+    r.content_type = "application/json";
+    r.body = JobTracer::global().chrome_trace_json();
   } else {
     r.status = 404;
     r.body = "404 not found\n";

@@ -14,6 +14,11 @@
 //   GET /ledger.json  flight-recorder tallies (per stage and per primitive)
 //   GET /prof.json    profiler hot-block report (Profiler::report_json)
 //   GET /prof.folded  collapsed-stack flamegraph text
+//   GET /traces.json  per-job trace spans (JobTracer::traces_json)
+//   GET /trace.json   merged Chrome trace_event lanes (one per job)
+//
+// Frontends above this layer add endpoints with register_route() — the
+// crpd daemon serves /jobs.json and /tenants.json that way.
 //
 // Runs on the shared crp::serve::SocketServer core: many concurrent
 // clients, partial reads and writes handled by the transport (a slow
@@ -24,6 +29,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -41,9 +47,19 @@ struct Response {
   std::string body;
 };
 
-/// Route `path` ("/metrics", ...) to its current snapshot. Unknown paths
+/// Route `path` ("/metrics", ...) to its current snapshot. Registered
+/// dynamic routes are consulted first, then the built-ins. Unknown paths
 /// return 404.
 Response respond(const std::string& path);
+
+/// Register a dynamic route: `provider` is called per request (it must be
+/// thread-safe; it runs on the server thread). Frontends above the obs
+/// layer (the crpd daemon's /jobs.json and /tenants.json) hook into the
+/// route table this way — obs cannot link against them. Re-registering a
+/// path replaces the provider; unregister before the captured state dies.
+void register_route(const std::string& path, const std::string& content_type,
+                    std::function<std::string()> provider);
+void unregister_route(const std::string& path);
 
 class ObsServer {
  public:

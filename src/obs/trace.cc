@@ -1,0 +1,408 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/journal.h"
+#include "obs/obs.h"
+#include "util/common.h"
+
+namespace crp::obs {
+
+u64 trace_now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+const char* span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kAdmission: return "admission";
+    case SpanKind::kQueueWait: return "queue_wait";
+    case SpanKind::kStep: return "step";
+    case SpanKind::kPark: return "park";
+    case SpanKind::kResume: return "resume";
+    case SpanKind::kLeaseAcquire: return "lease_acquire";
+    case SpanKind::kLeaseWait: return "lease_wait";
+    case SpanKind::kLeaseCoalesce: return "lease_coalesce";
+    case SpanKind::kRender: return "render";
+  }
+  return "?";
+}
+
+// --- Ring --------------------------------------------------------------------
+
+/// SPSC ring, same shape as Ledger::Ring: the owning thread is the only
+/// producer (record), a drainer holding the tracer mutex is the only
+/// consumer (drain_locked).
+struct JobTracer::Ring {
+  explicit Ring(size_t cap) : buf(cap) {}
+
+  std::vector<JobSpan> buf;
+  std::atomic<u64> head{0};
+  std::atomic<u64> tail{0};
+  std::atomic<u64> dropped{0};
+};
+
+namespace {
+
+/// Thread-local ring cache keyed by per-tracer unique id (never address —
+/// a destroyed tracer's slot must not alias a new one's).
+struct TlsRingRef {
+  u64 tracer_id;
+  JobTracer::Ring* ring;
+};
+thread_local std::vector<TlsRingRef> t_rings;
+std::atomic<u64> g_next_tracer_id{1};
+
+thread_local TraceJobCtx t_job_ctx;
+
+}  // namespace
+
+TraceJobCtx current_trace_job() { return t_job_ctx; }
+
+ScopedTraceJob::ScopedTraceJob(u64 trace, u64 job) : prev_(t_job_ctx) {
+  t_job_ctx = TraceJobCtx{trace, job};
+}
+
+ScopedTraceJob::~ScopedTraceJob() { t_job_ctx = prev_; }
+
+// --- JobTracer ---------------------------------------------------------------
+
+JobTracer::JobTracer(size_t ring_capacity)
+    : ring_capacity_(std::max<size_t>(ring_capacity, 8)),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {
+  names_.push_back("-");  // id 0: unknown / none
+}
+
+JobTracer::~JobTracer() = default;
+
+JobTracer& JobTracer::global() {
+  static JobTracer* g = new JobTracer();
+  return *g;
+}
+
+void JobTracer::set_armed(bool on) {
+  armed_.store(on, std::memory_order_relaxed);
+}
+
+u64 JobTracer::start_trace(u64 requested) {
+  if (requested != 0) {
+    // Pin the client's id and keep the allocator strictly above it so a
+    // later assigned id never collides with a pinned one.
+    u64 cur = next_trace_.load(std::memory_order_relaxed);
+    while (cur <= requested &&
+           !next_trace_.compare_exchange_weak(cur, requested + 1,
+                                              std::memory_order_relaxed)) {
+    }
+    return requested;
+  }
+  return next_trace_.fetch_add(1, std::memory_order_relaxed);
+}
+
+JobTracer::Ring& JobTracer::ring_for_thread() {
+  for (const TlsRingRef& r : t_rings)
+    if (r.tracer_id == id_) return *r.ring;
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_unique<Ring>(ring_capacity_));
+  Ring* ring = rings_.back().get();
+  t_rings.push_back({id_, ring});
+  return *ring;
+}
+
+u32 JobTracer::intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<u32>(i);
+  if (names_.size() >= kMaxNames) return 0;  // table full: fold into "-"
+  names_.push_back(name);
+  return static_cast<u32>(names_.size() - 1);
+}
+
+std::string JobTracer::name_of(u32 id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < names_.size() ? names_[id] : std::string("-");
+}
+
+void JobTracer::record(u64 trace, u64 job, SpanKind kind, u32 label, u64 arg,
+                       u64 t0_ns, u64 t1_ns) {
+  if (!armed() || !detail::recording() || trace == 0) return;
+
+  JobSpan s;
+  s.trace = trace;
+  s.job = job;
+  s.t0_ns = t0_ns;
+  s.t1_ns = t1_ns;
+  s.arg = arg;
+  s.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  s.label = label < kMaxNames ? label : 0;
+  s.kind = kind;
+
+  Ring& r = ring_for_thread();
+  u64 head = r.head.load(std::memory_order_relaxed);
+  u64 tail = r.tail.load(std::memory_order_acquire);
+  if (head - tail >= r.buf.size()) {
+    // Full: drop the newest (overwriting the oldest would race the drainer).
+    r.dropped.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    r.buf[static_cast<size_t>(head % r.buf.size())] = s;
+    r.head.store(head + 1, std::memory_order_release);
+  }
+  Registry::global().counter("crpd.trace.spans").inc();
+}
+
+// --- Live-job table ----------------------------------------------------------
+
+void JobTracer::job_started(u64 trace, u64 job, const std::string& tenant,
+                            const std::string& target) {
+  if (!armed() || trace == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  LiveJob& lj = live_[trace];
+  lj.trace = trace;
+  lj.job = job;
+  lj.tenant = tenant;
+  lj.target = target;
+  lj.parked = false;
+}
+
+void JobTracer::step_begin(u64 trace, const std::string& step) {
+  if (!armed() || trace == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(trace);
+  if (it == live_.end()) return;
+  it->second.step = step;
+  it->second.step_since_ns = trace_now_ns();
+  it->second.parked = false;
+}
+
+void JobTracer::step_end(u64 trace) {
+  if (!armed() || trace == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(trace);
+  if (it == live_.end()) return;
+  it->second.step.clear();
+  it->second.step_since_ns = 0;
+}
+
+void JobTracer::job_parked(u64 trace) {
+  if (!armed() || trace == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(trace);
+  if (it == live_.end()) return;
+  it->second.parked = true;
+  it->second.step.clear();
+  it->second.step_since_ns = 0;
+}
+
+void JobTracer::lease_begin(u64 trace, u64 key, const std::string& stage) {
+  if (!armed() || trace == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(trace);
+  if (it == live_.end()) return;
+  it->second.lease_since_ns = trace_now_ns();
+  it->second.lease_key = key;
+  (void)stage;
+}
+
+void JobTracer::lease_end(u64 trace) {
+  if (!armed() || trace == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(trace);
+  if (it == live_.end()) return;
+  it->second.lease_since_ns = 0;
+  it->second.lease_key = 0;
+}
+
+void JobTracer::job_finished(u64 trace) {
+  if (!armed() || trace == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(trace);
+}
+
+std::vector<JobTracer::LiveJob> JobTracer::live_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LiveJob> out;
+  out.reserve(live_.size());
+  for (const auto& [tr, lj] : live_) out.push_back(lj);
+  return out;
+}
+
+size_t JobTracer::watchdog_scan(u64 step_deadline_ns, u64 lease_deadline_ns) {
+  u64 now = trace_now_ns();
+  size_t fresh = 0;
+  Registry& reg = Registry::global();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [tr, lj] : live_) {
+    if (!lj.step_flagged && lj.step_since_ns != 0 &&
+        now - lj.step_since_ns > step_deadline_ns) {
+      lj.step_flagged = true;
+      ++fresh;
+      reg.counter("crpd.watchdog.step_stalls").inc();
+      Journal::global().instant("watchdog.step_stall", "crpd", now / 1000, 0, "job",
+                                static_cast<i64>(lj.job));
+    }
+    if (!lj.lease_flagged && lj.lease_since_ns != 0 &&
+        now - lj.lease_since_ns > lease_deadline_ns) {
+      lj.lease_flagged = true;
+      ++fresh;
+      reg.counter("crpd.watchdog.lease_stalls").inc();
+      Journal::global().instant("watchdog.lease_stall", "crpd", now / 1000, 0, "job",
+                                static_cast<i64>(lj.job));
+    }
+  }
+  flags_.fetch_add(fresh, std::memory_order_relaxed);
+  return fresh;
+}
+
+// --- Drain / export ----------------------------------------------------------
+
+void JobTracer::append_locked(const JobSpan& s) {
+  auto key = std::make_pair(s.trace, s.job);
+  auto it = archive_.find(key);
+  if (it == archive_.end()) {
+    if (archive_.size() >= kMaxArchivedJobs) {
+      // Evict the oldest lane FIFO; its spans are gone, count them.
+      auto victim = archive_.find(archive_fifo_.front());
+      archive_fifo_.pop_front();
+      if (victim != archive_.end()) {
+        dropped_ += victim->second.size();
+        archive_.erase(victim);
+      }
+    }
+    it = archive_.emplace(key, std::vector<JobSpan>()).first;
+    archive_fifo_.push_back(key);
+  }
+  if (it->second.size() >= kMaxSpansPerJob) {
+    ++dropped_;
+    Registry::global().counter("crpd.trace.dropped").inc();
+    return;
+  }
+  it->second.push_back(s);
+}
+
+void JobTracer::drain_locked() {
+  for (auto& rp : rings_) {
+    Ring& r = *rp;
+    u64 head = r.head.load(std::memory_order_acquire);
+    u64 tail = r.tail.load(std::memory_order_relaxed);
+    for (; tail != head; ++tail)
+      append_locked(r.buf[static_cast<size_t>(tail % r.buf.size())]);
+    r.tail.store(tail, std::memory_order_release);
+  }
+}
+
+std::vector<JobTracer::JobTraceView> JobTracer::snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  drain_locked();
+  std::vector<JobTraceView> out;
+  out.reserve(archive_.size());
+  for (const auto& [key, spans] : archive_) {
+    JobTraceView v;
+    v.trace = key.first;
+    v.job = key.second;
+    v.spans = spans;
+    std::sort(v.spans.begin(), v.spans.end(),
+              [](const JobSpan& a, const JobSpan& b) { return a.seq < b.seq; });
+    // Renumber so no raw (scheduling-dependent) stamp leaks into output.
+    for (size_t i = 0; i < v.spans.size(); ++i) v.spans[i].seq = i;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<JobSpan> JobTracer::spans_for(u64 trace) {
+  std::vector<JobSpan> out;
+  for (JobTraceView& v : snapshot()) {
+    if (v.trace != trace) continue;
+    out.insert(out.end(), v.spans.begin(), v.spans.end());
+  }
+  return out;
+}
+
+u64 JobTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  u64 d = dropped_;
+  for (const auto& rp : rings_) d += rp->dropped.load(std::memory_order_relaxed);
+  return d;
+}
+
+std::string JobTracer::traces_json() {
+  std::vector<JobTraceView> views = snapshot();
+  std::string out = "{\n\"traces\": [";
+  u64 cur_trace = 0;
+  bool first_trace = true;
+  bool first_job = true;
+  for (const JobTraceView& v : views) {
+    if (first_trace || v.trace != cur_trace) {
+      if (!first_trace) out += "\n]}";
+      out += first_trace ? "\n" : ",\n";
+      out += strf("{\"trace\": %llu, \"jobs\": [",
+                  static_cast<unsigned long long>(v.trace));
+      cur_trace = v.trace;
+      first_trace = false;
+      first_job = true;
+    }
+    out += first_job ? "\n" : ",\n";
+    first_job = false;
+    out += strf("{\"job\": %llu, \"spans\": [",
+                static_cast<unsigned long long>(v.job));
+    for (size_t i = 0; i < v.spans.size(); ++i) {
+      const JobSpan& s = v.spans[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += strf("{\"seq\": %llu, \"kind\": \"%s\", \"label\": \"%s\", "
+                  "\"arg\": %llu, \"t0_ns\": %llu, \"t1_ns\": %llu}",
+                  static_cast<unsigned long long>(s.seq), span_kind_name(s.kind),
+                  name_of(s.label).c_str(), static_cast<unsigned long long>(s.arg),
+                  static_cast<unsigned long long>(s.t0_ns),
+                  static_cast<unsigned long long>(s.t1_ns));
+    }
+    out += "]}";
+  }
+  if (!first_trace) out += "\n]}";
+  out += "\n]\n}\n";
+  return out;
+}
+
+std::string JobTracer::chrome_trace_json() {
+  std::vector<JobTraceView> views = snapshot();
+  std::string out = "[";
+  bool first = true;
+  for (const JobTraceView& v : views) {
+    for (const JobSpan& s : v.spans) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      std::string label = name_of(s.label);
+      u64 dur = s.t1_ns > s.t0_ns ? (s.t1_ns - s.t0_ns) / 1000 : 0;
+      out += strf("{\"name\": \"%s%s%s\", \"cat\": \"trace:%llu\", \"ph\": \"X\", "
+                  "\"ts\": %llu, \"dur\": %llu, \"pid\": 1, \"tid\": %llu, "
+                  "\"args\": {\"arg\": %llu}}",
+                  span_kind_name(s.kind), s.label != 0 ? ":" : "",
+                  s.label != 0 ? label.c_str() : "",
+                  static_cast<unsigned long long>(v.trace),
+                  static_cast<unsigned long long>(s.t0_ns / 1000),
+                  static_cast<unsigned long long>(dur),
+                  static_cast<unsigned long long>(v.job),
+                  static_cast<unsigned long long>(s.arg));
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void JobTracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& rp : rings_) {
+    Ring& r = *rp;
+    r.tail.store(r.head.load(std::memory_order_acquire), std::memory_order_release);
+    r.dropped.store(0, std::memory_order_relaxed);
+  }
+  archive_.clear();
+  archive_fifo_.clear();
+  live_.clear();
+  names_.clear();
+  names_.push_back("-");
+  dropped_ = 0;
+  flags_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace crp::obs

@@ -1,0 +1,228 @@
+// crp::obs::JobTracer — causal, deterministic end-to-end job tracing for
+// the crpd serving path.
+//
+// A batch campaign answers "what did the funnel find"; a served one also
+// has to answer "where did this submission's latency go" — queue wait
+// behind higher-priority tenants, a lease coalesced onto another job's
+// computation, a preemption park, or one slow step cell. The tracer
+// records a typed span per lifecycle edge:
+//
+//   admission       SUBMIT accepted/rejected (arg = accepted flag)
+//   queue_wait      submit -> first scheduling (arg = priority)
+//   step            one TargetCell step (label = stage id, arg = step idx)
+//   park            preempted at a step boundary (arg = preemptor job id)
+//   resume          rescheduled after a park (arg = steps already done)
+//   lease_acquire   won the ArtifactStore single-writer lease (computed)
+//   lease_wait      blocked on another job's in-flight lease
+//   lease_coalesce  replayed a stored artifact instead of computing
+//   render          FETCH rendered the report (arg = payload bytes)
+//
+// Spans land in ledger-style per-thread SPSC rings (one writer each, the
+// drainer is the only other toucher) and drain into a bounded per-job
+// archive, exported as per-job JSON (/traces.json) and merged Chrome
+// trace_event lanes (/trace.json, one lane per job id).
+//
+// Determinism contract: span *content* — kinds, interned labels, args,
+// per-job order — derives only from the submit tuple (target, knobs,
+// seed) and the store's state, never from worker identity or arrival
+// order. Only the wall timestamps vary across runs, so tests diff span
+// sets at workers=1 vs workers=4. Per-job order is the emission order of
+// the single thread driving that job at any moment (park/resume hand-offs
+// happen under the queue lock), captured by a global sequence stamp and
+// renumbered 0..n-1 per job at drain time so no scheduling-dependent raw
+// value leaks into the output.
+//
+// The tracer is disarmed by default: batch tools never arm it, so batch
+// stdout and bench numbers are untouched (one relaxed load per hook).
+// The daemon arms it and assigns a trace id to every accepted SUBMIT.
+//
+// The live-job table (armed-only, keyed by trace id) powers /jobs.json
+// and the stall watchdog: a scan flags jobs whose in-progress step or
+// held lease is older than a deadline — once per job per kind — bumping
+// crpd.watchdog.{step,lease}_stalls and dropping a journal instant, so
+// the PR-8 deadlock class is detectable, not just fixed.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <atomic>
+
+#include "util/common.h"
+
+namespace crp::obs {
+
+/// Monotonic wall clock for span timestamps (ns). Steady, not virtual:
+/// spans measure real latency, and timestamps are excluded from the
+/// determinism contract anyway.
+u64 trace_now_ns();
+
+enum class SpanKind : u8 {
+  kAdmission = 0,
+  kQueueWait,
+  kStep,
+  kPark,
+  kResume,
+  kLeaseAcquire,
+  kLeaseWait,
+  kLeaseCoalesce,
+  kRender,
+};
+inline constexpr u32 kNumSpanKinds = 9;
+const char* span_kind_name(SpanKind k);
+
+struct JobSpan {
+  u64 trace = 0;
+  u64 job = 0;  // 0 = trace-level span (admission verdicts precede an id)
+  u64 t0_ns = 0;
+  u64 t1_ns = 0;
+  u64 arg = 0;
+  u64 seq = 0;  // global emission stamp; renumbered per job at drain
+  u32 label = 0;  // interned name id, 0 = none
+  SpanKind kind = SpanKind::kAdmission;
+  u8 pad[3] = {};
+};
+static_assert(sizeof(JobSpan) == 56, "keep ring slots cache-friendly");
+
+class JobTracer {
+ public:
+  static constexpr u32 kMaxNames = 256;
+  static constexpr size_t kDefaultRingCapacity = 1 << 12;
+  /// Per-(trace, job) archive budget: spans past this are dropped and
+  /// counted, so a runaway job cannot grow the archive unboundedly.
+  static constexpr size_t kMaxSpansPerJob = 256;
+  /// Archived (trace, job) lanes are evicted FIFO past this cap.
+  static constexpr size_t kMaxArchivedJobs = 4096;
+
+  struct Ring;  // public: the thread-local ring cache names it
+
+  explicit JobTracer(size_t ring_capacity = kDefaultRingCapacity);
+  ~JobTracer();
+  JobTracer(const JobTracer&) = delete;
+  JobTracer& operator=(const JobTracer&) = delete;
+
+  /// Arming gate. Disarmed (default), every hook is one relaxed load;
+  /// batch runs stay byte-identical. The daemon arms on construction.
+  void set_armed(bool on);
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Allocate a trace id. `requested` nonzero pins a client-chosen id
+  /// (the `trace=` knob; duplicate submissions may share one trace) and
+  /// bumps the allocator past it so assigned ids never collide with it.
+  u64 start_trace(u64 requested = 0);
+
+  /// Intern a label (step/stage name). Capped at kMaxNames; overflow
+  /// returns 0 ("-"). Id order is first-come, so label *names*, not ids,
+  /// are the deterministic identity — compare via name_of().
+  u32 intern(const std::string& name);
+  std::string name_of(u32 id) const;
+
+  /// Record one span. No-op unless armed, recording, and trace != 0.
+  void record(u64 trace, u64 job, SpanKind kind, u32 label, u64 arg, u64 t0_ns,
+              u64 t1_ns);
+
+  // --- Live-job table (armed-only; keyed by trace id, which the daemon
+  // makes unique per submission). Powers /jobs.json and the watchdog.
+  struct LiveJob {
+    u64 trace = 0;
+    u64 job = 0;
+    std::string tenant;
+    std::string target;
+    std::string step;       // in-progress step name, "" between steps
+    u64 step_since_ns = 0;  // 0 = no step in progress
+    u64 lease_since_ns = 0; // 0 = no lease held
+    u64 lease_key = 0;
+    bool parked = false;
+    bool step_flagged = false;
+    bool lease_flagged = false;
+  };
+  void job_started(u64 trace, u64 job, const std::string& tenant,
+                   const std::string& target);
+  void step_begin(u64 trace, const std::string& step);
+  void step_end(u64 trace);
+  void job_parked(u64 trace);
+  void lease_begin(u64 trace, u64 key, const std::string& stage);
+  void lease_end(u64 trace);
+  void job_finished(u64 trace);
+  std::vector<LiveJob> live_jobs() const;
+
+  /// One watchdog pass: flag live jobs whose in-progress step (resp. held
+  /// lease) started more than the deadline ago. Parked and queued jobs
+  /// are legitimately idle and never flagged. Each job is flagged at most
+  /// once per kind; returns the number of *new* flags this pass. Every
+  /// new flag bumps crpd.watchdog.{step,lease}_stalls and drops a journal
+  /// instant event carrying the job id.
+  size_t watchdog_scan(u64 step_deadline_ns, u64 lease_deadline_ns);
+  u64 watchdog_flags() const { return flags_.load(std::memory_order_relaxed); }
+
+  // --- Drain / export.
+  struct JobTraceView {
+    u64 trace = 0;
+    u64 job = 0;
+    std::vector<JobSpan> spans;  // seq renumbered 0..n-1
+  };
+  /// Drain all rings into the archive and return every (trace, job) lane.
+  std::vector<JobTraceView> snapshot();
+  /// Spans of one trace (all jobs, job-0 admission lane first), seq
+  /// renumbered per job.
+  std::vector<JobSpan> spans_for(u64 trace);
+  /// Spans dropped (ring overflow + per-job budget + lane eviction).
+  u64 dropped() const;
+
+  /// {"traces": [{"trace": N, "jobs": [{"job": N, "spans": [...]}]}]}
+  std::string traces_json();
+  /// Chrome trace_event JSON Array Format; lane (tid) = job id.
+  std::string chrome_trace_json();
+
+  /// Drop archive, rings, live table, names, and flag count (tests).
+  void clear();
+
+  static JobTracer& global();
+
+ private:
+  Ring& ring_for_thread();
+  void drain_locked();
+  void append_locked(const JobSpan& s);
+
+  const size_t ring_capacity_;
+  const u64 id_;  // distinguishes instances in thread-local ring caches
+  std::atomic<bool> armed_{false};
+  std::atomic<u64> next_trace_{1};
+  std::atomic<u64> next_seq_{1};
+  std::atomic<u64> flags_{0};
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<std::string> names_;
+  std::map<std::pair<u64, u64>, std::vector<JobSpan>> archive_;
+  std::deque<std::pair<u64, u64>> archive_fifo_;
+  u64 dropped_ = 0;
+  std::map<u64, LiveJob> live_;
+};
+
+/// Thread-local job context, installed by the queue around a job's drive
+/// session so layers without a job handle (the ArtifactStore lease path)
+/// can attribute spans to the job that triggered them.
+struct TraceJobCtx {
+  u64 trace = 0;
+  u64 job = 0;
+};
+TraceJobCtx current_trace_job();
+
+class ScopedTraceJob {
+ public:
+  ScopedTraceJob(u64 trace, u64 job);
+  ~ScopedTraceJob();
+  ScopedTraceJob(const ScopedTraceJob&) = delete;
+  ScopedTraceJob& operator=(const ScopedTraceJob&) = delete;
+
+ private:
+  TraceJobCtx prev_;
+};
+
+}  // namespace crp::obs

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace crp::pipeline {
 
@@ -255,6 +256,33 @@ bool ArtifactStore::lookup(const ArtifactKey& key, std::string* value) {
 }
 
 Acquire ArtifactStore::acquire(const ArtifactKey& key, std::string* value) {
+  obs::JobTracer& jt = obs::JobTracer::global();
+  obs::TraceJobCtx ctx = obs::current_trace_job();
+  if (ctx.trace == 0 || !jt.armed()) {
+    bool waited = false;
+    return acquire_impl(key, value, &waited);
+  }
+  u64 t0 = obs::trace_now_ns();
+  bool waited = false;
+  Acquire a = acquire_impl(key, value, &waited);
+  u64 t1 = obs::trace_now_ns();
+  // arg identifies the artifact; label the producing stage. The span set a
+  // job emits depends only on (key, store state), never on worker count.
+  u64 kh = key.input_hash ^ key.config_hash;
+  u32 label = jt.intern(key.stage);
+  if (waited)
+    jt.record(ctx.trace, ctx.job, obs::SpanKind::kLeaseWait, label, kh, t0, t1);
+  if (a == Acquire::kOwner) {
+    jt.record(ctx.trace, ctx.job, obs::SpanKind::kLeaseAcquire, label, kh, t0, t1);
+    jt.lease_begin(ctx.trace, kh, key.stage);
+  } else if (a == Acquire::kHit) {
+    jt.record(ctx.trace, ctx.job, obs::SpanKind::kLeaseCoalesce, label, kh, t0, t1);
+  }
+  return a;
+}
+
+Acquire ArtifactStore::acquire_impl(const ArtifactKey& key, std::string* value,
+                                    bool* waited) {
   if (!enabled_) return Acquire::kBypass;
   std::string name = key.str();
   Shard& sh = shard_for(name);
@@ -296,6 +324,7 @@ Acquire ArtifactStore::acquire(const ArtifactKey& key, std::string* value) {
     }
     // A writer is computing this key. Wait for finish (memory-tier hit) or
     // abort (the loop retakes the lease and recomputes).
+    *waited = true;
     sh.cv.wait(lk, [&] {
       return sh.inflight.count(name) == 0 || sh.mem.count(name) != 0;
     });
@@ -305,10 +334,14 @@ Acquire ArtifactStore::acquire(const ArtifactKey& key, std::string* value) {
 void ArtifactStore::finish(const ArtifactKey& key, const std::string& value) {
   store(key, value);
   release_claim(key.str());
+  obs::JobTracer& jt = obs::JobTracer::global();
+  if (jt.armed()) jt.lease_end(obs::current_trace_job().trace);
 }
 
 void ArtifactStore::abort_claim(const ArtifactKey& key) {
   release_claim(key.str());
+  obs::JobTracer& jt = obs::JobTracer::global();
+  if (jt.armed()) jt.lease_end(obs::current_trace_job().trace);
 }
 
 void ArtifactStore::release_claim(const std::string& name) {

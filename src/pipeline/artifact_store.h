@@ -152,6 +152,11 @@ class ArtifactStore {
   /// every concurrent acquire of the key blocks until the owner calls
   /// finish(key, value) (waiters wake with a hit) or abort_claim(key) (one
   /// waiter is promoted to owner and recomputes).
+  /// Spans land in obs::JobTracer when the calling thread carries a traced
+  /// job context (obs::ScopedTraceJob, installed by the JobQueue): kOwner
+  /// -> lease_acquire (this job computes), kHit -> lease_coalesce (this
+  /// job replays), plus lease_wait covering any time blocked behind
+  /// another job's in-flight lease.
   Acquire acquire(const ArtifactKey& key, std::string* value);
   void finish(const ArtifactKey& key, const std::string& value);
   void abort_claim(const ArtifactKey& key);
@@ -196,6 +201,9 @@ class ArtifactStore {
   // Disk read/validate for `name`; fills *payload on success. Called with
   // NO shard lock held — the caller owns the key's inflight lease instead.
   bool disk_read(const std::string& name, std::string* payload);
+  // acquire() minus the tracing wrapper; *waited set when the call blocked
+  // on another writer's lease.
+  Acquire acquire_impl(const ArtifactKey& key, std::string* value, bool* waited);
   void disk_store(const std::string& name, const std::string& value);
   void count_hit();
   void count_miss();

@@ -2,6 +2,7 @@
 
 #include "chaos/chaos.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace crp::pipeline {
 
@@ -45,11 +46,13 @@ JobId JobQueue::submit(JobSpec spec) {
   job->id = id;
   job->spec = std::move(spec);
   job->seq = next_seq_++;
+  job->submit_ns = obs::trace_now_ns();
   JobEvent ev;
   ev.id = id;
   ev.state = JobState::kQueued;
   ev.tenant = job->spec.tenant;
   ev.target = job->spec.target.id;
+  ev.trace = job->spec.trace;
   enqueue_locked(job.get());
   jobs_.emplace(id, std::move(job));
   obs::Registry::global().counter("crpd.jobs.submitted").inc();
@@ -89,6 +92,21 @@ JobResult JobQueue::snapshot(const Job& job) {
   r.steps_done = job.steps_done;
   r.steps_total = job.steps_total;
   r.tenant = job.spec.tenant;
+  r.target = job.spec.target.id;
+  r.priority = job.spec.priority;
+  r.trace = job.spec.trace;
+  r.run_ns = job.run_ns;
+  if (job_state_terminal(job.state)) {
+    // Never-scheduled terminals (cancelled while queued) spent it all waiting.
+    r.queue_ns = job.first_run_ns != 0 ? job.first_run_ns - job.submit_ns
+                                       : job.total_ns;
+    r.total_ns = job.total_ns;
+  } else if (job.submit_ns != 0) {
+    u64 now = obs::trace_now_ns();
+    r.queue_ns = job.first_run_ns != 0 ? job.first_run_ns - job.submit_ns
+                                       : now - job.submit_ns;
+    r.total_ns = now - job.submit_ns;
+  }
   return r;
 }
 
@@ -134,6 +152,32 @@ size_t JobQueue::pending() const {
   return queued_.size();
 }
 
+std::vector<std::pair<int, size_t>> JobQueue::queued_depths() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  // queued_ iterates by (-priority, ...): highest priority first, so the
+  // depth table comes out already in dispatch order.
+  std::vector<std::pair<int, size_t>> out;
+  for (const auto& [neg_prio, seq, id] : queued_) {
+    int prio = -neg_prio;
+    if (out.empty() || out.back().first != prio) out.emplace_back(prio, 0);
+    ++out.back().second;
+  }
+  return out;
+}
+
+size_t JobQueue::retained_terminal() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return terminal_fifo_.size();
+}
+
+std::vector<JobResult> JobQueue::list() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<JobResult> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(snapshot(*job));
+  return out;
+}
+
 void JobQueue::enqueue_locked(Job* job) {
   queued_.insert({-job->spec.priority, job->seq, job->id});
 }
@@ -177,6 +221,7 @@ void JobQueue::finish_locked(std::unique_lock<std::mutex>& lk, Job* job,
                              JobState state) {
   if (job->state == JobState::kQueued) dequeue_locked(job);
   job->state = state;
+  job->total_ns = obs::trace_now_ns() - job->submit_ns;
   if (job->cell != nullptr) {
     job->steps_done = job->cell->next_step();
     job->steps_total = job->cell->step_count();
@@ -200,6 +245,8 @@ void JobQueue::finish_locked(std::unique_lock<std::mutex>& lk, Job* job,
     evict_terminal_locked();
   }
   cv_done_.notify_all();
+  obs::JobTracer& jt = obs::JobTracer::global();
+  if (jt.armed()) jt.job_finished(job->spec.trace);
   JobEvent ev;
   ev.id = job->id;
   ev.state = state;
@@ -208,6 +255,11 @@ void JobQueue::finish_locked(std::unique_lock<std::mutex>& lk, Job* job,
   ev.step = job->steps_done;
   ev.steps = job->steps_total;
   ev.cache_hit = state == JobState::kDone && job->report.cache_hit;
+  ev.trace = job->spec.trace;
+  ev.queue_ns = job->first_run_ns != 0 ? job->first_run_ns - job->submit_ns
+                                       : job->total_ns;
+  ev.run_ns = job->run_ns;
+  ev.total_ns = job->total_ns;
   emit(lk, ev);
 }
 
@@ -224,20 +276,56 @@ void JobQueue::park_locked(Job* job) {
 void JobQueue::drive(std::unique_lock<std::mutex>& lk, Job* job) {
   dequeue_locked(job);
   job->state = JobState::kRunning;
+  obs::JobTracer& jt = obs::JobTracer::global();
+  const u64 tr = job->spec.trace;
+  const bool traced = tr != 0 && jt.armed();
+  // Install the job context for the whole drive session, so layers with
+  // no job handle (the ArtifactStore lease path — including the park-path
+  // abort inside cell->on_park and the cell destructor in finish_locked)
+  // attribute their spans to this job.
+  obs::ScopedTraceJob trace_ctx(traced ? tr : 0, job->id);
+  const u64 session0 = obs::trace_now_ns();
+  if (job->first_run_ns == 0) {
+    job->first_run_ns = session0;
+    if (traced) {
+      jt.job_started(tr, job->id, job->spec.tenant, job->spec.target.id);
+      jt.record(tr, job->id, obs::SpanKind::kQueueWait, 0,
+                static_cast<u64>(static_cast<i64>(job->spec.priority)),
+                job->submit_ns, session0);
+    }
+  } else if (job->resume_pending) {
+    job->resume_pending = false;
+    if (traced)
+      jt.record(tr, job->id, obs::SpanKind::kResume, 0, job->steps_done,
+                session0, session0);
+  }
+  // Accumulate on-worker time once per drive session, on every exit path.
+  auto settle = [&] { job->run_ns += obs::trace_now_ns() - session0; };
   for (;;) {
     if (stop_) {
       // Queue teardown: park the job; it dies queued with the queue.
+      settle();
+      job->resume_pending = true;
       park_locked(job);
       return;
     }
     if (job->cancel_requested) {
+      settle();
       finish_locked(lk, job, JobState::kCancelled);
       return;
     }
     if (higher_queued_locked(job->spec.priority)) {
       // Preempt at the step boundary: the cell keeps its progress and the
       // job re-enters the queue behind the higher-priority arrival.
+      settle();
+      JobId preemptor = std::get<2>(*queued_.begin());
+      job->resume_pending = true;
       park_locked(job);
+      if (traced) {
+        u64 now = obs::trace_now_ns();
+        jt.record(tr, job->id, obs::SpanKind::kPark, 0, preemptor, now, now);
+        jt.job_parked(tr);
+      }
       obs::Registry::global().counter("crpd.jobs.preempted").inc();
       cv_work_.notify_all();
       JobEvent ev;
@@ -248,6 +336,7 @@ void JobQueue::drive(std::unique_lock<std::mutex>& lk, Job* job) {
       ev.step = job->steps_done;
       ev.steps = job->steps_total;
       ev.preempted = true;
+      ev.trace = tr;
       emit(lk, ev);
       return;
     }
@@ -259,6 +348,8 @@ void JobQueue::drive(std::unique_lock<std::mutex>& lk, Job* job) {
     bool failed = false;
     std::string error;
     const char* step = "";
+    u64 step_t0 = 0;
+    u64 step_idx = 0;
     try {
       if (job->cell == nullptr) {
         ArtifactStore* store =
@@ -266,7 +357,10 @@ void JobQueue::drive(std::unique_lock<std::mutex>& lk, Job* job) {
         job->cell = plan_target(job->spec.opts, store, job->spec.target);
       }
       size_t idx = job->cell->next_step();
+      step_idx = idx;
       step = job->cell->step_name(idx);
+      step_t0 = obs::trace_now_ns();
+      if (traced) jt.step_begin(tr, step);
       // Deterministic salts + cache attribution derive from the job, not
       // from the worker that happens to run this step.
       chaos::TaskScope chaos_scope(chaos::mix64(job->spec.seed, idx));
@@ -279,16 +373,24 @@ void JobQueue::drive(std::unique_lock<std::mutex>& lk, Job* job) {
       failed = true;
       error = "unknown error";
     }
+    if (traced) {
+      jt.step_end(tr);
+      if (!failed)
+        jt.record(tr, job->id, obs::SpanKind::kStep, jt.intern(step), step_idx,
+                  step_t0, obs::trace_now_ns());
+    }
     lk.lock();
 
     if (failed) {
       job->error = error.empty() ? "error" : error;
+      settle();
       finish_locked(lk, job, JobState::kFailed);
       return;
     }
     job->steps_done = job->cell->next_step();
     job->steps_total = job->cell->step_count();
     if (job->cell->done()) {
+      settle();
       finish_locked(lk, job, JobState::kDone);
       return;
     }
@@ -300,6 +402,7 @@ void JobQueue::drive(std::unique_lock<std::mutex>& lk, Job* job) {
     ev.step = job->steps_done;
     ev.steps = job->steps_total;
     ev.step_name = step;
+    ev.trace = tr;
     emit(lk, ev);
   }
 }

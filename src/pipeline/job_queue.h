@@ -46,6 +46,7 @@
 #include <string>
 #include <thread>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "pipeline/campaign.h"
@@ -74,6 +75,10 @@ struct JobSpec {
   u64 seed = 0;
   /// Cache attribution + daemon quota bucket ("" = anonymous).
   std::string tenant;
+  /// obs::JobTracer trace id (0 = untraced; batch paths leave it 0). The
+  /// daemon assigns one per accepted SUBMIT; spans are recorded only when
+  /// the tracer is armed *and* the job carries a nonzero trace.
+  u64 trace = 0;
 };
 
 /// One progress notification (sink is called outside the queue lock).
@@ -87,6 +92,13 @@ struct JobEvent {
   std::string step_name;   // last completed step ("" for submit/terminal)
   bool preempted = false;  // requeued by a higher-priority arrival
   bool cache_hit = false;  // kDone only: report was served from the cache
+  u64 trace = 0;           // trace id (0 = untraced)
+  // Terminal events carry the latency split (0 otherwise): queue = submit
+  // -> first scheduling, run = accumulated on-worker time, total = submit
+  // -> terminal. The daemon feeds these into the per-tenant SLO histograms.
+  u64 queue_ns = 0;
+  u64 run_ns = 0;
+  u64 total_ns = 0;
 };
 
 /// Snapshot of one job (status/wait/try_result).
@@ -98,6 +110,14 @@ struct JobResult {
   size_t steps_done = 0;
   size_t steps_total = 0;
   std::string tenant;
+  std::string target;
+  int priority = 0;
+  u64 trace = 0;
+  // Latency split in ns. Terminal jobs report final values; live jobs an
+  // in-flight view (total grows, run is time accumulated so far).
+  u64 queue_ns = 0;
+  u64 run_ns = 0;
+  u64 total_ns = 0;
 };
 
 struct JobQueueOptions {
@@ -147,6 +167,12 @@ class JobQueue {
   size_t active_total() const;
   /// Queued (not yet running) jobs.
   size_t pending() const;
+  /// Queued depth per priority, highest priority first (STATS, /jobs.json).
+  std::vector<std::pair<int, size_t>> queued_depths() const;
+  /// Terminal jobs currently retained for STATUS/FETCH.
+  size_t retained_terminal() const;
+  /// Snapshot of every known job (active + retained terminal), id order.
+  std::vector<JobResult> list() const;
 
  private:
   struct Job {
@@ -161,6 +187,12 @@ class JobQueue {
     size_t steps_done = 0;
     size_t steps_total = 0;
     int waiters = 0;  // threads inside wait(id): blocks retention eviction
+    // Trace/SLO timing (obs::trace_now_ns clock).
+    u64 submit_ns = 0;
+    u64 first_run_ns = 0;  // 0 until first scheduled
+    u64 run_ns = 0;        // accumulated on-worker time
+    u64 total_ns = 0;      // set at terminal
+    bool resume_pending = false;  // parked: emit a resume span next drive
   };
 
   Job* find_locked(JobId id);

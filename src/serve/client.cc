@@ -7,6 +7,7 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "util/log.h"
@@ -70,6 +71,14 @@ bool Client::connect(u16 port, std::string* err) {
   return true;
 }
 
+bool Client::set_recv_timeout_ms(int ms) {
+  if (fd_ < 0 || ms < 0) return false;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+}
+
 bool Client::send_line(const std::string& line, std::string* err) {
   if (fd_ < 0) {
     set_err(err, "not connected");
@@ -97,6 +106,10 @@ bool Client::read_line(std::string* line, std::string* err) {
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        set_err(err, "recv timed out waiting for daemon");
+        return false;
+      }
       set_err(err, strf("recv: %s", std::strerror(errno)));
       return false;
     }
@@ -118,6 +131,10 @@ bool Client::read_payload(size_t n, std::string* out, std::string* err) {
     ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (got < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        set_err(err, "recv timed out waiting for daemon");
+        return false;
+      }
       set_err(err, strf("recv: %s", std::strerror(errno)));
       return false;
     }

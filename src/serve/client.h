@@ -31,6 +31,12 @@ class Client {
   void close();
   bool connected() const { return fd_ >= 0; }
 
+  /// Bound every subsequent recv by `ms` (SO_RCVTIMEO; 0 = no timeout,
+  /// the default). An expired wait fails the read with a "timed out"
+  /// error instead of blocking forever — the swarm uses this so a WATCH
+  /// stream that never terminates turns into a counted failure.
+  bool set_recv_timeout_ms(int ms);
+
   // --- protocol primitives ---
   /// Send `line` ("\n" appended if missing) and read one reply line.
   bool request(const std::string& line, std::string* reply, std::string* err = nullptr);

@@ -28,10 +28,12 @@
 // (target, knobs) is byte-identical to the batch run at any worker count.
 #pragma once
 
+#include <condition_variable>
 #include <map>
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "defense/rate_detector.h"
 #include "pipeline/job_queue.h"
@@ -41,6 +43,8 @@
 
 namespace crp::obs {
 class Counter;
+class Gauge;
+class Histogram;
 }  // namespace crp::obs
 
 namespace crp::serve {
@@ -64,6 +68,16 @@ struct DaemonOptions {
   pipeline::CampaignOptions defaults;
   /// Shared artifact tier (nullptr -> ArtifactStore::global()).
   pipeline::ArtifactStore* store = nullptr;
+  /// Stall watchdog: flag a job whose in-progress step (resp. held
+  /// ArtifactStore lease) is older than the deadline. Flags bump
+  /// crpd.watchdog.{step,lease}_stalls, drop a journal instant, and show
+  /// up in STATS (watchdog=<n>), /jobs.json and /tenants.json. Defaults
+  /// are far above any healthy step so a clean run flags nothing.
+  bool watchdog = true;
+  u64 watchdog_step_deadline_ns = 60'000'000'000;
+  u64 watchdog_lease_deadline_ns = 30'000'000'000;
+  /// Background tick period (watchdog scan + gauge refresh).
+  u64 tick_ms = 250;
 };
 
 class Daemon {
@@ -82,7 +96,31 @@ class Daemon {
   const pipeline::TargetRegistry& registry() const { return registry_; }
   pipeline::JobQueue& queue() { return queue_; }
 
+  /// /jobs.json: every known job (active + retained terminal) with its
+  /// latency split and live watchdog state.
+  std::string jobs_json();
+  /// /tenants.json: per-tenant SLO rows (latency histograms, active gauge,
+  /// admission/preemption/coalesce counters) + watchdog and conn stats.
+  std::string tenants_json();
+
  private:
+  /// Per-tenant SLO instruments, registered in the global Registry under
+  /// crpd.tenant.<t>.* so they ride the exposition schema. Bounded: past
+  /// kMaxSloTenants distinct names, further tenants are served but not
+  /// individually instrumented (mirrors the ArtifactStore attribution cap).
+  struct TenantSlo {
+    obs::Histogram* queue_ms = nullptr;
+    obs::Histogram* run_ms = nullptr;
+    obs::Histogram* total_ms = nullptr;
+    obs::Gauge* active = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* done = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* preempted = nullptr;
+    obs::Counter* coalesced = nullptr;
+  };
+  static constexpr size_t kMaxSloTenants = 64;
+
   void on_open(ConnId conn);
   void on_data(ConnId conn, std::string_view data);
   void on_close(ConnId conn);
@@ -92,6 +130,9 @@ class Daemon {
   void handle_fetch(ConnId conn, const Request& req);
   void on_job_event(const pipeline::JobEvent& ev);
   u64 wall_ns() const;
+  TenantSlo* slo_for_locked(const std::string& tenant);
+  /// Background tick: watchdog scan, serve.conn.* mirror, queue gauges.
+  void tick_loop();
 
   DaemonOptions opts_;
   pipeline::TargetRegistry registry_;
@@ -107,6 +148,13 @@ class Daemon {
   std::mutex mu_;
   std::map<pipeline::JobId, std::set<ConnId>> watchers_;
   std::map<std::string, defense::RateWindow> rates_;  // per-tenant SUBMITs
+  std::map<std::string, TenantSlo> slos_;             // bounded, see above
+
+  // Background tick thread (watchdog + gauge refresh).
+  std::thread tick_thread_;
+  std::mutex tick_mu_;
+  std::condition_variable tick_cv_;
+  bool tick_stop_ = false;
 
   obs::Counter* c_requests_;
   obs::Counter* c_accepted_;

@@ -98,6 +98,10 @@ bool apply_knob(std::string_view kv, pipeline::JobSpec* spec, std::string* err) 
     ok = parse_u64(v, &spec->opts.syscall.discover_budget);
   } else if (k == "verify") {
     ok = parse_u64(v, &spec->opts.syscall.verify_budget);
+  } else if (k == "trace") {
+    // Client-pinned obs::JobTracer trace id; 0 (the default) lets the
+    // daemon assign one. Duplicate submissions may share a pinned trace.
+    ok = parse_u64(v, &spec->trace);
   } else {
     *err = strf("unknown knob \"%.*s\"", static_cast<int>(k.size()), k.data());
     return false;
@@ -118,28 +122,43 @@ std::string err_line(int code, std::string_view msg) {
   return strf("ERR %d %.*s\n", code, static_cast<int>(msg.size()), msg.data());
 }
 
+namespace {
+
+// Traced replies carry a trailing " trace=<id>" echo; untraced ones keep
+// the PR-8 byte format, so batch diffs and pinned-reply tests are
+// untouched. Every existing client parse tolerates trailing tokens.
+std::string trace_suffix(u64 trace) {
+  if (trace == 0) return std::string();
+  return strf(" trace=%llu", static_cast<unsigned long long>(trace));
+}
+
+}  // namespace
+
 std::string event_line(const pipeline::JobEvent& ev) {
-  return strf("EVENT %llu %s %zu/%zu %s%s\n",
+  return strf("EVENT %llu %s %zu/%zu %s%s%s\n",
               static_cast<unsigned long long>(ev.id),
               pipeline::job_state_name(ev.state), ev.step, ev.steps,
               ev.step_name.empty() ? "-" : ev.step_name.c_str(),
-              ev.preempted ? " preempted" : "");
+              ev.preempted ? " preempted" : "", trace_suffix(ev.trace).c_str());
 }
 
 std::string done_line(const pipeline::JobEvent& ev) {
-  return strf("DONE %llu %s cached=%d\n",
+  return strf("DONE %llu %s cached=%d%s\n",
               static_cast<unsigned long long>(ev.id),
-              pipeline::job_state_name(ev.state), ev.cache_hit ? 1 : 0);
+              pipeline::job_state_name(ev.state), ev.cache_hit ? 1 : 0,
+              trace_suffix(ev.trace).c_str());
 }
 
 std::string status_line(const pipeline::JobResult& r) {
-  return strf("OK %s %zu/%zu %s\n", pipeline::job_state_name(r.state),
+  return strf("OK %s %zu/%zu %s%s\n", pipeline::job_state_name(r.state),
               r.steps_done, r.steps_total,
-              r.error.empty() ? "-" : r.error.c_str());
+              r.error.empty() ? "-" : r.error.c_str(),
+              trace_suffix(r.trace).c_str());
 }
 
-std::string report_frame(std::string_view report) {
-  return strf("REPORT %zu\n", report.size()) + std::string(report);
+std::string report_frame(std::string_view report, u64 trace) {
+  return strf("REPORT %zu%s\n", report.size(), trace_suffix(trace).c_str()) +
+         std::string(report);
 }
 
 }  // namespace crp::serve

@@ -5,19 +5,25 @@
 // (after a WATCH) with asynchronous EVENT/DONE lines for watched jobs.
 //
 //   SUBMIT <tenant> <target-id> [k=v]...   -> OK <job-id> | ERR <code> <msg>
-//   STATUS <job-id>                        -> OK <state> <done>/<total> <error|->
+//   STATUS <job-id>                        -> OK <state> <done>/<total> <error|-> [trace=<id>]
 //   WATCH  <job-id>                        -> OK watching <job-id>
-//                                             ... EVENT <job-id> <state> <done>/<total> <step|-> ...
-//                                             DONE <job-id> <state> cached=<0|1>
-//   FETCH  <job-id>                        -> REPORT <nbytes>\n<nbytes of report>
+//                                             ... EVENT <job-id> <state> <done>/<total> <step|-> [trace=<id>] ...
+//                                             DONE <job-id> <state> cached=<0|1> [trace=<id>]
+//   FETCH  <job-id>                        -> REPORT <nbytes> [trace=<id>]\n<nbytes of report>
 //   CANCEL <job-id>                        -> OK cancelling <job-id>
 //   STATS                                  -> OK <k>=<v> ...
 //   PING                                   -> PONG
 //   QUIT                                   -> (connection closes)
 //
 // SUBMIT knobs (k=v): seed=<u64>, priority=<int>, jobs=<int>,
-// cache=<0|1>, discover=<u64 budget>, verify=<u64 budget>. Unknown knobs
-// are a 400; malformed values are a 400. Tenants are [A-Za-z0-9_-]{1,64}.
+// cache=<0|1>, discover=<u64 budget>, verify=<u64 budget>, trace=<u64>.
+// Unknown knobs are a 400; malformed values are a 400. Tenants are
+// [A-Za-z0-9_-]{1,64}.
+//
+// trace=: pin an obs::JobTracer trace id (the daemon assigns one when
+// omitted). STATUS/EVENT/DONE/REPORT echo the id as a trailing
+// "trace=<id>" token — only for traced jobs, so untraced replies keep
+// their historical bytes.
 //
 // ERR codes follow the obvious HTTP analogy: 400 bad request, 404 unknown
 // target/job, 409 wrong state (e.g. FETCH before DONE), 429 admission
@@ -76,7 +82,7 @@ std::string err_line(int code, std::string_view msg);
 std::string event_line(const pipeline::JobEvent& ev);
 std::string done_line(const pipeline::JobEvent& ev);
 std::string status_line(const pipeline::JobResult& r);
-/// "REPORT <nbytes>\n" + the report bytes.
-std::string report_frame(std::string_view report);
+/// "REPORT <nbytes>[ trace=<id>]\n" + the report bytes.
+std::string report_frame(std::string_view report, u64 trace = 0);
 
 }  // namespace crp::serve

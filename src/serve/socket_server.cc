@@ -98,6 +98,11 @@ size_t SocketServer::connection_count() const {
   return conns_.size();
 }
 
+SocketServer::Stats SocketServer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
 void SocketServer::wake() {
   if (wake_wr_ < 0) return;
   char b = 1;
@@ -120,8 +125,11 @@ bool SocketServer::send(ConnId conn, std::string data) {
       c.out_off = 0;
     }
     c.out += data;
+    size_t pending = c.out.size() - c.out_off;
+    if (pending > stats_.out_buffer_hwm) stats_.out_buffer_hwm = pending;
     if (c.out.size() > opts_.max_out_buffer) {
       c.closing = true;  // runaway writer / stalled reader: drop it
+      ++stats_.dropped_overflow;
       over = true;
     }
   }
@@ -158,6 +166,7 @@ void SocketServer::accept_clients() {
       std::lock_guard<std::mutex> lk(mu_);
       id = next_id_++;
       conns_[id].fd = client;
+      ++stats_.accepted;
     }
     if (handlers_.on_open) handlers_.on_open(id);
   }

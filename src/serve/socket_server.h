@@ -89,6 +89,16 @@ class SocketServer {
   u16 port() const { return port_; }
   size_t connection_count() const;
 
+  /// Transport tallies. Plain values, no obs dependency (this core stays
+  /// util-only); frontends that want them in the exposition schema mirror
+  /// them into the Registry (the daemon does, as serve.conn.*).
+  struct Stats {
+    u64 accepted = 0;          // connections accepted since start
+    u64 dropped_overflow = 0;  // dropped: out-buffer exceeded the hard cap
+    u64 out_buffer_hwm = 0;    // high-water mark of any conn's out-buffer
+  };
+  Stats stats() const;
+
   /// Queue bytes for `conn`; thread-safe. False when the connection is
   /// gone or its outbound buffer is over limit (the connection is then
   /// dropped). Bytes are drained by the loop as the socket accepts them.
@@ -130,6 +140,7 @@ class SocketServer {
   mutable std::mutex mu_;
   std::map<ConnId, Conn> conns_;
   ConnId next_id_ = 1;
+  Stats stats_;  // guarded by mu_
 };
 
 }  // namespace crp::serve

@@ -11,6 +11,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -20,6 +22,7 @@
 #include "obs/obs.h"
 #include "obs/prof.h"
 #include "obs/serve.h"
+#include "obs/trace.h"
 #include "pipeline/campaign.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
@@ -463,6 +466,148 @@ TEST(Daemon, ConcurrentClientSwarmSharesOneComputation) {
   for (int i = 1; i < kClients; ++i) EXPECT_EQ(reports[i], reports[0]);
   EXPECT_EQ(store.misses(), 1u);
   EXPECT_GE(store.hits(), static_cast<u64>(kClients - 1));
+}
+
+TEST(Daemon, StatsReportsDepthRetainedAndWatchdog) {
+  AdmissionDaemon ad(/*max_active=*/10);
+  Client c;
+  ASSERT_TRUE(c.connect(ad.daemon.port()));
+  ASSERT_NE(c.submit("alice", "server/nginx_sim"), 0u);
+  ASSERT_NE(c.submit("alice", "server/nginx_sim"), 0u);
+  ASSERT_NE(c.submit("bob", "server/nginx_sim", {"priority=5"}), 0u);
+  std::string reply;
+  ASSERT_TRUE(c.request("STATS", &reply));
+  // The PR-8 prefix is a pinned byte contract; the new fields append.
+  EXPECT_EQ(reply.rfind("OK active=3", 0), 0u) << reply;
+  // Queue depth splits by priority in dispatch order (workers=0: all queued).
+  EXPECT_NE(reply.find(" depth=p5:1,p0:2"), std::string::npos) << reply;
+  EXPECT_NE(reply.find(" retained=0"), std::string::npos) << reply;
+  EXPECT_NE(reply.find(" watchdog="), std::string::npos) << reply;
+}
+
+TEST(Daemon, TracedJobEchoesTraceOnEveryReply) {
+  pipeline::ArtifactStore store;
+  DaemonOptions o;
+  o.workers = 2;
+  o.store = &store;
+  Daemon daemon(o);
+  ASSERT_TRUE(daemon.start());
+  Client c;
+  ASSERT_TRUE(c.connect(daemon.port()));
+  std::string reply;
+  ASSERT_TRUE(c.request("SUBMIT alice server/nginx_sim trace=777", &reply));
+  ASSERT_EQ(reply, "OK 1");  // SUBMIT stays the pinned byte format
+  ASSERT_TRUE(c.request("WATCH 1", &reply));
+  ASSERT_TRUE(Client::parse_reply(reply).ok);
+  std::string line;
+  for (;;) {
+    ASSERT_TRUE(c.read_line(&line));
+    EXPECT_NE(line.find(" trace=777"), std::string::npos) << line;
+    if (line.rfind("DONE ", 0) == 0) break;
+    ASSERT_EQ(line.rfind("EVENT ", 0), 0u) << line;
+  }
+  ASSERT_TRUE(c.request("STATUS 1", &reply));
+  EXPECT_NE(reply.find(" trace=777"), std::string::npos) << reply;
+  ASSERT_TRUE(c.send_line("FETCH 1"));
+  ASSERT_TRUE(c.read_line(&reply));
+  unsigned long long nbytes = 0;
+  ASSERT_EQ(std::sscanf(reply.c_str(), "REPORT %llu", &nbytes), 1) << reply;
+  EXPECT_NE(reply.find(" trace=777"), std::string::npos) << reply;
+  std::string body;
+  ASSERT_TRUE(c.read_payload(nbytes, &body));
+  EXPECT_FALSE(body.empty());
+
+  // Without the knob the daemon assigns its own id — every served job is
+  // traceable — and the allocator never hands out a pinned id again.
+  ASSERT_TRUE(c.request("SUBMIT alice server/nginx_sim seed=9", &reply));
+  ASSERT_EQ(reply, "OK 2");
+  ASSERT_TRUE(c.request("STATUS 2", &reply));
+  EXPECT_NE(reply.find(" trace="), std::string::npos) << reply;
+  EXPECT_EQ(reply.find(" trace=777"), std::string::npos) << reply;
+}
+
+TEST(Daemon, JobsAndTenantsRoutesLiveAndDieWithTheDaemon) {
+  pipeline::ArtifactStore store;
+  DaemonOptions o;
+  o.workers = 2;
+  o.store = &store;
+  {
+    Daemon daemon(o);
+    ASSERT_TRUE(daemon.start());
+    Client c;
+    ASSERT_TRUE(c.connect(daemon.port()));
+    std::string report, err;
+    ASSERT_TRUE(c.run_job("alice", "server/nginx_sim", {}, &report, nullptr, &err))
+        << err;
+    obs::serve::Response jobs = obs::serve::respond("/jobs.json");
+    ASSERT_EQ(jobs.status, 200);
+    EXPECT_EQ(jobs.content_type, "application/json");
+    EXPECT_NE(jobs.body.find("\"jobs\""), std::string::npos);
+    EXPECT_NE(jobs.body.find("\"tenant\": \"alice\""), std::string::npos);
+    EXPECT_NE(jobs.body.find("\"state\": \"done\""), std::string::npos);
+    obs::serve::Response tenants = obs::serve::respond("/tenants.json");
+    ASSERT_EQ(tenants.status, 200);
+    EXPECT_NE(tenants.body.find("\"name\": \"alice\""), std::string::npos);
+    EXPECT_NE(tenants.body.find("\"watchdog\""), std::string::npos);
+    EXPECT_NE(tenants.body.find("\"queue_ms\""), std::string::npos);
+    daemon.stop();
+  }
+  // Routes die with the daemon: no dangling provider over dead state.
+  EXPECT_EQ(obs::serve::respond("/jobs.json").status, 404);
+  EXPECT_EQ(obs::serve::respond("/tenants.json").status, 404);
+}
+
+TEST(Daemon, WatchdogTickFlagsPlantedStallExactlyOnce) {
+  pipeline::ArtifactStore store;
+  DaemonOptions o;
+  o.workers = 0;
+  o.store = &store;
+  o.watchdog_step_deadline_ns = 1;  // any in-progress step is "stuck"
+  o.tick_ms = 10;
+  Daemon daemon(o);
+  obs::JobTracer& jt = obs::JobTracer::global();
+  jt.clear();
+  ASSERT_TRUE(daemon.start());
+  // Plant a job stuck mid-step; the daemon's own tick thread must flag it
+  // within a deadline period — exactly once, repeated scans stay quiet.
+  jt.job_started(999, 7, "alice", "server/nginx_sim");
+  jt.step_begin(999, "syscall_scan");
+  for (int i = 0; i < 400 && jt.watchdog_flags() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(jt.watchdog_flags(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));  // more ticks
+  EXPECT_EQ(jt.watchdog_flags(), 1u);
+  Client c;
+  ASSERT_TRUE(c.connect(daemon.port()));
+  std::string reply;
+  ASSERT_TRUE(c.request("STATS", &reply));
+  EXPECT_NE(reply.find(" watchdog=1"), std::string::npos) << reply;
+  jt.job_finished(999);
+  jt.clear();
+}
+
+TEST(SocketServer, OverflowingOutBufferDropsConnAndCounts) {
+  SocketServer::Options so;
+  so.max_out_buffer = 64;
+  SocketServer server(so);
+  SocketServer::Handlers h;
+  SocketServer* srv = &server;
+  h.on_data = [srv](ConnId conn, std::string_view) {
+    srv->send(conn, std::string(1024, 'x'));  // far past the 64-byte cap
+  };
+  ASSERT_TRUE(server.start(0, std::move(h)));
+  Client c;
+  ASSERT_TRUE(c.connect(server.port()));
+  ASSERT_TRUE(c.send_line("hi"));
+  // The oversized reply must drop the connection and count it, never
+  // buffer without bound.
+  for (int i = 0; i < 400 && server.stats().dropped_overflow == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  SocketServer::Stats st = server.stats();
+  EXPECT_EQ(st.dropped_overflow, 1u);
+  EXPECT_GE(st.accepted, 1u);
+  EXPECT_GE(st.out_buffer_hwm, 1024u);
+  server.stop();
 }
 
 }  // namespace

@@ -6,15 +6,22 @@
 //   crpc --port P cancel <job-id>
 //   crpc --port P stats
 //   crpc --port P ping
-//   crpc --port P swarm [--clients N] [--dup N] [--tenants N] <target> [k=v]...
+//   crpc --port P swarm [--clients N] [--dup N] [--tenants N]
+//        [--watch-timeout SEC] [--trace] <target> [k=v]...
 //
 // Swarm mode is the load harness for the acceptance run: N client threads
 // (each its own connection) submit concurrently; with --dup D every job in
 // a group of D shares a (tenant, target, seed) tuple, so the shared
 // ArtifactStore must collapse the group to one computation and every
-// fetched report in the group must be byte-identical. Exit is nonzero on
-// any transport error, failed job, or report mismatch.
+// fetched report in the group must be byte-identical. After the join it
+// prints a client-side SLO table: p50/p90/p99 submit->DONE latency per
+// tenant. Every WATCH is bounded by --watch-timeout (SO_RCVTIMEO); a
+// stream that never terminates becomes a counted failure instead of a
+// hang. Exit is nonzero on any transport error, timeout, failed job, or
+// report mismatch.
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,8 +45,8 @@ using crp::u64;
   std::fprintf(stderr,
                "usage: crpc --port P <run|submit|status|cancel|stats|ping|swarm> ...\n"
                "       crpc --port P run <tenant> <target> [k=v]...\n"
-               "       crpc --port P swarm [--clients N] [--dup N] [--tenants N] "
-               "<target> [k=v]...\n");
+               "       crpc --port P swarm [--clients N] [--dup N] [--tenants N]\n"
+               "            [--watch-timeout SEC] [--trace] <target> [k=v]...\n");
   std::exit(2);
 }
 
@@ -48,16 +55,29 @@ struct SwarmOptions {
   int clients = 8;
   int dup = 1;      // group size sharing one (tenant, seed) tuple
   int tenants = 4;  // tenant names cycle client_index % tenants
+  int watch_timeout_s = 120;  // bound on any single recv; 0 = unbounded
+  bool trace = false;         // pin trace=<group+1> on every submission
   std::string target;
   std::vector<std::string> knobs;
 };
 
+/// Nearest-rank percentile of a sorted sample (q in [0,1]).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
 int run_swarm(const SwarmOptions& so) {
   std::atomic<int> failures{0};
+  std::atomic<int> timeouts{0};
   std::atomic<int> cached{0};
   std::mutex mu;
   // group index -> first report seen (for byte-identity within a group)
   std::map<int, std::string> group_report;
+  // tenant -> submit->DONE latencies (ms) for the SLO table
+  std::map<std::string, std::vector<double>> latencies;
   std::vector<std::string> errors;
 
   auto worker = [&](int idx) {
@@ -66,6 +86,9 @@ int run_swarm(const SwarmOptions& so) {
     std::vector<std::string> knobs = so.knobs;
     // One seed per group: duplicates are exact resubmissions.
     knobs.push_back(strf("seed=%d", group));
+    // One trace per group: duplicate submissions share a trace lane, so
+    // /traces.json shows the coalescing (one lease_acquire, D-1 coalesces).
+    if (so.trace) knobs.push_back(strf("trace=%d", group + 1));
     Client c;
     std::string err;
     if (!c.connect(so.port, &err)) {
@@ -74,16 +97,23 @@ int run_swarm(const SwarmOptions& so) {
       failures.fetch_add(1);
       return;
     }
+    if (so.watch_timeout_s > 0) c.set_recv_timeout_ms(so.watch_timeout_s * 1000);
     std::string report;
     bool was_cached = false;
-    if (!c.run_job(tenant, so.target, knobs, &report, &was_cached, &err)) {
+    auto t0 = std::chrono::steady_clock::now();
+    bool ok = c.run_job(tenant, so.target, knobs, &report, &was_cached, &err);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!ok) {
+      if (err.find("timed out") != std::string::npos) timeouts.fetch_add(1);
       std::lock_guard<std::mutex> lk(mu);
       errors.push_back(strf("client %d: %s", idx, err.c_str()));
       failures.fetch_add(1);
       return;
     }
     if (was_cached) cached.fetch_add(1);
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
     std::lock_guard<std::mutex> lk(mu);
+    latencies[tenant].push_back(ms);
     auto [it, inserted] = group_report.emplace(group, report);
     if (!inserted && it->second != report) {
       errors.push_back(strf("client %d: report diverges from group %d", idx, group));
@@ -97,6 +127,18 @@ int run_swarm(const SwarmOptions& so) {
   for (std::thread& t : threads) t.join();
 
   for (const std::string& e : errors) std::fprintf(stderr, "swarm: %s\n", e.c_str());
+  if (!latencies.empty()) {
+    std::printf("%-12s %6s %10s %10s %10s\n", "tenant", "jobs", "p50_ms", "p90_ms",
+                "p99_ms");
+    for (auto& [tenant, ms] : latencies) {
+      std::sort(ms.begin(), ms.end());
+      std::printf("%-12s %6zu %10.2f %10.2f %10.2f\n", tenant.c_str(), ms.size(),
+                  percentile(ms, 0.50), percentile(ms, 0.90), percentile(ms, 0.99));
+    }
+  }
+  if (timeouts.load() > 0)
+    std::fprintf(stderr, "swarm: %d WATCH stream(s) timed out after %ds\n",
+                 timeouts.load(), so.watch_timeout_s);
   std::printf("swarm: %d clients, %d groups, %d cached, %d failures\n", so.clients,
               (so.clients + so.dup - 1) / so.dup, cached.load(), failures.load());
   return failures.load() == 0 ? 0 : 1;
@@ -124,6 +166,10 @@ int main(int argc, char** argv) {
         so.dup = std::atoi(argv[++i]);
       else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc)
         so.tenants = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--watch-timeout") == 0 && i + 1 < argc)
+        so.watch_timeout_s = std::atoi(argv[++i]);
+      else if (std::strcmp(argv[i], "--trace") == 0)
+        so.trace = true;
       else
         usage();
       ++i;

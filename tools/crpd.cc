@@ -14,6 +14,13 @@
 //   --rate-window-ms N  admission rate window (default 1000)
 //   --cache 0|1         shared artifact cache (default 1)
 //   --jobs N            default intra-job verify parallelism (default 1)
+//   --obs-port N        also serve the HTTP telemetry endpoint on this
+//                       port (0 = ephemeral, printed): /metrics,
+//                       /jobs.json, /tenants.json, /traces.json, ...
+//   --step-deadline-ms N   watchdog: flag a step running longer than this
+//                          (default 60000; 0 disables the watchdog)
+//   --lease-deadline-ms N  watchdog: flag a lease held longer than this
+//                          (default 30000)
 //
 // SIGINT/SIGTERM stop the daemon cleanly (in-flight cells release their
 // kernels and cache leases on teardown).
@@ -25,6 +32,7 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/serve.h"
 #include "serve/daemon.h"
 #include "util/log.h"
 
@@ -37,7 +45,9 @@ void on_signal(int) { g_stop.store(true); }
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: crpd [--port N] [--workers N] [--max-active N] "
-               "[--rate-max N] [--rate-window-ms N] [--cache 0|1] [--jobs N]\n");
+               "[--rate-max N] [--rate-window-ms N] [--cache 0|1] [--jobs N]\n"
+               "            [--obs-port N] [--step-deadline-ms N] "
+               "[--lease-deadline-ms N]\n");
   std::exit(2);
 }
 
@@ -54,6 +64,8 @@ long arg_num(int argc, char** argv, int& i) {
 int main(int argc, char** argv) {
   crp::serve::DaemonOptions opts;
   opts.port = 0;
+  bool obs_serve = false;
+  crp::u16 obs_port = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0) {
       opts.port = static_cast<crp::u16>(arg_num(argc, argv, i));
@@ -70,6 +82,16 @@ int main(int argc, char** argv) {
       opts.defaults.cache = arg_num(argc, argv, i) != 0;
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
       opts.defaults.jobs = static_cast<int>(arg_num(argc, argv, i));
+    } else if (std::strcmp(argv[i], "--obs-port") == 0) {
+      obs_serve = true;
+      obs_port = static_cast<crp::u16>(arg_num(argc, argv, i));
+    } else if (std::strcmp(argv[i], "--step-deadline-ms") == 0) {
+      long ms = arg_num(argc, argv, i);
+      opts.watchdog = ms > 0;
+      opts.watchdog_step_deadline_ns = static_cast<crp::u64>(ms) * 1'000'000ull;
+    } else if (std::strcmp(argv[i], "--lease-deadline-ms") == 0) {
+      opts.watchdog_lease_deadline_ns =
+          static_cast<crp::u64>(arg_num(argc, argv, i)) * 1'000'000ull;
     } else {
       usage();
     }
@@ -86,6 +108,13 @@ int main(int argc, char** argv) {
   }
   // The smoke script greps this exact line for the bound port.
   std::printf("crpd listening on 127.0.0.1:%u\n", unsigned{daemon.port()});
+  if (obs_serve) {
+    crp::obs::serve::ObsServer& obs = crp::obs::serve::ObsServer::global();
+    if (obs.start(obs_port))
+      std::printf("crpd telemetry on http://127.0.0.1:%u/\n", unsigned{obs.port()});
+    else
+      std::fprintf(stderr, "crpd: failed to bind obs port %u\n", unsigned{obs_port});
+  }
   std::fflush(stdout);
 
   while (!g_stop.load() && daemon.running())

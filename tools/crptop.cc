@@ -3,12 +3,16 @@
 // Polls a CRP_OBS_SERVE endpoint (default 127.0.0.1:9179) for /flat.json and
 // /prof.json, and renders per-stage progress plus the top-K hot blocks,
 // refreshing in place like top(1). With --json FILE it instead renders a
-// PROF_<bench>.json report once from disk (post-mortem mode).
+// PROF_<bench>.json report once from disk (post-mortem mode). With
+// --daemon it polls the crpd serving endpoints instead — /jobs.json and
+// /tenants.json — and renders live jobs, per-tenant SLO rows
+// (p50/p90/p99 queue/run/total latency), and watchdog flags.
 //
 //   crptop                        poll 127.0.0.1:9179 once per second
 //   crptop --port 9200 --top 15   other endpoint, more hot blocks
 //   crptop --once                 single snapshot, no ANSI refresh
 //   crptop --json PROF_table1.json   offline hot-block report
+//   crptop --daemon --port 9200   live crpd jobs + tenant SLOs + watchdog
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -39,13 +43,15 @@ struct Options {
   int top_k = 10;
   double interval_s = 1.0;
   bool once = false;
+  bool daemon = false;  // poll /jobs.json + /tenants.json instead
 };
 
 int usage(const char* argv0, int rc) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--top K] [--interval SEC] [--once]\n"
-               "       %s --json PROF_<bench>.json\n",
-               argv0, argv0);
+               "       %s --json PROF_<bench>.json\n"
+               "       %s --daemon [--host H] [--port P] [--interval SEC] [--once]\n",
+               argv0, argv0, argv0);
   return rc;
 }
 
@@ -145,6 +151,141 @@ void render_hot_blocks(const std::vector<HotBlock>& blocks, int top_k) {
                 static_cast<unsigned long long>(hb.samples), hb.share * 100.0);
   }
   if (rank == 0) std::printf("  (no samples yet — is CRP_PROF set on the campaign?)\n");
+}
+
+/// Split the array following `"key"` into balanced-brace object strings.
+/// Unlike parse_hot_blocks this handles nested objects (the tenant rows
+/// embed {"count",...} histograms), tracking depth and skipping strings.
+std::vector<std::string> scan_objects(const std::string& json, const char* key) {
+  std::vector<std::string> out;
+  size_t k = json.find(std::string("\"") + key + "\"");
+  if (k == std::string::npos) return out;
+  size_t pos = json.find('[', k);
+  if (pos == std::string::npos) return out;
+  int depth = 0;
+  bool in_str = false;
+  size_t obj_start = 0;
+  for (size_t i = pos + 1; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_str) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_str = false;
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+    } else if (c == '{') {
+      if (depth == 0) obj_start = i;
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) out.push_back(json.substr(obj_start, i - obj_start + 1));
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return out;
+}
+
+std::string scan_str(const std::string& json, const char* key) {
+  size_t k = json.find(std::string("\"") + key + "\"");
+  if (k == std::string::npos) return "";
+  size_t q0 = json.find('"', json.find(':', k));
+  size_t q1 = q0 == std::string::npos ? q0 : json.find('"', q0 + 1);
+  return q1 == std::string::npos ? "" : json.substr(q0 + 1, q1 - q0 - 1);
+}
+
+/// "<p50>/<p90>/<p99>" of one embedded {"count","p50","p90","p99"} object.
+std::string scan_hist(const std::string& row, const char* key) {
+  size_t k = row.find(std::string("\"") + key + "\"");
+  if (k == std::string::npos) return "-";
+  size_t open = row.find('{', k);
+  size_t close = row.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return "-";
+  std::string h = row.substr(open, close - open + 1);
+  return crp::strf("%llu/%llu/%llu", static_cast<unsigned long long>(scan_u64(h, "p50")),
+                   static_cast<unsigned long long>(scan_u64(h, "p90")),
+                   static_cast<unsigned long long>(scan_u64(h, "p99")));
+}
+
+void render_daemon(const Options& opt, const std::string& jobs,
+                   const std::string& tenants, bool clear) {
+  if (clear) std::printf("\x1b[H\x1b[2J");
+  std::printf("crptop --daemon — http://%s:%u  (q: ctrl-c)\n\n", opt.host.c_str(),
+              opt.port);
+  std::printf("watchdog   flags %llu   step stalls %llu   lease stalls %llu\n",
+              static_cast<unsigned long long>(scan_u64(tenants, "flags")),
+              static_cast<unsigned long long>(scan_u64(tenants, "step_stalls")),
+              static_cast<unsigned long long>(scan_u64(tenants, "lease_stalls")));
+  std::printf("conn       accepted %llu   dropped %llu   out-buffer hwm %llu\n\n",
+              static_cast<unsigned long long>(scan_u64(tenants, "accepted")),
+              static_cast<unsigned long long>(scan_u64(tenants, "dropped")),
+              static_cast<unsigned long long>(scan_u64(tenants, "out_buffer_hwm")));
+
+  std::printf("  %-10s %6s %5s %5s %5s %6s %15s %15s %15s\n", "tenant", "active",
+              "done", "fail", "coal", "admit", "queue p50/90/99", "run p50/90/99",
+              "total p50/90/99");
+  for (const std::string& row : scan_objects(tenants, "tenants")) {
+    std::printf("  %-10s %6llu %5llu %5llu %5llu %6llu %15s %15s %15s\n",
+                scan_str(row, "name").c_str(),
+                static_cast<unsigned long long>(scan_u64(row, "active")),
+                static_cast<unsigned long long>(scan_u64(row, "done")),
+                static_cast<unsigned long long>(scan_u64(row, "failed")),
+                static_cast<unsigned long long>(scan_u64(row, "coalesced")),
+                static_cast<unsigned long long>(scan_u64(row, "admitted")),
+                scan_hist(row, "queue_ms").c_str(), scan_hist(row, "run_ms").c_str(),
+                scan_hist(row, "total_ms").c_str());
+  }
+
+  std::printf("\n  %-6s %-9s %-10s %-22s %5s %9s %8s %8s %s\n", "job", "state",
+              "tenant", "target", "steps", "queue_ms", "run_ms", "total_ms", "flags");
+  int shown = 0;
+  std::vector<std::string> rows = scan_objects(jobs, "jobs");
+  for (const std::string& row : rows) {
+    if (shown >= 2 * opt.top_k) break;  // newest-last list; cap the render
+    ++shown;
+    std::string flags;
+    if (scan_u64(row, "parked") != 0) flags += "parked ";
+    if (scan_u64(row, "step_stalled") != 0) flags += "STEP-STALL ";
+    if (scan_u64(row, "lease_stalled") != 0) flags += "LEASE-STALL ";
+    std::string step = scan_str(row, "step");
+    if (!step.empty()) flags += "@" + step;
+    std::printf("  %-6llu %-9s %-10s %-22s %2llu/%-2llu %9llu %8llu %8llu %s\n",
+                static_cast<unsigned long long>(scan_u64(row, "id")),
+                scan_str(row, "state").c_str(), scan_str(row, "tenant").c_str(),
+                scan_str(row, "target").c_str(),
+                static_cast<unsigned long long>(scan_u64(row, "steps_done")),
+                static_cast<unsigned long long>(scan_u64(row, "steps_total")),
+                static_cast<unsigned long long>(scan_u64(row, "queue_ms")),
+                static_cast<unsigned long long>(scan_u64(row, "run_ms")),
+                static_cast<unsigned long long>(scan_u64(row, "total_ms")),
+                flags.c_str());
+  }
+  if (rows.empty()) std::printf("  (no jobs yet)\n");
+}
+
+int run_daemon(const Options& opt) {
+  bool ever_connected = false;
+  for (;;) {
+    std::string jobs, tenants;
+    bool ok = http_get(opt.host, opt.port, "/jobs.json", &jobs) &&
+              http_get(opt.host, opt.port, "/tenants.json", &tenants);
+    if (!ok) {
+      if (!ever_connected)
+        std::fprintf(stderr,
+                     "crptop: cannot reach http://%s:%u (crpd --obs-port not set?)\n",
+                     opt.host.c_str(), opt.port);
+      if (opt.once || !ever_connected) return 1;
+      std::printf("(endpoint gone — daemon stopped?)\n");
+      return 0;
+    }
+    ever_connected = true;
+    render_daemon(opt, jobs, tenants, !opt.once);
+    if (opt.once) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<long>(opt.interval_s * 1e6)));
+  }
 }
 
 int run_offline(const Options& opt) {
@@ -250,6 +391,8 @@ int main(int argc, char** argv) {
       opt.interval_s = std::atof(v);
     } else if (a == "--once") {
       opt.once = true;
+    } else if (a == "--daemon") {
+      opt.daemon = true;
     } else if (a == "-h" || a == "--help") {
       return usage(argv[0], 0);
     } else {
@@ -257,5 +400,6 @@ int main(int argc, char** argv) {
       return usage(argv[0], 2);
     }
   }
-  return opt.json_file.empty() ? run_live(opt) : run_offline(opt);
+  if (!opt.json_file.empty()) return run_offline(opt);
+  return opt.daemon ? run_daemon(opt) : run_live(opt);
 }
