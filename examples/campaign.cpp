@@ -12,6 +12,9 @@
 // Build & run:  ./build/examples/campaign
 // Repeated runs with CRP_CACHE_DIR set are answered from the
 // content-addressed ArtifactStore ([cached] below); CRP_CACHE=0 bypasses.
+// CRP_PLAN=1 appends the exploit-plan epilogue to every funnel: synthesize
+// an ExploitPlan from the verified evidence, replay it against a fresh
+// target instance, and print the plan/replay lines per target.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,7 +34,10 @@ int main() {
   obs::serve::maybe_start_from_env();
 
   pipeline::TargetRegistry reg = pipeline::TargetRegistry::builtin();
-  pipeline::Campaign campaign;
+  pipeline::CampaignOptions copts;
+  if (const char* p = std::getenv("CRP_PLAN"); p != nullptr && *p == '1')
+    copts.plan = true;
+  pipeline::Campaign campaign(copts);
   obs::Registry::global()
       .gauge("pipeline.campaign.targets_total")
       .set(static_cast<i64>(reg.all().size()));
@@ -46,6 +52,12 @@ int main() {
       if (c.verdict == analysis::Verdict::kUsable ||
           c.cls != analysis::PrimitiveClass::kSyscall)
         printf("    * %s\n", c.describe().c_str());
+    }
+    if (rep.has_plan) {
+      printf("    plan: %s%s%s\n", plan::surface_name(rep.exploit_plan.surface),
+             rep.exploit_plan.symex_confirmed ? " [symex]" : "",
+             rep.plan_cache_hit ? " [cached]" : "");
+      printf("    replay: %s\n", rep.plan_replay.summary().c_str());
     }
     total_primitives += rep.usable;
     printf("\n");

@@ -7,6 +7,7 @@
 #include "obs/obs.h"
 #include "obs/prof.h"
 #include "targets/common.h"
+#include "targets/jvm.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -173,6 +174,51 @@ ProbeResult FirefoxPollOracle::probe(gva_t addr) {
   return finish_probe(addr, r);
 }
 
+// --- JvmNpeOracle ----------------------------------------------------------------------
+
+JvmNpeOracle::JvmNpeOracle(os::Kernel& kernel, int pid, u16 port)
+    : k_(kernel), pid_(pid), port_(port) {}
+
+ProbeResult JvmNpeOracle::probe(gva_t addr) {
+  ++probes_;
+  if (k_.find_proc(pid_) == nullptr)
+    return finish_probe(addr, ProbeResult::kUnknown);
+  os::Process& p = k_.proc(pid_);
+  if (!p.alive() || addr == 0) return finish_probe(addr, ProbeResult::kUnknown);
+  if (cell_ == 0) cell_ = targets::jvm_object_ref_addr(p);
+  if (cell_ == 0) return finish_probe(addr, ProbeResult::kUnknown);
+
+  // One persistent query channel; reconnect if the runtime dropped it.
+  if (conn_.has_value() && conn_->server_closed()) {
+    conn_->close();
+    conn_.reset();
+  }
+  if (!conn_.has_value()) {
+    conn_ = k_.connect(port_);
+    if (!conn_.has_value()) return finish_probe(addr, ProbeResult::kUnknown);
+    k_.run(200'000);
+  }
+
+  // Arbitrary write: swing the managed object reference at the probed
+  // address, then ask the runtime to touch the object.
+  p.machine().mem().poke_u64(cell_, addr);
+  conn_->send(targets::wire_command(targets::kOpQuery));
+  std::string got;
+  k_.run_until(
+      [&] {
+        got += conn_->recv_all();
+        return got.size() >= 4 || conn_->server_closed();
+      },
+      5'000'000);
+
+  // "VAL:" => the dereference succeeded (mapped); "NPE!" => the recovering
+  // SIGSEGV handler rewrote the fault into a managed exception (unmapped).
+  ProbeResult r = ProbeResult::kUnknown;
+  if (got.rfind("VAL:", 0) == 0) r = ProbeResult::kMapped;
+  else if (got.rfind("NPE!", 0) == 0) r = ProbeResult::kUnmapped;
+  return finish_probe(addr, r);
+}
+
 // --- Scanner -----------------------------------------------------------------------------
 
 Scanner::Scanner(MemoryOracle& oracle, const std::string& target_label)
@@ -221,6 +267,10 @@ ProbeResult Scanner::probe_once(gva_t addr, obs::LedgerStage stage) {
   obs::Journal::global().span(oracle_.name(), "probe", t0 / 1000, (t1 - t0) / 1000, 0,
                               "mapped", r == ProbeResult::kMapped ? 1 : 0);
   return r;
+}
+
+ProbeResult Scanner::probe(gva_t addr) {
+  return probe_once(addr, obs::LedgerStage::kSweep);
 }
 
 std::vector<gva_t> Scanner::sweep(gva_t base, u64 len, u64 stride) {

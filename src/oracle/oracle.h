@@ -123,6 +123,30 @@ class SehProbeOracle : public MemoryOracle {
   gva_t saved_debug_info_ = 0;
 };
 
+/// NPE-flag oracle against a running jvm_sim: poke the probed address into
+/// the managed object-reference cell, send a kOpQuery, and read the reply —
+/// "VAL:" means the runtime dereferenced the address (mapped), "NPE!" means
+/// the recovering SIGSEGV handler turned the fault into a managed exception
+/// (unmapped). Read-only; zero crashes either way.
+class JvmNpeOracle : public MemoryOracle {
+ public:
+  JvmNpeOracle(os::Kernel& kernel, int pid, u16 port);
+  ProbeResult probe(gva_t addr) override;
+  std::string name() const override { return "jvm-npe"; }
+  u64 virtual_now() const override { return k_.now_ns(); }
+  bool target_alive() const override {
+    const os::Process* p = k_.find_proc(pid_);
+    return p != nullptr && p->alive();
+  }
+
+ private:
+  os::Kernel& k_;
+  int pid_;
+  u16 port_;
+  std::optional<os::ClientConn> conn_;  // persistent query channel
+  gva_t cell_ = 0;                      // object-reference slot (lazy)
+};
+
 /// §VI-B oracle against a BrowserSim (Firefox kind).
 class FirefoxPollOracle : public MemoryOracle {
  public:
@@ -163,6 +187,11 @@ class Scanner {
                             const std::function<bool(gva_t)>& accept = {});
 
   const ScanStats& stats() const { return stats_; }
+
+  /// One instrumented single-address probe (sweep-stage ledger event) —
+  /// the replay harness's locate-base walk and hijack confirmation reuse
+  /// the Scanner's counters/crash accounting instead of rolling their own.
+  ProbeResult probe(gva_t addr);
 
  private:
   /// One instrumented probe: counters, virtual-time latency, liveness

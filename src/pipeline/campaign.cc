@@ -31,6 +31,13 @@ std::string render_report(const TargetReport& rep, bool cache_tag) {
         c.cls != analysis::PrimitiveClass::kSyscall)
       out += strf("    * %s\n", c.describe().c_str());
   }
+  if (rep.has_plan) {
+    out += strf("    plan: %s%s%s\n",
+                plan::surface_name(rep.exploit_plan.surface),
+                rep.exploit_plan.symex_confirmed ? " [symex]" : "",
+                cache_tag && rep.plan_cache_hit ? " [cached]" : "");
+    out += strf("    replay: %s\n", rep.plan_replay.summary().c_str());
+  }
   out += "\n";
   return out;
 }
@@ -244,7 +251,14 @@ std::vector<analysis::ApiSiteInfo> Campaign::call_sites(
 void TargetCell::run_step() {
   CRP_CHECK(next_ < steps_.size());
   obs::ScopedProfTarget prof_target(spec_.id);
-  do_step(next_);
+  if (opts_.plan && next_ >= plan_step_base_) {
+    // Shared epilogue: every class's funnel ends with plan_synth +
+    // plan_verify when the campaign asked for plans.
+    if (next_ == plan_step_base_) plan_synth_step();
+    else plan_verify_step();
+  } else {
+    do_step(next_);
+  }
   ++next_;
   if (next_ == steps_.size()) {
     report_.id = spec_.id;

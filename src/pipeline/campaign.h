@@ -27,6 +27,7 @@
 
 #include "pipeline/registry.h"
 #include "pipeline/stages.h"
+#include "plan/replay.h"
 
 namespace crp::pipeline {
 
@@ -42,6 +43,15 @@ struct CampaignOptions {
   /// Browser-funnel workload size (page visits after the crawl).
   u64 browse_pages = 500;
   u64 browse_budget = 2'500'000'000;
+  /// Append the exploit-plan epilogue (plan_synth + plan_verify steps) to
+  /// every target's funnel: synthesize an ExploitPlan from the verified
+  /// candidates, then replay it against a fresh target instance
+  /// (examples/campaign CRP_PLAN=1, the crpd `plan` knob, tools/planrun).
+  bool plan = false;
+  /// Replay-harness scan window / hidden-region sizes the plans are tuned
+  /// for (the PoCs' demo-window concession).
+  u64 plan_window_pages = 1024;
+  u64 plan_region_pages = 16;
 };
 
 /// One Linux-syscall-funnel outcome (result.candidates are verified).
@@ -63,6 +73,13 @@ struct TargetReport {
   /// One-line funnel summary for campaign reports.
   std::string summary;
   bool cache_hit = false;
+
+  /// Exploit-plan epilogue (CampaignOptions::plan): the synthesized plan
+  /// and its fresh-instance replay outcome.
+  bool has_plan = false;
+  bool plan_cache_hit = false;
+  plan::ExploitPlan exploit_plan;
+  plan::ReplayOutcome plan_replay;
 };
 
 /// Render one TargetReport as the canonical campaign block (the exact
@@ -116,15 +133,32 @@ class TargetCell {
  protected:
   TargetCell(const CampaignOptions& opts, ArtifactStore* store, TargetSpec spec,
              std::vector<const char*> steps)
-      : opts_(opts), store_(store), spec_(std::move(spec)), steps_(std::move(steps)) {}
+      : opts_(opts), store_(store), spec_(std::move(spec)), steps_(std::move(steps)) {
+    // The exploit-plan epilogue rides every class's funnel: two extra
+    // steps past the class-specific sequence, dispatched by the base class
+    // (run_step) so the cells' absolute-index switches never see them.
+    plan_step_base_ = steps_.size();
+    if (opts_.plan) {
+      steps_.push_back("plan_synth");
+      steps_.push_back("plan_verify");
+    }
+  }
 
   virtual void do_step(size_t i) = 0;
+
+  /// Epilogue step bodies (plan_stages.cc): synthesize from the finished
+  /// report's candidates; replay against a fresh target instance. Each
+  /// holds any cache lease only within its own step, so parking between
+  /// steps never strands a lease.
+  void plan_synth_step();
+  void plan_verify_step();
 
   CampaignOptions opts_;
   ArtifactStore* store_;  // nullptr: caching off for this cell
   TargetSpec spec_;
   std::vector<const char*> steps_;
   size_t next_ = 0;
+  size_t plan_step_base_ = 0;  // first epilogue step index (== class steps)
   TargetReport report_;
 };
 

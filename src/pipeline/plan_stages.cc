@@ -1,0 +1,119 @@
+// Exploit-plan epilogue stages (ROADMAP item 4): the registry-id ->
+// oracle-surface mapping, the cached synthesis stage, the fresh-instance
+// replay stage, and the TargetCell step bodies that append both to every
+// class's funnel.
+#include "pipeline/campaign.h"
+#include "pipeline/stages.h"
+#include "targets/jvm.h"
+#include "targets/nginx.h"
+
+namespace crp::pipeline {
+
+plan::TargetBinding binding_for(const TargetSpec& spec) {
+  plan::TargetBinding b;
+  b.id = spec.id;
+  switch (spec.cls) {
+    case TargetClass::kLinuxServer:
+      // Only nginx_sim exposes the §VI-C parked-buffer recv() oracle (the
+      // leak step scans its conn_table global); the other Table I servers
+      // contribute syscall evidence but no scan surface.
+      if (spec.id == "server/nginx_sim") {
+        b.surface = plan::Surface::kNginxRecv;
+        b.make_program = spec.make_program;
+        b.port = targets::kNginxPort;
+        b.aslr_seed = 0xD15C0;
+      }
+      break;
+    case TargetClass::kManagedRuntime:
+      if (spec.id == "runtime/jvm_sim") {
+        b.surface = plan::Surface::kJvmNpe;
+        b.make_program = spec.make_program;
+        b.port = targets::kJvmPort;
+        b.aslr_seed = 0xD15C0;
+      }
+      break;
+    case TargetClass::kBrowser:
+      b.surface = spec.browser_kind == targets::BrowserSim::Kind::kIE
+                      ? plan::Surface::kBrowserSeh
+                      : plan::Surface::kBrowserPoll;
+      b.browser = browser_options(spec);
+      break;
+    case TargetClass::kDllCorpus:
+    case TargetClass::kApiCorpus:
+      break;  // static / no running instance: no surface
+  }
+  return b;
+}
+
+namespace {
+
+ArtifactKey plan_synth_key(const PlanSynthStage::In& in) {
+  Hasher ih;
+  ih.str(in.spec->id).u64v(in.candidates->size());
+  for (const analysis::Candidate& c : *in.candidates)
+    ih.str(c.describe())
+        .u64v(static_cast<u64>(c.verdict))
+        .u64v(c.controllable_home ? 1 : 0)
+        .u64v(c.catch_all ? 1 : 0);
+  u64 cfg = Hasher()
+                .u64v(static_cast<u64>(plan::kPlanVersion))
+                .u64v(in.opts.window_pages)
+                .u64v(in.opts.region_pages)
+                .u64v(in.opts.seed)
+                .digest();
+  return ArtifactKey{PlanSynthStage::kId, ih.digest(), cfg};
+}
+
+}  // namespace
+
+PlanSynthStage::Out PlanSynthStage::run(const In& in) {
+  StageScope scope(kId, in.spec->id);
+  Out out;
+  ArtifactKey key;
+  bool leased = false;
+  if (in.store != nullptr) {
+    key = plan_synth_key(in);
+    std::string doc;
+    Acquire a = in.store->acquire(key, &doc);
+    if (a == Acquire::kHit && plan::decode_plan(doc, &out.exploit_plan)) {
+      out.cache_hit = true;
+      return out;
+    }
+    // A hit that fails to decode (corrupted blob) recomputes without the
+    // lease; the publish below replaces the stored document.
+    leased = a == Acquire::kOwner;
+  }
+  out.exploit_plan =
+      plan::synthesize(binding_for(*in.spec), *in.candidates, in.opts);
+  if (in.store != nullptr) {
+    std::string doc = plan::encode_plan(out.exploit_plan);
+    if (leased) in.store->finish(key, doc);
+    else in.store->store(key, doc);
+  }
+  return out;
+}
+
+PlanVerifyStage::Out PlanVerifyStage::run(const In& in) {
+  StageScope scope(kId, in.spec->id);
+  return plan::replay_fresh(binding_for(*in.spec), *in.exploit_plan, in.harness);
+}
+
+// --- TargetCell epilogue steps -----------------------------------------------
+
+void TargetCell::plan_synth_step() {
+  plan::SynthOptions so;
+  so.window_pages = opts_.plan_window_pages;
+  so.region_pages = opts_.plan_region_pages;
+  PlanSynthStage::Out o =
+      PlanSynthStage::run({&spec_, &report_.candidates, so, store_});
+  report_.has_plan = true;
+  report_.exploit_plan = std::move(o.exploit_plan);
+  report_.plan_cache_hit = o.cache_hit;
+}
+
+void TargetCell::plan_verify_step() {
+  report_.plan_replay =
+      PlanVerifyStage::run({&spec_, &report_.exploit_plan, {}});
+}
+
+}  // namespace crp::pipeline

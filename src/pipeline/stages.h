@@ -36,6 +36,8 @@
 #include "os/kernel.h"
 #include "pipeline/artifact_store.h"
 #include "pipeline/codec.h"
+#include "pipeline/registry.h"
+#include "plan/replay.h"
 #include "trace/tracer.h"
 
 namespace crp::pipeline {
@@ -187,6 +189,49 @@ struct CallSiteTraceStage {
     std::string script_module_needle;
   };
   using Out = std::vector<analysis::ApiSiteInfo>;
+  static Out run(const In& in);
+};
+
+// --- exploit-plan epilogue (ROADMAP item 4) ----------------------------------
+
+/// Map a registry entry onto the plan layer's oracle-surface binding. The
+/// plan library sits below pipeline, so this is the one place the
+/// registry-id -> surface mapping lives: nginx_sim drives the §VI-C recv()
+/// oracle, jvm_sim the NPE-flag oracle, the two browser kinds their
+/// SEH/poll oracles; every other class binds kNone (empty plan, trivial
+/// replay).
+plan::TargetBinding binding_for(const TargetSpec& spec);
+
+/// Synthesize the class-appropriate ExploitPlan from a target's verified
+/// candidate evidence. Cached: keyed by the registry id + the evidence
+/// (describe/verdict/controllability of every candidate) and the synthesis
+/// configuration — a warm campaign replays the exact plan bytes.
+struct PlanSynthStage {
+  static constexpr const char* kId = "plan_synth";
+  struct In {
+    const TargetSpec* spec = nullptr;
+    const std::vector<analysis::Candidate>* candidates = nullptr;
+    plan::SynthOptions opts;
+    ArtifactStore* store = nullptr;  // nullptr -> always compute
+  };
+  struct Out {
+    plan::ExploitPlan exploit_plan;
+    bool cache_hit = false;
+  };
+  static Out run(const In& in);
+};
+
+/// Replay a plan against a fresh instance of the target and report what
+/// the attack achieved. Never cached: verification is the point — the
+/// outcome's crashes/unhandled numbers must come from a real run.
+struct PlanVerifyStage {
+  static constexpr const char* kId = "plan_verify";
+  struct In {
+    const TargetSpec* spec = nullptr;
+    const plan::ExploitPlan* exploit_plan = nullptr;
+    plan::HarnessOptions harness;
+  };
+  using Out = plan::ReplayOutcome;
   static Out run(const In& in);
 };
 

@@ -1,0 +1,109 @@
+// crp::plan — machine-generated exploit plans (ROADMAP item 4).
+//
+// The paper stops at four hand-built PoC exploits; an ExploitPlan is the
+// machine-generated equivalent: a typed, versioned, serializable script of
+// the three attack phases every PoC shares —
+//
+//   scan    locate the hidden (SafeStack/CPI-style) region with a
+//           crash-resistant memory oracle (sweep or randomized hunt);
+//   leak    read metadata words out of the located region with the threat
+//           model's arbitrary-read primitive;
+//   hijack  steer the primitive's controlled pointer at a chosen slot (the
+//           return-address/control-word analog) and confirm control.
+//
+// Plans are deliberately environment-independent: they carry probe
+// strategy, stride, budgets, seeds and *relative* offsets — never absolute
+// addresses — so an encoded plan is byte-stable across runs and machines
+// and can live in the ArtifactStore or a golden-fixture file. The replay
+// harness (plan/replay.h) supplies the environment: a fresh kernel/target
+// instance and the planted region the defender hides.
+//
+// The codec follows the pipeline artifact idiom (versioned header,
+// %-escaped strings) plus a trailing FNV checksum line, so both truncated
+// and corrupted documents are rejected instead of replayed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace crp::plan {
+
+inline constexpr int kPlanVersion = 1;
+
+/// Which discovered oracle surface the plan drives. kNone marks a target
+/// class with no scan/leak/hijack surface: its (empty) plan replays
+/// trivially to completion with zero probes.
+enum class Surface : u8 {
+  kNone = 0,
+  kNginxRecv,    // §VI-C recv()-EFAULT oracle (server/nginx_sim)
+  kBrowserSeh,   // §VI-A MUTX catch-all SEH oracle (IE analog)
+  kBrowserPoll,  // §VI-B background poll-thread oracle (Firefox analog)
+  kJvmNpe,       // §III-B SIGSEGV-recovering null-check oracle (jvm_sim)
+};
+
+const char* surface_name(Surface s);
+
+enum class ScanMode : u8 {
+  kSweep = 0,  // deterministic stride walk — guaranteed hit inside the window
+  kHunt,       // seeded uniform probing — the brute-force §III loop
+};
+
+/// Phase 1: locate the hidden region. The probed window is positioned by
+/// the replay harness (the defender grants a demo window exactly like the
+/// handwritten PoCs); the plan only fixes its *shape* and the strategy.
+struct ScanStep {
+  ScanMode mode = ScanMode::kSweep;
+  u64 window_pages = 0;   // probed window size
+  u64 stride_pages = 1;   // sweep stride
+  u64 max_probes = 0;     // hunt budget (ignored for sweep)
+  u64 seed = 0;           // hunt RNG seed
+  /// Walk the first hit back page by page to the region's lowest mapped
+  /// page, so leak/hijack offsets are relative to the true region base.
+  bool locate_base = true;
+};
+
+/// Phase 2: metadata words to read, as offsets from the located base.
+struct LeakStep {
+  std::vector<u64> offsets;
+};
+
+/// Phase 3: the control slot to take over, as an offset from the base.
+struct HijackStep {
+  u64 offset = 0;
+};
+
+struct ExploitPlan {
+  int version = kPlanVersion;
+  std::string target_id;  // registry id, e.g. "server/nginx_sim"
+  Surface surface = Surface::kNone;
+  std::string primitive;  // describe() of the primitive the plan rides on
+  /// The synthesis heuristics' one-line justification (printed in reports).
+  std::string rationale;
+  /// True when the chosen primitive's handler/filter verdict came from the
+  /// symex engine (SEH filter / VEH / signal-handler classification);
+  /// syscall primitives are dynamically verified instead.
+  bool symex_confirmed = false;
+  /// Hidden-region size the scan/leak offsets are tuned for.
+  u64 region_pages = 0;
+
+  ScanStep scan;
+  LeakStep leak;
+  HijackStep hijack;
+
+  /// No oracle surface: nothing to scan, the plan replays as a no-op.
+  bool empty() const { return surface == Surface::kNone; }
+};
+
+/// Serialize to the versioned, checksummed text form (byte-stable for any
+/// equal plan — golden fixtures diff cleanly).
+std::string encode_plan(const ExploitPlan& p);
+
+/// Strict decode: false on version mismatch, malformed lines, truncation
+/// (missing checksum line) or corruption (checksum mismatch). Callers
+/// treat false as a cache miss / fixture failure — never replay a plan
+/// that did not decode cleanly.
+bool decode_plan(const std::string& doc, ExploitPlan* out);
+
+}  // namespace crp::plan

@@ -1,0 +1,199 @@
+#include "plan/replay.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "mem/address_space.h"
+#include "oracle/oracle.h"
+#include "os/kernel.h"
+#include "targets/browser.h"
+#include "targets/common.h"
+
+namespace crp::plan {
+
+namespace {
+
+/// One booted target instance plus the oracle driving its surface. Owns
+/// everything; destroying it tears the world down.
+struct ReplayEnv {
+  std::unique_ptr<os::Kernel> kernel;
+  std::unique_ptr<targets::BrowserSim> browser;
+  std::unique_ptr<oracle::MemoryOracle> oracle;
+  int pid = 0;
+
+  os::Process& proc() {
+    return browser != nullptr ? browser->proc() : kernel->proc(pid);
+  }
+};
+
+bool build_env(const TargetBinding& b, Surface surface, ReplayEnv* env,
+               std::string* err) {
+  env->kernel = std::make_unique<os::Kernel>();
+  switch (surface) {
+    case Surface::kNginxRecv:
+    case Surface::kJvmNpe: {
+      if (!b.make_program) {
+        *err = "binding has no make_program for a server/runtime surface";
+        return false;
+      }
+      analysis::TargetProgram prog = b.make_program();
+      env->pid = prog.instantiate(*env->kernel, b.aslr_seed);
+      env->kernel->run(3'000'000);  // startup: listeners + signal handlers
+      if (!env->kernel->proc(env->pid).alive()) {
+        *err = "target died during startup";
+        return false;
+      }
+      if (surface == Surface::kNginxRecv)
+        env->oracle = std::make_unique<oracle::NginxRecvOracle>(
+            *env->kernel, env->pid, b.port);
+      else
+        env->oracle = std::make_unique<oracle::JvmNpeOracle>(*env->kernel,
+                                                             env->pid, b.port);
+      return true;
+    }
+    case Surface::kBrowserSeh:
+    case Surface::kBrowserPoll: {
+      targets::BrowserSim::Options bopts = b.browser;
+      bopts.defer_start = false;
+      env->browser = std::make_unique<targets::BrowserSim>(*env->kernel, bopts);
+      env->pid = env->browser->pid();
+      if (surface == Surface::kBrowserSeh)
+        env->oracle = std::make_unique<oracle::SehProbeOracle>(*env->browser);
+      else
+        env->oracle = std::make_unique<oracle::FirefoxPollOracle>(*env->browser);
+      return true;
+    }
+    case Surface::kNone:
+      *err = "no surface to build";
+      return false;
+  }
+  *err = "unknown surface";
+  return false;
+}
+
+}  // namespace
+
+std::string ReplayOutcome::summary() const {
+  if (completed && probes == 0)
+    return "trivial (no surface, 0 probes)";
+  std::string s = strf(
+      "%s probes=%llu crashes=%llu unhandled=%llu", completed ? "ok" : "FAILED",
+      static_cast<unsigned long long>(probes),
+      static_cast<unsigned long long>(crashes),
+      static_cast<unsigned long long>(unhandled));
+  if (hit)
+    s += strf(" region=0x%llx leaked=%zu hijack=%s@0x%llx",
+              static_cast<unsigned long long>(region_base), leaked.size(),
+              hijacked ? "ok" : "no",
+              static_cast<unsigned long long>(control_addr));
+  if (!completed && !error.empty()) s += " (" + error + ")";
+  return s;
+}
+
+ReplayOutcome replay_fresh(const TargetBinding& b, const ExploitPlan& plan,
+                           const HarnessOptions& harness) {
+  ReplayOutcome out;
+  if (plan.empty()) {
+    out.completed = true;
+    out.target_alive = true;
+    return out;
+  }
+  if (plan.version != kPlanVersion) {
+    out.error = strf("plan version %d != replayer version %d", plan.version,
+                     kPlanVersion);
+    return out;
+  }
+
+  ReplayEnv env;
+  if (!build_env(b, plan.surface, &env, &out.error)) return out;
+  os::Process& proc = env.proc();
+  mem::AddressSpace& aspace = proc.machine().mem();
+
+  // Defender: hide the region. Attacker never reads planted_base — the
+  // window placement below is the harness's demo-window concession.
+  u64 region_pages = harness.region_pages != 0 ? harness.region_pages
+                                               : std::max<u64>(plan.region_pages, 1);
+  out.planted_base = targets::plant_hidden_region(
+      proc, region_pages * mem::kPageSize, harness.pattern);
+
+  oracle::Scanner scanner(
+      *env.oracle, harness.ledger_label.empty() ? b.id : harness.ledger_label);
+
+  // --- scan: locate the region ------------------------------------------------
+  u64 window_pages = std::max<u64>(plan.scan.window_pages, region_pages);
+  gva_t lo = out.planted_base - (window_pages / 2) * mem::kPageSize;
+  std::optional<gva_t> hit;
+  if (plan.scan.mode == ScanMode::kSweep) {
+    u64 stride = std::max<u64>(plan.scan.stride_pages, 1) * mem::kPageSize;
+    std::vector<gva_t> mapped =
+        scanner.sweep(lo, window_pages * mem::kPageSize, stride);
+    if (!mapped.empty()) hit = mapped.front();
+  } else {
+    hit = scanner.hunt(lo, lo + window_pages * mem::kPageSize,
+                       plan.scan.max_probes, plan.scan.seed);
+  }
+
+  if (hit.has_value()) {
+    out.hit = true;
+    gva_t base = *hit & ~mem::kPageMask;
+    if (plan.scan.locate_base) {
+      // Walk down to the region's first page; the page below it probes
+      // unmapped (crash-resistantly, like every other probe).
+      for (u64 i = 0; i < region_pages && base >= mem::kPageSize; ++i) {
+        if (scanner.probe(base - mem::kPageSize) != oracle::ProbeResult::kMapped)
+          break;
+        base -= mem::kPageSize;
+      }
+    }
+    out.region_base = base;
+  } else {
+    out.error = "scan exhausted its budget without locating the region";
+  }
+
+  // --- leak: read the plan's metadata offsets ---------------------------------
+  if (out.hit && out.error.empty()) {
+    for (u64 off : plan.leak.offsets) {
+      u64 v = 0;
+      if (!aspace.peek_u64(out.region_base + off, &v)) {
+        out.error = strf("leak read failed at base+0x%llx",
+                         static_cast<unsigned long long>(off));
+        break;
+      }
+      out.leaked.push_back(v);
+    }
+  }
+
+  // --- hijack: take the control slot ------------------------------------------
+  if (out.hit && out.error.empty()) {
+    out.control_addr = out.region_base + plan.hijack.offset;
+    u64 before = 0, after = 0;
+    aspace.peek_u64(out.control_addr, &before);
+    bool mapped =
+        scanner.probe(out.control_addr) == oracle::ProbeResult::kMapped;
+    aspace.peek_u64(out.control_addr, &after);
+    out.control_value = after;
+    if (plan.surface == Surface::kNginxRecv) {
+      // Write-probe surface: the probe itself is the controlled write —
+      // the recv()ed request bytes must have replaced the defender's word.
+      out.hijacked = mapped && after != before;
+    } else {
+      // Read-probe surface: the primitive's channel answered "mapped" for
+      // the slot without disturbing it.
+      out.hijacked = mapped && after == before;
+    }
+    if (!out.hijacked)
+      out.error = "hijack probe did not confirm control of the slot";
+  }
+
+  const oracle::ScanStats& st = scanner.stats();
+  out.probes = st.probes;
+  out.mapped_hits = st.mapped_hits;
+  out.crashes = st.crashes;
+  out.unhandled = proc.machine().exception_stats().unhandled;
+  out.target_alive = proc.alive();
+  out.completed = out.error.empty();
+  return out;
+}
+
+}  // namespace crp::plan

@@ -1,0 +1,70 @@
+// plan::replay_fresh — execute an ExploitPlan against a fresh target
+// instance and report what the attack achieved.
+//
+// The harness plays the defender: it boots the target described by the
+// TargetBinding, plants the information-hiding region (the plan never
+// learns its address) and centers the plan's scan window on it — the same
+// demo-window concession the handwritten PoCs make, since a full 28-bit
+// hunt is computationally honest but experimentally pointless. It then
+// plays the attacker: drives the plan's scan step through oracle::Scanner
+// (every probe flight-recorded in the obs::Ledger), leaks the plan's
+// metadata offsets with the arbitrary-read primitive, and performs the
+// hijack step, confirming control through the primitive's own channel.
+//
+// The zero-crash invariant is the outcome's headline: `crashes` (Scanner
+// alive->dead accounting) and `unhandled` (machine exception stats) must
+// both be 0 for every plan — callers additionally run obs::audit_ledger()
+// over the recorded probe events (planrun, the chaos property, CI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plan/synth.h"
+
+namespace crp::plan {
+
+struct HarnessOptions {
+  /// Hidden-region fill pattern (word at offset `o` is `pattern ^ o`).
+  u64 pattern = 0x5AFE0001;
+  /// Override the planted region size (0 = plan.region_pages).
+  u64 region_pages = 0;
+  /// Flight-recorder target label ("" = the binding id).
+  std::string ledger_label;
+};
+
+struct ReplayOutcome {
+  /// Every plan step ran to its end (scan hit, all leaks read, hijack
+  /// confirmed). Empty plans complete trivially.
+  bool completed = false;
+  std::string error;  // first failing step's message ("" when completed)
+
+  // Scan phase.
+  u64 probes = 0;
+  u64 mapped_hits = 0;
+  u64 crashes = 0;    // MUST stay 0 — the paper's invariant
+  u64 unhandled = 0;  // unhandled guest exceptions after the replay
+  bool hit = false;
+  gva_t region_base = 0;   // located region base (after locate_base)
+  gva_t planted_base = 0;  // harness ground truth, for verification display
+
+  // Leak phase: one word per plan leak offset.
+  std::vector<u64> leaked;
+
+  // Hijack phase.
+  bool hijacked = false;
+  gva_t control_addr = 0;  // final control-transfer address
+  u64 control_value = 0;   // word observed at the control slot afterwards
+
+  bool target_alive = false;
+
+  /// One-line summary for reports and tables.
+  std::string summary() const;
+};
+
+/// Boot a fresh instance of the binding's target and run the plan end to
+/// end. Never throws on attack failure — inspect `completed`/`error`.
+ReplayOutcome replay_fresh(const TargetBinding& binding, const ExploitPlan& plan,
+                           const HarnessOptions& harness = {});
+
+}  // namespace crp::plan

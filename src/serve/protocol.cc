@@ -98,6 +98,12 @@ bool apply_knob(std::string_view kv, pipeline::JobSpec* spec, std::string* err) 
     ok = parse_u64(v, &spec->opts.syscall.discover_budget);
   } else if (k == "verify") {
     ok = parse_u64(v, &spec->opts.syscall.verify_budget);
+  } else if (k == "plan") {
+    // Exploit-plan epilogue: synthesize + replay an ExploitPlan after the
+    // funnel (the report gains plan/replay lines).
+    u64 x = 0;
+    ok = parse_u64(v, &x);
+    spec->opts.plan = x != 0;
   } else if (k == "trace") {
     // Client-pinned obs::JobTracer trace id; 0 (the default) lets the
     // daemon assign one. Duplicate submissions may share a pinned trace.

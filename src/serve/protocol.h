@@ -16,7 +16,8 @@
 //   QUIT                                   -> (connection closes)
 //
 // SUBMIT knobs (k=v): seed=<u64>, priority=<int>, jobs=<int>,
-// cache=<0|1>, discover=<u64 budget>, verify=<u64 budget>, trace=<u64>.
+// cache=<0|1>, discover=<u64 budget>, verify=<u64 budget>, plan=<0|1>,
+// trace=<u64>.
 // Unknown knobs are a 400; malformed values are a 400. Tenants are
 // [A-Za-z0-9_-]{1,64}.
 //

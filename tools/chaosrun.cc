@@ -45,6 +45,7 @@
 #include "oracle/oracle.h"
 #include "os/kernel.h"
 #include "pipeline/campaign.h"
+#include "plan/replay.h"
 #include "pipeline/job_queue.h"
 #include "pipeline/registry.h"
 #include "taint/taint.h"
@@ -202,6 +203,51 @@ std::optional<std::string> ledger_audit_body(u64 seed) {
   obs::LedgerAudit audit = obs::audit_ledger(obs::Ledger::global());
   if (!audit.zero_crash())
     return strf("audit_ledger red: %llu crash events",
+                (unsigned long long)audit.crash_events);
+  return std::nullopt;
+}
+
+std::optional<std::string> plan_replay_no_crash_body(u64 seed) {
+  // A synthesized-style hunt plan replayed end to end under injected
+  // EFAULT/EINTR/short-I/O faults. Faults may starve the scan (the replay
+  // then fails to complete — vacuous here), but probing must never crash
+  // the target and the flight recorder must audit green.
+  obs::Ledger::global().clear();
+
+  plan::TargetBinding b;
+  b.id = "chaosrun/nginx_sim";
+  b.surface = plan::Surface::kNginxRecv;
+  b.make_program = [] { return targets::make_nginx(); };
+  b.port = targets::kNginxPort;
+  b.aslr_seed = chaos::mix64(seed, 0x5eed);
+
+  plan::ExploitPlan p;
+  p.target_id = b.id;
+  p.surface = plan::Surface::kNginxRecv;
+  p.primitive = "recv(ptr) write-probe";
+  p.region_pages = 8;
+  p.scan.mode = plan::ScanMode::kHunt;
+  p.scan.window_pages = 128;
+  p.scan.max_probes = 150;
+  p.scan.seed = chaos::mix64(seed, 0x9e37);
+  p.scan.locate_base = false;
+  p.leak.offsets = {8};
+  p.hijack.offset = 32;
+
+  plan::HarnessOptions h;
+  h.pattern = 1;
+  h.ledger_label = "chaosrun";
+  plan::ReplayOutcome r = plan::replay_fresh(b, p, h);
+
+  if (r.crashes != 0)
+    return strf("plan replay observed %llu probe-induced crashes",
+                (unsigned long long)r.crashes);
+  if (r.unhandled != 0)
+    return strf("%llu unhandled exceptions during plan replay",
+                (unsigned long long)r.unhandled);
+  obs::LedgerAudit audit = obs::audit_ledger(obs::Ledger::global());
+  if (!audit.zero_crash())
+    return strf("audit_ledger red after plan replay: %llu crash events",
                 (unsigned long long)audit.crash_events);
   return std::nullopt;
 }
@@ -491,6 +537,8 @@ int chaosrun_main(int argc, char** argv) {
                               probe_no_crash_body));
   rows.push_back(run_property("ledger-audit-green", opt, chaos::kIoPoints,
                               ledger_audit_body));
+  rows.push_back(run_property("plan-replay-no-crash", opt, chaos::kIoPoints,
+                              plan_replay_no_crash_body));
   rows.push_back(run_property("taint-eintr-labels", opt,
                               chaos::point_bit(chaos::Point::kSysEintr),
                               taint_eintr_body));
